@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the bit-level codecs (the kernels behind Table 8's
+//! per-component ratios).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use utcq_bitio::golomb;
+use utcq_bitio::pddp::PddpCodec;
+use utcq_bitio::wah::WahBitmap;
+use utcq_bitio::{BitBuf, BitWriter};
+use utcq_core::siar;
+
+fn deviations() -> Vec<i64> {
+    // A DK-like mix: mostly 0/±1 with a heavy tail.
+    (0..512)
+        .map(|i| match i % 20 {
+            0..=13 => 0,
+            14..=16 => 1,
+            17 => -1,
+            18 => 27,
+            _ => 140,
+        })
+        .collect()
+}
+
+fn bench_exp_golomb(c: &mut Criterion) {
+    let devs = deviations();
+    c.bench_function("golomb/encode_deviations_512", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &d in &devs {
+                golomb::encode_deviation(&mut w, black_box(d)).unwrap();
+            }
+            w.finish()
+        })
+    });
+    let mut w = BitWriter::new();
+    for &d in &devs {
+        golomb::encode_deviation(&mut w, d).unwrap();
+    }
+    let buf = w.finish();
+    c.bench_function("golomb/decode_deviations_512", |b| {
+        b.iter(|| {
+            let mut r = buf.reader();
+            for _ in 0..devs.len() {
+                black_box(golomb::decode_deviation(&mut r).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_siar(c: &mut Criterion) {
+    let mut times = vec![18205i64];
+    for d in deviations() {
+        times.push(times.last().unwrap() + 240 + d);
+    }
+    c.bench_function("siar/encode_513_timestamps", |b| {
+        b.iter(|| siar::encode(black_box(&times), 240).unwrap())
+    });
+    let buf = siar::encode(&times, 240).unwrap();
+    c.bench_function("siar/decode_513_timestamps", |b| {
+        b.iter(|| siar::decode(black_box(&buf), times.len(), 240).unwrap())
+    });
+    c.bench_function("ted_pairs/encode_513_timestamps", |b| {
+        b.iter(|| utcq_ted::time::encode(black_box(&times)).unwrap())
+    });
+}
+
+fn bench_pddp(c: &mut Criterion) {
+    let codec = PddpCodec::from_error_bound(1.0 / 128.0);
+    let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.618) % 1.0).collect();
+    c.bench_function("pddp/quantize_1000", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| codec.quantize(black_box(v)))
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_wah(c: &mut Criterion) {
+    let bits: Vec<bool> = (0..4096).map(|i| i % 97 != 0).collect();
+    let buf = BitBuf::from_bits(&bits);
+    c.bench_function("wah/compress_4096", |b| {
+        b.iter(|| WahBitmap::compress(black_box(&buf)))
+    });
+}
+
+fn bench_flag_arrays(c: &mut Criterion) {
+    // Partial T' decompression (Formulas 4–6) vs naive materialization.
+    use utcq_core::factor::{apply_t, factorize_t};
+    use utcq_core::flagarr::{nref_ones_before_full, FlagArray};
+    let refb: Vec<bool> = (0..200).map(|i| i % 7 != 3).collect();
+    let mut nref = refb.clone();
+    nref[31] = !nref[31];
+    nref[130] = !nref[130];
+    let tcom = factorize_t(&nref, &refb);
+    let omega = FlagArray::new(&refb);
+    let n_entries = nref.len() + 2;
+    c.bench_function("flagarr/partial_gamma", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for g in (0..=n_entries).step_by(13) {
+                acc += nref_ones_before_full(black_box(&tcom), &refb, &omega, n_entries, g);
+            }
+            acc
+        })
+    });
+    c.bench_function("flagarr/naive_materialize", |b| {
+        b.iter(|| {
+            let bits = apply_t(black_box(&tcom), &refb);
+            let mut acc = 0u32;
+            for g in (0..=n_entries).step_by(13) {
+                let k = g.min(bits.len());
+                acc += bits[..k].iter().map(|&b| u32::from(b)).sum::<u32>();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exp_golomb,
+    bench_siar,
+    bench_pddp,
+    bench_wah,
+    bench_flag_arrays
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Compression benchmarks: UTCQ vs TED per dataset profile (the kernels
+//! behind Table 8 and Figs. 6–8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use utcq_bench::datasets;
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_dataset_40trajs");
+    group.sample_size(10);
+    for (i, profile) in datasets::paper_profiles().iter().enumerate() {
+        let built = datasets::build_n(profile, 40, 2000 + i as u64);
+        let params = datasets::paper_params(profile);
+        let tparams = datasets::paper_ted_params(profile);
+        group.bench_with_input(BenchmarkId::new("utcq", profile.name), &built, |b, built| {
+            b.iter(|| {
+                utcq_core::compress_dataset(&built.net, black_box(&built.ds), &params).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ted", profile.name), &built, |b, built| {
+            b.iter(|| {
+                utcq_ted::compress_dataset(&built.net, black_box(&built.ds), &tparams).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_selection(c: &mut Criterion) {
+    use utcq_core::reference::assign_roles;
+    use utcq_traj::TedView;
+    let profile = utcq_datagen::profile::hz();
+    let built = datasets::build_n(&profile, 30, 2100);
+    // Pre-extract the biggest trajectory's inputs.
+    let tu = built
+        .ds
+        .trajectories
+        .iter()
+        .max_by_key(|t| t.instance_count())
+        .unwrap();
+    let views: Vec<TedView> = tu
+        .instances
+        .iter()
+        .map(|i| TedView::from_instance(&built.net, i))
+        .collect();
+    let seqs: Vec<Vec<u32>> = views.iter().map(|v| v.entries.clone()).collect();
+    let svs: Vec<_> = views.iter().map(|v| v.sv).collect();
+    let probs: Vec<f64> = views.iter().map(|v| v.prob).collect();
+    c.bench_function(&format!("reference_selection/{}_instances", seqs.len()), |b| {
+        b.iter(|| assign_roles(black_box(&seqs), &svs, &probs, 1))
+    });
+}
+
+fn bench_decompression(c: &mut Criterion) {
+    let profile = utcq_datagen::profile::cd();
+    let built = datasets::build_n(&profile, 40, 2200);
+    let params = datasets::paper_params(&profile);
+    let cds = utcq_core::compress_dataset(&built.net, &built.ds, &params).unwrap();
+    c.bench_function("decompress_dataset_40trajs/cd", |b| {
+        b.iter(|| utcq_core::decompress_dataset(&built.net, black_box(&cds)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compressors,
+    bench_reference_selection,
+    bench_decompression
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Probabilistic map-matching benchmark (the substrate that produces
+//! uncertain trajectories from raw GPS in the end-to-end pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use utcq_datagen::instances::base_positions;
+use utcq_datagen::raw::observe;
+use utcq_datagen::route::random_route;
+use utcq_matcher::{Matcher, MatcherConfig};
+use utcq_network::gen::{grid_city, GridCityConfig};
+use utcq_traj::{Instance, RawTrajectory};
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4000);
+    let net = grid_city(&GridCityConfig::default(), &mut rng);
+    let matcher = Matcher::new(&net, 200.0);
+    // A batch of noisy raw trajectories over ground-truth routes.
+    let mut raws: Vec<RawTrajectory> = Vec::new();
+    for _ in 0..8 {
+        let route = random_route(&net, &mut rng, 12, 30).unwrap();
+        let times: Vec<i64> = (0..15).map(|i| i * 15).collect();
+        let positions = base_positions(&net, &mut rng, &route, &times);
+        let inst = Instance {
+            path: route,
+            positions,
+            prob: 1.0,
+        };
+        raws.push(observe(&net, &inst, &times, 10.0, &mut rng));
+    }
+    let cfg = MatcherConfig::default();
+    c.bench_function("matcher/8_trajectories_15pts", |b| {
+        b.iter(|| {
+            for raw in &raws {
+                black_box(matcher.match_trajectory(raw, &cfg));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 4 + Table 5: dataset statistics of the synthetic stand-ins,
+//! checked against the paper's reported values.
+//!
+//! Run: `cargo run --release -p utcq-bench --bin fig4_stats`
+
+use utcq_bench::report::{f2, f3, Table};
+use utcq_bench::{build, datasets};
+use utcq_traj::stats;
+
+fn main() {
+    let mut t5 = Table::new(
+        "Table 5 — dataset summary (paper: DK 9 inst / 14 edges / 1 s; CD 3 / 11 / 10 s; HZ 13 / 13 / 20 s)",
+        &["dataset", "trajs", "avg instances", "avg edges", "avg samples", "raw size"],
+    );
+    let mut t4a = Table::new(
+        "Fig. 4a — sample-interval deviations (paper within ±1 s: DK 93%, CD 62%, HZ 54%)",
+        &["dataset", "=0", "=1", "(1,50]", "(50,100]", ">100", "within ±1 s"],
+    );
+    let mut t4b = Table::new(
+        "Fig. 4b — edit-distance similarity (paper intra ≤5: 88/94/83%; inter ≥9: 53/77/54%)",
+        &["dataset", "intra [0,2]", "intra [3,5]", "intra ≤5", "inter ≥9"],
+    );
+    for (i, profile) in datasets::paper_profiles().iter().enumerate() {
+        let built = build(profile, 100 + i as u64);
+        let s = stats::summarize(&built.ds);
+        t5.row(vec![
+            profile.name.to_string(),
+            s.trajectories.to_string(),
+            f2(s.avg_instances),
+            f2(s.avg_edges),
+            f2(s.avg_samples),
+            utcq_bench::measure::fmt_bits(s.raw_bytes * 8),
+        ]);
+        let h = stats::interval_deviations(&built.ds);
+        t4a.row(vec![
+            profile.name.to_string(),
+            f3(h.zero),
+            f3(h.one),
+            f3(h.upto50),
+            f3(h.upto100),
+            f3(h.over100),
+            f3(h.within_one()),
+        ]);
+        let intra = stats::intra_trajectory_similarity(&built.net, &built.ds, 20_000);
+        let inter = stats::inter_trajectory_similarity(&built.net, &built.ds, 5_000);
+        t4b.row(vec![
+            profile.name.to_string(),
+            f3(intra.d0_2),
+            f3(intra.d3_5),
+            f3(intra.within_five()),
+            f3(inter.d9_up),
+        ]);
+    }
+    t5.print();
+    t5.save_json("table5_datasets");
+    t4a.print();
+    t4a.save_json("fig4a_deviations");
+    t4b.print();
+    t4b.save_json("fig4b_similarity");
+}

@@ -1,0 +1,53 @@
+//! Figure 6: effect of the number of instances on compression ratio,
+//! time, and peak memory (DK & HZ, trajectories with ≥ 20 instances,
+//! keeping 60–100 % of instances).
+//!
+//! Run: `cargo run --release -p utcq-bench --bin fig6_instances`
+
+use utcq_bench::measure::{fmt_bits, fmt_duration, memory_model};
+use utcq_bench::report::{f2, Table};
+use utcq_bench::{datasets, timed};
+use utcq_datagen::{transform, GenOptions};
+
+fn main() {
+    let mut table = Table::new
+        ("Fig. 6 — vs number of instances (paper: UTCQ ratio grows slightly with instances, TED flat; UTCQ 1–2 orders faster & smaller memory)",
+        &["dataset", "instances %", "UTCQ ratio", "TED ratio", "UTCQ time", "TED time", "UTCQ mem", "TED mem"],
+    );
+    for profile in [utcq_datagen::profile::dk(), utcq_datagen::profile::hz()] {
+        // Generate with a floor of 20 instances (the paper filters to
+        // trajectories with ≥ 20 instances).
+        let built = datasets::build_opts(
+            &profile,
+            GenOptions {
+                n_trajectories: datasets::default_trajs() / 3,
+                seed: 600,
+                min_instances: 20,
+                ..GenOptions::default()
+            },
+        );
+        let base = transform::filter_min_instances(&built.ds, 20);
+        let params = datasets::paper_params(&profile);
+        let tparams = datasets::paper_ted_params(&profile);
+        for pct in [60, 70, 80, 90, 100] {
+            let ds = transform::keep_instance_fraction(&base, pct as f64 / 100.0);
+            let (cds, ut) =
+                timed(|| utcq_core::compress_dataset(&built.net, &ds, &params).unwrap());
+            let (tds, tt) =
+                timed(|| utcq_ted::compress_dataset(&built.net, &ds, &tparams).unwrap());
+            let mem = memory_model(&ds, cds.w_e);
+            table.row(vec![
+                profile.name.into(),
+                pct.to_string(),
+                f2(cds.ratios().total),
+                f2(tds.ratios().total),
+                fmt_duration(ut),
+                fmt_duration(tt),
+                fmt_bits(mem.utcq_bits),
+                fmt_bits(mem.ted_bits),
+            ]);
+        }
+    }
+    table.print();
+    table.save_json("fig6_instances");
+}

@@ -1,0 +1,51 @@
+//! Figure 7: effect of trajectory length (CD & HZ, trajectories with
+//! ≥ 20 edges, keeping 20–100 % of each trajectory's samples).
+//!
+//! Run: `cargo run --release -p utcq-bench --bin fig7_length`
+
+use utcq_bench::measure::{fmt_bits, fmt_duration, memory_model};
+use utcq_bench::report::{f2, Table};
+use utcq_bench::{datasets, timed};
+use utcq_datagen::{transform, GenOptions};
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 7 — vs trajectory length (paper: UTCQ ratio rises then drops; TED declines slightly; UTCQ 1–2 orders faster)",
+        &["dataset", "length %", "UTCQ ratio", "TED ratio", "UTCQ time", "TED time", "UTCQ mem", "TED mem"],
+    );
+    for mut profile in [utcq_datagen::profile::cd(), utcq_datagen::profile::hz()] {
+        // Long routes so the 20 % cut still leaves meaningful paths.
+        profile.avg_edges = profile.avg_edges.max(30.0);
+        let built = datasets::build_opts(
+            &profile,
+            GenOptions {
+                n_trajectories: datasets::default_trajs() / 3,
+                seed: 700,
+                ..GenOptions::default()
+            },
+        );
+        let base = transform::filter_min_edges(&built.ds, 20);
+        let params = datasets::paper_params(&profile);
+        let tparams = datasets::paper_ted_params(&profile);
+        for pct in [20, 40, 60, 80, 100] {
+            let ds = transform::keep_length_fraction(&base, pct as f64 / 100.0);
+            let (cds, ut) =
+                timed(|| utcq_core::compress_dataset(&built.net, &ds, &params).unwrap());
+            let (tds, tt) =
+                timed(|| utcq_ted::compress_dataset(&built.net, &ds, &tparams).unwrap());
+            let mem = memory_model(&ds, cds.w_e);
+            table.row(vec![
+                profile.name.into(),
+                pct.to_string(),
+                f2(cds.ratios().total),
+                f2(tds.ratios().total),
+                fmt_duration(ut),
+                fmt_duration(tt),
+                fmt_bits(mem.utcq_bits),
+                fmt_bits(mem.ted_bits),
+            ]);
+        }
+    }
+    table.print();
+    table.save_json("fig7_length");
+}

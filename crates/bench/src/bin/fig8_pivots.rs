@@ -1,0 +1,34 @@
+//! Figure 8: effect of the number of pivots (1–5) on compression ratio
+//! and time, on all three datasets.
+//!
+//! Run: `cargo run --release -p utcq-bench --bin fig8_pivots`
+
+use utcq_bench::measure::fmt_duration;
+use utcq_bench::report::{f2, Table};
+use utcq_bench::{build, datasets, timed};
+
+fn main() {
+    let mut table = Table::new(
+        "Fig. 8 — vs number of pivots (paper: ratio grows with pivots, so does time; defaults 2 on DK, 1 on CD/HZ)",
+        &["dataset", "pivots", "UTCQ ratio", "time"],
+    );
+    for (i, profile) in datasets::paper_profiles().iter().enumerate() {
+        let built = build(profile, 800 + i as u64);
+        for n_pivots in 1..=5usize {
+            let params = utcq_core::CompressParams {
+                n_pivots,
+                ..datasets::paper_params(profile)
+            };
+            let (cds, dt) =
+                timed(|| utcq_core::compress_dataset(&built.net, &built.ds, &params).unwrap());
+            table.row(vec![
+                profile.name.to_string(),
+                n_pivots.to_string(),
+                f2(cds.ratios().total),
+                fmt_duration(dt),
+            ]);
+        }
+    }
+    table.print();
+    table.save_json("fig8_pivots");
+}

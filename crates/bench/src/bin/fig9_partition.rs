@@ -1,0 +1,111 @@
+//! Figure 9: effect of the spatial and temporal partition granularity on
+//! probabilistic range queries — index sizes (UTCQ s-size / t-size, TED)
+//! and query time (DK & HZ).
+//!
+//! Run: `cargo run --release -p utcq-bench --bin fig9_partition`
+
+use std::time::Duration;
+
+use utcq_bench::measure::{fmt_bits, fmt_duration};
+use utcq_bench::report::Table;
+use utcq_bench::{build, datasets, timed, workload};
+use utcq_core::query::CompressedStore;
+use utcq_core::stiu::StiuParams;
+use utcq_ted::{TedStore, TedStoreParams};
+
+fn avg(d: Duration, n: usize) -> Duration {
+    d / n.max(1) as u32
+}
+
+fn main() {
+    let n_queries = 150;
+    let mut grid_table = Table::new(
+        "Fig. 9a/b — vs number of grid cells (paper: UTCQ index smaller than TED; finer grids → faster range queries)",
+        &["dataset", "grid", "UTCQ s-size", "UTCQ t-size", "TED size", "UTCQ query", "TED query"],
+    );
+    let mut time_table = Table::new(
+        "Fig. 9c/d — vs time partition duration (paper: finer partitions → larger t-size, faster queries)",
+        &["dataset", "partition (min)", "UTCQ t-size", "UTCQ query"],
+    );
+    for (i, profile) in [utcq_datagen::profile::dk(), utcq_datagen::profile::hz()]
+        .iter()
+        .enumerate()
+    {
+        let built = build(profile, 900 + i as u64);
+        let params = datasets::paper_params(profile);
+        let tparams = datasets::paper_ted_params(profile);
+        let queries = workload::range_queries(&built.net, &built.ds, n_queries, 91);
+
+        for grid_n in [8u32, 16, 32, 64, 128] {
+            let store = CompressedStore::build(
+                &built.net,
+                &built.ds,
+                params,
+                StiuParams {
+                    partition_s: 1800,
+                    grid_n,
+                },
+            )
+            .unwrap();
+            let (s_bits, t_bits) = store.stiu.size_bits(params.p_codec().width());
+            let (_, udur) = timed(|| {
+                for q in &queries {
+                    let _ = store.range_query(&q.re, q.tq, q.alpha).unwrap();
+                }
+            });
+            let tstore = TedStore::build(
+                &built.net,
+                &built.ds,
+                tparams,
+                TedStoreParams {
+                    partition_s: 1800,
+                    grid_n,
+                },
+            )
+            .unwrap();
+            let (_, tdur) = timed(|| {
+                for q in &queries {
+                    let _ = tstore.range_query(&q.re, q.tq, q.alpha).unwrap();
+                }
+            });
+            grid_table.row(vec![
+                profile.name.to_string(),
+                format!("{grid_n}x{grid_n}"),
+                fmt_bits(s_bits),
+                fmt_bits(t_bits),
+                fmt_bits(tstore.index_size_bits()),
+                fmt_duration(avg(udur, n_queries)),
+                fmt_duration(avg(tdur, n_queries)),
+            ]);
+        }
+
+        for minutes in [10i64, 20, 30, 40, 50, 60] {
+            let store = CompressedStore::build(
+                &built.net,
+                &built.ds,
+                params,
+                StiuParams {
+                    partition_s: minutes * 60,
+                    grid_n: 32,
+                },
+            )
+            .unwrap();
+            let (_, t_bits) = store.stiu.size_bits(params.p_codec().width());
+            let (_, udur) = timed(|| {
+                for q in &queries {
+                    let _ = store.range_query(&q.re, q.tq, q.alpha).unwrap();
+                }
+            });
+            time_table.row(vec![
+                profile.name.to_string(),
+                minutes.to_string(),
+                fmt_bits(t_bits),
+                fmt_duration(avg(udur, n_queries)),
+            ]);
+        }
+    }
+    grid_table.print();
+    grid_table.save_json("fig9ab_grid");
+    time_table.print();
+    time_table.save_json("fig9cd_partition");
+}

@@ -1,0 +1,44 @@
+//! Runs every experiment binary in sequence (the full paper
+//! reproduction).
+//!
+//! Run: `cargo run --release -p utcq-bench --bin run_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig4_stats",
+    "table8_compression",
+    "fig6_instances",
+    "fig7_length",
+    "fig8_pivots",
+    "fig9_partition",
+    "fig10_where_when",
+    "fig11_error_bound",
+    "fig12_scalability",
+    "ablation",
+    "multiorder",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n########## {name} ##########");
+        let path = dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {name} failed: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed. JSON results in target/experiments/.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 8: compression ratio breakdown and compression time, UTCQ vs
+//! TED, on the three datasets.
+//!
+//! Run: `cargo run --release -p utcq-bench --bin table8_compression`
+
+use utcq_bench::measure::fmt_duration;
+use utcq_bench::report::{f2, Table};
+use utcq_bench::{build, datasets, timed};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 8 — compression ratios & time (paper: UTCQ total 14.3/11.9/13.8, TED 4.4/4.3/4.0; UTCQ 1–2 orders faster)",
+        &[
+            "dataset", "method", "Total", "T", "E", "D", "T'", "p", "time",
+        ],
+    );
+    for (i, profile) in datasets::paper_profiles().iter().enumerate() {
+        let built = build(profile, 200 + i as u64);
+        let params = datasets::paper_params(profile);
+        let (cds, utcq_time) = timed(|| {
+            utcq_core::compress_dataset(&built.net, &built.ds, &params).unwrap()
+        });
+        let r = cds.ratios();
+        table.row(vec![
+            profile.name.into(),
+            "UTCQ".into(),
+            f2(r.total),
+            f2(r.t),
+            f2(r.e),
+            f2(r.d),
+            f2(r.tflag),
+            f2(r.p),
+            fmt_duration(utcq_time),
+        ]);
+        let tparams = datasets::paper_ted_params(profile);
+        let (tds, ted_time) = timed(|| {
+            utcq_ted::compress_dataset(&built.net, &built.ds, &tparams).unwrap()
+        });
+        let r = tds.ratios();
+        table.row(vec![
+            profile.name.into(),
+            "TED".into(),
+            f2(r.total),
+            f2(r.t),
+            f2(r.e),
+            f2(r.d),
+            f2(r.tflag),
+            f2(r.p),
+            fmt_duration(ted_time),
+        ]);
+        let speedup = ted_time.as_secs_f64() / utcq_time.as_secs_f64().max(1e-9);
+        println!(
+            "  {}: UTCQ/TED total ratio {:.2}x, compression speedup {:.1}x",
+            profile.name,
+            cds.ratios().total / tds.ratios().total,
+            speedup
+        );
+    }
+    table.print();
+    table.save_json("table8_compression");
+}

@@ -1,0 +1,85 @@
+//! Calibrated dataset construction for the experiments.
+
+use utcq_datagen::{generate_network, generate_on_network, DatasetProfile, GenOptions};
+use utcq_network::RoadNetwork;
+use utcq_traj::Dataset;
+
+/// A generated network + dataset pair.
+pub struct BuiltDataset {
+    /// The road network.
+    pub net: RoadNetwork,
+    /// The dataset.
+    pub ds: Dataset,
+    /// The profile it was generated from.
+    pub profile: DatasetProfile,
+}
+
+/// Number of trajectories per dataset (override with `UTCQ_TRAJS`).
+pub fn default_trajs() -> usize {
+    std::env::var("UTCQ_TRAJS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// Builds a dataset for a profile at the default scale.
+pub fn build(profile: &DatasetProfile, seed: u64) -> BuiltDataset {
+    build_n(profile, default_trajs(), seed)
+}
+
+/// Builds a dataset with an explicit trajectory count.
+pub fn build_n(profile: &DatasetProfile, n: usize, seed: u64) -> BuiltDataset {
+    build_opts(
+        profile,
+        GenOptions {
+            n_trajectories: n,
+            seed,
+            ..GenOptions::default()
+        },
+    )
+}
+
+/// Builds a dataset with full generator options.
+pub fn build_opts(profile: &DatasetProfile, opts: GenOptions) -> BuiltDataset {
+    let net = generate_network(profile, opts.seed);
+    let ds = generate_on_network(&net, profile, &opts);
+    BuiltDataset {
+        net,
+        ds,
+        profile: profile.clone(),
+    }
+}
+
+/// The three paper profiles, in Table 5 order.
+pub fn paper_profiles() -> Vec<DatasetProfile> {
+    utcq_datagen::profile::all()
+}
+
+/// The UTCQ parameter set the paper uses for a profile (Table 7 defaults:
+/// `ηD = 1/128`; `ηp = 1/512` for DK/CD, `1/2048` for HZ; 2 pivots on DK,
+/// 1 elsewhere).
+pub fn paper_params(profile: &DatasetProfile) -> utcq_core::CompressParams {
+    utcq_core::CompressParams {
+        eta_d: 1.0 / 128.0,
+        eta_p: if profile.name == "HZ" {
+            1.0 / 2048.0
+        } else {
+            1.0 / 512.0
+        },
+        n_pivots: if profile.name == "DK" { 2 } else { 1 },
+        default_interval: profile.default_interval,
+    }
+}
+
+/// The matching TED parameter set.
+pub fn paper_ted_params(profile: &DatasetProfile) -> utcq_ted::TedParams {
+    utcq_ted::TedParams {
+        eta_d: 1.0 / 128.0,
+        eta_p: if profile.name == "HZ" {
+            1.0 / 2048.0
+        } else {
+            1.0 / 512.0
+        },
+        wah_tflag: false,
+    }
+}

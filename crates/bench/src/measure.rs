@@ -1,0 +1,64 @@
+//! Measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and the wall-clock duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Modeled peak working-set, in bits, of the two compressors. The paper
+/// reports resident memory; we report the dominant *algorithmic* term,
+/// which is deterministic and captures the 1–2 order gap: UTCQ streams
+/// one trajectory at a time (peak = the largest per-trajectory input),
+/// while TED's matrix pass buffers every edge sequence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemoryModel {
+    /// UTCQ peak: largest single-trajectory raw footprint.
+    pub utcq_bits: u64,
+    /// TED peak: total buffered edge-sequence bits.
+    pub ted_bits: u64,
+}
+
+/// Computes the memory model for a dataset.
+pub fn memory_model(ds: &utcq_traj::Dataset, w_e: u32) -> MemoryModel {
+    let mut utcq_peak = 0u64;
+    let mut ted_total = 0u64;
+    for tu in &ds.trajectories {
+        let raw = utcq_traj::size::uncompressed_bits(tu);
+        utcq_peak = utcq_peak.max(raw.total());
+        for inst in &tu.instances {
+            ted_total += utcq_traj::size::entry_count(inst) as u64 * u64::from(w_e);
+        }
+    }
+    MemoryModel {
+        utcq_bits: utcq_peak,
+        ted_bits: ted_total,
+    }
+}
+
+/// Pretty-prints a duration in the unit the paper's plots use.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Pretty-prints a bit count.
+pub fn fmt_bits(bits: u64) -> String {
+    let bytes = bits as f64 / 8.0;
+    if bytes >= 1024.0 * 1024.0 {
+        format!("{:.2} MiB", bytes / (1024.0 * 1024.0))
+    } else if bytes >= 1024.0 {
+        format!("{:.2} KiB", bytes / 1024.0)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}

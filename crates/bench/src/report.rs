@@ -1,0 +1,99 @@
+//! Table printing and JSON persistence for experiment results.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple aligned text table that doubles as a JSON record list.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the aligned table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        println!("\n== {} ==", self.title);
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        println!(
+            "  {}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+
+    /// Persists the table as JSON under `target/experiments/<name>.json`.
+    pub fn save_json(&self, name: &str) {
+        let mut records = Vec::new();
+        for row in &self.rows {
+            let mut obj = serde_json::Map::new();
+            for (h, c) in self.headers.iter().zip(row) {
+                obj.insert(h.clone(), serde_json::Value::String(c.clone()));
+            }
+            records.push(serde_json::Value::Object(obj));
+        }
+        let doc = serde_json::json!({
+            "title": self.title,
+            "rows": records,
+        });
+        let dir = out_dir();
+        if std::fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{name}.json"));
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap());
+                println!("  [saved {}]", path.display());
+            }
+        }
+    }
+}
+
+/// Output directory for experiment artifacts.
+pub fn out_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}

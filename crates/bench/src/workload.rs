@@ -1,0 +1,100 @@
+//! Query workload generation for the query-performance experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use utcq_network::{EdgeId, Rect, RoadNetwork};
+use utcq_traj::Dataset;
+
+/// A probabilistic *where* query instance.
+#[derive(Debug, Clone, Copy)]
+pub struct WhereQ {
+    /// Target trajectory.
+    pub traj_id: u64,
+    /// Query time.
+    pub t: i64,
+    /// Probability threshold α.
+    pub alpha: f64,
+}
+
+/// A probabilistic *when* query instance.
+#[derive(Debug, Clone, Copy)]
+pub struct WhenQ {
+    /// Target trajectory.
+    pub traj_id: u64,
+    /// Query edge.
+    pub edge: EdgeId,
+    /// Relative distance on the edge.
+    pub rd: f64,
+    /// Probability threshold α.
+    pub alpha: f64,
+}
+
+/// A probabilistic *range* query instance.
+#[derive(Debug, Clone)]
+pub struct RangeQ {
+    /// Query region.
+    pub re: Rect,
+    /// Query time.
+    pub tq: i64,
+    /// Probability threshold α.
+    pub alpha: f64,
+}
+
+/// Generates `n` where-queries over random trajectories and in-span
+/// times.
+pub fn where_queries(ds: &Dataset, n: usize, seed: u64) -> Vec<WhereQ> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let tu = &ds.trajectories[rng.gen_range(0..ds.trajectories.len())];
+            let span = tu.times[tu.times.len() - 1] - tu.times[0];
+            WhereQ {
+                traj_id: tu.id,
+                t: tu.times[0] + rng.gen_range(0..=span.max(1)),
+                alpha: *[0.1, 0.25, 0.5].get(rng.gen_range(0..3)).unwrap(),
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` when-queries over edges the target trajectory actually
+/// traverses (so answers are non-trivial).
+pub fn when_queries(ds: &Dataset, n: usize, seed: u64) -> Vec<WhenQ> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let tu = &ds.trajectories[rng.gen_range(0..ds.trajectories.len())];
+            let inst = tu.top_instance();
+            let edge = inst.path[rng.gen_range(0..inst.path.len())];
+            WhenQ {
+                traj_id: tu.id,
+                edge,
+                rd: rng.gen_range(0.1..0.9),
+                alpha: *[0.1, 0.25, 0.5].get(rng.gen_range(0..3)).unwrap(),
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` range-queries: rectangles sized a fraction of the
+/// network extent, at times when some trajectory is active.
+pub fn range_queries(net: &RoadNetwork, ds: &Dataset, n: usize, seed: u64) -> Vec<RangeQ> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bounds = net.bounding_rect();
+    (0..n)
+        .map(|_| {
+            let frac = rng.gen_range(0.05..0.2);
+            let w = bounds.width() * frac;
+            let h = bounds.height() * frac;
+            let x = rng.gen_range(bounds.min_x..(bounds.max_x - w));
+            let y = rng.gen_range(bounds.min_y..(bounds.max_y - h));
+            let tu = &ds.trajectories[rng.gen_range(0..ds.trajectories.len())];
+            let span = tu.times[tu.times.len() - 1] - tu.times[0];
+            RangeQ {
+                re: Rect::new(x, y, x + w, y + h),
+                tq: tu.times[0] + rng.gen_range(0..=span.max(1)),
+                alpha: *[0.1, 0.3, 0.6].get(rng.gen_range(0..3)).unwrap(),
+            }
+        })
+        .collect()
+}

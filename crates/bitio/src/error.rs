@@ -1,0 +1,42 @@
+use std::fmt;
+
+/// Errors produced by the codecs in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// A read ran past the end of the bit stream.
+    UnexpectedEnd {
+        /// Bit position at which the read was attempted.
+        pos: usize,
+        /// Total length of the stream in bits.
+        len: usize,
+    },
+    /// A width argument exceeded the supported 64 bits.
+    WidthTooLarge(u32),
+    /// A variable-length code was malformed (e.g. an Exp-Golomb prefix
+    /// longer than any encodable value).
+    Malformed(&'static str),
+    /// A value does not fit the declared width.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u64,
+        /// The width it was supposed to fit in.
+        width: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { pos, len } => {
+                write!(f, "bit stream ended: read at bit {pos} of {len}")
+            }
+            CodecError::WidthTooLarge(w) => write!(f, "bit width {w} exceeds 64"),
+            CodecError::Malformed(what) => write!(f, "malformed code: {what}"),
+            CodecError::ValueOutOfRange { value, width } => {
+                write!(f, "value {value} does not fit in {width} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

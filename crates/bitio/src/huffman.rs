@@ -1,0 +1,217 @@
+//! Canonical Huffman coding over small symbol alphabets.
+//!
+//! TED's PDDP-*tree* augments the fixed-error distance code with a
+//! dictionary tree so frequent relative distances get shorter codes; its
+//! exact construction is not public. This module provides the standard
+//! equivalent — a canonical Huffman code over the quantized values — used
+//! by the `ablation` harness to quantify what a frequency-adaptive
+//! distance code would add on top of the fixed-width PDDP quantizer.
+
+use std::collections::HashMap;
+
+use crate::{BitReader, BitWriter, CodecError};
+
+/// A canonical Huffman codebook over `u64` symbols.
+#[derive(Debug, Clone)]
+pub struct Huffman {
+    /// Symbol → (code bits, length).
+    encode: HashMap<u64, (u64, u32)>,
+    /// Sorted (code, length, symbol) for decoding.
+    decode: Vec<(u64, u32, u64)>,
+    max_len: u32,
+}
+
+impl Huffman {
+    /// Builds a codebook from symbol frequencies. Returns `None` for an
+    /// empty input.
+    pub fn build(freqs: &HashMap<u64, u64>) -> Option<Self> {
+        if freqs.is_empty() {
+            return None;
+        }
+        // Standard two-queue Huffman over (weight, node).
+        #[derive(Debug)]
+        enum Node {
+            Leaf(u64),
+            Internal(Box<Node>, Box<Node>),
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>> =
+            std::collections::BinaryHeap::new();
+        let mut pool: Vec<Node> = Vec::new();
+        // Deterministic tie-breaking: sort symbols first.
+        let mut items: Vec<(&u64, &u64)> = freqs.iter().collect();
+        items.sort();
+        for (sym, w) in items {
+            pool.push(Node::Leaf(*sym));
+            heap.push(std::cmp::Reverse((*w, *sym, pool.len() - 1)));
+        }
+        while heap.len() > 1 {
+            let std::cmp::Reverse((w1, _, i1)) = heap.pop().unwrap();
+            let std::cmp::Reverse((w2, s2, i2)) = heap.pop().unwrap();
+            let left = std::mem::replace(&mut pool[i1], Node::Leaf(0));
+            let right = std::mem::replace(&mut pool[i2], Node::Leaf(0));
+            pool.push(Node::Internal(Box::new(left), Box::new(right)));
+            heap.push(std::cmp::Reverse((w1 + w2, s2, pool.len() - 1)));
+        }
+        let std::cmp::Reverse((_, _, root)) = heap.pop().unwrap();
+
+        // Collect code lengths.
+        let mut lengths: Vec<(u64, u32)> = Vec::new();
+        fn walk(node: &Node, depth: u32, out: &mut Vec<(u64, u32)>) {
+            match node {
+                Node::Leaf(sym) => out.push((*sym, depth.max(1))),
+                Node::Internal(l, r) => {
+                    walk(l, depth + 1, out);
+                    walk(r, depth + 1, out);
+                }
+            }
+        }
+        walk(&pool[root], 0, &mut lengths);
+
+        // Canonicalize: sort by (length, symbol), assign increasing codes.
+        lengths.sort_by_key(|&(sym, len)| (len, sym));
+        let mut encode = HashMap::with_capacity(lengths.len());
+        let mut decode = Vec::with_capacity(lengths.len());
+        let mut code = 0u64;
+        let mut prev_len = lengths[0].1;
+        let mut max_len = 0;
+        for &(sym, len) in &lengths {
+            code <<= len - prev_len;
+            prev_len = len;
+            encode.insert(sym, (code, len));
+            decode.push((code, len, sym));
+            max_len = max_len.max(len);
+            code += 1;
+        }
+        Some(Self {
+            encode,
+            decode,
+            max_len,
+        })
+    }
+
+    /// Encodes one symbol. Errors if the symbol was not in the codebook.
+    pub fn encode(&self, w: &mut BitWriter, sym: u64) -> Result<(), CodecError> {
+        let &(code, len) = self
+            .encode
+            .get(&sym)
+            .ok_or(CodecError::Malformed("symbol not in Huffman codebook"))?;
+        w.write_bits(code, len)
+    }
+
+    /// Decodes one symbol.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u64, CodecError> {
+        let mut code = 0u64;
+        let mut len = 0u32;
+        while len < self.max_len {
+            code = (code << 1) | u64::from(r.read_bit()?);
+            len += 1;
+            // Canonical codes are prefix-free: binary search by (code, len).
+            if let Ok(i) = self
+                .decode
+                .binary_search_by(|&(c, l, _)| (l, c).cmp(&(len, code)))
+            {
+                return Ok(self.decode[i].2);
+            }
+        }
+        Err(CodecError::Malformed("no Huffman code matched"))
+    }
+
+    /// Code length in bits for a symbol, if present.
+    pub fn code_len(&self, sym: u64) -> Option<u32> {
+        self.encode.get(&sym).map(|&(_, len)| len)
+    }
+
+    /// Codebook side-information size in bits (symbol + length per entry,
+    /// as a canonical table).
+    pub fn table_bits(&self, symbol_width: u32) -> u64 {
+        self.decode.len() as u64 * (u64::from(symbol_width) + 6)
+    }
+
+    /// Number of distinct symbols.
+    pub fn len(&self) -> usize {
+        self.decode.len()
+    }
+
+    /// True if the codebook is empty (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.decode.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freqs_of(data: &[u64]) -> HashMap<u64, u64> {
+        let mut f = HashMap::new();
+        for &d in data {
+            *f.entry(d).or_insert(0) += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn roundtrip_skewed() {
+        let data: Vec<u64> = (0..500).map(|i| match i % 10 {
+            0..=6 => 7,
+            7 | 8 => 42,
+            _ => (i % 90) as u64,
+        }).collect();
+        let h = Huffman::build(&freqs_of(&data)).unwrap();
+        let mut w = BitWriter::new();
+        for &d in &data {
+            h.encode(&mut w, d).unwrap();
+        }
+        let buf = w.finish();
+        let mut r = buf.reader();
+        for &d in &data {
+            assert_eq!(h.decode(&mut r).unwrap(), d);
+        }
+        assert_eq!(r.remaining(), 0);
+        // Frequent symbols get short codes.
+        assert!(h.code_len(7).unwrap() <= h.code_len(42).unwrap());
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let h = Huffman::build(&freqs_of(&[5, 5, 5])).unwrap();
+        let mut w = BitWriter::new();
+        h.encode(&mut w, 5).unwrap();
+        h.encode(&mut w, 5).unwrap();
+        let buf = w.finish();
+        let mut r = buf.reader();
+        assert_eq!(h.decode(&mut r).unwrap(), 5);
+        assert_eq!(h.decode(&mut r).unwrap(), 5);
+    }
+
+    #[test]
+    fn unknown_symbol_rejected() {
+        let h = Huffman::build(&freqs_of(&[1, 2, 3])).unwrap();
+        let mut w = BitWriter::new();
+        assert!(h.encode(&mut w, 99).is_err());
+    }
+
+    #[test]
+    fn empty_freqs() {
+        assert!(Huffman::build(&HashMap::new()).is_none());
+    }
+
+    #[test]
+    fn beats_fixed_width_on_skew() {
+        // 90% of mass on one symbol out of 128.
+        let mut data = vec![64u64; 900];
+        data.extend((0..100).map(|i| i % 128));
+        let h = Huffman::build(&freqs_of(&data)).unwrap();
+        let total: u64 = data.iter().map(|&d| u64::from(h.code_len(d).unwrap())).sum();
+        assert!(total + h.table_bits(7) < data.len() as u64 * 7);
+    }
+
+    #[test]
+    fn uniform_data_costs_about_fixed_width() {
+        let data: Vec<u64> = (0..1024).map(|i| i % 128).collect();
+        let h = Huffman::build(&freqs_of(&data)).unwrap();
+        let total: u64 = data.iter().map(|&d| u64::from(h.code_len(d).unwrap())).sum();
+        // Within one bit/symbol of the entropy bound (7 bits).
+        assert!(total <= data.len() as u64 * 8);
+    }
+}

@@ -1,0 +1,150 @@
+//! PDDP: the distance-preserving fixed-error code for floats in `[0, 1)`.
+//!
+//! The paper (following TED [40]) encodes a relative distance
+//! `rd ∈ [0, 1)` as the shortest binary expansion whose value is within an
+//! error bound `η` of `rd`, i.e. a fixed number of fractional bits
+//! `I = ⌈log2(1/η)⌉`. The same code compresses instance probabilities with
+//! bound `ηp`. This is the *only lossy* component of the whole framework.
+//!
+//! The paper's own arithmetic fixes the per-value cost at exactly `I` bits
+//! (`D` ratio `64/7 = 9.143` at `ηD = 1/128`; `p` ratio `64/9 = 7.111` at
+//! `ηp = 1/512`), which this codec reproduces: values are quantized to
+//! `round(x · 2^I)` and stored in `I` bits. Rounding keeps the error at
+//! `2^{-(I+1)} ≤ η/2`, comfortably inside the bound.
+
+use crate::{BitReader, BitWriter, CodecError};
+
+/// Fixed-width quantizing codec for floats in `[0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PddpCodec {
+    width: u32,
+}
+
+impl PddpCodec {
+    /// Builds a codec from an error bound `η ∈ (0, 1)`.
+    ///
+    /// The width is `⌈log2(1/η)⌉` bits, matching the paper's defaults:
+    /// `η = 1/128 → 7` bits, `η = 1/512 → 9` bits, `η = 1/2048 → 11` bits.
+    pub fn from_error_bound(eta: f64) -> Self {
+        assert!(eta > 0.0 && eta < 1.0, "error bound must be in (0,1)");
+        let width = (1.0 / eta).log2().ceil() as u32;
+        Self {
+            width: width.clamp(1, 52),
+        }
+    }
+
+    /// Builds a codec with an explicit bit width.
+    pub fn with_width(width: u32) -> Self {
+        assert!((1..=52).contains(&width), "width must be in 1..=52");
+        Self { width }
+    }
+
+    /// Bits each encoded value occupies.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Maximum absolute error the codec introduces.
+    pub fn max_error(&self) -> f64 {
+        // Values are rounded to the nearest multiple of 2^-width; the last
+        // representable point is (2^w − 1)/2^w, so values near 1.0 clamp and
+        // may deviate by a full step.
+        1.0 / f64::from(1u32 << self.width.min(31))
+    }
+
+    /// Quantizes `x ∈ [0, 1)` to its code word.
+    #[inline]
+    pub fn quantize(&self, x: f64) -> u64 {
+        debug_assert!((0.0..=1.0).contains(&x), "pddp input {x} outside [0,1]");
+        let scale = (1u64 << self.width) as f64;
+        let q = (x * scale).round() as u64;
+        q.min((1u64 << self.width) - 1)
+    }
+
+    /// Reconstructs the float for a code word.
+    #[inline]
+    pub fn dequantize(&self, q: u64) -> f64 {
+        q as f64 / (1u64 << self.width) as f64
+    }
+
+    /// Encodes one value into a bit stream.
+    pub fn encode(&self, w: &mut BitWriter, x: f64) -> Result<(), CodecError> {
+        w.write_bits(self.quantize(x), self.width)
+    }
+
+    /// Decodes one value from a bit stream.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<f64, CodecError> {
+        Ok(self.dequantize(r.read_bits(self.width)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_widths() {
+        assert_eq!(PddpCodec::from_error_bound(1.0 / 128.0).width(), 7);
+        assert_eq!(PddpCodec::from_error_bound(1.0 / 512.0).width(), 9);
+        assert_eq!(PddpCodec::from_error_bound(1.0 / 2048.0).width(), 11);
+        assert_eq!(PddpCodec::from_error_bound(1.0 / 8.0).width(), 3);
+    }
+
+    #[test]
+    fn error_within_bound() {
+        for &eta in &[1.0 / 8.0, 1.0 / 64.0, 1.0 / 128.0, 1.0 / 2048.0] {
+            let codec = PddpCodec::from_error_bound(eta);
+            for i in 0..1000 {
+                let x = i as f64 / 1000.0;
+                let back = codec.dequantize(codec.quantize(x));
+                assert!(
+                    (back - x).abs() <= eta,
+                    "eta={eta} x={x} back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_stream() {
+        let codec = PddpCodec::from_error_bound(1.0 / 128.0);
+        let values = [0.0, 0.875, 0.25, 0.5, 0.9999, 0.013];
+        let mut w = BitWriter::new();
+        for &v in &values {
+            codec.encode(&mut w, v).unwrap();
+        }
+        let buf = w.finish();
+        assert_eq!(buf.len_bits(), values.len() * 7);
+        let mut r = buf.reader();
+        for &v in &values {
+            let got = codec.decode(&mut r).unwrap();
+            assert!((got - v).abs() <= 1.0 / 128.0, "v={v} got={got}");
+        }
+    }
+
+    #[test]
+    fn quantize_is_stable() {
+        // Re-encoding a decoded value must be a fixed point, so repeated
+        // compress/decompress cycles do not drift.
+        let codec = PddpCodec::from_error_bound(1.0 / 512.0);
+        for i in 0..512 {
+            let x = codec.dequantize(i);
+            assert_eq!(codec.quantize(x), i);
+        }
+    }
+
+    #[test]
+    fn exact_dyadic_values_are_lossless() {
+        let codec = PddpCodec::from_error_bound(1.0 / 128.0);
+        for &x in &[0.0, 0.5, 0.25, 0.875, 0.3828125] {
+            assert_eq!(codec.dequantize(codec.quantize(x)), x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "error bound")]
+    fn rejects_bad_bound() {
+        let _ = PddpCodec::from_error_bound(1.5);
+    }
+}

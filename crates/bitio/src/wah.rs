@@ -1,0 +1,181 @@
+//! Word-Aligned Hybrid (WAH) bitmap compression.
+//!
+//! This is the bitmap codec the TED paper uses for time-flag bit-strings
+//! (reference [33] of the UTCQ paper, via van Schaik & de Moor's memory
+//! efficient reachability structure). The UTCQ paper *omits* bitmap
+//! compression in its comparison because it is slow and orthogonal; we
+//! implement it anyway so the ablation harness can quantify that choice.
+//!
+//! Layout: 32-bit words. A *literal* word has MSB 0 and carries 31 payload
+//! bits. A *fill* word has MSB 1, then one fill-bit, then a 30-bit count of
+//! consecutive 31-bit groups consisting entirely of that fill bit.
+
+use crate::{BitBuf, BitWriter};
+
+const GROUP: usize = 31;
+const FILL_FLAG: u32 = 1 << 31;
+const FILL_BIT: u32 = 1 << 30;
+const MAX_FILL: u32 = (1 << 30) - 1;
+
+/// A WAH-compressed bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WahBitmap {
+    words: Vec<u32>,
+    /// Original length in bits (needed because the last group is padded).
+    len: usize,
+}
+
+impl WahBitmap {
+    /// Compresses a bit string.
+    pub fn compress(bits: &BitBuf) -> Self {
+        let len = bits.len_bits();
+        let mut words = Vec::new();
+        let mut pending_fill: Option<(bool, u32)> = None;
+
+        let flush_fill =
+            |pending: &mut Option<(bool, u32)>, words: &mut Vec<u32>| {
+                if let Some((bit, count)) = pending.take() {
+                    words.push(FILL_FLAG | if bit { FILL_BIT } else { 0 } | count);
+                }
+            };
+
+        let mut i = 0;
+        while i < len {
+            let end = (i + GROUP).min(len);
+            let mut group = 0u32;
+            let mut ones = 0usize;
+            for (k, p) in (i..end).enumerate() {
+                if bits.get(p) {
+                    group |= 1 << (GROUP - 1 - k);
+                    ones += 1;
+                }
+            }
+            let full = end - i == GROUP;
+            let is_zero_fill = full && ones == 0;
+            let is_one_fill = full && ones == GROUP;
+            if is_zero_fill || is_one_fill {
+                let bit = is_one_fill;
+                match &mut pending_fill {
+                    Some((b, count)) if *b == bit && *count < MAX_FILL => *count += 1,
+                    _ => {
+                        flush_fill(&mut pending_fill, &mut words);
+                        pending_fill = Some((bit, 1));
+                    }
+                }
+            } else {
+                flush_fill(&mut pending_fill, &mut words);
+                words.push(group);
+            }
+            i = end;
+        }
+        flush_fill(&mut pending_fill, &mut words);
+        Self { words, len }
+    }
+
+    /// Decompresses back into a bit string.
+    pub fn decompress(&self) -> BitBuf {
+        let mut w = BitWriter::with_capacity(self.len);
+        for &word in &self.words {
+            if word & FILL_FLAG != 0 {
+                let bit = word & FILL_BIT != 0;
+                let count = (word & MAX_FILL) as usize;
+                let n = (count * GROUP).min(self.len - w.len_bits());
+                w.push_run(bit, n);
+            } else {
+                let remaining = self.len - w.len_bits();
+                for k in 0..GROUP.min(remaining) {
+                    w.push_bit(word & (1 << (GROUP - 1 - k)) != 0);
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Size of the compressed form in bits (32 per word plus the length).
+    pub fn size_bits(&self) -> usize {
+        self.words.len() * 32
+    }
+
+    /// Number of 32-bit words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Original (uncompressed) length in bits.
+    pub fn len_bits(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bits: &[bool]) {
+        let buf = BitBuf::from_bits(bits);
+        let wah = WahBitmap::compress(&buf);
+        assert_eq!(wah.decompress(), buf, "len={}", bits.len());
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn short_bitmaps() {
+        roundtrip(&[true]);
+        roundtrip(&[false, true, true]);
+        roundtrip(&[true; 30]);
+        roundtrip(&[true; 31]);
+        roundtrip(&[false; 32]);
+    }
+
+    #[test]
+    fn long_uniform_runs_compress_well() {
+        let bits = vec![false; 31 * 1000];
+        let buf = BitBuf::from_bits(&bits);
+        let wah = WahBitmap::compress(&buf);
+        assert_eq!(wah.word_count(), 1);
+        assert_eq!(wah.decompress(), buf);
+    }
+
+    #[test]
+    fn alternating_runs() {
+        let mut bits = Vec::new();
+        for block in 0..10 {
+            bits.extend(std::iter::repeat_n(block % 2 == 0, 31 * (block + 1)));
+        }
+        roundtrip(&bits);
+    }
+
+    #[test]
+    fn mixed_content() {
+        let mut bits = Vec::new();
+        for i in 0..500usize {
+            bits.push(i % 7 == 0 || i % 11 == 3);
+        }
+        roundtrip(&bits);
+        // Mostly-ones bitmap typical of time flags.
+        let mut flags = vec![true; 400];
+        for i in (0..400).step_by(37) {
+            flags[i] = false;
+        }
+        roundtrip(&flags);
+    }
+
+    #[test]
+    fn tail_group_shorter_than_31() {
+        let mut bits = vec![true; 31 * 3];
+        bits.extend([false, true, false]);
+        roundtrip(&bits);
+    }
+
+    #[test]
+    fn fill_runs_merge() {
+        // Two adjacent zero-fill groups must merge into one fill word.
+        let bits = vec![false; 62];
+        let wah = WahBitmap::compress(&BitBuf::from_bits(&bits));
+        assert_eq!(wah.word_count(), 1);
+    }
+}

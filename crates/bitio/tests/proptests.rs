@@ -1,0 +1,115 @@
+//! Property-based tests for every codec in `utcq-bitio`.
+
+use proptest::prelude::*;
+use utcq_bitio::golomb;
+use utcq_bitio::pddp::PddpCodec;
+use utcq_bitio::wah::WahBitmap;
+use utcq_bitio::{width_for_max, BitBuf, BitWriter};
+
+proptest! {
+    #[test]
+    fn bitbuf_roundtrips_arbitrary_bits(bits in proptest::collection::vec(any::<bool>(), 0..2048)) {
+        let buf = BitBuf::from_bits(&bits);
+        prop_assert_eq!(buf.len_bits(), bits.len());
+        prop_assert_eq!(buf.to_bits(), bits);
+    }
+
+    #[test]
+    fn write_read_bits_roundtrip(values in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..200)) {
+        let mut w = BitWriter::new();
+        let mut expected = Vec::with_capacity(values.len());
+        for &(v, width) in &values {
+            let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+            w.write_bits(v, width).unwrap();
+            expected.push((v, width));
+        }
+        let buf = w.finish();
+        let mut r = buf.reader();
+        for (v, width) in expected {
+            prop_assert_eq!(r.read_bits(width).unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn exp_golomb_unsigned_roundtrip(values in proptest::collection::vec(0u64..=(1 << 62), 0..300)) {
+        let mut w = BitWriter::new();
+        for &u in &values {
+            golomb::encode_unsigned(&mut w, u).unwrap();
+        }
+        let buf = w.finish();
+        let mut r = buf.reader();
+        for &u in &values {
+            prop_assert_eq!(golomb::decode_unsigned(&mut r).unwrap(), u);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn exp_golomb_deviation_roundtrip(values in proptest::collection::vec(-(1i64 << 40)..(1i64 << 40), 0..300)) {
+        let mut w = BitWriter::new();
+        let mut total = 0usize;
+        for &d in &values {
+            golomb::encode_deviation(&mut w, d).unwrap();
+            total += golomb::deviation_len(d);
+        }
+        let buf = w.finish();
+        prop_assert_eq!(buf.len_bits(), total);
+        let mut r = buf.reader();
+        for &d in &values {
+            prop_assert_eq!(golomb::decode_deviation(&mut r).unwrap(), d);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn pddp_error_bounded(width in 1u32..=20, xs in proptest::collection::vec(0.0f64..1.0, 0..200)) {
+        let codec = PddpCodec::with_width(width);
+        let eta = 1.0 / f64::from(1u32 << width.min(31));
+        for &x in &xs {
+            let back = codec.dequantize(codec.quantize(x));
+            prop_assert!((back - x).abs() <= eta, "x={} back={} eta={}", x, back, eta);
+        }
+    }
+
+    #[test]
+    fn wah_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..4096)) {
+        let buf = BitBuf::from_bits(&bits);
+        let wah = WahBitmap::compress(&buf);
+        prop_assert_eq!(wah.decompress(), buf);
+    }
+
+    #[test]
+    fn wah_roundtrip_runs(runs in proptest::collection::vec((any::<bool>(), 1usize..200), 0..40)) {
+        let mut bits = Vec::new();
+        for (bit, n) in runs {
+            bits.extend(std::iter::repeat_n(bit, n));
+        }
+        let buf = BitBuf::from_bits(&bits);
+        let wah = WahBitmap::compress(&buf);
+        prop_assert_eq!(wah.decompress(), buf);
+    }
+
+    #[test]
+    fn width_for_max_is_sufficient_and_minimal(max in 0u64..u64::MAX) {
+        let w = width_for_max(max);
+        prop_assert!(u128::from(max) < (1u128 << w));
+        if w > 1 {
+            prop_assert!(u128::from(max) >= (1u128 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn reader_at_recovers_suffix(prefix in proptest::collection::vec(any::<bool>(), 0..256),
+                                 suffix in proptest::collection::vec(any::<bool>(), 0..256)) {
+        let mut w = BitWriter::new();
+        for &b in &prefix { w.push_bit(b); }
+        let marker = w.len_bits();
+        for &b in &suffix { w.push_bit(b); }
+        let buf = w.finish();
+        let mut r = buf.reader_at(marker);
+        for &b in &suffix {
+            prop_assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Flag arrays and original arrays (§5.1).
+//!
+//! Queries constantly need "how many mapped locations precede entry `g`"
+//! — that count indexes the `D` stream and the time sequence. For a
+//! reference this is a prefix-sum over its trimmed flag bits (the *flag
+//! array* `ω`). For a non-reference the paper's *original array* `γ` is
+//! computed by **partial decompression**: walking the `Com_T'` factor
+//! list and reusing `ω` of the reference (Formulas 4–6), never
+//! materializing the non-reference's bit-string.
+
+use crate::factor::TCom;
+
+/// Prefix-sum of ones over a reference's *trimmed* flags:
+/// `ones_before(g)` = number of set bits among `trimmed[0..g]`.
+#[derive(Debug, Clone)]
+pub struct FlagArray {
+    prefix: Vec<u32>,
+}
+
+impl FlagArray {
+    /// Builds the array from trimmed flags.
+    pub fn new(trimmed: &[bool]) -> Self {
+        let mut prefix = Vec::with_capacity(trimmed.len() + 1);
+        prefix.push(0);
+        let mut acc = 0u32;
+        for &b in trimmed {
+            acc += u32::from(b);
+            prefix.push(acc);
+        }
+        Self { prefix }
+    }
+
+    /// Number of set bits among the first `g` trimmed bits.
+    #[inline]
+    pub fn ones_before(&self, g: usize) -> u32 {
+        self.prefix[g]
+    }
+
+    /// Total number of set trimmed bits.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        *self.prefix.last().unwrap()
+    }
+
+    /// Length of the underlying trimmed bit-string.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prefix.len() - 1
+    }
+
+    /// True if the underlying bit-string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Number of ones among the first `g` bits of a reference's *full*
+/// flag string (`full = [1] ++ trimmed ++ [1]`, length `n_entries`).
+pub fn ref_ones_before_full(omega: &FlagArray, n_entries: usize, g: usize) -> u32 {
+    debug_assert!(g <= n_entries);
+    if g == 0 {
+        return 0;
+    }
+    if g == n_entries {
+        return omega.total() + 2;
+    }
+    1 + omega.ones_before(g - 1)
+}
+
+/// Number of ones among the first `g` bits of a *non-reference's* full
+/// flag string, computed from its `Com_T'` against the reference's flag
+/// array — the partial decompression of §5.1.
+///
+/// `nref_entries` is the non-reference's entry count (so its full flag
+/// string has that many bits).
+pub fn nref_ones_before_full(
+    tcom: &TCom,
+    ref_trimmed: &[bool],
+    omega: &FlagArray,
+    nref_entries: usize,
+    g: usize,
+) -> u32 {
+    debug_assert!(g <= nref_entries);
+    if g == 0 {
+        return 0;
+    }
+    let trimmed_len = nref_entries.saturating_sub(2);
+    // Ones among trimmed[0..k] for k = min(g−1, trimmed_len), plus the
+    // leading 1, plus the trailing 1 when g covers it.
+    let k = (g - 1).min(trimmed_len);
+    let trailing = u32::from(g == nref_entries);
+    let ones_trimmed = match tcom {
+        TCom::Identical => omega.ones_before(k),
+        TCom::Raw(bits) => bits[..k].iter().map(|&b| u32::from(b)).sum(),
+        TCom::Factors { factors, last_m } => {
+            let mut acc = 0u32;
+            let mut pos = 0usize;
+            for (h, f) in factors.iter().enumerate() {
+                let (s, l) = (f.s as usize, f.l as usize);
+                let is_last = h == factors.len() - 1;
+                // Bits this factor contributes: the copy plus a mismatch
+                // bit (implicit for non-last factors, explicit for the
+                // last when present).
+                let m_bit: Option<bool> = if is_last {
+                    *last_m
+                } else {
+                    Some(!ref_trimmed[s + l])
+                };
+                let cover = l + usize::from(m_bit.is_some());
+                if pos + cover <= k {
+                    acc += omega.ones_before(s + l) - omega.ones_before(s);
+                    acc += u32::from(m_bit == Some(true));
+                    pos += cover;
+                    if pos == k {
+                        break;
+                    }
+                } else {
+                    // k falls inside this factor.
+                    let x = k - pos;
+                    if x <= l {
+                        acc += omega.ones_before(s + x) - omega.ones_before(s);
+                    } else {
+                        acc += omega.ones_before(s + l) - omega.ones_before(s);
+                        acc += u32::from(m_bit == Some(true));
+                    }
+                    pos = k;
+                    break;
+                }
+            }
+            debug_assert_eq!(pos, k, "factors cover fewer bits than requested");
+            acc
+        }
+    };
+    1 + ones_trimmed + trailing
+}
+
+/// Index of the `(i+1)`-th set bit in a full flag string described by a
+/// monotone `ones_before` oracle (binary search) — the entry index of
+/// sample `i`.
+pub fn select_one(mut ones_before: impl FnMut(usize) -> u32, n_entries: usize, i: u32) -> usize {
+    // Smallest g with ones_before(g + 1) >= i + 1.
+    let (mut lo, mut hi) = (0usize, n_entries - 1);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if ones_before(mid + 1) > i {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::factorize_t;
+
+    fn bits(v: &[u8]) -> Vec<bool> {
+        v.iter().map(|&b| b == 1).collect()
+    }
+
+    fn naive_ones_before(full: &[bool], g: usize) -> u32 {
+        full[..g].iter().map(|&b| u32::from(b)).sum()
+    }
+
+    fn full_of(trimmed: &[bool]) -> Vec<bool> {
+        let mut f = vec![true];
+        f.extend_from_slice(trimmed);
+        f.push(true);
+        f
+    }
+
+    #[test]
+    fn flag_array_prefix_sums() {
+        let trimmed = bits(&[0, 1, 0, 1, 1, 1, 1]);
+        let omega = FlagArray::new(&trimmed);
+        assert_eq!(omega.ones_before(0), 0);
+        assert_eq!(omega.ones_before(2), 1);
+        assert_eq!(omega.ones_before(7), 5);
+        assert_eq!(omega.total(), 5);
+        assert_eq!(omega.len(), 7);
+    }
+
+    #[test]
+    fn ref_full_counts_match_naive() {
+        let trimmed = bits(&[0, 1, 0, 1, 1, 1, 1]);
+        let omega = FlagArray::new(&trimmed);
+        let full = full_of(&trimmed);
+        for g in 0..=full.len() {
+            assert_eq!(
+                ref_ones_before_full(&omega, full.len(), g),
+                naive_ones_before(&full, g),
+                "g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn nref_partial_counts_match_naive() {
+        // All pairings of the paper's flag strings plus tricky shapes.
+        let refs = [
+            bits(&[0, 1, 0, 1, 1, 1, 1]),
+            bits(&[1, 1, 1, 1]),
+            bits(&[0, 0]),
+            vec![],
+        ];
+        let nrefs = [
+            bits(&[1, 0, 0, 1, 1, 1, 1]),
+            bits(&[0, 1, 0, 1, 1, 1, 1]),
+            bits(&[1, 0, 1, 0, 1]),
+            bits(&[0]),
+            vec![],
+            bits(&[1, 1, 0, 0, 0, 0, 1, 1]),
+        ];
+        for r in &refs {
+            let omega = FlagArray::new(r);
+            for n in &nrefs {
+                let tcom = factorize_t(n, r);
+                let full = full_of(n);
+                for g in 0..=full.len() {
+                    assert_eq!(
+                        nref_ones_before_full(&tcom, r, &omega, full.len(), g),
+                        naive_ones_before(&full, g),
+                        "ref={r:?} nref={n:?} g={g}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_one_finds_sample_entries() {
+        // Full flags of the running example: 1,0,1,0,1,1,1,1,1 — samples
+        // at entries 0, 2, 4, 5, 6, 7, 8.
+        let trimmed = bits(&[0, 1, 0, 1, 1, 1, 1]);
+        let omega = FlagArray::new(&trimmed);
+        let n = 9;
+        let expect = [0usize, 2, 4, 5, 6, 7, 8];
+        for (i, &g) in expect.iter().enumerate() {
+            let got = select_one(|x| ref_ones_before_full(&omega, n, x), n, i as u32);
+            assert_eq!(got, g, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn select_one_on_nref_via_partial_gamma() {
+        let r = bits(&[0, 1, 0, 1, 1, 1, 1]);
+        let n = bits(&[1, 0, 0, 1, 1, 1, 1]); // Tu¹₂ trimmed
+        let omega = FlagArray::new(&r);
+        let tcom = factorize_t(&n, &r);
+        let full = full_of(&n);
+        let n_entries = full.len();
+        let mut want = Vec::new();
+        for (g, &b) in full.iter().enumerate() {
+            if b {
+                want.push(g);
+            }
+        }
+        for (i, &g) in want.iter().enumerate() {
+            let got = select_one(
+                |x| nref_ones_before_full(&tcom, &r, &omega, n_entries, x),
+                n_entries,
+                i as u32,
+            );
+            assert_eq!(got, g, "sample {i}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! UTCQ: Uncertain Trajectory Compression and Querying.
+//!
+//! The primary contribution of *"Compression of Uncertain Trajectories in
+//! Road Networks"* (Li, Huang, Chen, Jensen, Pedersen — PVLDB 13(7),
+//! 2020), reimplemented in full:
+//!
+//! * [`siar`] — Sample-Interval Adaptive Representation of time
+//!   sequences with the improved (signed) Exp-Golomb code (§4.1, §4.4);
+//! * [`factor`] — the referential representation of edge sequences
+//!   (`(S,L,M)` factors), time-flag bit-strings (`(S,L)` with inferred
+//!   mismatches) and relative distances (`(pos, rd)` patches) (§4.2);
+//! * [`pivot`] / [`reference`] — pivot selection, the Fine-grained
+//!   Jaccard Distance (Eqs. 1–2), the score function (Eq. 3) and the
+//!   greedy reference-selection Algorithm 1 (§4.3);
+//! * [`compressed`] / [`compress`] / [`decompress`] — binary encoding of
+//!   references and non-references with PDDP-coded floats, plus the exact
+//!   (modulo `ηD`/`ηp`) inverse (§4.4);
+//! * [`flagarr`] — flag/original arrays and partial `T'` decompression
+//!   (§5.1, Formulas 4–6);
+//! * [`stiu`] — the Spatio-temporal Information based Uncertain
+//!   Trajectory Index (§5.2);
+//! * [`query`] — probabilistic *where*, *when* and *range* queries with
+//!   the filtering Lemmas 1–4 (§5.3–5.4);
+//! * [`oracle`] — brute-force answers on uncompressed data, used as
+//!   ground truth for accuracy experiments (Fig. 11);
+//! * [`storage`] — a binary container format for persisting compressed
+//!   datasets.
+//!
+//! # Quick start
+//!
+//! ```
+//! use utcq_core::params::CompressParams;
+//! use utcq_core::query::CompressedStore;
+//! use utcq_core::stiu::StiuParams;
+//!
+//! // Generate a small synthetic dataset (stand-in for the paper's taxi
+//! // logs) and compress it.
+//! let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 10, 7);
+//! let store = CompressedStore::build(
+//!     &net,
+//!     &ds,
+//!     CompressParams::with_interval(ds.default_interval),
+//!     StiuParams::default(),
+//! )
+//! .unwrap();
+//! assert!(store.cds.ratios().total > 1.0);
+//!
+//! // Query the compressed form directly.
+//! let tu = &ds.trajectories[0];
+//! let hits = store.where_query(tu.id, tu.times[0], 0.0).unwrap();
+//! assert!(!hits.is_empty());
+//! ```
+
+pub mod compress;
+pub mod compressed;
+pub mod decompress;
+pub mod factor;
+pub mod flagarr;
+pub mod multiorder;
+pub mod oracle;
+pub mod params;
+pub mod pivot;
+pub mod query;
+pub mod reference;
+pub mod siar;
+pub mod stiu;
+pub mod storage;
+
+pub use compress::{compress_dataset, compress_trajectory, CompressedDataset, Ratios};
+pub use decompress::{decompress_dataset, decompress_trajectory};
+pub use params::CompressParams;
+pub use query::CompressedStore;
+pub use stiu::StiuParams;

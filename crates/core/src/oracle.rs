@@ -1,0 +1,140 @@
+//! Brute-force query answers on *uncompressed* data.
+//!
+//! Used as ground truth: the paper's Fig. 11 measures the average
+//! difference and F1 score between query answers on the original and the
+//! compressed datasets; our integration tests do the same.
+
+use utcq_network::{EdgeId, Rect, RoadNetwork};
+use utcq_traj::interp::{location_at, point_at, times_at_location};
+use utcq_traj::{Dataset, MappedLocation, UncertainTrajectory};
+
+/// One oracle *where* answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleWhere {
+    /// Instance index.
+    pub instance: u32,
+    /// Instance probability.
+    pub prob: f64,
+    /// Location at the query time.
+    pub loc: MappedLocation,
+}
+
+/// One oracle *when* answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleWhen {
+    /// Instance index.
+    pub instance: u32,
+    /// Instance probability.
+    pub prob: f64,
+    /// Passing time.
+    pub time: f64,
+}
+
+/// Uncompressed **where** query.
+pub fn where_query(
+    net: &RoadNetwork,
+    tu: &UncertainTrajectory,
+    t: i64,
+    alpha: f64,
+) -> Vec<OracleWhere> {
+    tu.instances
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.prob >= alpha)
+        .filter_map(|(w, inst)| {
+            location_at(net, inst, &tu.times, t).map(|loc| OracleWhere {
+                instance: w as u32,
+                prob: inst.prob,
+                loc,
+            })
+        })
+        .collect()
+}
+
+/// Uncompressed **when** query.
+pub fn when_query(
+    net: &RoadNetwork,
+    tu: &UncertainTrajectory,
+    edge: EdgeId,
+    rd: f64,
+    alpha: f64,
+) -> Vec<OracleWhen> {
+    let mut hits = Vec::new();
+    for (w, inst) in tu.instances.iter().enumerate() {
+        if inst.prob < alpha {
+            continue;
+        }
+        for time in times_at_location(net, inst, &tu.times, edge, rd) {
+            hits.push(OracleWhen {
+                instance: w as u32,
+                prob: inst.prob,
+                time,
+            });
+        }
+    }
+    hits.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.instance.cmp(&b.instance)));
+    hits
+}
+
+/// Uncompressed **range** query: ids of trajectories whose overlap
+/// probability at `tq` reaches `alpha`.
+pub fn range_query(net: &RoadNetwork, ds: &Dataset, re: &Rect, tq: i64, alpha: f64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for tu in &ds.trajectories {
+        let mass: f64 = tu
+            .instances
+            .iter()
+            .filter(|inst| {
+                point_at(net, inst, &tu.times, tq).is_some_and(|p| re.contains(p))
+            })
+            .map(|inst| inst.prob)
+            .sum();
+        if mass >= alpha {
+            out.push(tu.id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcq_traj::paper_fixture;
+
+    #[test]
+    fn oracle_where_matches_example3() {
+        let fx = paper_fixture::build();
+        let hits = where_query(
+            &fx.example.net,
+            &fx.tu,
+            paper_fixture::hms(5, 21, 25),
+            0.25,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
+        assert!((hits[0].loc.ndist - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_when_matches_example3() {
+        let fx = paper_fixture::build();
+        let hits = when_query(&fx.example.net, &fx.tu, fx.example.edge(6, 7), 0.75, 0.25);
+        assert_eq!(hits.len(), 1);
+        assert!((hits[0].time - paper_fixture::hms(5, 21, 25) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oracle_range_on_running_example() {
+        let fx = paper_fixture::build();
+        let ds = utcq_traj::Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        let t = paper_fixture::hms(5, 5, 25);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert_eq!(range_query(&fx.example.net, &ds, &all, t, 0.5), vec![1]);
+        let far = Rect::new(100.0, 100.0, 120.0, 120.0);
+        assert!(range_query(&fx.example.net, &ds, &far, t, 0.5).is_empty());
+    }
+}

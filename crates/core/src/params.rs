@@ -1,0 +1,70 @@
+//! Compression parameters (the paper's Table 7).
+
+use utcq_bitio::pddp::PddpCodec;
+
+/// Tunable parameters of the UTCQ compressor.
+#[derive(Debug, Clone, Copy)]
+pub struct CompressParams {
+    /// Error bound `ηD` for relative distances (default 1/128).
+    pub eta_d: f64,
+    /// Error bound `ηp` for probabilities (default 1/512; the paper uses
+    /// 1/2048 for HZ because of its larger instance counts).
+    pub eta_p: f64,
+    /// Number of pivots `n_p` for reference selection (default 1; the
+    /// paper uses 2 on DK).
+    pub n_pivots: usize,
+    /// Default sample interval `Ts` in seconds for SIAR.
+    pub default_interval: i64,
+}
+
+impl Default for CompressParams {
+    fn default() -> Self {
+        Self {
+            eta_d: 1.0 / 128.0,
+            eta_p: 1.0 / 512.0,
+            n_pivots: 1,
+            default_interval: 10,
+        }
+    }
+}
+
+impl CompressParams {
+    /// Parameters with a given default sample interval.
+    pub fn with_interval(default_interval: i64) -> Self {
+        Self {
+            default_interval,
+            ..Self::default()
+        }
+    }
+
+    /// The PDDP codec for relative distances.
+    pub fn d_codec(&self) -> PddpCodec {
+        PddpCodec::from_error_bound(self.eta_d)
+    }
+
+    /// The PDDP codec for probabilities.
+    pub fn p_codec(&self) -> PddpCodec {
+        PddpCodec::from_error_bound(self.eta_p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_widths_match_paper() {
+        let p = CompressParams::default();
+        assert_eq!(p.d_codec().width(), 7); // ηD = 1/128
+        assert_eq!(p.p_codec().width(), 9); // ηp = 1/512
+    }
+
+    #[test]
+    fn hz_probability_bound() {
+        let p = CompressParams {
+            eta_p: 1.0 / 2048.0,
+            ..CompressParams::default()
+        };
+        assert_eq!(p.p_codec().width(), 11);
+    }
+}

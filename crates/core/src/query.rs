@@ -1,0 +1,625 @@
+//! Probabilistic queries over compressed uncertain trajectories (§5.3–5.4).
+//!
+//! All three query types operate on the compressed form, decompressing
+//! only what the StIU index says is necessary:
+//!
+//! * **where**(Tuʲ, t, α) — the temporal index resumes time decoding
+//!   mid-stream near `t`; only instances with `p ≥ α` are decoded and
+//!   interpolated (Definition 10).
+//! * **when**(Tuʲ, ⟨edge, rd⟩, α) — the spatial index's region tuples
+//!   decide whether the trajectory reaches the query region at all, and
+//!   Lemma 1 (`p_max < α`) skips decompressing a reference's entire
+//!   non-reference set (Definition 11).
+//! * **range**(Tu, RE, tq, α) — the interval map and region tuples
+//!   produce candidates; a Lemma 4 probability bound prunes whole
+//!   trajectories, and Lemma 2/3 subpath tests decide most instances
+//!   without touching their `D` streams (Definition 12).
+
+use std::collections::HashMap;
+
+use utcq_bitio::CodecError;
+use utcq_network::{Point, Rect, RoadNetwork, VertexId};
+use utcq_traj::interp::{path_distance, position_at_distance};
+use utcq_traj::{Dataset, Instance, MappedLocation};
+
+use crate::compress::{compress_dataset, CompressedDataset};
+use crate::compressed::{untrim_flags, CompressedTrajectory, DecodedRef};
+use crate::decompress::DecompressError;
+use crate::params::CompressParams;
+use crate::siar;
+use crate::stiu::{self, Stiu, StiuParams};
+
+/// A compressed dataset plus its StIU index, ready for querying.
+pub struct CompressedStore<'n> {
+    /// The road network.
+    pub net: &'n RoadNetwork,
+    /// The compressed trajectories.
+    pub cds: CompressedDataset,
+    /// The index.
+    pub stiu: Stiu,
+    id_to_idx: HashMap<u64, u32>,
+}
+
+/// One *where* answer: an instance's location at the query time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhereHit {
+    /// Original instance index within the trajectory.
+    pub instance: u32,
+    /// Instance probability (dequantized).
+    pub prob: f64,
+    /// The mapped location at the query time.
+    pub loc: MappedLocation,
+}
+
+/// One *when* answer: a time at which an instance passed the location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WhenHit {
+    /// Original instance index within the trajectory.
+    pub instance: u32,
+    /// Instance probability (dequantized).
+    pub prob: f64,
+    /// Passing time in seconds (interpolated, hence fractional).
+    pub time: f64,
+}
+
+impl<'n> CompressedStore<'n> {
+    /// Compresses a dataset and builds its index.
+    pub fn build(
+        net: &'n RoadNetwork,
+        ds: &Dataset,
+        params: CompressParams,
+        stiu_params: StiuParams,
+    ) -> Result<Self, CodecError> {
+        let cds = compress_dataset(net, ds, &params)?;
+        let stiu = stiu::build(net, ds, &cds, stiu_params);
+        let id_to_idx = cds
+            .trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, ct)| (ct.id, i as u32))
+            .collect();
+        Ok(Self {
+            net,
+            cds,
+            stiu,
+            id_to_idx,
+        })
+    }
+
+    /// Looks up a trajectory's position by id.
+    pub fn traj_index(&self, id: u64) -> Option<u32> {
+        self.id_to_idx.get(&id).copied()
+    }
+
+    /// Decodes the full time sequence of one trajectory.
+    pub fn decode_times(&self, ct: &CompressedTrajectory) -> Result<Vec<i64>, CodecError> {
+        siar::decode(
+            &ct.t_bits,
+            ct.n_times as usize,
+            self.cds.params.default_interval,
+        )
+    }
+
+    /// `(orig_idx, dequantized probability)` of every instance.
+    fn instance_probs(&self, ct: &CompressedTrajectory) -> Vec<(u32, f64)> {
+        let p_codec = self.cds.params.p_codec();
+        let mut out = Vec::with_capacity(ct.instance_count());
+        for r in &ct.refs {
+            out.push((r.orig_idx, p_codec.dequantize(r.p_code)));
+        }
+        for n in &ct.nrefs {
+            out.push((n.orig_idx, p_codec.dequantize(n.p_code)));
+        }
+        out.sort_by_key(|&(i, _)| i);
+        out
+    }
+
+    /// Decodes one instance (by original index) into an [`Instance`],
+    /// reusing previously decoded references via `ref_cache` — one decode
+    /// per reference serves its whole `Rrs`, an advantage of the
+    /// referential grouping.
+    fn decode_instance_cached(
+        &self,
+        ct: &CompressedTrajectory,
+        orig_idx: u32,
+        ref_cache: &mut HashMap<u32, DecodedRef>,
+    ) -> Result<Instance, DecompressError> {
+        let d_codec = self.cds.params.d_codec();
+        let p_codec = self.cds.params.p_codec();
+        let n_locs = ct.n_times as usize;
+        let cached_ref = |ref_idx: u32,
+                              cache: &mut HashMap<u32, DecodedRef>|
+         -> Result<DecodedRef, DecompressError> {
+            if let Some(d) = cache.get(&ref_idx) {
+                return Ok(d.clone());
+            }
+            let d = ct.refs[ref_idx as usize].decode(self.cds.w_e, n_locs, &d_codec)?;
+            cache.insert(ref_idx, d.clone());
+            Ok(d)
+        };
+        let (sv, dec, p_code): (VertexId, DecodedRef, u64) = if let Some(pos) =
+            ct.refs.iter().position(|r| r.orig_idx == orig_idx)
+        {
+            let r = &ct.refs[pos];
+            (r.sv, cached_ref(pos as u32, ref_cache)?, r.p_code)
+        } else {
+            let n = ct
+                .nrefs
+                .iter()
+                .find(|n| n.orig_idx == orig_idx)
+                .expect("instance index valid");
+            let r = &ct.refs[n.ref_idx as usize];
+            let dref = cached_ref(n.ref_idx, ref_cache)?;
+            (
+                r.sv,
+                n.decode(&dref, self.cds.w_e, n_locs, &d_codec)?,
+                n.p_code,
+            )
+        };
+        let view = utcq_traj::TedView {
+            sv,
+            entries: dec.entries.clone(),
+            flags: untrim_flags(&dec.trimmed_flags, dec.entries.len()),
+            rds: dec.d_codes.iter().map(|&c| d_codec.dequantize(c)).collect(),
+            prob: p_codec.dequantize(p_code),
+        };
+        Ok(view.to_instance(self.net)?)
+    }
+
+    /// Probabilistic **where** query (Definition 10).
+    pub fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+    ) -> Result<Vec<WhereHit>, DecompressError> {
+        let Some(j) = self.traj_index(traj_id) else {
+            return Ok(Vec::new());
+        };
+        let ct = &self.cds.trajectories[j as usize];
+        let node = &self.stiu.trajs[j as usize];
+        let Some(tt) = node.temporal_at(t) else {
+            return Ok(Vec::new()); // t precedes the trajectory
+        };
+        // Resume time decoding mid-stream until we bracket t.
+        let ts = self.cds.params.default_interval;
+        let window = siar::decode_from(
+            &ct.t_bits,
+            tt.pos as usize,
+            tt.start,
+            ts,
+            (ct.n_times - 1 - tt.no) as usize,
+        )?;
+        let hi_local = window.partition_point(|&x| x < t);
+        if hi_local >= window.len() {
+            return Ok(Vec::new()); // t is past the last sample
+        }
+        let (lo, hi, t_lo, t_hi) = if window[hi_local] == t {
+            let g = tt.no as usize + hi_local;
+            (g, g, t, t)
+        } else {
+            debug_assert!(hi_local > 0, "temporal_at guarantees start <= t");
+            let g = tt.no as usize + hi_local;
+            (g - 1, g, window[hi_local - 1], window[hi_local])
+        };
+
+        let mut hits = Vec::new();
+        let mut ref_cache = HashMap::new();
+        for (orig_idx, prob) in self.instance_probs(ct) {
+            if prob < alpha {
+                continue;
+            }
+            let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
+            let loc = interpolate(self.net, &inst, lo, hi, t_lo, t_hi, t);
+            hits.push(WhereHit {
+                instance: orig_idx,
+                prob,
+                loc,
+            });
+        }
+        Ok(hits)
+    }
+
+    /// Probabilistic **when** query (Definition 11), with Lemma 1
+    /// filtering.
+    pub fn when_query(
+        &self,
+        traj_id: u64,
+        edge: utcq_network::EdgeId,
+        rd: f64,
+        alpha: f64,
+    ) -> Result<Vec<WhenHit>, DecompressError> {
+        let Some(j) = self.traj_index(traj_id) else {
+            return Ok(Vec::new());
+        };
+        let ct = &self.cds.trajectories[j as usize];
+        let node = &self.stiu.trajs[j as usize];
+        let query_pt = self
+            .net
+            .point_on_edge(edge, rd * self.net.edge_length(edge));
+        let cell = self.stiu.grid.cell_of(query_pt);
+
+        let ref_tuples: Vec<_> = node.refs_in(cell).collect();
+        if ref_tuples.is_empty() {
+            // No instance of this trajectory enters the query region:
+            // answer without touching the compressed payload at all.
+            return Ok(Vec::new());
+        }
+        let p_codec = self.cds.params.p_codec();
+        let times = self.decode_times(ct)?;
+        let mut hits = Vec::new();
+        let mut ref_cache = HashMap::new();
+        for rt in ref_tuples {
+            let cref = &ct.refs[rt.ref_idx as usize];
+            let ref_p = p_codec.dequantize(cref.p_code);
+            if rt.fv.is_some() && ref_p >= alpha {
+                let inst = self.decode_instance_cached(ct, cref.orig_idx, &mut ref_cache)?;
+                for time in
+                    utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
+                {
+                    hits.push(WhenHit {
+                        instance: cref.orig_idx,
+                        prob: ref_p,
+                        time,
+                    });
+                }
+            }
+            // Lemma 1: if p_max < α, none of the reference's
+            // non-references can contribute — skip their decompression.
+            if rt.p_max < alpha {
+                continue;
+            }
+            for nt in node.nrefs_in(cell) {
+                let cnref = &ct.nrefs[nt.nref_idx as usize];
+                if cnref.ref_idx != rt.ref_idx {
+                    continue;
+                }
+                let p = p_codec.dequantize(cnref.p_code);
+                if p < alpha {
+                    continue;
+                }
+                let inst = self.decode_instance_cached(ct, cnref.orig_idx, &mut ref_cache)?;
+                for time in
+                    utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
+                {
+                    hits.push(WhenHit {
+                        instance: cnref.orig_idx,
+                        prob: p,
+                        time,
+                    });
+                }
+            }
+        }
+        hits.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.instance.cmp(&b.instance)));
+        hits.dedup_by(|a, b| a.instance == b.instance && (a.time - b.time).abs() < 1e-9);
+        Ok(hits)
+    }
+
+    /// Probabilistic **range** query (Definition 12), with Lemma 2–4
+    /// filtering. Returns matching trajectory ids.
+    pub fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+    ) -> Result<Vec<u64>, DecompressError> {
+        let cells: std::collections::HashSet<utcq_network::CellId> = self
+            .stiu
+            .grid
+            .cells_overlapping(re)
+            .into_iter()
+            .collect();
+        let mut out = Vec::new();
+        for &j in self.stiu.trajs_in_interval(tq) {
+            let ct = &self.cds.trajectories[j as usize];
+            let node = &self.stiu.trajs[j as usize];
+
+            // Collect per-group total bounds over the query cells.
+            // Iterating the trajectory's (few) tuples against the cell set
+            // keeps this O(tuples) however fine the grid is.
+            let mut group_bound: HashMap<u32, f64> = HashMap::new();
+            let mut passing_refs: Vec<u32> = Vec::new();
+            let mut passing_nrefs: Vec<u32> = Vec::new();
+            for rt in &node.ref_tuples {
+                if cells.contains(&rt.cell) {
+                    *group_bound.entry(rt.ref_idx).or_insert(0.0) += rt.p_total;
+                    if rt.fv.is_some() {
+                        passing_refs.push(rt.ref_idx);
+                    }
+                }
+            }
+            for nt in &node.nref_tuples {
+                if cells.contains(&nt.cell) {
+                    passing_nrefs.push(nt.nref_idx);
+                }
+            }
+            if group_bound.is_empty() {
+                continue; // trajectory never enters RE
+            }
+            // Lemma 4: an upper bound below α prunes the trajectory.
+            let bound: f64 = group_bound.values().map(|b| b.min(1.0)).sum();
+            if bound < alpha {
+                continue;
+            }
+            passing_refs.sort_unstable();
+            passing_refs.dedup();
+            passing_nrefs.sort_unstable();
+            passing_nrefs.dedup();
+
+            // Bracket tq in the time sequence.
+            let Some(tt) = node.temporal_at(tq) else {
+                continue;
+            };
+            let ts = self.cds.params.default_interval;
+            let window = siar::decode_from(
+                &ct.t_bits,
+                tt.pos as usize,
+                tt.start,
+                ts,
+                (ct.n_times - 1 - tt.no) as usize,
+            )?;
+            let hi_local = window.partition_point(|&x| x < tq);
+            if hi_local >= window.len() {
+                continue; // tq past the trajectory's end
+            }
+            let (lo, hi, t_lo, t_hi) = if window[hi_local] == tq {
+                let g = tt.no as usize + hi_local;
+                (g, g, tq, tq)
+            } else {
+                let g = tt.no as usize + hi_local;
+                (g - 1, g, window[hi_local - 1], window[hi_local])
+            };
+
+            // Instances that pass RE cells, most probable first (Lemma 3
+            // early accept).
+            let p_codec = self.cds.params.p_codec();
+            let mut members: Vec<(u32, f64)> = passing_refs
+                .iter()
+                .map(|&r| {
+                    let cref = &ct.refs[r as usize];
+                    (cref.orig_idx, p_codec.dequantize(cref.p_code))
+                })
+                .chain(passing_nrefs.iter().map(|&m| {
+                    let cnref = &ct.nrefs[m as usize];
+                    (cnref.orig_idx, p_codec.dequantize(cnref.p_code))
+                }))
+                .collect();
+            members.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+            let mut acc = 0.0;
+            let mut remaining: f64 = members.iter().map(|m| m.1).sum();
+            let mut ref_cache = HashMap::new();
+            for (orig_idx, p) in members {
+                if acc >= alpha {
+                    break; // Lemma 3: already enough probability mass
+                }
+                if acc + remaining < alpha {
+                    break; // cannot reach α anymore
+                }
+                remaining -= p;
+                let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
+                if instance_overlaps(self.net, &inst, re, lo, hi, t_lo, t_hi, tq) {
+                    acc += p;
+                }
+            }
+            if acc >= alpha {
+                out.push(ct.id);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Location of an instance at time `t ∈ [t_lo, t_hi]`, interpolating
+/// between samples `lo` and `hi` at constant speed along the path.
+fn interpolate(
+    net: &RoadNetwork,
+    inst: &Instance,
+    lo: usize,
+    hi: usize,
+    t_lo: i64,
+    t_hi: i64,
+    t: i64,
+) -> MappedLocation {
+    if lo == hi || t_hi == t_lo {
+        return inst.location(net, lo);
+    }
+    let d0 = path_distance(net, &inst.path, inst.positions[lo]);
+    let d1 = path_distance(net, &inst.path, inst.positions[hi]);
+    let frac = (t - t_lo) as f64 / (t_hi - t_lo) as f64;
+    let pos = position_at_distance(net, &inst.path, d0 + frac * (d1 - d0));
+    let e = inst.path[pos.path_idx as usize];
+    MappedLocation {
+        edge: e,
+        ndist: pos.rd * net.edge_length(e),
+    }
+}
+
+/// Does the instance overlap `re` at `tq`? Implements Lemma 2: if the
+/// subpath between the bracketing samples lies entirely inside `re` the
+/// answer is yes; if it never intersects `re` the answer is no; otherwise
+/// the exact interpolated location decides.
+#[allow(clippy::too_many_arguments)]
+fn instance_overlaps(
+    net: &RoadNetwork,
+    inst: &Instance,
+    re: &Rect,
+    lo: usize,
+    hi: usize,
+    t_lo: i64,
+    t_hi: i64,
+    tq: i64,
+) -> bool {
+    let polyline = subpath_polyline(net, inst, lo, hi);
+    let all_inside = polyline.iter().all(|&p| re.contains(p));
+    if all_inside {
+        return true;
+    }
+    let any_intersecting = polyline
+        .windows(2)
+        .any(|w| re.intersects_segment(w[0], w[1]))
+        || (polyline.len() == 1 && re.contains(polyline[0]));
+    if !any_intersecting {
+        return false;
+    }
+    // Inconclusive: interpolate the exact location.
+    let loc = interpolate(net, inst, lo, hi, t_lo, t_hi, tq);
+    re.contains(net.point_on_edge(loc.edge, loc.ndist))
+}
+
+/// The planar polyline of the subpath between samples `lo` and `hi`.
+fn subpath_polyline(net: &RoadNetwork, inst: &Instance, lo: usize, hi: usize) -> Vec<Point> {
+    let a = inst.positions[lo];
+    let b = inst.positions[hi];
+    let la = inst.location(net, lo);
+    let lb = inst.location(net, hi);
+    let mut pts = vec![net.point_on_edge(la.edge, la.ndist)];
+    for j in a.path_idx..b.path_idx {
+        pts.push(net.coord(net.edge_to(inst.path[j as usize])));
+    }
+    pts.push(net.point_on_edge(lb.edge, lb.ndist));
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcq_traj::paper_fixture;
+
+    fn paper_store(fx: &utcq_traj::paper_fixture::PaperFixture) -> CompressedStore<'_> {
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        CompressedStore::build(
+            &fx.example.net,
+            &ds,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+            StiuParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example3_where_on_compressed() {
+        // where(Tu¹, 5:21:25, 0.25) → ⟨v6→v7, 150⟩ from Tu¹₁ only.
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .where_query(1, paper_fixture::hms(5, 21, 25), 0.25)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].instance, 0);
+        assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
+        assert!((hits[0].loc.ndist - 150.0).abs() < 1.6); // ηD on a 200 m edge
+    }
+
+    #[test]
+    fn where_alpha_zero_returns_all() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .where_query(1, paper_fixture::hms(5, 5, 0), 0.0)
+            .unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn where_outside_span_is_empty() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        assert!(store
+            .where_query(1, paper_fixture::hms(4, 0, 0), 0.0)
+            .unwrap()
+            .is_empty());
+        assert!(store
+            .where_query(1, paper_fixture::hms(6, 0, 0), 0.0)
+            .unwrap()
+            .is_empty());
+        assert!(store.where_query(99, 0, 0.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn example3_when_on_compressed() {
+        // when(Tu¹, ⟨v6→v7, 0.75⟩, 0.25) → 5:21:25 from Tu¹₁ (and Tu¹₂?
+        // both traverse (v6→v7), but Tu¹₂.p = 0.2 < 0.25).
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .when_query(1, fx.example.edge(6, 7), 0.75, 0.25)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].instance, 0);
+        let want = paper_fixture::hms(5, 21, 25) as f64;
+        assert!((hits[0].time - want).abs() < 3.5, "time {}", hits[0].time);
+    }
+
+    #[test]
+    fn when_low_alpha_includes_nonreferences() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .when_query(1, fx.example.edge(6, 7), 0.75, 0.01)
+            .unwrap();
+        // All three instances traverse (v6→v7).
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn when_region_miss_is_empty() {
+        // Edge (8→9) region is visited only by Tu¹₃; a location on the
+        // stub edges is never visited.
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let e49 = fx
+            .example
+            .net
+            .find_edge(fx.example.vertex(4), utcq_network::VertexId(10))
+            .expect("stub edge");
+        let hits = store.when_query(1, e49, 0.5, 0.0).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn example4_range_queries() {
+        // range over a region covering the whole corridor at 5:05:25
+        // with α = 0.5 → Tu¹; a far-away region → ∅.
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 5, 25);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert_eq!(store.range_query(&all, t, 0.5).unwrap(), vec![1]);
+        let far = Rect::new(100.0, 100.0, 120.0, 120.0);
+        assert!(store.range_query(&far, t, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_alpha_prunes() {
+        // At 5:05:25 every instance sits between l0 (on v1→v2) and l1;
+        // a region around the v10 detour only holds Tu¹₂ (p = 0.2).
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 9, 0);
+        // Between samples 1 and 2 the detour instance is near v10.
+        let detour_region = Rect::new(10.0, 4.0, 22.0, 12.0);
+        let hit = store.range_query(&detour_region, t, 0.1).unwrap();
+        let miss = store.range_query(&detour_region, t, 0.5).unwrap();
+        assert_eq!(hit, vec![1]);
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn range_outside_time_span() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert!(store
+            .range_query(&all, paper_fixture::hms(7, 0, 0), 0.1)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Reference selection: the score function (Eq. 3) and the greedy
+//! Algorithm 1.
+//!
+//! For each uncertain trajectory, a score matrix
+//! `SM[w][v] = SF(Tuʲw, Tuʲv) = Tuʲw.p · maxᵢ FJD(Tuʲw → Tuʲv, pivᵢ)`
+//! estimates how well instance `w` would represent instance `v`
+//! (scores are only computed when the two instances share a start vertex,
+//! and `SF(w, w) = 0`). The greedy algorithm repeatedly commits the
+//! highest-scoring pair under the paper's two constraints: each
+//! non-reference has exactly one reference, and compression is
+//! single-order (a reference is never itself represented).
+
+use utcq_network::VertexId;
+
+use crate::pivot::{fjd_pair_with, select_pivots};
+
+/// The role of an instance after reference selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The instance is stored directly (possibly with an empty `Rrs`).
+    Reference,
+    /// The instance is represented against reference instance `of`
+    /// (an index into the same instance list).
+    NonReference {
+        /// Index of the owning reference.
+        of: usize,
+    },
+}
+
+/// Builds the score matrix `SM` for one uncertain trajectory.
+///
+/// `seqs[w]` is `E(Tuʲw)`, `svs[w]` its start vertex, `probs[w]` its
+/// probability.
+pub fn score_matrix(
+    seqs: &[Vec<u32>],
+    svs: &[VertexId],
+    probs: &[f64],
+    n_pivots: usize,
+) -> Vec<Vec<f64>> {
+    let n = seqs.len();
+    let mut sm = vec![vec![0.0f64; n]; n];
+    if n < 2 {
+        return sm;
+    }
+    let (_, reps) = select_pivots(seqs, n_pivots);
+    let mut scratch = crate::pivot::FjdScratch::default();
+    for w in 0..n {
+        for v in w + 1..n {
+            if svs[w] != svs[v] {
+                continue;
+            }
+            let (mut best_wv, mut best_vw) = (0.0f64, 0.0f64);
+            for rep in &reps {
+                let (wv, vw) = fjd_pair_with(&rep[w], &rep[v], &mut scratch);
+                best_wv = best_wv.max(wv);
+                best_vw = best_vw.max(vw);
+            }
+            sm[w][v] = probs[w] * best_wv;
+            sm[v][w] = probs[v] * best_vw;
+        }
+    }
+    sm
+}
+
+/// Algorithm 1: greedy reference selection from a score matrix.
+///
+/// Returns one [`Role`] per instance. Instances never chosen as a
+/// reference or non-reference become standalone references (lines 10–13 of
+/// the paper's pseudocode).
+pub fn select_references(sm: &[Vec<f64>]) -> Vec<Role> {
+    let n = sm.len();
+    let mut roles: Vec<Option<Role>> = vec![None; n];
+    // col_dead[x]: x can no longer become a non-reference
+    // (it is already a reference or a non-reference).
+    let mut col_dead = vec![false; n];
+    // row_dead[x]: x can no longer represent anyone (it is a non-reference).
+    let mut row_dead = vec![false; n];
+
+    // Pre-sort positive cells by score descending (the paper's suggested
+    // optimization over repeated max scans).
+    let mut cells: Vec<(f64, usize, usize)> = Vec::new();
+    for (w, row) in sm.iter().enumerate() {
+        for (v, &score) in row.iter().enumerate() {
+            if w != v && score > 0.0 {
+                cells.push((score, w, v));
+            }
+        }
+    }
+    cells.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    for (_, w, v) in cells {
+        if row_dead[w] || col_dead[v] {
+            continue;
+        }
+        if roles[w].is_none() {
+            roles[w] = Some(Role::Reference);
+            col_dead[w] = true; // a reference is never represented
+        } else if roles[w] != Some(Role::Reference) {
+            continue;
+        }
+        roles[v] = Some(Role::NonReference { of: w });
+        col_dead[v] = true;
+        row_dead[v] = true;
+    }
+
+    // Survivors with a live diagonal become standalone references.
+    roles
+        .into_iter()
+        .map(|r| r.unwrap_or(Role::Reference))
+        .collect()
+}
+
+/// Convenience: full pipeline from instance data to roles.
+pub fn assign_roles(
+    seqs: &[Vec<u32>],
+    svs: &[VertexId],
+    probs: &[f64],
+    n_pivots: usize,
+) -> Vec<Role> {
+    select_references(&score_matrix(seqs, svs, probs, n_pivots))
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    fn paper_inputs() -> (Vec<Vec<u32>>, Vec<VertexId>, Vec<f64>) {
+        (
+            vec![
+                vec![1, 2, 1, 2, 2, 0, 4, 1, 0],
+                vec![1, 1, 1, 2, 2, 0, 4, 1, 0],
+                vec![1, 2, 1, 2, 2, 0, 4, 1, 2],
+            ],
+            vec![VertexId(0); 3],
+            vec![0.75, 0.2, 0.05],
+        )
+    }
+
+    #[test]
+    fn example2_outcome() {
+        // Example 2's conclusion: Tu¹₁ is the single reference with
+        // Rrs = {Tu¹₂, Tu¹₃}.
+        let (seqs, svs, probs) = paper_inputs();
+        let roles = assign_roles(&seqs, &svs, &probs, 1);
+        assert_eq!(roles[0], Role::Reference);
+        assert_eq!(roles[1], Role::NonReference { of: 0 });
+        assert_eq!(roles[2], Role::NonReference { of: 0 });
+    }
+
+    #[test]
+    fn score_matrix_properties() {
+        let (seqs, svs, probs) = paper_inputs();
+        let sm = score_matrix(&seqs, &svs, &probs, 1);
+        for (w, row) in sm.iter().enumerate() {
+            assert_eq!(row[w], 0.0, "diagonal must be zero");
+        }
+        // Higher-probability instances score higher as representers of the
+        // same target.
+        assert!(sm[0][2] > sm[2][0]);
+    }
+
+    #[test]
+    fn different_start_vertices_never_pair() {
+        let (seqs, _, probs) = paper_inputs();
+        let svs = vec![VertexId(0), VertexId(1), VertexId(2)];
+        let roles = assign_roles(&seqs, &svs, &probs, 1);
+        assert!(roles.iter().all(|r| *r == Role::Reference));
+    }
+
+    #[test]
+    fn single_instance_is_reference() {
+        let roles = assign_roles(
+            &[vec![1, 2, 3]],
+            &[VertexId(0)],
+            &[1.0],
+            1,
+        );
+        assert_eq!(roles, vec![Role::Reference]);
+    }
+
+    #[test]
+    fn references_are_never_nonreferences() {
+        // Synthetic matrix engineered so the greedy choice chains:
+        // 0 represents 1 well, 1 represents 2 well — but once 1 is a
+        // non-reference it cannot also be a reference.
+        let sm = vec![
+            vec![0.0, 0.9, 0.1],
+            vec![0.0, 0.0, 0.8],
+            vec![0.0, 0.0, 0.0],
+        ];
+        let roles = select_references(&sm);
+        assert_eq!(roles[0], Role::Reference);
+        assert_eq!(roles[1], Role::NonReference { of: 0 });
+        // 2 cannot be represented by the dead row 1; the only other
+        // positive cell is (0,2)=0.1.
+        assert_eq!(roles[2], Role::NonReference { of: 0 });
+    }
+
+    #[test]
+    fn zero_matrix_yields_all_references() {
+        let sm = vec![vec![0.0; 4]; 4];
+        let roles = select_references(&sm);
+        assert!(roles.iter().all(|r| *r == Role::Reference));
+    }
+
+    #[test]
+    fn one_reference_many_nonreferences() {
+        // Instance 0 dominates everyone.
+        let n = 6;
+        let mut sm = vec![vec![0.0; n]; n];
+        for v in 1..n {
+            sm[0][v] = 1.0 - v as f64 * 0.01;
+            sm[v][0] = 0.2;
+        }
+        let roles = select_references(&sm);
+        assert_eq!(roles[0], Role::Reference);
+        for v in 1..n {
+            assert_eq!(roles[v], Role::NonReference { of: 0 });
+        }
+    }
+
+    #[test]
+    fn every_nonreference_points_to_a_reference() {
+        // Random-ish dense matrix: the structural invariant must hold.
+        let n = 8;
+        let mut sm = vec![vec![0.0; n]; n];
+        let mut x = 37u64;
+        for w in 0..n {
+            for v in 0..n {
+                if w != v {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    sm[w][v] = (x >> 11) as f64 / (1u64 << 53) as f64;
+                }
+            }
+        }
+        let roles = select_references(&sm);
+        for r in &roles {
+            if let Role::NonReference { of } = r {
+                assert_eq!(roles[*of], Role::Reference);
+            }
+        }
+    }
+}

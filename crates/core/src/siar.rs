@@ -1,0 +1,165 @@
+//! SIAR: Sample-Interval Adaptive Representation of time sequences (§4.1)
+//! with the improved Exp-Golomb encoding (§4.4).
+//!
+//! The time sequence `T(Tuʲ)` is stored as its first timestamp followed by
+//! per-step deviations from the default interval `Ts`:
+//! `Δtᵢ = (tᵢ₊₁ − tᵢ) − Ts`. The first timestamp splits into an
+//! Exp-Golomb day index and a 17-bit second-of-day (the paper encodes
+//! timestamps in 17 bits within one day); the deviations use the signed
+//! improved Exp-Golomb code.
+
+use utcq_bitio::{golomb, BitBuf, BitWriter, CodecError};
+
+const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Encodes a strictly increasing time sequence.
+pub fn encode(times: &[i64], ts: i64) -> Result<BitBuf, CodecError> {
+    assert!(!times.is_empty(), "cannot encode an empty time sequence");
+    let mut w = BitWriter::new();
+    let t0 = times[0];
+    let (day, sec) = (t0.div_euclid(SECONDS_PER_DAY), t0.rem_euclid(SECONDS_PER_DAY));
+    golomb::encode_unsigned(&mut w, day as u64)?;
+    w.write_bits(sec as u64, 17)?;
+    for pair in times.windows(2) {
+        golomb::encode_deviation(&mut w, (pair[1] - pair[0]) - ts)?;
+    }
+    Ok(w.finish())
+}
+
+/// Decodes a full time sequence of `n` samples.
+pub fn decode(buf: &BitBuf, n: usize, ts: i64) -> Result<Vec<i64>, CodecError> {
+    let mut r = buf.reader();
+    let day = golomb::decode_unsigned(&mut r)? as i64;
+    let sec = r.read_bits(17)? as i64;
+    let mut times = Vec::with_capacity(n);
+    let mut t = day * SECONDS_PER_DAY + sec;
+    times.push(t);
+    for _ in 1..n {
+        t += ts + golomb::decode_deviation(&mut r)?;
+        times.push(t);
+    }
+    Ok(times)
+}
+
+/// The bit position right after the header (day + second-of-day) — the
+/// position of the first deviation, used as the base of StIU `t.pos`
+/// pointers.
+pub fn first_deviation_pos(buf: &BitBuf) -> Result<usize, CodecError> {
+    let mut r = buf.reader();
+    golomb::decode_unsigned(&mut r)?;
+    r.read_bits(17)?;
+    Ok(r.pos())
+}
+
+/// Resumes decoding mid-stream: given that sample `no` has timestamp
+/// `start` and the deviation of step `no → no+1` begins at bit `pos`,
+/// yields timestamps `no, no+1, …` until the reader is exhausted or
+/// `max_steps` are produced.
+pub fn decode_from(
+    buf: &BitBuf,
+    pos: usize,
+    start: i64,
+    ts: i64,
+    max_steps: usize,
+) -> Result<Vec<i64>, CodecError> {
+    let mut r = buf.reader_at(pos);
+    let mut out = Vec::with_capacity(max_steps.min(64) + 1);
+    out.push(start);
+    let mut t = start;
+    for _ in 0..max_steps {
+        if r.remaining() == 0 {
+            break;
+        }
+        t += ts + golomb::decode_deviation(&mut r)?;
+        out.push(t);
+    }
+    Ok(out)
+}
+
+/// Bit positions of each deviation code: `positions()[i]` is where the
+/// code of step `i → i+1` starts. Used when building the StIU temporal
+/// index.
+pub fn deviation_positions(buf: &BitBuf, n: usize) -> Result<Vec<usize>, CodecError> {
+    let mut r = buf.reader();
+    golomb::decode_unsigned(&mut r)?;
+    r.read_bits(17)?;
+    let mut pos = Vec::with_capacity(n.saturating_sub(1));
+    for _ in 1..n {
+        pos.push(r.pos());
+        golomb::decode_deviation(&mut r)?;
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_roundtrip() {
+        // ⟨5:03:25, +240, +241, +240, +239, +240, +240⟩, Ts = 240.
+        let times = vec![18205, 18445, 18686, 18926, 19165, 19405, 19645];
+        let buf = encode(&times, 240).unwrap();
+        assert_eq!(decode(&buf, times.len(), 240).unwrap(), times);
+        // Header: day 0 = 1 bit; sec = 17 bits; deviations 0,1,0,−1,0,0 =
+        // 1+4+1+4+1+1 = 12 bits. Total 30.
+        assert_eq!(buf.len_bits(), 1 + 17 + 12);
+    }
+
+    #[test]
+    fn paper_compression_ratio_arithmetic() {
+        // §4.4: the improved Exp-Golomb encoding compresses the example's
+        // deviations into 12 bits vs 17 + 12 per (i, t) pair for TED.
+        let times = vec![18205, 18445, 18686, 18926, 19165, 19405, 19645];
+        let buf = encode(&times, 240).unwrap();
+        let ratio = (32.0 * 7.0) / buf.len_bits() as f64;
+        // The paper reports 7.72 with a 17-bit header; ours adds 1 bit of
+        // day index, giving 224/30 ≈ 7.47.
+        assert!(ratio > 7.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn multi_day_times() {
+        let times = vec![3 * 86_400 + 100, 3 * 86_400 + 110, 3 * 86_400 + 125];
+        let buf = encode(&times, 10).unwrap();
+        assert_eq!(decode(&buf, 3, 10).unwrap(), times);
+    }
+
+    #[test]
+    fn single_sample() {
+        let times = vec![42];
+        let buf = encode(&times, 10).unwrap();
+        assert_eq!(decode(&buf, 1, 10).unwrap(), times);
+    }
+
+    #[test]
+    fn mid_stream_resume() {
+        let times = vec![1000, 1010, 1025, 1030, 1041, 1052];
+        let buf = encode(&times, 10).unwrap();
+        let pos = deviation_positions(&buf, times.len()).unwrap();
+        assert_eq!(pos.len(), 5);
+        // Resume at sample 2 (deviation 2→3 starts at pos[2]).
+        let tail = decode_from(&buf, pos[2], times[2], 10, 10).unwrap();
+        assert_eq!(tail, vec![1025, 1030, 1041, 1052]);
+        // Bounded steps.
+        let tail = decode_from(&buf, pos[2], times[2], 10, 1).unwrap();
+        assert_eq!(tail, vec![1025, 1030]);
+    }
+
+    #[test]
+    fn first_deviation_pos_matches_positions() {
+        let times = vec![500, 510, 520];
+        let buf = encode(&times, 10).unwrap();
+        assert_eq!(
+            first_deviation_pos(&buf).unwrap(),
+            deviation_positions(&buf, 3).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn irregular_intervals_roundtrip() {
+        let times = vec![0, 1, 300, 301, 302, 1000, 1020];
+        let buf = encode(&times, 20).unwrap();
+        assert_eq!(decode(&buf, times.len(), 20).unwrap(), times);
+    }
+}

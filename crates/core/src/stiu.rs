@@ -1,0 +1,553 @@
+//! StIU: the Spatio-temporal Information based Uncertain Trajectory Index
+//! (§5.2).
+//!
+//! Two parts per compressed trajectory:
+//!
+//! * a **temporal index**: the day is partitioned into equal intervals;
+//!   each interval containing at least one timestamp stores a tuple
+//!   `(t.start, t.no, t.pos)` — the earliest timestamp in the interval,
+//!   its index, and the bit position of the following deviation code in
+//!   the compressed time stream, so time decoding can resume mid-stream;
+//! * a **spatial index**: the plane is partitioned into an `n × n` grid;
+//!   each instance gets one tuple per region it traverses (first
+//!   traversal). Reference tuples carry the *final vertex* (the vertex
+//!   traversed immediately before entering the region), its entry index,
+//!   the matching `D̂` position, and the probability aggregates
+//!   `p_total` / `p_max` over the reference's group that power the
+//!   filtering lemmas. Non-reference tuples carry the resume vertex, its
+//!   entry index, and the bit position of the covering `Com_E` factor.
+
+use std::collections::HashMap;
+
+use utcq_bitio::golomb;
+use utcq_network::{CellId, Grid, RoadNetwork, VertexId};
+use utcq_traj::{Dataset, Instance, TedView, UncertainTrajectory};
+
+use crate::compress::CompressedDataset;
+use crate::compressed::CompressedTrajectory;
+use crate::factor::{self, EFactor};
+use crate::siar;
+
+/// Index construction parameters (the paper's Fig. 9 sweeps both).
+#[derive(Debug, Clone, Copy)]
+pub struct StiuParams {
+    /// Time partition duration in seconds (paper default 15 min in the
+    /// examples; Fig. 9 sweeps 10–60 min).
+    pub partition_s: i64,
+    /// Grid dimension `n` (n² cells; Fig. 9 sweeps 8–128).
+    pub grid_n: u32,
+}
+
+impl Default for StiuParams {
+    fn default() -> Self {
+        Self {
+            partition_s: 900,
+            grid_n: 32,
+        }
+    }
+}
+
+/// Temporal tuple `(t.start, t.no, t.pos)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TemporalTuple {
+    /// Earliest timestamp of the trajectory inside the interval.
+    pub start: i64,
+    /// Index of `start` in the time sequence.
+    pub no: u32,
+    /// Bit position of the next deviation code in `t_bits` (= end of the
+    /// stream for the final sample).
+    pub pos: u32,
+}
+
+/// Spatial tuple of a reference for one region.
+#[derive(Debug, Clone, Copy)]
+pub struct RefRegionTuple {
+    /// The region.
+    pub cell: CellId,
+    /// Index into [`CompressedTrajectory::refs`].
+    pub ref_idx: u32,
+    /// Final vertex w.r.t. the region; `None` encodes the paper's `∞`
+    /// (the reference itself never enters the region, only members of its
+    /// `Rrs` do).
+    pub fv: Option<VertexId>,
+    /// Entry index of `fv`'s edge in `E(Ref)`.
+    pub fv_no: u32,
+    /// Bit position of the `d.no`-th distance code in `D̂(Ref)`.
+    pub d_pos: u32,
+    /// Sum of probabilities of group members traversing the region.
+    pub p_total: f64,
+    /// Maximum probability among *non-reference* group members
+    /// traversing the region (0 when none does) — Lemma 1's filter.
+    pub p_max: f64,
+}
+
+/// Spatial tuple of a non-reference for one region.
+#[derive(Debug, Clone, Copy)]
+pub struct NrefRegionTuple {
+    /// The region.
+    pub cell: CellId,
+    /// Index into [`CompressedTrajectory::nrefs`].
+    pub nref_idx: u32,
+    /// Resume vertex (the vertex traversed immediately before the
+    /// region).
+    pub rv: VertexId,
+    /// Entry index of `rv`'s edge in `E(Nref)`.
+    pub rv_no: u32,
+    /// Bit position of the covering factor in `Com_E`.
+    pub ma_pos: u32,
+}
+
+/// Per-trajectory index node.
+#[derive(Debug, Clone, Default)]
+pub struct TrajIndex {
+    /// Temporal tuples sorted by `start`.
+    pub temporal: Vec<TemporalTuple>,
+    /// Reference region tuples.
+    pub ref_tuples: Vec<RefRegionTuple>,
+    /// Non-reference region tuples.
+    pub nref_tuples: Vec<NrefRegionTuple>,
+}
+
+impl TrajIndex {
+    /// The temporal tuple with the largest `start ≤ t`, if any.
+    pub fn temporal_at(&self, t: i64) -> Option<&TemporalTuple> {
+        let i = self.temporal.partition_point(|tt| tt.start <= t);
+        if i == 0 {
+            None
+        } else {
+            Some(&self.temporal[i - 1])
+        }
+    }
+
+    /// Reference tuples for a region.
+    pub fn refs_in(&self, cell: CellId) -> impl Iterator<Item = &RefRegionTuple> {
+        self.ref_tuples.iter().filter(move |t| t.cell == cell)
+    }
+
+    /// Non-reference tuples for a region.
+    pub fn nrefs_in(&self, cell: CellId) -> impl Iterator<Item = &NrefRegionTuple> {
+        self.nref_tuples.iter().filter(move |t| t.cell == cell)
+    }
+}
+
+/// The full index.
+#[derive(Debug, Clone)]
+pub struct Stiu {
+    /// Construction parameters.
+    pub params: StiuParams,
+    /// The spatial grid.
+    pub grid: Grid,
+    /// One node per compressed trajectory (same order).
+    pub trajs: Vec<TrajIndex>,
+    /// Interval index → trajectory indices with samples in the interval.
+    pub interval_trajs: HashMap<i64, Vec<u32>>,
+}
+
+impl Stiu {
+    /// Index size in bits, split into (spatial, temporal) — the paper's
+    /// `s-size` / `t-size` of Fig. 9. Field widths: 17-bit start, 12-bit
+    /// sample index, 24-bit stream position, 32-bit vertex id, and `ηp`
+    /// widths for the probability aggregates.
+    pub fn size_bits(&self, p_width: u32) -> (u64, u64) {
+        let mut s = 0u64;
+        let mut t = 0u64;
+        for node in &self.trajs {
+            t += node.temporal.len() as u64 * (17 + 12 + 24);
+            s += node.ref_tuples.len() as u64 * (32 + 12 + 24 + 2 * u64::from(p_width));
+            s += node.nref_tuples.len() as u64 * (32 + 12 + 24);
+        }
+        (s, t)
+    }
+
+    /// Trajectories with a temporal tuple in `t`'s interval.
+    pub fn trajs_in_interval(&self, t: i64) -> &[u32] {
+        self.interval_trajs
+            .get(&(t.div_euclid(self.params.partition_s)))
+            .map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// One region traversal of an instance, in chronological order.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionVisit {
+    /// The region.
+    pub cell: CellId,
+    /// Vertex traversed immediately before entering (final vertex).
+    pub fv: VertexId,
+    /// Entry index of the edge on which the region is entered.
+    pub entry_idx: u32,
+    /// Number of mapped locations strictly before that entry.
+    pub d_no: u32,
+}
+
+/// Enumerates the regions an instance traverses (first traversal each),
+/// with the metadata the spatial tuples need. The instance occupies its
+/// path only between the first and last sample.
+pub fn region_visits(
+    net: &RoadNetwork,
+    inst: &Instance,
+    view: &TedView,
+    grid: &Grid,
+) -> Vec<RegionVisit> {
+    // entry index of each path edge (skipping `0` repeat markers).
+    let mut edge_entries = Vec::with_capacity(inst.path.len());
+    for (g, &e) in view.entries.iter().enumerate() {
+        if e != 0 {
+            edge_entries.push(g as u32);
+        }
+    }
+    debug_assert_eq!(edge_entries.len(), inst.path.len());
+    // ones in full flags before each entry index.
+    let mut ones_before = Vec::with_capacity(view.entries.len() + 1);
+    ones_before.push(0u32);
+    let mut acc = 0u32;
+    for &f in &view.flags {
+        acc += u32::from(f);
+        ones_before.push(acc);
+    }
+
+    let first = inst.location(net, 0);
+    let last = inst.location(net, inst.positions.len() - 1);
+    let first_pt = net.point_on_edge(first.edge, first.ndist);
+    let last_pt = net.point_on_edge(last.edge, last.ndist);
+
+    let mut seen = std::collections::HashSet::new();
+    let mut visits = Vec::new();
+    for (j, &e) in inst.path.iter().enumerate() {
+        let mut a = net.coord(net.edge_from(e));
+        let mut b = net.coord(net.edge_to(e));
+        if j == 0 {
+            a = first_pt;
+        }
+        if j == inst.path.len() - 1 {
+            b = last_pt;
+        }
+        let bbox = utcq_network::Rect::point(a).union(utcq_network::Rect::point(b));
+        let mut cells: Vec<(f64, CellId)> = grid
+            .cells_overlapping(&bbox)
+            .into_iter()
+            .filter(|&c| grid.cell_rect(c).intersects_segment(a, b))
+            .map(|c| {
+                let ctr = grid.cell_rect(c).center();
+                // Order by projection along the direction of travel.
+                let t = (ctr.x - a.x) * (b.x - a.x) + (ctr.y - a.y) * (b.y - a.y);
+                (t, c)
+            })
+            .collect();
+        cells.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for (_, cell) in cells {
+            if seen.insert(cell) {
+                let g = edge_entries[j];
+                visits.push(RegionVisit {
+                    cell,
+                    fv: net.edge_from(e),
+                    entry_idx: g,
+                    d_no: ones_before[g as usize],
+                });
+            }
+        }
+    }
+    visits
+}
+
+/// Bit offset of the `Com_E` factor producing entry `entry_idx`, plus the
+/// entry index at which that factor starts.
+fn factor_offset(
+    factors: &[EFactor],
+    ref_len: usize,
+    nref_len: usize,
+    m_width: u32,
+    entry_idx: u32,
+) -> (u32, u32) {
+    let ws = utcq_bitio::width_for_max(ref_len as u64) as usize;
+    let wl = ws;
+    let mut bit = golomb::unsigned_len(factors.len() as u64)
+        + golomb::unsigned_len(nref_len as u64);
+    let mut produced = 0u32;
+    for (i, f) in factors.iter().enumerate() {
+        let (size, count) = match *f {
+            EFactor::Copy { l, .. } => (ws + wl + m_width as usize, l + 1),
+            EFactor::Tail { l, .. } => (ws + wl, l),
+            EFactor::Novel { .. } => (ws + m_width as usize, 1),
+        };
+        if entry_idx < produced + count || i == factors.len() - 1 {
+            return (bit as u32, produced);
+        }
+        bit += size;
+        produced += count;
+    }
+    (bit as u32, produced)
+}
+
+/// Builds the index from the original dataset and its compressed form.
+///
+/// The paper constructs the index *during* compression; we take both
+/// views to keep the phases separable for benchmarking.
+pub fn build(
+    net: &RoadNetwork,
+    ds: &Dataset,
+    cds: &CompressedDataset,
+    params: StiuParams,
+) -> Stiu {
+    let grid = Grid::over_network(net, params.grid_n);
+    let p_codec = cds.params.p_codec();
+    let d_width = cds.params.d_codec().width();
+    let mut trajs = Vec::with_capacity(cds.trajectories.len());
+    let mut interval_trajs: HashMap<i64, Vec<u32>> = HashMap::new();
+    for (j, (tu, ct)) in ds.trajectories.iter().zip(&cds.trajectories).enumerate() {
+        let node = build_traj(net, tu, ct, &grid, params.partition_s, &p_codec, d_width);
+        // Register the trajectory in every interval its span overlaps —
+        // including sample-free gap intervals, which it may still cross.
+        let first = tu.times[0].div_euclid(params.partition_s);
+        let last = tu.times[tu.times.len() - 1].div_euclid(params.partition_s);
+        for interval in first..=last {
+            interval_trajs.entry(interval).or_default().push(j as u32);
+        }
+        trajs.push(node);
+    }
+    Stiu {
+        params,
+        grid,
+        trajs,
+        interval_trajs,
+    }
+}
+
+fn build_traj(
+    net: &RoadNetwork,
+    tu: &UncertainTrajectory,
+    ct: &CompressedTrajectory,
+    grid: &Grid,
+    partition_s: i64,
+    p_codec: &utcq_bitio::pddp::PddpCodec,
+    d_width: u32,
+) -> TrajIndex {
+    let mut node = TrajIndex::default();
+
+    // Temporal tuples: one per interval containing at least one sample.
+    let positions = siar::deviation_positions(&ct.t_bits, tu.times.len())
+        .expect("own encoding decodes");
+    let mut last_interval = i64::MIN;
+    for (i, &t) in tu.times.iter().enumerate() {
+        let interval = t.div_euclid(partition_s);
+        if interval != last_interval {
+            last_interval = interval;
+            let pos = positions
+                .get(i)
+                .copied()
+                .unwrap_or(ct.t_bits.len_bits());
+            node.temporal.push(TemporalTuple {
+                start: t,
+                no: i as u32,
+                pos: pos as u32,
+            });
+        }
+    }
+
+    // Per-instance region visits.
+    let views: Vec<TedView> = tu
+        .instances
+        .iter()
+        .map(|inst| TedView::from_instance(net, inst))
+        .collect();
+    let visits: Vec<Vec<RegionVisit>> = tu
+        .instances
+        .iter()
+        .zip(&views)
+        .map(|(inst, view)| region_visits(net, inst, view, grid))
+        .collect();
+
+    // Group = reference + its non-references.
+    for (ref_idx, cref) in ct.refs.iter().enumerate() {
+        let ref_orig = cref.orig_idx as usize;
+        let members: Vec<usize> = std::iter::once(ref_orig)
+            .chain(
+                ct.nrefs
+                    .iter()
+                    .filter(|n| n.ref_idx as usize == ref_idx)
+                    .map(|n| n.orig_idx as usize),
+            )
+            .collect();
+        // Union of regions visited by the group.
+        let mut cells: Vec<CellId> = members
+            .iter()
+            .flat_map(|&m| visits[m].iter().map(|v| v.cell))
+            .collect();
+        cells.sort();
+        cells.dedup();
+        for cell in cells {
+            let mut p_total = 0.0;
+            let mut p_max = 0.0f64;
+            for &m in &members {
+                if visits[m].iter().any(|v| v.cell == cell) {
+                    let p = p_codec.dequantize(quantized_prob(ct, m));
+                    p_total += p;
+                    if m != ref_orig {
+                        p_max = p_max.max(p);
+                    }
+                }
+            }
+            let ref_visit = visits[ref_orig].iter().find(|v| v.cell == cell);
+            node.ref_tuples.push(match ref_visit {
+                Some(v) => RefRegionTuple {
+                    cell,
+                    ref_idx: ref_idx as u32,
+                    fv: Some(v.fv),
+                    fv_no: v.entry_idx,
+                    d_pos: v.d_no * d_width,
+                    p_total,
+                    p_max,
+                },
+                None => RefRegionTuple {
+                    cell,
+                    ref_idx: ref_idx as u32,
+                    fv: None,
+                    fv_no: 0,
+                    d_pos: 0,
+                    p_total,
+                    p_max,
+                },
+            });
+        }
+    }
+
+    // Non-reference tuples.
+    for (nref_idx, cnref) in ct.nrefs.iter().enumerate() {
+        let orig = cnref.orig_idx as usize;
+        let ref_view = &views[ct.refs[cnref.ref_idx as usize].orig_idx as usize];
+        let factors = factor::factorize_e(&views[orig].entries, &ref_view.entries);
+        for v in &visits[orig] {
+            let (ma_pos, _) = factor_offset(
+                &factors,
+                ref_view.entries.len(),
+                views[orig].entries.len(),
+                crate::compressed::edge_number_width(net.max_out_degree()),
+                v.entry_idx,
+            );
+            node.nref_tuples.push(NrefRegionTuple {
+                cell: v.cell,
+                nref_idx: nref_idx as u32,
+                rv: v.fv,
+                rv_no: v.entry_idx,
+                ma_pos,
+            });
+        }
+    }
+    node
+}
+
+fn quantized_prob(ct: &CompressedTrajectory, orig_idx: usize) -> u64 {
+    ct.refs
+        .iter()
+        .find(|r| r.orig_idx as usize == orig_idx)
+        .map(|r| r.p_code)
+        .or_else(|| {
+            ct.nrefs
+                .iter()
+                .find(|n| n.orig_idx as usize == orig_idx)
+                .map(|n| n.p_code)
+        })
+        .expect("instance exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_dataset;
+    use crate::params::CompressParams;
+    use utcq_traj::paper_fixture;
+
+    fn paper_store() -> (utcq_network::RoadNetwork, Dataset, CompressedDataset) {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu],
+        };
+        let params = CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL);
+        let cds = compress_dataset(&fx.example.net, &ds, &params).unwrap();
+        (fx.example.net, ds, cds)
+    }
+
+    #[test]
+    fn temporal_tuples_partition_correctly() {
+        let (net, ds, cds) = paper_store();
+        // 15-minute partitions: samples 5:03–5:27 span [5:00,5:15) and
+        // [5:15,5:30) → two tuples.
+        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 8 });
+        let node = &stiu.trajs[0];
+        assert_eq!(node.temporal.len(), 2);
+        assert_eq!(node.temporal[0].start, paper_fixture::hms(5, 3, 25));
+        assert_eq!(node.temporal[0].no, 0);
+        assert_eq!(node.temporal[1].start, paper_fixture::hms(5, 15, 26));
+        assert_eq!(node.temporal[1].no, 3);
+        // Lookup semantics.
+        assert_eq!(
+            node.temporal_at(paper_fixture::hms(5, 10, 0)).unwrap().no,
+            0
+        );
+        assert_eq!(
+            node.temporal_at(paper_fixture::hms(5, 20, 0)).unwrap().no,
+            3
+        );
+        assert!(node.temporal_at(paper_fixture::hms(4, 0, 0)).is_none());
+    }
+
+    #[test]
+    fn spatial_tuples_cover_visited_cells() {
+        let (net, ds, cds) = paper_store();
+        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 4 });
+        let node = &stiu.trajs[0];
+        assert!(!node.ref_tuples.is_empty());
+        // Every instance's first region contains its first sample.
+        let grid = &stiu.grid;
+        let inst = &ds.trajectories[0].instances[0];
+        let l0 = inst.location(&net, 0);
+        let cell0 = grid.cell_of(net.point_on_edge(l0.edge, l0.ndist));
+        assert!(node.ref_tuples.iter().any(|t| t.cell == cell0));
+        // p_total in the first cell covers all three instances (they share
+        // the first edge).
+        let t0 = node.ref_tuples.iter().find(|t| t.cell == cell0).unwrap();
+        assert!((t0.p_total - 1.0).abs() < 0.01, "p_total={}", t0.p_total);
+        assert!(t0.p_max >= 0.19 && t0.p_max < 0.25, "p_max={}", t0.p_max);
+        assert_eq!(t0.fv_no, 0);
+    }
+
+    #[test]
+    fn interval_map_lists_trajectories() {
+        let (net, ds, cds) = paper_store();
+        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 8 });
+        assert_eq!(stiu.trajs_in_interval(paper_fixture::hms(5, 5, 0)), &[0]);
+        assert_eq!(stiu.trajs_in_interval(paper_fixture::hms(5, 20, 0)), &[0]);
+        assert!(stiu.trajs_in_interval(paper_fixture::hms(9, 0, 0)).is_empty());
+    }
+
+    #[test]
+    fn index_size_scales_with_partitions() {
+        let (net, ds, cds) = paper_store();
+        let coarse = build(&net, &ds, &cds, StiuParams { partition_s: 3600, grid_n: 8 });
+        let fine = build(&net, &ds, &cds, StiuParams { partition_s: 600, grid_n: 8 });
+        let (s_c, t_c) = coarse.size_bits(9);
+        let (s_f, t_f) = fine.size_bits(9);
+        assert_eq!(s_c, s_f, "spatial size independent of time partition");
+        assert!(t_f >= t_c, "finer partitions add temporal tuples");
+
+        let few = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 2 });
+        let many = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 32 });
+        let (s_few, _) = few.size_bits(9);
+        let (s_many, _) = many.size_bits(9);
+        assert!(s_many >= s_few, "finer grids add spatial tuples");
+    }
+
+    #[test]
+    fn nref_tuples_reference_valid_positions() {
+        let (net, ds, cds) = paper_store();
+        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 4 });
+        let node = &stiu.trajs[0];
+        assert!(!node.nref_tuples.is_empty());
+        for t in &node.nref_tuples {
+            let cnref = &cds.trajectories[0].nrefs[t.nref_idx as usize];
+            assert!((t.ma_pos as usize) < cnref.e_com.len_bits() || cnref.e_com.is_empty());
+        }
+    }
+}

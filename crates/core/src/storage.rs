@@ -1,0 +1,325 @@
+//! On-disk persistence of compressed datasets.
+//!
+//! A compact little-endian binary container (`UTCQ` magic, format
+//! version 1) holding the compression parameters, every compressed
+//! trajectory's bit streams, and the size accounting — everything needed
+//! to reopen a store and query it without the original data. The road
+//! network is *not* embedded (like the paper's setting, the network is a
+//! shared static asset); the loader checks the recorded edge-number
+//! width against the network it is given.
+
+use std::io::{self, Read, Write};
+
+use utcq_bitio::BitBuf;
+use utcq_network::VertexId;
+use utcq_traj::size::SizeBreakdown;
+
+use crate::compress::CompressedDataset;
+use crate::compressed::{CompressedNonRef, CompressedRef, CompressedTrajectory};
+use crate::params::CompressParams;
+
+const MAGIC: &[u8; 4] = b"UTCQ";
+const VERSION: u8 = 1;
+
+/// Errors while reading a container.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a UTCQ container or an unsupported version.
+    BadHeader,
+    /// Structurally invalid payload (corrupt lengths or padding).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::BadHeader => write!(f, "not a UTCQ v{VERSION} container"),
+            StorageError::Corrupt(what) => write!(f, "corrupt container: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn write_bits(w: &mut impl Write, b: &BitBuf) -> io::Result<()> {
+    write_u32(w, b.len_bits() as u32)?;
+    w.write_all(b.as_bytes())
+}
+
+fn read_bits(r: &mut impl Read) -> Result<BitBuf, StorageError> {
+    let len = read_u32(r)? as usize;
+    if len > (1 << 30) {
+        return Err(StorageError::Corrupt("bit stream longer than 2^30"));
+    }
+    let mut bytes = vec![0u8; len.div_ceil(8)];
+    r.read_exact(&mut bytes)?;
+    BitBuf::from_bytes(bytes, len).ok_or(StorageError::Corrupt("bit padding"))
+}
+
+fn write_breakdown(w: &mut impl Write, s: &SizeBreakdown) -> io::Result<()> {
+    for v in [s.t, s.e, s.d, s.tflag, s.p, s.sv] {
+        write_u64(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_breakdown(r: &mut impl Read) -> io::Result<SizeBreakdown> {
+    Ok(SizeBreakdown {
+        t: read_u64(r)?,
+        e: read_u64(r)?,
+        d: read_u64(r)?,
+        tflag: read_u64(r)?,
+        p: read_u64(r)?,
+        sv: read_u64(r)?,
+    })
+}
+
+/// Serializes a compressed dataset into a writer.
+pub fn save(cds: &CompressedDataset, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    write_f64(w, cds.params.eta_d)?;
+    write_f64(w, cds.params.eta_p)?;
+    write_u32(w, cds.params.n_pivots as u32)?;
+    write_u64(w, cds.params.default_interval as u64)?;
+    write_u32(w, cds.w_e)?;
+    let name = cds.name.as_bytes();
+    write_u32(w, name.len() as u32)?;
+    w.write_all(name)?;
+    write_breakdown(w, &cds.compressed)?;
+    write_breakdown(w, &cds.raw)?;
+    write_u64(w, cds.trajectories.len() as u64)?;
+    for ct in &cds.trajectories {
+        write_u64(w, ct.id)?;
+        write_u32(w, ct.n_times)?;
+        write_bits(w, &ct.t_bits)?;
+        write_u32(w, ct.refs.len() as u32)?;
+        for r in &ct.refs {
+            write_u32(w, r.orig_idx)?;
+            write_u32(w, r.sv.0)?;
+            write_u32(w, r.n_entries)?;
+            write_bits(w, &r.e_bits)?;
+            write_bits(w, &r.tflag_bits)?;
+            write_bits(w, &r.d_bits)?;
+            write_u64(w, r.p_code)?;
+        }
+        write_u32(w, ct.nrefs.len() as u32)?;
+        for n in &ct.nrefs {
+            write_u32(w, n.orig_idx)?;
+            write_u32(w, n.ref_idx)?;
+            write_bits(w, &n.e_com)?;
+            write_bits(w, &n.t_com)?;
+            write_bits(w, &n.d_com)?;
+            write_u64(w, n.p_code)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a compressed dataset from a reader.
+pub fn load(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic[..4] != MAGIC || magic[4] != VERSION {
+        return Err(StorageError::BadHeader);
+    }
+    let eta_d = read_f64(r)?;
+    let eta_p = read_f64(r)?;
+    let n_pivots = read_u32(r)? as usize;
+    let default_interval = read_u64(r)? as i64;
+    if !(eta_d > 0.0 && eta_d < 1.0 && eta_p > 0.0 && eta_p < 1.0) {
+        return Err(StorageError::Corrupt("error bounds out of range"));
+    }
+    let params = CompressParams {
+        eta_d,
+        eta_p,
+        n_pivots,
+        default_interval,
+    };
+    let w_e = read_u32(r)?;
+    if w_e == 0 || w_e > 32 {
+        return Err(StorageError::Corrupt("edge width out of range"));
+    }
+    let name_len = read_u32(r)? as usize;
+    if name_len > 4096 {
+        return Err(StorageError::Corrupt("name too long"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| StorageError::Corrupt("name utf8"))?;
+    let compressed = read_breakdown(r)?;
+    let raw = read_breakdown(r)?;
+    let n_trajs = read_u64(r)? as usize;
+    if n_trajs > (1 << 32) {
+        return Err(StorageError::Corrupt("trajectory count"));
+    }
+    let mut trajectories = Vec::with_capacity(n_trajs.min(1 << 20));
+    for _ in 0..n_trajs {
+        let id = read_u64(r)?;
+        let n_times = read_u32(r)?;
+        let t_bits = read_bits(r)?;
+        let n_refs = read_u32(r)? as usize;
+        let mut refs = Vec::with_capacity(n_refs.min(1 << 16));
+        for _ in 0..n_refs {
+            refs.push(CompressedRef {
+                orig_idx: read_u32(r)?,
+                sv: VertexId(read_u32(r)?),
+                n_entries: read_u32(r)?,
+                e_bits: read_bits(r)?,
+                tflag_bits: read_bits(r)?,
+                d_bits: read_bits(r)?,
+                p_code: read_u64(r)?,
+            });
+        }
+        let n_nrefs = read_u32(r)? as usize;
+        let mut nrefs = Vec::with_capacity(n_nrefs.min(1 << 16));
+        for _ in 0..n_nrefs {
+            let nref = CompressedNonRef {
+                orig_idx: read_u32(r)?,
+                ref_idx: read_u32(r)?,
+                e_com: read_bits(r)?,
+                t_com: read_bits(r)?,
+                d_com: read_bits(r)?,
+                p_code: read_u64(r)?,
+            };
+            if nref.ref_idx as usize >= refs.len() {
+                return Err(StorageError::Corrupt("non-reference points past refs"));
+            }
+            nrefs.push(nref);
+        }
+        trajectories.push(CompressedTrajectory {
+            id,
+            n_times,
+            t_bits,
+            refs,
+            nrefs,
+        });
+    }
+    Ok(CompressedDataset {
+        name,
+        params,
+        w_e,
+        trajectories,
+        compressed,
+        raw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_dataset;
+
+    fn sample() -> (utcq_network::RoadNetwork, CompressedDataset) {
+        let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 15, 31);
+        let params = CompressParams::with_interval(ds.default_interval);
+        let cds = compress_dataset(&net, &ds, &params).unwrap();
+        (net, cds)
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let (net, cds) = sample();
+        let mut bytes = Vec::new();
+        save(&cds, &mut bytes).unwrap();
+        let loaded = load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.name, cds.name);
+        assert_eq!(loaded.w_e, cds.w_e);
+        assert_eq!(loaded.compressed, cds.compressed);
+        assert_eq!(loaded.raw, cds.raw);
+        assert_eq!(loaded.trajectories.len(), cds.trajectories.len());
+        // Decompressing the loaded container matches decompressing the
+        // original.
+        let a = crate::decompress::decompress_dataset(&net, &cds).unwrap();
+        let b = crate::decompress::decompress_dataset(&net, &loaded).unwrap();
+        assert_eq!(a.trajectories, b.trajectories);
+    }
+
+    #[test]
+    fn container_size_tracks_compressed_size() {
+        let (_, cds) = sample();
+        let mut bytes = Vec::new();
+        save(&cds, &mut bytes).unwrap();
+        // The container should be within ~2x of the pure payload bits
+        // (framing adds per-stream lengths).
+        let payload_bytes = cds.compressed.total() / 8;
+        assert!(
+            (bytes.len() as u64) < payload_bytes * 2 + 4096,
+            "container {} vs payload {}",
+            bytes.len(),
+            payload_bytes
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Vec::new();
+        save(&sample().1, &mut bytes).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            load(&mut bytes.as_slice()),
+            Err(StorageError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut bytes = Vec::new();
+        save(&sample().1, &mut bytes).unwrap();
+        for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load(&mut bytes[..cut].as_ref()).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bitflips_do_not_panic() {
+        let mut bytes = Vec::new();
+        save(&sample().1, &mut bytes).unwrap();
+        // Flip a sample of bits across the container; load must return
+        // Ok or Err, never panic.
+        for i in (0..bytes.len()).step_by(37) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let _ = load(&mut corrupt.as_slice());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Compressed query answers must match the uncompressed oracle up to the
+//! PDDP error bounds — the property behind the paper's Fig. 11 (average
+//! difference ≈ 0, F1 ≈ 1).
+
+use utcq_core::params::CompressParams;
+use utcq_core::query::CompressedStore;
+use utcq_core::stiu::StiuParams;
+use utcq_core::{oracle, decompress::check_lossy_roundtrip};
+use utcq_network::{Rect, RoadNetwork};
+use utcq_traj::Dataset;
+
+fn setup(seed: u64, n: usize) -> (RoadNetwork, Dataset) {
+    utcq_datagen::generate(&utcq_datagen::profile::tiny(), n, seed)
+}
+
+fn store<'a>(net: &'a RoadNetwork, ds: &Dataset) -> CompressedStore<'a> {
+    CompressedStore::build(
+        net,
+        ds,
+        CompressParams::with_interval(ds.default_interval),
+        StiuParams {
+            partition_s: 600,
+            grid_n: 16,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn where_matches_oracle() {
+    let (net, ds) = setup(21, 20);
+    let st = store(&net, &ds);
+    let mut checked = 0usize;
+    for tu in &ds.trajectories {
+        let span = tu.times[tu.times.len() - 1] - tu.times[0];
+        for k in 0..5 {
+            let t = tu.times[0] + span * k / 4;
+            for &alpha in &[0.0, 0.2, 0.5] {
+                let want = oracle::where_query(&net, tu, t, alpha);
+                let got = st.where_query(tu.id, t, alpha).unwrap();
+                // Probability quantization can flip borderline α
+                // comparisons; filter those out identically on both sides
+                // using the exact probability.
+                let borderline =
+                    |w: u32| (tu.instances[w as usize].prob - alpha).abs() <= 2.0 / 512.0;
+                let want_core: Vec<_> =
+                    want.iter().filter(|h| !borderline(h.instance)).collect();
+                let got_core: Vec<_> =
+                    got.iter().filter(|h| !borderline(h.instance)).collect();
+                assert_eq!(want_core.len(), got_core.len(), "t={t} alpha={alpha}");
+                for (w, g) in want_core.iter().zip(&got_core) {
+                    assert_eq!(w.instance, g.instance);
+                    // Average-difference metric: the location error is
+                    // bounded by ηD accumulated over interpolation.
+                    let pw = net.point_on_edge(w.loc.edge, w.loc.ndist);
+                    let pg = net.point_on_edge(g.loc.edge, g.loc.ndist);
+                    let err = pw.dist(pg);
+                    assert!(err < 25.0, "where error {err} m at t={t}");
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked > 50, "too few comparisons: {checked}");
+}
+
+#[test]
+fn when_matches_oracle() {
+    let (net, ds) = setup(22, 20);
+    let st = store(&net, &ds);
+    let mut checked = 0usize;
+    for tu in &ds.trajectories {
+        // Query the middle edge of the most probable instance.
+        let inst = tu.top_instance();
+        let edge = inst.path[inst.path.len() / 2];
+        for &alpha in &[0.0, 0.3] {
+            let want = oracle::when_query(&net, tu, edge, 0.5, alpha);
+            let got = st.when_query(tu.id, edge, 0.5, alpha).unwrap();
+            // Decide "borderline α" per instance from the *exact*
+            // probability, so both sides filter identically (probability
+            // quantization may flip the comparison either way).
+            let borderline =
+                |w: u32| (tu.instances[w as usize].prob - alpha).abs() <= 2.0 / 512.0;
+            let mut want_core: Vec<_> =
+                want.iter().filter(|h| !borderline(h.instance)).collect();
+            let mut got_core: Vec<_> = got.iter().filter(|h| !borderline(h.instance)).collect();
+            // Quantized times can flip the order of near-simultaneous
+            // hits; align by (instance, time) instead.
+            want_core.sort_by(|a, b| a.instance.cmp(&b.instance).then(a.time.total_cmp(&b.time)));
+            got_core.sort_by(|a, b| a.instance.cmp(&b.instance).then(a.time.total_cmp(&b.time)));
+            assert_eq!(
+                want_core.len(),
+                got_core.len(),
+                "traj={} alpha={alpha}",
+                tu.id
+            );
+            for (w, g) in want_core.iter().zip(&got_core) {
+                assert_eq!(w.instance, g.instance);
+                assert!(
+                    (w.time - g.time).abs() < 20.0,
+                    "when error {} s",
+                    (w.time - g.time).abs()
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 20, "too few comparisons: {checked}");
+}
+
+#[test]
+fn range_matches_oracle() {
+    let (net, ds) = setup(23, 25);
+    let st = store(&net, &ds);
+    let bounds = net.bounding_rect();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for k in 0..40 {
+        let fx = (k % 8) as f64 / 8.0;
+        let fy = (k % 5) as f64 / 5.0;
+        let re = Rect::new(
+            bounds.min_x + fx * bounds.width(),
+            bounds.min_y + fy * bounds.height(),
+            bounds.min_x + (fx + 0.25) * bounds.width(),
+            bounds.min_y + (fy + 0.25) * bounds.height(),
+        );
+        let tq = ds.trajectories[k % ds.trajectories.len()].times[0] + 30;
+        for &alpha in &[0.05, 0.3, 0.7] {
+            let mut want = oracle::range_query(&net, &ds, &re, tq, alpha);
+            let mut got = st.range_query(&re, tq, alpha).unwrap();
+            want.sort_unstable();
+            got.sort_unstable();
+            total += 1;
+            if want == got {
+                agree += 1;
+            } else {
+                // Disagreements must stem from borderline probability
+                // masses near α (quantization) — check symmetric diff is
+                // small.
+                let wset: std::collections::HashSet<_> = want.iter().collect();
+                let gset: std::collections::HashSet<_> = got.iter().collect();
+                let diff = wset.symmetric_difference(&gset).count();
+                assert!(diff <= 2, "range answers diverge: {want:?} vs {got:?}");
+            }
+        }
+    }
+    // F1-style agreement should be near-perfect.
+    assert!(
+        agree as f64 / total as f64 > 0.9,
+        "agreement {agree}/{total}"
+    );
+}
+
+#[test]
+fn end_to_end_roundtrip_large() {
+    let (net, ds) = setup(24, 60);
+    let params = CompressParams::with_interval(ds.default_interval);
+    let cds = utcq_core::compress_dataset(&net, &ds, &params).unwrap();
+    let back = utcq_core::decompress_dataset(&net, &cds).unwrap();
+    for (a, b) in ds.trajectories.iter().zip(&back.trajectories) {
+        check_lossy_roundtrip(a, b, params.eta_d, params.eta_p).unwrap();
+    }
+    // And the headline: it actually compresses.
+    let r = cds.ratios();
+    assert!(r.total > 2.0, "total ratio {}", r.total);
+}

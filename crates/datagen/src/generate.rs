@@ -1,0 +1,196 @@
+//! End-to-end synthetic dataset generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use utcq_network::gen::grid_city;
+use utcq_network::RoadNetwork;
+use utcq_traj::Dataset;
+
+use crate::instances::{build_uncertain, VariantConfig};
+use crate::profile::DatasetProfile;
+use crate::route::random_route;
+use crate::times::time_sequence;
+
+/// Options for [`generate_on_network`].
+#[derive(Debug, Clone)]
+pub struct GenOptions {
+    /// Number of uncertain trajectories to generate.
+    pub n_trajectories: usize,
+    /// RNG seed (datasets are deterministic per seed).
+    pub seed: u64,
+    /// Lower clamp on the sampled instance count (the paper's Fig. 6
+    /// filters trajectories with ≥ 20 instances; generating with
+    /// `min_instances = 20` avoids discarding work).
+    pub min_instances: usize,
+    /// Upper clamp on samples per trajectory (the paper assumes at most
+    /// 2¹² timestamps).
+    pub max_samples: usize,
+    /// Variant-mutation knobs.
+    pub variants: VariantConfig,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            n_trajectories: 100,
+            seed: 0xC0FFEE,
+            min_instances: 1,
+            max_samples: 512,
+            variants: VariantConfig::default(),
+        }
+    }
+}
+
+/// Samples a count from a shifted-exponential with the given mean — a
+/// heavy-tailed distribution matching the paper's wide instance/length
+/// ranges (Table 5: e.g. 2–434 instances around a mean of 9).
+fn sample_count<R: Rng + ?Sized>(rng: &mut R, mean: f64, min: usize, max: usize) -> usize {
+    let min_f = min as f64;
+    let excess = (mean - min_f).max(0.0);
+    let u: f64 = rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12);
+    let sampled = min_f + (-(1.0 - u).ln()) * excess;
+    (sampled.round() as usize).clamp(min, max)
+}
+
+/// Generates the road network for a profile.
+pub fn generate_network(profile: &DatasetProfile, seed: u64) -> RoadNetwork {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x006E_6574_776F_726B); // "network"
+    grid_city(&profile.network, &mut rng)
+}
+
+/// Generates a dataset on an existing network.
+pub fn generate_on_network(
+    net: &RoadNetwork,
+    profile: &DatasetProfile,
+    opts: &GenOptions,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut trajectories = Vec::with_capacity(opts.n_trajectories);
+    let mut id = 0u64;
+    let mut failures = 0usize;
+    while trajectories.len() < opts.n_trajectories && failures < opts.n_trajectories * 4 + 64 {
+        let target_edges = sample_count(&mut rng, profile.avg_edges, 2, profile.max_edges);
+        let Some(route) = random_route(net, &mut rng, target_edges, 24) else {
+            failures += 1;
+            continue;
+        };
+        // Sample count from route length, nominal interval, and speed.
+        let length = net.path_length(&route);
+        let n = ((length / (profile.speed_mps * profile.default_interval as f64)).round()
+            as usize)
+            .clamp(2, opts.max_samples);
+        // Start time keeps the whole trajectory within one day.
+        let worst_span = (n as i64) * profile.default_interval * 3 + 400;
+        let t0 = rng.gen_range(0..(86_400 - worst_span).max(1));
+        let times = time_sequence(
+            &mut rng,
+            &profile.deviations,
+            t0,
+            n,
+            profile.default_interval,
+        );
+        let k = sample_count(
+            &mut rng,
+            profile.avg_instances,
+            opts.min_instances.max(1),
+            profile.max_instances,
+        );
+        let tu = build_uncertain(net, &mut rng, id, route, times, k, &opts.variants);
+        id += 1;
+        trajectories.push(tu);
+    }
+    Dataset {
+        name: profile.name.to_string(),
+        default_interval: profile.default_interval,
+        trajectories,
+    }
+}
+
+/// One-call generation: network + dataset.
+pub fn generate(profile: &DatasetProfile, n_trajectories: usize, seed: u64) -> (RoadNetwork, Dataset) {
+    let net = generate_network(profile, seed);
+    let ds = generate_on_network(
+        &net,
+        profile,
+        &GenOptions {
+            n_trajectories,
+            seed,
+            ..GenOptions::default()
+        },
+    );
+    (net, ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+
+    #[test]
+    fn generated_dataset_is_valid() {
+        let (net, ds) = generate(&profile::tiny(), 40, 1);
+        assert_eq!(ds.trajectories.len(), 40);
+        assert_eq!(ds.validate(&net), Ok(()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, a) = generate(&profile::tiny(), 10, 99);
+        let (_, b) = generate(&profile::tiny(), 10, 99);
+        assert_eq!(a.trajectories, b.trajectories);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, a) = generate(&profile::tiny(), 10, 1);
+        let (_, b) = generate(&profile::tiny(), 10, 2);
+        assert_ne!(a.trajectories, b.trajectories);
+    }
+
+    #[test]
+    fn sample_count_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let k = sample_count(&mut rng, 9.0, 2, 64);
+            assert!((2..=64).contains(&k));
+        }
+        // Mean in the right ballpark.
+        let mean: f64 = (0..4000)
+            .map(|_| sample_count(&mut rng, 9.0, 1, 1000) as f64)
+            .sum::<f64>()
+            / 4000.0;
+        assert!((mean - 9.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn min_instances_is_enforced_as_target() {
+        let net = generate_network(&profile::tiny(), 3);
+        let ds = generate_on_network(
+            &net,
+            &profile::tiny(),
+            &GenOptions {
+                n_trajectories: 12,
+                seed: 3,
+                min_instances: 6,
+                ..GenOptions::default()
+            },
+        );
+        // Mutation search may fall short of the target occasionally, but
+        // most trajectories should reach ≥ 6 instances.
+        let reached = ds
+            .trajectories
+            .iter()
+            .filter(|t| t.instance_count() >= 6)
+            .count();
+        assert!(reached >= 8, "only {reached}/12 reached the target");
+    }
+
+    #[test]
+    fn times_fit_within_a_day() {
+        let (_, ds) = generate(&profile::tiny(), 30, 7);
+        for tu in &ds.trajectories {
+            assert!(*tu.times.first().unwrap() >= 0);
+            assert!(*tu.times.last().unwrap() < 86_400);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic NCUT dataset generation for the UTCQ reproduction.
+//!
+//! The paper's Denmark / Chengdu / Hangzhou taxi datasets are proprietary;
+//! this crate generates statistically equivalent stand-ins. Each
+//! [`profile::DatasetProfile`] pins the distributions the paper's
+//! algorithms are sensitive to — default sample interval and its deviation
+//! mix (Fig. 4a), instances per trajectory and edges per instance
+//! (Table 5), and intra-trajectory path similarity (Fig. 4b) — and
+//! [`generate::generate`] produces a road network plus a valid dataset
+//! from them, deterministically per seed.
+//!
+//! [`transform`] hosts the sweeps the evaluation needs (instance-count,
+//! length, and data-size fractions), and [`raw`] synthesizes noisy GPS
+//! observations for the map-matching pipeline.
+
+pub mod generate;
+pub mod instances;
+pub mod profile;
+pub mod raw;
+pub mod route;
+pub mod times;
+pub mod transform;
+
+pub use generate::{generate, generate_network, generate_on_network, GenOptions};
+pub use profile::DatasetProfile;

@@ -1,0 +1,196 @@
+//! Dataset profiles calibrated to the paper's Tables 5–6 and Figure 4.
+//!
+//! The paper evaluates on three proprietary GPS datasets. Each profile
+//! captures every distribution the compression pipeline is sensitive to;
+//! the generator reproduces them and `fig4_stats` verifies the match.
+
+use utcq_network::gen::GridCityConfig;
+
+/// The sample-interval deviation mix (Figure 4a buckets, as fractions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviationMix {
+    /// P(|Δ| = 0).
+    pub zero: f64,
+    /// P(|Δ| = 1).
+    pub one: f64,
+    /// P(|Δ| ∈ (1, 50]).
+    pub upto50: f64,
+    /// P(|Δ| ∈ (50, 100]).
+    pub upto100: f64,
+    /// P(|Δ| > 100).
+    pub over100: f64,
+}
+
+impl DeviationMix {
+    /// Checks the mix sums to 1.
+    pub fn is_normalized(&self) -> bool {
+        (self.zero + self.one + self.upto50 + self.upto100 + self.over100 - 1.0).abs() < 1e-9
+    }
+}
+
+/// A synthetic stand-in for one of the paper's datasets.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset label.
+    pub name: &'static str,
+    /// Default sample interval `Ts` (Table 5: DK 1 s, CD 10 s, HZ 20 s).
+    pub default_interval: i64,
+    /// Figure 4a deviation mix.
+    pub deviations: DeviationMix,
+    /// Mean instances per uncertain trajectory (Table 5: 9 / 3 / 13).
+    pub avg_instances: f64,
+    /// Hard cap on instances per trajectory.
+    pub max_instances: usize,
+    /// Mean edges per instance path (Table 5: 14 / 11 / 13).
+    pub avg_edges: f64,
+    /// Hard cap on edges per path.
+    pub max_edges: usize,
+    /// Mean vehicle speed in m/s for the movement simulation.
+    pub speed_mps: f64,
+    /// Road-network generator settings (Table 6 out-degree calibration).
+    pub network: GridCityConfig,
+}
+
+/// Denmark: 1 s interval, 93 % of intervals within ±1 s, few but long
+/// trajectories per vehicle, sparse rural network (avg out-degree 2.449).
+pub fn dk() -> DatasetProfile {
+    DatasetProfile {
+        name: "DK",
+        default_interval: 1,
+        deviations: DeviationMix {
+            zero: 0.80,
+            one: 0.13,
+            upto50: 0.05,
+            upto100: 0.013,
+            over100: 0.007,
+        },
+        avg_instances: 9.0,
+        max_instances: 64,
+        avg_edges: 14.0,
+        max_edges: 140,
+        speed_mps: 18.0,
+        network: GridCityConfig {
+            nx: 48,
+            ny: 48,
+            spacing: 250.0,
+            jitter: 0.2,
+            p_remove: 0.36,
+            p_diagonal: 0.02,
+        },
+    }
+}
+
+/// Chengdu: 10 s interval, 62 % within ±1 s, few instances per trajectory,
+/// dense urban grid (avg out-degree 2.834).
+pub fn cd() -> DatasetProfile {
+    DatasetProfile {
+        name: "CD",
+        default_interval: 10,
+        deviations: DeviationMix {
+            zero: 0.45,
+            one: 0.17,
+            upto50: 0.28,
+            upto100: 0.07,
+            over100: 0.03,
+        },
+        avg_instances: 3.0,
+        max_instances: 48,
+        avg_edges: 11.0,
+        max_edges: 148,
+        speed_mps: 11.0,
+        network: GridCityConfig {
+            nx: 40,
+            ny: 40,
+            spacing: 180.0,
+            jitter: 0.15,
+            p_remove: 0.2,
+            p_diagonal: 0.06,
+        },
+    }
+}
+
+/// Hangzhou: 20 s interval, 54 % within ±1 s, many instances per
+/// trajectory, dense urban grid (avg out-degree 2.791).
+pub fn hz() -> DatasetProfile {
+    DatasetProfile {
+        name: "HZ",
+        default_interval: 20,
+        deviations: DeviationMix {
+            zero: 0.38,
+            one: 0.16,
+            upto50: 0.32,
+            upto100: 0.09,
+            over100: 0.05,
+        },
+        avg_instances: 13.0,
+        max_instances: 96,
+        avg_edges: 13.0,
+        max_edges: 189,
+        speed_mps: 10.0,
+        network: GridCityConfig {
+            nx: 36,
+            ny: 36,
+            spacing: 170.0,
+            jitter: 0.15,
+            p_remove: 0.22,
+            p_diagonal: 0.05,
+        },
+    }
+}
+
+/// All three profiles in the paper's order.
+pub fn all() -> Vec<DatasetProfile> {
+    vec![dk(), cd(), hz()]
+}
+
+/// A miniature profile for fast unit tests.
+pub fn tiny() -> DatasetProfile {
+    DatasetProfile {
+        name: "tiny",
+        default_interval: 10,
+        deviations: DeviationMix {
+            zero: 0.6,
+            one: 0.2,
+            upto50: 0.15,
+            upto100: 0.04,
+            over100: 0.01,
+        },
+        avg_instances: 4.0,
+        max_instances: 12,
+        avg_edges: 8.0,
+        max_edges: 30,
+        speed_mps: 12.0,
+        network: GridCityConfig::tiny(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_normalized() {
+        for p in all() {
+            assert!(p.deviations.is_normalized(), "{} mix not normalized", p.name);
+        }
+        assert!(tiny().deviations.is_normalized());
+    }
+
+    #[test]
+    fn within_one_matches_paper_headline() {
+        // Fig. 4a: 93 % DK, 62 % CD, 54 % HZ within ±1 s.
+        assert!((dk().deviations.zero + dk().deviations.one - 0.93).abs() < 1e-9);
+        assert!((cd().deviations.zero + cd().deviations.one - 0.62).abs() < 1e-9);
+        assert!((hz().deviations.zero + hz().deviations.one - 0.54).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table5_means() {
+        assert_eq!(dk().default_interval, 1);
+        assert_eq!(cd().default_interval, 10);
+        assert_eq!(hz().default_interval, 20);
+        assert_eq!(dk().avg_instances, 9.0);
+        assert_eq!(cd().avg_instances, 3.0);
+        assert_eq!(hz().avg_instances, 13.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Raw GPS synthesis: noisy observations of a moving object.
+//!
+//! Feeds the probabilistic map-matcher (`utcq-matcher`): a ground-truth
+//! instance is sampled into planar points with Gaussian position noise,
+//! mimicking the off-road GPS fixes of the paper's Figure 1.
+
+use rand::Rng;
+use utcq_network::RoadNetwork;
+use utcq_traj::{Instance, RawPoint, RawTrajectory};
+
+/// A standard-normal sample via Box–Muller (keeps the dependency set to
+/// plain `rand`).
+pub fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Observes an instance as a raw trajectory with isotropic Gaussian noise
+/// of standard deviation `sigma` meters.
+pub fn observe(
+    net: &RoadNetwork,
+    inst: &Instance,
+    times: &[i64],
+    sigma: f64,
+    rng: &mut (impl Rng + ?Sized),
+) -> RawTrajectory {
+    let points = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let loc = inst.location(net, i);
+            let p = net.point_on_edge(loc.edge, loc.ndist);
+            RawPoint {
+                x: p.x + sigma * gauss(rng),
+                y: p.y + sigma * gauss(rng),
+                t,
+            }
+        })
+        .collect();
+    RawTrajectory { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::base_positions;
+    use crate::route::random_route;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use utcq_network::gen::{grid_city, GridCityConfig};
+
+    #[test]
+    fn gauss_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn observation_stays_near_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+        let route = random_route(&net, &mut rng, 8, 20).unwrap();
+        let times: Vec<i64> = (0..10).map(|i| i * 15).collect();
+        let positions = base_positions(&net, &mut rng, &route, &times);
+        let inst = Instance {
+            path: route,
+            positions,
+            prob: 1.0,
+        };
+        let raw = observe(&net, &inst, &times, 5.0, &mut rng);
+        assert_eq!(raw.points.len(), times.len());
+        for (i, p) in raw.points.iter().enumerate() {
+            let loc = inst.location(&net, i);
+            let truth = net.point_on_edge(loc.edge, loc.ndist);
+            let err = ((p.x - truth.x).powi(2) + (p.y - truth.y).powi(2)).sqrt();
+            assert!(err < 40.0, "gps noise implausibly large: {err}");
+            assert_eq!(p.t, times[i]);
+        }
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+        let route = random_route(&net, &mut rng, 6, 20).unwrap();
+        let times: Vec<i64> = (0..6).map(|i| i * 15).collect();
+        let positions = base_positions(&net, &mut rng, &route, &times);
+        let inst = Instance {
+            path: route,
+            positions,
+            prob: 1.0,
+        };
+        let raw = observe(&net, &inst, &times, 0.0, &mut rng);
+        for (i, p) in raw.points.iter().enumerate() {
+            let loc = inst.location(&net, i);
+            let truth = net.point_on_edge(loc.edge, loc.ndist);
+            assert!((p.x - truth.x).abs() < 1e-12);
+            assert!((p.y - truth.y).abs() < 1e-12);
+        }
+    }
+}

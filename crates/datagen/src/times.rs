@@ -1,0 +1,123 @@
+//! Time-sequence synthesis with realistic sample-interval jitter.
+//!
+//! The paper observes (Fig. 4a) that real GPS intervals deviate from the
+//! nominal interval in a heavy-headed way: most deviations are 0 or ±1 s,
+//! but a tail reaches minutes. SIAR (§4.1) and the improved Exp-Golomb
+//! code (§4.4) are designed around exactly this mix, so the generator must
+//! reproduce it.
+
+use rand::Rng;
+
+use crate::profile::DeviationMix;
+
+/// Samples one signed deviation from the Figure 4a mix.
+///
+/// `min_interval` guards strict monotonicity: the resulting interval
+/// `Ts + Δ` is at least 1 s, so for small `Ts` negative tails clamp.
+pub fn sample_deviation<R: Rng + ?Sized>(rng: &mut R, mix: &DeviationMix, ts: i64) -> i64 {
+    let u: f64 = rng.gen();
+    let mag: i64 = if u < mix.zero {
+        0
+    } else if u < mix.zero + mix.one {
+        1
+    } else if u < mix.zero + mix.one + mix.upto50 {
+        rng.gen_range(2..=50)
+    } else if u < mix.zero + mix.one + mix.upto50 + mix.upto100 {
+        rng.gen_range(51..=100)
+    } else {
+        rng.gen_range(101..=300)
+    };
+    if mag == 0 {
+        return 0;
+    }
+    // Negative only when the interval stays ≥ 1 s.
+    let can_negate = ts - mag >= 1;
+    if can_negate && rng.gen::<bool>() {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Generates a strictly increasing time sequence of `n` samples starting at
+/// `t0` with nominal interval `ts`.
+pub fn time_sequence<R: Rng + ?Sized>(
+    rng: &mut R,
+    mix: &DeviationMix,
+    t0: i64,
+    n: usize,
+    ts: i64,
+) -> Vec<i64> {
+    let mut times = Vec::with_capacity(n);
+    let mut t = t0;
+    times.push(t);
+    for _ in 1..n {
+        let dev = sample_deviation(rng, mix, ts);
+        t += (ts + dev).max(1);
+        times.push(t);
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequences_strictly_increase() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for p in profile::all() {
+            let ts = time_sequence(&mut rng, &p.deviations, 1000, 200, p.default_interval);
+            assert_eq!(ts.len(), 200);
+            assert!(ts.windows(2).all(|w| w[0] < w[1]), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn deviation_mix_is_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = profile::cd();
+        let n = 40_000;
+        let mut within_one = 0;
+        for _ in 0..n {
+            let d = sample_deviation(&mut rng, &p.deviations, p.default_interval);
+            if d.abs() <= 1 {
+                within_one += 1;
+            }
+        }
+        let frac = f64::from(within_one) / f64::from(n);
+        // CD target: 62 % within ±1 s.
+        assert!((frac - 0.62).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn dk_never_produces_nonpositive_intervals() {
+        // Ts = 1 s: all deviations must keep interval ≥ 1.
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = profile::dk();
+        let ts = time_sequence(&mut rng, &p.deviations, 0, 5000, 1);
+        assert!(ts.windows(2).all(|w| w[1] - w[0] >= 1));
+    }
+
+    #[test]
+    fn deviations_take_both_signs_when_possible() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let p = profile::hz(); // Ts = 20 s leaves room for negatives
+        let mut pos = 0;
+        let mut neg = 0;
+        for _ in 0..20_000 {
+            match sample_deviation(&mut rng, &p.deviations, 20) {
+                d if d > 0 => pos += 1,
+                d if d < 0 => neg += 1,
+                _ => {}
+            }
+        }
+        assert!(pos > 0 && neg > 0);
+        // Large deviations can only be positive (interval must stay ≥ 1 s),
+        // so a positive skew is expected — but small deviations balance.
+        assert!((pos as f64 / (pos + neg) as f64) < 0.85);
+    }
+}

@@ -1,0 +1,211 @@
+//! Dataset transforms used by the experiment sweeps.
+//!
+//! Figure 6 varies the *number of instances* (60–100 % of each
+//! trajectory's instances, over trajectories with ≥ 20 instances);
+//! Figure 7 varies the *trajectory length* (20–100 % of samples, over
+//! trajectories with ≥ 20 edges); Figure 12 varies the *data size*
+//! (20–100 % of the trajectories).
+
+use utcq_traj::{Dataset, UncertainTrajectory};
+
+/// Keeps only trajectories with at least `k` instances (Fig. 6 filter).
+pub fn filter_min_instances(ds: &Dataset, k: usize) -> Dataset {
+    Dataset {
+        name: ds.name.clone(),
+        default_interval: ds.default_interval,
+        trajectories: ds
+            .trajectories
+            .iter()
+            .filter(|t| t.instance_count() >= k)
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Keeps only trajectories whose most-probable instance has at least `k`
+/// path edges (Fig. 7 filter).
+pub fn filter_min_edges(ds: &Dataset, k: usize) -> Dataset {
+    Dataset {
+        name: ds.name.clone(),
+        default_interval: ds.default_interval,
+        trajectories: ds
+            .trajectories
+            .iter()
+            .filter(|t| t.top_instance().path.len() >= k)
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Keeps the `frac` most-probable instances of each trajectory (at least
+/// one), renormalizing probabilities.
+pub fn keep_instance_fraction(ds: &Dataset, frac: f64) -> Dataset {
+    let mut out = ds.clone();
+    for tu in &mut out.trajectories {
+        let keep = ((tu.instance_count() as f64 * frac).ceil() as usize)
+            .clamp(1, tu.instance_count());
+        tu.instances
+            .sort_by(|a, b| b.prob.total_cmp(&a.prob));
+        tu.instances.truncate(keep);
+        let total: f64 = tu.instances.iter().map(|i| i.prob).sum();
+        for inst in &mut tu.instances {
+            inst.prob /= total;
+        }
+    }
+    out
+}
+
+/// Truncates each trajectory to its first `frac` samples (at least two),
+/// cutting every instance's path at the edge of its last kept sample.
+pub fn keep_length_fraction(ds: &Dataset, frac: f64) -> Dataset {
+    let mut out = ds.clone();
+    for tu in &mut out.trajectories {
+        let keep = ((tu.times.len() as f64 * frac).round() as usize).clamp(2, tu.times.len());
+        truncate_trajectory(tu, keep);
+    }
+    out
+}
+
+/// Truncates one trajectory to its first `keep` samples.
+pub fn truncate_trajectory(tu: &mut UncertainTrajectory, keep: usize) {
+    let keep = keep.clamp(2, tu.times.len());
+    if keep == tu.times.len() {
+        return;
+    }
+    tu.times.truncate(keep);
+    for inst in &mut tu.instances {
+        inst.positions.truncate(keep);
+        let last_edge = inst.positions.last().expect("keep >= 2").path_idx as usize;
+        inst.path.truncate(last_edge + 1);
+    }
+    // Truncation can make formerly distinct instances identical; keep the
+    // first of each equivalence class and fold probabilities into it.
+    let mut kept: Vec<usize> = Vec::new();
+    let mut folded: Vec<f64> = Vec::new();
+    for i in 0..tu.instances.len() {
+        let mut dup_of = None;
+        for (slot, &j) in kept.iter().enumerate() {
+            if tu.instances[j].path == tu.instances[i].path
+                && tu.instances[j].positions == tu.instances[i].positions
+            {
+                dup_of = Some(slot);
+                break;
+            }
+        }
+        match dup_of {
+            Some(slot) => folded[slot] += tu.instances[i].prob,
+            None => {
+                kept.push(i);
+                folded.push(tu.instances[i].prob);
+            }
+        }
+    }
+    let mut new_instances = Vec::with_capacity(kept.len());
+    for (&i, &p) in kept.iter().zip(&folded) {
+        let mut inst = tu.instances[i].clone();
+        inst.prob = p;
+        new_instances.push(inst);
+    }
+    let total: f64 = new_instances.iter().map(|i| i.prob).sum();
+    for inst in &mut new_instances {
+        inst.prob /= total;
+    }
+    tu.instances = new_instances;
+}
+
+/// Keeps the first `frac` of the trajectories (Fig. 12 data-size sweep).
+pub fn subset_fraction(ds: &Dataset, frac: f64) -> Dataset {
+    let keep = ((ds.trajectories.len() as f64 * frac).round() as usize)
+        .clamp(0, ds.trajectories.len());
+    Dataset {
+        name: ds.name.clone(),
+        default_interval: ds.default_interval,
+        trajectories: ds.trajectories[..keep].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+    use crate::profile;
+
+    fn tiny_ds() -> (utcq_network::RoadNetwork, Dataset) {
+        generate(&profile::tiny(), 30, 5)
+    }
+
+    #[test]
+    fn instance_fraction_keeps_validity() {
+        let (net, ds) = tiny_ds();
+        for frac in [0.2, 0.5, 0.8, 1.0] {
+            let cut = keep_instance_fraction(&ds, frac);
+            assert_eq!(cut.validate(&net), Ok(()), "frac={frac}");
+            for (a, b) in cut.trajectories.iter().zip(&ds.trajectories) {
+                assert!(a.instance_count() <= b.instance_count());
+                assert!(a.instance_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn length_fraction_keeps_validity() {
+        let (net, ds) = tiny_ds();
+        for frac in [0.2, 0.4, 0.6, 0.8, 1.0] {
+            let cut = keep_length_fraction(&ds, frac);
+            assert_eq!(cut.validate(&net), Ok(()), "frac={frac}");
+            for (a, b) in cut.trajectories.iter().zip(&ds.trajectories) {
+                assert!(a.times.len() <= b.times.len());
+                assert!(a.times.len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn full_fraction_is_identity() {
+        let (_, ds) = tiny_ds();
+        let same = keep_length_fraction(&ds, 1.0);
+        assert_eq!(same.trajectories, ds.trajectories);
+        let same = keep_instance_fraction(&ds, 1.0);
+        // keep_instance_fraction sorts by probability; counts must match.
+        for (a, b) in same.trajectories.iter().zip(&ds.trajectories) {
+            assert_eq!(a.instance_count(), b.instance_count());
+        }
+    }
+
+    #[test]
+    fn filters_apply_thresholds() {
+        let (_, ds) = tiny_ds();
+        let f = filter_min_instances(&ds, 4);
+        assert!(f.trajectories.iter().all(|t| t.instance_count() >= 4));
+        let f = filter_min_edges(&ds, 10);
+        assert!(f.trajectories.iter().all(|t| t.top_instance().path.len() >= 10));
+    }
+
+    #[test]
+    fn subset_takes_prefix() {
+        let (_, ds) = tiny_ds();
+        let half = subset_fraction(&ds, 0.5);
+        assert_eq!(half.trajectories.len(), 15);
+        assert_eq!(half.trajectories[0], ds.trajectories[0]);
+    }
+
+    #[test]
+    fn truncation_folds_duplicate_instances() {
+        let (net, ds) = tiny_ds();
+        let cut = keep_length_fraction(&ds, 0.2);
+        for tu in &cut.trajectories {
+            let sum: f64 = tu.instances.iter().map(|i| i.prob).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            for a in 0..tu.instances.len() {
+                for b in a + 1..tu.instances.len() {
+                    assert!(
+                        tu.instances[a].path != tu.instances[b].path
+                            || tu.instances[a].positions != tu.instances[b].positions,
+                        "duplicate instances survived truncation"
+                    );
+                }
+            }
+        }
+        assert_eq!(cut.validate(&net), Ok(()));
+    }
+}

@@ -1,0 +1,371 @@
+//! The HMM map-matcher.
+
+use utcq_network::path::{shortest_path, ShortestPath};
+use utcq_network::spatial::{EdgeCandidate, EdgeIndex};
+use utcq_network::{Point, RoadNetwork};
+use utcq_traj::{Instance, PathPosition, RawTrajectory, UncertainTrajectory};
+
+/// Matcher tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MatcherConfig {
+    /// Candidate search radius in meters.
+    pub radius: f64,
+    /// Maximum candidates kept per GPS point.
+    pub max_candidates: usize,
+    /// GPS noise standard deviation (emission model), meters.
+    pub sigma: f64,
+    /// Transition scale β: score = −|route − great-circle| / β.
+    pub beta: f64,
+    /// Number of candidate paths (instances) to extract.
+    pub k_paths: usize,
+    /// Route distance cap as a multiple of the great-circle distance
+    /// (plus a slack) — transitions beyond it are forbidden.
+    pub max_route_factor: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self {
+            radius: 40.0,
+            max_candidates: 4,
+            sigma: 8.0,
+            beta: 20.0,
+            k_paths: 8,
+            max_route_factor: 3.0,
+        }
+    }
+}
+
+/// A memoized route lookup result: distance plus connector edges, or
+/// `None` when unreachable within the cap.
+type RouteResult = Option<(f64, Vec<utcq_network::EdgeId>)>;
+
+/// A probabilistic map-matcher over one road network.
+pub struct Matcher<'n> {
+    net: &'n RoadNetwork,
+    index: EdgeIndex,
+}
+
+impl<'n> Matcher<'n> {
+    /// Builds the matcher (and its edge spatial index).
+    pub fn new(net: &'n RoadNetwork, index_cell_size: f64) -> Self {
+        Self {
+            net,
+            index: EdgeIndex::build(net, index_cell_size),
+        }
+    }
+
+    /// Matches a raw trajectory into an uncertain trajectory with up to
+    /// `cfg.k_paths` instances. Returns `None` when no consistent
+    /// candidate sequence exists (e.g. all points off-network).
+    pub fn match_trajectory(
+        &self,
+        raw: &RawTrajectory,
+        cfg: &MatcherConfig,
+    ) -> Option<UncertainTrajectory> {
+        if raw.points.len() < 2 {
+            return None;
+        }
+        // Candidate sets; points with no candidates are dropped (the
+        // standard HMM-breaking heuristic).
+        let mut kept_times = Vec::new();
+        let mut candidates: Vec<Vec<EdgeCandidate>> = Vec::new();
+        for p in &raw.points {
+            let pt = Point::new(p.x, p.y);
+            let mut cands = self.index.candidates_within(self.net, pt, cfg.radius);
+            if cands.is_empty() {
+                cands = self
+                    .index
+                    .candidates_within(self.net, pt, cfg.radius * 2.0);
+            }
+            if cands.is_empty() {
+                continue;
+            }
+            cands.truncate(cfg.max_candidates);
+            kept_times.push(p.t);
+            candidates.push(cands);
+        }
+        if candidates.len() < 2 {
+            return None;
+        }
+        let kept_points: Vec<Point> = raw
+            .points
+            .iter()
+            .filter(|p| kept_times.contains(&p.t))
+            .map(|p| Point::new(p.x, p.y))
+            .collect();
+
+        // Emissions: Gaussian in projection distance.
+        let emissions: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|cs| {
+                cs.iter()
+                    .map(|c| -(c.dist * c.dist) / (2.0 * cfg.sigma * cfg.sigma))
+                    .collect()
+            })
+            .collect();
+
+        // Transition scoring with memoized routes.
+        let mut route_cache: std::collections::HashMap<(usize, usize, usize), RouteResult> =
+            std::collections::HashMap::new();
+        let mut route = |i: usize, a: usize, b: usize| -> RouteResult {
+            let key = (i, a, b);
+            if let Some(r) = route_cache.get(&key) {
+                return r.clone();
+            }
+            let ca = candidates[i][a];
+            let cb = candidates[i + 1][b];
+            let straight = kept_points[i].dist(kept_points[i + 1]);
+            let cap = cfg.max_route_factor * straight + 4.0 * cfg.radius;
+            let r = route_between(self.net, &ca, &cb, cap);
+            route_cache.insert(key, r.clone());
+            r
+        };
+        let trans = |i: usize, a: usize, b: usize, route: &mut dyn FnMut(usize, usize, usize) -> RouteResult| -> f64 {
+            match route(i, a, b) {
+                Some((d, _)) => {
+                    let straight = kept_points[i].dist(kept_points[i + 1]);
+                    -((d - straight).abs()) / cfg.beta
+                }
+                None => f64::NEG_INFINITY,
+            }
+        };
+
+        let paths = crate::kbest::k_best_viterbi(
+            &emissions,
+            |i, a, b| trans(i, a, b, &mut route),
+            cfg.k_paths,
+        );
+        if paths.is_empty() {
+            return None;
+        }
+
+        // Materialize instances.
+        let mut instances: Vec<(Instance, f64)> = Vec::new();
+        'path: for kp in &paths {
+            let mut path: Vec<utcq_network::EdgeId> = Vec::new();
+            let mut positions: Vec<PathPosition> = Vec::new();
+            let first = candidates[0][kp.choices[0]];
+            path.push(first.edge);
+            positions.push(PathPosition {
+                path_idx: 0,
+                rd: rd_of(self.net, &first),
+            });
+            for i in 0..kp.choices.len() - 1 {
+                let ca = candidates[i][kp.choices[i]];
+                let cb = candidates[i + 1][kp.choices[i + 1]];
+                let Some((_, edges)) = route(i, kp.choices[i], kp.choices[i + 1]) else {
+                    continue 'path;
+                };
+                // `edges` is the connector between ca's edge and cb's edge
+                // (empty when both lie on the same edge moving forward).
+                path.extend(edges.iter().copied());
+                if *path.last().unwrap() != cb.edge {
+                    path.push(cb.edge);
+                }
+                positions.push(PathPosition {
+                    path_idx: (path.len() - 1) as u32,
+                    rd: rd_of(self.net, &cb),
+                });
+                let _ = ca;
+            }
+            let inst = Instance {
+                path,
+                positions,
+                prob: 0.0,
+            };
+            if inst.validate(self.net, kept_times.len()).is_ok() {
+                instances.push((inst, kp.score));
+            }
+        }
+        if instances.is_empty() {
+            return None;
+        }
+        // Dedup identical instances (different candidate sequences can
+        // collapse to the same path), keeping the best score.
+        instances.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut unique: Vec<(Instance, f64)> = Vec::new();
+        for (inst, score) in instances {
+            if !unique
+                .iter()
+                .any(|(u, _)| u.path == inst.path && u.positions == inst.positions)
+            {
+                unique.push((inst, score));
+            }
+        }
+        // Softmax over log-scores.
+        let max_score = unique[0].1;
+        let weights: Vec<f64> = unique.iter().map(|(_, s)| (s - max_score).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut out = Vec::with_capacity(unique.len());
+        for ((mut inst, _), w) in unique.into_iter().zip(weights) {
+            inst.prob = w / total;
+            out.push(inst);
+        }
+        Some(UncertainTrajectory {
+            id: 0,
+            times: kept_times,
+            instances: out,
+        })
+    }
+}
+
+/// Relative distance of a candidate on its edge, clamped off the exact
+/// end point.
+fn rd_of(net: &RoadNetwork, c: &EdgeCandidate) -> f64 {
+    let len = net.edge_length(c.edge);
+    if len <= 0.0 {
+        0.0
+    } else {
+        (c.ndist / len).clamp(0.0, 1.0)
+    }
+}
+
+/// Network route between two on-edge positions: distance plus the
+/// connector edges strictly between the two candidate edges.
+///
+/// Returns `None` when no route exists within `cap` meters, or when the
+/// movement would go backwards along a shared edge.
+fn route_between(
+    net: &RoadNetwork,
+    a: &EdgeCandidate,
+    b: &EdgeCandidate,
+    cap: f64,
+) -> Option<(f64, Vec<utcq_network::EdgeId>)> {
+    if a.edge == b.edge && b.ndist >= a.ndist {
+        return Some((b.ndist - a.ndist, Vec::new()));
+    }
+    let from = net.edge_to(a.edge);
+    let to = net.edge_from(b.edge);
+    let tail = net.edge_length(a.edge) - a.ndist;
+    if from == to {
+        let d = tail + b.ndist;
+        return (d <= cap).then_some((d, Vec::new()));
+    }
+    let sp: ShortestPath = shortest_path(net, from, to, cap)?;
+    let d = tail + sp.dist + b.ndist;
+    (d <= cap).then_some((d, sp.edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use utcq_datagen::instances::base_positions;
+    use utcq_datagen::raw::observe;
+    use utcq_datagen::route::random_route;
+    use utcq_network::gen::{grid_city, GridCityConfig};
+
+    fn ground_truth(
+        net: &RoadNetwork,
+        rng: &mut StdRng,
+        n_edges: usize,
+        interval: i64,
+    ) -> (Instance, Vec<i64>) {
+        let route = random_route(net, rng, n_edges, 30).unwrap();
+        let length = net.path_length(&route);
+        let n = ((length / (12.0 * interval as f64)).round() as usize).clamp(3, 40);
+        let times: Vec<i64> = (0..n as i64).map(|i| 1000 + i * interval).collect();
+        let positions = base_positions(net, rng, &route, &times);
+        (
+            Instance {
+                path: route,
+                positions,
+                prob: 1.0,
+            },
+            times,
+        )
+    }
+
+    #[test]
+    fn clean_observations_recover_the_route() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+        let matcher = Matcher::new(&net, 100.0);
+        let mut recovered = 0;
+        let total = 10;
+        for _ in 0..total {
+            let (truth, times) = ground_truth(&net, &mut rng, 8, 10);
+            let raw = observe(&net, &truth, &times, 1.0, &mut rng);
+            let Some(tu) = matcher.match_trajectory(&raw, &MatcherConfig::default()) else {
+                continue;
+            };
+            assert_eq!(tu.validate(&net), Ok(()));
+            let top = tu.top_instance();
+            // Count edge overlap with the truth.
+            let overlap = top
+                .path
+                .iter()
+                .filter(|e| truth.path.contains(e))
+                .count();
+            if overlap * 10 >= truth.path.len() * 7 {
+                recovered += 1;
+            }
+        }
+        assert!(recovered >= 7, "only {recovered}/{total} recovered");
+    }
+
+    #[test]
+    fn noisy_observations_yield_multiple_instances() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+        let matcher = Matcher::new(&net, 100.0);
+        let mut multi = 0;
+        let mut matched = 0;
+        for _ in 0..12 {
+            let (truth, times) = ground_truth(&net, &mut rng, 10, 30);
+            let raw = observe(&net, &truth, &times, 15.0, &mut rng);
+            if let Some(tu) = matcher.match_trajectory(&raw, &MatcherConfig::default()) {
+                matched += 1;
+                assert_eq!(tu.validate(&net), Ok(()));
+                if tu.instance_count() > 1 {
+                    multi += 1;
+                }
+                let sum: f64 = tu.instances.iter().map(|i| i.prob).sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+        assert!(matched >= 8, "matched {matched}/12");
+        assert!(multi >= 4, "only {multi} ambiguous matches");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+        let matcher = Matcher::new(&net, 100.0);
+        // Too short.
+        let raw = RawTrajectory {
+            points: vec![utcq_traj::RawPoint { x: 0.0, y: 0.0, t: 0 }],
+        };
+        assert!(matcher.match_trajectory(&raw, &MatcherConfig::default()).is_none());
+        // All points far off the network.
+        let raw = RawTrajectory {
+            points: (0..5)
+                .map(|i| utcq_traj::RawPoint {
+                    x: 1e7,
+                    y: 1e7,
+                    t: i * 10,
+                })
+                .collect(),
+        };
+        assert!(matcher.match_trajectory(&raw, &MatcherConfig::default()).is_none());
+    }
+
+    #[test]
+    fn matched_output_compresses() {
+        // End-to-end: matcher output feeds the UTCQ compressor's input
+        // contract (validated uncertain trajectories).
+        let mut rng = StdRng::seed_from_u64(45);
+        let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+        let matcher = Matcher::new(&net, 100.0);
+        let (truth, times) = ground_truth(&net, &mut rng, 9, 20);
+        let raw = observe(&net, &truth, &times, 10.0, &mut rng);
+        let tu = matcher
+            .match_trajectory(&raw, &MatcherConfig::default())
+            .expect("match");
+        assert_eq!(tu.validate(&net), Ok(()));
+        assert!(tu.times.len() >= 3);
+    }
+}

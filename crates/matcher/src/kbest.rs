@@ -1,0 +1,185 @@
+//! Generic k-best Viterbi over a candidate lattice.
+//!
+//! States are `(step, candidate)` pairs; the caller supplies emission
+//! scores per candidate and transition scores per candidate pair. The
+//! decoder keeps the top `k` scoring partial paths per state and returns
+//! the top `k` complete candidate sequences.
+
+/// One ranked partial path ending at a state.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    score: f64,
+    /// Previous candidate index, and which of its ranked entries.
+    back: Option<(usize, usize)>,
+}
+
+/// A decoded sequence: one candidate index per step, plus its joint
+/// log-score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KBestPath {
+    /// Candidate index chosen at each step.
+    pub choices: Vec<usize>,
+    /// Joint log-score.
+    pub score: f64,
+}
+
+/// Runs k-best Viterbi.
+///
+/// * `emissions[i][c]` — log-score of candidate `c` at step `i`;
+/// * `transition(i, a, b)` — log-score of moving from candidate `a` at
+///   step `i` to candidate `b` at step `i+1` (`f64::NEG_INFINITY` to
+///   forbid);
+/// * `k` — number of ranked paths to keep per state and to return.
+pub fn k_best_viterbi(
+    emissions: &[Vec<f64>],
+    mut transition: impl FnMut(usize, usize, usize) -> f64,
+    k: usize,
+) -> Vec<KBestPath> {
+    let n = emissions.len();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    // lattice[i][c] = up to k ranked entries.
+    let mut lattice: Vec<Vec<Vec<Entry>>> = Vec::with_capacity(n);
+    lattice.push(
+        emissions[0]
+            .iter()
+            .map(|&e| {
+                vec![Entry {
+                    score: e,
+                    back: None,
+                }]
+            })
+            .collect(),
+    );
+    for i in 1..n {
+        let prev = &lattice[i - 1];
+        let mut level: Vec<Vec<Entry>> = Vec::with_capacity(emissions[i].len());
+        for (b, &emit) in emissions[i].iter().enumerate() {
+            let mut entries: Vec<Entry> = Vec::new();
+            for (a, ranked) in prev.iter().enumerate() {
+                let trans = transition(i - 1, a, b);
+                if trans == f64::NEG_INFINITY {
+                    continue;
+                }
+                for (r, ent) in ranked.iter().enumerate() {
+                    let score = ent.score + trans + emit;
+                    if score == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    entries.push(Entry {
+                        score,
+                        back: Some((a, r)),
+                    });
+                }
+            }
+            entries.sort_by(|x, y| y.score.total_cmp(&x.score));
+            entries.truncate(k);
+            level.push(entries);
+        }
+        lattice.push(level);
+    }
+    // Collect the best k terminal entries.
+    let mut terminals: Vec<(f64, usize, usize)> = Vec::new();
+    for (c, ranked) in lattice[n - 1].iter().enumerate() {
+        for (r, ent) in ranked.iter().enumerate() {
+            terminals.push((ent.score, c, r));
+        }
+    }
+    terminals.sort_by(|x, y| y.0.total_cmp(&x.0));
+    terminals.truncate(k);
+    // Backtrack each.
+    terminals
+        .into_iter()
+        .map(|(score, mut c, mut r)| {
+            let mut choices = vec![0usize; n];
+            for i in (0..n).rev() {
+                choices[i] = c;
+                if let Some((pc, pr)) = lattice[i][c][r].back {
+                    c = pc;
+                    r = pr;
+                }
+            }
+            KBestPath { choices, score }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step() {
+        let paths = k_best_viterbi(&[vec![0.0, -1.0, -2.0]], |_, _, _| 0.0, 2);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].choices, vec![0]);
+        assert_eq!(paths[1].choices, vec![1]);
+    }
+
+    #[test]
+    fn best_path_dominates() {
+        // Two steps, transitions prefer staying on the same index.
+        let emissions = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let paths = k_best_viterbi(
+            &emissions,
+            |_, a, b| if a == b { 0.0 } else { -10.0 },
+            4,
+        );
+        assert_eq!(paths.len(), 4);
+        // The two stay-paths outrank the two switch-paths.
+        assert!(paths[0].choices[0] == paths[0].choices[1]);
+        assert!(paths[1].choices[0] == paths[1].choices[1]);
+        assert!((paths[0].score - 0.0).abs() < 1e-12);
+        assert!((paths[2].score - -10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forbidden_transitions_prune() {
+        let emissions = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        // Only 0→1 allowed.
+        let paths = k_best_viterbi(
+            &emissions,
+            |_, a, b| {
+                if a == 0 && b == 1 {
+                    -1.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            },
+            4,
+        );
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].choices, vec![0, 1]);
+    }
+
+    #[test]
+    fn k_distinct_sequences() {
+        // Three steps, two candidates, all transitions equal: 8 possible
+        // sequences; ask for 5.
+        let emissions = vec![vec![0.0, -0.1]; 3];
+        let paths = k_best_viterbi(&emissions, |_, _, _| 0.0, 5);
+        assert_eq!(paths.len(), 5);
+        // All returned sequences distinct, sorted by score.
+        for w in paths.windows(2) {
+            assert!(w[0].score >= w[1].score);
+            assert_ne!(w[0].choices, w[1].choices);
+        }
+        assert_eq!(paths[0].choices, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(k_best_viterbi(&[], |_, _, _| 0.0, 3).is_empty());
+        let e = vec![vec![0.0]];
+        assert!(k_best_viterbi(&e, |_, _, _| 0.0, 0).is_empty());
+    }
+
+    #[test]
+    fn dead_end_yields_nothing() {
+        // No candidate at step 1 reachable.
+        let emissions = vec![vec![0.0], vec![0.0]];
+        let paths = k_best_viterbi(&emissions, |_, _, _| f64::NEG_INFINITY, 3);
+        assert!(paths.is_empty());
+    }
+}

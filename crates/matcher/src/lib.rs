@@ -1,0 +1,20 @@
+//! Probabilistic map-matching: raw GPS trajectories → network-constrained
+//! *uncertain* trajectories.
+//!
+//! The paper relies on probabilistic map-matching ([2, 15] — closed
+//! implementations) to turn each raw trajectory into a set of candidate
+//! paths with likelihoods (Fig. 1). This crate provides the standard open
+//! equivalent: an HMM in the style of Newson–Krumm with
+//!
+//! * radius-bounded candidate projections per GPS point (emission:
+//!   Gaussian in the projection distance),
+//! * route-vs-great-circle transition scores (exponential in the detour
+//!   excess),
+//! * a **k-best Viterbi** pass that extracts the top-K joint candidate
+//!   sequences, which become the instances `Tuʲw` with probabilities from
+//!   the normalized path likelihoods.
+
+pub mod hmm;
+pub mod kbest;
+
+pub use hmm::{Matcher, MatcherConfig};

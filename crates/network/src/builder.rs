@@ -1,0 +1,160 @@
+//! Mutable construction of [`RoadNetwork`]s.
+
+use crate::geom::Point;
+use crate::graph::{EdgeId, RoadNetwork, VertexId};
+
+/// Builder for [`RoadNetwork`].
+///
+/// Outgoing-edge numbers (Definition 6) are assigned by *insertion order*:
+/// the first edge added for a vertex becomes exit 1, the second exit 2, and
+/// so on. This keeps the numbering deterministic and lets the paper-example
+/// fixture reproduce the exact edge sequences of the paper's Table 3.
+#[derive(Debug, Default, Clone)]
+pub struct NetworkBuilder {
+    coords: Vec<Point>,
+    /// Adjacency in insertion order: per vertex, `(target, length)`.
+    adj: Vec<Vec<(VertexId, f64)>>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Adds a vertex at `(x, y)` and returns its id.
+    pub fn add_vertex(&mut self, x: f64, y: f64) -> VertexId {
+        let id = VertexId(self.coords.len() as u32);
+        self.coords.push(Point::new(x, y));
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge with length equal to the Euclidean distance
+    /// between its endpoints.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId) -> u32 {
+        let len = self.coords[from.idx()].dist(self.coords[to.idx()]);
+        self.add_edge_with_length(from, to, len)
+    }
+
+    /// Adds a directed edge with an explicit length, returning its 1-based
+    /// outgoing-edge number w.r.t. `from`.
+    pub fn add_edge_with_length(&mut self, from: VertexId, to: VertexId, length: f64) -> u32 {
+        assert!(from.idx() < self.coords.len(), "unknown source vertex");
+        assert!(to.idx() < self.coords.len(), "unknown target vertex");
+        assert!(length >= 0.0, "edge length must be non-negative");
+        self.adj[from.idx()].push((to, length));
+        self.adj[from.idx()].len() as u32
+    }
+
+    /// Adds edges in both directions (the common case for road segments)
+    /// with Euclidean lengths.
+    pub fn add_bidirectional(&mut self, a: VertexId, b: VertexId) {
+        self.add_edge(a, b);
+        self.add_edge(b, a);
+    }
+
+    /// Finalizes the CSR network.
+    pub fn build(self) -> RoadNetwork {
+        let v = self.coords.len();
+        let mut out_offsets = Vec::with_capacity(v + 1);
+        let mut targets = Vec::new();
+        let mut sources = Vec::new();
+        let mut lengths = Vec::new();
+        let mut max_out_degree = 0u32;
+        out_offsets.push(0u32);
+        for (i, edges) in self.adj.iter().enumerate() {
+            max_out_degree = max_out_degree.max(edges.len() as u32);
+            for &(to, len) in edges {
+                targets.push(to);
+                sources.push(VertexId(i as u32));
+                lengths.push(len);
+            }
+            out_offsets.push(targets.len() as u32);
+        }
+        RoadNetwork {
+            coords: self.coords,
+            out_offsets,
+            targets,
+            sources,
+            lengths,
+            max_out_degree,
+        }
+    }
+}
+
+/// Convenience: looks up an edge id in a freshly built network by endpoint
+/// pair, panicking if absent. Test-oriented helper.
+pub fn edge(net: &RoadNetwork, from: VertexId, to: VertexId) -> EdgeId {
+    net.find_edge(from, to)
+        .unwrap_or_else(|| panic!("no edge {from:?} → {to:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_network() {
+        let n = NetworkBuilder::new().build();
+        assert_eq!(n.vertex_count(), 0);
+        assert_eq!(n.edge_count(), 0);
+        assert_eq!(n.max_out_degree(), 0);
+    }
+
+    #[test]
+    fn explicit_lengths_preserved() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(1.0, 0.0);
+        b.add_edge_with_length(v0, v1, 42.0);
+        let n = b.build();
+        let e = n.find_edge(v0, v1).unwrap();
+        assert_eq!(n.edge_length(e), 42.0);
+    }
+
+    #[test]
+    fn euclidean_lengths() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(3.0, 4.0);
+        b.add_bidirectional(v0, v1);
+        let n = b.build();
+        for e in n.edges() {
+            assert!((n.edge_length(e) - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn add_edge_returns_number() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(1.0, 0.0);
+        let v2 = b.add_vertex(0.0, 1.0);
+        assert_eq!(b.add_edge(v0, v1), 1);
+        assert_eq!(b.add_edge(v0, v2), 2);
+        assert_eq!(b.add_edge(v1, v2), 1);
+    }
+
+    #[test]
+    fn csr_layout_is_contiguous() {
+        let mut b = NetworkBuilder::new();
+        let vs: Vec<_> = (0..5).map(|i| b.add_vertex(i as f64, 0.0)).collect();
+        for w in vs.windows(2) {
+            b.add_bidirectional(w[0], w[1]);
+        }
+        let n = b.build();
+        for v in n.vertices() {
+            let ids: Vec<_> = n.out_edges(v).collect();
+            for (k, &e) in ids.iter().enumerate() {
+                assert_eq!(n.edge_from(e), v);
+                assert_eq!(n.edge_number(e), k as u32 + 1);
+            }
+        }
+    }
+}

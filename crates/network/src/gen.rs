@@ -1,0 +1,189 @@
+//! Synthetic road-network generators.
+//!
+//! The paper evaluates on the Denmark, Chengdu, and Hangzhou road networks
+//! (Table 6: 62 k–668 k vertices, average out-degree 2.449–2.834). Those
+//! datasets are proprietary, so the experiment harness generates *grid
+//! cities*: jittered lattices with randomly removed streets and occasional
+//! diagonal shortcuts. The removal probability tunes the average out-degree
+//! into the paper's range, which is the only network statistic the
+//! compression pipeline is sensitive to (it sizes the outgoing-edge-number
+//! code via the max out-degree and shapes path diversity).
+
+use rand::Rng;
+
+use crate::builder::NetworkBuilder;
+use crate::graph::RoadNetwork;
+
+/// Configuration for [`grid_city`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridCityConfig {
+    /// Number of intersection columns.
+    pub nx: u32,
+    /// Number of intersection rows.
+    pub ny: u32,
+    /// Distance between neighboring intersections in meters.
+    pub spacing: f64,
+    /// Positional jitter as a fraction of `spacing` (0 = perfect lattice).
+    pub jitter: f64,
+    /// Probability that a lattice street (both directions) is removed.
+    pub p_remove: f64,
+    /// Probability that a diagonal shortcut (both directions) is added in a
+    /// lattice cell.
+    pub p_diagonal: f64,
+}
+
+impl Default for GridCityConfig {
+    fn default() -> Self {
+        Self {
+            nx: 32,
+            ny: 32,
+            spacing: 200.0,
+            jitter: 0.15,
+            p_remove: 0.25,
+            p_diagonal: 0.05,
+        }
+    }
+}
+
+impl GridCityConfig {
+    /// A small network for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            nx: 8,
+            ny: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a jittered grid city.
+///
+/// The lattice keeps a spanning "arterial" skeleton (the first row and the
+/// first column are never removed) so the network stays largely connected
+/// and random walks do not strand immediately.
+pub fn grid_city<R: Rng + ?Sized>(cfg: &GridCityConfig, rng: &mut R) -> RoadNetwork {
+    assert!(cfg.nx >= 2 && cfg.ny >= 2, "grid must be at least 2×2");
+    let mut b = NetworkBuilder::new();
+    let mut vs = Vec::with_capacity((cfg.nx * cfg.ny) as usize);
+    for row in 0..cfg.ny {
+        for col in 0..cfg.nx {
+            let jx = if cfg.jitter > 0.0 {
+                rng.gen_range(-cfg.jitter..cfg.jitter) * cfg.spacing
+            } else {
+                0.0
+            };
+            let jy = if cfg.jitter > 0.0 {
+                rng.gen_range(-cfg.jitter..cfg.jitter) * cfg.spacing
+            } else {
+                0.0
+            };
+            vs.push(b.add_vertex(
+                f64::from(col) * cfg.spacing + jx,
+                f64::from(row) * cfg.spacing + jy,
+            ));
+        }
+    }
+    let at = |row: u32, col: u32| vs[(row * cfg.nx + col) as usize];
+    for row in 0..cfg.ny {
+        for col in 0..cfg.nx {
+            // Horizontal street to the east.
+            if col + 1 < cfg.nx {
+                let arterial = row == 0;
+                if arterial || rng.gen::<f64>() >= cfg.p_remove {
+                    b.add_bidirectional(at(row, col), at(row, col + 1));
+                }
+            }
+            // Vertical street to the north.
+            if row + 1 < cfg.ny {
+                let arterial = col == 0;
+                if arterial || rng.gen::<f64>() >= cfg.p_remove {
+                    b.add_bidirectional(at(row, col), at(row + 1, col));
+                }
+            }
+            // Diagonal shortcut across the cell.
+            if col + 1 < cfg.nx && row + 1 < cfg.ny && rng.gen::<f64>() < cfg.p_diagonal {
+                if rng.gen::<bool>() {
+                    b.add_bidirectional(at(row, col), at(row + 1, col + 1));
+                } else {
+                    b.add_bidirectional(at(row, col + 1), at(row + 1, col));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// A straight bidirectional chain of `n` vertices `spacing` apart —
+/// convenient for focused tests.
+pub fn line(n: u32, spacing: f64) -> RoadNetwork {
+    assert!(n >= 2);
+    let mut b = NetworkBuilder::new();
+    let vs: Vec<_> = (0..n)
+        .map(|i| b.add_vertex(f64::from(i) * spacing, 0.0))
+        .collect();
+    for w in vs.windows(2) {
+        b.add_bidirectional(w[0], w[1]);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_city_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GridCityConfig::default();
+        let net = grid_city(&cfg, &mut rng);
+        assert_eq!(net.vertex_count(), 32 * 32);
+        assert!(net.edge_count() > 0);
+        // Average out-degree in the paper's ballpark (Table 6: 2.4–2.8).
+        let avg = net.avg_out_degree();
+        assert!((2.0..4.0).contains(&avg), "avg out-degree {avg}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let cfg = GridCityConfig::tiny();
+        let a = grid_city(&cfg, &mut StdRng::seed_from_u64(42));
+        let b = grid_city(&cfg, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (ea, eb) in a.edges().zip(b.edges()) {
+            assert_eq!(a.edge_to(ea), b.edge_to(eb));
+        }
+    }
+
+    #[test]
+    fn removal_reduces_degree() {
+        let mut cfg = GridCityConfig::tiny();
+        cfg.p_diagonal = 0.0;
+        cfg.p_remove = 0.0;
+        let dense = grid_city(&cfg, &mut StdRng::seed_from_u64(1));
+        cfg.p_remove = 0.6;
+        let sparse = grid_city(&cfg, &mut StdRng::seed_from_u64(1));
+        assert!(sparse.edge_count() < dense.edge_count());
+    }
+
+    #[test]
+    fn arterials_survive_removal() {
+        let mut cfg = GridCityConfig::tiny();
+        cfg.p_remove = 1.0;
+        cfg.p_diagonal = 0.0;
+        let net = grid_city(&cfg, &mut StdRng::seed_from_u64(3));
+        // First row and first column streets remain: (nx−1) + (ny−1)
+        // bidirectional streets.
+        assert_eq!(net.edge_count(), 2 * ((8 - 1) + (8 - 1)));
+    }
+
+    #[test]
+    fn line_network() {
+        let net = line(5, 10.0);
+        assert_eq!(net.vertex_count(), 5);
+        assert_eq!(net.edge_count(), 8);
+        assert_eq!(net.max_out_degree(), 2);
+    }
+}

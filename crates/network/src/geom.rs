@@ -1,0 +1,292 @@
+//! Planar geometry primitives.
+//!
+//! All coordinates live in a local planar frame with metric units (think
+//! "meters east / meters north of a dataset origin"). The paper's raw GPS
+//! longitude/latitude pairs are assumed to have been projected; for the
+//! synthetic datasets the frame is native.
+
+/// A point in the local planar frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+/// An axis-aligned rectangle (closed on all sides).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum corner x.
+    pub min_x: f64,
+    /// Minimum corner y.
+    pub min_y: f64,
+    /// Maximum corner x.
+    pub max_x: f64,
+    /// Maximum corner y.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners (normalizing order).
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self {
+            min_x: min_x.min(max_x),
+            min_y: min_y.min(max_y),
+            max_x: min_x.max(max_x),
+            max_y: min_y.max(max_y),
+        }
+    }
+
+    /// The degenerate rectangle covering a single point.
+    pub fn point(p: Point) -> Self {
+        Self::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// The smallest rectangle covering both inputs.
+    pub fn union(&self, other: Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Grows the rectangle by `margin` on all sides.
+    pub fn expand(&self, margin: f64) -> Rect {
+        Rect {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// True if the point lies inside (boundary inclusive).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True if the rectangles share any point.
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min_x <= other.min_x
+            && self.max_x >= other.max_x
+            && self.min_y <= other.min_y
+            && self.max_y >= other.max_y
+    }
+
+    /// Width of the rectangle.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height of the rectangle.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Center point.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// True if the segment `a`–`b` intersects the rectangle.
+    ///
+    /// Uses the standard slab (Liang–Barsky) clipping test.
+    pub fn intersects_segment(&self, a: Point, b: Point) -> bool {
+        let (mut t0, mut t1) = (0.0f64, 1.0f64);
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        let clips = [
+            (-dx, a.x - self.min_x),
+            (dx, self.max_x - a.x),
+            (-dy, a.y - self.min_y),
+            (dy, self.max_y - a.y),
+        ];
+        for (p, q) in clips {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return false;
+                }
+            } else {
+                let r = q / p;
+                if p < 0.0 {
+                    if r > t1 {
+                        return false;
+                    }
+                    t0 = t0.max(r);
+                } else {
+                    if r < t0 {
+                        return false;
+                    }
+                    t1 = t1.min(r);
+                }
+            }
+        }
+        t0 <= t1
+    }
+}
+
+/// Squared distance from point `p` to segment `a`–`b`, plus the parameter
+/// `t ∈ [0, 1]` of the closest point along the segment.
+pub fn project_to_segment(p: Point, a: Point, b: Point) -> (f64, f64) {
+    let vx = b.x - a.x;
+    let vy = b.y - a.y;
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((p.x - a.x) * vx + (p.y - a.y) * vy) / len2).clamp(0.0, 1.0)
+    };
+    let cx = a.x + t * vx;
+    let cy = a.y + t * vy;
+    let d2 = (p.x - cx).powi(2) + (p.y - cy).powi(2);
+    (d2, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_lerp_endpoints() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(5.0, -2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(5.0, 6.0, 1.0, 2.0);
+        assert_eq!(r.min_x, 1.0);
+        assert_eq!(r.max_y, 6.0);
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(10.0, 10.0)));
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(!r.contains(Point::new(10.0001, 5.0)));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 5.0, 15.0, 15.0);
+        let c = Rect::new(11.0, 0.0, 12.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges count as intersecting.
+        let d = Rect::new(10.0, 0.0, 20.0, 10.0);
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn rect_contains_rect() {
+        let outer = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let inner = Rect::new(2.0, 2.0, 8.0, 8.0);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        // Fully inside.
+        assert!(r.intersects_segment(Point::new(1.0, 1.0), Point::new(2.0, 2.0)));
+        // Crossing through.
+        assert!(r.intersects_segment(Point::new(-5.0, 5.0), Point::new(15.0, 5.0)));
+        // Fully outside, not crossing.
+        assert!(!r.intersects_segment(Point::new(-5.0, -5.0), Point::new(-1.0, 20.0)));
+        // Touching a corner.
+        assert!(r.intersects_segment(Point::new(-1.0, -1.0), Point::new(0.0, 0.0)));
+        // Diagonal miss.
+        assert!(!r.intersects_segment(Point::new(11.0, 0.0), Point::new(20.0, 5.0)));
+    }
+
+    #[test]
+    fn projection_clamps_to_segment() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        let (d2, t) = project_to_segment(Point::new(5.0, 3.0), a, b);
+        assert!((d2 - 9.0).abs() < 1e-12);
+        assert!((t - 0.5).abs() < 1e-12);
+        let (d2, t) = project_to_segment(Point::new(-4.0, 3.0), a, b);
+        assert!((d2 - 25.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+        let (_, t) = project_to_segment(Point::new(99.0, 0.0), a, b);
+        assert_eq!(t, 1.0);
+    }
+
+    #[test]
+    fn projection_degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        let (d2, t) = project_to_segment(Point::new(5.0, 6.0), a, a);
+        assert!((d2 - 25.0).abs() < 1e-12);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn rect_union_expand() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(5.0, -2.0, 6.0, 3.0);
+        let u = a.union(b);
+        assert_eq!(u, Rect::new(0.0, -2.0, 6.0, 3.0));
+        let e = a.expand(1.0);
+        assert_eq!(e, Rect::new(-1.0, -1.0, 2.0, 2.0));
+    }
+}

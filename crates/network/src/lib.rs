@@ -1,0 +1,35 @@
+//! Road-network substrate for the UTCQ reproduction.
+//!
+//! The paper models a road network as a directed graph `G = (V, E)`
+//! (Definition 1) whose vertices carry 2-D locations and whose edges carry
+//! lengths and *outgoing-edge numbers* (Definition 6): edge `(vs → ve)` is
+//! the `no`-th exit of `vs`, and the TED/UTCQ edge sequences are lists of
+//! those numbers. This crate provides:
+//!
+//! * [`RoadNetwork`] — an immutable CSR-packed directed graph with O(1)
+//!   `(vertex, number) → edge` resolution, built via [`NetworkBuilder`].
+//! * [`geom`] — points and rectangles in a local planar (metric) frame.
+//! * [`grid::Grid`] — the uniform spatial partitioning used both by the
+//!   StIU spatial index (regions `re_i`) and by range-query regions `RE`.
+//! * [`path`] — Dijkstra shortest paths with early termination, needed by
+//!   the probabilistic map-matcher's transition model.
+//! * [`spatial::EdgeIndex`] — a grid-bucketed edge index for radius
+//!   candidate search (map matching) and region↔edge overlap tests.
+//! * [`gen`] — synthetic network generators calibrated to the paper's
+//!   Table 6 statistics (average out-degree 2.4–2.8).
+//! * [`paper_example`] — the running example of the paper's Figure 2
+//!   (vertices `v1..v10`), reused by tests across the whole workspace.
+
+pub mod builder;
+pub mod gen;
+pub mod geom;
+pub mod graph;
+pub mod grid;
+pub mod paper_example;
+pub mod path;
+pub mod spatial;
+
+pub use builder::NetworkBuilder;
+pub use geom::{Point, Rect};
+pub use graph::{EdgeId, EdgeRef, RoadNetwork, VertexId};
+pub use grid::{CellId, Grid};

@@ -1,0 +1,173 @@
+//! The running example of the paper (Figure 2).
+//!
+//! Ten vertices `v1..v10` plus a few stub vertices whose only purpose is to
+//! pad out-degrees so the outgoing-edge numbers match the paper exactly:
+//!
+//! * `(v1→v2)` is exit **1** of `v1`,
+//! * `(v2→v10)` is exit **1** and `(v2→v3)` exit **2** of `v2`,
+//! * `(v3→v4)` is exit **1** of `v3`,
+//! * `(v4→v5)` is exit **2** of `v4`,
+//! * `(v5→v6)` is exit **2** of `v5`,
+//! * `(v6→v7)` is exit **4** of `v6`,
+//! * `(v7→v8)` is exit **1** of `v7`,
+//! * `(v8→v9)` is exit **2** of `v8`,
+//! * `(v10→v4)` is exit **1** of `v10`,
+//!
+//! which makes the three instances of `Tu¹` produce exactly the edge
+//! sequences of Table 3:
+//! `E(Tu¹₁) = ⟨1,2,1,2,2,0,4,1,0⟩`, `E(Tu¹₂) = ⟨1,1,1,2,2,0,4,1,0⟩`,
+//! `E(Tu¹₃) = ⟨1,2,1,2,2,0,4,1,2⟩`.
+//!
+//! Edge `(v6→v7)` has length 200 as assumed by Example 3, so the
+//! probabilistic *where* query at 5:21:25 answers `⟨v6→v7, 150⟩`.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{EdgeId, RoadNetwork, VertexId};
+
+/// The paper's Figure 2 network plus handles to its named vertices.
+#[derive(Debug, Clone)]
+pub struct PaperExample {
+    /// The network.
+    pub net: RoadNetwork,
+    /// `v[i]` is the paper's `v(i+1)`, e.g. `v[0]` = `v1`, `v[9]` = `v10`.
+    pub v: [VertexId; 10],
+}
+
+/// The paper's external IDs for `v1..v8` in the order of Figure 5
+/// (`v1 = 185190`, …). Only used in documentation and display, since the
+/// internal model keys vertices by dense index.
+pub const PAPER_IDS: [u64; 8] = [
+    185190, 185191, 185192, 185194, 228476, 228477, 228478, 228479,
+];
+
+impl PaperExample {
+    /// The paper's vertex, 1-based to match the text (`vertex(1)` = `v1`).
+    pub fn vertex(&self, i: usize) -> VertexId {
+        self.v[i - 1]
+    }
+
+    /// The edge `v(i) → v(j)`, 1-based, panicking if absent.
+    pub fn edge(&self, i: usize, j: usize) -> EdgeId {
+        self.net
+            .find_edge(self.vertex(i), self.vertex(j))
+            .unwrap_or_else(|| panic!("no edge v{i} → v{j}"))
+    }
+}
+
+/// Builds the Figure 2 fixture.
+pub fn build() -> PaperExample {
+    let mut b = NetworkBuilder::new();
+    // Main vertices roughly along the west-east corridor of Fig. 2;
+    // v10 sits on the northern detour, v9 dangles south-east of v8.
+    let v1 = b.add_vertex(0.0, 0.0);
+    let v2 = b.add_vertex(8.0, 0.0);
+    let v3 = b.add_vertex(16.0, 0.0);
+    let v4 = b.add_vertex(24.0, 0.0);
+    let v5 = b.add_vertex(32.0, 0.0);
+    let v6 = b.add_vertex(40.0, 0.0);
+    let v7 = b.add_vertex(48.0, 0.0);
+    let v8 = b.add_vertex(56.0, 0.0);
+    let v9 = b.add_vertex(62.0, -6.0);
+    let v10 = b.add_vertex(16.0, 8.0);
+    // Stub vertices pad the out-degrees.
+    let s1 = b.add_vertex(24.0, -8.0);
+    let s2 = b.add_vertex(40.0, 8.0);
+    let s3 = b.add_vertex(40.0, -8.0);
+
+    // v1: exit 1 = (v1→v2).
+    b.add_edge_with_length(v1, v2, 8.0);
+    // v2: exit 1 = (v2→v10), exit 2 = (v2→v3).
+    b.add_edge_with_length(v2, v10, 8.0);
+    b.add_edge_with_length(v2, v3, 8.0);
+    // v3: exit 1 = (v3→v4).
+    b.add_edge_with_length(v3, v4, 8.0);
+    // v4: exit 1 = stub, exit 2 = (v4→v5).
+    b.add_edge_with_length(v4, s1, 8.0);
+    b.add_edge_with_length(v4, v5, 8.0);
+    // v5: exit 1 = stub, exit 2 = (v5→v6).
+    b.add_edge_with_length(v5, s3, 8.0);
+    b.add_edge_with_length(v5, v6, 8.0);
+    // v6: exits 1–3 = stubs, exit 4 = (v6→v7). Example 3 assumes
+    // |(v6→v7)| = 200.
+    b.add_edge_with_length(v6, s2, 8.0);
+    b.add_edge_with_length(v6, s3, 8.0);
+    b.add_edge_with_length(v6, v5, 8.0);
+    b.add_edge_with_length(v6, v7, 200.0);
+    // v7: exit 1 = (v7→v8).
+    b.add_edge_with_length(v7, v8, 8.0);
+    // v8: exit 1 = stub (back to v7), exit 2 = (v8→v9).
+    b.add_edge_with_length(v8, v7, 8.0);
+    b.add_edge_with_length(v8, v9, 8.0);
+    // v10: exit 1 = (v10→v4).
+    b.add_edge_with_length(v10, v4, 16.0);
+
+    let net = b.build();
+    PaperExample {
+        net,
+        v: [v1, v2, v3, v4, v5, v6, v7, v8, v9, v10],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_edge_numbers_match_table_3() {
+        let ex = build();
+        let n = &ex.net;
+        assert_eq!(n.edge_number(ex.edge(1, 2)), 1);
+        assert_eq!(n.edge_number(ex.edge(2, 10)), 1);
+        assert_eq!(n.edge_number(ex.edge(2, 3)), 2);
+        assert_eq!(n.edge_number(ex.edge(3, 4)), 1);
+        assert_eq!(n.edge_number(ex.edge(4, 5)), 2);
+        assert_eq!(n.edge_number(ex.edge(5, 6)), 2);
+        assert_eq!(n.edge_number(ex.edge(6, 7)), 4);
+        assert_eq!(n.edge_number(ex.edge(7, 8)), 1);
+        assert_eq!(n.edge_number(ex.edge(8, 9)), 2);
+        assert_eq!(n.edge_number(ex.edge(10, 4)), 1);
+    }
+
+    #[test]
+    fn max_out_degree_is_v6() {
+        let ex = build();
+        assert_eq!(ex.net.max_out_degree(), 4);
+        assert_eq!(ex.net.out_degree(ex.vertex(6)), 4);
+    }
+
+    #[test]
+    fn paths_of_all_three_instances_exist() {
+        let ex = build();
+        let n = &ex.net;
+        // Tu¹₁ / Tu¹₃ spine.
+        let spine = [
+            ex.edge(1, 2),
+            ex.edge(2, 3),
+            ex.edge(3, 4),
+            ex.edge(4, 5),
+            ex.edge(5, 6),
+            ex.edge(6, 7),
+            ex.edge(7, 8),
+        ];
+        assert!(n.is_path(&spine));
+        // Tu¹₂ detour via v10.
+        let detour = [
+            ex.edge(1, 2),
+            ex.edge(2, 10),
+            ex.edge(10, 4),
+            ex.edge(4, 5),
+            ex.edge(5, 6),
+            ex.edge(6, 7),
+            ex.edge(7, 8),
+        ];
+        assert!(n.is_path(&detour));
+        // Tu¹₃ tail.
+        assert!(n.is_path(&[ex.edge(7, 8), ex.edge(8, 9)]));
+    }
+
+    #[test]
+    fn example3_edge_length() {
+        let ex = build();
+        assert_eq!(ex.net.edge_length(ex.edge(6, 7)), 200.0);
+    }
+}

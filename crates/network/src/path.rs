@@ -1,0 +1,351 @@
+//! Shortest paths over the road network.
+//!
+//! The probabilistic map-matcher scores transitions by the ratio of
+//! great-circle to network distance, which requires many point-to-point
+//! shortest-path queries with a known small radius; Dijkstra with early
+//! termination and a distance cap is the right tool at our scales.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, RoadNetwork, VertexId};
+
+/// A min-heap entry.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    vertex: VertexId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a shortest-path query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortestPath {
+    /// Total network distance in meters.
+    pub dist: f64,
+    /// The edges traversed, in order (empty when `from == to`).
+    pub edges: Vec<EdgeId>,
+}
+
+/// Dijkstra from `from` to `to`, giving up once the tentative distance
+/// exceeds `max_dist`.
+///
+/// Returns `None` if `to` is unreachable within the cap.
+pub fn shortest_path(
+    net: &RoadNetwork,
+    from: VertexId,
+    to: VertexId,
+    max_dist: f64,
+) -> Option<ShortestPath> {
+    let preds = dijkstra(net, from, Some(to), max_dist)?;
+    let mut edges = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (e, prev) = preds.pred[cur.idx()]?;
+        edges.push(e);
+        cur = prev;
+    }
+    edges.reverse();
+    Some(ShortestPath {
+        dist: preds.dist[to.idx()],
+        edges,
+    })
+}
+
+/// Like [`shortest_path`], but never traverses edges in `banned`.
+///
+/// Used by the synthetic-data generator to find *detours*: alternate routes
+/// between two path vertices that avoid the original edges, mimicking the
+/// alternative paths probabilistic map-matching produces.
+pub fn shortest_path_avoiding(
+    net: &RoadNetwork,
+    from: VertexId,
+    to: VertexId,
+    max_dist: f64,
+    banned: &std::collections::HashSet<EdgeId>,
+) -> Option<ShortestPath> {
+    let n = net.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<(EdgeId, VertexId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.idx()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: from,
+    });
+    while let Some(HeapEntry { dist: d, vertex }) = heap.pop() {
+        if settled[vertex.idx()] {
+            continue;
+        }
+        settled[vertex.idx()] = true;
+        if vertex == to {
+            break;
+        }
+        if d > max_dist {
+            break;
+        }
+        for e in net.out_edges(vertex) {
+            if banned.contains(&e) {
+                continue;
+            }
+            let nb = net.edge_to(e);
+            let nd = d + net.edge_length(e);
+            if nd < dist[nb.idx()] && nd <= max_dist {
+                dist[nb.idx()] = nd;
+                pred[nb.idx()] = Some((e, vertex));
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: nb,
+                });
+            }
+        }
+    }
+    if !dist[to.idx()].is_finite() {
+        return None;
+    }
+    let mut edges = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (e, prev) = pred[cur.idx()]?;
+        edges.push(e);
+        cur = prev;
+    }
+    edges.reverse();
+    Some(ShortestPath {
+        dist: dist[to.idx()],
+        edges,
+    })
+}
+
+/// Network distance only (no path reconstruction).
+pub fn shortest_dist(
+    net: &RoadNetwork,
+    from: VertexId,
+    to: VertexId,
+    max_dist: f64,
+) -> Option<f64> {
+    dijkstra(net, from, Some(to), max_dist).map(|s| s.dist[to.idx()])
+}
+
+/// Single-source distances to every vertex within `max_dist`.
+///
+/// Returns `(vertex, distance)` pairs for all settled vertices.
+pub fn reachable_within(net: &RoadNetwork, from: VertexId, max_dist: f64) -> Vec<(VertexId, f64)> {
+    let state = dijkstra_state(net, from, None, max_dist);
+    state
+        .dist
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .map(|(i, &d)| (VertexId(i as u32), d))
+        .collect()
+}
+
+struct DijkstraState {
+    dist: Vec<f64>,
+    pred: Vec<Option<(EdgeId, VertexId)>>,
+}
+
+fn dijkstra(
+    net: &RoadNetwork,
+    from: VertexId,
+    to: Option<VertexId>,
+    max_dist: f64,
+) -> Option<DijkstraState> {
+    let state = dijkstra_state(net, from, to, max_dist);
+    match to {
+        Some(t) if !state.dist[t.idx()].is_finite() => None,
+        _ => Some(state),
+    }
+}
+
+fn dijkstra_state(
+    net: &RoadNetwork,
+    from: VertexId,
+    to: Option<VertexId>,
+    max_dist: f64,
+) -> DijkstraState {
+    let n = net.vertex_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<(EdgeId, VertexId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.idx()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        vertex: from,
+    });
+    while let Some(HeapEntry { dist: d, vertex }) = heap.pop() {
+        if settled[vertex.idx()] {
+            continue;
+        }
+        settled[vertex.idx()] = true;
+        if Some(vertex) == to {
+            break;
+        }
+        if d > max_dist {
+            break;
+        }
+        for e in net.out_edges(vertex) {
+            let nb = net.edge_to(e);
+            let nd = d + net.edge_length(e);
+            if nd < dist[nb.idx()] && nd <= max_dist {
+                dist[nb.idx()] = nd;
+                pred[nb.idx()] = Some((e, vertex));
+                heap.push(HeapEntry {
+                    dist: nd,
+                    vertex: nb,
+                });
+            }
+        }
+    }
+    DijkstraState { dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    /// A 3×3 grid with unit spacing 10 and bidirectional edges.
+    fn grid3() -> (RoadNetwork, Vec<VertexId>) {
+        let mut b = NetworkBuilder::new();
+        let mut vs = Vec::new();
+        for row in 0..3 {
+            for col in 0..3 {
+                vs.push(b.add_vertex(col as f64 * 10.0, row as f64 * 10.0));
+            }
+        }
+        for row in 0..3 {
+            for col in 0..3 {
+                let i = row * 3 + col;
+                if col + 1 < 3 {
+                    b.add_bidirectional(vs[i], vs[i + 1]);
+                }
+                if row + 1 < 3 {
+                    b.add_bidirectional(vs[i], vs[i + 3]);
+                }
+            }
+        }
+        (b.build(), vs)
+    }
+
+    #[test]
+    fn trivial_path() {
+        let (n, vs) = grid3();
+        let p = shortest_path(&n, vs[0], vs[0], 1e9).unwrap();
+        assert_eq!(p.dist, 0.0);
+        assert!(p.edges.is_empty());
+    }
+
+    #[test]
+    fn manhattan_distance_on_grid() {
+        let (n, vs) = grid3();
+        let p = shortest_path(&n, vs[0], vs[8], 1e9).unwrap();
+        assert!((p.dist - 40.0).abs() < 1e-9);
+        assert_eq!(p.edges.len(), 4);
+        assert!(n.is_path(&p.edges));
+        assert_eq!(n.edge_from(p.edges[0]), vs[0]);
+        assert_eq!(n.edge_to(*p.edges.last().unwrap()), vs[8]);
+    }
+
+    #[test]
+    fn cap_prevents_long_paths() {
+        let (n, vs) = grid3();
+        assert!(shortest_path(&n, vs[0], vs[8], 39.0).is_none());
+        assert!(shortest_path(&n, vs[0], vs[8], 40.0).is_some());
+        assert_eq!(shortest_dist(&n, vs[0], vs[8], 40.0), Some(40.0));
+    }
+
+    #[test]
+    fn unreachable_vertex() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(10.0, 0.0);
+        let v2 = b.add_vertex(20.0, 0.0);
+        b.add_edge(v0, v1); // one-way, nothing reaches v2
+        let n = b.build();
+        assert!(shortest_path(&n, v0, v2, 1e9).is_none());
+        assert!(shortest_path(&n, v1, v0, 1e9).is_none());
+    }
+
+    #[test]
+    fn respects_edge_direction() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(10.0, 0.0);
+        let v2 = b.add_vertex(20.0, 0.0);
+        b.add_edge(v0, v1);
+        b.add_edge(v1, v2);
+        b.add_edge(v2, v0); // ring
+        let n = b.build();
+        // Going "backwards" must loop around the ring.
+        let p = shortest_path(&n, v1, v0, 1e9).unwrap();
+        assert_eq!(p.edges.len(), 2);
+        assert!((p.dist - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reachable_within_radius() {
+        let (n, vs) = grid3();
+        let reach = reachable_within(&n, vs[0], 10.0);
+        // Origin plus its two direct neighbors.
+        assert_eq!(reach.len(), 3);
+        let reach = reachable_within(&n, vs[0], 20.0);
+        assert_eq!(reach.len(), 6);
+    }
+
+    #[test]
+    fn avoiding_banned_edges_takes_detour() {
+        let (n, vs) = grid3();
+        let direct = shortest_path(&n, vs[0], vs[1], 1e9).unwrap();
+        assert_eq!(direct.edges.len(), 1);
+        let banned: std::collections::HashSet<_> = direct.edges.iter().copied().collect();
+        let detour = shortest_path_avoiding(&n, vs[0], vs[1], 1e9, &banned).unwrap();
+        assert!(detour.edges.len() >= 3);
+        assert!(detour.dist > direct.dist);
+        assert!(detour.edges.iter().all(|e| !banned.contains(e)));
+        assert!(n.is_path(&detour.edges));
+    }
+
+    #[test]
+    fn avoiding_all_edges_fails() {
+        let (n, vs) = grid3();
+        let banned: std::collections::HashSet<_> = n.edges().collect();
+        assert!(shortest_path_avoiding(&n, vs[0], vs[1], 1e9, &banned).is_none());
+    }
+
+    #[test]
+    fn shortest_path_prefers_shorter_geometry() {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(10.0, 0.0);
+        let vm = b.add_vertex(5.0, 20.0); // detour vertex
+        b.add_edge(v0, vm);
+        b.add_edge(vm, v1);
+        b.add_edge_with_length(v0, v1, 12.0);
+        let n = b.build();
+        let p = shortest_path(&n, v0, v1, 1e9).unwrap();
+        assert_eq!(p.edges.len(), 1);
+        assert!((p.dist - 12.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! Grid-bucketed spatial index over edges.
+//!
+//! Used by the map-matcher to find candidate edges near a raw GPS point,
+//! and by the query processor to enumerate the edges that overlap a region.
+
+use crate::geom::{project_to_segment, Point, Rect};
+use crate::graph::{EdgeId, RoadNetwork};
+use crate::grid::Grid;
+
+/// An edge bucketed by the grid cells its segment passes through.
+#[derive(Debug, Clone)]
+pub struct EdgeIndex {
+    grid: Grid,
+    buckets: Vec<Vec<EdgeId>>,
+}
+
+/// A candidate projection of a point onto an edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeCandidate {
+    /// The edge.
+    pub edge: EdgeId,
+    /// Euclidean distance from the query point to the projection.
+    pub dist: f64,
+    /// Network distance from the edge source to the projection.
+    pub ndist: f64,
+}
+
+impl EdgeIndex {
+    /// Builds an index with roughly `target_cell_size` meters per cell.
+    pub fn build(net: &RoadNetwork, target_cell_size: f64) -> Self {
+        let bounds = net.bounding_rect();
+        let nx = ((bounds.width() / target_cell_size).ceil() as u32).clamp(1, 4096);
+        let ny = ((bounds.height() / target_cell_size).ceil() as u32).clamp(1, 4096);
+        Self::build_with_grid(net, Grid::new(bounds, nx, ny))
+    }
+
+    /// Builds an index over an explicit grid.
+    pub fn build_with_grid(net: &RoadNetwork, grid: Grid) -> Self {
+        let mut buckets = vec![Vec::new(); grid.cell_count()];
+        for e in net.edges() {
+            let a = net.coord(net.edge_from(e));
+            let b = net.coord(net.edge_to(e));
+            let bbox = Rect::point(a).union(Rect::point(b));
+            for cell in grid.cells_overlapping(&bbox) {
+                if grid.cell_rect(cell).intersects_segment(a, b) {
+                    buckets[cell.idx()].push(e);
+                }
+            }
+        }
+        Self { grid, buckets }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// All edges whose segment may lie within `radius` of `p`, with their
+    /// exact projection distances, sorted nearest-first.
+    pub fn candidates_within(
+        &self,
+        net: &RoadNetwork,
+        p: Point,
+        radius: f64,
+    ) -> Vec<EdgeCandidate> {
+        let query = Rect::point(p).expand(radius);
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for cell in self.grid.cells_overlapping(&query) {
+            for &e in &self.buckets[cell.idx()] {
+                if !seen.insert(e) {
+                    continue;
+                }
+                let a = net.coord(net.edge_from(e));
+                let b = net.coord(net.edge_to(e));
+                let (d2, t) = project_to_segment(p, a, b);
+                let dist = d2.sqrt();
+                if dist <= radius {
+                    out.push(EdgeCandidate {
+                        edge: e,
+                        dist,
+                        ndist: t * net.edge_length(e),
+                    });
+                }
+            }
+        }
+        out.sort_by(|x, y| x.dist.total_cmp(&y.dist).then(x.edge.cmp(&y.edge)));
+        out
+    }
+
+    /// Nearest edge to `p` within `radius`, if any.
+    pub fn nearest(&self, net: &RoadNetwork, p: Point, radius: f64) -> Option<EdgeCandidate> {
+        self.candidates_within(net, p, radius).into_iter().next()
+    }
+
+    /// Edges whose segment intersects a rectangle.
+    pub fn edges_in_rect(&self, net: &RoadNetwork, rect: &Rect) -> Vec<EdgeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for cell in self.grid.cells_overlapping(rect) {
+            for &e in &self.buckets[cell.idx()] {
+                if seen.insert(e) {
+                    let a = net.coord(net.edge_from(e));
+                    let b = net.coord(net.edge_to(e));
+                    if rect.intersects_segment(a, b) {
+                        out.push(e);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn cross() -> RoadNetwork {
+        // A plus-shaped network centered at (50, 50).
+        let mut b = NetworkBuilder::new();
+        let c = b.add_vertex(50.0, 50.0);
+        let n = b.add_vertex(50.0, 100.0);
+        let s = b.add_vertex(50.0, 0.0);
+        let e = b.add_vertex(100.0, 50.0);
+        let w = b.add_vertex(0.0, 50.0);
+        for v in [n, s, e, w] {
+            b.add_bidirectional(c, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn candidates_sorted_by_distance() {
+        let net = cross();
+        let idx = EdgeIndex::build(&net, 20.0);
+        let cands = idx.candidates_within(&net, Point::new(52.0, 70.0), 10.0);
+        assert!(!cands.is_empty());
+        // The vertical edges should be nearest (distance 2).
+        assert!((cands[0].dist - 2.0).abs() < 1e-9);
+        for pair in cands.windows(2) {
+            assert!(pair[0].dist <= pair[1].dist);
+        }
+    }
+
+    #[test]
+    fn radius_filters() {
+        let net = cross();
+        let idx = EdgeIndex::build(&net, 20.0);
+        let far = idx.candidates_within(&net, Point::new(52.0, 70.0), 1.0);
+        assert!(far.is_empty());
+        assert!(idx.nearest(&net, Point::new(52.0, 70.0), 5.0).is_some());
+    }
+
+    #[test]
+    fn ndist_matches_projection() {
+        let net = cross();
+        let idx = EdgeIndex::build(&net, 20.0);
+        let c = idx
+            .nearest(&net, Point::new(49.0, 80.0), 5.0)
+            .expect("vertical edge nearby");
+        // Projection is 30 meters up from the center along a 50m edge (or
+        // 20m down from the north end, depending on direction).
+        let len = net.edge_length(c.edge);
+        assert!((len - 50.0).abs() < 1e-9);
+        assert!((c.ndist - 30.0).abs() < 1e-9 || (c.ndist - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edges_in_rect_finds_crossings() {
+        let net = cross();
+        let idx = EdgeIndex::build(&net, 20.0);
+        // A box straddling the north arm only.
+        let hits = idx.edges_in_rect(&net, &Rect::new(45.0, 80.0, 55.0, 90.0));
+        assert_eq!(hits.len(), 2); // both directions of the north arm
+        let all = idx.edges_in_rect(&net, &Rect::new(-10.0, -10.0, 110.0, 110.0));
+        assert_eq!(all.len(), net.edge_count());
+    }
+
+    #[test]
+    fn empty_region() {
+        let net = cross();
+        let idx = EdgeIndex::build(&net, 20.0);
+        let hits = idx.edges_in_rect(&net, &Rect::new(80.0, 80.0, 90.0, 90.0));
+        assert!(hits.is_empty());
+    }
+}

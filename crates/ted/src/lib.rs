@@ -1,0 +1,60 @@
+//! The TED baseline (Yang et al., "A novel representation and compression
+//! for queries on trajectories in road networks", TKDE 2017 — reference
+//! [40] of the UTCQ paper), adapted to uncertain trajectories exactly as
+//! the paper's comparison does (§6.1): each instance is compressed
+//! independently as an accurate trajectory; probabilities use the same
+//! PDDP bound as UTCQ; bitmap compression of `T'` is off by default.
+//!
+//! Components:
+//!
+//! * [`time`] — the `(i, t)` pair representation of time sequences;
+//! * [`matrix`] — group-by-length binary code matrices with
+//!   multiple-bases (mixed-radix) compression of edge sequences;
+//! * [`compress`] — the dataset-wide compressor (buffers all edge
+//!   sequences, the paper's memory-gap culprit) and its inverse;
+//! * [`store`] — a plain spatio-temporal index with full per-instance
+//!   decompression for where/when/range queries.
+
+pub mod compress;
+pub mod matrix;
+pub mod params;
+pub mod store;
+pub mod time;
+
+pub use compress::{
+    compress_dataset, decompress_dataset, decompress_trajectory, TedCompressedDataset,
+};
+pub use params::TedParams;
+pub use store::{TedStore, TedStoreParams};
+
+/// Errors from the TED baseline.
+#[derive(Debug)]
+pub enum TedError {
+    /// Bit-level decode failure.
+    Codec(utcq_bitio::CodecError),
+    /// Decoded view did not resolve on the network.
+    View(utcq_traj::TedViewError),
+}
+
+impl From<utcq_bitio::CodecError> for TedError {
+    fn from(e: utcq_bitio::CodecError) -> Self {
+        TedError::Codec(e)
+    }
+}
+
+impl From<utcq_traj::TedViewError> for TedError {
+    fn from(e: utcq_traj::TedViewError) -> Self {
+        TedError::View(e)
+    }
+}
+
+impl std::fmt::Display for TedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TedError::Codec(e) => write!(f, "codec error: {e}"),
+            TedError::View(e) => write!(f, "view error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TedError {}

@@ -1,0 +1,38 @@
+//! TED baseline parameters.
+
+use utcq_bitio::pddp::PddpCodec;
+
+/// Parameters of the adapted TED compressor.
+#[derive(Debug, Clone, Copy)]
+pub struct TedParams {
+    /// Relative-distance error bound `ηD` (shared with UTCQ).
+    pub eta_d: f64,
+    /// Probability error bound `ηp` (shared with UTCQ).
+    pub eta_p: f64,
+    /// Enable WAH bitmap compression of `T'` — the paper *omits* this in
+    /// its comparison ("it is time consuming and it is also applicable to
+    /// UTCQ"); kept as an ablation knob.
+    pub wah_tflag: bool,
+}
+
+impl Default for TedParams {
+    fn default() -> Self {
+        Self {
+            eta_d: 1.0 / 128.0,
+            eta_p: 1.0 / 512.0,
+            wah_tflag: false,
+        }
+    }
+}
+
+impl TedParams {
+    /// PDDP codec for relative distances.
+    pub fn d_codec(&self) -> PddpCodec {
+        PddpCodec::from_error_bound(self.eta_d)
+    }
+
+    /// PDDP codec for probabilities.
+    pub fn p_codec(&self) -> PddpCodec {
+        PddpCodec::from_error_bound(self.eta_p)
+    }
+}

@@ -1,0 +1,391 @@
+//! TED's query path: a plain spatio-temporal index with full per-instance
+//! decompression.
+//!
+//! TED's index (from [40], adapted): per *instance* — because TED treats
+//! instances as independent accurate trajectories — one temporal tuple per
+//! time interval and one spatial tuple per grid cell crossed. No
+//! probability aggregates, no referential grouping, no partial
+//! decompression: every candidate instance is fully decoded before being
+//! tested. This is the baseline the paper's Figs. 9–10 and 12c/d measure
+//! UTCQ against.
+
+use std::collections::HashMap;
+
+use utcq_network::{CellId, Grid, Rect, RoadNetwork};
+use utcq_traj::interp::{location_at, point_at, times_at_location};
+use utcq_traj::{Dataset, Instance, MappedLocation, TedView};
+
+use crate::compress::{compress_dataset, decompress_instance, TedCompressedDataset};
+use crate::params::TedParams;
+use crate::time;
+use crate::TedError;
+
+/// Index parameters (mirrors the StIU sweep knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct TedStoreParams {
+    /// Time partition duration in seconds.
+    pub partition_s: i64,
+    /// Grid dimension `n` (n² cells).
+    pub grid_n: u32,
+}
+
+impl Default for TedStoreParams {
+    fn default() -> Self {
+        Self {
+            partition_s: 900,
+            grid_n: 32,
+        }
+    }
+}
+
+/// Per-instance spatial tuple.
+#[derive(Debug, Clone, Copy)]
+struct CellTuple {
+    cell: CellId,
+    instance: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrajNode {
+    /// Interval starts (one temporal tuple per instance per interval in
+    /// the original TED; instances share T here, but the size accounting
+    /// below still charges per instance, as the baseline would).
+    temporal: Vec<(i64, u32)>,
+    cells: Vec<CellTuple>,
+}
+
+/// A TED-compressed dataset plus its index, ready for querying.
+pub struct TedStore<'n> {
+    /// The road network.
+    pub net: &'n RoadNetwork,
+    /// The compressed dataset.
+    pub tds: TedCompressedDataset,
+    /// The spatial grid.
+    pub grid: Grid,
+    params: TedStoreParams,
+    nodes: Vec<TrajNode>,
+    interval_trajs: HashMap<i64, Vec<u32>>,
+    id_to_idx: HashMap<u64, u32>,
+}
+
+/// One TED *where* answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TedWhereHit {
+    /// Instance index.
+    pub instance: u32,
+    /// Instance probability.
+    pub prob: f64,
+    /// Location at the query time.
+    pub loc: MappedLocation,
+}
+
+/// One TED *when* answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TedWhenHit {
+    /// Instance index.
+    pub instance: u32,
+    /// Instance probability.
+    pub prob: f64,
+    /// Passing time.
+    pub time: f64,
+}
+
+impl<'n> TedStore<'n> {
+    /// Compresses a dataset and builds the index.
+    pub fn build(
+        net: &'n RoadNetwork,
+        ds: &Dataset,
+        params: TedParams,
+        store_params: TedStoreParams,
+    ) -> Result<Self, TedError> {
+        let tds = compress_dataset(net, ds, &params)?;
+        let grid = Grid::over_network(net, store_params.grid_n);
+        let mut nodes = Vec::with_capacity(ds.trajectories.len());
+        let mut interval_trajs: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (j, tu) in ds.trajectories.iter().enumerate() {
+            let mut node = TrajNode::default();
+            let mut last = i64::MIN;
+            for (i, &t) in tu.times.iter().enumerate() {
+                let interval = t.div_euclid(store_params.partition_s);
+                if interval != last {
+                    last = interval;
+                    node.temporal.push((t, i as u32));
+                }
+            }
+            let first = tu.times[0].div_euclid(store_params.partition_s);
+            let final_i = tu.times[tu.times.len() - 1].div_euclid(store_params.partition_s);
+            for interval in first..=final_i {
+                interval_trajs.entry(interval).or_default().push(j as u32);
+            }
+            for (w, inst) in tu.instances.iter().enumerate() {
+                for cell in instance_cells(net, inst, &grid) {
+                    node.cells.push(CellTuple {
+                        cell,
+                        instance: w as u32,
+                    });
+                }
+            }
+            nodes.push(node);
+        }
+        let id_to_idx = tds
+            .trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id, i as u32))
+            .collect();
+        Ok(Self {
+            net,
+            tds,
+            grid,
+            params: store_params,
+            nodes,
+            interval_trajs,
+            id_to_idx,
+        })
+    }
+
+    /// Index size in bits: per-instance temporal tuples (17 + 12 + 24) and
+    /// per-instance spatial tuples (32 + 12 + 24), the baseline's
+    /// ungrouped layout.
+    pub fn index_size_bits(&self) -> u64 {
+        let mut total = 0u64;
+        for (node, tt) in self.nodes.iter().zip(&self.tds.trajectories) {
+            let n_inst = tt.instances.len() as u64;
+            total += node.temporal.len() as u64 * n_inst * (17 + 12 + 24);
+            total += node.cells.len() as u64 * (32 + 12 + 24);
+        }
+        total
+    }
+
+    fn decode_traj_times(&self, j: u32) -> Result<Vec<i64>, TedError> {
+        let tt = &self.tds.trajectories[j as usize];
+        Ok(time::decode(&tt.t_bits, tt.n_times as usize)?)
+    }
+
+    fn decode(&self, j: u32, w: u32) -> Result<Instance, TedError> {
+        let tt = &self.tds.trajectories[j as usize];
+        decompress_instance(
+            self.net,
+            &self.tds,
+            &tt.instances[w as usize],
+            tt.n_times as usize,
+        )
+    }
+
+    /// Probabilistic **where** query: full T decode, full decode of every
+    /// qualifying instance.
+    pub fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+    ) -> Result<Vec<TedWhereHit>, TedError> {
+        let Some(&j) = self.id_to_idx.get(&traj_id) else {
+            return Ok(Vec::new());
+        };
+        let times = self.decode_traj_times(j)?;
+        let p_codec = self.tds.params.p_codec();
+        let tt = &self.tds.trajectories[j as usize];
+        let mut hits = Vec::new();
+        for (w, ci) in tt.instances.iter().enumerate() {
+            let prob = p_codec.dequantize(ci.p_code);
+            if prob < alpha {
+                continue;
+            }
+            let inst = self.decode(j, w as u32)?;
+            if let Some(loc) = location_at(self.net, &inst, &times, t) {
+                hits.push(TedWhereHit {
+                    instance: w as u32,
+                    prob,
+                    loc,
+                });
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Probabilistic **when** query: the cell index shortlists instances,
+    /// each of which is fully decoded (no Lemma 1 filter).
+    pub fn when_query(
+        &self,
+        traj_id: u64,
+        edge: utcq_network::EdgeId,
+        rd: f64,
+        alpha: f64,
+    ) -> Result<Vec<TedWhenHit>, TedError> {
+        let Some(&j) = self.id_to_idx.get(&traj_id) else {
+            return Ok(Vec::new());
+        };
+        let query_pt = self
+            .net
+            .point_on_edge(edge, rd * self.net.edge_length(edge));
+        let cell = self.grid.cell_of(query_pt);
+        let node = &self.nodes[j as usize];
+        let mut candidates: Vec<u32> = node
+            .cells
+            .iter()
+            .filter(|c| c.cell == cell)
+            .map(|c| c.instance)
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let times = self.decode_traj_times(j)?;
+        let p_codec = self.tds.params.p_codec();
+        let tt = &self.tds.trajectories[j as usize];
+        let mut hits = Vec::new();
+        for w in candidates {
+            let prob = p_codec.dequantize(tt.instances[w as usize].p_code);
+            if prob < alpha {
+                continue;
+            }
+            let inst = self.decode(j, w)?;
+            for t in times_at_location(self.net, &inst, &times, edge, rd) {
+                hits.push(TedWhenHit {
+                    instance: w,
+                    prob,
+                    time: t,
+                });
+            }
+        }
+        hits.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.instance.cmp(&b.instance)));
+        Ok(hits)
+    }
+
+    /// Probabilistic **range** query: interval + cell shortlist, then full
+    /// decode and exact point tests — no subpath lemmas.
+    pub fn range_query(&self, re: &Rect, tq: i64, alpha: f64) -> Result<Vec<u64>, TedError> {
+        let cells: std::collections::HashSet<CellId> =
+            self.grid.cells_overlapping(re).into_iter().collect();
+        let interval = tq.div_euclid(self.params.partition_s);
+        let mut out = Vec::new();
+        let Some(trajs) = self.interval_trajs.get(&interval) else {
+            return Ok(out);
+        };
+        let p_codec = self.tds.params.p_codec();
+        for &j in trajs {
+            let node = &self.nodes[j as usize];
+            let mut candidates: Vec<u32> = node
+                .cells
+                .iter()
+                .filter(|c| cells.contains(&c.cell))
+                .map(|c| c.instance)
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            if candidates.is_empty() {
+                continue;
+            }
+            let times = self.decode_traj_times(j)?;
+            let tt = &self.tds.trajectories[j as usize];
+            let mut mass = 0.0;
+            for w in candidates {
+                let inst = self.decode(j, w)?;
+                if point_at(self.net, &inst, &times, tq).is_some_and(|p| re.contains(p)) {
+                    mass += p_codec.dequantize(tt.instances[w as usize].p_code);
+                }
+            }
+            if mass >= alpha {
+                out.push(tt.id);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Grid cells an instance's sampled span crosses.
+fn instance_cells(net: &RoadNetwork, inst: &Instance, grid: &Grid) -> Vec<CellId> {
+    let view = TedView::from_instance(net, inst);
+    let _ = view; // the baseline stores per-instance tuples only
+    let first = inst.location(net, 0);
+    let last = inst.location(net, inst.positions.len() - 1);
+    let first_pt = net.point_on_edge(first.edge, first.ndist);
+    let last_pt = net.point_on_edge(last.edge, last.ndist);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (j, &e) in inst.path.iter().enumerate() {
+        let mut a = net.coord(net.edge_from(e));
+        let mut b = net.coord(net.edge_to(e));
+        if j == 0 {
+            a = first_pt;
+        }
+        if j == inst.path.len() - 1 {
+            b = last_pt;
+        }
+        let bbox = Rect::point(a).union(Rect::point(b));
+        for cell in grid.cells_overlapping(&bbox) {
+            if grid.cell_rect(cell).intersects_segment(a, b) && seen.insert(cell) {
+                out.push(cell);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcq_traj::paper_fixture;
+
+    fn paper_store(fx: &utcq_traj::paper_fixture::PaperFixture) -> TedStore<'_> {
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        TedStore::build(
+            &fx.example.net,
+            &ds,
+            TedParams::default(),
+            TedStoreParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example3_where_on_ted() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .where_query(1, paper_fixture::hms(5, 21, 25), 0.25)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
+        assert!((hits[0].loc.ndist - 150.0).abs() < 1.6);
+    }
+
+    #[test]
+    fn example3_when_on_ted() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .when_query(1, fx.example.edge(6, 7), 0.75, 0.25)
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        let want = paper_fixture::hms(5, 21, 25) as f64;
+        assert!((hits[0].time - want).abs() < 3.5);
+    }
+
+    #[test]
+    fn range_on_ted() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 5, 25);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert_eq!(store.range_query(&all, t, 0.5).unwrap(), vec![1]);
+        let far = Rect::new(100.0, 100.0, 120.0, 120.0);
+        assert!(store.range_query(&far, t, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_size_positive_and_per_instance() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        assert!(store.index_size_bits() > 0);
+    }
+}

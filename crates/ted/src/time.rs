@@ -1,0 +1,137 @@
+//! TED's time-sequence representation: `(i, tᵢ)` pairs (§2.2).
+//!
+//! TED omits timestamps that sit inside a run of constant sample
+//! intervals: `tᵢ` is dropped when `tᵢ − tᵢ₋₁ = tᵢ₊₁ − tᵢ`. The decoder
+//! linearly interpolates dropped timestamps, which is exact because only
+//! perfectly regular runs are dropped. Pairs are encoded as a 12-bit
+//! sample index plus a 17-bit second-of-day (the paper's arithmetic in
+//! §4.4: 29 bits per pair), preceded by one Exp-Golomb day index.
+//!
+//! This is the representation SIAR (the UTCQ improvement) replaces; the
+//! Table 8 `T` ratios compare the two.
+
+use utcq_bitio::{golomb, BitBuf, BitWriter, CodecError};
+
+const SECONDS_PER_DAY: i64 = 86_400;
+/// Index width: the paper assumes at most 2¹² timestamps per trajectory.
+const IDX_BITS: u32 = 12;
+/// Timestamp width: seconds-of-day fit in 17 bits.
+const TIME_BITS: u32 = 17;
+
+/// The kept `(i, tᵢ)` pairs for a time sequence.
+pub fn kept_pairs(times: &[i64]) -> Vec<(u32, i64)> {
+    let n = times.len();
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        let droppable = i > 0
+            && i + 1 < n
+            && times[i] - times[i - 1] == times[i + 1] - times[i];
+        if !droppable {
+            pairs.push((i as u32, times[i]));
+        }
+    }
+    pairs
+}
+
+/// Encodes a time sequence as TED pairs.
+pub fn encode(times: &[i64]) -> Result<BitBuf, CodecError> {
+    assert!(!times.is_empty());
+    assert!(times.len() < (1 << IDX_BITS), "TED assumes < 2^12 samples");
+    let day = times[0].div_euclid(SECONDS_PER_DAY);
+    let mut w = BitWriter::new();
+    golomb::encode_unsigned(&mut w, day as u64)?;
+    let pairs = kept_pairs(times);
+    golomb::encode_unsigned(&mut w, pairs.len() as u64)?;
+    for (i, t) in pairs {
+        w.write_bits(u64::from(i), IDX_BITS)?;
+        w.write_bits(t.rem_euclid(SECONDS_PER_DAY) as u64, TIME_BITS)?;
+    }
+    Ok(w.finish())
+}
+
+/// Decodes a TED-encoded time sequence of `n` samples.
+pub fn decode(buf: &BitBuf, n: usize) -> Result<Vec<i64>, CodecError> {
+    let mut r = buf.reader();
+    let day = golomb::decode_unsigned(&mut r)? as i64;
+    let base = day * SECONDS_PER_DAY;
+    let n_pairs = golomb::decode_unsigned(&mut r)? as usize;
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        let i = r.read_bits(IDX_BITS)? as usize;
+        let t = base + r.read_bits(TIME_BITS)? as i64;
+        pairs.push((i, t));
+    }
+    if pairs.is_empty() || pairs[0].0 != 0 || pairs[pairs.len() - 1].0 != n - 1 {
+        return Err(CodecError::Malformed("TED pairs must cover both endpoints"));
+    }
+    let mut times = vec![0i64; n];
+    for w in pairs.windows(2) {
+        let (i, ti) = w[0];
+        let (j, tj) = w[1];
+        if j <= i || j >= n {
+            return Err(CodecError::Malformed("TED pair indices not increasing"));
+        }
+        let span = (j - i) as i64;
+        #[allow(clippy::needless_range_loop)]
+        for k in i..=j {
+            times[k] = ti + (tj - ti) * (k - i) as i64 / span;
+        }
+    }
+    if n == 1 {
+        times[0] = pairs[0].1;
+    }
+    Ok(times)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_pairs() {
+        // Table 2's time sequence keeps indices 0,1,2,3,4,6.
+        let times = vec![18205, 18445, 18686, 18926, 19165, 19405, 19645];
+        let idx: Vec<u32> = kept_pairs(&times).iter().map(|p| p.0).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 6]);
+    }
+
+    #[test]
+    fn roundtrip_irregular() {
+        let cases: Vec<Vec<i64>> = vec![
+            vec![18205, 18445, 18686, 18926, 19165, 19405, 19645],
+            vec![0, 10, 20, 30, 40],
+            vec![100, 101],
+            vec![7],
+            vec![0, 5, 20, 21, 22, 23, 100],
+            (0..200).map(|i| i * 3).collect(),
+        ];
+        for times in cases {
+            let buf = encode(&times).unwrap();
+            assert_eq!(decode(&buf, times.len()).unwrap(), times);
+        }
+    }
+
+    #[test]
+    fn regular_runs_compress_well() {
+        let times: Vec<i64> = (0..100).map(|i| 1000 + i * 10).collect();
+        let buf = encode(&times).unwrap();
+        // Only two pairs kept.
+        assert!(buf.len_bits() < 4 * 29);
+        assert_eq!(decode(&buf, 100).unwrap(), times);
+    }
+
+    #[test]
+    fn paper_ratio_example() {
+        // §4.4: TED spends (17+12) × 6 bits on the running example.
+        let times = vec![18205, 18445, 18686, 18926, 19165, 19405, 19645];
+        let pairs = kept_pairs(&times);
+        assert_eq!(pairs.len() * 29, 174);
+    }
+
+    #[test]
+    fn multi_day() {
+        let times = vec![2 * 86_400 + 5, 2 * 86_400 + 15, 2 * 86_400 + 30];
+        let buf = encode(&times).unwrap();
+        assert_eq!(decode(&buf, 3).unwrap(), times);
+    }
+}

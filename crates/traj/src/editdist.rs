@@ -1,0 +1,85 @@
+//! Edit distance between edge sequences.
+//!
+//! The paper measures the similarity of `E(·)` between trajectory instances
+//! with edit distance (Fig. 4b, following [37, 43]): most instance pairs of
+//! one uncertain trajectory are within distance 5, while pairs from
+//! different trajectories are usually ≥ 9 — the observation motivating
+//! *intra-trajectory* referential compression.
+
+/// Levenshtein distance between two sequences.
+///
+/// Two-row dynamic program, O(|a|·|b|) time and O(min) memory.
+pub fn edit_distance(a: &[u32], b: &[u32]) -> usize {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &x) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &y) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(x != y);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[], &[]), 0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty() {
+        assert_eq!(edit_distance(&[], &[1, 2, 3]), 3);
+        assert_eq!(edit_distance(&[5], &[]), 1);
+    }
+
+    #[test]
+    fn substitutions_insertions_deletions() {
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3, 4]), 1);
+        assert_eq!(edit_distance(&[1, 2, 3, 4], &[1, 3, 4]), 1);
+        assert_eq!(edit_distance(&[1, 2], &[2, 1]), 2);
+    }
+
+    #[test]
+    fn paper_instances_are_close() {
+        // Table 3: Tu¹₁ vs Tu¹₂ differ in one entry; Tu¹₁ vs Tu¹₃ in one.
+        let e1 = [1, 2, 1, 2, 2, 0, 4, 1, 0];
+        let e2 = [1, 1, 1, 2, 2, 0, 4, 1, 0];
+        let e3 = [1, 2, 1, 2, 2, 0, 4, 1, 2];
+        assert_eq!(edit_distance(&e1, &e2), 1);
+        assert_eq!(edit_distance(&e1, &e3), 1);
+        assert_eq!(edit_distance(&e2, &e3), 2);
+    }
+
+    #[test]
+    fn symmetry_and_triangle_inequality() {
+        let seqs: Vec<Vec<u32>> = vec![
+            vec![1, 2, 3, 4, 5],
+            vec![2, 3, 4],
+            vec![1, 1, 1],
+            vec![],
+            vec![5, 4, 3, 2, 1],
+        ];
+        for a in &seqs {
+            for b in &seqs {
+                assert_eq!(edit_distance(a, b), edit_distance(b, a));
+                for c in &seqs {
+                    assert!(
+                        edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+                    );
+                }
+            }
+        }
+    }
+}

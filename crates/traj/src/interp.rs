@@ -1,0 +1,246 @@
+//! Spatio-temporal interpolation along instances.
+//!
+//! Probabilistic *where* queries return the location of an instance at an
+//! arbitrary timestamp, and *when* queries return the time an instance
+//! passed an arbitrary mapped location (Definitions 10–11). Between
+//! samples the object is assumed to move at constant speed along its path,
+//! which is how the paper's Example 3 turns the samples at 5:19:25 and
+//! 5:23:25 into the answer `⟨v6→v7, 150⟩` at 5:21:25.
+
+use utcq_network::{EdgeId, Point, RoadNetwork};
+
+use crate::model::{Instance, MappedLocation, PathPosition};
+
+/// Cumulative network distance from the path start to a position.
+pub fn path_distance(net: &RoadNetwork, path: &[EdgeId], pos: PathPosition) -> f64 {
+    let before: f64 = path[..pos.path_idx as usize]
+        .iter()
+        .map(|&e| net.edge_length(e))
+        .sum();
+    before + pos.rd * net.edge_length(path[pos.path_idx as usize])
+}
+
+/// Maps a network distance from the path start back to a position.
+///
+/// Distances beyond the path clamp to its end.
+pub fn position_at_distance(net: &RoadNetwork, path: &[EdgeId], mut d: f64) -> PathPosition {
+    for (i, &e) in path.iter().enumerate() {
+        let len = net.edge_length(e);
+        if d <= len || i == path.len() - 1 {
+            let rd = if len <= 0.0 { 0.0 } else { (d / len).clamp(0.0, 1.0) };
+            return PathPosition {
+                path_idx: i as u32,
+                rd,
+            };
+        }
+        d -= len;
+    }
+    PathPosition {
+        path_idx: path.len().saturating_sub(1) as u32,
+        rd: 0.0,
+    }
+}
+
+/// The mapped location of an instance at time `t`, or `None` if `t` is
+/// outside the trajectory's time span.
+pub fn location_at(
+    net: &RoadNetwork,
+    inst: &Instance,
+    times: &[i64],
+    t: i64,
+) -> Option<MappedLocation> {
+    let n = times.len();
+    if n == 0 || t < times[0] || t > times[n - 1] {
+        return None;
+    }
+    // partition_point gives the first index with times[i] >= t.
+    let hi = times.partition_point(|&x| x < t);
+    if times[hi] == t {
+        return Some(inst.location(net, hi));
+    }
+    let lo = hi - 1;
+    let d0 = path_distance(net, &inst.path, inst.positions[lo]);
+    let d1 = path_distance(net, &inst.path, inst.positions[hi]);
+    let frac = (t - times[lo]) as f64 / (times[hi] - times[lo]) as f64;
+    let d = d0 + frac * (d1 - d0);
+    let pos = position_at_distance(net, &inst.path, d);
+    let edge = inst.path[pos.path_idx as usize];
+    Some(MappedLocation {
+        edge,
+        ndist: pos.rd * net.edge_length(edge),
+    })
+}
+
+/// The planar point of an instance at time `t`.
+pub fn point_at(net: &RoadNetwork, inst: &Instance, times: &[i64], t: i64) -> Option<Point> {
+    location_at(net, inst, times, t).map(|l| net.point_on_edge(l.edge, l.ndist))
+}
+
+/// All times (possibly interpolated, hence fractional) at which an
+/// instance passes the mapped location `⟨edge, rd⟩`.
+///
+/// The same edge can occur on a path more than once, so the result is a
+/// list. Times are clamped to the sampled span: positions the object held
+/// before its first or after its last sample are not reported.
+pub fn times_at_location(
+    net: &RoadNetwork,
+    inst: &Instance,
+    times: &[i64],
+    edge: EdgeId,
+    rd: f64,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    if times.is_empty() {
+        return out;
+    }
+    let dists: Vec<f64> = inst
+        .positions
+        .iter()
+        .map(|&p| path_distance(net, &inst.path, p))
+        .collect();
+    let mut offset = 0.0;
+    for &path_edge in &inst.path {
+        let len = net.edge_length(path_edge);
+        if path_edge == edge {
+            let target = offset + rd * len;
+            if let Some(t) = time_at_path_distance(times, &dists, target) {
+                out.push(t);
+            }
+        }
+        offset += len;
+    }
+    out
+}
+
+/// Interpolates the time at which the object reaches path distance
+/// `target`, given the per-sample distances. `None` if the object never
+/// reaches it within the sampled span.
+fn time_at_path_distance(times: &[i64], dists: &[f64], target: f64) -> Option<f64> {
+    const EPS: f64 = 1e-9;
+    if target < dists[0] - EPS || target > dists[dists.len() - 1] + EPS {
+        return None;
+    }
+    for i in 0..dists.len() - 1 {
+        let (d0, d1) = (dists[i], dists[i + 1]);
+        if target >= d0 - EPS && target <= d1 + EPS {
+            if (d1 - d0).abs() <= EPS {
+                return Some(times[i] as f64);
+            }
+            let frac = ((target - d0) / (d1 - d0)).clamp(0.0, 1.0);
+            return Some(times[i] as f64 + frac * (times[i + 1] - times[i]) as f64);
+        }
+    }
+    // target ≈ the final sample distance.
+    Some(times[dists.len() - 1] as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_fixture;
+
+    #[test]
+    fn example3_where_answer() {
+        // where(Tu¹, 5:21:25) on the top instance lands 150 m along
+        // (v6→v7) (paper Example 3).
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let inst = &fx.tu.instances[0];
+        let t = paper_fixture::hms(5, 21, 25);
+        let loc = location_at(net, inst, &fx.tu.times, t).unwrap();
+        assert_eq!(loc.edge, fx.example.edge(6, 7));
+        assert!((loc.ndist - 150.0).abs() < 1e-9, "ndist={}", loc.ndist);
+    }
+
+    #[test]
+    fn where_at_exact_sample() {
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let inst = &fx.tu.instances[0];
+        let loc = location_at(net, inst, &fx.tu.times, fx.tu.times[2]).unwrap();
+        assert_eq!(loc.edge, fx.example.edge(5, 6));
+        assert!((loc.ndist - 0.5 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn where_outside_span() {
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let inst = &fx.tu.instances[0];
+        assert!(location_at(net, inst, &fx.tu.times, fx.tu.times[0] - 1).is_none());
+        assert!(location_at(net, inst, &fx.tu.times, *fx.tu.times.last().unwrap() + 1).is_none());
+    }
+
+    #[test]
+    fn example3_when_answer() {
+        // when(Tu¹, ⟨v6→v7, 0.75⟩) returns 5:21:25 (paper Example 3:
+        // rd 0.75 of the 200 m edge is exactly the where answer above).
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let inst = &fx.tu.instances[0];
+        let ts = times_at_location(net, inst, &fx.tu.times, fx.example.edge(6, 7), 0.75);
+        assert_eq!(ts.len(), 1);
+        assert!((ts[0] - paper_fixture::hms(5, 21, 25) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn when_outside_sampled_span() {
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let inst = &fx.tu.instances[0];
+        // rd 0.1 of the first edge lies before the first sample (rd 0.875).
+        let ts = times_at_location(net, inst, &fx.tu.times, fx.example.edge(1, 2), 0.1);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn path_distance_roundtrip() {
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let inst = &fx.tu.instances[0];
+        for &pos in &inst.positions {
+            let d = path_distance(net, &inst.path, pos);
+            let back = position_at_distance(net, &inst.path, d);
+            let d2 = path_distance(net, &inst.path, back);
+            assert!((d - d2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn position_at_distance_clamps() {
+        let fx = paper_fixture::build();
+        let net = &fx.example.net;
+        let path = &fx.tu.instances[0].path;
+        let total: f64 = path.iter().map(|&e| net.edge_length(e)).sum();
+        let end = position_at_distance(net, path, total + 100.0);
+        assert_eq!(end.path_idx as usize, path.len() - 1);
+        assert_eq!(end.rd, 1.0);
+        let start = position_at_distance(net, path, 0.0);
+        assert_eq!(start.path_idx, 0);
+        assert_eq!(start.rd, 0.0);
+    }
+
+    #[test]
+    fn stationary_object_when() {
+        // Two samples at the same position: the when query returns the
+        // first time.
+        use crate::model::{Instance, PathPosition};
+        use utcq_network::gen::line;
+        use utcq_network::VertexId;
+        let net = line(3, 10.0);
+        let e0 = net.find_edge(VertexId(0), VertexId(1)).unwrap();
+        let e1 = net.find_edge(VertexId(1), VertexId(2)).unwrap();
+        let inst = Instance {
+            path: vec![e0, e1],
+            positions: vec![
+                PathPosition { path_idx: 0, rd: 0.5 },
+                PathPosition { path_idx: 0, rd: 0.5 },
+                PathPosition { path_idx: 1, rd: 0.5 },
+            ],
+            prob: 1.0,
+        };
+        let times = vec![0, 10, 20];
+        let ts = times_at_location(&net, &inst, &times, e0, 0.5);
+        assert_eq!(ts, vec![0.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Trajectory model for the UTCQ reproduction.
+//!
+//! Implements the paper's Definitions 2–5 and 7: raw trajectories, mapped
+//! locations, network-constrained trajectory instances, and uncertain
+//! trajectories whose instances share a time sequence — plus the TED-model
+//! view (`SV`/`E`/`D`/`T'`), spatio-temporal interpolation, edit-distance
+//! similarity, raw-size accounting, and dataset statistics.
+//!
+//! The paper's running example (Figure 2 / Table 3) is available as
+//! [`paper_fixture::build`] and exercised heavily in tests throughout the
+//! workspace.
+
+pub mod editdist;
+pub mod interp;
+pub mod model;
+pub mod paper_fixture;
+pub mod size;
+pub mod stats;
+pub mod ted_view;
+
+pub use model::{
+    Dataset, Instance, MappedLocation, PathPosition, RawPoint, RawTrajectory,
+    UncertainTrajectory,
+};
+pub use ted_view::{TedView, TedViewError};

@@ -1,0 +1,323 @@
+//! The trajectory data model.
+//!
+//! Follows the paper's definitions: raw trajectories (time-stamped planar
+//! points), mapped locations (Definition 2), network-constrained trajectory
+//! instances, and network-constrained uncertain trajectories (Definition 5)
+//! whose instances share one time sequence.
+
+use utcq_network::{EdgeId, RoadNetwork};
+
+/// One raw GPS sample `(x, y, t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawPoint {
+    /// Easting in the local planar frame (meters).
+    pub x: f64,
+    /// Northing in the local planar frame (meters).
+    pub y: f64,
+    /// Timestamp in seconds (e.g. seconds since an epoch or day start).
+    pub t: i64,
+}
+
+/// A raw trajectory: a time-ordered series of GPS samples.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawTrajectory {
+    /// The samples, strictly increasing in `t`.
+    pub points: Vec<RawPoint>,
+}
+
+impl RawTrajectory {
+    /// The time sequence of the raw samples.
+    pub fn times(&self) -> Vec<i64> {
+        self.points.iter().map(|p| p.t).collect()
+    }
+}
+
+/// A mapped location (Definition 2): a position `ndist` meters from the
+/// source vertex along a directed edge. The timestamp lives in the shared
+/// time sequence of the owning uncertain trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedLocation {
+    /// The edge `(vs → ve)` the location lies on.
+    pub edge: EdgeId,
+    /// Network distance from `vs` in meters.
+    pub ndist: f64,
+}
+
+/// A sample position within an instance: which path edge it lies on and its
+/// *relative distance* (Definition 7) along that edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathPosition {
+    /// Index into [`Instance::path`].
+    pub path_idx: u32,
+    /// Relative distance `rd ∈ [0, 1)` along that edge.
+    pub rd: f64,
+}
+
+/// One instance of an uncertain trajectory: a connected path through the
+/// network, the per-timestamp positions along it, and the instance
+/// probability from probabilistic map-matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// The connected edge path (Definition 4).
+    pub path: Vec<EdgeId>,
+    /// One entry per shared timestamp, non-decreasing along the path.
+    pub positions: Vec<PathPosition>,
+    /// Likelihood of this instance; instance probabilities of one
+    /// uncertain trajectory sum to 1.
+    pub prob: f64,
+}
+
+impl Instance {
+    /// The mapped location of sample `i`.
+    pub fn location(&self, net: &RoadNetwork, i: usize) -> MappedLocation {
+        let pos = self.positions[i];
+        let edge = self.path[pos.path_idx as usize];
+        MappedLocation {
+            edge,
+            ndist: pos.rd * net.edge_length(edge),
+        }
+    }
+
+    /// The relative-distance sequence `D` (Definition 7).
+    pub fn rds(&self) -> Vec<f64> {
+        self.positions.iter().map(|p| p.rd).collect()
+    }
+
+    /// Validates all structural invariants against a network; returns a
+    /// human-readable reason on failure.
+    pub fn validate(&self, net: &RoadNetwork, n_times: usize) -> Result<(), String> {
+        if self.path.is_empty() {
+            return Err("instance path is empty".into());
+        }
+        if !net.is_path(&self.path) {
+            return Err("instance path is not connected".into());
+        }
+        if self.positions.len() != n_times {
+            return Err(format!(
+                "instance has {} positions but the trajectory has {} timestamps",
+                self.positions.len(),
+                n_times
+            ));
+        }
+        if self.positions.is_empty() {
+            return Err("instance has no positions".into());
+        }
+        if self.positions[0].path_idx != 0 {
+            return Err("first sample must lie on the first path edge".into());
+        }
+        if self.positions.last().unwrap().path_idx as usize != self.path.len() - 1 {
+            return Err("last sample must lie on the last path edge".into());
+        }
+        let mut prev = (0u32, -1.0f64);
+        for (i, p) in self.positions.iter().enumerate() {
+            if p.path_idx as usize >= self.path.len() {
+                return Err(format!("position {i} points past the path"));
+            }
+            if !(0.0..=1.0).contains(&p.rd) {
+                return Err(format!("position {i} has rd {} outside [0,1]", p.rd));
+            }
+            if (p.path_idx, p.rd) < prev {
+                return Err(format!("position {i} moves backwards along the path"));
+            }
+            prev = (p.path_idx, p.rd);
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&self.prob) {
+            return Err(format!("probability {} outside [0,1]", self.prob));
+        }
+        Ok(())
+    }
+}
+
+/// A network-constrained uncertain trajectory (Definition 5): instances
+/// sharing one time sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainTrajectory {
+    /// Stable identifier within a dataset.
+    pub id: u64,
+    /// The shared, strictly increasing time sequence `T(Tuʲ)` in seconds.
+    pub times: Vec<i64>,
+    /// The instances `Tuʲw`, each with its probability.
+    pub instances: Vec<Instance>,
+}
+
+impl UncertainTrajectory {
+    /// Number of instances `Nʲ`.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Validates the trajectory and all instances.
+    pub fn validate(&self, net: &RoadNetwork) -> Result<(), String> {
+        if self.times.len() < 2 {
+            return Err("a trajectory needs at least two samples".into());
+        }
+        if !self.times.windows(2).all(|w| w[0] < w[1]) {
+            return Err("time sequence is not strictly increasing".into());
+        }
+        if self.instances.is_empty() {
+            return Err("uncertain trajectory has no instances".into());
+        }
+        let total_p: f64 = self.instances.iter().map(|i| i.prob).sum();
+        if (total_p - 1.0).abs() > 1e-6 {
+            return Err(format!("instance probabilities sum to {total_p}, not 1"));
+        }
+        for (w, inst) in self.instances.iter().enumerate() {
+            inst.validate(net, self.times.len())
+                .map_err(|e| format!("instance {w}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// The instance with the highest probability (the accurate trajectory a
+    /// non-probabilistic matcher would keep).
+    pub fn top_instance(&self) -> &Instance {
+        self.instances
+            .iter()
+            .max_by(|a, b| a.prob.total_cmp(&b.prob))
+            .expect("non-empty")
+    }
+}
+
+/// A collection of uncertain trajectories sharing a road network and a
+/// nominal sampling interval.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset label (e.g. "DK", "CD", "HZ").
+    pub name: String,
+    /// Default sample interval `Ts` in seconds (Table 5: 1 / 10 / 20).
+    pub default_interval: i64,
+    /// The uncertain trajectories.
+    pub trajectories: Vec<UncertainTrajectory>,
+}
+
+impl Dataset {
+    /// Total number of instances across all trajectories.
+    pub fn instance_count(&self) -> usize {
+        self.trajectories.iter().map(|t| t.instance_count()).sum()
+    }
+
+    /// Validates every trajectory.
+    pub fn validate(&self, net: &RoadNetwork) -> Result<(), String> {
+        for tu in &self.trajectories {
+            tu.validate(net)
+                .map_err(|e| format!("trajectory {}: {e}", tu.id))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcq_network::gen::line;
+
+    fn line_instance(net: &RoadNetwork) -> Instance {
+        // Forward edges on the line network are the even-numbered edges.
+        let e0 = net.find_edge(utcq_network::VertexId(0), utcq_network::VertexId(1)).unwrap();
+        let e1 = net.find_edge(utcq_network::VertexId(1), utcq_network::VertexId(2)).unwrap();
+        Instance {
+            path: vec![e0, e1],
+            positions: vec![
+                PathPosition { path_idx: 0, rd: 0.2 },
+                PathPosition { path_idx: 0, rd: 0.8 },
+                PathPosition { path_idx: 1, rd: 0.5 },
+            ],
+            prob: 1.0,
+        }
+    }
+
+    #[test]
+    fn instance_locations() {
+        let net = line(3, 10.0);
+        let inst = line_instance(&net);
+        let l0 = inst.location(&net, 0);
+        assert!((l0.ndist - 2.0).abs() < 1e-12);
+        let l2 = inst.location(&net, 2);
+        assert!((l2.ndist - 5.0).abs() < 1e-12);
+        assert_eq!(inst.rds(), vec![0.2, 0.8, 0.5]);
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        let net = line(3, 10.0);
+        let inst = line_instance(&net);
+        assert_eq!(inst.validate(&net, 3), Ok(()));
+    }
+
+    #[test]
+    fn invalid_instances_rejected() {
+        let net = line(3, 10.0);
+        let good = line_instance(&net);
+
+        let mut broken = good.clone();
+        broken.positions[1].rd = 0.1; // moves backwards
+        assert!(broken.validate(&net, 3).is_err());
+
+        let mut broken = good.clone();
+        broken.positions[2].path_idx = 0; // last sample not on last edge
+        assert!(broken.validate(&net, 3).is_err());
+
+        let mut broken = good.clone();
+        broken.positions[0].rd = 1.5;
+        assert!(broken.validate(&net, 3).is_err());
+
+        let mut broken = good.clone();
+        broken.path.clear();
+        assert!(broken.validate(&net, 3).is_err());
+
+        // Disconnected path.
+        let mut broken = good.clone();
+        broken.path.swap(0, 1);
+        assert!(broken.validate(&net, 3).is_err());
+    }
+
+    #[test]
+    fn uncertain_trajectory_validation() {
+        let net = line(3, 10.0);
+        let mut inst_a = line_instance(&net);
+        inst_a.prob = 0.6;
+        let mut inst_b = line_instance(&net);
+        inst_b.prob = 0.4;
+        let tu = UncertainTrajectory {
+            id: 1,
+            times: vec![0, 10, 20],
+            instances: vec![inst_a.clone(), inst_b.clone()],
+        };
+        assert_eq!(tu.validate(&net), Ok(()));
+        assert!((tu.top_instance().prob - 0.6).abs() < 1e-12);
+
+        let bad_times = UncertainTrajectory {
+            times: vec![0, 10, 10],
+            ..tu.clone()
+        };
+        assert!(bad_times.validate(&net).is_err());
+
+        let mut bad_p = tu.clone();
+        bad_p.instances[0].prob = 0.9;
+        assert!(bad_p.validate(&net).is_err());
+
+        let no_instances = UncertainTrajectory {
+            instances: vec![],
+            ..tu.clone()
+        };
+        assert!(no_instances.validate(&net).is_err());
+    }
+
+    #[test]
+    fn dataset_counts() {
+        let net = line(3, 10.0);
+        let inst = line_instance(&net);
+        let tu = UncertainTrajectory {
+            id: 0,
+            times: vec![0, 10, 20],
+            instances: vec![inst],
+        };
+        let ds = Dataset {
+            name: "test".into(),
+            default_interval: 10,
+            trajectories: vec![tu.clone(), tu],
+        };
+        assert_eq!(ds.instance_count(), 2);
+        assert_eq!(ds.validate(&net), Ok(()));
+    }
+}

@@ -1,0 +1,155 @@
+//! The paper's running example `Tu¹` (Figure 2 / Table 3) as a reusable
+//! fixture.
+//!
+//! Three instances over the [`utcq_network::paper_example`] network:
+//!
+//! * `Tu¹₁` (p = 0.75): the west–east spine `v1 → … → v8`,
+//! * `Tu¹₂` (p = 0.20): the northern detour via `v10`,
+//! * `Tu¹₃` (p = 0.05): the spine extended to `v9`.
+//!
+//! The shared time sequence is `⟨5:03:25, 5:07:25, 5:11:26, 5:15:26,
+//! 5:19:25, 5:23:25, 5:27:25⟩` (seconds of day), whose SIAR encoding with
+//! default interval 240 s is `⟨18205, 0, 1, 0, −1, 0, 0⟩` (§4.1).
+
+use utcq_network::paper_example::{self, PaperExample};
+
+use crate::model::{Instance, PathPosition, UncertainTrajectory};
+
+/// The Figure 2 network plus the uncertain trajectory `Tu¹`.
+#[derive(Debug, Clone)]
+pub struct PaperFixture {
+    /// Network fixture (vertices `v1..v10`).
+    pub example: PaperExample,
+    /// The uncertain trajectory `Tu¹` with instances `Tu¹₁, Tu¹₂, Tu¹₃`.
+    pub tu: UncertainTrajectory,
+}
+
+/// Seconds-of-day for `h:m:s`.
+pub const fn hms(h: i64, m: i64, s: i64) -> i64 {
+    h * 3600 + m * 60 + s
+}
+
+/// The default sample interval of the running example (240 s).
+pub const DEFAULT_INTERVAL: i64 = 240;
+
+/// Builds the fixture.
+pub fn build() -> PaperFixture {
+    let example = paper_example::build();
+    let ex = &example;
+
+    let times = vec![
+        hms(5, 3, 25),
+        hms(5, 7, 25),
+        hms(5, 11, 26),
+        hms(5, 15, 26),
+        hms(5, 19, 25),
+        hms(5, 23, 25),
+        hms(5, 27, 25),
+    ];
+
+    let spine = vec![
+        ex.edge(1, 2),
+        ex.edge(2, 3),
+        ex.edge(3, 4),
+        ex.edge(4, 5),
+        ex.edge(5, 6),
+        ex.edge(6, 7),
+        ex.edge(7, 8),
+    ];
+    let detour = vec![
+        ex.edge(1, 2),
+        ex.edge(2, 10),
+        ex.edge(10, 4),
+        ex.edge(4, 5),
+        ex.edge(5, 6),
+        ex.edge(6, 7),
+        ex.edge(7, 8),
+    ];
+    let extended = {
+        let mut p = spine.clone();
+        p.push(ex.edge(8, 9));
+        p
+    };
+
+    let pp = |path_idx: u32, rd: f64| PathPosition { path_idx, rd };
+
+    // Positions per Table 3's D and T' columns.
+    let tu11 = Instance {
+        path: spine,
+        positions: vec![
+            pp(0, 0.875),
+            pp(2, 0.25),
+            pp(4, 0.5),
+            pp(4, 0.875),
+            pp(5, 0.5),
+            pp(6, 0.0),
+            pp(6, 0.875),
+        ],
+        prob: 0.75,
+    };
+    let tu12 = Instance {
+        path: detour,
+        positions: vec![
+            pp(0, 0.875),
+            pp(1, 0.25),
+            pp(4, 0.5),
+            pp(4, 0.875),
+            pp(5, 0.5),
+            pp(6, 0.0),
+            pp(6, 0.875),
+        ],
+        prob: 0.2,
+    };
+    let tu13 = Instance {
+        path: extended,
+        positions: vec![
+            pp(0, 0.875),
+            pp(2, 0.25),
+            pp(4, 0.5),
+            pp(4, 0.875),
+            pp(5, 0.5),
+            pp(6, 0.0),
+            pp(7, 0.5),
+        ],
+        prob: 0.05,
+    };
+
+    let tu = UncertainTrajectory {
+        id: 1,
+        times,
+        instances: vec![tu11, tu12, tu13],
+    };
+    PaperFixture { example, tu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_valid() {
+        let fx = build();
+        assert_eq!(fx.tu.validate(&fx.example.net), Ok(()));
+    }
+
+    #[test]
+    fn probabilities_match_paper() {
+        let fx = build();
+        let probs: Vec<f64> = fx.tu.instances.iter().map(|i| i.prob).collect();
+        assert_eq!(probs, vec![0.75, 0.2, 0.05]);
+    }
+
+    #[test]
+    fn siar_deviations_match_section_4_1() {
+        let fx = build();
+        let ts = DEFAULT_INTERVAL;
+        let deltas: Vec<i64> = fx
+            .tu
+            .times
+            .windows(2)
+            .map(|w| (w[1] - w[0]) - ts)
+            .collect();
+        assert_eq!(deltas, vec![0, 1, 0, -1, 0, 0]);
+        assert_eq!(fx.tu.times[0], 18205); // 5:03:25
+    }
+}

@@ -1,0 +1,133 @@
+//! Uncompressed storage accounting.
+//!
+//! Every compression ratio in the paper divides the raw NCUT footprint by
+//! the compressed footprint, component by component (Table 8 reports T, E,
+//! D, T′ and p separately). The raw footprint convention is chosen to match
+//! the paper's own arithmetic (see DESIGN.md): 32-bit timestamps, 32 bits
+//! per edge-sequence entry, 64-bit doubles for relative distances and
+//! probabilities, 1 bit per time flag, and a 32-bit start vertex per
+//! instance.
+
+use utcq_network::RoadNetwork;
+
+use crate::model::{Dataset, Instance, UncertainTrajectory};
+
+/// Bit counts per component of the TED/UTCQ decomposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SizeBreakdown {
+    /// Time sequence `T` bits.
+    pub t: u64,
+    /// Edge sequence `E` bits.
+    pub e: u64,
+    /// Relative distance `D` bits.
+    pub d: u64,
+    /// Time-flag bit-string `T'` bits.
+    pub tflag: u64,
+    /// Probability bits.
+    pub p: u64,
+    /// Start-vertex bits.
+    pub sv: u64,
+}
+
+impl SizeBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.t + self.e + self.d + self.tflag + self.p + self.sv
+    }
+
+    /// Component-wise accumulation.
+    pub fn add(&mut self, other: &SizeBreakdown) {
+        self.t += other.t;
+        self.e += other.e;
+        self.d += other.d;
+        self.tflag += other.tflag;
+        self.p += other.p;
+        self.sv += other.sv;
+    }
+}
+
+/// Number of `E` entries of an instance (path edges plus repeat markers)
+/// without materializing the TED view.
+pub fn entry_count(inst: &Instance) -> usize {
+    let mut distinct = 0usize;
+    let mut last = u32::MAX;
+    for p in &inst.positions {
+        if p.path_idx != last {
+            distinct += 1;
+            last = p.path_idx;
+        }
+    }
+    inst.path.len() + inst.positions.len() - distinct
+}
+
+/// Raw footprint of one uncertain trajectory.
+pub fn uncompressed_bits(tu: &UncertainTrajectory) -> SizeBreakdown {
+    let mut s = SizeBreakdown {
+        t: 32 * tu.times.len() as u64,
+        ..Default::default()
+    };
+    for inst in &tu.instances {
+        let entries = entry_count(inst) as u64;
+        s.e += 32 * entries;
+        s.tflag += entries;
+        s.d += 64 * inst.positions.len() as u64;
+        s.p += 64;
+        s.sv += 32;
+    }
+    s
+}
+
+/// Raw footprint of a whole dataset.
+pub fn dataset_uncompressed_bits(ds: &Dataset) -> SizeBreakdown {
+    let mut s = SizeBreakdown::default();
+    for tu in &ds.trajectories {
+        s.add(&uncompressed_bits(tu));
+    }
+    s
+}
+
+/// Sanity helper: the raw footprint must be consistent with the network
+/// (entry counts resolve). Used by tests.
+pub fn verify_entry_count(net: &RoadNetwork, inst: &Instance) -> bool {
+    crate::ted_view::TedView::from_instance(net, inst).entries.len() == entry_count(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_fixture;
+
+    #[test]
+    fn entry_counts_match_ted_view() {
+        let fx = paper_fixture::build();
+        for inst in &fx.tu.instances {
+            assert!(verify_entry_count(&fx.example.net, inst));
+            assert_eq!(entry_count(inst), 9);
+        }
+    }
+
+    #[test]
+    fn paper_trajectory_footprint() {
+        let fx = paper_fixture::build();
+        let s = uncompressed_bits(&fx.tu);
+        assert_eq!(s.t, 32 * 7);
+        assert_eq!(s.e, 32 * 9 * 3);
+        assert_eq!(s.tflag, 9 * 3);
+        assert_eq!(s.d, 64 * 7 * 3);
+        assert_eq!(s.p, 64 * 3);
+        assert_eq!(s.sv, 32 * 3);
+        assert_eq!(
+            s.total(),
+            s.t + s.e + s.d + s.tflag + s.p + s.sv
+        );
+    }
+
+    #[test]
+    fn breakdown_add_accumulates() {
+        let fx = paper_fixture::build();
+        let one = uncompressed_bits(&fx.tu);
+        let mut two = one;
+        two.add(&one);
+        assert_eq!(two.total(), 2 * one.total());
+    }
+}

@@ -1,0 +1,273 @@
+//! Dataset statistics (the paper's Table 5 and Figure 4).
+//!
+//! These drive both the synthetic-data calibration (the generator must
+//! reproduce the paper's distributions) and the `fig4_stats` experiment
+//! runner that validates it did.
+
+use utcq_network::RoadNetwork;
+
+use crate::editdist::edit_distance;
+use crate::model::Dataset;
+use crate::ted_view::TedView;
+
+/// Figure 4a: distribution of `|actual interval − default interval|`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeviationHistogram {
+    /// Fraction with deviation exactly 0 s.
+    pub zero: f64,
+    /// Fraction with deviation exactly 1 s.
+    pub one: f64,
+    /// Fraction in (1 s, 50 s].
+    pub upto50: f64,
+    /// Fraction in (50 s, 100 s].
+    pub upto100: f64,
+    /// Fraction above 100 s.
+    pub over100: f64,
+}
+
+impl DeviationHistogram {
+    /// Fraction of intervals deviating at most 1 s (the paper's headline:
+    /// 93 % DK / 62 % CD / 54 % HZ).
+    pub fn within_one(&self) -> f64 {
+        self.zero + self.one
+    }
+}
+
+/// Computes the Figure 4a histogram for a dataset.
+pub fn interval_deviations(ds: &Dataset) -> DeviationHistogram {
+    let mut h = DeviationHistogram::default();
+    let mut n = 0u64;
+    for tu in &ds.trajectories {
+        for w in tu.times.windows(2) {
+            let dev = ((w[1] - w[0]) - ds.default_interval).unsigned_abs();
+            n += 1;
+            match dev {
+                0 => h.zero += 1.0,
+                1 => h.one += 1.0,
+                2..=50 => h.upto50 += 1.0,
+                51..=100 => h.upto100 += 1.0,
+                _ => h.over100 += 1.0,
+            }
+        }
+    }
+    if n > 0 {
+        let n = n as f64;
+        h.zero /= n;
+        h.one /= n;
+        h.upto50 /= n;
+        h.upto100 /= n;
+        h.over100 /= n;
+    }
+    h
+}
+
+/// Figure 4b: edit-distance histogram with the paper's buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EditDistanceHistogram {
+    /// Fraction in `[0, 2]`.
+    pub d0_2: f64,
+    /// Fraction in `[3, 5]`.
+    pub d3_5: f64,
+    /// Fraction in `[6, 8]`.
+    pub d6_8: f64,
+    /// Fraction `≥ 9`.
+    pub d9_up: f64,
+    /// Number of pairs measured.
+    pub pairs: u64,
+}
+
+impl EditDistanceHistogram {
+    fn push(&mut self, d: usize) {
+        self.pairs += 1;
+        match d {
+            0..=2 => self.d0_2 += 1.0,
+            3..=5 => self.d3_5 += 1.0,
+            6..=8 => self.d6_8 += 1.0,
+            _ => self.d9_up += 1.0,
+        }
+    }
+
+    fn normalize(&mut self) {
+        if self.pairs > 0 {
+            let n = self.pairs as f64;
+            self.d0_2 /= n;
+            self.d3_5 /= n;
+            self.d6_8 /= n;
+            self.d9_up /= n;
+        }
+    }
+
+    /// Fraction of pairs at distance ≤ 5.
+    pub fn within_five(&self) -> f64 {
+        self.d0_2 + self.d3_5
+    }
+}
+
+/// Edit distances between instances *within* each uncertain trajectory
+/// (Fig. 4b left), capped at `max_pairs` pairs total.
+pub fn intra_trajectory_similarity(
+    net: &RoadNetwork,
+    ds: &Dataset,
+    max_pairs: u64,
+) -> EditDistanceHistogram {
+    let mut h = EditDistanceHistogram::default();
+    'outer: for tu in &ds.trajectories {
+        let seqs: Vec<Vec<u32>> = tu
+            .instances
+            .iter()
+            .map(|i| TedView::from_instance(net, i).entries)
+            .collect();
+        for a in 0..seqs.len() {
+            for b in a + 1..seqs.len() {
+                h.push(edit_distance(&seqs[a], &seqs[b]));
+                if h.pairs >= max_pairs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    h.normalize();
+    h
+}
+
+/// Edit distances between instances of *different* uncertain trajectories
+/// (Fig. 4b right). Deterministic striding keeps this O(`max_pairs`).
+pub fn inter_trajectory_similarity(
+    net: &RoadNetwork,
+    ds: &Dataset,
+    max_pairs: u64,
+) -> EditDistanceHistogram {
+    let mut h = EditDistanceHistogram::default();
+    let m = ds.trajectories.len();
+    if m < 2 {
+        return h;
+    }
+    // Stride through trajectory pairs (j, j + stride) comparing their top
+    // instances.
+    let mut j = 0usize;
+    let mut stride = 1usize;
+    while h.pairs < max_pairs {
+        let k = j + stride;
+        if k >= m {
+            stride += 1;
+            j = 0;
+            if stride >= m {
+                break;
+            }
+            continue;
+        }
+        let a = TedView::from_instance(net, ds.trajectories[j].top_instance()).entries;
+        let b = TedView::from_instance(net, ds.trajectories[k].top_instance()).entries;
+        h.push(edit_distance(&a, &b));
+        j += 1;
+    }
+    h.normalize();
+    h
+}
+
+/// Table 5 style dataset summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DatasetSummary {
+    /// Number of uncertain trajectories.
+    pub trajectories: usize,
+    /// Mean instances per trajectory.
+    pub avg_instances: f64,
+    /// Mean path edges per instance.
+    pub avg_edges: f64,
+    /// Mean samples per trajectory.
+    pub avg_samples: f64,
+    /// Raw footprint in bytes.
+    pub raw_bytes: u64,
+}
+
+/// Computes the Table 5 summary.
+pub fn summarize(ds: &Dataset) -> DatasetSummary {
+    let m = ds.trajectories.len();
+    if m == 0 {
+        return DatasetSummary::default();
+    }
+    let mut instances = 0usize;
+    let mut edges = 0usize;
+    let mut samples = 0usize;
+    for tu in &ds.trajectories {
+        instances += tu.instance_count();
+        samples += tu.times.len();
+        for inst in &tu.instances {
+            edges += inst.path.len();
+        }
+    }
+    DatasetSummary {
+        trajectories: m,
+        avg_instances: instances as f64 / m as f64,
+        avg_edges: if instances > 0 { edges as f64 / instances as f64 } else { 0.0 },
+        avg_samples: samples as f64 / m as f64,
+        raw_bytes: crate::size::dataset_uncompressed_bits(ds).total() / 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Dataset;
+    use crate::paper_fixture;
+
+    fn paper_dataset() -> (utcq_network::RoadNetwork, Dataset) {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu],
+        };
+        (fx.example.net, ds)
+    }
+
+    #[test]
+    fn deviations_of_running_example() {
+        let (_, ds) = paper_dataset();
+        let h = interval_deviations(&ds);
+        // Deviations 0,1,0,−1,0,0 → 4/6 zero, 2/6 one.
+        assert!((h.zero - 4.0 / 6.0).abs() < 1e-12);
+        assert!((h.one - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.within_one(), 1.0);
+        assert_eq!(h.over100, 0.0);
+    }
+
+    #[test]
+    fn intra_similarity_of_running_example() {
+        let (net, ds) = paper_dataset();
+        let h = intra_trajectory_similarity(&net, &ds, 1000);
+        assert_eq!(h.pairs, 3); // three instance pairs
+        assert_eq!(h.d0_2, 1.0); // all within edit distance 2
+    }
+
+    #[test]
+    fn inter_similarity_needs_two_trajectories() {
+        let (net, ds) = paper_dataset();
+        let h = inter_trajectory_similarity(&net, &ds, 1000);
+        assert_eq!(h.pairs, 0);
+    }
+
+    #[test]
+    fn summary_of_running_example() {
+        let (_, ds) = paper_dataset();
+        let s = summarize(&ds);
+        assert_eq!(s.trajectories, 1);
+        assert!((s.avg_instances - 3.0).abs() < 1e-12);
+        assert!((s.avg_samples - 7.0).abs() < 1e-12);
+        // Instance paths have 7, 7 and 8 edges.
+        assert!((s.avg_edges - 22.0 / 3.0).abs() < 1e-12);
+        assert!(s.raw_bytes > 0);
+    }
+
+    #[test]
+    fn empty_dataset_summary() {
+        let ds = Dataset {
+            name: "empty".into(),
+            default_interval: 10,
+            trajectories: vec![],
+        };
+        assert_eq!(summarize(&ds), DatasetSummary::default());
+        let h = interval_deviations(&ds);
+        assert_eq!(h.within_one(), 0.0);
+    }
+}

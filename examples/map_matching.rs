@@ -1,0 +1,82 @@
+//! End-to-end pipeline from raw GPS: probabilistic map-matching turns
+//! noisy fixes into uncertain trajectories (the paper's Fig. 1), which
+//! UTCQ then compresses.
+//!
+//! Run: `cargo run --release --example map_matching`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use utcq::core::params::CompressParams;
+use utcq::datagen::instances::base_positions;
+use utcq::datagen::raw::observe;
+use utcq::datagen::route::random_route;
+use utcq::matcher::{Matcher, MatcherConfig};
+use utcq::network::gen::{grid_city, GridCityConfig};
+use utcq::traj::{Dataset, Instance};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let net = grid_city(&GridCityConfig::default(), &mut rng);
+    let matcher = Matcher::new(&net, 200.0);
+    let cfg = MatcherConfig {
+        sigma: 12.0,
+        ..MatcherConfig::default()
+    };
+
+    // Simulate vehicles driving ground-truth routes, observed with 12 m
+    // GPS noise at 20 s intervals (low-rate + noisy = ambiguous).
+    let mut matched = Vec::new();
+    let mut ambiguous = 0usize;
+    for id in 0..40u64 {
+        let Some(route) = random_route(&net, &mut rng, 12, 30) else {
+            continue;
+        };
+        let n = ((net.path_length(&route) / (11.0 * 20.0)).round() as usize).clamp(4, 30);
+        let times: Vec<i64> = (0..n as i64).map(|i| 36_000 + i * 20).collect();
+        let positions = base_positions(&net, &mut rng, &route, &times);
+        let truth = Instance {
+            path: route,
+            positions,
+            prob: 1.0,
+        };
+        let raw = observe(&net, &truth, &times, cfg.sigma, &mut rng);
+        if let Some(mut tu) = matcher.match_trajectory(&raw, &cfg) {
+            tu.id = id;
+            if tu.instance_count() > 1 {
+                ambiguous += 1;
+            }
+            // How well did the top instance recover the truth?
+            let top = tu.top_instance();
+            let overlap = top.path.iter().filter(|e| truth.path.contains(e)).count();
+            if id < 5 {
+                println!(
+                    "trajectory {id}: {} instances, top p={:.3}, {}/{} true edges recovered",
+                    tu.instance_count(),
+                    top.prob,
+                    overlap,
+                    truth.path.len()
+                );
+            }
+            matched.push(tu);
+        }
+    }
+    println!(
+        "\nmatched {} raw trajectories; {} with path ambiguity (>1 instance)",
+        matched.len(),
+        ambiguous
+    );
+
+    // Compress the matcher's output with UTCQ.
+    let ds = Dataset {
+        name: "matched".into(),
+        default_interval: 20,
+        trajectories: matched,
+    };
+    let params = CompressParams::with_interval(20);
+    let cds = utcq::core::compress_dataset(&net, &ds, &params).unwrap();
+    let r = cds.ratios();
+    println!(
+        "compressed the matched dataset at ratio {:.2} (E {:.2}, T {:.2}, D {:.2})",
+        r.total, r.e, r.t, r.d
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: generate a synthetic uncertain-trajectory dataset,
+//! compress it with UTCQ, query the compressed form, and decompress.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use utcq::core::params::CompressParams;
+use utcq::core::query::CompressedStore;
+use utcq::core::stiu::StiuParams;
+
+fn main() {
+    // 1. A synthetic road network + uncertain trajectories (the stand-in
+    //    for the paper's probabilistically map-matched taxi data).
+    let profile = utcq::datagen::profile::cd();
+    let (net, ds) = utcq::datagen::generate(&profile, 50, 42);
+    println!(
+        "dataset: {} trajectories, {} instances, network {} vertices / {} edges",
+        ds.trajectories.len(),
+        ds.instance_count(),
+        net.vertex_count(),
+        net.edge_count()
+    );
+
+    // 2. Compress + index in one step.
+    let params = CompressParams::with_interval(ds.default_interval);
+    let store = CompressedStore::build(&net, &ds, params, StiuParams::default())
+        .expect("compression succeeds");
+    let r = store.cds.ratios();
+    println!(
+        "compression ratios — total {:.2} (T {:.2}, E {:.2}, D {:.2}, T' {:.2}, p {:.2})",
+        r.total, r.t, r.e, r.d, r.tflag, r.p
+    );
+
+    // 3. Query the compressed data directly.
+    let tu = &ds.trajectories[0];
+    let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+    let hits = store.where_query(tu.id, mid, 0.2).unwrap();
+    println!(
+        "where(Tu{}, t={mid}, α=0.2): {} instance locations",
+        tu.id,
+        hits.len()
+    );
+    for h in hits.iter().take(3) {
+        println!(
+            "  instance {} (p={:.3}) at edge {:?} + {:.1} m",
+            h.instance, h.prob, h.loc.edge, h.loc.ndist
+        );
+    }
+
+    let probe = tu.top_instance().path[tu.top_instance().path.len() / 2];
+    let whens = store.when_query(tu.id, probe, 0.5, 0.1).unwrap();
+    println!("when(Tu{}, mid-path edge, α=0.1): {} passing times", tu.id, whens.len());
+
+    let bounds = net.bounding_rect();
+    let re = utcq::network::Rect::new(
+        bounds.min_x,
+        bounds.min_y,
+        bounds.min_x + bounds.width() * 0.3,
+        bounds.min_y + bounds.height() * 0.3,
+    );
+    let in_range = store.range_query(&re, mid, 0.3).unwrap();
+    println!("range(SW corner, t={mid}, α=0.3): {} trajectories", in_range.len());
+
+    // 4. Decompress losslessly (up to the PDDP error bounds).
+    let back = utcq::core::decompress_dataset(&net, &store.cds).unwrap();
+    utcq::core::decompress::check_lossy_roundtrip(
+        &ds.trajectories[0],
+        &back.trajectories[0],
+        params.eta_d,
+        params.eta_p,
+    )
+    .expect("round-trip within error bounds");
+    println!("decompression verified within ηD = {} / ηp = {}", params.eta_d, params.eta_p);
+}

@@ -1,0 +1,63 @@
+//! A Hangzhou-style taxi fleet day: generate the HZ-profile dataset,
+//! compress it with both UTCQ and the TED baseline, and compare footprints
+//! component by component (the paper's Table 8 in miniature).
+//!
+//! Run: `cargo run --release --example taxi_fleet`
+
+use std::time::Instant;
+
+use utcq::core::params::CompressParams;
+
+fn main() {
+    let profile = utcq::datagen::profile::hz();
+    let (net, ds) = utcq::datagen::generate(&profile, 200, 99);
+    let raw = utcq::traj::size::dataset_uncompressed_bits(&ds);
+    println!(
+        "fleet: {} uncertain trajectories / {} instances, raw {} KiB",
+        ds.trajectories.len(),
+        ds.instance_count(),
+        raw.total() / 8 / 1024
+    );
+
+    let params = CompressParams {
+        eta_p: 1.0 / 2048.0, // the paper's HZ setting
+        ..CompressParams::with_interval(ds.default_interval)
+    };
+    let t0 = Instant::now();
+    let cds = utcq::core::compress_dataset(&net, &ds, &params).unwrap();
+    let utcq_time = t0.elapsed();
+
+    let tparams = utcq::ted::TedParams {
+        eta_p: 1.0 / 2048.0,
+        ..utcq::ted::TedParams::default()
+    };
+    let t0 = Instant::now();
+    let tds = utcq::ted::compress_dataset(&net, &ds, &tparams).unwrap();
+    let ted_time = t0.elapsed();
+
+    println!("\n{:<12}{:>12}{:>12}", "component", "UTCQ bits", "TED bits");
+    let rows = [
+        ("T", cds.compressed.t, tds.compressed.t),
+        ("E (+SV)", cds.compressed.e + cds.compressed.sv, tds.compressed.e + tds.compressed.sv),
+        ("D", cds.compressed.d, tds.compressed.d),
+        ("T'", cds.compressed.tflag, tds.compressed.tflag),
+        ("p", cds.compressed.p, tds.compressed.p),
+    ];
+    for (name, u, t) in rows {
+        println!("{name:<12}{u:>12}{t:>12}");
+    }
+    println!(
+        "{:<12}{:>12}{:>12}",
+        "total",
+        cds.compressed.total(),
+        tds.compressed.total()
+    );
+    println!(
+        "\nUTCQ ratio {:.2} in {:?}; TED ratio {:.2} in {:?} (TED buffered {} KiB of edge codes)",
+        cds.ratios().total,
+        utcq_time,
+        tds.ratios().total,
+        ted_time,
+        tds.peak_buffer_bits / 8 / 1024
+    );
+}

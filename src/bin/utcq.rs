@@ -1,0 +1,238 @@
+//! `utcq` — command-line front end for the UTCQ reproduction.
+//!
+//! Datasets are deterministic functions of `(profile, trajs, seed)`, so
+//! the road network never needs to be shipped alongside a compressed
+//! container: every subcommand regenerates it from the same arguments.
+//!
+//! ```text
+//! utcq stats      --profile cd --trajs 200 --seed 1
+//! utcq compress   --profile cd --trajs 200 --seed 1 --out data.utcq
+//! utcq info       --in data.utcq
+//! utcq verify     --profile cd --trajs 200 --seed 1 --in data.utcq
+//! utcq query      --profile cd --trajs 200 --seed 1 --in data.utcq -n 100
+//! ```
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use utcq::core::params::CompressParams;
+use utcq::core::query::CompressedStore;
+use utcq::core::stiu::StiuParams;
+use utcq::core::{storage, CompressedDataset};
+use utcq::datagen::DatasetProfile;
+use utcq::network::RoadNetwork;
+use utcq::traj::Dataset;
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with('-') {
+                    flags.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { flags }
+    }
+
+    fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn profile_by_name(name: &str) -> Option<DatasetProfile> {
+    match name.to_ascii_lowercase().as_str() {
+        "dk" => Some(utcq::datagen::profile::dk()),
+        "cd" => Some(utcq::datagen::profile::cd()),
+        "hz" => Some(utcq::datagen::profile::hz()),
+        "tiny" => Some(utcq::datagen::profile::tiny()),
+        _ => None,
+    }
+}
+
+fn build_dataset(args: &Args) -> Result<(DatasetProfile, RoadNetwork, Dataset), String> {
+    let pname = args.get("profile", "cd");
+    let profile =
+        profile_by_name(&pname).ok_or(format!("unknown profile '{pname}' (dk|cd|hz|tiny)"))?;
+    let trajs: usize = args.parse_num("trajs", 200);
+    let seed: u64 = args.parse_num("seed", 1);
+    let (net, ds) = utcq::datagen::generate(&profile, trajs, seed);
+    Ok((profile, net, ds))
+}
+
+fn params_for(profile: &DatasetProfile) -> CompressParams {
+    CompressParams {
+        eta_p: if profile.name == "HZ" { 1.0 / 2048.0 } else { 1.0 / 512.0 },
+        n_pivots: if profile.name == "DK" { 2 } else { 1 },
+        ..CompressParams::with_interval(profile.default_interval)
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let (_, net, ds) = build_dataset(args)?;
+    let s = utcq::traj::stats::summarize(&ds);
+    let h = utcq::traj::stats::interval_deviations(&ds);
+    println!("dataset {}", ds.name);
+    println!("  trajectories:        {}", s.trajectories);
+    println!("  avg instances:       {:.2}", s.avg_instances);
+    println!("  avg edges/instance:  {:.2}", s.avg_edges);
+    println!("  avg samples:         {:.2}", s.avg_samples);
+    println!("  raw size:            {} KiB", s.raw_bytes / 1024);
+    println!("  intervals within ±1s: {:.1}%", h.within_one() * 100.0);
+    println!(
+        "network: {} vertices, {} edges, max out-degree {}",
+        net.vertex_count(),
+        net.edge_count(),
+        net.max_out_degree()
+    );
+    Ok(())
+}
+
+fn cmd_compress(args: &Args) -> Result<(), String> {
+    let (profile, net, ds) = build_dataset(args)?;
+    let out = args.get("out", "data.utcq");
+    let params = params_for(&profile);
+    let t0 = std::time::Instant::now();
+    let cds = utcq::core::compress_dataset(&net, &ds, &params).map_err(|e| e.to_string())?;
+    let dt = t0.elapsed();
+    let r = cds.ratios();
+    println!(
+        "compressed {} trajectories in {dt:?}: ratio {:.2} (T {:.2}, E {:.2}, D {:.2}, T' {:.2}, p {:.2})",
+        ds.trajectories.len(),
+        r.total,
+        r.t,
+        r.e,
+        r.d,
+        r.tflag,
+        r.p
+    );
+    let f = File::create(&out).map_err(|e| e.to_string())?;
+    let mut w = BufWriter::new(f);
+    storage::save(&cds, &mut w).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_container(args: &Args) -> Result<CompressedDataset, String> {
+    let path = args.get("in", "data.utcq");
+    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    storage::load(&mut BufReader::new(f)).map_err(|e| e.to_string())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let cds = load_container(args)?;
+    let r = cds.ratios();
+    println!("container: dataset '{}'", cds.name);
+    println!("  trajectories:     {}", cds.trajectories.len());
+    println!(
+        "  instances:        {}",
+        cds.trajectories.iter().map(|t| t.instance_count()).sum::<usize>()
+    );
+    println!("  ηD = {}, ηp = {}, pivots = {}", cds.params.eta_d, cds.params.eta_p, cds.params.n_pivots);
+    println!("  raw:              {} KiB", cds.raw.total() / 8 / 1024);
+    println!("  compressed:       {} KiB", cds.compressed.total() / 8 / 1024);
+    println!("  ratio:            {:.2}", r.total);
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let (_, net, ds) = build_dataset(args)?;
+    let cds = load_container(args)?;
+    if cds.trajectories.len() != ds.trajectories.len() {
+        return Err("container does not match the regenerated dataset".into());
+    }
+    let back = utcq::core::decompress_dataset(&net, &cds).map_err(|e| e.to_string())?;
+    for (a, b) in ds.trajectories.iter().zip(&back.trajectories) {
+        utcq::core::decompress::check_lossy_roundtrip(a, b, cds.params.eta_d, cds.params.eta_p)?;
+    }
+    println!(
+        "verified: {} trajectories decompress within ηD = {}, ηp = {}",
+        ds.trajectories.len(),
+        cds.params.eta_d,
+        cds.params.eta_p
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let (_, net, ds) = build_dataset(args)?;
+    let cds = load_container(args)?;
+    let n: usize = args.parse_num("n", 100);
+    // Index construction uses the regenerated originals, exactly as it
+    // does during compression.
+    let store = CompressedStore::build(&net, &ds, cds.params, StiuParams::default())
+        .map_err(|e| e.to_string())?;
+    let mut answered = 0usize;
+    let t0 = std::time::Instant::now();
+    for (k, tu) in ds.trajectories.iter().enumerate().take(n) {
+        let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+        answered += store
+            .where_query(tu.id, mid, 0.25)
+            .map_err(|e| e.to_string())?
+            .len();
+        let edge = tu.top_instance().path[k % tu.top_instance().path.len()];
+        answered += store
+            .when_query(tu.id, edge, 0.5, 0.25)
+            .map_err(|e| e.to_string())?
+            .len();
+    }
+    println!(
+        "ran {} where + when queries ({} answers) in {:?}",
+        n.min(ds.trajectories.len()) * 2,
+        answered,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn usage() -> String {
+    "usage: utcq <stats|compress|info|verify|query> [--profile dk|cd|hz|tiny] \
+     [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(&args),
+        "compress" => cmd_compress(&args),
+        "info" => cmd_info(&args),
+        "verify" => cmd_verify(&args),
+        "query" => cmd_query(&args),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

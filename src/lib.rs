@@ -1,0 +1,11 @@
+//! Umbrella crate for the UTCQ reproduction.
+//!
+//! Re-exports all workspace crates under one roof so examples and
+//! integration tests can use a single dependency.
+pub use utcq_bitio as bitio;
+pub use utcq_core as core;
+pub use utcq_datagen as datagen;
+pub use utcq_matcher as matcher;
+pub use utcq_network as network;
+pub use utcq_ted as ted;
+pub use utcq_traj as traj;

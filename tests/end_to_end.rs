@@ -1,0 +1,130 @@
+//! Cross-crate integration: the full pipeline from raw GPS through
+//! probabilistic map-matching, UTCQ compression, indexing, and querying —
+//! plus the TED baseline on the same data.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use utcq::core::params::CompressParams;
+use utcq::core::query::CompressedStore;
+use utcq::core::stiu::StiuParams;
+use utcq::datagen::instances::base_positions;
+use utcq::datagen::raw::observe;
+use utcq::datagen::route::random_route;
+use utcq::matcher::{Matcher, MatcherConfig};
+use utcq::network::gen::{grid_city, GridCityConfig};
+use utcq::traj::{Dataset, Instance};
+
+#[test]
+fn raw_gps_to_compressed_queries() {
+    let mut rng = StdRng::seed_from_u64(555);
+    let net = grid_city(&GridCityConfig::tiny(), &mut rng);
+    let matcher = Matcher::new(&net, 150.0);
+
+    let mut trajectories = Vec::new();
+    for id in 0..15u64 {
+        let Some(route) = random_route(&net, &mut rng, 10, 30) else {
+            continue;
+        };
+        let n = ((net.path_length(&route) / 150.0).round() as usize).clamp(4, 25);
+        let times: Vec<i64> = (0..n as i64).map(|i| 40_000 + i * 15).collect();
+        let positions = base_positions(&net, &mut rng, &route, &times);
+        let truth = Instance {
+            path: route,
+            positions,
+            prob: 1.0,
+        };
+        let raw = observe(&net, &truth, &times, 8.0, &mut rng);
+        if let Some(mut tu) = matcher.match_trajectory(&raw, &MatcherConfig::default()) {
+            tu.id = id;
+            trajectories.push(tu);
+        }
+    }
+    assert!(trajectories.len() >= 10, "matcher produced too few trajectories");
+    let ds = Dataset {
+        name: "e2e".into(),
+        default_interval: 15,
+        trajectories,
+    };
+    ds.validate(&net).expect("matched dataset valid");
+
+    let params = CompressParams::with_interval(15);
+    let store = CompressedStore::build(&net, &ds, params, StiuParams::default()).unwrap();
+    assert!(store.cds.ratios().total > 1.5);
+
+    // Every query type answers consistently with the oracle.
+    for tu in &ds.trajectories {
+        let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+        let got = store.where_query(tu.id, mid, 0.0).unwrap();
+        let want = utcq::core::oracle::where_query(&net, tu, mid, 0.0);
+        assert_eq!(got.len(), want.len());
+    }
+
+    // Full decompression round-trips.
+    let back = utcq::core::decompress_dataset(&net, &store.cds).unwrap();
+    for (a, b) in ds.trajectories.iter().zip(&back.trajectories) {
+        utcq::core::decompress::check_lossy_roundtrip(a, b, params.eta_d, params.eta_p)
+            .unwrap();
+    }
+}
+
+#[test]
+fn utcq_beats_ted_on_ratio_everywhere() {
+    // The headline claim, verified on all three profiles at small scale.
+    for (i, profile) in utcq::datagen::profile::all().iter().enumerate() {
+        let (net, ds) = utcq::datagen::generate(profile, 60, 4000 + i as u64);
+        let params = CompressParams::with_interval(ds.default_interval);
+        let cds = utcq::core::compress_dataset(&net, &ds, &params).unwrap();
+        let tds = utcq::ted::compress_dataset(&net, &ds, &utcq::ted::TedParams::default())
+            .unwrap();
+        let u = cds.ratios().total;
+        let t = tds.ratios().total;
+        assert!(
+            u > 1.5 * t,
+            "{}: UTCQ ratio {u:.2} must clearly beat TED {t:.2}",
+            profile.name
+        );
+        // Both must actually compress.
+        assert!(t > 1.0, "{}: TED ratio {t:.2}", profile.name);
+    }
+}
+
+#[test]
+fn ted_and_utcq_agree_on_queries() {
+    let profile = utcq::datagen::profile::cd();
+    let (net, ds) = utcq::datagen::generate(&profile, 40, 4242);
+    let params = CompressParams::with_interval(ds.default_interval);
+    let store = CompressedStore::build(&net, &ds, params, StiuParams::default()).unwrap();
+    let tstore = utcq::ted::TedStore::build(
+        &net,
+        &ds,
+        utcq::ted::TedParams::default(),
+        utcq::ted::TedStoreParams::default(),
+    )
+    .unwrap();
+    for tu in ds.trajectories.iter().take(20) {
+        let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+        let a = store.where_query(tu.id, mid, 0.25).unwrap();
+        let b = tstore.where_query(tu.id, mid, 0.25).unwrap();
+        assert_eq!(a.len(), b.len(), "traj {}", tu.id);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.instance, y.instance);
+            assert_eq!(x.loc.edge, y.loc.edge);
+            assert!((x.loc.ndist - y.loc.ndist).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn compression_is_deterministic() {
+    let profile = utcq::datagen::profile::tiny();
+    let (net, ds) = utcq::datagen::generate(&profile, 20, 777);
+    let params = CompressParams::with_interval(ds.default_interval);
+    let a = utcq::core::compress_dataset(&net, &ds, &params).unwrap();
+    let b = utcq::core::compress_dataset(&net, &ds, &params).unwrap();
+    assert_eq!(a.compressed, b.compressed);
+    for (x, y) in a.trajectories.iter().zip(&b.trajectories) {
+        assert_eq!(x.t_bits, y.t_bits);
+        assert_eq!(x.refs.len(), y.refs.len());
+        assert_eq!(x.nrefs.len(), y.nrefs.len());
+    }
+}
