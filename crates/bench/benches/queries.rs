@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use utcq_bench::{datasets, workload};
-use utcq_core::query::CompressedStore;
+use std::sync::Arc;
+use utcq_core::query::PageRequest;
+use utcq_core::Store;
 use utcq_core::stiu::StiuParams;
 use utcq_ted::{TedStore, TedStoreParams};
 
@@ -11,8 +13,8 @@ fn bench_queries(c: &mut Criterion) {
     let profile = utcq_datagen::profile::cd();
     let built = datasets::build_n(&profile, 80, 3000);
     let params = datasets::paper_params(&profile);
-    let store = CompressedStore::build(
-        &built.net,
+    let store = Store::build(
+        Arc::new(built.net.clone()),
         &built.ds,
         params,
         StiuParams {
@@ -36,7 +38,7 @@ fn bench_queries(c: &mut Criterion) {
     c.bench_function("where/utcq_64q", |b| {
         b.iter(|| {
             for q in &wq {
-                black_box(store.where_query(q.traj_id, q.t, q.alpha).unwrap());
+                black_box(store.where_query(q.traj_id, q.t, q.alpha, PageRequest::all()).unwrap());
             }
         })
     });
@@ -52,7 +54,7 @@ fn bench_queries(c: &mut Criterion) {
     c.bench_function("when/utcq_64q", |b| {
         b.iter(|| {
             for q in &nq {
-                black_box(store.when_query(q.traj_id, q.edge, q.rd, q.alpha).unwrap());
+                black_box(store.when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all()).unwrap());
             }
         })
     });
@@ -68,7 +70,7 @@ fn bench_queries(c: &mut Criterion) {
     c.bench_function("range/utcq_32q", |b| {
         b.iter(|| {
             for q in &rq {
-                black_box(store.range_query(&q.re, q.tq, q.alpha).unwrap());
+                black_box(store.range_query(&q.re, q.tq, q.alpha, PageRequest::all()).unwrap());
             }
         })
     });

@@ -14,14 +14,16 @@
 
 use std::collections::HashMap;
 
+use std::sync::Arc;
 use utcq_bench::measure::fmt_duration;
 use utcq_bench::report::{f2, Table};
 use utcq_bench::{build, datasets, timed, workload};
 use utcq_core::compress::compress_trajectory_with_roles;
-use utcq_core::query::CompressedStore;
+use utcq_core::query::PageRequest;
 use utcq_core::reference::Role;
 use utcq_core::siar;
 use utcq_core::stiu::StiuParams;
+use utcq_core::Store;
 use utcq_traj::TedView;
 
 fn main() {
@@ -36,7 +38,12 @@ fn main() {
 fn siar_vs_pairs() {
     let mut table = Table::new(
         "Ablation 1 — time-sequence encoding (bits per timestamp; raw = 32)",
-        &["dataset", "SIAR+ExpGolomb", "TED (i,t) pairs", "SIAR advantage"],
+        &[
+            "dataset",
+            "SIAR+ExpGolomb",
+            "TED (i,t) pairs",
+            "SIAR advantage",
+        ],
     );
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 1300 + i as u64);
@@ -65,7 +72,13 @@ fn siar_vs_pairs() {
 fn reference_strategies() {
     let mut table = Table::new(
         "Ablation 2 — reference selection (total compressed bits, lower is better)",
-        &["dataset", "FJD greedy (Alg.1)", "most-probable ref", "first-as-ref", "no referential"],
+        &[
+            "dataset",
+            "FJD greedy (Alg.1)",
+            "most-probable ref",
+            "first-as-ref",
+            "no referential",
+        ],
     );
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 1400 + i as u64);
@@ -95,8 +108,7 @@ fn reference_strategies() {
             totals[2] += with_group_leader(&built.net, tu, &params, &svs, |group| group[0]);
             // Strategy D: no referential compression at all.
             let roles = vec![Role::Reference; tu.instances.len()];
-            let (_, s) =
-                compress_trajectory_with_roles(&built.net, tu, &params, &roles).unwrap();
+            let (_, s) = compress_trajectory_with_roles(&built.net, tu, &params, &roles).unwrap();
             totals[3] += s.total();
         }
         table.row(vec![
@@ -145,8 +157,8 @@ fn index_vs_full_decompression() {
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 1500 + i as u64);
         let params = datasets::paper_params(profile);
-        let store = CompressedStore::build(
-            &built.net,
+        let store = Store::build(
+            Arc::new(built.net.clone()),
             &built.ds,
             params,
             StiuParams::default(),
@@ -155,13 +167,15 @@ fn index_vs_full_decompression() {
         let queries = workload::when_queries(&built.ds, 200, 131);
         let (_, indexed) = timed(|| {
             for q in &queries {
-                let _ = store.when_query(q.traj_id, q.edge, q.rd, q.alpha).unwrap();
+                let _ = store
+                    .when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
+                    .unwrap();
             }
         });
         // Full decompression path: decompress the whole trajectory and
         // run the oracle on it.
         let idx_of: HashMap<u64, usize> = store
-            .cds
+            .compressed()
             .trajectories
             .iter()
             .enumerate()
@@ -172,8 +186,8 @@ fn index_vs_full_decompression() {
                 let j = idx_of[&q.traj_id];
                 let tu = utcq_core::decompress_trajectory(
                     &built.net,
-                    &store.cds.trajectories[j],
-                    store.cds.w_e,
+                    &store.compressed().trajectories[j],
+                    store.compressed().w_e,
                     &params,
                 )
                 .unwrap();
@@ -184,7 +198,10 @@ fn index_vs_full_decompression() {
             profile.name.to_string(),
             fmt_duration(indexed),
             fmt_duration(full),
-            format!("{:.2}x", full.as_secs_f64() / indexed.as_secs_f64().max(1e-12)),
+            format!(
+                "{:.2}x",
+                full.as_secs_f64() / indexed.as_secs_f64().max(1e-12)
+            ),
         ]);
     }
     table.print();
@@ -198,7 +215,12 @@ fn pddp_tree_ablation() {
     use utcq_bitio::huffman::Huffman;
     let mut table = Table::new(
         "Ablation 5 — distance codes: fixed-width PDDP vs Huffman over quantized values",
-        &["dataset", "fixed-width bits", "huffman bits (+table)", "gain"],
+        &[
+            "dataset",
+            "fixed-width bits",
+            "huffman bits (+table)",
+            "gain",
+        ],
     );
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 1800 + i as u64);
@@ -224,7 +246,10 @@ fn pddp_tree_ablation() {
             profile.name.to_string(),
             fixed_bits.to_string(),
             huff_bits.to_string(),
-            format!("{:.1}%", 100.0 * (fixed_bits as f64 - huff_bits as f64) / fixed_bits as f64),
+            format!(
+                "{:.1}%",
+                100.0 * (fixed_bits as f64 - huff_bits as f64) / fixed_bits as f64
+            ),
         ]);
     }
     table.print();
@@ -235,7 +260,12 @@ fn pddp_tree_ablation() {
 fn wah_ablation() {
     let mut table = Table::new(
         "Ablation 4 — TED T' storage: raw vs WAH (the paper's omitted knob)",
-        &["dataset", "raw T' bits", "WAH T' bits", "WAH compress time factor"],
+        &[
+            "dataset",
+            "raw T' bits",
+            "WAH T' bits",
+            "WAH compress time factor",
+        ],
     );
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 1600 + i as u64);

@@ -3,11 +3,13 @@
 //!
 //! Run: `cargo run --release -p utcq-bench --bin fig10_where_when`
 
+use std::sync::Arc;
 use utcq_bench::measure::fmt_duration;
 use utcq_bench::report::Table;
 use utcq_bench::{build, datasets, timed, workload};
-use utcq_core::query::CompressedStore;
+use utcq_core::query::PageRequest;
 use utcq_core::stiu::StiuParams;
+use utcq_core::Store;
 use utcq_ted::{TedStore, TedStoreParams};
 
 fn main() {
@@ -19,8 +21,8 @@ fn main() {
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 1000 + i as u64);
         let params = datasets::paper_params(profile);
-        let store = CompressedStore::build(
-            &built.net,
+        let store = Store::build(
+            Arc::new(built.net.clone()),
             &built.ds,
             params,
             StiuParams {
@@ -43,7 +45,9 @@ fn main() {
         let wq = workload::where_queries(&built.ds, n_queries, 101);
         let (_, u) = timed(|| {
             for q in &wq {
-                let _ = store.where_query(q.traj_id, q.t, q.alpha).unwrap();
+                let _ = store
+                    .where_query(q.traj_id, q.t, q.alpha, PageRequest::all())
+                    .unwrap();
             }
         });
         let (_, t) = timed(|| {
@@ -62,7 +66,9 @@ fn main() {
         let nq = workload::when_queries(&built.ds, n_queries, 102);
         let (_, u) = timed(|| {
             for q in &nq {
-                let _ = store.when_query(q.traj_id, q.edge, q.rd, q.alpha).unwrap();
+                let _ = store
+                    .when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
+                    .unwrap();
             }
         });
         let (_, t) = timed(|| {

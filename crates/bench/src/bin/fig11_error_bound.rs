@@ -6,10 +6,12 @@
 
 use std::collections::HashSet;
 
+use std::sync::Arc;
 use utcq_bench::report::{f3, Table};
 use utcq_bench::{build, datasets, workload};
-use utcq_core::query::CompressedStore;
+use utcq_core::query::PageRequest;
 use utcq_core::stiu::StiuParams;
+use utcq_core::Store;
 use utcq_core::{oracle, CompressParams};
 
 fn main() {
@@ -38,8 +40,8 @@ fn main() {
                 eta_d: 1.0 / f64::from(k),
                 ..datasets::paper_params(profile)
             };
-            let store = CompressedStore::build(
-                &built.net,
+            let store = Store::build(
+                Arc::new(built.net.clone()),
                 &built.ds,
                 params,
                 StiuParams::default(),
@@ -49,7 +51,10 @@ fn main() {
             let mut where_n = 0usize;
             for q in &wq {
                 let want = oracle::where_query(&built.net, by_id[&q.traj_id], q.t, q.alpha);
-                let got = store.where_query(q.traj_id, q.t, q.alpha).unwrap();
+                let got = store
+                    .where_query(q.traj_id, q.t, q.alpha, PageRequest::all())
+                    .unwrap()
+                    .into_items();
                 for w in &want {
                     if let Some(g) = got.iter().find(|g| g.instance == w.instance) {
                         let pw = built.net.point_on_edge(w.loc.edge, w.loc.ndist);
@@ -62,17 +67,17 @@ fn main() {
             let mut when_err = 0.0f64;
             let mut when_n = 0usize;
             for q in &nq {
-                let want =
-                    oracle::when_query(&built.net, by_id[&q.traj_id], q.edge, q.rd, q.alpha);
-                let got = store.when_query(q.traj_id, q.edge, q.rd, q.alpha).unwrap();
+                let want = oracle::when_query(&built.net, by_id[&q.traj_id], q.edge, q.rd, q.alpha);
+                let got = store
+                    .when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
+                    .unwrap()
+                    .into_items();
                 for w in &want {
                     // Closest answer of the same instance.
                     if let Some(g) = got
                         .iter()
                         .filter(|g| g.instance == w.instance)
-                        .min_by(|a, b| {
-                            (a.time - w.time).abs().total_cmp(&(b.time - w.time).abs())
-                        })
+                        .min_by(|a, b| (a.time - w.time).abs().total_cmp(&(b.time - w.time).abs()))
                     {
                         when_err += (g.time - w.time).abs();
                         when_n += 1;
@@ -93,8 +98,8 @@ fn main() {
                 eta_p: 1.0 / f64::from(k),
                 ..datasets::paper_params(profile)
             };
-            let store = CompressedStore::build(
-                &built.net,
+            let store = Store::build(
+                Arc::new(built.net.clone()),
                 &built.ds,
                 params,
                 StiuParams::default(),
@@ -116,8 +121,9 @@ fn main() {
                         .map(|h| h.instance)
                         .collect();
                 let got: HashSet<u32> = store
-                    .where_query(q.traj_id, q.t, q.alpha)
+                    .where_query(q.traj_id, q.t, q.alpha, PageRequest::all())
                     .unwrap()
+                    .items
                     .iter()
                     .map(|h| h.instance)
                     .collect();
@@ -133,8 +139,9 @@ fn main() {
                         .map(|h| h.instance)
                         .collect();
                 let got: HashSet<u32> = store
-                    .when_query(q.traj_id, q.edge, q.rd, q.alpha)
+                    .when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
                     .unwrap()
+                    .items
                     .iter()
                     .map(|h| h.instance)
                     .collect();

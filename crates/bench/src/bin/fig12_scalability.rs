@@ -3,11 +3,13 @@
 //!
 //! Run: `cargo run --release -p utcq-bench --bin fig12_scalability`
 
+use std::sync::Arc;
 use utcq_bench::measure::fmt_duration;
 use utcq_bench::report::{f2, Table};
 use utcq_bench::{build, datasets, timed, workload};
-use utcq_core::query::CompressedStore;
+use utcq_core::query::PageRequest;
 use utcq_core::stiu::StiuParams;
+use utcq_core::Store;
 use utcq_datagen::transform;
 use utcq_ted::{TedStore, TedStoreParams};
 
@@ -33,14 +35,21 @@ fn main() {
                 timed(|| utcq_core::compress_dataset(&built.net, &ds, &params).unwrap());
             let (tds, tt) =
                 timed(|| utcq_ted::compress_dataset(&built.net, &ds, &tparams).unwrap());
-            let store =
-                CompressedStore::build(&built.net, &ds, params, StiuParams::default()).unwrap();
-            let tstore = TedStore::build(&built.net, &ds, tparams, TedStoreParams::default())
-                .unwrap();
+            let store = Store::build(
+                Arc::new(built.net.clone()),
+                &ds,
+                params,
+                StiuParams::default(),
+            )
+            .unwrap();
+            let tstore =
+                TedStore::build(&built.net, &ds, tparams, TedStoreParams::default()).unwrap();
             let queries = workload::range_queries(&built.net, &ds, n_queries, 121);
             let (_, uq) = timed(|| {
                 for q in &queries {
-                    let _ = store.range_query(&q.re, q.tq, q.alpha).unwrap();
+                    let _ = store
+                        .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                        .unwrap();
                 }
             });
             let (_, tq) = timed(|| {

@@ -14,11 +14,25 @@ fn main() {
     );
     let mut t4a = Table::new(
         "Fig. 4a — sample-interval deviations (paper within ±1 s: DK 93%, CD 62%, HZ 54%)",
-        &["dataset", "=0", "=1", "(1,50]", "(50,100]", ">100", "within ±1 s"],
+        &[
+            "dataset",
+            "=0",
+            "=1",
+            "(1,50]",
+            "(50,100]",
+            ">100",
+            "within ±1 s",
+        ],
     );
     let mut t4b = Table::new(
         "Fig. 4b — edit-distance similarity (paper intra ≤5: 88/94/83%; inter ≥9: 53/77/54%)",
-        &["dataset", "intra [0,2]", "intra [3,5]", "intra ≤5", "inter ≥9"],
+        &[
+            "dataset",
+            "intra [0,2]",
+            "intra [3,5]",
+            "intra ≤5",
+            "inter ≥9",
+        ],
     );
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 100 + i as u64);

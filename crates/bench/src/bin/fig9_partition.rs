@@ -6,11 +6,13 @@
 
 use std::time::Duration;
 
+use std::sync::Arc;
 use utcq_bench::measure::{fmt_bits, fmt_duration};
 use utcq_bench::report::Table;
 use utcq_bench::{build, datasets, timed, workload};
-use utcq_core::query::CompressedStore;
+use utcq_core::query::PageRequest;
 use utcq_core::stiu::StiuParams;
+use utcq_core::Store;
 use utcq_ted::{TedStore, TedStoreParams};
 
 fn avg(d: Duration, n: usize) -> Duration {
@@ -37,8 +39,8 @@ fn main() {
         let queries = workload::range_queries(&built.net, &built.ds, n_queries, 91);
 
         for grid_n in [8u32, 16, 32, 64, 128] {
-            let store = CompressedStore::build(
-                &built.net,
+            let store = Store::build(
+                Arc::new(built.net.clone()),
                 &built.ds,
                 params,
                 StiuParams {
@@ -47,10 +49,12 @@ fn main() {
                 },
             )
             .unwrap();
-            let (s_bits, t_bits) = store.stiu.size_bits(params.p_codec().width());
+            let (s_bits, t_bits) = store.stiu().size_bits(params.p_codec().width());
             let (_, udur) = timed(|| {
                 for q in &queries {
-                    let _ = store.range_query(&q.re, q.tq, q.alpha).unwrap();
+                    let _ = store
+                        .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                        .unwrap();
                 }
             });
             let tstore = TedStore::build(
@@ -80,8 +84,8 @@ fn main() {
         }
 
         for minutes in [10i64, 20, 30, 40, 50, 60] {
-            let store = CompressedStore::build(
-                &built.net,
+            let store = Store::build(
+                Arc::new(built.net.clone()),
                 &built.ds,
                 params,
                 StiuParams {
@@ -90,10 +94,12 @@ fn main() {
                 },
             )
             .unwrap();
-            let (_, t_bits) = store.stiu.size_bits(params.p_codec().width());
+            let (_, t_bits) = store.stiu().size_bits(params.p_codec().width());
             let (_, udur) = timed(|| {
                 for q in &queries {
-                    let _ = store.range_query(&q.re, q.tq, q.alpha).unwrap();
+                    let _ = store
+                        .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                        .unwrap();
                 }
             });
             time_table.row(vec![

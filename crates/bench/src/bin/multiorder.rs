@@ -29,8 +29,7 @@ fn main() {
                 .map(|inst| TedView::from_instance(&built.net, inst))
                 .collect();
             let seqs: Vec<Vec<u32>> = views.iter().map(|v| v.entries.clone()).collect();
-            let flags: Vec<Vec<bool>> =
-                views.iter().map(|v| v.trimmed_flags().to_vec()).collect();
+            let flags: Vec<Vec<bool>> = views.iter().map(|v| v.trimmed_flags().to_vec()).collect();
             let d_codes: Vec<Vec<u64>> = views
                 .iter()
                 .map(|v| v.rds.iter().map(|&rd| d_codec.quantize(rd)).collect())
@@ -38,18 +37,11 @@ fn main() {
             let svs: Vec<_> = views.iter().map(|v| v.sv).collect();
             let probs: Vec<f64> = views.iter().map(|v| v.prob).collect();
             for (k, order) in [1u32, 2, 3].into_iter().enumerate() {
-                let plan =
-                    multiorder::plan(&seqs, &svs, &probs, params.n_pivots, order);
+                let plan = multiorder::plan(&seqs, &svs, &probs, params.n_pivots, order);
                 multiorder::verify_lossless(&seqs, &flags, &plan)
                     .expect("chain replay must be lossless");
-                bits[k] += multiorder::evaluate_bits(
-                    &seqs,
-                    &flags,
-                    &d_codes,
-                    &plan,
-                    w_e,
-                    d_codec.width(),
-                );
+                bits[k] +=
+                    multiorder::evaluate_bits(&seqs, &flags, &d_codes, &plan, w_e, d_codec.width());
                 roots[k] += plan.root_count();
             }
         }
@@ -60,7 +52,10 @@ fn main() {
             bits[2].to_string(),
             roots[0].to_string(),
             roots[2].to_string(),
-            format!("{:.2}%", 100.0 * (bits[0] as f64 - bits[2] as f64) / bits[0] as f64),
+            format!(
+                "{:.2}%",
+                100.0 * (bits[0] as f64 - bits[2] as f64) / bits[0] as f64
+            ),
         ]);
     }
     table.print();

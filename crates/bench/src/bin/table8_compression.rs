@@ -17,9 +17,8 @@ fn main() {
     for (i, profile) in datasets::paper_profiles().iter().enumerate() {
         let built = build(profile, 200 + i as u64);
         let params = datasets::paper_params(profile);
-        let (cds, utcq_time) = timed(|| {
-            utcq_core::compress_dataset(&built.net, &built.ds, &params).unwrap()
-        });
+        let (cds, utcq_time) =
+            timed(|| utcq_core::compress_dataset(&built.net, &built.ds, &params).unwrap());
         let r = cds.ratios();
         table.row(vec![
             profile.name.into(),
@@ -33,9 +32,8 @@ fn main() {
             fmt_duration(utcq_time),
         ]);
         let tparams = datasets::paper_ted_params(profile);
-        let (tds, ted_time) = timed(|| {
-            utcq_ted::compress_dataset(&built.net, &built.ds, &tparams).unwrap()
-        });
+        let (tds, ted_time) =
+            timed(|| utcq_ted::compress_dataset(&built.net, &built.ds, &tparams).unwrap());
         let r = tds.ratios();
         table.row(vec![
             profile.name.into(),

@@ -59,28 +59,58 @@ impl Table {
     }
 
     /// Persists the table as JSON under `target/experiments/<name>.json`.
+    ///
+    /// Every cell is already a string, so the document is emitted directly
+    /// rather than through a JSON library (the build is offline).
     pub fn save_json(&self, name: &str) {
-        let mut records = Vec::new();
-        for row in &self.rows {
-            let mut obj = serde_json::Map::new();
-            for (h, c) in self.headers.iter().zip(row) {
-                obj.insert(h.clone(), serde_json::Value::String(c.clone()));
+        let mut doc = String::new();
+        doc.push_str("{\n  \"title\": ");
+        doc.push_str(&json_string(&self.title));
+        doc.push_str(",\n  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
             }
-            records.push(serde_json::Value::Object(obj));
+            doc.push_str("\n    {");
+            for (j, (h, c)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    doc.push_str(", ");
+                }
+                doc.push_str(&json_string(h));
+                doc.push_str(": ");
+                doc.push_str(&json_string(c));
+            }
+            doc.push('}');
         }
-        let doc = serde_json::json!({
-            "title": self.title,
-            "rows": records,
-        });
+        doc.push_str("\n  ]\n}");
         let dir = out_dir();
         if std::fs::create_dir_all(&dir).is_ok() {
             let path = dir.join(format!("{name}.json"));
             if let Ok(mut f) = std::fs::File::create(&path) {
-                let _ = writeln!(f, "{}", serde_json::to_string_pretty(&doc).unwrap());
+                let _ = writeln!(f, "{doc}");
                 println!("  [saved {}]", path.display());
             }
         }
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Output directory for experiment artifacts.

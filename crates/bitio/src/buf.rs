@@ -93,8 +93,7 @@ impl BitWriter {
         }
         let fill = if bit { 0xFFu8 } else { 0 };
         let whole = count / 8;
-        self.buf
-            .extend(std::iter::repeat_n(fill, whole));
+        self.buf.extend(std::iter::repeat_n(fill, whole));
         self.len += whole * 8;
         for _ in 0..count % 8 {
             self.push_bit(bit);
@@ -194,10 +193,7 @@ impl BitBuf {
 
     /// A reader positioned at bit 0.
     pub fn reader(&self) -> BitReader<'_> {
-        BitReader {
-            buf: self,
-            pos: 0,
-        }
+        BitReader { buf: self, pos: 0 }
     }
 
     /// A reader positioned at an arbitrary bit (a persisted stream pointer).

@@ -25,7 +25,10 @@ use crate::{BitReader, BitWriter, CodecError};
 pub fn encode_unsigned(w: &mut BitWriter, u: u64) -> Result<(), CodecError> {
     // u + 1 would overflow for u64::MAX; cap to what the code can express.
     if u == u64::MAX {
-        return Err(CodecError::ValueOutOfRange { value: u, width: 64 });
+        return Err(CodecError::ValueOutOfRange {
+            value: u,
+            width: 64,
+        });
     }
     let v = u + 1;
     let z = 63 - v.leading_zeros();

@@ -152,11 +152,13 @@ mod tests {
 
     #[test]
     fn roundtrip_skewed() {
-        let data: Vec<u64> = (0..500).map(|i| match i % 10 {
-            0..=6 => 7,
-            7 | 8 => 42,
-            _ => (i % 90) as u64,
-        }).collect();
+        let data: Vec<u64> = (0..500)
+            .map(|i| match i % 10 {
+                0..=6 => 7,
+                7 | 8 => 42,
+                _ => (i % 90) as u64,
+            })
+            .collect();
         let h = Huffman::build(&freqs_of(&data)).unwrap();
         let mut w = BitWriter::new();
         for &d in &data {
@@ -202,7 +204,10 @@ mod tests {
         let mut data = vec![64u64; 900];
         data.extend((0..100).map(|i| i % 128));
         let h = Huffman::build(&freqs_of(&data)).unwrap();
-        let total: u64 = data.iter().map(|&d| u64::from(h.code_len(d).unwrap())).sum();
+        let total: u64 = data
+            .iter()
+            .map(|&d| u64::from(h.code_len(d).unwrap()))
+            .sum();
         assert!(total + h.table_bits(7) < data.len() as u64 * 7);
     }
 
@@ -210,7 +215,10 @@ mod tests {
     fn uniform_data_costs_about_fixed_width() {
         let data: Vec<u64> = (0..1024).map(|i| i % 128).collect();
         let h = Huffman::build(&freqs_of(&data)).unwrap();
-        let total: u64 = data.iter().map(|&d| u64::from(h.code_len(d).unwrap())).sum();
+        let total: u64 = data
+            .iter()
+            .map(|&d| u64::from(h.code_len(d).unwrap()))
+            .sum();
         // Within one bit/symbol of the entropy bound (7 bits).
         assert!(total <= data.len() as u64 * 8);
     }

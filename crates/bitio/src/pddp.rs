@@ -98,10 +98,7 @@ mod tests {
             for i in 0..1000 {
                 let x = i as f64 / 1000.0;
                 let back = codec.dequantize(codec.quantize(x));
-                assert!(
-                    (back - x).abs() <= eta,
-                    "eta={eta} x={x} back={back}"
-                );
+                assert!((back - x).abs() <= eta, "eta={eta} x={x} back={back}");
             }
         }
     }

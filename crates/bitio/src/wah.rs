@@ -32,12 +32,11 @@ impl WahBitmap {
         let mut words = Vec::new();
         let mut pending_fill: Option<(bool, u32)> = None;
 
-        let flush_fill =
-            |pending: &mut Option<(bool, u32)>, words: &mut Vec<u32>| {
-                if let Some((bit, count)) = pending.take() {
-                    words.push(FILL_FLAG | if bit { FILL_BIT } else { 0 } | count);
-                }
-            };
+        let flush_fill = |pending: &mut Option<(bool, u32)>, words: &mut Vec<u32>| {
+            if let Some((bit, count)) = pending.take() {
+                words.push(FILL_FLAG | if bit { FILL_BIT } else { 0 } | count);
+            }
+        };
 
         let mut i = 0;
         while i < len {

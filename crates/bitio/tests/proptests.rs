@@ -1,38 +1,71 @@
-//! Property-based tests for every codec in `utcq-bitio`.
+//! Randomized property tests for every codec in `utcq-bitio`.
+//!
+//! The build environment is offline, so instead of `proptest` these use a
+//! seeded [`StdRng`]: each property runs over a few hundred random cases,
+//! deterministic per seed so failures reproduce exactly.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use utcq_bitio::golomb;
 use utcq_bitio::pddp::PddpCodec;
 use utcq_bitio::wah::WahBitmap;
 use utcq_bitio::{width_for_max, BitBuf, BitWriter};
 
-proptest! {
-    #[test]
-    fn bitbuf_roundtrips_arbitrary_bits(bits in proptest::collection::vec(any::<bool>(), 0..2048)) {
-        let buf = BitBuf::from_bits(&bits);
-        prop_assert_eq!(buf.len_bits(), bits.len());
-        prop_assert_eq!(buf.to_bits(), bits);
-    }
+fn rand_bools(rng: &mut StdRng, max_len: usize) -> Vec<bool> {
+    let n = rng.gen_range(0..=max_len);
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
 
-    #[test]
-    fn write_read_bits_roundtrip(values in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..200)) {
+#[test]
+fn bitbuf_roundtrips_arbitrary_bits() {
+    let mut rng = StdRng::seed_from_u64(0xB17B0F);
+    for _ in 0..256 {
+        let bits = rand_bools(&mut rng, 2048);
+        let buf = BitBuf::from_bits(&bits);
+        assert_eq!(buf.len_bits(), bits.len());
+        assert_eq!(buf.to_bits(), bits);
+    }
+}
+
+#[test]
+fn write_read_bits_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9A17E5);
+    for _ in 0..256 {
+        let n = rng.gen_range(0..200);
         let mut w = BitWriter::new();
-        let mut expected = Vec::with_capacity(values.len());
-        for &(v, width) in &values {
-            let v = if width == 64 { v } else { v & ((1u64 << width) - 1) };
+        let mut expected = Vec::with_capacity(n);
+        for _ in 0..n {
+            let width = rng.gen_range(1u32..=64);
+            let v = rng.gen::<u64>();
+            let v = if width == 64 {
+                v
+            } else {
+                v & ((1u64 << width) - 1)
+            };
             w.write_bits(v, width).unwrap();
             expected.push((v, width));
         }
         let buf = w.finish();
         let mut r = buf.reader();
         for (v, width) in expected {
-            prop_assert_eq!(r.read_bits(width).unwrap(), v);
+            assert_eq!(r.read_bits(width).unwrap(), v);
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    #[test]
-    fn exp_golomb_unsigned_roundtrip(values in proptest::collection::vec(0u64..=(1 << 62), 0..300)) {
+#[test]
+fn exp_golomb_unsigned_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x601B);
+    for _ in 0..128 {
+        let n = rng.gen_range(0..300);
+        // Mix small values (short codes) with the full range up to 2^62.
+        let values: Vec<u64> = (0..n)
+            .map(|_| {
+                let width = rng.gen_range(0u32..=62);
+                rng.gen::<u64>() >> (64 - width.max(1))
+            })
+            .collect();
         let mut w = BitWriter::new();
         for &u in &values {
             golomb::encode_unsigned(&mut w, u).unwrap();
@@ -40,13 +73,20 @@ proptest! {
         let buf = w.finish();
         let mut r = buf.reader();
         for &u in &values {
-            prop_assert_eq!(golomb::decode_unsigned(&mut r).unwrap(), u);
+            assert_eq!(golomb::decode_unsigned(&mut r).unwrap(), u);
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    #[test]
-    fn exp_golomb_deviation_roundtrip(values in proptest::collection::vec(-(1i64 << 40)..(1i64 << 40), 0..300)) {
+#[test]
+fn exp_golomb_deviation_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xDE71A);
+    for _ in 0..128 {
+        let n = rng.gen_range(0..300);
+        let values: Vec<i64> = (0..n)
+            .map(|_| rng.gen_range(-(1i64 << 40)..(1i64 << 40)))
+            .collect();
         let mut w = BitWriter::new();
         let mut total = 0usize;
         for &d in &values {
@@ -54,62 +94,96 @@ proptest! {
             total += golomb::deviation_len(d);
         }
         let buf = w.finish();
-        prop_assert_eq!(buf.len_bits(), total);
+        assert_eq!(buf.len_bits(), total);
         let mut r = buf.reader();
         for &d in &values {
-            prop_assert_eq!(golomb::decode_deviation(&mut r).unwrap(), d);
+            assert_eq!(golomb::decode_deviation(&mut r).unwrap(), d);
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0);
     }
+}
 
-    #[test]
-    fn pddp_error_bounded(width in 1u32..=20, xs in proptest::collection::vec(0.0f64..1.0, 0..200)) {
+#[test]
+fn pddp_error_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xADD1);
+    for _ in 0..256 {
+        let width = rng.gen_range(1u32..=20);
         let codec = PddpCodec::with_width(width);
         let eta = 1.0 / f64::from(1u32 << width.min(31));
-        for &x in &xs {
+        for _ in 0..200 {
+            let x = rng.gen_range(0.0f64..1.0);
             let back = codec.dequantize(codec.quantize(x));
-            prop_assert!((back - x).abs() <= eta, "x={} back={} eta={}", x, back, eta);
+            assert!((back - x).abs() <= eta, "x={x} back={back} eta={eta}");
         }
     }
+}
 
-    #[test]
-    fn wah_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..4096)) {
+#[test]
+fn wah_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x3A11);
+    for _ in 0..128 {
+        let bits = rand_bools(&mut rng, 4096);
         let buf = BitBuf::from_bits(&bits);
         let wah = WahBitmap::compress(&buf);
-        prop_assert_eq!(wah.decompress(), buf);
+        assert_eq!(wah.decompress(), buf);
     }
+}
 
-    #[test]
-    fn wah_roundtrip_runs(runs in proptest::collection::vec((any::<bool>(), 1usize..200), 0..40)) {
+#[test]
+fn wah_roundtrip_runs() {
+    let mut rng = StdRng::seed_from_u64(0x3A12);
+    for _ in 0..128 {
+        let n_runs = rng.gen_range(0..40);
         let mut bits = Vec::new();
-        for (bit, n) in runs {
-            bits.extend(std::iter::repeat_n(bit, n));
+        for _ in 0..n_runs {
+            let bit = rng.gen::<bool>();
+            let len = rng.gen_range(1usize..200);
+            bits.extend(std::iter::repeat_n(bit, len));
         }
         let buf = BitBuf::from_bits(&bits);
         let wah = WahBitmap::compress(&buf);
-        prop_assert_eq!(wah.decompress(), buf);
+        assert_eq!(wah.decompress(), buf);
     }
+}
 
-    #[test]
-    fn width_for_max_is_sufficient_and_minimal(max in 0u64..u64::MAX) {
+#[test]
+fn width_for_max_is_sufficient_and_minimal() {
+    let mut rng = StdRng::seed_from_u64(0x31D7);
+    let check = |max: u64| {
         let w = width_for_max(max);
-        prop_assert!(u128::from(max) < (1u128 << w));
+        assert!(u128::from(max) < (1u128 << w));
         if w > 1 {
-            prop_assert!(u128::from(max) >= (1u128 << (w - 1)));
+            assert!(u128::from(max) >= (1u128 << (w - 1)));
         }
+    };
+    for boundary in [0, 1, 2, 3, 7, 8, u64::MAX - 1, u64::MAX] {
+        check(boundary);
     }
+    for _ in 0..4096 {
+        // Spread across magnitudes rather than only huge values.
+        let shift = rng.gen_range(0u32..64);
+        check(rng.gen::<u64>() >> shift);
+    }
+}
 
-    #[test]
-    fn reader_at_recovers_suffix(prefix in proptest::collection::vec(any::<bool>(), 0..256),
-                                 suffix in proptest::collection::vec(any::<bool>(), 0..256)) {
+#[test]
+fn reader_at_recovers_suffix() {
+    let mut rng = StdRng::seed_from_u64(0x5FF1);
+    for _ in 0..256 {
+        let prefix = rand_bools(&mut rng, 256);
+        let suffix = rand_bools(&mut rng, 256);
         let mut w = BitWriter::new();
-        for &b in &prefix { w.push_bit(b); }
+        for &b in &prefix {
+            w.push_bit(b);
+        }
         let marker = w.len_bits();
-        for &b in &suffix { w.push_bit(b); }
+        for &b in &suffix {
+            w.push_bit(b);
+        }
         let buf = w.finish();
         let mut r = buf.reader_at(marker);
         for &b in &suffix {
-            prop_assert_eq!(r.read_bit().unwrap(), b);
+            assert_eq!(r.read_bit().unwrap(), b);
         }
     }
 }

@@ -45,7 +45,10 @@ impl CompressedDataset {
         Ratios {
             total: div(self.raw.total(), self.compressed.total()),
             t: div(self.raw.t, self.compressed.t),
-            e: div(self.raw.e + self.raw.sv, self.compressed.e + self.compressed.sv),
+            e: div(
+                self.raw.e + self.raw.sv,
+                self.compressed.e + self.compressed.sv,
+            ),
             d: div(self.raw.d, self.compressed.d),
             tflag: div(self.raw.tflag, self.compressed.tflag),
             p: div(self.raw.p, self.compressed.p),
@@ -244,7 +247,11 @@ mod tests {
     use super::*;
     use utcq_traj::paper_fixture;
 
-    fn paper_setup() -> (utcq_network::RoadNetwork, UncertainTrajectory, CompressParams) {
+    fn paper_setup() -> (
+        utcq_network::RoadNetwork,
+        UncertainTrajectory,
+        CompressParams,
+    ) {
         let fx = paper_fixture::build();
         let params = CompressParams {
             default_interval: paper_fixture::DEFAULT_INTERVAL,
@@ -269,7 +276,12 @@ mod tests {
         let (net, tu, params) = paper_setup();
         let (_, size) = compress_trajectory(&net, &tu, &params).unwrap();
         let raw = utcq_traj::size::uncompressed_bits(&tu);
-        assert!(size.total() < raw.total() / 3, "compressed {} raw {}", size.total(), raw.total());
+        assert!(
+            size.total() < raw.total() / 3,
+            "compressed {} raw {}",
+            size.total(),
+            raw.total()
+        );
         // Every component shrinks.
         assert!(size.t < raw.t);
         assert!(size.e + size.sv < raw.e + raw.sv);

@@ -9,8 +9,8 @@ use utcq_bitio::CodecError;
 use utcq_network::RoadNetwork;
 use utcq_traj::{Instance, TedView, UncertainTrajectory};
 
-use crate::compressed::{untrim_flags, CompressedTrajectory, DecodedRef};
 use crate::compress::CompressedDataset;
+use crate::compressed::{untrim_flags, CompressedTrajectory, DecodedRef};
 use crate::params::CompressParams;
 use crate::siar;
 

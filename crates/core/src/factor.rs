@@ -157,11 +157,7 @@ pub fn encode_e(
 }
 
 /// Decodes `Com_E` and replays it against the reference in one pass.
-pub fn decode_e(
-    r: &mut BitReader<'_>,
-    refe: &[u32],
-    m_width: u32,
-) -> Result<Vec<u32>, CodecError> {
+pub fn decode_e(r: &mut BitReader<'_>, refe: &[u32], m_width: u32) -> Result<Vec<u32>, CodecError> {
     let ref_len = refe.len();
     let ws = width_for_max(ref_len as u64);
     let wl = width_for_max(ref_len as u64);
@@ -618,7 +614,13 @@ mod tests {
         let mut d13 = refd.clone();
         d13[6] = q(0.5);
         let patches = diff_d(&d13, &refd);
-        assert_eq!(patches, vec![DPatch { pos: 6, code: q(0.5) }]);
+        assert_eq!(
+            patches,
+            vec![DPatch {
+                pos: 6,
+                code: q(0.5)
+            }]
+        );
         assert_eq!(apply_d(&patches, &refd), d13);
     }
 

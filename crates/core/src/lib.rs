@@ -19,41 +19,69 @@
 //!   (§5.1, Formulas 4–6);
 //! * [`stiu`] — the Spatio-temporal Information based Uncertain
 //!   Trajectory Index (§5.2);
-//! * [`query`] — probabilistic *where*, *when* and *range* queries with
-//!   the filtering Lemmas 1–4 (§5.3–5.4);
+//! * [`query`] — probabilistic *where*, *when* and *range* query engine
+//!   with the filtering Lemmas 1–4 (§5.3–5.4), plus the [`query::Page`] /
+//!   [`query::PageRequest`] pagination primitives;
+//! * [`store`] — the public façade: an owned, `Send + Sync` [`Store`]
+//!   built incrementally through [`StoreBuilder`], persisted as a
+//!   self-contained container, queried through paginated entry points;
+//! * [`error`] — the unified [`Error`] type every public fallible
+//!   function returns;
 //! * [`oracle`] — brute-force answers on uncompressed data, used as
 //!   ground truth for accuracy experiments (Fig. 11);
-//! * [`storage`] — a binary container format for persisting compressed
-//!   datasets.
+//! * [`storage`] — the binary container formats (v1 legacy, v2
+//!   self-contained) for persisting compressed datasets.
 //!
 //! # Quick start
 //!
+//! Build a store incrementally (batches compress and index only the new
+//! cohort), query it with pagination, persist it, and reopen it with no
+//! side-channel arguments:
+//!
 //! ```
-//! use utcq_core::params::CompressParams;
-//! use utcq_core::query::CompressedStore;
-//! use utcq_core::stiu::StiuParams;
+//! use std::sync::Arc;
+//! use utcq_core::query::PageRequest;
+//! use utcq_core::store::StoreBuilder;
+//! use utcq_core::{CompressParams, Store, StiuParams};
 //!
 //! // Generate a small synthetic dataset (stand-in for the paper's taxi
-//! // logs) and compress it.
-//! let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 10, 7);
-//! let store = CompressedStore::build(
-//!     &net,
-//!     &ds,
-//!     CompressParams::with_interval(ds.default_interval),
-//!     StiuParams::default(),
-//! )
-//! .unwrap();
-//! assert!(store.cds.ratios().total > 1.0);
+//! // logs) and split it into two arrival batches.
+//! let (net, mut ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 10, 7);
+//! let mut batch_b = ds.clone();
+//! batch_b.trajectories = ds.trajectories.split_off(5);
 //!
-//! // Query the compressed form directly.
-//! let tu = &ds.trajectories[0];
-//! let hits = store.where_query(tu.id, tu.times[0], 0.0).unwrap();
-//! assert!(!hits.is_empty());
+//! let store = StoreBuilder::new(
+//!     Arc::new(net),
+//!     CompressParams::with_interval(ds.default_interval),
+//! )
+//! .stiu_params(StiuParams::default())
+//! .ingest(&ds)?
+//! .ingest(&batch_b)?
+//! .finish()?;
+//! assert_eq!(store.len(), 10);
+//! assert!(store.ratios().total > 1.0);
+//!
+//! // Query the compressed form directly; answers arrive in pages.
+//! let tu_id = 0;
+//! let j = store.traj_index(tu_id).unwrap();
+//! let t0 = store.decode_times(j)?[0];
+//! let page = store.where_query(tu_id, t0, 0.0, PageRequest::default())?;
+//! assert!(!page.items.is_empty());
+//!
+//! // Persist as a self-contained v2 container and reopen: the network
+//! // and index travel inside the file.
+//! let path = std::env::temp_dir().join("utcq-quickstart.utcq");
+//! store.save(&path)?;
+//! let reopened = Store::open(&path)?;
+//! assert_eq!(reopened.len(), store.len());
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), utcq_core::Error>(())
 //! ```
 
 pub mod compress;
 pub mod compressed;
 pub mod decompress;
+pub mod error;
 pub mod factor;
 pub mod flagarr;
 pub mod multiorder;
@@ -65,9 +93,12 @@ pub mod reference;
 pub mod siar;
 pub mod stiu;
 pub mod storage;
+pub mod store;
 
 pub use compress::{compress_dataset, compress_trajectory, CompressedDataset, Ratios};
 pub use decompress::{decompress_dataset, decompress_trajectory};
+pub use error::Error;
 pub use params::CompressParams;
-pub use query::CompressedStore;
+pub use query::{Page, PageRequest, RangeQuery, WhenHit, WhereHit};
 pub use stiu::StiuParams;
+pub use store::{Store, StoreBuilder};

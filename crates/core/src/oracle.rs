@@ -84,9 +84,7 @@ pub fn range_query(net: &RoadNetwork, ds: &Dataset, re: &Rect, tq: i64, alpha: f
         let mass: f64 = tu
             .instances
             .iter()
-            .filter(|inst| {
-                point_at(net, inst, &tu.times, tq).is_some_and(|p| re.contains(p))
-            })
+            .filter(|inst| point_at(net, inst, &tu.times, tq).is_some_and(|p| re.contains(p)))
             .map(|inst| inst.prob)
             .sum();
         if mass >= alpha {
@@ -104,12 +102,7 @@ mod tests {
     #[test]
     fn oracle_where_matches_example3() {
         let fx = paper_fixture::build();
-        let hits = where_query(
-            &fx.example.net,
-            &fx.tu,
-            paper_fixture::hms(5, 21, 25),
-            0.25,
-        );
+        let hits = where_query(&fx.example.net, &fx.tu, paper_fixture::hms(5, 21, 25), 0.25);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
         assert!((hits[0].loc.ndist - 150.0).abs() < 1e-9);

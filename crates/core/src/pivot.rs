@@ -179,10 +179,8 @@ pub fn select_pivots(
     let mut chosen: Vec<usize> = Vec::with_capacity(n_pivots);
     let mut reps: Vec<Vec<Vec<PivotFactor>>> = Vec::with_capacity(n_pivots);
     // Step i: seed with instance 0 and represent everything against it.
-    let mut current: Vec<Vec<PivotFactor>> = seqs
-        .iter()
-        .map(|s| pivot_factorize(s, &seqs[0]))
-        .collect();
+    let mut current: Vec<Vec<PivotFactor>> =
+        seqs.iter().map(|s| pivot_factorize(s, &seqs[0])).collect();
     for _ in 0..n_pivots {
         // Step ii: the instance with the most factors is farthest away.
         let cand = (0..n)
@@ -312,10 +310,7 @@ mod tests {
         let piv = e13();
         for seq in [e11(), e12(), vec![4, 4, 0, 1], vec![2; 12]] {
             let f = pivot_factorize(&seq, &piv);
-            let total: usize = f
-                .iter()
-                .map(|x| x.map_or(1, |(_, l)| l as usize))
-                .sum();
+            let total: usize = f.iter().map(|x| x.map_or(1, |(_, l)| l as usize)).sum();
             assert_eq!(total, seq.len());
         }
     }

@@ -1,7 +1,10 @@
 //! Probabilistic queries over compressed uncertain trajectories (§5.3–5.4).
 //!
-//! All three query types operate on the compressed form, decompressing
-//! only what the StIU index says is necessary:
+//! This module holds the query *engine*: hit types, pagination
+//! primitives, and the per-trajectory evaluation routines shared by the
+//! public façade ([`crate::store::Store`]). All three query types operate
+//! on the compressed form, decompressing only what the StIU index says is
+//! necessary:
 //!
 //! * **where**(Tuʲ, t, α) — the temporal index resumes time decoding
 //!   mid-stream near `t`; only instances with `p ≥ α` are decoded and
@@ -14,31 +17,21 @@
 //!   produce candidates; a Lemma 4 probability bound prunes whole
 //!   trajectories, and Lemma 2/3 subpath tests decide most instances
 //!   without touching their `D` streams (Definition 12).
+//!
+//! Nothing here panics on corrupt input: structural inconsistencies in a
+//! container surface as [`Error::CorruptStore`].
 
 use std::collections::HashMap;
 
-use utcq_bitio::CodecError;
 use utcq_network::{Point, Rect, RoadNetwork, VertexId};
 use utcq_traj::interp::{path_distance, position_at_distance};
-use utcq_traj::{Dataset, Instance, MappedLocation};
+use utcq_traj::{Instance, MappedLocation};
 
-use crate::compress::{compress_dataset, CompressedDataset};
+use crate::compress::CompressedDataset;
 use crate::compressed::{untrim_flags, CompressedTrajectory, DecodedRef};
-use crate::decompress::DecompressError;
-use crate::params::CompressParams;
+use crate::error::Error;
 use crate::siar;
-use crate::stiu::{self, Stiu, StiuParams};
-
-/// A compressed dataset plus its StIU index, ready for querying.
-pub struct CompressedStore<'n> {
-    /// The road network.
-    pub net: &'n RoadNetwork,
-    /// The compressed trajectories.
-    pub cds: CompressedDataset,
-    /// The index.
-    pub stiu: Stiu,
-    id_to_idx: HashMap<u64, u32>,
-}
+use crate::stiu::{Stiu, TrajIndex};
 
 /// One *where* answer: an instance's location at the query time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,42 +55,141 @@ pub struct WhenHit {
     pub time: f64,
 }
 
-impl<'n> CompressedStore<'n> {
-    /// Compresses a dataset and builds its index.
-    pub fn build(
-        net: &'n RoadNetwork,
-        ds: &Dataset,
-        params: CompressParams,
-        stiu_params: StiuParams,
-    ) -> Result<Self, CodecError> {
-        let cds = compress_dataset(net, ds, &params)?;
-        let stiu = stiu::build(net, ds, &cds, stiu_params);
-        let id_to_idx = cds
-            .trajectories
-            .iter()
-            .enumerate()
-            .map(|(i, ct)| (ct.id, i as u32))
-            .collect();
-        Ok(Self {
-            net,
-            cds,
-            stiu,
-            id_to_idx,
-        })
+/// A batched *range* query for [`crate::store::Store::par_range_query`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// The query region `RE`.
+    pub re: Rect,
+    /// The query time `tq`.
+    pub tq: i64,
+    /// The probability threshold `α`.
+    pub alpha: f64,
+}
+
+/// Default [`PageRequest::limit`]: large enough that per-trajectory
+/// queries (bounded by instance counts) are returned whole, small enough
+/// that a hostile `range` query cannot materialize an unbounded answer.
+pub const DEFAULT_PAGE_LIMIT: usize = 1024;
+
+/// Cursor + limit for the paginated query entry points.
+///
+/// Cursors are opaque offsets minted by the previous [`Page`]; answers
+/// are deterministic for a fixed store, so walking pages with the
+/// returned `next_cursor` enumerates the full answer exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRequest {
+    /// Maximum number of items in the returned page.
+    pub limit: usize,
+    /// Resume position from the previous page's [`Page::next_cursor`];
+    /// `None` starts from the beginning.
+    pub cursor: Option<u64>,
+}
+
+impl Default for PageRequest {
+    fn default() -> Self {
+        Self {
+            limit: DEFAULT_PAGE_LIMIT,
+            cursor: None,
+        }
+    }
+}
+
+impl PageRequest {
+    /// First page with a custom limit.
+    pub fn first(limit: usize) -> Self {
+        Self {
+            limit,
+            cursor: None,
+        }
     }
 
-    /// Looks up a trajectory's position by id.
-    pub fn traj_index(&self, id: u64) -> Option<u32> {
-        self.id_to_idx.get(&id).copied()
+    /// The page following a cursor minted by [`Page::next_cursor`].
+    pub fn after(cursor: u64, limit: usize) -> Self {
+        Self {
+            limit,
+            cursor: Some(cursor),
+        }
+    }
+
+    /// No pagination: the whole answer in one page.
+    pub fn all() -> Self {
+        Self {
+            limit: usize::MAX,
+            cursor: None,
+        }
+    }
+}
+
+/// One page of query answers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Page<T> {
+    /// The answers in this page (at most the requested limit).
+    pub items: Vec<T>,
+    /// Cursor for the next page; `None` when this page is the last.
+    pub next_cursor: Option<u64>,
+    /// Whether further answers remain past this page.
+    pub has_more: bool,
+}
+
+impl<T> Page<T> {
+    /// Unwraps the page into its items.
+    pub fn into_items(self) -> Vec<T> {
+        self.items
+    }
+
+    /// Slices a fully materialized answer into the requested page.
+    pub(crate) fn slice(full: Vec<T>, req: PageRequest) -> Self {
+        let len = full.len();
+        let start = (req.cursor.unwrap_or(0) as usize).min(len);
+        // A zero limit could never progress; serve at least one item.
+        let end = start.saturating_add(req.limit.max(1)).min(len);
+        let items: Vec<T> = if start == 0 && end == len {
+            full
+        } else {
+            full.into_iter().skip(start).take(end - start).collect()
+        };
+        let has_more = end < len;
+        Page {
+            items,
+            next_cursor: has_more.then_some(end as u64),
+            has_more,
+        }
+    }
+}
+
+/// Borrowed view over a store's parts — the engine the façade delegates
+/// to. Keeping it borrow-based lets `par_range_query` share one engine
+/// across threads.
+#[derive(Clone, Copy)]
+pub(crate) struct QueryEngine<'a> {
+    pub net: &'a RoadNetwork,
+    pub cds: &'a CompressedDataset,
+    pub stiu: &'a Stiu,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// The compressed trajectory and index node at position `j`, checked.
+    fn parts(&self, j: u32) -> Result<(&'a CompressedTrajectory, &'a TrajIndex), Error> {
+        let ct = self
+            .cds
+            .trajectories
+            .get(j as usize)
+            .ok_or(Error::CorruptStore("trajectory position out of range"))?;
+        let node = self
+            .stiu
+            .trajs
+            .get(j as usize)
+            .ok_or(Error::CorruptStore("index node missing for trajectory"))?;
+        Ok((ct, node))
     }
 
     /// Decodes the full time sequence of one trajectory.
-    pub fn decode_times(&self, ct: &CompressedTrajectory) -> Result<Vec<i64>, CodecError> {
-        siar::decode(
+    pub fn decode_times(&self, ct: &CompressedTrajectory) -> Result<Vec<i64>, Error> {
+        Ok(siar::decode(
             &ct.t_bits,
             ct.n_times as usize,
             self.cds.params.default_interval,
-        )
+        )?)
     }
 
     /// `(orig_idx, dequantized probability)` of every instance.
@@ -123,39 +215,44 @@ impl<'n> CompressedStore<'n> {
         ct: &CompressedTrajectory,
         orig_idx: u32,
         ref_cache: &mut HashMap<u32, DecodedRef>,
-    ) -> Result<Instance, DecompressError> {
+    ) -> Result<Instance, Error> {
         let d_codec = self.cds.params.d_codec();
         let p_codec = self.cds.params.p_codec();
         let n_locs = ct.n_times as usize;
-        let cached_ref = |ref_idx: u32,
-                              cache: &mut HashMap<u32, DecodedRef>|
-         -> Result<DecodedRef, DecompressError> {
-            if let Some(d) = cache.get(&ref_idx) {
-                return Ok(d.clone());
-            }
-            let d = ct.refs[ref_idx as usize].decode(self.cds.w_e, n_locs, &d_codec)?;
-            cache.insert(ref_idx, d.clone());
-            Ok(d)
-        };
-        let (sv, dec, p_code): (VertexId, DecodedRef, u64) = if let Some(pos) =
-            ct.refs.iter().position(|r| r.orig_idx == orig_idx)
-        {
-            let r = &ct.refs[pos];
-            (r.sv, cached_ref(pos as u32, ref_cache)?, r.p_code)
-        } else {
-            let n = ct
-                .nrefs
-                .iter()
-                .find(|n| n.orig_idx == orig_idx)
-                .expect("instance index valid");
-            let r = &ct.refs[n.ref_idx as usize];
-            let dref = cached_ref(n.ref_idx, ref_cache)?;
-            (
-                r.sv,
-                n.decode(&dref, self.cds.w_e, n_locs, &d_codec)?,
-                n.p_code,
-            )
-        };
+        let cached_ref =
+            |ref_idx: u32, cache: &mut HashMap<u32, DecodedRef>| -> Result<DecodedRef, Error> {
+                if let Some(d) = cache.get(&ref_idx) {
+                    return Ok(d.clone());
+                }
+                let cref = ct
+                    .refs
+                    .get(ref_idx as usize)
+                    .ok_or(Error::CorruptStore("reference index out of range"))?;
+                let d = cref.decode(self.cds.w_e, n_locs, &d_codec)?;
+                cache.insert(ref_idx, d.clone());
+                Ok(d)
+            };
+        let (sv, dec, p_code): (VertexId, DecodedRef, u64) =
+            if let Some(pos) = ct.refs.iter().position(|r| r.orig_idx == orig_idx) {
+                let r = &ct.refs[pos];
+                (r.sv, cached_ref(pos as u32, ref_cache)?, r.p_code)
+            } else {
+                let n = ct
+                    .nrefs
+                    .iter()
+                    .find(|n| n.orig_idx == orig_idx)
+                    .ok_or(Error::CorruptStore("instance index not in refs or nrefs"))?;
+                let r = ct
+                    .refs
+                    .get(n.ref_idx as usize)
+                    .ok_or(Error::CorruptStore("non-reference points past refs"))?;
+                let dref = cached_ref(n.ref_idx, ref_cache)?;
+                (
+                    r.sv,
+                    n.decode(&dref, self.cds.w_e, n_locs, &d_codec)?,
+                    n.p_code,
+                )
+            };
         let view = utcq_traj::TedView {
             sv,
             entries: dec.entries.clone(),
@@ -163,46 +260,60 @@ impl<'n> CompressedStore<'n> {
             rds: dec.d_codes.iter().map(|&c| d_codec.dequantize(c)).collect(),
             prob: p_codec.dequantize(p_code),
         };
-        Ok(view.to_instance(self.net)?)
+        Ok(view
+            .to_instance(self.net)
+            .map_err(crate::decompress::DecompressError::View)?)
     }
 
-    /// Probabilistic **where** query (Definition 10).
-    pub fn where_query(
+    /// Brackets `t` in the trajectory's time sequence via the temporal
+    /// index: `Ok(Some((lo, hi, t_lo, t_hi)))` when `t` falls inside the
+    /// span, `Ok(None)` when it precedes or follows every sample.
+    fn bracket(
         &self,
-        traj_id: u64,
+        ct: &CompressedTrajectory,
+        node: &TrajIndex,
         t: i64,
-        alpha: f64,
-    ) -> Result<Vec<WhereHit>, DecompressError> {
-        let Some(j) = self.traj_index(traj_id) else {
-            return Ok(Vec::new());
-        };
-        let ct = &self.cds.trajectories[j as usize];
-        let node = &self.stiu.trajs[j as usize];
+    ) -> Result<Option<(usize, usize, i64, i64)>, Error> {
         let Some(tt) = node.temporal_at(t) else {
-            return Ok(Vec::new()); // t precedes the trajectory
+            return Ok(None); // t precedes the trajectory
         };
         // Resume time decoding mid-stream until we bracket t.
         let ts = self.cds.params.default_interval;
+        let remaining = (ct.n_times as u64)
+            .checked_sub(1 + u64::from(tt.no))
+            .ok_or(Error::CorruptStore("temporal tuple past the sample count"))?;
         let window = siar::decode_from(
             &ct.t_bits,
             tt.pos as usize,
             tt.start,
             ts,
-            (ct.n_times - 1 - tt.no) as usize,
+            remaining as usize,
         )?;
         let hi_local = window.partition_point(|&x| x < t);
         if hi_local >= window.len() {
-            return Ok(Vec::new()); // t is past the last sample
+            return Ok(None); // t is past the last sample
         }
-        let (lo, hi, t_lo, t_hi) = if window[hi_local] == t {
+        Ok(Some(if window[hi_local] == t {
             let g = tt.no as usize + hi_local;
             (g, g, t, t)
         } else {
-            debug_assert!(hi_local > 0, "temporal_at guarantees start <= t");
+            if hi_local == 0 {
+                // temporal_at guarantees start <= t; a window that opens
+                // past t means the index tuple is inconsistent.
+                return Err(Error::CorruptStore("temporal tuple opens past query time"));
+            }
             let g = tt.no as usize + hi_local;
             (g - 1, g, window[hi_local - 1], window[hi_local])
-        };
+        }))
+    }
 
+    /// Probabilistic **where** query (Definition 10) on the trajectory at
+    /// position `j`, fully materialized.
+    pub fn where_query(&self, j: u32, t: i64, alpha: f64) -> Result<Vec<WhereHit>, Error> {
+        let (ct, node) = self.parts(j)?;
+        let Some((lo, hi, t_lo, t_hi)) = self.bracket(ct, node, t)? else {
+            return Ok(Vec::new());
+        };
         let mut hits = Vec::new();
         let mut ref_cache = HashMap::new();
         for (orig_idx, prob) in self.instance_probs(ct) {
@@ -210,7 +321,7 @@ impl<'n> CompressedStore<'n> {
                 continue;
             }
             let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
-            let loc = interpolate(self.net, &inst, lo, hi, t_lo, t_hi, t);
+            let loc = interpolate(self.net, &inst, lo, hi, t_lo, t_hi, t)?;
             hits.push(WhereHit {
                 instance: orig_idx,
                 prob,
@@ -220,20 +331,16 @@ impl<'n> CompressedStore<'n> {
         Ok(hits)
     }
 
-    /// Probabilistic **when** query (Definition 11), with Lemma 1
-    /// filtering.
+    /// Probabilistic **when** query (Definition 11) with Lemma 1
+    /// filtering, on the trajectory at position `j`, fully materialized.
     pub fn when_query(
         &self,
-        traj_id: u64,
+        j: u32,
         edge: utcq_network::EdgeId,
         rd: f64,
         alpha: f64,
-    ) -> Result<Vec<WhenHit>, DecompressError> {
-        let Some(j) = self.traj_index(traj_id) else {
-            return Ok(Vec::new());
-        };
-        let ct = &self.cds.trajectories[j as usize];
-        let node = &self.stiu.trajs[j as usize];
+    ) -> Result<Vec<WhenHit>, Error> {
+        let (ct, node) = self.parts(j)?;
         let query_pt = self
             .net
             .point_on_edge(edge, rd * self.net.edge_length(edge));
@@ -250,12 +357,14 @@ impl<'n> CompressedStore<'n> {
         let mut hits = Vec::new();
         let mut ref_cache = HashMap::new();
         for rt in ref_tuples {
-            let cref = &ct.refs[rt.ref_idx as usize];
+            let cref = ct
+                .refs
+                .get(rt.ref_idx as usize)
+                .ok_or(Error::CorruptStore("region tuple points past refs"))?;
             let ref_p = p_codec.dequantize(cref.p_code);
             if rt.fv.is_some() && ref_p >= alpha {
                 let inst = self.decode_instance_cached(ct, cref.orig_idx, &mut ref_cache)?;
-                for time in
-                    utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
+                for time in utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
                 {
                     hits.push(WhenHit {
                         instance: cref.orig_idx,
@@ -270,7 +379,10 @@ impl<'n> CompressedStore<'n> {
                 continue;
             }
             for nt in node.nrefs_in(cell) {
-                let cnref = &ct.nrefs[nt.nref_idx as usize];
+                let cnref = ct
+                    .nrefs
+                    .get(nt.nref_idx as usize)
+                    .ok_or(Error::CorruptStore("region tuple points past nrefs"))?;
                 if cnref.ref_idx != rt.ref_idx {
                     continue;
                 }
@@ -279,8 +391,7 @@ impl<'n> CompressedStore<'n> {
                     continue;
                 }
                 let inst = self.decode_instance_cached(ct, cnref.orig_idx, &mut ref_cache)?;
-                for time in
-                    utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
+                for time in utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
                 {
                     hits.push(WhenHit {
                         instance: cnref.orig_idx,
@@ -295,118 +406,92 @@ impl<'n> CompressedStore<'n> {
         Ok(hits)
     }
 
-    /// Probabilistic **range** query (Definition 12), with Lemma 2–4
-    /// filtering. Returns matching trajectory ids.
-    pub fn range_query(
+    /// Does the trajectory at position `j` match **range**(RE, tq, α)
+    /// (Definition 12)? Applies the Lemma 2–4 filters.
+    pub fn range_matches(
         &self,
+        j: u32,
+        cells: &std::collections::HashSet<utcq_network::CellId>,
         re: &Rect,
         tq: i64,
         alpha: f64,
-    ) -> Result<Vec<u64>, DecompressError> {
-        let cells: std::collections::HashSet<utcq_network::CellId> = self
-            .stiu
-            .grid
-            .cells_overlapping(re)
-            .into_iter()
-            .collect();
-        let mut out = Vec::new();
-        for &j in self.stiu.trajs_in_interval(tq) {
-            let ct = &self.cds.trajectories[j as usize];
-            let node = &self.stiu.trajs[j as usize];
+    ) -> Result<bool, Error> {
+        let (ct, node) = self.parts(j)?;
 
-            // Collect per-group total bounds over the query cells.
-            // Iterating the trajectory's (few) tuples against the cell set
-            // keeps this O(tuples) however fine the grid is.
-            let mut group_bound: HashMap<u32, f64> = HashMap::new();
-            let mut passing_refs: Vec<u32> = Vec::new();
-            let mut passing_nrefs: Vec<u32> = Vec::new();
-            for rt in &node.ref_tuples {
-                if cells.contains(&rt.cell) {
-                    *group_bound.entry(rt.ref_idx).or_insert(0.0) += rt.p_total;
-                    if rt.fv.is_some() {
-                        passing_refs.push(rt.ref_idx);
-                    }
+        // Collect per-group total bounds over the query cells.
+        // Iterating the trajectory's (few) tuples against the cell set
+        // keeps this O(tuples) however fine the grid is.
+        let mut group_bound: HashMap<u32, f64> = HashMap::new();
+        let mut passing_refs: Vec<u32> = Vec::new();
+        let mut passing_nrefs: Vec<u32> = Vec::new();
+        for rt in &node.ref_tuples {
+            if cells.contains(&rt.cell) {
+                *group_bound.entry(rt.ref_idx).or_insert(0.0) += rt.p_total;
+                if rt.fv.is_some() {
+                    passing_refs.push(rt.ref_idx);
                 }
-            }
-            for nt in &node.nref_tuples {
-                if cells.contains(&nt.cell) {
-                    passing_nrefs.push(nt.nref_idx);
-                }
-            }
-            if group_bound.is_empty() {
-                continue; // trajectory never enters RE
-            }
-            // Lemma 4: an upper bound below α prunes the trajectory.
-            let bound: f64 = group_bound.values().map(|b| b.min(1.0)).sum();
-            if bound < alpha {
-                continue;
-            }
-            passing_refs.sort_unstable();
-            passing_refs.dedup();
-            passing_nrefs.sort_unstable();
-            passing_nrefs.dedup();
-
-            // Bracket tq in the time sequence.
-            let Some(tt) = node.temporal_at(tq) else {
-                continue;
-            };
-            let ts = self.cds.params.default_interval;
-            let window = siar::decode_from(
-                &ct.t_bits,
-                tt.pos as usize,
-                tt.start,
-                ts,
-                (ct.n_times - 1 - tt.no) as usize,
-            )?;
-            let hi_local = window.partition_point(|&x| x < tq);
-            if hi_local >= window.len() {
-                continue; // tq past the trajectory's end
-            }
-            let (lo, hi, t_lo, t_hi) = if window[hi_local] == tq {
-                let g = tt.no as usize + hi_local;
-                (g, g, tq, tq)
-            } else {
-                let g = tt.no as usize + hi_local;
-                (g - 1, g, window[hi_local - 1], window[hi_local])
-            };
-
-            // Instances that pass RE cells, most probable first (Lemma 3
-            // early accept).
-            let p_codec = self.cds.params.p_codec();
-            let mut members: Vec<(u32, f64)> = passing_refs
-                .iter()
-                .map(|&r| {
-                    let cref = &ct.refs[r as usize];
-                    (cref.orig_idx, p_codec.dequantize(cref.p_code))
-                })
-                .chain(passing_nrefs.iter().map(|&m| {
-                    let cnref = &ct.nrefs[m as usize];
-                    (cnref.orig_idx, p_codec.dequantize(cnref.p_code))
-                }))
-                .collect();
-            members.sort_by(|a, b| b.1.total_cmp(&a.1));
-
-            let mut acc = 0.0;
-            let mut remaining: f64 = members.iter().map(|m| m.1).sum();
-            let mut ref_cache = HashMap::new();
-            for (orig_idx, p) in members {
-                if acc >= alpha {
-                    break; // Lemma 3: already enough probability mass
-                }
-                if acc + remaining < alpha {
-                    break; // cannot reach α anymore
-                }
-                remaining -= p;
-                let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
-                if instance_overlaps(self.net, &inst, re, lo, hi, t_lo, t_hi, tq) {
-                    acc += p;
-                }
-            }
-            if acc >= alpha {
-                out.push(ct.id);
             }
         }
-        Ok(out)
+        for nt in &node.nref_tuples {
+            if cells.contains(&nt.cell) {
+                passing_nrefs.push(nt.nref_idx);
+            }
+        }
+        if group_bound.is_empty() {
+            return Ok(false); // trajectory never enters RE
+        }
+        // Lemma 4: an upper bound below α prunes the trajectory.
+        let bound: f64 = group_bound.values().map(|b| b.min(1.0)).sum();
+        if bound < alpha {
+            return Ok(false);
+        }
+        passing_refs.sort_unstable();
+        passing_refs.dedup();
+        passing_nrefs.sort_unstable();
+        passing_nrefs.dedup();
+
+        // Bracket tq in the time sequence.
+        let Some((lo, hi, t_lo, t_hi)) = self.bracket(ct, node, tq)? else {
+            return Ok(false);
+        };
+
+        // Instances that pass RE cells, most probable first (Lemma 3
+        // early accept).
+        let p_codec = self.cds.params.p_codec();
+        let mut members: Vec<(u32, f64)> = Vec::new();
+        for &r in &passing_refs {
+            let cref = ct
+                .refs
+                .get(r as usize)
+                .ok_or(Error::CorruptStore("region tuple points past refs"))?;
+            members.push((cref.orig_idx, p_codec.dequantize(cref.p_code)));
+        }
+        for &m in &passing_nrefs {
+            let cnref = ct
+                .nrefs
+                .get(m as usize)
+                .ok_or(Error::CorruptStore("region tuple points past nrefs"))?;
+            members.push((cnref.orig_idx, p_codec.dequantize(cnref.p_code)));
+        }
+        members.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        let mut acc = 0.0;
+        let mut remaining: f64 = members.iter().map(|m| m.1).sum();
+        let mut ref_cache = HashMap::new();
+        for (orig_idx, p) in members {
+            if acc >= alpha {
+                break; // Lemma 3: already enough probability mass
+            }
+            if acc + remaining < alpha {
+                break; // cannot reach α anymore
+            }
+            remaining -= p;
+            let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
+            if instance_overlaps(self.net, &inst, re, lo, hi, t_lo, t_hi, tq)? {
+                acc += p;
+            }
+        }
+        Ok(acc >= alpha)
     }
 }
 
@@ -420,19 +505,25 @@ fn interpolate(
     t_lo: i64,
     t_hi: i64,
     t: i64,
-) -> MappedLocation {
+) -> Result<MappedLocation, Error> {
+    if lo >= inst.positions.len() || hi >= inst.positions.len() {
+        return Err(Error::CorruptStore("sample index past instance positions"));
+    }
     if lo == hi || t_hi == t_lo {
-        return inst.location(net, lo);
+        return Ok(inst.location(net, lo));
     }
     let d0 = path_distance(net, &inst.path, inst.positions[lo]);
     let d1 = path_distance(net, &inst.path, inst.positions[hi]);
     let frac = (t - t_lo) as f64 / (t_hi - t_lo) as f64;
     let pos = position_at_distance(net, &inst.path, d0 + frac * (d1 - d0));
-    let e = inst.path[pos.path_idx as usize];
-    MappedLocation {
+    let e = *inst
+        .path
+        .get(pos.path_idx as usize)
+        .ok_or(Error::CorruptStore("interpolated position past the path"))?;
+    Ok(MappedLocation {
         edge: e,
         ndist: pos.rd * net.edge_length(e),
-    }
+    })
 }
 
 /// Does the instance overlap `re` at `tq`? Implements Lemma 2: if the
@@ -449,28 +540,38 @@ fn instance_overlaps(
     t_lo: i64,
     t_hi: i64,
     tq: i64,
-) -> bool {
-    let polyline = subpath_polyline(net, inst, lo, hi);
+) -> Result<bool, Error> {
+    let polyline = subpath_polyline(net, inst, lo, hi)?;
     let all_inside = polyline.iter().all(|&p| re.contains(p));
     if all_inside {
-        return true;
+        return Ok(true);
     }
     let any_intersecting = polyline
         .windows(2)
         .any(|w| re.intersects_segment(w[0], w[1]))
         || (polyline.len() == 1 && re.contains(polyline[0]));
     if !any_intersecting {
-        return false;
+        return Ok(false);
     }
     // Inconclusive: interpolate the exact location.
-    let loc = interpolate(net, inst, lo, hi, t_lo, t_hi, tq);
-    re.contains(net.point_on_edge(loc.edge, loc.ndist))
+    let loc = interpolate(net, inst, lo, hi, t_lo, t_hi, tq)?;
+    Ok(re.contains(net.point_on_edge(loc.edge, loc.ndist)))
 }
 
 /// The planar polyline of the subpath between samples `lo` and `hi`.
-fn subpath_polyline(net: &RoadNetwork, inst: &Instance, lo: usize, hi: usize) -> Vec<Point> {
-    let a = inst.positions[lo];
-    let b = inst.positions[hi];
+fn subpath_polyline(
+    net: &RoadNetwork,
+    inst: &Instance,
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<Point>, Error> {
+    let (a, b) = match (inst.positions.get(lo), inst.positions.get(hi)) {
+        (Some(&a), Some(&b)) => (a, b),
+        _ => return Err(Error::CorruptStore("sample index past instance positions")),
+    };
+    if (b.path_idx as usize) >= inst.path.len() {
+        return Err(Error::CorruptStore("sample position past the path"));
+    }
     let la = inst.location(net, lo);
     let lb = inst.location(net, hi);
     let mut pts = vec![net.point_on_edge(la.edge, la.ndist)];
@@ -478,148 +579,5 @@ fn subpath_polyline(net: &RoadNetwork, inst: &Instance, lo: usize, hi: usize) ->
         pts.push(net.coord(net.edge_to(inst.path[j as usize])));
     }
     pts.push(net.point_on_edge(lb.edge, lb.ndist));
-    pts
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use utcq_traj::paper_fixture;
-
-    fn paper_store(fx: &utcq_traj::paper_fixture::PaperFixture) -> CompressedStore<'_> {
-        let ds = Dataset {
-            name: "paper".into(),
-            default_interval: paper_fixture::DEFAULT_INTERVAL,
-            trajectories: vec![fx.tu.clone()],
-        };
-        CompressedStore::build(
-            &fx.example.net,
-            &ds,
-            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
-            StiuParams {
-                partition_s: 900,
-                grid_n: 4,
-            },
-        )
-        .unwrap()
-    }
-
-    #[test]
-    fn example3_where_on_compressed() {
-        // where(Tu¹, 5:21:25, 0.25) → ⟨v6→v7, 150⟩ from Tu¹₁ only.
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let hits = store
-            .where_query(1, paper_fixture::hms(5, 21, 25), 0.25)
-            .unwrap();
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].instance, 0);
-        assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
-        assert!((hits[0].loc.ndist - 150.0).abs() < 1.6); // ηD on a 200 m edge
-    }
-
-    #[test]
-    fn where_alpha_zero_returns_all() {
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let hits = store
-            .where_query(1, paper_fixture::hms(5, 5, 0), 0.0)
-            .unwrap();
-        assert_eq!(hits.len(), 3);
-    }
-
-    #[test]
-    fn where_outside_span_is_empty() {
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        assert!(store
-            .where_query(1, paper_fixture::hms(4, 0, 0), 0.0)
-            .unwrap()
-            .is_empty());
-        assert!(store
-            .where_query(1, paper_fixture::hms(6, 0, 0), 0.0)
-            .unwrap()
-            .is_empty());
-        assert!(store.where_query(99, 0, 0.0).unwrap().is_empty());
-    }
-
-    #[test]
-    fn example3_when_on_compressed() {
-        // when(Tu¹, ⟨v6→v7, 0.75⟩, 0.25) → 5:21:25 from Tu¹₁ (and Tu¹₂?
-        // both traverse (v6→v7), but Tu¹₂.p = 0.2 < 0.25).
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let hits = store
-            .when_query(1, fx.example.edge(6, 7), 0.75, 0.25)
-            .unwrap();
-        assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].instance, 0);
-        let want = paper_fixture::hms(5, 21, 25) as f64;
-        assert!((hits[0].time - want).abs() < 3.5, "time {}", hits[0].time);
-    }
-
-    #[test]
-    fn when_low_alpha_includes_nonreferences() {
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let hits = store
-            .when_query(1, fx.example.edge(6, 7), 0.75, 0.01)
-            .unwrap();
-        // All three instances traverse (v6→v7).
-        assert_eq!(hits.len(), 3);
-    }
-
-    #[test]
-    fn when_region_miss_is_empty() {
-        // Edge (8→9) region is visited only by Tu¹₃; a location on the
-        // stub edges is never visited.
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let e49 = fx
-            .example
-            .net
-            .find_edge(fx.example.vertex(4), utcq_network::VertexId(10))
-            .expect("stub edge");
-        let hits = store.when_query(1, e49, 0.5, 0.0).unwrap();
-        assert!(hits.is_empty());
-    }
-
-    #[test]
-    fn example4_range_queries() {
-        // range over a region covering the whole corridor at 5:05:25
-        // with α = 0.5 → Tu¹; a far-away region → ∅.
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let t = paper_fixture::hms(5, 5, 25);
-        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
-        assert_eq!(store.range_query(&all, t, 0.5).unwrap(), vec![1]);
-        let far = Rect::new(100.0, 100.0, 120.0, 120.0);
-        assert!(store.range_query(&far, t, 0.5).unwrap().is_empty());
-    }
-
-    #[test]
-    fn range_alpha_prunes() {
-        // At 5:05:25 every instance sits between l0 (on v1→v2) and l1;
-        // a region around the v10 detour only holds Tu¹₂ (p = 0.2).
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let t = paper_fixture::hms(5, 9, 0);
-        // Between samples 1 and 2 the detour instance is near v10.
-        let detour_region = Rect::new(10.0, 4.0, 22.0, 12.0);
-        let hit = store.range_query(&detour_region, t, 0.1).unwrap();
-        let miss = store.range_query(&detour_region, t, 0.5).unwrap();
-        assert_eq!(hit, vec![1]);
-        assert!(miss.is_empty());
-    }
-
-    #[test]
-    fn range_outside_time_span() {
-        let fx = paper_fixture::build();
-        let store = paper_store(&fx);
-        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
-        assert!(store
-            .range_query(&all, paper_fixture::hms(7, 0, 0), 0.1)
-            .unwrap()
-            .is_empty());
-    }
+    Ok(pts)
 }

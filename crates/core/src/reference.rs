@@ -170,12 +170,7 @@ mod tests {
 
     #[test]
     fn single_instance_is_reference() {
-        let roles = assign_roles(
-            &[vec![1, 2, 3]],
-            &[VertexId(0)],
-            &[1.0],
-            1,
-        );
+        let roles = assign_roles(&[vec![1, 2, 3]], &[VertexId(0)], &[1.0], 1);
         assert_eq!(roles, vec![Role::Reference]);
     }
 

@@ -17,7 +17,10 @@ pub fn encode(times: &[i64], ts: i64) -> Result<BitBuf, CodecError> {
     assert!(!times.is_empty(), "cannot encode an empty time sequence");
     let mut w = BitWriter::new();
     let t0 = times[0];
-    let (day, sec) = (t0.div_euclid(SECONDS_PER_DAY), t0.rem_euclid(SECONDS_PER_DAY));
+    let (day, sec) = (
+        t0.div_euclid(SECONDS_PER_DAY),
+        t0.rem_euclid(SECONDS_PER_DAY),
+    );
     golomb::encode_unsigned(&mut w, day as u64)?;
     w.write_bits(sec as u64, 17)?;
     for pair in times.windows(2) {

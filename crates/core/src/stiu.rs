@@ -261,8 +261,8 @@ fn factor_offset(
 ) -> (u32, u32) {
     let ws = utcq_bitio::width_for_max(ref_len as u64) as usize;
     let wl = ws;
-    let mut bit = golomb::unsigned_len(factors.len() as u64)
-        + golomb::unsigned_len(nref_len as u64);
+    let mut bit =
+        golomb::unsigned_len(factors.len() as u64) + golomb::unsigned_len(nref_len as u64);
     let mut produced = 0u32;
     for (i, f) in factors.iter().enumerate() {
         let (size, count) = match *f {
@@ -279,38 +279,64 @@ fn factor_offset(
     (bit as u32, produced)
 }
 
+impl Stiu {
+    /// An empty index over a network: the grid is fixed up front (it
+    /// depends only on the network bounds and `grid_n`), trajectories are
+    /// appended with [`Stiu::push`].
+    pub fn new(net: &RoadNetwork, params: StiuParams) -> Self {
+        Stiu {
+            params,
+            grid: Grid::over_network(net, params.grid_n),
+            trajs: Vec::new(),
+            interval_trajs: HashMap::new(),
+        }
+    }
+
+    /// Appends the index node for one newly compressed trajectory and
+    /// merges its temporal postings into the interval map in place — the
+    /// incremental-ingest path: nothing previously indexed is touched.
+    ///
+    /// The trajectory's position must equal `self.trajs.len()` in the
+    /// owning [`CompressedDataset`]'s trajectory vector.
+    pub fn push(
+        &mut self,
+        net: &RoadNetwork,
+        tu: &UncertainTrajectory,
+        ct: &CompressedTrajectory,
+        cparams: &crate::params::CompressParams,
+    ) {
+        let j = self.trajs.len() as u32;
+        let node = build_traj(
+            net,
+            tu,
+            ct,
+            &self.grid,
+            self.params.partition_s,
+            &cparams.p_codec(),
+            cparams.d_codec().width(),
+        );
+        // Register the trajectory in every interval its span overlaps —
+        // including sample-free gap intervals, which it may still cross.
+        let first = tu.times[0].div_euclid(self.params.partition_s);
+        let last = tu.times[tu.times.len() - 1].div_euclid(self.params.partition_s);
+        for interval in first..=last {
+            self.interval_trajs.entry(interval).or_default().push(j);
+        }
+        self.trajs.push(node);
+    }
+}
+
 /// Builds the index from the original dataset and its compressed form.
 ///
 /// The paper constructs the index *during* compression; we take both
-/// views to keep the phases separable for benchmarking.
-pub fn build(
-    net: &RoadNetwork,
-    ds: &Dataset,
-    cds: &CompressedDataset,
-    params: StiuParams,
-) -> Stiu {
-    let grid = Grid::over_network(net, params.grid_n);
-    let p_codec = cds.params.p_codec();
-    let d_width = cds.params.d_codec().width();
-    let mut trajs = Vec::with_capacity(cds.trajectories.len());
-    let mut interval_trajs: HashMap<i64, Vec<u32>> = HashMap::new();
-    for (j, (tu, ct)) in ds.trajectories.iter().zip(&cds.trajectories).enumerate() {
-        let node = build_traj(net, tu, ct, &grid, params.partition_s, &p_codec, d_width);
-        // Register the trajectory in every interval its span overlaps —
-        // including sample-free gap intervals, which it may still cross.
-        let first = tu.times[0].div_euclid(params.partition_s);
-        let last = tu.times[tu.times.len() - 1].div_euclid(params.partition_s);
-        for interval in first..=last {
-            interval_trajs.entry(interval).or_default().push(j as u32);
-        }
-        trajs.push(node);
+/// views to keep the phases separable for benchmarking. Equivalent to
+/// [`Stiu::new`] followed by one [`Stiu::push`] per trajectory.
+pub fn build(net: &RoadNetwork, ds: &Dataset, cds: &CompressedDataset, params: StiuParams) -> Stiu {
+    let mut stiu = Stiu::new(net, params);
+    for (tu, ct) in ds.trajectories.iter().zip(&cds.trajectories) {
+        stiu.push(net, tu, ct, &cds.params);
     }
-    Stiu {
-        params,
-        grid,
-        trajs,
-        interval_trajs,
-    }
+    stiu
 }
 
 fn build_traj(
@@ -325,17 +351,14 @@ fn build_traj(
     let mut node = TrajIndex::default();
 
     // Temporal tuples: one per interval containing at least one sample.
-    let positions = siar::deviation_positions(&ct.t_bits, tu.times.len())
-        .expect("own encoding decodes");
+    let positions =
+        siar::deviation_positions(&ct.t_bits, tu.times.len()).expect("own encoding decodes");
     let mut last_interval = i64::MIN;
     for (i, &t) in tu.times.iter().enumerate() {
         let interval = t.div_euclid(partition_s);
         if interval != last_interval {
             last_interval = interval;
-            let pos = positions
-                .get(i)
-                .copied()
-                .unwrap_or(ct.t_bits.len_bits());
+            let pos = positions.get(i).copied().unwrap_or(ct.t_bits.len_bits());
             node.temporal.push(TemporalTuple {
                 start: t,
                 no: i as u32,
@@ -474,7 +497,15 @@ mod tests {
         let (net, ds, cds) = paper_store();
         // 15-minute partitions: samples 5:03–5:27 span [5:00,5:15) and
         // [5:15,5:30) → two tuples.
-        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 8 });
+        let stiu = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 900,
+                grid_n: 8,
+            },
+        );
         let node = &stiu.trajs[0];
         assert_eq!(node.temporal.len(), 2);
         assert_eq!(node.temporal[0].start, paper_fixture::hms(5, 3, 25));
@@ -496,7 +527,15 @@ mod tests {
     #[test]
     fn spatial_tuples_cover_visited_cells() {
         let (net, ds, cds) = paper_store();
-        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 4 });
+        let stiu = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        );
         let node = &stiu.trajs[0];
         assert!(!node.ref_tuples.is_empty());
         // Every instance's first region contains its first sample.
@@ -516,24 +555,66 @@ mod tests {
     #[test]
     fn interval_map_lists_trajectories() {
         let (net, ds, cds) = paper_store();
-        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 8 });
+        let stiu = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 900,
+                grid_n: 8,
+            },
+        );
         assert_eq!(stiu.trajs_in_interval(paper_fixture::hms(5, 5, 0)), &[0]);
         assert_eq!(stiu.trajs_in_interval(paper_fixture::hms(5, 20, 0)), &[0]);
-        assert!(stiu.trajs_in_interval(paper_fixture::hms(9, 0, 0)).is_empty());
+        assert!(stiu
+            .trajs_in_interval(paper_fixture::hms(9, 0, 0))
+            .is_empty());
     }
 
     #[test]
     fn index_size_scales_with_partitions() {
         let (net, ds, cds) = paper_store();
-        let coarse = build(&net, &ds, &cds, StiuParams { partition_s: 3600, grid_n: 8 });
-        let fine = build(&net, &ds, &cds, StiuParams { partition_s: 600, grid_n: 8 });
+        let coarse = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 3600,
+                grid_n: 8,
+            },
+        );
+        let fine = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 600,
+                grid_n: 8,
+            },
+        );
         let (s_c, t_c) = coarse.size_bits(9);
         let (s_f, t_f) = fine.size_bits(9);
         assert_eq!(s_c, s_f, "spatial size independent of time partition");
         assert!(t_f >= t_c, "finer partitions add temporal tuples");
 
-        let few = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 2 });
-        let many = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 32 });
+        let few = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 900,
+                grid_n: 2,
+            },
+        );
+        let many = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 900,
+                grid_n: 32,
+            },
+        );
         let (s_few, _) = few.size_bits(9);
         let (s_many, _) = many.size_bits(9);
         assert!(s_many >= s_few, "finer grids add spatial tuples");
@@ -542,7 +623,15 @@ mod tests {
     #[test]
     fn nref_tuples_reference_valid_positions() {
         let (net, ds, cds) = paper_store();
-        let stiu = build(&net, &ds, &cds, StiuParams { partition_s: 900, grid_n: 4 });
+        let stiu = build(
+            &net,
+            &ds,
+            &cds,
+            StiuParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        );
         let node = &stiu.trajs[0];
         assert!(!node.nref_tuples.is_empty());
         for t in &node.nref_tuples {

@@ -1,25 +1,70 @@
 //! On-disk persistence of compressed datasets.
 //!
-//! A compact little-endian binary container (`UTCQ` magic, format
-//! version 1) holding the compression parameters, every compressed
-//! trajectory's bit streams, and the size accounting — everything needed
-//! to reopen a store and query it without the original data. The road
-//! network is *not* embedded (like the paper's setting, the network is a
-//! shared static asset); the loader checks the recorded edge-number
-//! width against the network it is given.
+//! Compact little-endian binary containers under the `UTCQ` magic. Two
+//! format versions coexist:
+//!
+//! # Container v1 (legacy, still readable)
+//!
+//! Holds the compression parameters, every compressed trajectory's bit
+//! streams, and the size accounting. The road network is *not* embedded —
+//! v1 assumed the network was a shared static asset supplied out of band,
+//! so reopening a v1 container requires the caller to provide the same
+//! network again (see `Store::open_v1`).
+//!
+//! # Container v2 (self-contained)
+//!
+//! Embeds everything a query service needs, so `Store::open(path)` alone
+//! yields a queryable store with zero side-channel arguments:
+//!
+//! ```text
+//! "UTCQ"            4-byte magic
+//! u8 = 2            format version
+//! [network]         RoadNetwork (see utcq_network::serialize: counts,
+//!                   coords, CSR offsets, targets, lengths)
+//! [dataset]         identical to the v1 body:
+//!     f64 ηD, f64 ηp, u32 n_pivots, u64 default_interval
+//!     u32 w_e (outgoing-edge-number width)
+//!     u32 name_len, name bytes (UTF-8)
+//!     2 × SizeBreakdown (compressed, raw) — 6 × u64 each
+//!     u64 trajectory count, then per trajectory:
+//!         u64 id, u32 n_times, bits T
+//!         u32 ref count,  per ref:  u32 orig_idx, u32 sv, u32 n_entries,
+//!                                   bits E, bits T', bits D, u64 p_code
+//!         u32 nref count, per nref: u32 orig_idx, u32 ref_idx,
+//!                                   bits Com_E, Com_T, Com_D, u64 p_code
+//! [stiu]            the StIU index:
+//!     i64 partition_s, u32 grid_n (the grid itself is rebuilt from the
+//!                                  embedded network + grid_n)
+//!     u64 node count (== trajectory count), per node:
+//!         u32 temporal count, per tuple: i64 start, u32 no, u32 pos
+//!         u32 ref-tuple count, per tuple: u32 cell, u32 ref_idx,
+//!             u8 has_fv, u32 fv, u32 fv_no, u32 d_pos,
+//!             f64 p_total, f64 p_max
+//!         u32 nref-tuple count, per tuple: u32 cell, u32 nref_idx,
+//!             u32 rv, u32 rv_no, u32 ma_pos
+//!     u64 interval count, per interval: i64 key, u32 len, len × u32
+//! ```
+//!
+//! `bits` streams are a `u32` bit length followed by the padded bytes.
+//! [`load`] accepts both versions (returning the dataset only);
+//! [`load_v2`] returns the full `(network, dataset, index)` triple.
 
 use std::io::{self, Read, Write};
 
 use utcq_bitio::BitBuf;
-use utcq_network::VertexId;
+use utcq_network::{CellId, RoadNetwork, VertexId};
 use utcq_traj::size::SizeBreakdown;
 
 use crate::compress::CompressedDataset;
 use crate::compressed::{CompressedNonRef, CompressedRef, CompressedTrajectory};
 use crate::params::CompressParams;
+use crate::stiu::{NrefRegionTuple, RefRegionTuple, Stiu, StiuParams, TemporalTuple, TrajIndex};
 
 const MAGIC: &[u8; 4] = b"UTCQ";
-const VERSION: u8 = 1;
+/// Legacy dataset-only container.
+pub const VERSION_V1: u8 = 1;
+/// Self-contained container embedding the network and StIU index.
+pub const VERSION_V2: u8 = 2;
 
 /// Errors while reading a container.
 #[derive(Debug)]
@@ -28,6 +73,9 @@ pub enum StorageError {
     Io(io::Error),
     /// Not a UTCQ container or an unsupported version.
     BadHeader,
+    /// A valid v1 container was given to a reader that needs v2
+    /// (v1 has no embedded network).
+    LegacyVersion,
     /// Structurally invalid payload (corrupt lengths or padding).
     Corrupt(&'static str),
 }
@@ -42,13 +90,22 @@ impl std::fmt::Display for StorageError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
-            StorageError::BadHeader => write!(f, "not a UTCQ v{VERSION} container"),
+            StorageError::BadHeader => {
+                write!(f, "not a UTCQ v{VERSION_V1}/v{VERSION_V2} container")
+            }
+            StorageError::LegacyVersion => {
+                write!(f, "v{VERSION_V1} container where v{VERSION_V2} is required")
+            }
             StorageError::Corrupt(what) => write!(f, "corrupt container: {what}"),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+fn write_u8(w: &mut impl Write, v: u8) -> io::Result<()> {
+    w.write_all(&[v])
+}
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -58,8 +115,18 @@ fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
+fn write_i64(w: &mut impl Write, v: i64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
 fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
+}
+
+fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -72,6 +139,12 @@ fn read_u64(r: &mut impl Read) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
+}
+
+fn read_i64(r: &mut impl Read) -> io::Result<i64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
 }
 
 fn read_f64(r: &mut impl Read) -> io::Result<f64> {
@@ -113,10 +186,8 @@ fn read_breakdown(r: &mut impl Read) -> io::Result<SizeBreakdown> {
     })
 }
 
-/// Serializes a compressed dataset into a writer.
-pub fn save(cds: &CompressedDataset, w: &mut impl Write) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&[VERSION])?;
+/// Writes the dataset body shared by both container versions.
+fn write_dataset_body(cds: &CompressedDataset, w: &mut impl Write) -> io::Result<()> {
     write_f64(w, cds.params.eta_d)?;
     write_f64(w, cds.params.eta_p)?;
     write_u32(w, cds.params.n_pivots as u32)?;
@@ -155,13 +226,8 @@ pub fn save(cds: &CompressedDataset, w: &mut impl Write) -> io::Result<()> {
     Ok(())
 }
 
-/// Deserializes a compressed dataset from a reader.
-pub fn load(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
-    let mut magic = [0u8; 5];
-    r.read_exact(&mut magic)?;
-    if &magic[..4] != MAGIC || magic[4] != VERSION {
-        return Err(StorageError::BadHeader);
-    }
+/// Reads the dataset body shared by both container versions.
+fn read_dataset_body(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
     let eta_d = read_f64(r)?;
     let eta_p = read_f64(r)?;
     let n_pivots = read_u32(r)? as usize;
@@ -244,6 +310,238 @@ pub fn load(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
     })
 }
 
+fn write_stiu(stiu: &Stiu, w: &mut impl Write) -> io::Result<()> {
+    write_i64(w, stiu.params.partition_s)?;
+    write_u32(w, stiu.params.grid_n)?;
+    write_u64(w, stiu.trajs.len() as u64)?;
+    for node in &stiu.trajs {
+        write_u32(w, node.temporal.len() as u32)?;
+        for t in &node.temporal {
+            write_i64(w, t.start)?;
+            write_u32(w, t.no)?;
+            write_u32(w, t.pos)?;
+        }
+        write_u32(w, node.ref_tuples.len() as u32)?;
+        for t in &node.ref_tuples {
+            write_u32(w, t.cell.0)?;
+            write_u32(w, t.ref_idx)?;
+            write_u8(w, t.fv.is_some() as u8)?;
+            write_u32(w, t.fv.map_or(0, |v| v.0))?;
+            write_u32(w, t.fv_no)?;
+            write_u32(w, t.d_pos)?;
+            write_f64(w, t.p_total)?;
+            write_f64(w, t.p_max)?;
+        }
+        write_u32(w, node.nref_tuples.len() as u32)?;
+        for t in &node.nref_tuples {
+            write_u32(w, t.cell.0)?;
+            write_u32(w, t.nref_idx)?;
+            write_u32(w, t.rv.0)?;
+            write_u32(w, t.rv_no)?;
+            write_u32(w, t.ma_pos)?;
+        }
+    }
+    write_u64(w, stiu.interval_trajs.len() as u64)?;
+    // Deterministic container bytes: intervals in sorted order.
+    let mut keys: Vec<i64> = stiu.interval_trajs.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        write_i64(w, k)?;
+        let v = &stiu.interval_trajs[&k];
+        write_u32(w, v.len() as u32)?;
+        for &j in v {
+            write_u32(w, j)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_stiu(r: &mut impl Read, net: &RoadNetwork) -> Result<Stiu, StorageError> {
+    let partition_s = read_i64(r)?;
+    if partition_s <= 0 {
+        return Err(StorageError::Corrupt("non-positive time partition"));
+    }
+    let grid_n = read_u32(r)?;
+    if grid_n == 0 || grid_n > (1 << 14) {
+        return Err(StorageError::Corrupt("grid dimension out of range"));
+    }
+    let params = StiuParams {
+        partition_s,
+        grid_n,
+    };
+    let mut stiu = Stiu::new(net, params);
+    let n_nodes = read_u64(r)? as usize;
+    if n_nodes > (1 << 32) {
+        return Err(StorageError::Corrupt("index node count"));
+    }
+    let n_cells = stiu.grid.cell_count() as u32;
+    let n_vertices = net.vertex_count() as u32;
+    for _ in 0..n_nodes {
+        let mut node = TrajIndex::default();
+        let n_temporal = read_u32(r)? as usize;
+        if n_temporal > (1 << 24) {
+            return Err(StorageError::Corrupt("temporal tuple count"));
+        }
+        for _ in 0..n_temporal {
+            node.temporal.push(TemporalTuple {
+                start: read_i64(r)?,
+                no: read_u32(r)?,
+                pos: read_u32(r)?,
+            });
+        }
+        let n_refs = read_u32(r)? as usize;
+        if n_refs > (1 << 24) {
+            return Err(StorageError::Corrupt("ref tuple count"));
+        }
+        for _ in 0..n_refs {
+            let cell = read_u32(r)?;
+            let ref_idx = read_u32(r)?;
+            let has_fv = read_u8(r)?;
+            let fv = read_u32(r)?;
+            let tuple = RefRegionTuple {
+                cell: CellId(cell),
+                ref_idx,
+                fv: (has_fv != 0).then_some(VertexId(fv)),
+                fv_no: read_u32(r)?,
+                d_pos: read_u32(r)?,
+                p_total: read_f64(r)?,
+                p_max: read_f64(r)?,
+            };
+            if cell >= n_cells {
+                return Err(StorageError::Corrupt("ref tuple cell out of range"));
+            }
+            if has_fv != 0 && fv >= n_vertices {
+                return Err(StorageError::Corrupt("ref tuple vertex out of range"));
+            }
+            if !tuple.p_total.is_finite() || !tuple.p_max.is_finite() {
+                return Err(StorageError::Corrupt("non-finite probability bound"));
+            }
+            node.ref_tuples.push(tuple);
+        }
+        let n_nrefs = read_u32(r)? as usize;
+        if n_nrefs > (1 << 24) {
+            return Err(StorageError::Corrupt("nref tuple count"));
+        }
+        for _ in 0..n_nrefs {
+            let cell = read_u32(r)?;
+            let nref_idx = read_u32(r)?;
+            let rv = read_u32(r)?;
+            let tuple = NrefRegionTuple {
+                cell: CellId(cell),
+                nref_idx,
+                rv: VertexId(rv),
+                rv_no: read_u32(r)?,
+                ma_pos: read_u32(r)?,
+            };
+            if cell >= n_cells || rv >= n_vertices {
+                return Err(StorageError::Corrupt("nref tuple out of range"));
+            }
+            node.nref_tuples.push(tuple);
+        }
+        stiu.trajs.push(node);
+    }
+    let n_intervals = read_u64(r)? as usize;
+    if n_intervals > (1 << 32) {
+        return Err(StorageError::Corrupt("interval count"));
+    }
+    for _ in 0..n_intervals {
+        let k = read_i64(r)?;
+        let len = read_u32(r)? as usize;
+        if len > n_nodes {
+            return Err(StorageError::Corrupt("interval posting list too long"));
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            let j = read_u32(r)?;
+            if j as usize >= n_nodes {
+                return Err(StorageError::Corrupt("interval posting out of range"));
+            }
+            v.push(j);
+        }
+        if stiu.interval_trajs.insert(k, v).is_some() {
+            return Err(StorageError::Corrupt("duplicate interval key"));
+        }
+    }
+    Ok(stiu)
+}
+
+/// Serializes a compressed dataset into a writer (legacy v1 container).
+pub fn save(cds: &CompressedDataset, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u8(w, VERSION_V1)?;
+    write_dataset_body(cds, w)
+}
+
+/// Serializes a self-contained v2 container: network + dataset + index.
+pub fn save_v2(
+    net: &RoadNetwork,
+    cds: &CompressedDataset,
+    stiu: &Stiu,
+    w: &mut impl Write,
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u8(w, VERSION_V2)?;
+    net.write_to(w)?;
+    write_dataset_body(cds, w)?;
+    write_stiu(stiu, w)
+}
+
+/// Reads the magic and version byte.
+fn read_header(r: &mut impl Read) -> Result<u8, StorageError> {
+    let mut magic = [0u8; 5];
+    r.read_exact(&mut magic)?;
+    if &magic[..4] != MAGIC {
+        return Err(StorageError::BadHeader);
+    }
+    match magic[4] {
+        v @ (VERSION_V1 | VERSION_V2) => Ok(v),
+        _ => Err(StorageError::BadHeader),
+    }
+}
+
+/// Deserializes the compressed dataset from either container version.
+///
+/// For v2 containers the embedded network is parsed (the dataset body
+/// sits after it) but the trailing StIU index is not read at all —
+/// dataset-only consumers (`info`, `verify`) neither pay for it nor
+/// fail on index-section corruption.
+pub fn load(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
+    match read_header(r)? {
+        VERSION_V1 => read_dataset_body(r),
+        _ => {
+            let _net =
+                RoadNetwork::read_from(r).map_err(|_| StorageError::Corrupt("embedded network"))?;
+            read_dataset_body(r)
+        }
+    }
+}
+
+/// Deserializes a self-contained v2 container.
+///
+/// Fails with [`StorageError::LegacyVersion`] on v1 containers — those
+/// need the caller to supply the network (`Store::open_v1`).
+pub fn load_v2(r: &mut impl Read) -> Result<(RoadNetwork, CompressedDataset, Stiu), StorageError> {
+    match read_header(r)? {
+        VERSION_V1 => Err(StorageError::LegacyVersion),
+        _ => {
+            let net =
+                RoadNetwork::read_from(r).map_err(|_| StorageError::Corrupt("embedded network"))?;
+            let cds = read_dataset_body(r)?;
+            let stiu = read_stiu(r, &net)?;
+            if stiu.trajs.len() != cds.trajectories.len() {
+                return Err(StorageError::Corrupt("index/dataset trajectory counts"));
+            }
+            if net.max_out_degree() > 0 {
+                let expect = crate::compressed::edge_number_width(net.max_out_degree());
+                if expect != cds.w_e {
+                    return Err(StorageError::Corrupt("edge width vs embedded network"));
+                }
+            }
+            Ok((net, cds, stiu))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +552,14 @@ mod tests {
         let params = CompressParams::with_interval(ds.default_interval);
         let cds = compress_dataset(&net, &ds, &params).unwrap();
         (net, cds)
+    }
+
+    fn sample_with_stiu() -> (utcq_network::RoadNetwork, CompressedDataset, Stiu) {
+        let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 15, 31);
+        let params = CompressParams::with_interval(ds.default_interval);
+        let cds = compress_dataset(&net, &ds, &params).unwrap();
+        let stiu = crate::stiu::build(&net, &ds, &cds, StiuParams::default());
+        (net, cds, stiu)
     }
 
     #[test]
@@ -272,6 +578,57 @@ mod tests {
         let a = crate::decompress::decompress_dataset(&net, &cds).unwrap();
         let b = crate::decompress::decompress_dataset(&net, &loaded).unwrap();
         assert_eq!(a.trajectories, b.trajectories);
+    }
+
+    #[test]
+    fn v2_roundtrip_preserves_all_parts() {
+        let (net, cds, stiu) = sample_with_stiu();
+        let mut bytes = Vec::new();
+        save_v2(&net, &cds, &stiu, &mut bytes).unwrap();
+        let (net2, cds2, stiu2) = load_v2(&mut bytes.as_slice()).unwrap();
+        assert_eq!(net2.vertex_count(), net.vertex_count());
+        assert_eq!(net2.edge_count(), net.edge_count());
+        assert_eq!(cds2.compressed, cds.compressed);
+        assert_eq!(cds2.trajectories.len(), cds.trajectories.len());
+        assert_eq!(stiu2.trajs.len(), stiu.trajs.len());
+        assert_eq!(stiu2.interval_trajs.len(), stiu.interval_trajs.len());
+        for (a, b) in stiu.trajs.iter().zip(&stiu2.trajs) {
+            assert_eq!(a.temporal, b.temporal);
+            assert_eq!(a.ref_tuples.len(), b.ref_tuples.len());
+            assert_eq!(a.nref_tuples.len(), b.nref_tuples.len());
+        }
+        // The generic loader also accepts v2, dataset-only.
+        let just_cds = load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(just_cds.compressed, cds.compressed);
+    }
+
+    #[test]
+    fn v1_rejected_by_v2_loader() {
+        let (_, cds) = sample();
+        let mut bytes = Vec::new();
+        save(&cds, &mut bytes).unwrap();
+        // A valid v1 file is reported as *legacy*, not as garbage.
+        assert!(matches!(
+            load_v2(&mut bytes.as_slice()),
+            Err(StorageError::LegacyVersion)
+        ));
+    }
+
+    #[test]
+    fn dataset_load_survives_index_corruption() {
+        // The StIU section trails the container; load() must not touch
+        // it, so damage there cannot block dataset-only consumers.
+        let (net, cds, stiu) = sample_with_stiu();
+        let mut bytes = Vec::new();
+        save_v2(&net, &cds, &stiu, &mut bytes).unwrap();
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(
+            load_v2(&mut bytes.as_slice()).is_err(),
+            "index read must fail"
+        );
+        let loaded = load(&mut bytes.as_slice()).expect("dataset body is intact");
+        assert_eq!(loaded.compressed, cds.compressed);
     }
 
     #[test]
@@ -299,6 +656,14 @@ mod tests {
             load(&mut bytes.as_slice()),
             Err(StorageError::BadHeader)
         ));
+        // Unknown future version is also a header error.
+        let mut bytes = Vec::new();
+        save(&sample().1, &mut bytes).unwrap();
+        bytes[4] = 9;
+        assert!(matches!(
+            load(&mut bytes.as_slice()),
+            Err(StorageError::BadHeader)
+        ));
     }
 
     #[test]
@@ -307,6 +672,13 @@ mod tests {
         save(&sample().1, &mut bytes).unwrap();
         for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
             assert!(load(&mut bytes[..cut].as_ref()).is_err(), "cut={cut}");
+        }
+        // Same for the v2 container.
+        let (net, cds, stiu) = sample_with_stiu();
+        let mut bytes = Vec::new();
+        save_v2(&net, &cds, &stiu, &mut bytes).unwrap();
+        for cut in [6, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load_v2(&mut bytes[..cut].as_ref()).is_err(), "cut={cut}");
         }
     }
 
@@ -320,6 +692,14 @@ mod tests {
             let mut corrupt = bytes.clone();
             corrupt[i] ^= 0x40;
             let _ = load(&mut corrupt.as_slice());
+        }
+        let (net, cds, stiu) = sample_with_stiu();
+        let mut bytes = Vec::new();
+        save_v2(&net, &cds, &stiu, &mut bytes).unwrap();
+        for i in (0..bytes.len()).step_by(53) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let _ = load_v2(&mut corrupt.as_slice());
         }
     }
 }

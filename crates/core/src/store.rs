@@ -1,0 +1,733 @@
+//! The owned, thread-safe store façade — the public entry point of
+//! `utcq_core`.
+//!
+//! [`Store`] owns its road network through an [`Arc`], so it has no
+//! lifetime parameter, is `Send + Sync`, and can be shared across worker
+//! threads or wrapped in a service handle. It is constructed either
+//!
+//! * incrementally, through [`StoreBuilder`] — batches of newly arrived
+//!   trajectories are compressed and indexed *as they are ingested*;
+//!   pivot/reference selection runs only over each new cohort (it is
+//!   per-trajectory, §4.3) and the StIU postings merge into the index in
+//!   place, so earlier batches are never recompressed; or
+//! * from disk, through [`Store::open`] on a self-contained v2 container
+//!   (embedded network + dataset + StIU index), or [`Store::open_v1`]
+//!   for legacy containers that need the network supplied out of band.
+//!
+//! Queries are paginated and limit-bounded: each entry point takes a
+//! [`PageRequest`] and returns a [`Page`] with `has_more`/cursor
+//! semantics, so a service can stream large answers without unbounded
+//! allocations. [`Store::par_range_query`] evaluates a batch of range
+//! queries across all available cores.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use utcq_network::{EdgeId, Rect, RoadNetwork};
+use utcq_traj::Dataset;
+
+use crate::compress::{compress_trajectory, CompressedDataset, Ratios};
+use crate::compressed::edge_number_width;
+use crate::error::Error;
+use crate::params::CompressParams;
+use crate::query::{Page, PageRequest, QueryEngine, RangeQuery, WhenHit, WhereHit};
+use crate::stiu::{Stiu, StiuParams};
+
+/// A compressed dataset plus its StIU index, owning the road network —
+/// ready for querying, persisting, and sharing across threads.
+pub struct Store {
+    net: Arc<RoadNetwork>,
+    cds: CompressedDataset,
+    stiu: Stiu,
+    id_to_idx: HashMap<u64, u32>,
+}
+
+/// Incremental construction of a [`Store`].
+///
+/// ```no_run
+/// # fn demo(net: std::sync::Arc<utcq_network::RoadNetwork>,
+/// #         batch_a: utcq_traj::Dataset, batch_b: utcq_traj::Dataset)
+/// #         -> Result<(), utcq_core::Error> {
+/// use utcq_core::store::StoreBuilder;
+/// use utcq_core::CompressParams;
+///
+/// let store = StoreBuilder::new(net, CompressParams::default())
+///     .ingest(&batch_a)?
+///     .ingest(&batch_b)?
+///     .finish()?;
+/// # let _ = store; Ok(())
+/// # }
+/// ```
+///
+/// Each `ingest` compresses and indexes only the new batch: reference
+/// selection is per-trajectory, and the new StIU postings merge into the
+/// existing index in place. Ingest order does not change query answers
+/// (only the interleaving of internal positions), which
+/// `tests/store_roundtrip.rs` asserts.
+pub struct StoreBuilder {
+    net: Arc<RoadNetwork>,
+    params: CompressParams,
+    stiu_params: StiuParams,
+    name: Option<String>,
+    cds: CompressedDataset,
+    stiu: Option<Stiu>,
+    id_to_idx: HashMap<u64, u32>,
+}
+
+impl StoreBuilder {
+    /// A builder with default index parameters.
+    pub fn new(net: Arc<RoadNetwork>, params: CompressParams) -> Self {
+        let w_e = edge_number_width(net.max_out_degree());
+        Self {
+            net,
+            params,
+            stiu_params: StiuParams::default(),
+            name: None,
+            cds: CompressedDataset {
+                name: String::new(),
+                params,
+                w_e,
+                trajectories: Vec::new(),
+                compressed: Default::default(),
+                raw: Default::default(),
+            },
+            stiu: None,
+            id_to_idx: HashMap::new(),
+        }
+    }
+
+    /// Overrides the StIU index parameters. Must be called before the
+    /// first [`ingest`](Self::ingest); afterwards the grid is already
+    /// fixed and the call is ignored.
+    pub fn stiu_params(mut self, p: StiuParams) -> Self {
+        if self.stiu.is_none() {
+            self.stiu_params = p;
+        }
+        self
+    }
+
+    /// Overrides the dataset label (defaults to the first batch's name).
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
+    /// Compresses and indexes one batch of trajectories, appending to
+    /// whatever was ingested before. Only the new cohort is processed.
+    pub fn ingest(mut self, batch: &Dataset) -> Result<Self, Error> {
+        if batch.default_interval != self.params.default_interval {
+            return Err(Error::IntervalMismatch {
+                expected: self.params.default_interval,
+                got: batch.default_interval,
+            });
+        }
+        if self.name.is_none() && !batch.name.is_empty() {
+            self.name = Some(batch.name.clone());
+        }
+        let stiu = self
+            .stiu
+            .get_or_insert_with(|| Stiu::new(&self.net, self.stiu_params));
+        for tu in &batch.trajectories {
+            let j = self.cds.trajectories.len() as u32;
+            if self.id_to_idx.contains_key(&tu.id) {
+                return Err(Error::DuplicateTrajectory(tu.id));
+            }
+            let (ct, size) = compress_trajectory(&self.net, tu, &self.params)?;
+            self.cds.compressed.add(&size);
+            self.cds.raw.add(&utcq_traj::size::uncompressed_bits(tu));
+            stiu.push(&self.net, tu, &ct, &self.params);
+            self.id_to_idx.insert(tu.id, j);
+            self.cds.trajectories.push(ct);
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the store.
+    pub fn finish(self) -> Result<Store, Error> {
+        let mut cds = self.cds;
+        cds.name = self.name.unwrap_or_default();
+        let stiu = match self.stiu {
+            Some(s) => s,
+            None => Stiu::new(&self.net, self.stiu_params),
+        };
+        Ok(Store {
+            net: self.net,
+            cds,
+            stiu,
+            id_to_idx: self.id_to_idx,
+        })
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("name", &self.cds.name)
+            .field("trajectories", &self.cds.trajectories.len())
+            .field("vertices", &self.net.vertex_count())
+            .field("edges", &self.net.edge_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Store {
+    /// Compresses a dataset and builds its index in one step —
+    /// equivalent to a single-batch [`StoreBuilder`] run.
+    pub fn build(
+        net: Arc<RoadNetwork>,
+        ds: &Dataset,
+        params: CompressParams,
+        stiu_params: StiuParams,
+    ) -> Result<Self, Error> {
+        StoreBuilder::new(net, params)
+            .stiu_params(stiu_params)
+            .ingest(ds)?
+            .finish()
+    }
+
+    /// Opens a self-contained v2 container: network, dataset and index
+    /// all come from the file — no side-channel arguments.
+    ///
+    /// A v1 container fails with [`Error::NeedsNetwork`]; open those with
+    /// [`Store::open_v1`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        let f = File::open(path)?;
+        Self::read(&mut BufReader::new(f))
+    }
+
+    /// Reads a v2 container from an arbitrary reader.
+    pub fn read(r: &mut impl Read) -> Result<Self, Error> {
+        let (net, cds, stiu) = match crate::storage::load_v2(r) {
+            Ok(parts) => parts,
+            // Only a *valid* v1 container maps to the "supply a network"
+            // guidance; garbage or unknown versions stay storage errors.
+            Err(crate::storage::StorageError::LegacyVersion) => return Err(Error::NeedsNetwork),
+            Err(e) => return Err(e.into()),
+        };
+        Self::assemble(Arc::new(net), cds, stiu)
+    }
+
+    /// Opens a legacy v1 container against an externally supplied
+    /// network — the compatibility path. The StIU index is not part of
+    /// v1 containers, so it is rebuilt from the (lossily) decompressed
+    /// trajectories; the structural components that index construction
+    /// reads (edge sequences, time sequences) decompress exactly, so the
+    /// rebuilt index matches one built at compression time.
+    pub fn open_v1(
+        path: impl AsRef<Path>,
+        net: Arc<RoadNetwork>,
+        stiu_params: StiuParams,
+    ) -> Result<Self, Error> {
+        let f = File::open(path)?;
+        let cds = crate::storage::load(&mut BufReader::new(f))?;
+        let expect = edge_number_width(net.max_out_degree());
+        if cds.w_e != expect {
+            return Err(Error::NetworkMismatch {
+                expected: cds.w_e,
+                got: expect,
+            });
+        }
+        let ds = crate::decompress::decompress_dataset(&net, &cds)?;
+        let stiu = crate::stiu::build(&net, &ds, &cds, stiu_params);
+        Self::assemble(net, cds, stiu)
+    }
+
+    /// Persists the store as a self-contained v2 container.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let f = File::create(path)?;
+        let mut w = BufWriter::new(f);
+        self.write(&mut w)
+    }
+
+    /// Writes the v2 container to an arbitrary writer.
+    pub fn write(&self, w: &mut impl Write) -> Result<(), Error> {
+        crate::storage::save_v2(&self.net, &self.cds, &self.stiu, w)?;
+        Ok(())
+    }
+
+    /// Assembles a store from parts, validating cross-references.
+    fn assemble(net: Arc<RoadNetwork>, cds: CompressedDataset, stiu: Stiu) -> Result<Self, Error> {
+        if stiu.trajs.len() != cds.trajectories.len() {
+            return Err(Error::CorruptStore("index/dataset trajectory counts"));
+        }
+        let mut id_to_idx = HashMap::with_capacity(cds.trajectories.len());
+        for (i, ct) in cds.trajectories.iter().enumerate() {
+            if id_to_idx.insert(ct.id, i as u32).is_some() {
+                return Err(Error::DuplicateTrajectory(ct.id));
+            }
+        }
+        Ok(Self {
+            net,
+            cds,
+            stiu,
+            id_to_idx,
+        })
+    }
+
+    /// The road network the store owns.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// The compressed dataset.
+    pub fn compressed(&self) -> &CompressedDataset {
+        &self.cds
+    }
+
+    /// The StIU index.
+    pub fn stiu(&self) -> &Stiu {
+        &self.stiu
+    }
+
+    /// Component-wise and total compression ratios.
+    pub fn ratios(&self) -> Ratios {
+        self.cds.ratios()
+    }
+
+    /// Number of trajectories in the store.
+    pub fn len(&self) -> usize {
+        self.cds.trajectories.len()
+    }
+
+    /// Whether the store holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.cds.trajectories.is_empty()
+    }
+
+    /// Looks up a trajectory's position by id.
+    pub fn traj_index(&self, id: u64) -> Option<u32> {
+        self.id_to_idx.get(&id).copied()
+    }
+
+    /// Decodes the full time sequence of the trajectory at position `j`.
+    pub fn decode_times(&self, j: u32) -> Result<Vec<i64>, Error> {
+        let ct = self
+            .cds
+            .trajectories
+            .get(j as usize)
+            .ok_or(Error::CorruptStore("trajectory position out of range"))?;
+        self.engine().decode_times(ct)
+    }
+
+    fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine {
+            net: &self.net,
+            cds: &self.cds,
+            stiu: &self.stiu,
+        }
+    }
+
+    /// Probabilistic **where** query (Definition 10): the locations of
+    /// `traj_id`'s instances with probability ≥ `alpha` at time `t`.
+    ///
+    /// Unknown trajectory ids and out-of-span times yield an empty page,
+    /// matching the paper's query semantics (the answer set is empty).
+    pub fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        let Some(j) = self.traj_index(traj_id) else {
+            return Ok(Page::slice(Vec::new(), page));
+        };
+        Ok(Page::slice(self.engine().where_query(j, t, alpha)?, page))
+    }
+
+    /// Probabilistic **when** query (Definition 11): the times at which
+    /// `traj_id`'s instances with probability ≥ `alpha` pass `⟨edge, rd⟩`.
+    pub fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        let Some(j) = self.traj_index(traj_id) else {
+            return Ok(Page::slice(Vec::new(), page));
+        };
+        Ok(Page::slice(
+            self.engine().when_query(j, edge, rd, alpha)?,
+            page,
+        ))
+    }
+
+    /// Probabilistic **range** query (Definition 12): ids of trajectories
+    /// inside `re` at `tq` with accumulated probability ≥ `alpha`,
+    /// ascending. Pagination is keyset-style over the sorted ids, so
+    /// pages stay consistent under concurrent reads.
+    pub fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        let engine = self.engine();
+        let cells: std::collections::HashSet<utcq_network::CellId> =
+            self.stiu.grid.cells_overlapping(re).into_iter().collect();
+        // Candidates ascending by trajectory id, resuming past the cursor.
+        let mut candidates: Vec<(u64, u32)> = self
+            .stiu
+            .trajs_in_interval(tq)
+            .iter()
+            .filter_map(|&j| {
+                let ct = self.cds.trajectories.get(j as usize)?;
+                Some((ct.id, j))
+            })
+            .filter(|&(id, _)| page.cursor.is_none_or(|after| id > after))
+            .collect();
+        candidates.sort_unstable();
+        let limit = page.limit.max(1); // a zero limit could never progress
+        let mut items = Vec::new();
+        let mut it = candidates.into_iter();
+        let mut has_more = false;
+        for (id, j) in it.by_ref() {
+            if items.len() >= limit {
+                // More *candidates* remain; whether they match is decided
+                // when the next page evaluates them.
+                has_more = true;
+                break;
+            }
+            if engine.range_matches(j, &cells, re, tq, alpha)? {
+                items.push(id);
+            }
+        }
+        let next_cursor = has_more.then(|| *items.last().expect("limit > 0 implies items"));
+        Ok(Page {
+            items,
+            next_cursor,
+            has_more,
+        })
+    }
+
+    /// Evaluates a batch of **range** queries in parallel across the
+    /// available cores, answers unpaginated and in input order. The
+    /// store is shared by reference — no cloning, no recompression.
+    pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len());
+        if threads <= 1 {
+            return queries
+                .iter()
+                .map(|q| {
+                    self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                        .map(Page::into_items)
+                })
+                .collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Result<Vec<Vec<u64>>, Error>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    scope.spawn(move || {
+                        qs.iter()
+                            .map(|q| {
+                                self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                                    .map(Page::into_items)
+                            })
+                            .collect::<Result<Vec<_>, Error>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("range worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(queries.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcq_traj::paper_fixture;
+
+    fn paper_store(fx: &paper_fixture::PaperFixture) -> Store {
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        Store::build(
+            Arc::new(fx.example.net.clone()),
+            &ds,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+            StiuParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn store_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Store>();
+        assert_send_sync::<StoreBuilder>();
+    }
+
+    #[test]
+    fn example3_where_on_compressed() {
+        // where(Tu¹, 5:21:25, 0.25) → ⟨v6→v7, 150⟩ from Tu¹₁ only.
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .where_query(1, paper_fixture::hms(5, 21, 25), 0.25, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].instance, 0);
+        assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
+        assert!((hits[0].loc.ndist - 150.0).abs() < 1.6); // ηD on a 200 m edge
+    }
+
+    #[test]
+    fn where_alpha_zero_returns_all() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .where_query(1, paper_fixture::hms(5, 5, 0), 0.0, PageRequest::all())
+            .unwrap();
+        assert_eq!(hits.items.len(), 3);
+        assert!(!hits.has_more);
+        assert_eq!(hits.next_cursor, None);
+    }
+
+    #[test]
+    fn where_pagination_walks_the_full_answer() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 5, 0);
+        let all = store
+            .where_query(1, t, 0.0, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(all.len(), 3);
+
+        let mut walked = Vec::new();
+        let mut req = PageRequest::first(2);
+        loop {
+            let page = store.where_query(1, t, 0.0, req).unwrap();
+            let done = !page.has_more;
+            if page.has_more {
+                assert_eq!(page.items.len(), 2);
+                req = PageRequest::after(page.next_cursor.unwrap(), 2);
+            }
+            walked.extend(page.items);
+            if done {
+                break;
+            }
+        }
+        assert_eq!(walked, all);
+    }
+
+    #[test]
+    fn where_outside_span_is_empty() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        for t in [paper_fixture::hms(4, 0, 0), paper_fixture::hms(6, 0, 0)] {
+            let page = store.where_query(1, t, 0.0, PageRequest::all()).unwrap();
+            assert!(page.items.is_empty() && !page.has_more);
+        }
+        assert!(store
+            .where_query(99, 0, 0.0, PageRequest::all())
+            .unwrap()
+            .items
+            .is_empty());
+    }
+
+    #[test]
+    fn example3_when_on_compressed() {
+        // when(Tu¹, ⟨v6→v7, 0.75⟩, 0.25) → 5:21:25 from Tu¹₁ (and Tu¹₂?
+        // both traverse (v6→v7), but Tu¹₂.p = 0.2 < 0.25).
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .when_query(1, fx.example.edge(6, 7), 0.75, 0.25, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].instance, 0);
+        let want = paper_fixture::hms(5, 21, 25) as f64;
+        assert!((hits[0].time - want).abs() < 3.5, "time {}", hits[0].time);
+    }
+
+    #[test]
+    fn when_low_alpha_includes_nonreferences() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let hits = store
+            .when_query(1, fx.example.edge(6, 7), 0.75, 0.01, PageRequest::all())
+            .unwrap();
+        // All three instances traverse (v6→v7).
+        assert_eq!(hits.items.len(), 3);
+    }
+
+    #[test]
+    fn when_region_miss_is_empty() {
+        // A location on the stub edges is never visited.
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let e49 = fx
+            .example
+            .net
+            .find_edge(fx.example.vertex(4), utcq_network::VertexId(10))
+            .expect("stub edge");
+        let hits = store
+            .when_query(1, e49, 0.5, 0.0, PageRequest::all())
+            .unwrap();
+        assert!(hits.items.is_empty());
+    }
+
+    #[test]
+    fn example4_range_queries() {
+        // range over a region covering the whole corridor at 5:05:25
+        // with α = 0.5 → Tu¹; a far-away region → ∅.
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 5, 25);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert_eq!(
+            store
+                .range_query(&all, t, 0.5, PageRequest::all())
+                .unwrap()
+                .into_items(),
+            vec![1]
+        );
+        let far = Rect::new(100.0, 100.0, 120.0, 120.0);
+        assert!(store
+            .range_query(&far, t, 0.5, PageRequest::all())
+            .unwrap()
+            .items
+            .is_empty());
+    }
+
+    #[test]
+    fn range_alpha_prunes() {
+        // At 5:09:00 a region around the v10 detour only holds Tu¹₂
+        // (p = 0.2).
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 9, 0);
+        let detour_region = Rect::new(10.0, 4.0, 22.0, 12.0);
+        let hit = store
+            .range_query(&detour_region, t, 0.1, PageRequest::all())
+            .unwrap();
+        let miss = store
+            .range_query(&detour_region, t, 0.5, PageRequest::all())
+            .unwrap();
+        assert_eq!(hit.items, vec![1]);
+        assert!(miss.items.is_empty());
+    }
+
+    #[test]
+    fn range_outside_time_span() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert!(store
+            .range_query(&all, paper_fixture::hms(7, 0, 0), 0.1, PageRequest::all())
+            .unwrap()
+            .items
+            .is_empty());
+    }
+
+    #[test]
+    fn par_range_matches_sequential() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let t = paper_fixture::hms(5, 5, 25);
+        let queries: Vec<RangeQuery> = (0..8)
+            .map(|i| RangeQuery {
+                re: Rect::new(-10.0, -10.0, 20.0 + 10.0 * i as f64, 10.0),
+                tq: t,
+                alpha: 0.3,
+            })
+            .collect();
+        let par = store.par_range_query(&queries).unwrap();
+        for (q, got) in queries.iter().zip(&par) {
+            let want = store
+                .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                .unwrap()
+                .into_items();
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn duplicate_ingest_is_rejected() {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        let net = Arc::new(fx.example.net.clone());
+        let b = StoreBuilder::new(
+            net,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+        )
+        .ingest(&ds)
+        .unwrap();
+        assert!(matches!(b.ingest(&ds), Err(Error::DuplicateTrajectory(1))));
+    }
+
+    #[test]
+    fn interval_mismatch_is_rejected() {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL + 1,
+            trajectories: vec![fx.tu.clone()],
+        };
+        let net = Arc::new(fx.example.net.clone());
+        let r = StoreBuilder::new(
+            net,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+        )
+        .ingest(&ds);
+        assert!(matches!(r, Err(Error::IntervalMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_store_answers_empty() {
+        let fx = paper_fixture::build();
+        let net = Arc::new(fx.example.net.clone());
+        let store = StoreBuilder::new(
+            net,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+        )
+        .finish()
+        .unwrap();
+        assert!(store.is_empty());
+        assert!(store
+            .where_query(1, 0, 0.0, PageRequest::all())
+            .unwrap()
+            .items
+            .is_empty());
+        let re = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(store
+            .range_query(&re, 0, 0.0, PageRequest::all())
+            .unwrap()
+            .items
+            .is_empty());
+    }
+}

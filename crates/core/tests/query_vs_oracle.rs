@@ -2,10 +2,13 @@
 //! PDDP error bounds — the property behind the paper's Fig. 11 (average
 //! difference ≈ 0, F1 ≈ 1).
 
+use std::sync::Arc;
+
 use utcq_core::params::CompressParams;
-use utcq_core::query::CompressedStore;
+use utcq_core::query::PageRequest;
 use utcq_core::stiu::StiuParams;
-use utcq_core::{oracle, decompress::check_lossy_roundtrip};
+use utcq_core::Store;
+use utcq_core::{decompress::check_lossy_roundtrip, oracle};
 use utcq_network::{Rect, RoadNetwork};
 use utcq_traj::Dataset;
 
@@ -13,9 +16,9 @@ fn setup(seed: u64, n: usize) -> (RoadNetwork, Dataset) {
     utcq_datagen::generate(&utcq_datagen::profile::tiny(), n, seed)
 }
 
-fn store<'a>(net: &'a RoadNetwork, ds: &Dataset) -> CompressedStore<'a> {
-    CompressedStore::build(
-        net,
+fn store(net: &RoadNetwork, ds: &Dataset) -> Store {
+    Store::build(
+        Arc::new(net.clone()),
         ds,
         CompressParams::with_interval(ds.default_interval),
         StiuParams {
@@ -37,16 +40,17 @@ fn where_matches_oracle() {
             let t = tu.times[0] + span * k / 4;
             for &alpha in &[0.0, 0.2, 0.5] {
                 let want = oracle::where_query(&net, tu, t, alpha);
-                let got = st.where_query(tu.id, t, alpha).unwrap();
+                let got = st
+                    .where_query(tu.id, t, alpha, PageRequest::all())
+                    .unwrap()
+                    .into_items();
                 // Probability quantization can flip borderline α
                 // comparisons; filter those out identically on both sides
                 // using the exact probability.
                 let borderline =
                     |w: u32| (tu.instances[w as usize].prob - alpha).abs() <= 2.0 / 512.0;
-                let want_core: Vec<_> =
-                    want.iter().filter(|h| !borderline(h.instance)).collect();
-                let got_core: Vec<_> =
-                    got.iter().filter(|h| !borderline(h.instance)).collect();
+                let want_core: Vec<_> = want.iter().filter(|h| !borderline(h.instance)).collect();
+                let got_core: Vec<_> = got.iter().filter(|h| !borderline(h.instance)).collect();
                 assert_eq!(want_core.len(), got_core.len(), "t={t} alpha={alpha}");
                 for (w, g) in want_core.iter().zip(&got_core) {
                     assert_eq!(w.instance, g.instance);
@@ -75,14 +79,15 @@ fn when_matches_oracle() {
         let edge = inst.path[inst.path.len() / 2];
         for &alpha in &[0.0, 0.3] {
             let want = oracle::when_query(&net, tu, edge, 0.5, alpha);
-            let got = st.when_query(tu.id, edge, 0.5, alpha).unwrap();
+            let got = st
+                .when_query(tu.id, edge, 0.5, alpha, PageRequest::all())
+                .unwrap()
+                .into_items();
             // Decide "borderline α" per instance from the *exact*
             // probability, so both sides filter identically (probability
             // quantization may flip the comparison either way).
-            let borderline =
-                |w: u32| (tu.instances[w as usize].prob - alpha).abs() <= 2.0 / 512.0;
-            let mut want_core: Vec<_> =
-                want.iter().filter(|h| !borderline(h.instance)).collect();
+            let borderline = |w: u32| (tu.instances[w as usize].prob - alpha).abs() <= 2.0 / 512.0;
+            let mut want_core: Vec<_> = want.iter().filter(|h| !borderline(h.instance)).collect();
             let mut got_core: Vec<_> = got.iter().filter(|h| !borderline(h.instance)).collect();
             // Quantized times can flip the order of near-simultaneous
             // hits; align by (instance, time) instead.
@@ -127,7 +132,10 @@ fn range_matches_oracle() {
         let tq = ds.trajectories[k % ds.trajectories.len()].times[0] + 30;
         for &alpha in &[0.05, 0.3, 0.7] {
             let mut want = oracle::range_query(&net, &ds, &re, tq, alpha);
-            let mut got = st.range_query(&re, tq, alpha).unwrap();
+            let mut got = st
+                .range_query(&re, tq, alpha, PageRequest::all())
+                .unwrap()
+                .into_items();
             want.sort_unstable();
             got.sort_unstable();
             total += 1;

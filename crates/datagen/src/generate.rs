@@ -76,8 +76,7 @@ pub fn generate_on_network(
         };
         // Sample count from route length, nominal interval, and speed.
         let length = net.path_length(&route);
-        let n = ((length / (profile.speed_mps * profile.default_interval as f64)).round()
-            as usize)
+        let n = ((length / (profile.speed_mps * profile.default_interval as f64)).round() as usize)
             .clamp(2, opts.max_samples);
         // Start time keeps the whole trajectory within one day.
         let worst_span = (n as i64) * profile.default_interval * 3 + 400;
@@ -107,7 +106,11 @@ pub fn generate_on_network(
 }
 
 /// One-call generation: network + dataset.
-pub fn generate(profile: &DatasetProfile, n_trajectories: usize, seed: u64) -> (RoadNetwork, Dataset) {
+pub fn generate(
+    profile: &DatasetProfile,
+    n_trajectories: usize,
+    seed: u64,
+) -> (RoadNetwork, Dataset) {
     let net = generate_network(profile, seed);
     let ds = generate_on_network(
         &net,

@@ -127,7 +127,11 @@ fn mutate_detour<R: Rng + ?Sized>(
             // Fractional remap onto the detour.
             let before: f64 = route[s..idx].iter().map(|&e| net.edge_length(e)).sum();
             let offset = before + p.rd * net.edge_length(route[idx]);
-            let f = if span_dist > 0.0 { offset / span_dist } else { 0.0 };
+            let f = if span_dist > 0.0 {
+                offset / span_dist
+            } else {
+                0.0
+            };
             let local = position_at_distance(net, &alt.edges, f * alt.dist);
             PathPosition {
                 path_idx: s as u32 + local.path_idx,
@@ -393,7 +397,15 @@ mod tests {
         for id in 0..25 {
             let route = random_route(&net, &mut rng, 10, 20).unwrap();
             let times = time_sequence(&mut rng, &p.deviations, 100, 12, p.default_interval);
-            let tu = build_uncertain(&net, &mut rng, id, route, times, 6, &VariantConfig::default());
+            let tu = build_uncertain(
+                &net,
+                &mut rng,
+                id,
+                route,
+                times,
+                6,
+                &VariantConfig::default(),
+            );
             assert_eq!(tu.validate(&net), Ok(()), "trajectory {id}");
         }
     }
@@ -406,7 +418,15 @@ mod tests {
         for id in 0..20 {
             let route = random_route(&net, &mut rng, 10, 20).unwrap();
             let times = time_sequence(&mut rng, &p.deviations, 100, 12, p.default_interval);
-            let tu = build_uncertain(&net, &mut rng, id, route, times, 8, &VariantConfig::default());
+            let tu = build_uncertain(
+                &net,
+                &mut rng,
+                id,
+                route,
+                times,
+                8,
+                &VariantConfig::default(),
+            );
             if tu.instance_count() > 1 {
                 multi += 1;
             }
@@ -429,7 +449,15 @@ mod tests {
         let p = profile::tiny();
         let route = random_route(&net, &mut rng, 10, 20).unwrap();
         let times = time_sequence(&mut rng, &p.deviations, 100, 12, p.default_interval);
-        let tu = build_uncertain(&net, &mut rng, 0, route, times, 8, &VariantConfig::default());
+        let tu = build_uncertain(
+            &net,
+            &mut rng,
+            0,
+            route,
+            times,
+            8,
+            &VariantConfig::default(),
+        );
         let sum: f64 = tu.instances.iter().map(|i| i.prob).sum();
         assert!((sum - 1.0).abs() < 1e-9);
         for w in tu.instances.windows(2) {
@@ -449,7 +477,15 @@ mod tests {
         for id in 0..15 {
             let route = random_route(&net, &mut rng, 10, 20).unwrap();
             let times = time_sequence(&mut rng, &p.deviations, 100, 12, p.default_interval);
-            let tu = build_uncertain(&net, &mut rng, id, route, times, 6, &VariantConfig::default());
+            let tu = build_uncertain(
+                &net,
+                &mut rng,
+                id,
+                route,
+                times,
+                6,
+                &VariantConfig::default(),
+            );
             let seqs: Vec<Vec<u32>> = tu
                 .instances
                 .iter()

@@ -171,7 +171,11 @@ mod tests {
     #[test]
     fn mixes_are_normalized() {
         for p in all() {
-            assert!(p.deviations.is_normalized(), "{} mix not normalized", p.name);
+            assert!(
+                p.deviations.is_normalized(),
+                "{} mix not normalized",
+                p.name
+            );
         }
         assert!(tiny().deviations.is_normalized());
     }

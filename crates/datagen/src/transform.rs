@@ -42,10 +42,9 @@ pub fn filter_min_edges(ds: &Dataset, k: usize) -> Dataset {
 pub fn keep_instance_fraction(ds: &Dataset, frac: f64) -> Dataset {
     let mut out = ds.clone();
     for tu in &mut out.trajectories {
-        let keep = ((tu.instance_count() as f64 * frac).ceil() as usize)
-            .clamp(1, tu.instance_count());
-        tu.instances
-            .sort_by(|a, b| b.prob.total_cmp(&a.prob));
+        let keep =
+            ((tu.instance_count() as f64 * frac).ceil() as usize).clamp(1, tu.instance_count());
+        tu.instances.sort_by(|a, b| b.prob.total_cmp(&a.prob));
         tu.instances.truncate(keep);
         let total: f64 = tu.instances.iter().map(|i| i.prob).sum();
         for inst in &mut tu.instances {
@@ -115,8 +114,8 @@ pub fn truncate_trajectory(tu: &mut UncertainTrajectory, keep: usize) {
 
 /// Keeps the first `frac` of the trajectories (Fig. 12 data-size sweep).
 pub fn subset_fraction(ds: &Dataset, frac: f64) -> Dataset {
-    let keep = ((ds.trajectories.len() as f64 * frac).round() as usize)
-        .clamp(0, ds.trajectories.len());
+    let keep =
+        ((ds.trajectories.len() as f64 * frac).round() as usize).clamp(0, ds.trajectories.len());
     Dataset {
         name: ds.name.clone(),
         default_interval: ds.default_interval,
@@ -178,7 +177,10 @@ mod tests {
         let f = filter_min_instances(&ds, 4);
         assert!(f.trajectories.iter().all(|t| t.instance_count() >= 4));
         let f = filter_min_edges(&ds, 10);
-        assert!(f.trajectories.iter().all(|t| t.top_instance().path.len() >= 10));
+        assert!(f
+            .trajectories
+            .iter()
+            .all(|t| t.top_instance().path.len() >= 10));
     }
 
     #[test]

@@ -74,9 +74,7 @@ impl<'n> Matcher<'n> {
             let pt = Point::new(p.x, p.y);
             let mut cands = self.index.candidates_within(self.net, pt, cfg.radius);
             if cands.is_empty() {
-                cands = self
-                    .index
-                    .candidates_within(self.net, pt, cfg.radius * 2.0);
+                cands = self.index.candidates_within(self.net, pt, cfg.radius * 2.0);
             }
             if cands.is_empty() {
                 continue;
@@ -121,7 +119,11 @@ impl<'n> Matcher<'n> {
             route_cache.insert(key, r.clone());
             r
         };
-        let trans = |i: usize, a: usize, b: usize, route: &mut dyn FnMut(usize, usize, usize) -> RouteResult| -> f64 {
+        let trans = |i: usize,
+                     a: usize,
+                     b: usize,
+                     route: &mut dyn FnMut(usize, usize, usize) -> RouteResult|
+         -> f64 {
             match route(i, a, b) {
                 Some((d, _)) => {
                     let straight = kept_points[i].dist(kept_points[i + 1]);
@@ -294,11 +296,7 @@ mod tests {
             assert_eq!(tu.validate(&net), Ok(()));
             let top = tu.top_instance();
             // Count edge overlap with the truth.
-            let overlap = top
-                .path
-                .iter()
-                .filter(|e| truth.path.contains(e))
-                .count();
+            let overlap = top.path.iter().filter(|e| truth.path.contains(e)).count();
             if overlap * 10 >= truth.path.len() * 7 {
                 recovered += 1;
             }
@@ -337,9 +335,15 @@ mod tests {
         let matcher = Matcher::new(&net, 100.0);
         // Too short.
         let raw = RawTrajectory {
-            points: vec![utcq_traj::RawPoint { x: 0.0, y: 0.0, t: 0 }],
+            points: vec![utcq_traj::RawPoint {
+                x: 0.0,
+                y: 0.0,
+                t: 0,
+            }],
         };
-        assert!(matcher.match_trajectory(&raw, &MatcherConfig::default()).is_none());
+        assert!(matcher
+            .match_trajectory(&raw, &MatcherConfig::default())
+            .is_none());
         // All points far off the network.
         let raw = RawTrajectory {
             points: (0..5)
@@ -350,7 +354,9 @@ mod tests {
                 })
                 .collect(),
         };
-        assert!(matcher.match_trajectory(&raw, &MatcherConfig::default()).is_none());
+        assert!(matcher
+            .match_trajectory(&raw, &MatcherConfig::default())
+            .is_none());
     }
 
     #[test]

@@ -121,11 +121,7 @@ mod tests {
     fn best_path_dominates() {
         // Two steps, transitions prefer staying on the same index.
         let emissions = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
-        let paths = k_best_viterbi(
-            &emissions,
-            |_, a, b| if a == b { 0.0 } else { -10.0 },
-            4,
-        );
+        let paths = k_best_viterbi(&emissions, |_, a, b| if a == b { 0.0 } else { -10.0 }, 4);
         assert_eq!(paths.len(), 4);
         // The two stay-paths outrank the two switch-paths.
         assert!(paths[0].choices[0] == paths[0].choices[1]);

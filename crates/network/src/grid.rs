@@ -151,7 +151,17 @@ mod tests {
     fn overlap_enumeration() {
         let g = grid4();
         let cells = g.cells_overlapping(&Rect::new(5.0, 5.0, 15.0, 25.0));
-        assert_eq!(cells, vec![CellId(0), CellId(1), CellId(4), CellId(5), CellId(8), CellId(9)]);
+        assert_eq!(
+            cells,
+            vec![
+                CellId(0),
+                CellId(1),
+                CellId(4),
+                CellId(5),
+                CellId(8),
+                CellId(9)
+            ]
+        );
         let one = g.cells_overlapping(&Rect::new(11.0, 11.0, 12.0, 12.0));
         assert_eq!(one, vec![CellId(5)]);
     }

@@ -15,6 +15,8 @@
 //!   the probabilistic map-matcher's transition model.
 //! * [`spatial::EdgeIndex`] — a grid-bucketed edge index for radius
 //!   candidate search (map matching) and region↔edge overlap tests.
+//! * [`serialize`] — binary (de)serialization of [`RoadNetwork`], used by
+//!   the self-contained container format to embed the network.
 //! * [`gen`] — synthetic network generators calibrated to the paper's
 //!   Table 6 statistics (average out-degree 2.4–2.8).
 //! * [`paper_example`] — the running example of the paper's Figure 2
@@ -27,6 +29,7 @@ pub mod graph;
 pub mod grid;
 pub mod paper_example;
 pub mod path;
+pub mod serialize;
 pub mod spatial;
 
 pub use builder::NetworkBuilder;

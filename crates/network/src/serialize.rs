@@ -1,0 +1,183 @@
+//! Binary serialization of [`RoadNetwork`] — the piece that makes the
+//! self-contained container format possible: a persisted store can embed
+//! its network instead of relying on a side-channel asset.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! u32 vertex_count (V)   u32 edge_count (E)
+//! V × (f64 x, f64 y)     vertex coordinates
+//! (V+1) × u32            CSR out-edge offsets (offsets[0] = 0, offsets[V] = E)
+//! E × u32                edge target vertices
+//! E × f64                edge lengths in meters
+//! ```
+//!
+//! Edge sources and the maximum out-degree are derived from the offsets
+//! on read, so they are not stored. Structural violations (non-monotonic
+//! offsets, out-of-range targets, non-finite coordinates) surface as
+//! [`std::io::ErrorKind::InvalidData`] — never a panic.
+
+use std::io::{self, Read, Write};
+
+use crate::geom::Point;
+use crate::graph::{RoadNetwork, VertexId};
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("road network: {what}"))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+impl RoadNetwork {
+    /// Serializes the network into a writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&(self.coords.len() as u32).to_le_bytes())?;
+        w.write_all(&(self.targets.len() as u32).to_le_bytes())?;
+        for p in &self.coords {
+            w.write_all(&p.x.to_le_bytes())?;
+            w.write_all(&p.y.to_le_bytes())?;
+        }
+        for &o in &self.out_offsets {
+            w.write_all(&o.to_le_bytes())?;
+        }
+        for t in &self.targets {
+            w.write_all(&t.0.to_le_bytes())?;
+        }
+        for &l in &self.lengths {
+            w.write_all(&l.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a network from a reader, validating CSR structure.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let v = read_u32(r)? as usize;
+        let e = read_u32(r)? as usize;
+        if v > (1 << 28) || e > (1 << 29) {
+            return Err(bad("implausible vertex/edge count"));
+        }
+        let mut coords = Vec::with_capacity(v);
+        for _ in 0..v {
+            let x = read_f64(r)?;
+            let y = read_f64(r)?;
+            if !x.is_finite() || !y.is_finite() {
+                return Err(bad("non-finite coordinate"));
+            }
+            coords.push(Point { x, y });
+        }
+        let mut out_offsets = Vec::with_capacity(v + 1);
+        for _ in 0..=v {
+            out_offsets.push(read_u32(r)?);
+        }
+        if out_offsets.first() != Some(&0) || out_offsets.last() != Some(&(e as u32)) {
+            return Err(bad("offset bounds"));
+        }
+        if out_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad("offsets not monotonic"));
+        }
+        let mut targets = Vec::with_capacity(e);
+        for _ in 0..e {
+            let t = read_u32(r)?;
+            if t as usize >= v {
+                return Err(bad("edge target out of range"));
+            }
+            targets.push(VertexId(t));
+        }
+        let mut lengths = Vec::with_capacity(e);
+        for _ in 0..e {
+            let l = read_f64(r)?;
+            if !l.is_finite() || l < 0.0 {
+                return Err(bad("invalid edge length"));
+            }
+            lengths.push(l);
+        }
+        // Derive sources and the max out-degree from the CSR offsets.
+        let mut sources = Vec::with_capacity(e);
+        let mut max_out_degree = 0u32;
+        for vi in 0..v {
+            let deg = out_offsets[vi + 1] - out_offsets[vi];
+            max_out_degree = max_out_degree.max(deg);
+            for _ in 0..deg {
+                sources.push(VertexId(vi as u32));
+            }
+        }
+        Ok(RoadNetwork {
+            coords,
+            out_offsets,
+            targets,
+            sources,
+            lengths,
+            max_out_degree,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn sample() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(100.0, 0.0);
+        let v2 = b.add_vertex(100.0, 80.0);
+        b.add_edge(v0, v1);
+        b.add_edge(v1, v2);
+        b.add_edge(v2, v0);
+        b.add_edge(v0, v2);
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let net = sample();
+        let mut bytes = Vec::new();
+        net.write_to(&mut bytes).unwrap();
+        let back = RoadNetwork::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.vertex_count(), net.vertex_count());
+        assert_eq!(back.edge_count(), net.edge_count());
+        assert_eq!(back.max_out_degree(), net.max_out_degree());
+        for v in net.vertices() {
+            assert_eq!(back.coord(v), net.coord(v));
+            assert_eq!(back.out_degree(v), net.out_degree(v));
+        }
+        for e in net.edges() {
+            assert_eq!(back.edge_from(e), net.edge_from(e));
+            assert_eq!(back.edge_to(e), net.edge_to(e));
+            assert_eq!(back.edge_length(e), net.edge_length(e));
+            assert_eq!(back.edge_number(e), net.edge_number(e));
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let net = sample();
+        let mut bytes = Vec::new();
+        net.write_to(&mut bytes).unwrap();
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(RoadNetwork::read_from(&mut bytes[..cut].as_ref()).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_targets_rejected() {
+        let net = sample();
+        let mut bytes = Vec::new();
+        net.write_to(&mut bytes).unwrap();
+        // Overwrite the first target with an out-of-range vertex.
+        let target_pos = 8 + net.vertex_count() * 16 + (net.vertex_count() + 1) * 4;
+        bytes[target_pos..target_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(RoadNetwork::read_from(&mut bytes.as_slice()).is_err());
+    }
+}

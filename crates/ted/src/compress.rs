@@ -117,7 +117,10 @@ impl TedCompressedDataset {
         utcq_core_ratios::Ratios {
             total: div(self.raw.total(), self.compressed.total()),
             t: div(self.raw.t, self.compressed.t),
-            e: div(self.raw.e + self.raw.sv, self.compressed.e + self.compressed.sv),
+            e: div(
+                self.raw.e + self.raw.sv,
+                self.compressed.e + self.compressed.sv,
+            ),
             d: div(self.raw.d, self.compressed.d),
             tflag: div(self.raw.tflag, self.compressed.tflag),
             p: div(self.raw.p, self.compressed.p),
@@ -190,7 +193,8 @@ pub fn compress_dataset(
     for (tu, vs) in ds.trajectories.iter().zip(views) {
         raw.add(&utcq_traj::size::uncompressed_bits(tu));
         let t_bits = time::encode(&tu.times)?;
-        compressed.t += t_bits.len_bits() as u64 + golomb::unsigned_len(tu.times.len() as u64) as u64;
+        compressed.t +=
+            t_bits.len_bits() as u64 + golomb::unsigned_len(tu.times.len() as u64) as u64;
         let mut instances = Vec::with_capacity(vs.len());
         for view in vs {
             let (group, row) = coords[seq_cursor];

@@ -64,11 +64,10 @@ impl BigUint {
     /// Number of significant bits.
     pub fn bit_len(&self) -> usize {
         let top = self.limbs.len() - 1;
-        if self.limbs[top] == 0
-            && top == 0 {
-                return 0;
-            }
-            // Normalized form never stores a zero top limb except for 0.
+        if self.limbs[top] == 0 && top == 0 {
+            return 0;
+        }
+        // Normalized form never stores a zero top limb except for 0.
         top * 64 + (64 - self.limbs[top].leading_zeros() as usize)
     }
 

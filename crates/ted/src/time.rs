@@ -23,9 +23,7 @@ pub fn kept_pairs(times: &[i64]) -> Vec<(u32, i64)> {
     let n = times.len();
     let mut pairs = Vec::new();
     for i in 0..n {
-        let droppable = i > 0
-            && i + 1 < n
-            && times[i] - times[i - 1] == times[i + 1] - times[i];
+        let droppable = i > 0 && i + 1 < n && times[i] - times[i - 1] == times[i + 1] - times[i];
         if !droppable {
             pairs.push((i as u32, times[i]));
         }

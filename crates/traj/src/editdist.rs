@@ -75,9 +75,7 @@ mod tests {
             for b in &seqs {
                 assert_eq!(edit_distance(a, b), edit_distance(b, a));
                 for c in &seqs {
-                    assert!(
-                        edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
-                    );
+                    assert!(edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c));
                 }
             }
         }

@@ -27,7 +27,11 @@ pub fn position_at_distance(net: &RoadNetwork, path: &[EdgeId], mut d: f64) -> P
     for (i, &e) in path.iter().enumerate() {
         let len = net.edge_length(e);
         if d <= len || i == path.len() - 1 {
-            let rd = if len <= 0.0 { 0.0 } else { (d / len).clamp(0.0, 1.0) };
+            let rd = if len <= 0.0 {
+                0.0
+            } else {
+                (d / len).clamp(0.0, 1.0)
+            };
             return PathPosition {
                 path_idx: i as u32,
                 rd,
@@ -233,9 +237,18 @@ mod tests {
         let inst = Instance {
             path: vec![e0, e1],
             positions: vec![
-                PathPosition { path_idx: 0, rd: 0.5 },
-                PathPosition { path_idx: 0, rd: 0.5 },
-                PathPosition { path_idx: 1, rd: 0.5 },
+                PathPosition {
+                    path_idx: 0,
+                    rd: 0.5,
+                },
+                PathPosition {
+                    path_idx: 0,
+                    rd: 0.5,
+                },
+                PathPosition {
+                    path_idx: 1,
+                    rd: 0.5,
+                },
             ],
             prob: 1.0,
         };

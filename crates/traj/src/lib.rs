@@ -19,7 +19,6 @@ pub mod stats;
 pub mod ted_view;
 
 pub use model::{
-    Dataset, Instance, MappedLocation, PathPosition, RawPoint, RawTrajectory,
-    UncertainTrajectory,
+    Dataset, Instance, MappedLocation, PathPosition, RawPoint, RawTrajectory, UncertainTrajectory,
 };
 pub use ted_view::{TedView, TedViewError};

@@ -213,14 +213,27 @@ mod tests {
 
     fn line_instance(net: &RoadNetwork) -> Instance {
         // Forward edges on the line network are the even-numbered edges.
-        let e0 = net.find_edge(utcq_network::VertexId(0), utcq_network::VertexId(1)).unwrap();
-        let e1 = net.find_edge(utcq_network::VertexId(1), utcq_network::VertexId(2)).unwrap();
+        let e0 = net
+            .find_edge(utcq_network::VertexId(0), utcq_network::VertexId(1))
+            .unwrap();
+        let e1 = net
+            .find_edge(utcq_network::VertexId(1), utcq_network::VertexId(2))
+            .unwrap();
         Instance {
             path: vec![e0, e1],
             positions: vec![
-                PathPosition { path_idx: 0, rd: 0.2 },
-                PathPosition { path_idx: 0, rd: 0.8 },
-                PathPosition { path_idx: 1, rd: 0.5 },
+                PathPosition {
+                    path_idx: 0,
+                    rd: 0.2,
+                },
+                PathPosition {
+                    path_idx: 0,
+                    rd: 0.8,
+                },
+                PathPosition {
+                    path_idx: 1,
+                    rd: 0.5,
+                },
             ],
             prob: 1.0,
         }

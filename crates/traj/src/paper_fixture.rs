@@ -143,12 +143,7 @@ mod tests {
     fn siar_deviations_match_section_4_1() {
         let fx = build();
         let ts = DEFAULT_INTERVAL;
-        let deltas: Vec<i64> = fx
-            .tu
-            .times
-            .windows(2)
-            .map(|w| (w[1] - w[0]) - ts)
-            .collect();
+        let deltas: Vec<i64> = fx.tu.times.windows(2).map(|w| (w[1] - w[0]) - ts).collect();
         assert_eq!(deltas, vec![0, 1, 0, -1, 0, 0]);
         assert_eq!(fx.tu.times[0], 18205); // 5:03:25
     }

@@ -89,7 +89,10 @@ pub fn dataset_uncompressed_bits(ds: &Dataset) -> SizeBreakdown {
 /// Sanity helper: the raw footprint must be consistent with the network
 /// (entry counts resolve). Used by tests.
 pub fn verify_entry_count(net: &RoadNetwork, inst: &Instance) -> bool {
-    crate::ted_view::TedView::from_instance(net, inst).entries.len() == entry_count(inst)
+    crate::ted_view::TedView::from_instance(net, inst)
+        .entries
+        .len()
+        == entry_count(inst)
 }
 
 #[cfg(test)]
@@ -116,10 +119,7 @@ mod tests {
         assert_eq!(s.d, 64 * 7 * 3);
         assert_eq!(s.p, 64 * 3);
         assert_eq!(s.sv, 32 * 3);
-        assert_eq!(
-            s.total(),
-            s.t + s.e + s.d + s.tflag + s.p + s.sv
-        );
+        assert_eq!(s.total(), s.t + s.e + s.d + s.tflag + s.p + s.sv);
     }
 
     #[test]

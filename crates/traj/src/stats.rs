@@ -199,7 +199,11 @@ pub fn summarize(ds: &Dataset) -> DatasetSummary {
     DatasetSummary {
         trajectories: m,
         avg_instances: instances as f64 / m as f64,
-        avg_edges: if instances > 0 { edges as f64 / instances as f64 } else { 0.0 },
+        avg_edges: if instances > 0 {
+            edges as f64 / instances as f64
+        } else {
+            0.0
+        },
         avg_samples: samples as f64 / m as f64,
         raw_bytes: crate::size::dataset_uncompressed_bits(ds).total() / 8,
     }

@@ -53,7 +53,10 @@ impl std::fmt::Display for TedViewError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TedViewError::BadEdgeNumber { entry, number } => {
-                write!(f, "entry {entry}: outgoing edge number {number} does not resolve")
+                write!(
+                    f,
+                    "entry {entry}: outgoing edge number {number} does not resolve"
+                )
             }
             TedViewError::LeadingZero => write!(f, "edge sequence starts with a repeat marker"),
             TedViewError::LengthMismatch => write!(f, "flags and entries lengths differ"),
@@ -73,10 +76,7 @@ impl TedView {
         for (i, &edge) in inst.path.iter().enumerate() {
             entries.push(net.edge_number(edge));
             let mut r = 0usize;
-            while pos_iter
-                .peek()
-                .is_some_and(|p| p.path_idx as usize == i)
-            {
+            while pos_iter.peek().is_some_and(|p| p.path_idx as usize == i) {
                 pos_iter.next();
                 r += 1;
             }
@@ -117,7 +117,10 @@ impl TedView {
             } else {
                 let edge = net
                     .edge_by_number(cur, no)
-                    .ok_or(TedViewError::BadEdgeNumber { entry: i, number: no })?;
+                    .ok_or(TedViewError::BadEdgeNumber {
+                        entry: i,
+                        number: no,
+                    })?;
                 path.push(edge);
                 cur = net.edge_to(edge);
             }
@@ -236,7 +239,10 @@ mod tests {
         bad.entries[1] = 7; // v2 has only 2 out-edges
         assert!(matches!(
             bad.to_instance(net),
-            Err(TedViewError::BadEdgeNumber { entry: 1, number: 7 })
+            Err(TedViewError::BadEdgeNumber {
+                entry: 1,
+                number: 7
+            })
         ));
 
         let mut bad = view.clone();
@@ -245,14 +251,23 @@ mod tests {
 
         let mut bad = view.clone();
         bad.rds.pop();
-        assert!(matches!(bad.to_instance(net), Err(TedViewError::Inconsistent(_))));
+        assert!(matches!(
+            bad.to_instance(net),
+            Err(TedViewError::Inconsistent(_))
+        ));
 
         let mut bad = view.clone();
         bad.rds.push(0.5);
-        assert!(matches!(bad.to_instance(net), Err(TedViewError::Inconsistent(_))));
+        assert!(matches!(
+            bad.to_instance(net),
+            Err(TedViewError::Inconsistent(_))
+        ));
 
         let mut bad = view;
         bad.flags[5] = false; // repeat marker must carry a location
-        assert!(matches!(bad.to_instance(net), Err(TedViewError::Inconsistent(_))));
+        assert!(matches!(
+            bad.to_instance(net),
+            Err(TedViewError::Inconsistent(_))
+        ));
     }
 }

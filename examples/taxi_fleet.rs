@@ -38,7 +38,11 @@ fn main() {
     println!("\n{:<12}{:>12}{:>12}", "component", "UTCQ bits", "TED bits");
     let rows = [
         ("T", cds.compressed.t, tds.compressed.t),
-        ("E (+SV)", cds.compressed.e + cds.compressed.sv, tds.compressed.e + tds.compressed.sv),
+        (
+            "E (+SV)",
+            cds.compressed.e + cds.compressed.sv,
+            tds.compressed.e + tds.compressed.sv,
+        ),
         ("D", cds.compressed.d, tds.compressed.d),
         ("T'", cds.compressed.tflag, tds.compressed.tflag),
         ("p", cds.compressed.p, tds.compressed.p),

@@ -1,26 +1,31 @@
 //! `utcq` — command-line front end for the UTCQ reproduction.
 //!
-//! Datasets are deterministic functions of `(profile, trajs, seed)`, so
-//! the road network never needs to be shipped alongside a compressed
-//! container: every subcommand regenerates it from the same arguments.
+//! `compress` writes a **self-contained v2 container** (road network +
+//! compressed dataset + StIU index), so `info`, `verify` and `query`
+//! operate on the file alone — no profile/seed side channel:
 //!
 //! ```text
 //! utcq stats      --profile cd --trajs 200 --seed 1
 //! utcq compress   --profile cd --trajs 200 --seed 1 --out data.utcq
 //! utcq info       --in data.utcq
 //! utcq verify     --profile cd --trajs 200 --seed 1 --in data.utcq
-//! utcq query      --profile cd --trajs 200 --seed 1 --in data.utcq -n 100
+//! utcq query      --in data.utcq -n 100 [--alpha 0.25] [--limit 64]
 //! ```
+//!
+//! Legacy v1 containers (dataset only) still load: `query`/`verify` fall
+//! back to regenerating the network from `--profile/--trajs/--seed` and
+//! opening through the compatibility path.
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use utcq::core::params::CompressParams;
-use utcq::core::query::CompressedStore;
+use utcq::core::query::PageRequest;
 use utcq::core::stiu::StiuParams;
-use utcq::core::{storage, CompressedDataset};
+use utcq::core::{storage, RangeQuery, Store};
 use utcq::datagen::DatasetProfile;
 use utcq::network::RoadNetwork;
 use utcq::traj::Dataset;
@@ -29,14 +34,24 @@ struct Args {
     flags: HashMap<String, String>,
 }
 
+/// Is this token a flag (`-n`, `--out`) rather than a negative numeric
+/// value (`-33.9`, `-.5`, `-1`)? Flags never start with a digit or dot.
+fn is_flag_token(a: &str) -> bool {
+    match a.strip_prefix('-') {
+        Some(rest) => !rest.starts_with(|c: char| c.is_ascii_digit() || c == '.'),
+        None => false,
+    }
+}
+
 impl Args {
     fn parse(argv: &[String]) -> Self {
         let mut flags = HashMap::new();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
-            if let Some(key) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-                if i + 1 < argv.len() && !argv[i + 1].starts_with('-') {
+            if is_flag_token(a) {
+                let key = a.trim_start_matches('-');
+                if i + 1 < argv.len() && !is_flag_token(&argv[i + 1]) {
                     flags.insert(key.to_string(), argv[i + 1].clone());
                     i += 2;
                 } else {
@@ -51,7 +66,10 @@ impl Args {
     }
 
     fn get(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn parse_num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
@@ -84,7 +102,11 @@ fn build_dataset(args: &Args) -> Result<(DatasetProfile, RoadNetwork, Dataset), 
 
 fn params_for(profile: &DatasetProfile) -> CompressParams {
     CompressParams {
-        eta_p: if profile.name == "HZ" { 1.0 / 2048.0 } else { 1.0 / 512.0 },
+        eta_p: if profile.name == "HZ" {
+            1.0 / 2048.0
+        } else {
+            1.0 / 512.0
+        },
         n_pivots: if profile.name == "DK" { 2 } else { 1 },
         ..CompressParams::with_interval(profile.default_interval)
     }
@@ -115,12 +137,13 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     let out = args.get("out", "data.utcq");
     let params = params_for(&profile);
     let t0 = std::time::Instant::now();
-    let cds = utcq::core::compress_dataset(&net, &ds, &params).map_err(|e| e.to_string())?;
+    let store = Store::build(Arc::new(net), &ds, params, StiuParams::default())
+        .map_err(|e| e.to_string())?;
     let dt = t0.elapsed();
-    let r = cds.ratios();
+    let r = store.ratios();
     println!(
         "compressed {} trajectories in {dt:?}: ratio {:.2} (T {:.2}, E {:.2}, D {:.2}, T' {:.2}, p {:.2})",
-        ds.trajectories.len(),
+        store.len(),
         r.total,
         r.t,
         r.e,
@@ -128,38 +151,62 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         r.tflag,
         r.p
     );
-    let f = File::create(&out).map_err(|e| e.to_string())?;
-    let mut w = BufWriter::new(f);
-    storage::save(&cds, &mut w).map_err(|e| e.to_string())?;
-    println!("wrote {out}");
+    store.save(&out).map_err(|e| e.to_string())?;
+    println!("wrote {out} (self-contained v2 container)");
     Ok(())
 }
 
-fn load_container(args: &Args) -> Result<CompressedDataset, String> {
+/// Opens a container as a queryable store: v2 directly, v1 through the
+/// compatibility path using the regenerated network. Only the network is
+/// regenerated — not the trajectories, which live in the container.
+fn open_store(args: &Args) -> Result<Store, String> {
     let path = args.get("in", "data.utcq");
-    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    storage::load(&mut BufReader::new(f)).map_err(|e| e.to_string())
+    match Store::open(&path) {
+        Ok(store) => Ok(store),
+        Err(utcq::core::Error::NeedsNetwork) => {
+            let pname = args.get("profile", "cd");
+            let profile = profile_by_name(&pname)
+                .ok_or(format!("unknown profile '{pname}' (dk|cd|hz|tiny)"))?;
+            let net = utcq::datagen::generate_network(&profile, args.parse_num("seed", 1));
+            Store::open_v1(&path, Arc::new(net), StiuParams::default())
+                .map_err(|e| format!("{path}: {e}"))
+        }
+        Err(e) => Err(format!("{path}: {e}")),
+    }
 }
 
 fn cmd_info(args: &Args) -> Result<(), String> {
-    let cds = load_container(args)?;
+    let path = args.get("in", "data.utcq");
+    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let cds = storage::load(&mut BufReader::new(f)).map_err(|e| e.to_string())?;
     let r = cds.ratios();
     println!("container: dataset '{}'", cds.name);
     println!("  trajectories:     {}", cds.trajectories.len());
     println!(
         "  instances:        {}",
-        cds.trajectories.iter().map(|t| t.instance_count()).sum::<usize>()
+        cds.trajectories
+            .iter()
+            .map(|t| t.instance_count())
+            .sum::<usize>()
     );
-    println!("  ηD = {}, ηp = {}, pivots = {}", cds.params.eta_d, cds.params.eta_p, cds.params.n_pivots);
+    println!(
+        "  ηD = {}, ηp = {}, pivots = {}",
+        cds.params.eta_d, cds.params.eta_p, cds.params.n_pivots
+    );
     println!("  raw:              {} KiB", cds.raw.total() / 8 / 1024);
-    println!("  compressed:       {} KiB", cds.compressed.total() / 8 / 1024);
+    println!(
+        "  compressed:       {} KiB",
+        cds.compressed.total() / 8 / 1024
+    );
     println!("  ratio:            {:.2}", r.total);
     Ok(())
 }
 
 fn cmd_verify(args: &Args) -> Result<(), String> {
     let (_, net, ds) = build_dataset(args)?;
-    let cds = load_container(args)?;
+    let path = args.get("in", "data.utcq");
+    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    let cds = storage::load(&mut BufReader::new(f)).map_err(|e| e.to_string())?;
     if cds.trajectories.len() != ds.trajectories.len() {
         return Err("container does not match the regenerated dataset".into());
     }
@@ -177,31 +224,52 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {
-    let (_, net, ds) = build_dataset(args)?;
-    let cds = load_container(args)?;
+    let store = open_store(args)?;
     let n: usize = args.parse_num("n", 100);
-    // Index construction uses the regenerated originals, exactly as it
-    // does during compression.
-    let store = CompressedStore::build(&net, &ds, cds.params, StiuParams::default())
+    let alpha: f64 = args.parse_num("alpha", 0.25);
+    let limit: usize = args.parse_num("limit", 1024);
+    // Derive a query workload from the store itself: decompress the
+    // instances once to pick probe edges (zero side-channel arguments).
+    let back = utcq::core::decompress_dataset(store.network(), store.compressed())
         .map_err(|e| e.to_string())?;
     let mut answered = 0usize;
+    let mut range_hits = 0usize;
     let t0 = std::time::Instant::now();
-    for (k, tu) in ds.trajectories.iter().enumerate().take(n) {
+    let mut ranges = Vec::new();
+    for (k, tu) in back.trajectories.iter().enumerate().take(n) {
         let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
         answered += store
-            .where_query(tu.id, mid, 0.25)
+            .where_query(tu.id, mid, alpha, PageRequest::first(limit))
             .map_err(|e| e.to_string())?
+            .items
             .len();
         let edge = tu.top_instance().path[k % tu.top_instance().path.len()];
         answered += store
-            .when_query(tu.id, edge, 0.5, 0.25)
+            .when_query(tu.id, edge, 0.5, alpha, PageRequest::first(limit))
             .map_err(|e| e.to_string())?
+            .items
             .len();
+        if k % 10 == 0 {
+            let b = store.network().bounding_rect();
+            let re = utcq::network::Rect::new(
+                b.min_x + (k % 4) as f64 * b.width() / 4.0,
+                b.min_y,
+                b.min_x + ((k % 4) + 1) as f64 * b.width() / 4.0,
+                b.max_y,
+            );
+            ranges.push(RangeQuery { re, tq: mid, alpha });
+        }
+    }
+    // The batched parallel path for the range workload.
+    for ids in store.par_range_query(&ranges).map_err(|e| e.to_string())? {
+        range_hits += ids.len();
     }
     println!(
-        "ran {} where + when queries ({} answers) in {:?}",
-        n.min(ds.trajectories.len()) * 2,
+        "ran {} where+when queries ({} answers, page limit {limit}) and {} parallel range queries ({} hits) in {:?}",
+        n.min(store.len()) * 2,
         answered,
+        ranges.len(),
+        range_hits,
         t0.elapsed()
     );
     Ok(())
@@ -209,7 +277,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 
 fn usage() -> String {
     "usage: utcq <stats|compress|info|verify|query> [--profile dk|cd|hz|tiny] \
-     [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N]"
+     [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L]"
         .to_string()
 }
 
@@ -234,5 +302,43 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // The old parser treated any `-…` token as a flag, so a negative
+        // value was swallowed and its flag left empty.
+        let args = Args::parse(&argv(&["--min-lat", "-33.9", "-n", "-1", "--eps", "-.5"]));
+        assert_eq!(args.get("min-lat", ""), "-33.9");
+        assert_eq!(args.parse_num::<i64>("n", 0), -1);
+        assert_eq!(args.parse_num::<f64>("eps", 0.0), -0.5);
+    }
+
+    #[test]
+    fn flags_without_values_still_parse() {
+        let args = Args::parse(&argv(&["--verbose", "--out", "x.utcq", "-q"]));
+        assert_eq!(args.get("verbose", "missing"), "");
+        assert_eq!(args.get("out", ""), "x.utcq");
+        assert_eq!(args.get("q", "missing"), "");
+    }
+
+    #[test]
+    fn flag_heuristic() {
+        assert!(is_flag_token("--out"));
+        assert!(is_flag_token("-n"));
+        assert!(!is_flag_token("-33.9"));
+        assert!(!is_flag_token("-.5"));
+        assert!(!is_flag_token("-1"));
+        assert!(!is_flag_token("value"));
+        assert!(!is_flag_token("33"));
     }
 }

@@ -2,11 +2,14 @@
 //! probabilistic map-matching, UTCQ compression, indexing, and querying —
 //! plus the TED baseline on the same data.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use utcq::core::params::CompressParams;
-use utcq::core::query::CompressedStore;
+use utcq::core::query::PageRequest;
 use utcq::core::stiu::StiuParams;
+use utcq::core::Store;
 use utcq::datagen::instances::base_positions;
 use utcq::datagen::raw::observe;
 use utcq::datagen::route::random_route;
@@ -39,7 +42,10 @@ fn raw_gps_to_compressed_queries() {
             trajectories.push(tu);
         }
     }
-    assert!(trajectories.len() >= 10, "matcher produced too few trajectories");
+    assert!(
+        trajectories.len() >= 10,
+        "matcher produced too few trajectories"
+    );
     let ds = Dataset {
         name: "e2e".into(),
         default_interval: 15,
@@ -48,22 +54,24 @@ fn raw_gps_to_compressed_queries() {
     ds.validate(&net).expect("matched dataset valid");
 
     let params = CompressParams::with_interval(15);
-    let store = CompressedStore::build(&net, &ds, params, StiuParams::default()).unwrap();
-    assert!(store.cds.ratios().total > 1.5);
+    let store = Store::build(Arc::new(net.clone()), &ds, params, StiuParams::default()).unwrap();
+    assert!(store.ratios().total > 1.5);
 
     // Every query type answers consistently with the oracle.
     for tu in &ds.trajectories {
         let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
-        let got = store.where_query(tu.id, mid, 0.0).unwrap();
+        let got = store
+            .where_query(tu.id, mid, 0.0, PageRequest::all())
+            .unwrap()
+            .into_items();
         let want = utcq::core::oracle::where_query(&net, tu, mid, 0.0);
         assert_eq!(got.len(), want.len());
     }
 
     // Full decompression round-trips.
-    let back = utcq::core::decompress_dataset(&net, &store.cds).unwrap();
+    let back = utcq::core::decompress_dataset(&net, store.compressed()).unwrap();
     for (a, b) in ds.trajectories.iter().zip(&back.trajectories) {
-        utcq::core::decompress::check_lossy_roundtrip(a, b, params.eta_d, params.eta_p)
-            .unwrap();
+        utcq::core::decompress::check_lossy_roundtrip(a, b, params.eta_d, params.eta_p).unwrap();
     }
 }
 
@@ -74,8 +82,7 @@ fn utcq_beats_ted_on_ratio_everywhere() {
         let (net, ds) = utcq::datagen::generate(profile, 60, 4000 + i as u64);
         let params = CompressParams::with_interval(ds.default_interval);
         let cds = utcq::core::compress_dataset(&net, &ds, &params).unwrap();
-        let tds = utcq::ted::compress_dataset(&net, &ds, &utcq::ted::TedParams::default())
-            .unwrap();
+        let tds = utcq::ted::compress_dataset(&net, &ds, &utcq::ted::TedParams::default()).unwrap();
         let u = cds.ratios().total;
         let t = tds.ratios().total;
         assert!(
@@ -93,7 +100,7 @@ fn ted_and_utcq_agree_on_queries() {
     let profile = utcq::datagen::profile::cd();
     let (net, ds) = utcq::datagen::generate(&profile, 40, 4242);
     let params = CompressParams::with_interval(ds.default_interval);
-    let store = CompressedStore::build(&net, &ds, params, StiuParams::default()).unwrap();
+    let store = Store::build(Arc::new(net.clone()), &ds, params, StiuParams::default()).unwrap();
     let tstore = utcq::ted::TedStore::build(
         &net,
         &ds,
@@ -103,7 +110,10 @@ fn ted_and_utcq_agree_on_queries() {
     .unwrap();
     for tu in ds.trajectories.iter().take(20) {
         let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
-        let a = store.where_query(tu.id, mid, 0.25).unwrap();
+        let a = store
+            .where_query(tu.id, mid, 0.25, PageRequest::all())
+            .unwrap()
+            .into_items();
         let b = tstore.where_query(tu.id, mid, 0.25).unwrap();
         assert_eq!(a.len(), b.len(), "traj {}", tu.id);
         for (x, y) in a.iter().zip(&b) {

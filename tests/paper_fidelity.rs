@@ -6,23 +6,24 @@
 //! (Algorithm 1), Examples 3–4 (queries), and the §4.1/§4.4 SIAR and
 //! Exp-Golomb worked examples.
 
+use std::sync::Arc;
+
 use utcq::core::params::CompressParams;
-use utcq::core::query::CompressedStore;
+use utcq::core::query::PageRequest;
 use utcq::core::stiu::StiuParams;
+use utcq::core::Store;
 use utcq::network::Rect;
 use utcq::traj::paper_fixture::{self, hms};
 use utcq::traj::{Dataset, TedView};
 
-fn paper_store(
-    fx: &utcq::traj::paper_fixture::PaperFixture,
-) -> CompressedStore<'_> {
+fn paper_store(fx: &utcq::traj::paper_fixture::PaperFixture) -> Store {
     let ds = Dataset {
         name: "paper".into(),
         default_interval: paper_fixture::DEFAULT_INTERVAL,
         trajectories: vec![fx.tu.clone()],
     };
-    CompressedStore::build(
-        &fx.example.net,
+    Store::build(
+        Arc::new(fx.example.net.clone()),
         &ds,
         CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
         StiuParams {
@@ -61,7 +62,7 @@ fn compressed_structure_matches_example2() {
     // Algorithm 1 keeps Tu¹₁ as the only reference.
     let fx = paper_fixture::build();
     let store = paper_store(&fx);
-    let ct = &store.cds.trajectories[0];
+    let ct = &store.compressed().trajectories[0];
     assert_eq!(ct.refs.len(), 1);
     assert_eq!(ct.refs[0].orig_idx, 0);
     assert_eq!(ct.nrefs.len(), 2);
@@ -72,12 +73,18 @@ fn example3_queries_on_compressed_data() {
     let fx = paper_fixture::build();
     let store = paper_store(&fx);
     // where(Tu¹, 5:21:25, 0.25) = ⟨(v6→v7), 150⟩.
-    let hits = store.where_query(1, hms(5, 21, 25), 0.25).unwrap();
+    let hits = store
+        .where_query(1, hms(5, 21, 25), 0.25, PageRequest::all())
+        .unwrap()
+        .into_items();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
     assert!((hits[0].loc.ndist - 150.0).abs() < 1.6);
     // when(Tu¹, ⟨(v6→v7), 0.75⟩, 0.25) = 5:21:25.
-    let hits = store.when_query(1, fx.example.edge(6, 7), 0.75, 0.25).unwrap();
+    let hits = store
+        .when_query(1, fx.example.edge(6, 7), 0.75, 0.25, PageRequest::all())
+        .unwrap()
+        .into_items();
     assert_eq!(hits.len(), 1);
     assert!((hits[0].time - hms(5, 21, 25) as f64).abs() < 3.5);
 }
@@ -89,10 +96,20 @@ fn example4_range_queries() {
     let t = hms(5, 5, 25);
     // A region covering the whole corridor returns Tu¹ at α = 0.5 …
     let corridor = Rect::new(-10.0, -10.0, 70.0, 10.0);
-    assert_eq!(store.range_query(&corridor, t, 0.5).unwrap(), vec![1]);
+    assert_eq!(
+        store
+            .range_query(&corridor, t, 0.5, PageRequest::all())
+            .unwrap()
+            .into_items(),
+        vec![1]
+    );
     // … while RE₁ far from every instance returns nothing (Lemma 4).
     let re1 = Rect::new(100.0, 100.0, 120.0, 120.0);
-    assert!(store.range_query(&re1, t, 0.5).unwrap().is_empty());
+    assert!(store
+        .range_query(&re1, t, 0.5, PageRequest::all())
+        .unwrap()
+        .items
+        .is_empty());
 }
 
 #[test]
@@ -103,9 +120,8 @@ fn ted_baseline_on_paper_example() {
         default_interval: paper_fixture::DEFAULT_INTERVAL,
         trajectories: vec![fx.tu.clone()],
     };
-    let tds =
-        utcq::ted::compress_dataset(&fx.example.net, &ds, &utcq::ted::TedParams::default())
-            .unwrap();
+    let tds = utcq::ted::compress_dataset(&fx.example.net, &ds, &utcq::ted::TedParams::default())
+        .unwrap();
     // TED keeps the T' bit-strings verbatim (ratio 1)…
     assert_eq!(tds.compressed.tflag, tds.raw.tflag);
     // …and its time pairs keep indices 0,1,2,3,4,6 (Table 2).
