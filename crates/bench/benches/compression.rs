@@ -11,11 +11,15 @@ fn bench_compressors(c: &mut Criterion) {
         let built = datasets::build_n(profile, 40, 2000 + i as u64);
         let params = datasets::paper_params(profile);
         let tparams = datasets::paper_ted_params(profile);
-        group.bench_with_input(BenchmarkId::new("utcq", profile.name), &built, |b, built| {
-            b.iter(|| {
-                utcq_core::compress_dataset(&built.net, black_box(&built.ds), &params).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("utcq", profile.name),
+            &built,
+            |b, built| {
+                b.iter(|| {
+                    utcq_core::compress_dataset(&built.net, black_box(&built.ds), &params).unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("ted", profile.name), &built, |b, built| {
             b.iter(|| {
                 utcq_ted::compress_dataset(&built.net, black_box(&built.ds), &tparams).unwrap()
@@ -45,9 +49,10 @@ fn bench_reference_selection(c: &mut Criterion) {
     let seqs: Vec<Vec<u32>> = views.iter().map(|v| v.entries.clone()).collect();
     let svs: Vec<_> = views.iter().map(|v| v.sv).collect();
     let probs: Vec<f64> = views.iter().map(|v| v.prob).collect();
-    c.bench_function(&format!("reference_selection/{}_instances", seqs.len()), |b| {
-        b.iter(|| assign_roles(black_box(&seqs), &svs, &probs, 1))
-    });
+    c.bench_function(
+        &format!("reference_selection/{}_instances", seqs.len()),
+        |b| b.iter(|| assign_roles(black_box(&seqs), &svs, &probs, 1)),
+    );
 }
 
 fn bench_decompression(c: &mut Criterion) {

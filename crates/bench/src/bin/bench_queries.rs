@@ -1,0 +1,219 @@
+//! Offline query-latency harness emitting a machine-readable
+//! `BENCH_queries.json`, so successive PRs leave a perf trajectory.
+//!
+//! Measures ns/op for the three probabilistic query types in three cache
+//! modes on one shared [`Store`]:
+//!
+//! * **cold** — the decode cache is cleared before every pass: each pass
+//!   re-pays every reference/instance/time-stream decode;
+//! * **warm** — the cache keeps the workload's decoded working set (the
+//!   steady state of a serving process);
+//! * **nocache** — the cache budget is set to `0`: the pure overhead
+//!   floor with no memoization at all.
+//!
+//! ```text
+//! cargo run --release -p utcq_bench --bin bench_queries [-- --smoke] [--out FILE]
+//! ```
+//!
+//! `--smoke` (or `UTCQ_BENCH_SMOKE=1`) runs one pass per mode — the CI
+//! mode that only proves the harness works. `UTCQ_TRAJS` scales the
+//! dataset (default 80 trajectories).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use utcq_bench::{datasets, workload};
+use utcq_core::query::PageRequest;
+use utcq_core::stiu::StiuParams;
+use utcq_core::Store;
+
+const SEED: u64 = 3000;
+
+struct ModeResult {
+    cold_ns: f64,
+    warm_ns: f64,
+    nocache_ns: f64,
+}
+
+impl ModeResult {
+    fn warm_speedup(&self) -> f64 {
+        if self.warm_ns > 0.0 {
+            self.cold_ns / self.warm_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Mean ns/op of `pass` (which runs `ops` queries), measured over enough
+/// passes to fill the target time. `prepare` runs before *each* pass,
+/// outside the timed region.
+fn measure(ops: usize, smoke: bool, mut prepare: impl FnMut(), mut pass: impl FnMut()) -> f64 {
+    let target = if smoke {
+        Duration::ZERO // a single measured pass
+    } else {
+        Duration::from_millis(400)
+    };
+    // Untimed warmup pass: page in code and (for warm modes) the cache.
+    prepare();
+    pass();
+    let mut spent = Duration::ZERO;
+    let mut passes = 0u32;
+    loop {
+        prepare();
+        let t0 = Instant::now();
+        pass();
+        spent += t0.elapsed();
+        passes += 1;
+        if spent >= target || passes >= 50_000 {
+            break;
+        }
+    }
+    spent.as_nanos() as f64 / (passes as usize * ops) as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke")
+        || std::env::var("UTCQ_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_queries.json".to_string());
+
+    let profile = utcq_datagen::profile::cd();
+    let n_trajs = std::env::var("UTCQ_TRAJS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(80);
+    eprintln!(
+        "building dataset ({} trajectories, profile {})…",
+        n_trajs, profile.name
+    );
+    let built = datasets::build_n(&profile, n_trajs, SEED);
+    let store = Store::build(
+        Arc::new(built.net.clone()),
+        &built.ds,
+        datasets::paper_params(&profile),
+        StiuParams {
+            partition_s: 900,
+            grid_n: 32,
+        },
+    )
+    .expect("store build");
+    let default_budget = store.cache_bytes();
+
+    let wq = workload::where_queries(&built.ds, 64, 301);
+    let nq = workload::when_queries(&built.ds, 64, 302);
+    let rq = workload::range_queries(&built.net, &built.ds, 32, 303);
+
+    let run_where = || {
+        for q in &wq {
+            store
+                .where_query(q.traj_id, q.t, q.alpha, PageRequest::all())
+                .unwrap();
+        }
+    };
+    let run_when = || {
+        for q in &nq {
+            store
+                .when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
+                .unwrap();
+        }
+    };
+    let run_range = || {
+        for q in &rq {
+            store
+                .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                .unwrap();
+        }
+    };
+
+    let mut results: Vec<(&str, ModeResult)> = Vec::new();
+    for (name, ops, run) in [
+        ("where", wq.len(), &run_where as &dyn Fn()),
+        ("when", nq.len(), &run_when),
+        ("range", rq.len(), &run_range),
+    ] {
+        eprintln!("measuring {name}…");
+        store.set_cache_bytes(default_budget);
+        let cold_ns = measure(ops, smoke, || store.clear_cache(), run);
+        let warm_ns = measure(ops, smoke, || {}, run);
+        store.set_cache_bytes(0);
+        let nocache_ns = measure(ops, smoke, || {}, run);
+        store.set_cache_bytes(default_budget);
+        results.push((
+            name,
+            ModeResult {
+                cold_ns,
+                warm_ns,
+                nocache_ns,
+            },
+        ));
+    }
+
+    // Leave the cache warm so the reported stats describe steady state.
+    run_where();
+    run_when();
+    run_range();
+    let stats = store.cache_stats();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"profile\": \"{}\", \"trajectories\": {}, \"seed\": {}}},",
+        profile.name,
+        store.len(),
+        SEED
+    );
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"where_queries\": {}, \"when_queries\": {}, \"range_queries\": {}}},",
+        wq.len(),
+        nq.len(),
+        rq.len()
+    );
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"cache_budget_bytes\": {default_budget},");
+    let _ = writeln!(json, "  \"results\": {{");
+    for (i, (name, r)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"cold_ns_per_op\": {:.1}, \"warm_ns_per_op\": {:.1}, \
+             \"nocache_ns_per_op\": {:.1}, \"warm_speedup\": {:.2}}}{comma}",
+            r.cold_ns,
+            r.warm_ns,
+            r.nocache_ns,
+            r.warm_speedup()
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"entries\": {}, \"bytes\": {}, \"hit_rate\": {:.4}}}",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.entries,
+        stats.bytes,
+        stats.hit_rate()
+    );
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_queries.json");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+    for (name, r) in &results {
+        eprintln!(
+            "  {name:>5}: cold {:>10.0} ns/op | warm {:>10.0} ns/op | speedup {:.2}x",
+            r.cold_ns,
+            r.warm_ns,
+            r.warm_speedup()
+        );
+    }
+}

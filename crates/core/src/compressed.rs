@@ -156,6 +156,15 @@ pub struct DecodedRef {
     pub d_codes: Vec<u64>,
 }
 
+impl DecodedRef {
+    /// Estimated heap footprint, used for cache byte accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<u32>()
+            + self.trimmed_flags.len()
+            + self.d_codes.len() * std::mem::size_of::<u64>()
+    }
+}
+
 impl CompressedRef {
     /// Decodes the reference's streams.
     pub fn decode(

@@ -22,9 +22,17 @@
 //! * [`query`] — probabilistic *where*, *when* and *range* query engine
 //!   with the filtering Lemmas 1–4 (§5.3–5.4), plus the [`query::Page`] /
 //!   [`query::PageRequest`] pagination primitives;
+//! * [`cache`] — the shared, bounded, thread-safe decode cache
+//!   ([`cache::DecodeCache`]) that memoizes decoded references,
+//!   instances and time streams across queries, with hit/miss statistics
+//!   ([`cache::CacheStats`]);
+//! * [`plan`] — precomputed per-trajectory lookup tables
+//!   ([`plan::TrajPlan`]) that replace the query engine's per-call
+//!   linear scans and sorts;
 //! * [`store`] — the public façade: an owned, `Send + Sync` [`Store`]
 //!   built incrementally through [`StoreBuilder`], persisted as a
-//!   self-contained container, queried through paginated entry points;
+//!   self-contained container, queried through paginated entry points
+//!   backed by the decode cache and query plans;
 //! * [`error`] — the unified [`Error`] type every public fallible
 //!   function returns;
 //! * [`oracle`] — brute-force answers on uncompressed data, used as
@@ -78,6 +86,7 @@
 //! # Ok::<(), utcq_core::Error>(())
 //! ```
 
+pub mod cache;
 pub mod compress;
 pub mod compressed;
 pub mod decompress;
@@ -88,6 +97,7 @@ pub mod multiorder;
 pub mod oracle;
 pub mod params;
 pub mod pivot;
+pub mod plan;
 pub mod query;
 pub mod reference;
 pub mod siar;
@@ -95,6 +105,7 @@ pub mod stiu;
 pub mod storage;
 pub mod store;
 
+pub use cache::{CacheStats, DEFAULT_CACHE_BYTES};
 pub use compress::{compress_dataset, compress_trajectory, CompressedDataset, Ratios};
 pub use decompress::{decompress_dataset, decompress_trajectory};
 pub use error::Error;

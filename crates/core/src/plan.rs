@@ -1,0 +1,216 @@
+//! Precomputed per-trajectory query plans.
+//!
+//! The query hot paths used to rediscover the same structural facts on
+//! every call: `instance_probs` rebuilt and re-sorted the
+//! `(orig_idx, probability)` list, `decode_instance_cached` located an
+//! instance's compressed slot with an O(refs + nrefs) linear scan, and
+//! `range_matches` re-sorted candidate members by probability for the
+//! Lemma 3 early-accept order. A [`TrajPlan`] computes each of those
+//! once — at `build`/`open`/`ingest` time — so queries reduce to slice
+//! lookups:
+//!
+//! * [`TrajPlan::slot`] — `orig_idx → ref/nref slot` in O(1);
+//! * [`TrajPlan::probs`] — dequantized probabilities in original
+//!   instance order (the *where* iteration order);
+//! * [`TrajPlan::by_prob_desc`] — instances ordered by descending
+//!   probability (the *range* Lemma 3 order; ties broken by `orig_idx`
+//!   so answers are deterministic).
+//!
+//! Plans are validated at construction: every instance must occupy a
+//! distinct original position covering `0..instance_count` exactly, which
+//! is what the compressor emits. A container violating that is rejected
+//! as [`Error::CorruptStore`] when the store is assembled, instead of
+//! surfacing mid-query.
+
+use utcq_bitio::pddp::PddpCodec;
+
+use crate::compressed::CompressedTrajectory;
+use crate::error::Error;
+
+/// Where an instance lives in the compressed trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Index into [`CompressedTrajectory::refs`].
+    Ref(u32),
+    /// Index into [`CompressedTrajectory::nrefs`].
+    NRef(u32),
+}
+
+/// Precomputed lookup tables for one trajectory.
+#[derive(Debug, Clone)]
+pub struct TrajPlan {
+    /// `orig_idx → slot`; dense, one entry per instance.
+    slots: Vec<Slot>,
+    /// Dequantized probability per `orig_idx` (same indexing as `slots`).
+    probs: Vec<f64>,
+    /// `(orig_idx, prob)` sorted by probability descending, `orig_idx`
+    /// ascending on ties.
+    by_prob_desc: Vec<(u32, f64)>,
+}
+
+impl TrajPlan {
+    /// Builds the plan for one compressed trajectory, validating that the
+    /// original indices are a permutation of `0..instance_count`.
+    pub fn build(ct: &CompressedTrajectory, p_codec: &PddpCodec) -> Result<Self, Error> {
+        let n = ct.instance_count();
+        let mut slots = vec![None; n];
+        let mut probs = vec![0.0; n];
+        let mut place = |orig_idx: u32, slot: Slot, p_code: u64| -> Result<(), Error> {
+            let cell = slots
+                .get_mut(orig_idx as usize)
+                .ok_or(Error::CorruptStore("instance original index out of range"))?;
+            if cell.is_some() {
+                return Err(Error::CorruptStore("duplicate instance original index"));
+            }
+            *cell = Some(slot);
+            probs[orig_idx as usize] = p_codec.dequantize(p_code);
+            Ok(())
+        };
+        for (i, r) in ct.refs.iter().enumerate() {
+            place(r.orig_idx, Slot::Ref(i as u32), r.p_code)?;
+        }
+        for (i, nr) in ct.nrefs.iter().enumerate() {
+            place(nr.orig_idx, Slot::NRef(i as u32), nr.p_code)?;
+        }
+        let slots: Vec<Slot> = slots
+            .into_iter()
+            .collect::<Option<_>>()
+            .expect("dense + no duplicates implies every slot filled");
+        let mut by_prob_desc: Vec<(u32, f64)> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, p))
+            .collect();
+        by_prob_desc.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(Self {
+            slots,
+            probs,
+            by_prob_desc,
+        })
+    }
+
+    /// Number of instances covered by the plan.
+    pub fn instance_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The compressed slot of instance `orig_idx`.
+    pub fn slot(&self, orig_idx: u32) -> Result<Slot, Error> {
+        self.slots
+            .get(orig_idx as usize)
+            .copied()
+            .ok_or(Error::CorruptStore("instance index not in refs or nrefs"))
+    }
+
+    /// Dequantized probability of instance `orig_idx`.
+    pub fn prob(&self, orig_idx: u32) -> Result<f64, Error> {
+        self.probs
+            .get(orig_idx as usize)
+            .copied()
+            .ok_or(Error::CorruptStore("instance index not in refs or nrefs"))
+    }
+
+    /// Probabilities in original instance order: `probs()[i]` is the
+    /// probability of instance `i`.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// `(orig_idx, prob)` by probability descending (ties: `orig_idx`
+    /// ascending).
+    pub fn by_prob_desc(&self) -> &[(u32, f64)] {
+        &self.by_prob_desc
+    }
+}
+
+/// Builds the plans for every trajectory of a compressed dataset.
+pub fn build_plans(
+    trajectories: &[CompressedTrajectory],
+    p_codec: &PddpCodec,
+) -> Result<Vec<TrajPlan>, Error> {
+    trajectories
+        .iter()
+        .map(|ct| TrajPlan::build(ct, p_codec))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::compress_trajectory;
+    use crate::params::CompressParams;
+    use utcq_traj::paper_fixture;
+
+    fn paper_ct() -> (CompressedTrajectory, CompressParams) {
+        let fx = paper_fixture::build();
+        let params = CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL);
+        let (ct, _) = compress_trajectory(&fx.example.net, &fx.tu, &params).unwrap();
+        (ct, params)
+    }
+
+    #[test]
+    fn plan_covers_every_instance() {
+        let (ct, params) = paper_ct();
+        let plan = TrajPlan::build(&ct, &params.p_codec()).unwrap();
+        assert_eq!(plan.instance_count(), ct.instance_count());
+        for (i, r) in ct.refs.iter().enumerate() {
+            assert_eq!(plan.slot(r.orig_idx).unwrap(), Slot::Ref(i as u32));
+        }
+        for (i, nr) in ct.nrefs.iter().enumerate() {
+            assert_eq!(plan.slot(nr.orig_idx).unwrap(), Slot::NRef(i as u32));
+        }
+        assert!(plan.slot(ct.instance_count() as u32).is_err());
+    }
+
+    #[test]
+    fn probabilities_match_dequantized_codes() {
+        let (ct, params) = paper_ct();
+        let p_codec = params.p_codec();
+        let plan = TrajPlan::build(&ct, &p_codec).unwrap();
+        for r in &ct.refs {
+            assert_eq!(plan.prob(r.orig_idx).unwrap(), p_codec.dequantize(r.p_code));
+        }
+        for nr in &ct.nrefs {
+            assert_eq!(
+                plan.prob(nr.orig_idx).unwrap(),
+                p_codec.dequantize(nr.p_code)
+            );
+        }
+    }
+
+    #[test]
+    fn by_prob_desc_is_sorted_and_deterministic() {
+        let (ct, params) = paper_ct();
+        let plan = TrajPlan::build(&ct, &params.p_codec()).unwrap();
+        let list = plan.by_prob_desc();
+        assert_eq!(list.len(), ct.instance_count());
+        for w in list.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "{w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_indices_are_rejected() {
+        let (mut ct, params) = paper_ct();
+        let p_codec = params.p_codec();
+        // Duplicate an original index.
+        let first = ct.refs[0].orig_idx;
+        if let Some(nr) = ct.nrefs.first_mut() {
+            nr.orig_idx = first;
+            assert!(matches!(
+                TrajPlan::build(&ct, &p_codec),
+                Err(Error::CorruptStore(_))
+            ));
+        }
+        // Out-of-range index.
+        let (mut ct2, _) = paper_ct();
+        ct2.refs[0].orig_idx = ct2.instance_count() as u32 + 7;
+        assert!(matches!(
+            TrajPlan::build(&ct2, &p_codec),
+            Err(Error::CorruptStore(_))
+        ));
+    }
+}

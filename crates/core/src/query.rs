@@ -18,18 +18,35 @@
 //!   trajectories, and Lemma 2/3 subpath tests decide most instances
 //!   without touching their `D` streams (Definition 12).
 //!
+//! The engine itself is a borrowed view over the store's parts plus two
+//! shared acceleration layers the store owns:
+//!
+//! * the [`crate::cache::DecodeCache`] — decoded references, instances
+//!   and time streams are memoized *across* queries behind `Arc`s, so a
+//!   repeated or concurrent workload stops re-paying decode costs (each
+//!   query additionally keeps a tiny per-call reference map so a cache
+//!   sized to zero still reuses a reference across its `Rrs` within one
+//!   call);
+//! * the per-trajectory [`crate::plan::TrajPlan`] — `orig_idx → slot`
+//!   lookup, precomputed probabilities, and the probability-descending
+//!   member order, replacing the per-call linear scans and sorts the
+//!   engine used to do.
+//!
 //! Nothing here panics on corrupt input: structural inconsistencies in a
 //! container surface as [`Error::CorruptStore`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use utcq_network::{Point, Rect, RoadNetwork, VertexId};
 use utcq_traj::interp::{path_distance, position_at_distance};
 use utcq_traj::{Instance, MappedLocation};
 
+use crate::cache::DecodeCache;
 use crate::compress::CompressedDataset;
 use crate::compressed::{untrim_flags, CompressedTrajectory, DecodedRef};
 use crate::error::Error;
+use crate::plan::{Slot, TrajPlan};
 use crate::siar;
 use crate::stiu::{Stiu, TrajIndex};
 
@@ -137,17 +154,24 @@ impl<T> Page<T> {
         self.items
     }
 
-    /// Slices a fully materialized answer into the requested page.
+    /// Slices a fully materialized answer into the requested page, in
+    /// place: the tail is truncated and the head drained out of the same
+    /// allocation — no second vector, no per-item copy pass.
     pub(crate) fn slice(full: Vec<T>, req: PageRequest) -> Self {
         let len = full.len();
         let start = (req.cursor.unwrap_or(0) as usize).min(len);
         // A zero limit could never progress; serve at least one item.
         let end = start.saturating_add(req.limit.max(1)).min(len);
-        let items: Vec<T> = if start == 0 && end == len {
-            full
-        } else {
-            full.into_iter().skip(start).take(end - start).collect()
-        };
+        let mut items = full;
+        items.truncate(end);
+        if start > 0 {
+            items.drain(..start);
+        }
+        // A small page sliced out of a large answer would otherwise pin
+        // the full answer's allocation for the page's lifetime.
+        if items.capacity() > items.len().saturating_mul(2).max(64) {
+            items.shrink_to_fit();
+        }
         let has_more = end < len;
         Page {
             items,
@@ -159,17 +183,30 @@ impl<T> Page<T> {
 
 /// Borrowed view over a store's parts — the engine the façade delegates
 /// to. Keeping it borrow-based lets `par_range_query` share one engine
-/// across threads.
+/// (and therefore one decode cache) across threads.
 #[derive(Clone, Copy)]
 pub(crate) struct QueryEngine<'a> {
     pub net: &'a RoadNetwork,
     pub cds: &'a CompressedDataset,
     pub stiu: &'a Stiu,
+    pub plans: &'a [TrajPlan],
+    pub cache: &'a DecodeCache,
 }
 
+/// Per-call scratch map of decoded references: the first lookup of each
+/// reference within a query goes through the shared cache (or decodes);
+/// subsequent members of the same `Rrs` reuse the `Arc` without touching
+/// a lock — and a disabled cache still decodes each reference only once
+/// per call.
+type LocalRefs = HashMap<u32, Arc<DecodedRef>>;
+
 impl<'a> QueryEngine<'a> {
-    /// The compressed trajectory and index node at position `j`, checked.
-    fn parts(&self, j: u32) -> Result<(&'a CompressedTrajectory, &'a TrajIndex), Error> {
+    /// The compressed trajectory, index node and query plan at position
+    /// `j`, checked.
+    fn parts(
+        &self,
+        j: u32,
+    ) -> Result<(&'a CompressedTrajectory, &'a TrajIndex, &'a TrajPlan), Error> {
         let ct = self
             .cds
             .trajectories
@@ -180,89 +217,111 @@ impl<'a> QueryEngine<'a> {
             .trajs
             .get(j as usize)
             .ok_or(Error::CorruptStore("index node missing for trajectory"))?;
-        Ok((ct, node))
+        let plan = self
+            .plans
+            .get(j as usize)
+            .ok_or(Error::CorruptStore("query plan missing for trajectory"))?;
+        Ok((ct, node, plan))
     }
 
-    /// Decodes the full time sequence of one trajectory.
-    pub fn decode_times(&self, ct: &CompressedTrajectory) -> Result<Vec<i64>, Error> {
-        Ok(siar::decode(
-            &ct.t_bits,
-            ct.n_times as usize,
-            self.cds.params.default_interval,
-        )?)
+    /// The full time sequence of the trajectory at position `j`,
+    /// memoized in the shared cache.
+    pub fn times(&self, j: u32, ct: &CompressedTrajectory) -> Result<Arc<Vec<i64>>, Error> {
+        self.cache.times_or_decode(j, || {
+            Ok(siar::decode(
+                &ct.t_bits,
+                ct.n_times as usize,
+                self.cds.params.default_interval,
+            )?)
+        })
     }
 
-    /// `(orig_idx, dequantized probability)` of every instance.
-    fn instance_probs(&self, ct: &CompressedTrajectory) -> Vec<(u32, f64)> {
-        let p_codec = self.cds.params.p_codec();
-        let mut out = Vec::with_capacity(ct.instance_count());
-        for r in &ct.refs {
-            out.push((r.orig_idx, p_codec.dequantize(r.p_code)));
-        }
-        for n in &ct.nrefs {
-            out.push((n.orig_idx, p_codec.dequantize(n.p_code)));
-        }
-        out.sort_by_key(|&(i, _)| i);
-        out
-    }
-
-    /// Decodes one instance (by original index) into an [`Instance`],
-    /// reusing previously decoded references via `ref_cache` — one decode
-    /// per reference serves its whole `Rrs`, an advantage of the
-    /// referential grouping.
-    fn decode_instance_cached(
+    /// The decoded streams of reference `ref_idx` of trajectory `j`:
+    /// per-call map first, shared cache second, decode last.
+    fn ref_decoded(
         &self,
+        j: u32,
         ct: &CompressedTrajectory,
+        ref_idx: u32,
+        local: &mut LocalRefs,
+    ) -> Result<Arc<DecodedRef>, Error> {
+        if let Some(d) = local.get(&ref_idx) {
+            return Ok(Arc::clone(d));
+        }
+        let d = self.cache.ref_or_decode(j, ref_idx, || {
+            let cref = ct
+                .refs
+                .get(ref_idx as usize)
+                .ok_or(Error::CorruptStore("reference index out of range"))?;
+            Ok(cref.decode(
+                self.cds.w_e,
+                ct.n_times as usize,
+                &self.cds.params.d_codec(),
+            )?)
+        })?;
+        local.insert(ref_idx, Arc::clone(&d));
+        Ok(d)
+    }
+
+    /// Decodes one instance (by original index) into an [`Instance`].
+    /// The plan resolves the instance's compressed slot in O(1); the
+    /// shared cache serves repeated decodes across queries, and one
+    /// reference decode serves its whole `Rrs` — the advantage of the
+    /// referential grouping.
+    fn decode_instance(
+        &self,
+        j: u32,
+        ct: &CompressedTrajectory,
+        plan: &TrajPlan,
         orig_idx: u32,
-        ref_cache: &mut HashMap<u32, DecodedRef>,
-    ) -> Result<Instance, Error> {
-        let d_codec = self.cds.params.d_codec();
-        let p_codec = self.cds.params.p_codec();
-        let n_locs = ct.n_times as usize;
-        let cached_ref =
-            |ref_idx: u32, cache: &mut HashMap<u32, DecodedRef>| -> Result<DecodedRef, Error> {
-                if let Some(d) = cache.get(&ref_idx) {
-                    return Ok(d.clone());
+        local: &mut LocalRefs,
+    ) -> Result<Arc<Instance>, Error> {
+        self.cache.instance_or_decode(j, orig_idx, || {
+            let d_codec = self.cds.params.d_codec();
+            let n_locs = ct.n_times as usize;
+            enum Decoded {
+                Shared(Arc<DecodedRef>),
+                Own(DecodedRef),
+            }
+            let (sv, dec): (VertexId, Decoded) = match plan.slot(orig_idx)? {
+                Slot::Ref(pos) => {
+                    let r = ct
+                        .refs
+                        .get(pos as usize)
+                        .ok_or(Error::CorruptStore("plan slot points past refs"))?;
+                    (r.sv, Decoded::Shared(self.ref_decoded(j, ct, pos, local)?))
                 }
-                let cref = ct
-                    .refs
-                    .get(ref_idx as usize)
-                    .ok_or(Error::CorruptStore("reference index out of range"))?;
-                let d = cref.decode(self.cds.w_e, n_locs, &d_codec)?;
-                cache.insert(ref_idx, d.clone());
-                Ok(d)
+                Slot::NRef(pos) => {
+                    let n = ct
+                        .nrefs
+                        .get(pos as usize)
+                        .ok_or(Error::CorruptStore("plan slot points past nrefs"))?;
+                    let r = ct
+                        .refs
+                        .get(n.ref_idx as usize)
+                        .ok_or(Error::CorruptStore("non-reference points past refs"))?;
+                    let dref = self.ref_decoded(j, ct, n.ref_idx, local)?;
+                    (
+                        r.sv,
+                        Decoded::Own(n.decode(&dref, self.cds.w_e, n_locs, &d_codec)?),
+                    )
+                }
             };
-        let (sv, dec, p_code): (VertexId, DecodedRef, u64) =
-            if let Some(pos) = ct.refs.iter().position(|r| r.orig_idx == orig_idx) {
-                let r = &ct.refs[pos];
-                (r.sv, cached_ref(pos as u32, ref_cache)?, r.p_code)
-            } else {
-                let n = ct
-                    .nrefs
-                    .iter()
-                    .find(|n| n.orig_idx == orig_idx)
-                    .ok_or(Error::CorruptStore("instance index not in refs or nrefs"))?;
-                let r = ct
-                    .refs
-                    .get(n.ref_idx as usize)
-                    .ok_or(Error::CorruptStore("non-reference points past refs"))?;
-                let dref = cached_ref(n.ref_idx, ref_cache)?;
-                (
-                    r.sv,
-                    n.decode(&dref, self.cds.w_e, n_locs, &d_codec)?,
-                    n.p_code,
-                )
+            let dec = match &dec {
+                Decoded::Shared(d) => d.as_ref(),
+                Decoded::Own(d) => d,
             };
-        let view = utcq_traj::TedView {
-            sv,
-            entries: dec.entries.clone(),
-            flags: untrim_flags(&dec.trimmed_flags, dec.entries.len()),
-            rds: dec.d_codes.iter().map(|&c| d_codec.dequantize(c)).collect(),
-            prob: p_codec.dequantize(p_code),
-        };
-        Ok(view
-            .to_instance(self.net)
-            .map_err(crate::decompress::DecompressError::View)?)
+            let view = utcq_traj::TedView {
+                sv,
+                entries: dec.entries.clone(),
+                flags: untrim_flags(&dec.trimmed_flags, dec.entries.len()),
+                rds: dec.d_codes.iter().map(|&c| d_codec.dequantize(c)).collect(),
+                prob: plan.prob(orig_idx)?,
+            };
+            Ok(view
+                .to_instance(self.net)
+                .map_err(crate::decompress::DecompressError::View)?)
+        })
     }
 
     /// Brackets `t` in the trajectory's time sequence via the temporal
@@ -310,17 +369,18 @@ impl<'a> QueryEngine<'a> {
     /// Probabilistic **where** query (Definition 10) on the trajectory at
     /// position `j`, fully materialized.
     pub fn where_query(&self, j: u32, t: i64, alpha: f64) -> Result<Vec<WhereHit>, Error> {
-        let (ct, node) = self.parts(j)?;
+        let (ct, node, plan) = self.parts(j)?;
         let Some((lo, hi, t_lo, t_hi)) = self.bracket(ct, node, t)? else {
             return Ok(Vec::new());
         };
         let mut hits = Vec::new();
-        let mut ref_cache = HashMap::new();
-        for (orig_idx, prob) in self.instance_probs(ct) {
+        let mut local = LocalRefs::new();
+        for (orig_idx, &prob) in plan.probs().iter().enumerate() {
             if prob < alpha {
                 continue;
             }
-            let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
+            let orig_idx = orig_idx as u32;
+            let inst = self.decode_instance(j, ct, plan, orig_idx, &mut local)?;
             let loc = interpolate(self.net, &inst, lo, hi, t_lo, t_hi, t)?;
             hits.push(WhereHit {
                 instance: orig_idx,
@@ -340,7 +400,7 @@ impl<'a> QueryEngine<'a> {
         rd: f64,
         alpha: f64,
     ) -> Result<Vec<WhenHit>, Error> {
-        let (ct, node) = self.parts(j)?;
+        let (ct, node, plan) = self.parts(j)?;
         let query_pt = self
             .net
             .point_on_edge(edge, rd * self.net.edge_length(edge));
@@ -352,18 +412,17 @@ impl<'a> QueryEngine<'a> {
             // answer without touching the compressed payload at all.
             return Ok(Vec::new());
         }
-        let p_codec = self.cds.params.p_codec();
-        let times = self.decode_times(ct)?;
+        let times = self.times(j, ct)?;
         let mut hits = Vec::new();
-        let mut ref_cache = HashMap::new();
+        let mut local = LocalRefs::new();
         for rt in ref_tuples {
             let cref = ct
                 .refs
                 .get(rt.ref_idx as usize)
                 .ok_or(Error::CorruptStore("region tuple points past refs"))?;
-            let ref_p = p_codec.dequantize(cref.p_code);
+            let ref_p = plan.prob(cref.orig_idx)?;
             if rt.fv.is_some() && ref_p >= alpha {
-                let inst = self.decode_instance_cached(ct, cref.orig_idx, &mut ref_cache)?;
+                let inst = self.decode_instance(j, ct, plan, cref.orig_idx, &mut local)?;
                 for time in utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
                 {
                     hits.push(WhenHit {
@@ -386,11 +445,11 @@ impl<'a> QueryEngine<'a> {
                 if cnref.ref_idx != rt.ref_idx {
                     continue;
                 }
-                let p = p_codec.dequantize(cnref.p_code);
+                let p = plan.prob(cnref.orig_idx)?;
                 if p < alpha {
                     continue;
                 }
-                let inst = self.decode_instance_cached(ct, cnref.orig_idx, &mut ref_cache)?;
+                let inst = self.decode_instance(j, ct, plan, cnref.orig_idx, &mut local)?;
                 for time in utcq_traj::interp::times_at_location(self.net, &inst, &times, edge, rd)
                 {
                     hits.push(WhenHit {
@@ -411,12 +470,12 @@ impl<'a> QueryEngine<'a> {
     pub fn range_matches(
         &self,
         j: u32,
-        cells: &std::collections::HashSet<utcq_network::CellId>,
+        cells: &HashSet<utcq_network::CellId>,
         re: &Rect,
         tq: i64,
         alpha: f64,
     ) -> Result<bool, Error> {
-        let (ct, node) = self.parts(j)?;
+        let (ct, node, plan) = self.parts(j)?;
 
         // Collect per-group total bounds over the query cells.
         // Iterating the trajectory's (few) tuples against the cell set
@@ -456,29 +515,33 @@ impl<'a> QueryEngine<'a> {
         };
 
         // Instances that pass RE cells, most probable first (Lemma 3
-        // early accept).
-        let p_codec = self.cds.params.p_codec();
-        let mut members: Vec<(u32, f64)> = Vec::new();
+        // early accept). The plan's precomputed probability-descending
+        // order replaces the per-call sort: membership is a set filter.
+        let mut passing: HashSet<u32> =
+            HashSet::with_capacity(passing_refs.len() + passing_nrefs.len());
         for &r in &passing_refs {
             let cref = ct
                 .refs
                 .get(r as usize)
                 .ok_or(Error::CorruptStore("region tuple points past refs"))?;
-            members.push((cref.orig_idx, p_codec.dequantize(cref.p_code)));
+            passing.insert(cref.orig_idx);
         }
         for &m in &passing_nrefs {
             let cnref = ct
                 .nrefs
                 .get(m as usize)
                 .ok_or(Error::CorruptStore("region tuple points past nrefs"))?;
-            members.push((cnref.orig_idx, p_codec.dequantize(cnref.p_code)));
+            passing.insert(cnref.orig_idx);
         }
-        members.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let members = plan
+            .by_prob_desc()
+            .iter()
+            .filter(|(orig_idx, _)| passing.contains(orig_idx));
 
         let mut acc = 0.0;
-        let mut remaining: f64 = members.iter().map(|m| m.1).sum();
-        let mut ref_cache = HashMap::new();
-        for (orig_idx, p) in members {
+        let mut remaining: f64 = members.clone().map(|&(_, p)| p).sum();
+        let mut local = LocalRefs::new();
+        for &(orig_idx, p) in members {
             if acc >= alpha {
                 break; // Lemma 3: already enough probability mass
             }
@@ -486,7 +549,7 @@ impl<'a> QueryEngine<'a> {
                 break; // cannot reach α anymore
             }
             remaining -= p;
-            let inst = self.decode_instance_cached(ct, orig_idx, &mut ref_cache)?;
+            let inst = self.decode_instance(j, ct, plan, orig_idx, &mut local)?;
             if instance_overlaps(self.net, &inst, re, lo, hi, t_lo, t_hi, tq)? {
                 acc += p;
             }

@@ -18,21 +18,45 @@
 //! [`PageRequest`] and returns a [`Page`] with `has_more`/cursor
 //! semantics, so a service can stream large answers without unbounded
 //! allocations. [`Store::par_range_query`] evaluates a batch of range
-//! queries across all available cores.
+//! queries across all available cores, pulling work from a shared
+//! atomic-counter queue so skewed batches still balance.
+//!
+//! # Query acceleration layers
+//!
+//! The store owns two layers the query engine runs on:
+//!
+//! * a shared, bounded, thread-safe **decode cache**
+//!   ([`crate::cache::DecodeCache`]): decoded references, fully decoded
+//!   instances and time sequences are memoized behind `Arc`s across
+//!   queries and across threads, with a configurable byte budget
+//!   ([`StoreBuilder::cache_bytes`], [`Store::set_cache_bytes`]; `0`
+//!   disables caching) and hit/miss/eviction counters
+//!   ([`Store::cache_stats`]);
+//! * per-trajectory **query plans** ([`crate::plan::TrajPlan`]), built
+//!   once at `build`/`open`/`ingest` time: `orig_idx → slot` lookup
+//!   tables and probability-sorted member lists that replace the per-call
+//!   linear scans and sorts the hot paths used to do.
+//!
+//! Cached and uncached stores return identical answers — the cache only
+//! memoizes deterministic decodes (`tests/cache_equivalence.rs` asserts
+//! this on randomized stores).
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use utcq_network::{EdgeId, Rect, RoadNetwork};
 use utcq_traj::Dataset;
 
+use crate::cache::{CacheStats, DecodeCache, DEFAULT_CACHE_BYTES};
 use crate::compress::{compress_trajectory, CompressedDataset, Ratios};
 use crate::compressed::edge_number_width;
 use crate::error::Error;
 use crate::params::CompressParams;
+use crate::plan::TrajPlan;
 use crate::query::{Page, PageRequest, QueryEngine, RangeQuery, WhenHit, WhereHit};
 use crate::stiu::{Stiu, StiuParams};
 
@@ -43,6 +67,10 @@ pub struct Store {
     cds: CompressedDataset,
     stiu: Stiu,
     id_to_idx: HashMap<u64, u32>,
+    /// Per-trajectory lookup tables, same order as `cds.trajectories`.
+    plans: Vec<TrajPlan>,
+    /// Shared decode cache for the query hot paths.
+    cache: DecodeCache,
 }
 
 /// Incremental construction of a [`Store`].
@@ -75,6 +103,8 @@ pub struct StoreBuilder {
     cds: CompressedDataset,
     stiu: Option<Stiu>,
     id_to_idx: HashMap<u64, u32>,
+    plans: Vec<TrajPlan>,
+    cache_bytes: usize,
 }
 
 impl StoreBuilder {
@@ -96,7 +126,16 @@ impl StoreBuilder {
             },
             stiu: None,
             id_to_idx: HashMap::new(),
+            plans: Vec::new(),
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
+    }
+
+    /// Overrides the decode-cache byte budget of the finished store
+    /// (default [`DEFAULT_CACHE_BYTES`]; `0` disables caching).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = bytes;
+        self
     }
 
     /// Overrides the StIU index parameters. Must be called before the
@@ -130,6 +169,7 @@ impl StoreBuilder {
         let stiu = self
             .stiu
             .get_or_insert_with(|| Stiu::new(&self.net, self.stiu_params));
+        let p_codec = self.params.p_codec();
         for tu in &batch.trajectories {
             let j = self.cds.trajectories.len() as u32;
             if self.id_to_idx.contains_key(&tu.id) {
@@ -139,6 +179,7 @@ impl StoreBuilder {
             self.cds.compressed.add(&size);
             self.cds.raw.add(&utcq_traj::size::uncompressed_bits(tu));
             stiu.push(&self.net, tu, &ct, &self.params);
+            self.plans.push(TrajPlan::build(&ct, &p_codec)?);
             self.id_to_idx.insert(tu.id, j);
             self.cds.trajectories.push(ct);
         }
@@ -158,6 +199,8 @@ impl StoreBuilder {
             cds,
             stiu,
             id_to_idx: self.id_to_idx,
+            plans: self.plans,
+            cache: DecodeCache::with_budget(self.cache_bytes),
         })
     }
 }
@@ -248,7 +291,8 @@ impl Store {
         Ok(())
     }
 
-    /// Assembles a store from parts, validating cross-references.
+    /// Assembles a store from parts, validating cross-references and
+    /// building the per-trajectory query plans.
     fn assemble(net: Arc<RoadNetwork>, cds: CompressedDataset, stiu: Stiu) -> Result<Self, Error> {
         if stiu.trajs.len() != cds.trajectories.len() {
             return Err(Error::CorruptStore("index/dataset trajectory counts"));
@@ -259,11 +303,14 @@ impl Store {
                 return Err(Error::DuplicateTrajectory(ct.id));
             }
         }
+        let plans = crate::plan::build_plans(&cds.trajectories, &cds.params.p_codec())?;
         Ok(Self {
             net,
             cds,
             stiu,
             id_to_idx,
+            plans,
+            cache: DecodeCache::with_budget(DEFAULT_CACHE_BYTES),
         })
     }
 
@@ -302,14 +349,37 @@ impl Store {
         self.id_to_idx.get(&id).copied()
     }
 
-    /// Decodes the full time sequence of the trajectory at position `j`.
-    pub fn decode_times(&self, j: u32) -> Result<Vec<i64>, Error> {
+    /// Decodes the full time sequence of the trajectory at position `j`
+    /// (memoized in the decode cache).
+    pub fn decode_times(&self, j: u32) -> Result<Arc<Vec<i64>>, Error> {
         let ct = self
             .cds
             .trajectories
             .get(j as usize)
             .ok_or(Error::CorruptStore("trajectory position out of range"))?;
-        self.engine().decode_times(ct)
+        self.engine().times(j, ct)
+    }
+
+    /// Hit/miss/eviction counters and footprint of the decode cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The decode cache's byte budget (`0` = disabled).
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.budget()
+    }
+
+    /// Reconfigures the decode-cache byte budget at runtime, evicting
+    /// down to the new limit immediately (`0` disables caching).
+    pub fn set_cache_bytes(&self, bytes: usize) {
+        self.cache.set_budget(bytes);
+    }
+
+    /// Drops every cached decode (the budget and counters survive).
+    /// Benchmarks use this to measure cold-cache latencies.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
     }
 
     fn engine(&self) -> QueryEngine<'_> {
@@ -317,6 +387,8 @@ impl Store {
             net: &self.net,
             cds: &self.cds,
             stiu: &self.stiu,
+            plans: &self.plans,
+            cache: &self.cache,
         }
     }
 
@@ -408,49 +480,59 @@ impl Store {
 
     /// Evaluates a batch of **range** queries in parallel across the
     /// available cores, answers unpaginated and in input order. The
-    /// store is shared by reference — no cloning, no recompression.
+    /// store is shared by reference — no cloning, no recompression — and
+    /// all workers share one decode cache, so overlapping queries decode
+    /// each artifact once.
+    ///
+    /// Workers pull query indices from a shared atomic counter rather
+    /// than fixed chunks: a skewed batch (a few expensive queries amid
+    /// many cheap ones) keeps every thread busy until the queue drains.
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        let run_one = |q: &RangeQuery| {
+            self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                .map(Page::into_items)
+        };
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
             .min(queries.len());
         if threads <= 1 {
-            return queries
-                .iter()
-                .map(|q| {
-                    self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
-                        .map(Page::into_items)
-                })
-                .collect();
+            return queries.iter().map(run_one).collect();
         }
-        let chunk = queries.len().div_ceil(threads);
-        let mut results: Vec<Result<Vec<Vec<u64>>, Error>> = Vec::new();
+        // Indexed answers collected per worker, merged in input order.
+        type Answered = Vec<(usize, Result<Vec<u64>, Error>)>;
+        let next = AtomicUsize::new(0);
+        let mut answered: Vec<Answered> = Vec::new();
         std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|qs| {
-                    scope.spawn(move || {
-                        qs.iter()
-                            .map(|q| {
-                                self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
-                                    .map(Page::into_items)
-                            })
-                            .collect::<Result<Vec<_>, Error>>()
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(q) = queries.get(i) else {
+                                return local;
+                            };
+                            local.push((i, run_one(q)));
+                        }
                     })
                 })
                 .collect();
             for h in handles {
-                results.push(h.join().expect("range worker panicked"));
+                answered.push(h.join().expect("range worker panicked"));
             }
         });
-        let mut out = Vec::with_capacity(queries.len());
-        for r in results {
-            out.extend(r?);
+        let mut out: Vec<Option<Vec<u64>>> = (0..queries.len()).map(|_| None).collect();
+        for (i, r) in answered.into_iter().flatten() {
+            out[i] = Some(r?);
         }
-        Ok(out)
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every query index was claimed exactly once"))
+            .collect())
     }
 }
 

@@ -10,11 +10,16 @@
 //! utcq info       --in data.utcq
 //! utcq verify     --profile cd --trajs 200 --seed 1 --in data.utcq
 //! utcq query      --in data.utcq -n 100 [--alpha 0.25] [--limit 64]
+//!                 [--cache-bytes N] [--cache-stats]
 //! ```
 //!
 //! Legacy v1 containers (dataset only) still load: `query`/`verify` fall
 //! back to regenerating the network from `--profile/--trajs/--seed` and
 //! opening through the compatibility path.
+//!
+//! `query` runs on the store's shared decode cache (default 64 MiB).
+//! `--cache-bytes` overrides the budget (`0` disables caching) and
+//! `--cache-stats` prints hit/miss/eviction counters after the workload.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -228,6 +233,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     let n: usize = args.parse_num("n", 100);
     let alpha: f64 = args.parse_num("alpha", 0.25);
     let limit: usize = args.parse_num("limit", 1024);
+    if let Some(v) = args.flags.get("cache-bytes") {
+        let bytes: usize = v
+            .parse()
+            .map_err(|_| format!("--cache-bytes: not a byte count: '{v}'"))?;
+        store.set_cache_bytes(bytes);
+    }
     // Derive a query workload from the store itself: decompress the
     // instances once to pick probe edges (zero side-channel arguments).
     let back = utcq::core::decompress_dataset(store.network(), store.compressed())
@@ -272,12 +283,26 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         range_hits,
         t0.elapsed()
     );
+    if args.flags.contains_key("cache-stats") {
+        let s = store.cache_stats();
+        println!(
+            "decode cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} / {} bytes, {} evictions",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.entries,
+            s.bytes,
+            s.budget_bytes,
+            s.evictions
+        );
+    }
     Ok(())
 }
 
 fn usage() -> String {
     "usage: utcq <stats|compress|info|verify|query> [--profile dk|cd|hz|tiny] \
-     [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L]"
+     [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
+     [--cache-bytes N] [--cache-stats]"
         .to_string()
 }
 
