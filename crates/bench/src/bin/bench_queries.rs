@@ -1,8 +1,8 @@
 //! Offline query-latency harness emitting a machine-readable
 //! `BENCH_queries.json`, so successive PRs leave a perf trajectory.
 //!
-//! Measures ns/op for the three probabilistic query types in three cache
-//! modes on one shared [`Store`]:
+//! Measures the **median** ns/op for the three probabilistic query types
+//! in three cache modes on one shared [`Store`]:
 //!
 //! * **cold** — the decode cache is cleared before every pass: each pass
 //!   re-pays every reference/instance/time-stream decode;
@@ -11,13 +11,25 @@
 //! * **nocache** — the cache budget is set to `0`: the pure overhead
 //!   floor with no memoization at all.
 //!
+//! A second section runs the same warm workload on a [`ShardedStore`]
+//! (`UTCQ_SHARDS` partitions, default 4, `ByTime` routing) and compares
+//! `par_range_query` throughput 1-shard vs N-shard, so the JSON tracks
+//! what the sharding layer costs (fan-out/merge) and buys (independent
+//! partitions) release over release.
+//!
 //! ```text
-//! cargo run --release -p utcq_bench --bin bench_queries [-- --smoke] [--out FILE]
+//! cargo run --release -p utcq_bench --bin bench_queries \
+//!     [-- --smoke] [--out FILE] [--baseline FILE]
 //! ```
 //!
 //! `--smoke` (or `UTCQ_BENCH_SMOKE=1`) runs one pass per mode — the CI
 //! mode that only proves the harness works. `UTCQ_TRAJS` scales the
-//! dataset (default 80 trajectories).
+//! dataset (default 80 trajectories); `UTCQ_SHARDS` the shard count.
+//!
+//! `--baseline FILE` diffs the freshly measured warm where/when medians
+//! against a previously committed `BENCH_queries.json` and exits
+//! non-zero on a > [`REGRESSION_FACTOR`]× regression — the CI gate that
+//! keeps the perf trajectory monotone-ish.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -25,10 +37,25 @@ use std::time::{Duration, Instant};
 
 use utcq_bench::{datasets, workload};
 use utcq_core::query::PageRequest;
+use utcq_core::shard::ByTime;
 use utcq_core::stiu::StiuParams;
-use utcq_core::Store;
+use utcq_core::{QueryTarget, RangeQuery, Store, StoreBuilder};
 
 const SEED: u64 = 3000;
+
+/// A fresh measurement must stay within this factor of the baseline's
+/// warm where/when medians. The committed baseline carries absolute
+/// ns/op from whatever machine produced it, so the factor doubles as
+/// hardware headroom; `UTCQ_BENCH_BASELINE_FACTOR` overrides it when a
+/// CI runner class is persistently slower than the baseline machine.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn regression_factor() -> f64 {
+    std::env::var("UTCQ_BENCH_BASELINE_FACTOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(REGRESSION_FACTOR)
+}
 
 struct ModeResult {
     cold_ns: f64,
@@ -46,12 +73,31 @@ impl ModeResult {
     }
 }
 
-/// Mean ns/op of `pass` (which runs `ops` queries), measured over enough
-/// passes to fill the target time. `prepare` runs before *each* pass,
-/// outside the timed region.
+/// Smoke mode still takes this many samples per mode: the regression
+/// gate compares medians, and a median of one sample would reintroduce
+/// exactly the single-deschedule flakiness the median exists to absorb.
+const SMOKE_PASSES: usize = 7;
+
+/// Median of a sample set (ns/op). The one definition both [`measure`]
+/// and [`measure_pair`] — and therefore the CI regression gate — use.
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Median ns/op of `pass` (which runs `ops` queries), measured over
+/// enough passes to fill the target time (a fixed handful in smoke
+/// mode). `prepare` runs before *each* pass, outside the timed region.
+/// The median (not the mean) is what the regression gate compares: one
+/// descheduled pass must not fail CI.
 fn measure(ops: usize, smoke: bool, mut prepare: impl FnMut(), mut pass: impl FnMut()) -> f64 {
     let target = if smoke {
-        Duration::ZERO // a single measured pass
+        Duration::ZERO // sample count governed by SMOKE_PASSES instead
     } else {
         Duration::from_millis(400)
     };
@@ -59,90 +105,202 @@ fn measure(ops: usize, smoke: bool, mut prepare: impl FnMut(), mut pass: impl Fn
     prepare();
     pass();
     let mut spent = Duration::ZERO;
-    let mut passes = 0u32;
+    let mut samples: Vec<f64> = Vec::new();
     loop {
         prepare();
         let t0 = Instant::now();
         pass();
-        spent += t0.elapsed();
-        passes += 1;
-        if spent >= target || passes >= 50_000 {
+        let dt = t0.elapsed();
+        spent += dt;
+        samples.push(dt.as_nanos() as f64 / ops as f64);
+        if (spent >= target && samples.len() >= SMOKE_PASSES) || samples.len() >= 50_000 {
             break;
         }
     }
-    spent.as_nanos() as f64 / (passes as usize * ops) as f64
+    median(samples)
+}
+
+/// Median ns/op of two alternatives measured **interleaved** (A, B, A,
+/// B, …): slow drift of the host (frequency scaling, noisy neighbors)
+/// hits both sample sets equally, so their *ratio* stays meaningful
+/// even when absolute numbers wander between runs.
+fn measure_pair(
+    ops: usize,
+    smoke: bool,
+    mut pass_a: impl FnMut(),
+    mut pass_b: impl FnMut(),
+) -> (f64, f64) {
+    let target = if smoke {
+        Duration::ZERO
+    } else {
+        Duration::from_millis(800)
+    };
+    pass_a();
+    pass_b(); // untimed warmup
+    let mut spent = Duration::ZERO;
+    let mut samples_a: Vec<f64> = Vec::new();
+    let mut samples_b: Vec<f64> = Vec::new();
+    loop {
+        let t0 = Instant::now();
+        pass_a();
+        let da = t0.elapsed();
+        let t1 = Instant::now();
+        pass_b();
+        let db = t1.elapsed();
+        spent += da + db;
+        samples_a.push(da.as_nanos() as f64 / ops as f64);
+        samples_b.push(db.as_nanos() as f64 / ops as f64);
+        if (spent >= target && samples_a.len() >= SMOKE_PASSES) || samples_a.len() >= 50_000 {
+            break;
+        }
+    }
+    (median(samples_a), median(samples_b))
+}
+
+/// Extracts `"field": <number>` from the `"section"` object of a flat
+/// JSON document — enough structure awareness for our own emitter's
+/// output, with no JSON dependency.
+fn extract(json: &str, section: &str, field: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let rest = &json[sec..];
+    let f = rest.find(&format!("\"{field}\""))?;
+    let rest = &rest[f + field.len() + 2..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Compares fresh warm where/when medians against a baseline file.
+/// Returns the failure messages (empty = pass).
+fn baseline_regressions(
+    baseline_json: &str,
+    fresh: &[(&str, ModeResult)],
+    factor: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for kind in ["where", "when"] {
+        let Some(base) = extract(baseline_json, kind, "warm_ns_per_op") else {
+            failures.push(format!("baseline has no warm {kind} median"));
+            continue;
+        };
+        let Some((_, fresh_r)) = fresh.iter().find(|(n, _)| *n == kind) else {
+            continue;
+        };
+        let ratio = fresh_r.warm_ns / base;
+        if ratio > factor {
+            failures.push(format!(
+                "warm {kind} median regressed {ratio:.2}x ({:.1} ns/op vs baseline {base:.1} ns/op, limit {factor}x)",
+                fresh_r.warm_ns
+            ));
+        } else {
+            eprintln!(
+                "baseline gate: warm {kind} {:.1} ns/op vs {base:.1} ns/op ({ratio:.2}x) ok",
+                fresh_r.warm_ns
+            );
+        }
+    }
+    failures
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke")
         || std::env::var("UTCQ_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_queries.json".to_string());
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_queries.json".to_string());
+    let baseline_path = flag_value("--baseline");
 
     let profile = utcq_datagen::profile::cd();
     let n_trajs = std::env::var("UTCQ_TRAJS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(80);
+    let n_shards: u32 = std::env::var("UTCQ_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+        .max(2);
     eprintln!(
         "building dataset ({} trajectories, profile {})…",
         n_trajs, profile.name
     );
     let built = datasets::build_n(&profile, n_trajs, SEED);
+    let stiu = StiuParams {
+        partition_s: 900,
+        grid_n: 32,
+    };
     let store = Store::build(
         Arc::new(built.net.clone()),
         &built.ds,
         datasets::paper_params(&profile),
-        StiuParams {
-            partition_s: 900,
-            grid_n: 32,
-        },
+        stiu,
     )
     .expect("store build");
+    eprintln!("building {n_shards}-shard store…");
+    let sharded = StoreBuilder::new(
+        Arc::new(built.net.clone()),
+        datasets::paper_params(&profile),
+    )
+    .stiu_params(stiu)
+    .shard_by(Arc::new(ByTime { interval_s: 900 }), n_shards)
+    .expect("shard config")
+    .ingest(&built.ds)
+    .expect("sharded ingest")
+    .finish()
+    .expect("sharded store build");
     let default_budget = store.cache_bytes();
 
     let wq = workload::where_queries(&built.ds, 64, 301);
     let nq = workload::when_queries(&built.ds, 64, 302);
     let rq = workload::range_queries(&built.net, &built.ds, 32, 303);
+    let ranges: Vec<RangeQuery> = rq
+        .iter()
+        .map(|q| RangeQuery {
+            re: q.re,
+            tq: q.tq,
+            alpha: q.alpha,
+        })
+        .collect();
 
-    let run_where = || {
+    // The same workload, runnable against any QueryTarget.
+    let run_where = |t: &dyn QueryTarget| {
         for q in &wq {
-            store
-                .where_query(q.traj_id, q.t, q.alpha, PageRequest::all())
+            t.where_query(q.traj_id, q.t, q.alpha, PageRequest::all())
                 .unwrap();
         }
     };
-    let run_when = || {
+    let run_when = |t: &dyn QueryTarget| {
         for q in &nq {
-            store
-                .when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
+            t.when_query(q.traj_id, q.edge, q.rd, q.alpha, PageRequest::all())
                 .unwrap();
         }
     };
-    let run_range = || {
+    let run_range = |t: &dyn QueryTarget| {
         for q in &rq {
-            store
-                .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            t.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
                 .unwrap();
         }
     };
 
     let mut results: Vec<(&str, ModeResult)> = Vec::new();
     for (name, ops, run) in [
-        ("where", wq.len(), &run_where as &dyn Fn()),
+        ("where", wq.len(), &run_where as &dyn Fn(&dyn QueryTarget)),
         ("when", nq.len(), &run_when),
         ("range", rq.len(), &run_range),
     ] {
         eprintln!("measuring {name}…");
         store.set_cache_bytes(default_budget);
-        let cold_ns = measure(ops, smoke, || store.clear_cache(), run);
-        let warm_ns = measure(ops, smoke, || {}, run);
+        let cold_ns = measure(ops, smoke, || store.clear_cache(), || run(&store));
+        let warm_ns = measure(ops, smoke, || {}, || run(&store));
         store.set_cache_bytes(0);
-        let nocache_ns = measure(ops, smoke, || {}, run);
+        let nocache_ns = measure(ops, smoke, || {}, || run(&store));
         store.set_cache_bytes(default_budget);
         results.push((
             name,
@@ -154,10 +312,34 @@ fn main() {
         ));
     }
 
+    // Sharded section: warm medians for the three query types, plus
+    // par_range throughput 1-shard vs N-shard on the same batch.
+    let mut sharded_warm: Vec<(&str, f64)> = Vec::new();
+    for (name, ops, run) in [
+        ("where", wq.len(), &run_where as &dyn Fn(&dyn QueryTarget)),
+        ("when", nq.len(), &run_when),
+        ("range", rq.len(), &run_range),
+    ] {
+        eprintln!("measuring sharded {name}…");
+        sharded_warm.push((name, measure(ops, smoke, || {}, || run(&sharded))));
+    }
+    eprintln!("measuring par_range 1-shard vs {n_shards}-shard (interleaved)…");
+    let (par_single_ns, par_sharded_ns) = measure_pair(
+        ranges.len(),
+        smoke,
+        || {
+            store.par_range_query(&ranges).unwrap();
+        },
+        || {
+            sharded.par_range_query(&ranges).unwrap();
+        },
+    );
+    let qps = |ns: f64| if ns > 0.0 { 1e9 / ns } else { 0.0 };
+
     // Leave the cache warm so the reported stats describe steady state.
-    run_where();
-    run_when();
-    run_range();
+    run_where(&store);
+    run_when(&store);
+    run_range(&store);
     let stats = store.cache_stats();
 
     let mut json = String::new();
@@ -177,6 +359,7 @@ fn main() {
         rq.len()
     );
     let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"stat\": \"median\",");
     let _ = writeln!(json, "  \"cache_budget_bytes\": {default_budget},");
     let _ = writeln!(json, "  \"results\": {{");
     for (i, (name, r)) in results.iter().enumerate() {
@@ -192,6 +375,26 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"sharded\": {{\"shards\": {n_shards}, \"policy\": \"time\", \
+         \"where_warm_ns_per_op\": {:.1}, \"when_warm_ns_per_op\": {:.1}, \
+         \"range_warm_ns_per_op\": {:.1}}},",
+        sharded_warm[0].1, sharded_warm[1].1, sharded_warm[2].1
+    );
+    let _ = writeln!(
+        json,
+        "  \"par_range\": {{\"batch\": {}, \"qps_1shard\": {:.1}, \"qps_nshard\": {:.1}, \
+         \"nshard_over_1shard\": {:.3}}},",
+        ranges.len(),
+        qps(par_single_ns),
+        qps(par_sharded_ns),
+        if par_sharded_ns > 0.0 {
+            par_single_ns / par_sharded_ns
+        } else {
+            0.0
+        }
+    );
     let _ = writeln!(
         json,
         "  \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
@@ -215,5 +418,78 @@ fn main() {
             r.warm_ns,
             r.warm_speedup()
         );
+    }
+    eprintln!(
+        "  par_range: 1-shard {:.0} qps | {n_shards}-shard {:.0} qps",
+        qps(par_single_ns),
+        qps(par_sharded_ns)
+    );
+
+    if let Some(path) = baseline_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let failures = baseline_regressions(&baseline, &results, regression_factor());
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("baseline gate passed ({path})");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "results": {
+    "where": {"cold_ns_per_op": 1611.0, "warm_ns_per_op": 293.3, "warm_speedup": 5.49},
+    "when": {"cold_ns_per_op": 2636.1, "warm_ns_per_op": 514.9, "warm_speedup": 5.12}
+  }
+}"#;
+
+    #[test]
+    fn extract_reads_nested_fields() {
+        assert_eq!(extract(SAMPLE, "where", "warm_ns_per_op"), Some(293.3));
+        assert_eq!(extract(SAMPLE, "when", "warm_ns_per_op"), Some(514.9));
+        assert_eq!(extract(SAMPLE, "when", "cold_ns_per_op"), Some(2636.1));
+        assert_eq!(extract(SAMPLE, "range", "warm_ns_per_op"), None);
+        assert_eq!(extract(SAMPLE, "where", "missing"), None);
+    }
+
+    #[test]
+    fn regression_gate_trips_only_past_the_factor() {
+        let fresh_ok = vec![
+            (
+                "where",
+                ModeResult {
+                    cold_ns: 0.0,
+                    warm_ns: 293.3 * 1.9,
+                    nocache_ns: 0.0,
+                },
+            ),
+            (
+                "when",
+                ModeResult {
+                    cold_ns: 0.0,
+                    warm_ns: 514.9,
+                    nocache_ns: 0.0,
+                },
+            ),
+        ];
+        assert!(baseline_regressions(SAMPLE, &fresh_ok, 2.0).is_empty());
+        let fresh_bad = vec![(
+            "where",
+            ModeResult {
+                cold_ns: 0.0,
+                warm_ns: 293.3 * 2.5,
+                nocache_ns: 0.0,
+            },
+        )];
+        let failures = baseline_regressions(SAMPLE, &fresh_bad, 2.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("where"), "{failures:?}");
     }
 }

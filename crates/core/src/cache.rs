@@ -7,11 +7,15 @@
 //! Before this module existed those decodes were repaid on every call —
 //! the per-reference cache in `query.rs` died with each query.
 //!
-//! [`DecodeCache`] memoizes all three artifact kinds behind `Arc`s:
+//! [`DecodeCache`] memoizes all four artifact kinds behind `Arc`s:
 //!
 //! * `(traj, ref_idx) → Arc<DecodedRef>` — a reference's decoded streams;
 //! * `(traj, orig_idx) → Arc<Instance>` — a fully decoded instance;
-//! * `traj → Arc<Vec<i64>>` — a trajectory's decoded time sequence.
+//! * `traj → Arc<Vec<i64>>` — a trajectory's decoded time sequence;
+//! * `(traj, no) → Arc<Vec<i64>>` — a *partial* time window resumed
+//!   mid-stream at the temporal tuple whose first sample index is `no`
+//!   (the `bracket` step of the *where*/*range* paths, which previously
+//!   re-paid the partial decode on every call).
 //!
 //! The cache is **sharded**: keys hash to one of [`SHARD_COUNT`]
 //! [`RwLock`]-protected shards, so concurrent queries (e.g. under
@@ -56,6 +60,9 @@ enum Key {
     Instance { traj: u32, orig_idx: u32 },
     /// Decoded time sequence of trajectory `traj`.
     Times { traj: u32 },
+    /// Partial time window of trajectory `traj`, resumed mid-stream at
+    /// the temporal tuple whose first sample index is `no`.
+    Window { traj: u32, no: u32 },
 }
 
 /// Cached value, one variant per key kind.
@@ -329,6 +336,23 @@ impl DecodeCache {
         }
     }
 
+    /// Cached partial time-decode window of trajectory `traj`, resumed
+    /// at the temporal tuple whose first sample index is `no` (`no`
+    /// uniquely identifies the resume point within a trajectory).
+    pub fn window_or_decode(
+        &self,
+        traj: u32,
+        no: u32,
+        decode: impl FnOnce() -> Result<Vec<i64>, Error>,
+    ) -> Result<Arc<Vec<i64>>, Error> {
+        match self.get_or_insert(Key::Window { traj, no }, || {
+            Ok(Value::Times(Arc::new(decode()?)))
+        })? {
+            Value::Times(t) => Ok(t),
+            _ => Err(Error::CorruptStore("cache key/value kind mismatch")),
+        }
+    }
+
     /// Cached decode of the time sequence of trajectory `traj`.
     pub fn times_or_decode(
         &self,
@@ -381,6 +405,26 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn window_entries_are_keyed_independently() {
+        let cache = DecodeCache::with_budget(1 << 20);
+        // Full times and a partial window of the same trajectory coexist.
+        let full = times_entry(&cache, 1, 8);
+        let win = cache.window_or_decode(1, 3, || Ok(vec![3, 4, 5])).unwrap();
+        assert_eq!(full.len(), 8);
+        assert_eq!(*win, vec![3, 4, 5]);
+        // Second lookup of the window is a hit, not a re-decode.
+        let win2 = cache
+            .window_or_decode(1, 3, || panic!("window must be cached"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&win, &win2));
+        // A different resume point is a distinct entry.
+        let other = cache.window_or_decode(1, 5, || Ok(vec![5, 6])).unwrap();
+        assert_eq!(*other, vec![5, 6]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 3, 3));
     }
 
     #[test]

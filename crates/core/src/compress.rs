@@ -35,24 +35,7 @@ pub struct CompressedDataset {
 impl CompressedDataset {
     /// Component-wise and total compression ratios (Table 8 row).
     pub fn ratios(&self) -> Ratios {
-        let div = |num: u64, den: u64| {
-            if den == 0 {
-                f64::NAN
-            } else {
-                num as f64 / den as f64
-            }
-        };
-        Ratios {
-            total: div(self.raw.total(), self.compressed.total()),
-            t: div(self.raw.t, self.compressed.t),
-            e: div(
-                self.raw.e + self.raw.sv,
-                self.compressed.e + self.compressed.sv,
-            ),
-            d: div(self.raw.d, self.compressed.d),
-            tflag: div(self.raw.tflag, self.compressed.tflag),
-            p: div(self.raw.p, self.compressed.p),
-        }
+        Ratios::from_sizes(&self.raw, &self.compressed)
     }
 }
 
@@ -71,6 +54,28 @@ pub struct Ratios {
     pub tflag: f64,
     /// Probabilities.
     pub p: f64,
+}
+
+impl Ratios {
+    /// Ratios from raw/compressed footprints — also used to aggregate
+    /// across shard partitions.
+    pub fn from_sizes(raw: &SizeBreakdown, compressed: &SizeBreakdown) -> Self {
+        let div = |num: u64, den: u64| {
+            if den == 0 {
+                f64::NAN
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        Ratios {
+            total: div(raw.total(), compressed.total()),
+            t: div(raw.t, compressed.t),
+            e: div(raw.e + raw.sv, compressed.e + compressed.sv),
+            d: div(raw.d, compressed.d),
+            tflag: div(raw.tflag, compressed.tflag),
+            p: div(raw.p, compressed.p),
+        }
+    }
 }
 
 /// Compresses one uncertain trajectory.

@@ -53,6 +53,18 @@ pub enum Error {
     /// A v1 container was opened through [`crate::store::Store::open`],
     /// which requires the self-contained v2 format.
     NeedsNetwork,
+    /// A sharded v3 container was opened through
+    /// [`crate::store::Store::open`]; open it with
+    /// [`crate::shard::ShardedStore::open`] instead.
+    ShardedContainer,
+    /// A page cursor was presented to a store other than the one that
+    /// minted it (e.g. a sharded cursor whose shard tag does not match
+    /// the shard that owns the queried trajectory).
+    InvalidCursor,
+    /// Invalid sharding configuration (zero shards, too many shards, or
+    /// `shard_by` after the first ingest). Carries a short static
+    /// description.
+    ShardConfig(&'static str),
 }
 
 impl From<CodecError> for Error {
@@ -102,6 +114,14 @@ impl std::fmt::Display for Error {
                 f,
                 "v1 container has no embedded network; open it with Store::open_v1"
             ),
+            Error::ShardedContainer => {
+                write!(f, "sharded v3 container; open it with ShardedStore::open")
+            }
+            Error::InvalidCursor => write!(
+                f,
+                "page cursor does not belong to this store (stale or foreign shard tag)"
+            ),
+            Error::ShardConfig(what) => write!(f, "invalid shard configuration: {what}"),
         }
     }
 }

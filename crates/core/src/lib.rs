@@ -20,25 +20,50 @@
 //! * [`stiu`] — the Spatio-temporal Information based Uncertain
 //!   Trajectory Index (§5.2);
 //! * [`query`] — probabilistic *where*, *when* and *range* query engine
-//!   with the filtering Lemmas 1–4 (§5.3–5.4), plus the [`query::Page`] /
-//!   [`query::PageRequest`] pagination primitives;
+//!   with the filtering Lemmas 1–4 (§5.3–5.4), the [`query::Page`] /
+//!   [`query::PageRequest`] pagination primitives, and the
+//!   [`query::QueryTarget`] trait — the query surface every store shape
+//!   implements, so services can stay agnostic of physical layout;
 //! * [`cache`] — the shared, bounded, thread-safe decode cache
 //!   ([`cache::DecodeCache`]) that memoizes decoded references,
-//!   instances and time streams across queries, with hit/miss statistics
-//!   ([`cache::CacheStats`]);
+//!   instances, time streams and partial `bracket` time windows across
+//!   queries, with hit/miss statistics ([`cache::CacheStats`]);
 //! * [`plan`] — precomputed per-trajectory lookup tables
 //!   ([`plan::TrajPlan`]) that replace the query engine's per-call
 //!   linear scans and sorts;
-//! * [`store`] — the public façade: an owned, `Send + Sync` [`Store`]
-//!   built incrementally through [`StoreBuilder`], persisted as a
-//!   self-contained container, queried through paginated entry points
-//!   backed by the decode cache and query plans;
+//! * [`store`] — the single-partition façade: an owned, `Send + Sync`
+//!   [`Store`] built incrementally through [`StoreBuilder`], persisted
+//!   as a self-contained container, queried through paginated entry
+//!   points backed by the decode cache and query plans;
+//! * [`shard`] — the scale-out layer: a [`shard::ShardedStore`] owning N
+//!   `Store` partitions routed by a pluggable [`shard::ShardPolicy`]
+//!   (time-interval or road-network-region), answering the exact same
+//!   query surface with fan-out/merge execution — byte-identical
+//!   answers, asserted by `tests/shard_equivalence.rs`;
 //! * [`error`] — the unified [`Error`] type every public fallible
 //!   function returns;
 //! * [`oracle`] — brute-force answers on uncompressed data, used as
 //!   ground truth for accuracy experiments (Fig. 11);
-//! * [`storage`] — the binary container formats (v1 legacy, v2
-//!   self-contained) for persisting compressed datasets.
+//! * [`storage`] — the binary container formats (v1 legacy dataset-only,
+//!   v2 self-contained, v3 sharded) for persisting compressed datasets.
+//!
+//! # Store shapes
+//!
+//! Two store shapes share one query surface ([`QueryTarget`]):
+//!
+//! | | [`Store`] | [`shard::ShardedStore`] |
+//! |---|---|---|
+//! | layout | one `CompressedDataset` + StIU | N independent partitions |
+//! | built by | [`StoreBuilder`] | [`StoreBuilder::shard_by`] |
+//! | container | v2 (`UTCQ` 2) | v3 (`UTCQ` 3, embeds v2 per shard) |
+//! | `where`/`when` | direct | routed to the owning shard |
+//! | `range` | interval index scan | fan-out, merged id-ascending |
+//! | cursors | local offsets / keyset ids | `(shard, local)`-tagged / keyset ids |
+//!
+//! Sharding is a pure partitioning layer: answers and paginated item
+//! sequences are identical between the shapes; only where/when cursor
+//! *encodings* differ (a sharded cursor carries its shard in the high
+//! 16 bits — see [`shard`]).
 //!
 //! # Quick start
 //!
@@ -85,6 +110,46 @@
 //! # std::fs::remove_file(&path).ok();
 //! # Ok::<(), utcq_core::Error>(())
 //! ```
+//!
+//! # Sharded quick start
+//!
+//! The same pipeline, partitioned: route trajectories across four
+//! shards by time interval, query through the identical surface, and
+//! persist as a sharded v3 container:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use utcq_core::query::PageRequest;
+//! use utcq_core::shard::{ByTime, ShardedStore};
+//! use utcq_core::store::StoreBuilder;
+//! use utcq_core::{CompressParams, QueryTarget};
+//!
+//! let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 10, 7);
+//! let store = StoreBuilder::new(
+//!     Arc::new(net),
+//!     CompressParams::with_interval(ds.default_interval),
+//! )
+//! .shard_by(Arc::new(ByTime::default()), 4)?
+//! .ingest(&ds)?
+//! .finish()?;
+//! assert_eq!(store.len(), 10);
+//!
+//! // The same paginated queries — `Store` and `ShardedStore` both
+//! // implement `QueryTarget`, with byte-identical answers.
+//! let target: &dyn QueryTarget = &store;
+//! let j = store.traj_shard(0).unwrap() as usize;
+//! let t0 = store.shards()[j].decode_times(store.shards()[j].traj_index(0).unwrap())?[0];
+//! let page = target.where_query(0, t0, 0.0, PageRequest::default())?;
+//! assert!(!page.items.is_empty());
+//!
+//! // v3 container: shard directory + one embedded v2 container each.
+//! let path = std::env::temp_dir().join("utcq-sharded-quickstart.utcq");
+//! store.save(&path)?;
+//! let reopened = ShardedStore::open(&path)?;
+//! assert_eq!(reopened.shard_count(), 4);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), utcq_core::Error>(())
+//! ```
 
 pub mod cache;
 pub mod compress;
@@ -100,6 +165,7 @@ pub mod pivot;
 pub mod plan;
 pub mod query;
 pub mod reference;
+pub mod shard;
 pub mod siar;
 pub mod stiu;
 pub mod storage;
@@ -110,6 +176,7 @@ pub use compress::{compress_dataset, compress_trajectory, CompressedDataset, Rat
 pub use decompress::{decompress_dataset, decompress_trajectory};
 pub use error::Error;
 pub use params::CompressParams;
-pub use query::{Page, PageRequest, RangeQuery, WhenHit, WhereHit};
+pub use query::{Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
+pub use shard::{ByRegion, ByTime, ShardPolicy, ShardSpec, ShardedStore, ShardedStoreBuilder};
 pub use stiu::StiuParams;
 pub use store::{Store, StoreBuilder};

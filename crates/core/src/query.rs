@@ -21,8 +21,9 @@
 //! The engine itself is a borrowed view over the store's parts plus two
 //! shared acceleration layers the store owns:
 //!
-//! * the [`crate::cache::DecodeCache`] — decoded references, instances
-//!   and time streams are memoized *across* queries behind `Arc`s, so a
+//! * the [`crate::cache::DecodeCache`] — decoded references, instances,
+//!   time streams and partial `bracket` time windows are memoized
+//!   *across* queries behind `Arc`s, so a
 //!   repeated or concurrent workload stops re-paying decode costs (each
 //!   query additionally keeps a tiny per-call reference map so a cache
 //!   sized to zero still reuses a reference across its `Rrs` within one
@@ -36,9 +37,10 @@
 //! container surface as [`Error::CorruptStore`].
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use utcq_network::{Point, Rect, RoadNetwork, VertexId};
+use utcq_network::{EdgeId, Point, Rect, RoadNetwork, VertexId};
 use utcq_traj::interp::{path_distance, position_at_distance};
 use utcq_traj::{Instance, MappedLocation};
 
@@ -179,6 +181,129 @@ impl<T> Page<T> {
             has_more,
         }
     }
+}
+
+/// The query surface shared by every store shape.
+///
+/// Both the single-partition [`crate::store::Store`] and the partitioned
+/// [`crate::shard::ShardedStore`] implement this trait, so services,
+/// benchmarks and the CLI can be written against `&dyn QueryTarget` and
+/// stay agnostic of how the trajectories are physically laid out. The
+/// contract is strict: for the same dataset, every implementation must
+/// return byte-identical answers and identical paginated *item*
+/// sequences (cursor encodings may differ — a sharded cursor carries the
+/// shard it was minted by; see `crate::shard`).
+pub trait QueryTarget: Send + Sync {
+    /// Number of trajectories queryable through this target.
+    fn len(&self) -> usize;
+
+    /// Whether the target holds no trajectories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The road network the trajectories are mapped onto.
+    fn network(&self) -> &Arc<RoadNetwork>;
+
+    /// Probabilistic **where** query (Definition 10), paginated.
+    fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error>;
+
+    /// Probabilistic **when** query (Definition 11), paginated.
+    fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error>;
+
+    /// Probabilistic **range** query (Definition 12), paginated. Answers
+    /// are trajectory ids ascending; the cursor is keyset-style (the last
+    /// returned id), identical across implementations.
+    fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error>;
+
+    /// Evaluates a batch of **range** queries in parallel; answers are
+    /// unpaginated, in input order.
+    fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error>;
+
+    /// Aggregated decode-cache counters across all partitions.
+    fn cache_stats(&self) -> crate::cache::CacheStats;
+
+    /// Reconfigures the total decode-cache byte budget (a sharded target
+    /// splits it evenly across its partitions; `0` disables caching).
+    fn set_cache_bytes(&self, bytes: usize);
+
+    /// Drops every cached decode in every partition.
+    fn clear_cache(&self);
+}
+
+/// Runs `run_one(0..n)` across the available cores, pulling indices from
+/// a shared atomic counter — the work-queue threading model every
+/// parallel query path in this crate uses. A skewed batch (a few
+/// expensive items amid many cheap ones) keeps every thread busy until
+/// the queue drains; results come back in input order.
+///
+/// Single shared queue, single pool: [`crate::shard::ShardedStore`] fans
+/// out over shards *inside* `run_one`, so sharding never multiplies the
+/// thread count.
+pub(crate) fn par_run<T: Send>(
+    n: usize,
+    run_one: impl Fn(usize) -> Result<T, Error> + Sync,
+) -> Result<Vec<T>, Error> {
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return (0..n).map(run_one).collect();
+    }
+    // Indexed answers collected per worker, merged in input order.
+    type Answered<T> = Vec<(usize, Result<T, Error>)>;
+    let next = AtomicUsize::new(0);
+    let mut answered: Vec<Answered<T>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, run_one(i)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            answered.push(h.join().expect("query worker panicked"));
+        }
+    });
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, r) in answered.into_iter().flatten() {
+        out[i] = Some(r?);
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("every index was claimed exactly once"))
+        .collect())
 }
 
 /// Borrowed view over a store's parts — the engine the façade delegates
@@ -327,8 +452,14 @@ impl<'a> QueryEngine<'a> {
     /// Brackets `t` in the trajectory's time sequence via the temporal
     /// index: `Ok(Some((lo, hi, t_lo, t_hi)))` when `t` falls inside the
     /// span, `Ok(None)` when it precedes or follows every sample.
+    ///
+    /// The partially decoded window (resumed mid-stream at the covering
+    /// temporal tuple) is memoized in the shared cache under
+    /// `(j, tuple.no)`, so repeated *where*/*range* probes near the same
+    /// time stop re-paying the partial decode.
     fn bracket(
         &self,
+        j: u32,
         ct: &CompressedTrajectory,
         node: &TrajIndex,
         t: i64,
@@ -341,13 +472,15 @@ impl<'a> QueryEngine<'a> {
         let remaining = (ct.n_times as u64)
             .checked_sub(1 + u64::from(tt.no))
             .ok_or(Error::CorruptStore("temporal tuple past the sample count"))?;
-        let window = siar::decode_from(
-            &ct.t_bits,
-            tt.pos as usize,
-            tt.start,
-            ts,
-            remaining as usize,
-        )?;
+        let window = self.cache.window_or_decode(j, tt.no, || {
+            Ok(siar::decode_from(
+                &ct.t_bits,
+                tt.pos as usize,
+                tt.start,
+                ts,
+                remaining as usize,
+            )?)
+        })?;
         let hi_local = window.partition_point(|&x| x < t);
         if hi_local >= window.len() {
             return Ok(None); // t is past the last sample
@@ -370,7 +503,7 @@ impl<'a> QueryEngine<'a> {
     /// position `j`, fully materialized.
     pub fn where_query(&self, j: u32, t: i64, alpha: f64) -> Result<Vec<WhereHit>, Error> {
         let (ct, node, plan) = self.parts(j)?;
-        let Some((lo, hi, t_lo, t_hi)) = self.bracket(ct, node, t)? else {
+        let Some((lo, hi, t_lo, t_hi)) = self.bracket(j, ct, node, t)? else {
             return Ok(Vec::new());
         };
         let mut hits = Vec::new();
@@ -510,7 +643,7 @@ impl<'a> QueryEngine<'a> {
         passing_nrefs.dedup();
 
         // Bracket tq in the time sequence.
-        let Some((lo, hi, t_lo, t_hi)) = self.bracket(ct, node, tq)? else {
+        let Some((lo, hi, t_lo, t_hi)) = self.bracket(j, ct, node, tq)? else {
             return Ok(false);
         };
 

@@ -1,0 +1,1091 @@
+//! Sharding: N independent [`Store`] partitions behind one query facade.
+//!
+//! A [`ShardedStore`] owns a set of [`Store`]s and presents the exact
+//! `where`/`when`/`range` + pagination surface of a single store (both
+//! implement [`QueryTarget`]). Trajectories are routed to partitions at
+//! ingest time by a pluggable [`ShardPolicy`] — by time interval
+//! ([`ByTime`]) or by road-network region ([`ByRegion`]) — and each
+//! partition is a complete, self-contained store: its own compressed
+//! dataset, StIU index, query plans and decode cache. Ingest,
+//! compression and queries therefore parallelize per shard instead of
+//! serializing on one `CompressedDataset`, and each shard is an
+//! independently lockable unit for the future `serve` / streaming-ingest
+//! paths.
+//!
+//! # Query execution
+//!
+//! * **where/when** target a single trajectory: the facade resolves the
+//!   owning shard through its id map and delegates — a one-shard
+//!   fan-out.
+//! * **range** fans out to every shard for *candidates*
+//!   (`(id, position)` pairs from each shard's interval index), merges
+//!   them into one globally id-ascending sequence, and then evaluates
+//!   candidates in that order against their owning shard's engine until
+//!   the page limit fills. This reproduces the single store's evaluation
+//!   order exactly, so answers and page boundaries are identical.
+//! * **par_range_query** pulls whole queries from the same
+//!   atomic-counter work queue the single store uses
+//!   (`crate::query::par_run`); each worker fans out over shards
+//!   *inside* its query, so sharding never multiplies thread pools.
+//!
+//! Merging moves hit values (`WhereHit`/`WhenHit`/`u64` ids) between
+//! pages; decoded artifacts stay behind each shard's cache `Arc`s and
+//! are never cloned across the merge.
+//!
+//! # Cursor encoding
+//!
+//! Cursors stay opaque `u64`s but are *global*:
+//!
+//! * **where/when** cursors encode `(shard, local_cursor)` — the owning
+//!   shard in the high 16 bits, the shard-local offset cursor in the low
+//!   48. A cursor presented to a store whose routing disagrees (or with
+//!   a foreign shard tag) fails with [`Error::InvalidCursor`] instead of
+//!   silently paginating wrong.
+//! * **range** cursors are keyset-style — the last returned trajectory
+//!   id, exactly as in the single store. They carry no shard tag, so
+//!   range cursors are interchangeable between a [`Store`] and any
+//!   [`ShardedStore`] over the same dataset.
+//!
+//! # Persistence
+//!
+//! [`ShardedStore::save`] writes a v3 container: a shard directory
+//! (policy kind + parameter) followed by one embedded, fully
+//! self-contained v2 container per shard (see [`crate::storage`]).
+//! [`ShardedStore::open`] reads v3 and also accepts a plain v2 container
+//! as a single-shard store; the embedded network is deserialized once
+//! and shared across shards behind one `Arc`.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use utcq_network::{EdgeId, Grid, Rect, RoadNetwork};
+use utcq_traj::{Dataset, UncertainTrajectory};
+
+use crate::cache::CacheStats;
+use crate::error::Error;
+use crate::params::CompressParams;
+use crate::query::{par_run, Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
+use crate::stiu::StiuParams;
+use crate::storage::{self, ShardDirectory, POLICY_CUSTOM, POLICY_REGION, POLICY_TIME};
+use crate::store::{Store, StoreBuilder};
+
+/// Maximum number of shards a store may have (the shard tag of a
+/// where/when cursor is 16 bits).
+pub const MAX_SHARDS: u32 = 1 << 16;
+
+/// Bits of a global where/when cursor holding the shard-local cursor.
+const LOCAL_CURSOR_BITS: u32 = 48;
+const LOCAL_CURSOR_MASK: u64 = (1 << LOCAL_CURSOR_BITS) - 1;
+
+fn encode_cursor(shard: u32, local: u64) -> u64 {
+    debug_assert!(local <= LOCAL_CURSOR_MASK, "local cursor overflows 48 bits");
+    (u64::from(shard) << LOCAL_CURSOR_BITS) | (local & LOCAL_CURSOR_MASK)
+}
+
+fn decode_cursor(global: u64) -> (u32, u64) {
+    (
+        (global >> LOCAL_CURSOR_BITS) as u32,
+        global & LOCAL_CURSOR_MASK,
+    )
+}
+
+/// Routes trajectories to shards at ingest time.
+///
+/// A policy must be **deterministic** — the same trajectory must route
+/// to the same shard on every call — because duplicate-id detection and
+/// the facade's id map rely on a stable placement. Built-in policies
+/// ([`ByTime`], [`ByRegion`]) also serialize into the v3 shard
+/// directory; custom implementations are recorded as `custom` (the
+/// container still opens — querying never routes).
+pub trait ShardPolicy: Send + Sync {
+    /// The shard (in `0..n_shards`) that should own `tu`.
+    fn route(&self, net: &RoadNetwork, tu: &UncertainTrajectory, n_shards: u32) -> u32;
+
+    /// The serializable spec of a built-in policy; `None` for custom
+    /// policies.
+    fn spec(&self) -> Option<ShardSpec> {
+        None
+    }
+}
+
+/// Serializable description of a built-in [`ShardPolicy`] — what the v3
+/// shard directory records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// [`ByTime`] with the given bucket width in seconds.
+    ByTime {
+        /// Time-bucket width in seconds.
+        interval_s: i64,
+    },
+    /// [`ByRegion`] with the given routing-grid dimension.
+    ByRegion {
+        /// Routing grid dimension (`grid_n × grid_n` cells).
+        grid_n: u32,
+    },
+}
+
+impl ShardSpec {
+    /// Instantiates the policy this spec describes.
+    pub fn policy(self) -> Arc<dyn ShardPolicy> {
+        match self {
+            ShardSpec::ByTime { interval_s } => Arc::new(ByTime { interval_s }),
+            ShardSpec::ByRegion { grid_n } => Arc::new(ByRegion { grid_n }),
+        }
+    }
+
+    fn directory(spec: Option<ShardSpec>) -> ShardDirectory {
+        match spec {
+            Some(ShardSpec::ByTime { interval_s }) => ShardDirectory {
+                kind: POLICY_TIME,
+                param: interval_s,
+            },
+            Some(ShardSpec::ByRegion { grid_n }) => ShardDirectory {
+                kind: POLICY_REGION,
+                param: i64::from(grid_n),
+            },
+            None => ShardDirectory {
+                kind: POLICY_CUSTOM,
+                param: 0,
+            },
+        }
+    }
+
+    fn from_directory(dir: ShardDirectory) -> Option<ShardSpec> {
+        match dir.kind {
+            POLICY_TIME => Some(ShardSpec::ByTime {
+                interval_s: dir.param.max(1),
+            }),
+            POLICY_REGION => Some(ShardSpec::ByRegion {
+                grid_n: u32::try_from(dir.param).unwrap_or(1).max(1),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Time-interval routing: trajectories whose first sample falls in the
+/// same `interval_s`-second bucket land on the same shard; buckets
+/// round-robin across shards, so contiguous time ranges spread evenly.
+#[derive(Debug, Clone, Copy)]
+pub struct ByTime {
+    /// Bucket width in seconds (clamped to ≥ 1).
+    pub interval_s: i64,
+}
+
+impl Default for ByTime {
+    /// Hour-wide buckets.
+    fn default() -> Self {
+        Self { interval_s: 3600 }
+    }
+}
+
+impl ShardPolicy for ByTime {
+    fn route(&self, _net: &RoadNetwork, tu: &UncertainTrajectory, n_shards: u32) -> u32 {
+        let t0 = tu.times.first().copied().unwrap_or(0);
+        t0.div_euclid(self.interval_s.max(1))
+            .rem_euclid(i64::from(n_shards)) as u32
+    }
+
+    fn spec(&self) -> Option<ShardSpec> {
+        Some(ShardSpec::ByTime {
+            interval_s: self.interval_s,
+        })
+    }
+}
+
+/// Region routing: a coarse `grid_n × grid_n` grid over the network's
+/// bounding rectangle; a trajectory lands on the shard of the cell its
+/// most probable instance starts in, so trajectories beginning in the
+/// same area co-locate.
+#[derive(Debug, Clone, Copy)]
+pub struct ByRegion {
+    /// Routing grid dimension (clamped to ≥ 1). Independent of the StIU
+    /// grid — this one only routes.
+    pub grid_n: u32,
+}
+
+impl Default for ByRegion {
+    /// An 8 × 8 routing grid.
+    fn default() -> Self {
+        Self { grid_n: 8 }
+    }
+}
+
+impl ShardPolicy for ByRegion {
+    fn route(&self, net: &RoadNetwork, tu: &UncertainTrajectory, n_shards: u32) -> u32 {
+        if tu.instances.is_empty() {
+            return 0;
+        }
+        let grid = Grid::over_network(net, self.grid_n.max(1));
+        let inst = tu.top_instance();
+        let loc = inst.location(net, 0);
+        let cell = grid.cell_of(net.point_on_edge(loc.edge, loc.ndist));
+        cell.0 % n_shards
+    }
+
+    fn spec(&self) -> Option<ShardSpec> {
+        Some(ShardSpec::ByRegion {
+            grid_n: self.grid_n,
+        })
+    }
+}
+
+/// Incremental construction of a [`ShardedStore`] — the sharded
+/// counterpart of [`StoreBuilder`], usually reached through
+/// [`StoreBuilder::shard_by`].
+///
+/// Each [`ingest`](Self::ingest) routes the batch's trajectories
+/// individually (no payload copies) to per-shard [`StoreBuilder`]s, so
+/// only each trajectory's owning shard compresses and indexes it.
+pub struct ShardedStoreBuilder {
+    net: Arc<RoadNetwork>,
+    policy: Arc<dyn ShardPolicy>,
+    builders: Vec<StoreBuilder>,
+    total_cache_bytes: usize,
+}
+
+impl ShardedStoreBuilder {
+    /// A sharded builder with `n_shards` partitions routed by `policy`.
+    pub fn new(
+        net: Arc<RoadNetwork>,
+        params: CompressParams,
+        policy: Arc<dyn ShardPolicy>,
+        n_shards: u32,
+    ) -> Result<Self, Error> {
+        if n_shards == 0 {
+            return Err(Error::ShardConfig("shard count must be at least 1"));
+        }
+        if n_shards > MAX_SHARDS {
+            return Err(Error::ShardConfig("shard count exceeds 65536"));
+        }
+        let builders = (0..n_shards)
+            .map(|_| StoreBuilder::new(net.clone(), params))
+            .collect();
+        let mut b = Self {
+            net,
+            policy,
+            builders,
+            total_cache_bytes: crate::cache::DEFAULT_CACHE_BYTES,
+        };
+        b.apply_cache_budget();
+        Ok(b)
+    }
+
+    fn apply_cache_budget(&mut self) {
+        let per_shard = self.total_cache_bytes / self.builders.len();
+        self.builders = std::mem::take(&mut self.builders)
+            .into_iter()
+            .map(|sb| sb.cache_bytes(per_shard))
+            .collect();
+    }
+
+    /// Overrides the *total* decode-cache byte budget; each shard gets
+    /// an equal slice (`0` disables caching everywhere).
+    pub fn cache_bytes(mut self, total_bytes: usize) -> Self {
+        self.total_cache_bytes = total_bytes;
+        self.apply_cache_budget();
+        self
+    }
+
+    /// Overrides the StIU parameters of every shard. Must be called
+    /// before the first [`ingest`](Self::ingest) (as with
+    /// [`StoreBuilder::stiu_params`]).
+    pub fn stiu_params(mut self, p: StiuParams) -> Self {
+        self.builders = std::mem::take(&mut self.builders)
+            .into_iter()
+            .map(|sb| sb.stiu_params(p))
+            .collect();
+        self
+    }
+
+    /// Overrides the dataset label (defaults to the first batch's name).
+    pub fn name(mut self, name: &str) -> Self {
+        self.builders = std::mem::take(&mut self.builders)
+            .into_iter()
+            .map(|sb| sb.name(name))
+            .collect();
+        self
+    }
+
+    /// Routes and ingests one batch: each trajectory is compressed and
+    /// indexed by its owning shard only.
+    pub fn ingest(mut self, batch: &Dataset) -> Result<Self, Error> {
+        let n = self.builders.len() as u32;
+        for sb in &mut self.builders {
+            sb.check_batch(batch)?;
+        }
+        for tu in &batch.trajectories {
+            let shard = self.policy.route(&self.net, tu, n);
+            let sb = self
+                .builders
+                .get_mut(shard as usize)
+                .ok_or(Error::ShardConfig("policy routed past the shard count"))?;
+            sb.ingest_traj(tu)?;
+        }
+        Ok(self)
+    }
+
+    /// Finalizes every shard and assembles the facade.
+    pub fn finish(self) -> Result<ShardedStore, Error> {
+        let shards = self
+            .builders
+            .into_iter()
+            .map(StoreBuilder::finish)
+            .collect::<Result<Vec<_>, _>>()?;
+        ShardedStore::from_shards(shards, self.policy.spec())
+    }
+}
+
+/// N [`Store`] partitions behind the single-store query surface.
+///
+/// See the [module docs](self) for execution, cursor and persistence
+/// semantics. Equivalence with a single store over the same dataset is
+/// asserted by `tests/shard_equivalence.rs`.
+pub struct ShardedStore {
+    shards: Vec<Store>,
+    spec: Option<ShardSpec>,
+    /// Trajectory id → owning shard, across all shards.
+    id_to_shard: HashMap<u64, u32>,
+    /// Whether every shard's StIU grid is the same function (same
+    /// network, same `grid_n`) — the normal case, which lets a range
+    /// query build its query-cell set once instead of once per shard.
+    uniform_grid: bool,
+    /// Facade-level range acceleration: the shards' temporal interval
+    /// postings merged once at assembly into id-ascending
+    /// `(id, shard, position)` lists, so a range query resolves its
+    /// global candidate sequence with one lookup and zero sorting
+    /// (shards are immutable once assembled). `None` when the shards'
+    /// time partitions disagree — then candidates are gathered and
+    /// sorted per query.
+    range_index: Option<RangeIndex>,
+}
+
+/// See [`ShardedStore::range_index`].
+struct RangeIndex {
+    /// The shards' common temporal partition width.
+    partition_s: i64,
+    /// Interval key → candidates ascending by trajectory id.
+    postings: HashMap<i64, Vec<(u64, u32, u32)>>,
+}
+
+impl RangeIndex {
+    /// Merges the shards' interval postings; `None` if the partition
+    /// widths disagree (their interval keys would be incompatible).
+    fn build(shards: &[Store]) -> Option<Self> {
+        let partition_s = shards[0].stiu().params.partition_s;
+        if shards
+            .iter()
+            .any(|s| s.stiu().params.partition_s != partition_s)
+        {
+            return None;
+        }
+        let mut postings: HashMap<i64, Vec<(u64, u32, u32)>> = HashMap::new();
+        for (s, store) in shards.iter().enumerate() {
+            for (&key, js) in &store.stiu().interval_trajs {
+                let list = postings.entry(key).or_default();
+                for &j in js {
+                    if let Some(ct) = store.compressed().trajectories.get(j as usize) {
+                        list.push((ct.id, s as u32, j));
+                    }
+                }
+            }
+        }
+        for list in postings.values_mut() {
+            list.sort_unstable();
+        }
+        Some(Self {
+            partition_s,
+            postings,
+        })
+    }
+
+    /// The id-ascending candidates at `tq`, resuming past the keyset
+    /// cursor `after`.
+    fn candidates(&self, tq: i64, after: Option<u64>) -> &[(u64, u32, u32)] {
+        let list = self
+            .postings
+            .get(&tq.div_euclid(self.partition_s))
+            .map_or(&[][..], Vec::as_slice);
+        let start = match after {
+            Some(a) => list.partition_point(|&(id, _, _)| id <= a),
+            None => 0,
+        };
+        &list[start..]
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("trajectories", &self.len())
+            .field("policy", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedStore {
+    /// Assembles a facade over already-built shards, validating that no
+    /// trajectory id appears in two partitions.
+    pub fn from_shards(shards: Vec<Store>, spec: Option<ShardSpec>) -> Result<Self, Error> {
+        if shards.is_empty() {
+            return Err(Error::ShardConfig("shard count must be at least 1"));
+        }
+        if shards.len() > MAX_SHARDS as usize {
+            return Err(Error::ShardConfig("shard count exceeds 65536"));
+        }
+        let mut id_to_shard = HashMap::with_capacity(shards.iter().map(Store::len).sum());
+        for (s, store) in shards.iter().enumerate() {
+            for ct in &store.compressed().trajectories {
+                if id_to_shard.insert(ct.id, s as u32).is_some() {
+                    return Err(Error::DuplicateTrajectory(ct.id));
+                }
+            }
+        }
+        let uniform_grid = shards.windows(2).all(|w| {
+            Arc::ptr_eq(w[0].network(), w[1].network())
+                && w[0].stiu().params.grid_n == w[1].stiu().params.grid_n
+        });
+        let range_index = RangeIndex::build(&shards);
+        Ok(Self {
+            shards,
+            spec,
+            id_to_shard,
+            uniform_grid,
+            range_index,
+        })
+    }
+
+    /// Opens a sharded v3 container (or a plain v2 container as a
+    /// single-shard store). v1 containers fail with
+    /// [`Error::NeedsNetwork`], as with [`Store::open`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        let f = File::open(path)?;
+        Self::read(&mut BufReader::new(f))
+    }
+
+    /// Reads a v3 (or v2) container from an arbitrary reader. The
+    /// embedded road network is deserialized from the first shard and
+    /// shared across all shards behind one `Arc`; the other shards'
+    /// embedded copies are validated against it and dropped.
+    pub fn read(r: &mut impl Read) -> Result<Self, Error> {
+        let (dir, blobs) = match storage::load_v3(r) {
+            Ok(parts) => parts,
+            Err(storage::StorageError::LegacyVersion) => return Err(Error::NeedsNetwork),
+            Err(e) => return Err(e.into()),
+        };
+        let mut shared_net: Option<Arc<RoadNetwork>> = None;
+        let mut shards = Vec::with_capacity(blobs.len());
+        for blob in &blobs {
+            let (net, cds, stiu) = storage::load_v2(&mut blob.as_slice())?;
+            let net = match &shared_net {
+                None => {
+                    let net = Arc::new(net);
+                    shared_net = Some(Arc::clone(&net));
+                    net
+                }
+                Some(first) => {
+                    // Full structural comparison: shards assembled from
+                    // different networks with coincidentally equal
+                    // counts must not silently answer against shard 0's
+                    // geometry.
+                    if **first != net {
+                        return Err(Error::CorruptStore("shards embed different networks"));
+                    }
+                    Arc::clone(first)
+                }
+            };
+            shards.push(Store::assemble(net, cds, stiu)?);
+        }
+        let store = Self::from_shards(shards, dir.and_then(ShardSpec::from_directory))?;
+        // Per-shard assembly defaults each cache to the full default
+        // budget; a sharded store's default is a *total* budget split
+        // across shards, matching what the builder configures.
+        store.set_cache_bytes(crate::cache::DEFAULT_CACHE_BYTES);
+        Ok(store)
+    }
+
+    /// Persists the store as a v3 container.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let f = File::create(path)?;
+        self.write(&mut BufWriter::new(f))
+    }
+
+    /// Writes the v3 container to an arbitrary writer.
+    pub fn write(&self, w: &mut impl Write) -> Result<(), Error> {
+        let mut blobs = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let mut blob = Vec::new();
+            shard.write(&mut blob)?;
+            blobs.push(blob);
+        }
+        storage::save_v3(ShardSpec::directory(self.spec), &blobs, w)?;
+        Ok(())
+    }
+
+    /// The shard partitions, in directory order.
+    pub fn shards(&self) -> &[Store] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing policy recorded for this store (`None` when it was
+    /// built with a custom policy or opened from a v2 container).
+    pub fn policy_spec(&self) -> Option<ShardSpec> {
+        self.spec
+    }
+
+    /// The road network, shared by every shard.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        self.shards[0].network()
+    }
+
+    /// Total number of trajectories across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Store::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Store::is_empty)
+    }
+
+    /// The shard owning trajectory `id`, if ingested.
+    pub fn traj_shard(&self, id: u64) -> Option<u32> {
+        self.id_to_shard.get(&id).copied()
+    }
+
+    /// Component-wise and total compression ratios aggregated across
+    /// shards.
+    pub fn ratios(&self) -> crate::compress::Ratios {
+        let mut raw = utcq_traj::size::SizeBreakdown::default();
+        let mut compressed = utcq_traj::size::SizeBreakdown::default();
+        for s in &self.shards {
+            raw.add(&s.compressed().raw);
+            compressed.add(&s.compressed().compressed);
+        }
+        crate::compress::Ratios::from_sizes(&raw, &compressed)
+    }
+
+    /// Translates an incoming global cursor into the owning shard's
+    /// local cursor, rejecting cursors minted for a different shard.
+    fn local_page(&self, shard: u32, page: PageRequest) -> Result<PageRequest, Error> {
+        let cursor = match page.cursor {
+            None => None,
+            Some(global) => {
+                let (tag, local) = decode_cursor(global);
+                if tag != shard {
+                    return Err(Error::InvalidCursor);
+                }
+                Some(local)
+            }
+        };
+        Ok(PageRequest {
+            limit: page.limit,
+            cursor,
+        })
+    }
+
+    /// Re-tags a shard-local page as a global one. Items are moved, not
+    /// cloned — the merge path never copies decoded payloads.
+    fn global_page<T>(shard: u32, page: Page<T>) -> Page<T> {
+        Page {
+            items: page.items,
+            next_cursor: page.next_cursor.map(|c| encode_cursor(shard, c)),
+            has_more: page.has_more,
+        }
+    }
+
+    /// Probabilistic **where** query — resolved to the owning shard.
+    pub fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        let Some(shard) = self.traj_shard(traj_id) else {
+            return Ok(Page::slice(Vec::new(), PageRequest::first(page.limit)));
+        };
+        let local = self.local_page(shard, page)?;
+        let answer = self.shards[shard as usize].where_query(traj_id, t, alpha, local)?;
+        Ok(Self::global_page(shard, answer))
+    }
+
+    /// Probabilistic **when** query — resolved to the owning shard.
+    pub fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        let Some(shard) = self.traj_shard(traj_id) else {
+            return Ok(Page::slice(Vec::new(), PageRequest::first(page.limit)));
+        };
+        let local = self.local_page(shard, page)?;
+        let answer = self.shards[shard as usize].when_query(traj_id, edge, rd, alpha, local)?;
+        Ok(Self::global_page(shard, answer))
+    }
+
+    /// Probabilistic **range** query with fan-out/merge execution:
+    /// candidates are gathered from every shard, merged into one
+    /// id-ascending sequence, and evaluated in that order until the page
+    /// fills — byte-identical answers and page boundaries to a single
+    /// store over the same dataset. The keyset cursor (last returned id)
+    /// is shard-agnostic.
+    pub fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        // Candidates globally ascending by trajectory id (ids are unique
+        // across shards, so that is a total order): one lookup in the
+        // prebuilt facade index, or a gather-and-sort fallback when the
+        // shards' time partitions disagree.
+        let gathered;
+        let candidates: &[(u64, u32, u32)] = match &self.range_index {
+            Some(ri) => ri.candidates(tq, page.cursor),
+            None => {
+                let mut c: Vec<(u64, u32, u32)> = Vec::new();
+                for (s, shard) in self.shards.iter().enumerate() {
+                    c.extend(
+                        shard
+                            .unsorted_range_candidates(tq)
+                            .filter(|&(id, _)| page.cursor.is_none_or(|a| id > a))
+                            .map(|(id, j)| (id, s as u32, j)),
+                    );
+                }
+                c.sort_unstable();
+                gathered = c;
+                &gathered
+            }
+        };
+        // One cell set serves every shard when the grids agree (always,
+        // for stores built through one builder or reopened from v3);
+        // heterogeneous shards fall back to per-shard sets lazily.
+        let shared_cells = self.uniform_grid.then(|| self.shards[0].query_cells(re));
+        let mut per_shard_cells: Vec<Option<std::collections::HashSet<utcq_network::CellId>>> =
+            if shared_cells.is_some() {
+                Vec::new()
+            } else {
+                vec![None; self.shards.len()]
+            };
+        let limit = page.limit.max(1); // a zero limit could never progress
+        let mut items = Vec::new();
+        let mut has_more = false;
+        for &(id, s, j) in candidates {
+            if items.len() >= limit {
+                has_more = true;
+                break;
+            }
+            let shard = &self.shards[s as usize];
+            let cells = match &shared_cells {
+                Some(c) => c,
+                None => per_shard_cells[s as usize].get_or_insert_with(|| shard.query_cells(re)),
+            };
+            if shard.range_matches_at(j, cells, re, tq, alpha)? {
+                items.push(id);
+            }
+        }
+        let next_cursor = has_more.then(|| *items.last().expect("limit > 0 implies items"));
+        Ok(Page {
+            items,
+            next_cursor,
+            has_more,
+        })
+    }
+
+    /// Evaluates a batch of **range** queries in parallel, answers
+    /// unpaginated and in input order.
+    ///
+    /// Workers pull whole queries from the one shared atomic-counter
+    /// queue ([`crate::query::par_run`]) and fan out over shards
+    /// *inside* the worker — one thread pool total, never one per
+    /// shard. Because the answer is unpaginated, candidates are
+    /// evaluated in shard-local index order (contiguous per-shard data,
+    /// no candidate sort at all) and only the *matching* ids are sorted
+    /// — strictly less ordering work than the paginated path pays.
+    pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Resolve each query's cell set once when every grid agrees.
+        let shared_cells: Option<Vec<std::collections::HashSet<utcq_network::CellId>>> =
+            self.uniform_grid.then(|| {
+                queries
+                    .iter()
+                    .map(|q| self.shards[0].query_cells(&q.re))
+                    .collect()
+            });
+        par_run(queries.len(), |qi| {
+            let q = &queries[qi];
+            let mut hits = Vec::new();
+            match &self.range_index {
+                // Fast path: the prebuilt candidate list is already
+                // id-ascending, so hits come out sorted for free.
+                Some(ri) => {
+                    // Lazily memoized per shard for the heterogeneous
+                    // grid case — never rebuilt per candidate.
+                    let mut per_shard_cells: Vec<
+                        Option<std::collections::HashSet<utcq_network::CellId>>,
+                    > = if shared_cells.is_some() {
+                        Vec::new()
+                    } else {
+                        vec![None; self.shards.len()]
+                    };
+                    for &(id, s, j) in ri.candidates(q.tq, None) {
+                        let shard = &self.shards[s as usize];
+                        let cells = match &shared_cells {
+                            Some(all) => &all[qi],
+                            None => per_shard_cells[s as usize]
+                                .get_or_insert_with(|| shard.query_cells(&q.re)),
+                        };
+                        if shard.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
+                            hits.push(id);
+                        }
+                    }
+                }
+                // Heterogeneous shards: gather per shard, order at the
+                // end (ids are unique across shards, and ascending ids
+                // match the single store's evaluation order).
+                None => {
+                    let mut owned_cells = None;
+                    for shard in &self.shards {
+                        let cells = match &shared_cells {
+                            Some(all) => &all[qi],
+                            None => owned_cells.insert(shard.query_cells(&q.re)),
+                        };
+                        for (id, j) in shard.unsorted_range_candidates(q.tq) {
+                            if shard.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
+                                hits.push(id);
+                            }
+                        }
+                    }
+                    hits.sort_unstable();
+                }
+            }
+            Ok(hits)
+        })
+    }
+
+    /// Aggregated decode-cache counters across shards (budget and
+    /// footprint are totals).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            let st = s.cache_stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.evictions += st.evictions;
+            total.entries += st.entries;
+            total.bytes += st.bytes;
+            total.budget_bytes += st.budget_bytes;
+        }
+        total
+    }
+
+    /// Splits a *total* byte budget evenly across the shards' decode
+    /// caches (`0` disables caching everywhere).
+    pub fn set_cache_bytes(&self, total_bytes: usize) {
+        let per_shard = total_bytes / self.shards.len();
+        for s in &self.shards {
+            s.set_cache_bytes(per_shard);
+        }
+    }
+
+    /// Drops every cached decode in every shard.
+    pub fn clear_cache(&self) {
+        for s in &self.shards {
+            s.clear_cache();
+        }
+    }
+}
+
+impl QueryTarget for ShardedStore {
+    fn len(&self) -> usize {
+        ShardedStore::len(self)
+    }
+
+    fn network(&self) -> &Arc<RoadNetwork> {
+        ShardedStore::network(self)
+    }
+
+    fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        ShardedStore::where_query(self, traj_id, t, alpha, page)
+    }
+
+    fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        ShardedStore::when_query(self, traj_id, edge, rd, alpha, page)
+    }
+
+    fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        ShardedStore::range_query(self, re, tq, alpha, page)
+    }
+
+    fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        ShardedStore::par_range_query(self, queries)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        ShardedStore::cache_stats(self)
+    }
+
+    fn set_cache_bytes(&self, bytes: usize) {
+        ShardedStore::set_cache_bytes(self, bytes)
+    }
+
+    fn clear_cache(&self) {
+        ShardedStore::clear_cache(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utcq_traj::paper_fixture;
+
+    fn paper_dataset() -> (Arc<RoadNetwork>, Dataset) {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        (Arc::new(fx.example.net.clone()), ds)
+    }
+
+    fn sharded(n: u32) -> ShardedStore {
+        let (net, ds) = paper_dataset();
+        StoreBuilder::new(
+            net,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+        )
+        .stiu_params(StiuParams {
+            partition_s: 900,
+            grid_n: 4,
+        })
+        .shard_by(Arc::new(ByTime::default()), n)
+        .unwrap()
+        .ingest(&ds)
+        .unwrap()
+        .finish()
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_store_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<ShardedStore>();
+        assert_send_sync::<ShardedStoreBuilder>();
+    }
+
+    #[test]
+    fn cursor_roundtrip() {
+        for (shard, local) in [(0u32, 0u64), (1, 7), (65535, LOCAL_CURSOR_MASK)] {
+            let g = encode_cursor(shard, local);
+            assert_eq!(decode_cursor(g), (shard, local));
+        }
+    }
+
+    #[test]
+    fn routes_are_stable_and_in_range() {
+        let (net, ds) = paper_dataset();
+        for n in [1u32, 2, 7] {
+            for policy in [
+                Arc::new(ByTime::default()) as Arc<dyn ShardPolicy>,
+                Arc::new(ByRegion::default()),
+            ] {
+                let a = policy.route(&net, &ds.trajectories[0], n);
+                let b = policy.route(&net, &ds.trajectories[0], n);
+                assert_eq!(a, b);
+                assert!(a < n);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_examples_answer_identically_through_shards() {
+        let store = sharded(3);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.shard_count(), 3);
+        let fx = paper_fixture::build();
+        let hits = store
+            .where_query(1, paper_fixture::hms(5, 21, 25), 0.25, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].loc.edge, fx.example.edge(6, 7));
+        let t = paper_fixture::hms(5, 5, 25);
+        let all = Rect::new(-10.0, -10.0, 70.0, 10.0);
+        assert_eq!(
+            store
+                .range_query(&all, t, 0.5, PageRequest::all())
+                .unwrap()
+                .into_items(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn unknown_id_is_empty_not_an_error() {
+        let store = sharded(2);
+        let page = store.where_query(99, 0, 0.0, PageRequest::all()).unwrap();
+        assert!(page.items.is_empty() && !page.has_more);
+    }
+
+    #[test]
+    fn foreign_shard_cursor_is_rejected() {
+        let store = sharded(2);
+        let shard = store.traj_shard(1).unwrap();
+        let foreign = encode_cursor(shard + 1, 0);
+        let r = store.where_query(
+            1,
+            paper_fixture::hms(5, 5, 0),
+            0.0,
+            PageRequest::after(foreign, 2),
+        );
+        assert!(matches!(r, Err(Error::InvalidCursor)));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let (net, ds) = paper_dataset();
+        let r = StoreBuilder::new(
+            net,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+        )
+        .shard_by(Arc::new(ByTime::default()), 0);
+        assert!(matches!(r, Err(Error::ShardConfig(_))));
+        let _ = ds;
+    }
+
+    #[test]
+    fn shard_by_after_ingest_rejected() {
+        let (net, ds) = paper_dataset();
+        let b = StoreBuilder::new(
+            net,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+        )
+        .ingest(&ds)
+        .unwrap();
+        assert!(matches!(
+            b.shard_by(Arc::new(ByTime::default()), 2),
+            Err(Error::ShardConfig(_))
+        ));
+    }
+
+    #[test]
+    fn v3_roundtrip_through_bytes() {
+        let store = sharded(3);
+        let mut bytes = Vec::new();
+        store.write(&mut bytes).unwrap();
+        let reopened = ShardedStore::read(&mut bytes.as_slice()).unwrap();
+        assert_eq!(reopened.shard_count(), 3);
+        assert_eq!(reopened.len(), store.len());
+        assert_eq!(
+            reopened.policy_spec(),
+            Some(ShardSpec::ByTime { interval_s: 3600 })
+        );
+        // The shared-network path: every shard holds the same Arc.
+        for s in reopened.shards() {
+            assert!(Arc::ptr_eq(s.network(), reopened.network()));
+        }
+        // A single-store open of the same bytes is redirected.
+        assert!(matches!(
+            Store::read(&mut bytes.as_slice()),
+            Err(Error::ShardedContainer)
+        ));
+    }
+
+    #[test]
+    fn shards_with_different_networks_rejected() {
+        // Same vertex/edge counts, different geometry: a count-only
+        // check would let shard 1 silently answer against shard 0's
+        // coordinates.
+        let blob = |spacing: f64| {
+            let net = Arc::new(utcq_network::gen::line(5, spacing));
+            let store = StoreBuilder::new(net, CompressParams::default())
+                .finish()
+                .unwrap();
+            let mut b = Vec::new();
+            store.write(&mut b).unwrap();
+            b
+        };
+        let mut bytes = Vec::new();
+        crate::storage::save_v3(
+            crate::storage::ShardDirectory { kind: 0, param: 0 },
+            &[blob(100.0), blob(120.0)],
+            &mut bytes,
+        )
+        .unwrap();
+        assert!(matches!(
+            ShardedStore::read(&mut bytes.as_slice()),
+            Err(Error::CorruptStore("shards embed different networks"))
+        ));
+        // Identical networks still open.
+        let mut ok = Vec::new();
+        crate::storage::save_v3(
+            crate::storage::ShardDirectory { kind: 0, param: 0 },
+            &[blob(100.0), blob(100.0)],
+            &mut ok,
+        )
+        .unwrap();
+        assert_eq!(
+            ShardedStore::read(&mut ok.as_slice())
+                .unwrap()
+                .shard_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn v2_opens_as_single_shard() {
+        let (net, ds) = paper_dataset();
+        let single = Store::build(
+            net,
+            &ds,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+            StiuParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        single.write(&mut bytes).unwrap();
+        let sharded = ShardedStore::read(&mut bytes.as_slice()).unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.policy_spec(), None);
+        assert_eq!(sharded.len(), single.len());
+    }
+}

@@ -1,6 +1,6 @@
 //! On-disk persistence of compressed datasets.
 //!
-//! Compact little-endian binary containers under the `UTCQ` magic. Two
+//! Compact little-endian binary containers under the `UTCQ` magic. Three
 //! format versions coexist:
 //!
 //! # Container v1 (legacy, still readable)
@@ -45,9 +45,26 @@
 //!     u64 interval count, per interval: i64 key, u32 len, len × u32
 //! ```
 //!
+//! # Container v3 (sharded)
+//!
+//! A shard directory followed by one **embedded, fully self-contained v2
+//! container per shard** — each blob parses standalone with [`load_v2`]:
+//!
+//! ```text
+//! "UTCQ"            4-byte magic
+//! u8 = 3            format version
+//! u8 policy kind    POLICY_CUSTOM | POLICY_TIME | POLICY_REGION
+//! i64 policy param  interval seconds / routing-grid dimension / 0
+//! u32 shard count   1 ..= 65536
+//! per shard:        u64 byte length, then that many bytes holding a
+//!                   complete v2 container ("UTCQ" magic included)
+//! ```
+//!
 //! `bits` streams are a `u32` bit length followed by the padded bytes.
-//! [`load`] accepts both versions (returning the dataset only);
-//! [`load_v2`] returns the full `(network, dataset, index)` triple.
+//! [`load`] accepts v1 and v2 (returning the dataset only); [`load_v2`]
+//! returns the full `(network, dataset, index)` triple; [`load_v3`]
+//! returns the shard directory plus per-shard v2 blobs (and accepts a
+//! plain v2 container as a single anonymous shard).
 
 use std::io::{self, Read, Write};
 
@@ -65,6 +82,29 @@ const MAGIC: &[u8; 4] = b"UTCQ";
 pub const VERSION_V1: u8 = 1;
 /// Self-contained container embedding the network and StIU index.
 pub const VERSION_V2: u8 = 2;
+/// Sharded container: a shard directory followed by one embedded v2
+/// container per shard.
+pub const VERSION_V3: u8 = 3;
+
+/// Shard-policy kind recorded in a v3 directory: the routing policy was
+/// not one of the built-ins (metadata only — querying never routes).
+pub const POLICY_CUSTOM: u8 = 0;
+/// Shard-policy kind: time-interval routing (`param` = interval seconds).
+pub const POLICY_TIME: u8 = 1;
+/// Shard-policy kind: region routing (`param` = routing-grid dimension).
+pub const POLICY_REGION: u8 = 2;
+
+/// The fixed-size head of a v3 container: how the trajectories were
+/// routed to shards. Pure metadata for reopening — query execution
+/// discovers trajectory placement from the shard contents themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardDirectory {
+    /// One of [`POLICY_CUSTOM`], [`POLICY_TIME`], [`POLICY_REGION`].
+    pub kind: u8,
+    /// Policy parameter (interval seconds / grid dimension; `0` for
+    /// custom policies).
+    pub param: i64,
+}
 
 /// Errors while reading a container.
 #[derive(Debug)]
@@ -76,6 +116,8 @@ pub enum StorageError {
     /// A valid v1 container was given to a reader that needs v2
     /// (v1 has no embedded network).
     LegacyVersion,
+    /// A sharded v3 container was given to a single-store reader.
+    Sharded,
     /// Structurally invalid payload (corrupt lengths or padding).
     Corrupt(&'static str),
 }
@@ -91,10 +133,19 @@ impl std::fmt::Display for StorageError {
         match self {
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
             StorageError::BadHeader => {
-                write!(f, "not a UTCQ v{VERSION_V1}/v{VERSION_V2} container")
+                write!(
+                    f,
+                    "not a UTCQ v{VERSION_V1}/v{VERSION_V2}/v{VERSION_V3} container"
+                )
             }
             StorageError::LegacyVersion => {
                 write!(f, "v{VERSION_V1} container where v{VERSION_V2} is required")
+            }
+            StorageError::Sharded => {
+                write!(
+                    f,
+                    "sharded v{VERSION_V3} container where a single-store container is required"
+                )
             }
             StorageError::Corrupt(what) => write!(f, "corrupt container: {what}"),
         }
@@ -486,6 +537,71 @@ pub fn save_v2(
     write_stiu(stiu, w)
 }
 
+/// Serializes a sharded v3 container: the shard directory followed by
+/// one length-prefixed, fully self-contained v2 container per shard
+/// (each blob parses standalone with [`load_v2`], so shards can be
+/// extracted, inspected or re-sharded without understanding v3).
+pub fn save_v3(dir: ShardDirectory, shards: &[Vec<u8>], w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u8(w, VERSION_V3)?;
+    write_u8(w, dir.kind)?;
+    write_i64(w, dir.param)?;
+    write_u32(w, shards.len() as u32)?;
+    for blob in shards {
+        write_u64(w, blob.len() as u64)?;
+        w.write_all(blob)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a sharded container into its directory and per-shard v2
+/// container bytes. Accepts a plain v2 container too, returned as a
+/// single shard with no directory — so a sharded reader opens both
+/// transparently. v1 still fails with [`StorageError::LegacyVersion`].
+pub fn load_v3(r: &mut impl Read) -> Result<(Option<ShardDirectory>, Vec<Vec<u8>>), StorageError> {
+    match read_header(r)? {
+        VERSION_V1 => Err(StorageError::LegacyVersion),
+        VERSION_V2 => {
+            // Re-frame the rest of the stream as one standalone shard.
+            let mut blob = Vec::from(*MAGIC);
+            blob.push(VERSION_V2);
+            r.read_to_end(&mut blob)?;
+            Ok((None, vec![blob]))
+        }
+        _ => {
+            let kind = read_u8(r)?;
+            if kind > POLICY_REGION {
+                return Err(StorageError::Corrupt("unknown shard policy kind"));
+            }
+            let param = read_i64(r)?;
+            let n_shards = read_u32(r)? as usize;
+            if n_shards == 0 || n_shards > (1 << 16) {
+                return Err(StorageError::Corrupt("shard count out of range"));
+            }
+            let mut shards = Vec::with_capacity(n_shards);
+            for _ in 0..n_shards {
+                let len = read_u64(r)?;
+                if !(5..=(1u64 << 40)).contains(&len) {
+                    return Err(StorageError::Corrupt("shard blob length out of range"));
+                }
+                // Read through a `take` so the allocation grows with the
+                // bytes that actually arrive — a crafted length field
+                // must not provoke a giant up-front allocation.
+                let mut blob = Vec::new();
+                r.by_ref().take(len).read_to_end(&mut blob)?;
+                if blob.len() as u64 != len {
+                    return Err(StorageError::Corrupt("shard blob truncated"));
+                }
+                if &blob[..4] != MAGIC || blob[4] != VERSION_V2 {
+                    return Err(StorageError::Corrupt("shard blob is not a v2 container"));
+                }
+                shards.push(blob);
+            }
+            Ok((Some(ShardDirectory { kind, param }), shards))
+        }
+    }
+}
+
 /// Reads the magic and version byte.
 fn read_header(r: &mut impl Read) -> Result<u8, StorageError> {
     let mut magic = [0u8; 5];
@@ -494,7 +610,7 @@ fn read_header(r: &mut impl Read) -> Result<u8, StorageError> {
         return Err(StorageError::BadHeader);
     }
     match magic[4] {
-        v @ (VERSION_V1 | VERSION_V2) => Ok(v),
+        v @ (VERSION_V1 | VERSION_V2 | VERSION_V3) => Ok(v),
         _ => Err(StorageError::BadHeader),
     }
 }
@@ -508,11 +624,12 @@ fn read_header(r: &mut impl Read) -> Result<u8, StorageError> {
 pub fn load(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
     match read_header(r)? {
         VERSION_V1 => read_dataset_body(r),
-        _ => {
+        VERSION_V2 => {
             let _net =
                 RoadNetwork::read_from(r).map_err(|_| StorageError::Corrupt("embedded network"))?;
             read_dataset_body(r)
         }
+        _ => Err(StorageError::Sharded),
     }
 }
 
@@ -523,6 +640,7 @@ pub fn load(r: &mut impl Read) -> Result<CompressedDataset, StorageError> {
 pub fn load_v2(r: &mut impl Read) -> Result<(RoadNetwork, CompressedDataset, Stiu), StorageError> {
     match read_header(r)? {
         VERSION_V1 => Err(StorageError::LegacyVersion),
+        VERSION_V3 => Err(StorageError::Sharded),
         _ => {
             let net =
                 RoadNetwork::read_from(r).map_err(|_| StorageError::Corrupt("embedded network"))?;
@@ -629,6 +747,112 @@ mod tests {
         );
         let loaded = load(&mut bytes.as_slice()).expect("dataset body is intact");
         assert_eq!(loaded.compressed, cds.compressed);
+    }
+
+    fn v2_blob() -> Vec<u8> {
+        let (net, cds, stiu) = sample_with_stiu();
+        let mut bytes = Vec::new();
+        save_v2(&net, &cds, &stiu, &mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn v3_roundtrip_preserves_directory_and_blobs() {
+        let blob = v2_blob();
+        let dir = ShardDirectory {
+            kind: POLICY_TIME,
+            param: 3600,
+        };
+        let mut bytes = Vec::new();
+        save_v3(dir, &[blob.clone(), blob.clone()], &mut bytes).unwrap();
+        let (dir2, blobs) = load_v3(&mut bytes.as_slice()).unwrap();
+        assert_eq!(dir2, Some(dir));
+        assert_eq!(blobs.len(), 2);
+        assert_eq!(blobs[0], blob);
+        // Each blob is a standalone v2 container.
+        let (_, cds, _) = load_v2(&mut blobs[1].as_slice()).unwrap();
+        assert!(!cds.trajectories.is_empty());
+    }
+
+    #[test]
+    fn v3_reader_accepts_plain_v2_as_single_shard() {
+        let blob = v2_blob();
+        let (dir, blobs) = load_v3(&mut blob.as_slice()).unwrap();
+        assert_eq!(dir, None);
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0], blob);
+    }
+
+    #[test]
+    fn v3_rejected_by_single_store_loaders() {
+        let blob = v2_blob();
+        let mut bytes = Vec::new();
+        save_v3(
+            ShardDirectory {
+                kind: POLICY_REGION,
+                param: 8,
+            },
+            &[blob],
+            &mut bytes,
+        )
+        .unwrap();
+        assert!(matches!(
+            load(&mut bytes.as_slice()),
+            Err(StorageError::Sharded)
+        ));
+        assert!(matches!(
+            load_v2(&mut bytes.as_slice()),
+            Err(StorageError::Sharded)
+        ));
+        // And v1 is still legacy, not sharded, through the v3 reader.
+        let (_, cds) = sample();
+        let mut v1 = Vec::new();
+        save(&cds, &mut v1).unwrap();
+        assert!(matches!(
+            load_v3(&mut v1.as_slice()),
+            Err(StorageError::LegacyVersion)
+        ));
+    }
+
+    #[test]
+    fn v3_corruption_is_rejected_not_panicking() {
+        let blob = v2_blob();
+        let mut bytes = Vec::new();
+        save_v3(
+            ShardDirectory {
+                kind: POLICY_TIME,
+                param: 3600,
+            },
+            &[blob],
+            &mut bytes,
+        )
+        .unwrap();
+        // Truncations.
+        for cut in [6, bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(load_v3(&mut bytes[..cut].as_ref()).is_err(), "cut={cut}");
+        }
+        // Bad policy kind.
+        let mut bad = bytes.clone();
+        bad[5] = 9;
+        assert!(matches!(
+            load_v3(&mut bad.as_slice()),
+            Err(StorageError::Corrupt(_))
+        ));
+        // Zero shards.
+        let mut none = Vec::new();
+        save_v3(
+            ShardDirectory {
+                kind: POLICY_CUSTOM,
+                param: 0,
+            },
+            &[],
+            &mut none,
+        )
+        .unwrap();
+        assert!(matches!(
+            load_v3(&mut none.as_slice()),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -45,7 +45,6 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use utcq_network::{EdgeId, Rect, RoadNetwork};
@@ -157,6 +156,17 @@ impl StoreBuilder {
     /// Compresses and indexes one batch of trajectories, appending to
     /// whatever was ingested before. Only the new cohort is processed.
     pub fn ingest(mut self, batch: &Dataset) -> Result<Self, Error> {
+        self.check_batch(batch)?;
+        for tu in &batch.trajectories {
+            self.ingest_traj(tu)?;
+        }
+        Ok(self)
+    }
+
+    /// Validates a batch's metadata against the builder's configuration
+    /// and adopts its name if none is set yet. Shared with the sharded
+    /// builder, which routes the batch's trajectories individually.
+    pub(crate) fn check_batch(&mut self, batch: &Dataset) -> Result<(), Error> {
         if batch.default_interval != self.params.default_interval {
             return Err(Error::IntervalMismatch {
                 expected: self.params.default_interval,
@@ -166,24 +176,62 @@ impl StoreBuilder {
         if self.name.is_none() && !batch.name.is_empty() {
             self.name = Some(batch.name.clone());
         }
+        Ok(())
+    }
+
+    /// Compresses and indexes a single trajectory — the per-item step of
+    /// [`ingest`](Self::ingest), also driven directly by
+    /// [`crate::shard::ShardedStoreBuilder`] so routing a batch across
+    /// shards never copies trajectory payloads.
+    pub(crate) fn ingest_traj(&mut self, tu: &utcq_traj::UncertainTrajectory) -> Result<(), Error> {
         let stiu = self
             .stiu
             .get_or_insert_with(|| Stiu::new(&self.net, self.stiu_params));
         let p_codec = self.params.p_codec();
-        for tu in &batch.trajectories {
-            let j = self.cds.trajectories.len() as u32;
-            if self.id_to_idx.contains_key(&tu.id) {
-                return Err(Error::DuplicateTrajectory(tu.id));
-            }
-            let (ct, size) = compress_trajectory(&self.net, tu, &self.params)?;
-            self.cds.compressed.add(&size);
-            self.cds.raw.add(&utcq_traj::size::uncompressed_bits(tu));
-            stiu.push(&self.net, tu, &ct, &self.params);
-            self.plans.push(TrajPlan::build(&ct, &p_codec)?);
-            self.id_to_idx.insert(tu.id, j);
-            self.cds.trajectories.push(ct);
+        let j = self.cds.trajectories.len() as u32;
+        if self.id_to_idx.contains_key(&tu.id) {
+            return Err(Error::DuplicateTrajectory(tu.id));
         }
-        Ok(self)
+        let (ct, size) = compress_trajectory(&self.net, tu, &self.params)?;
+        self.cds.compressed.add(&size);
+        self.cds.raw.add(&utcq_traj::size::uncompressed_bits(tu));
+        stiu.push(&self.net, tu, &ct, &self.params);
+        self.plans.push(TrajPlan::build(&ct, &p_codec)?);
+        self.id_to_idx.insert(tu.id, j);
+        self.cds.trajectories.push(ct);
+        Ok(())
+    }
+
+    /// Whether any trajectory has been ingested yet.
+    pub(crate) fn has_ingested(&self) -> bool {
+        !self.cds.trajectories.is_empty()
+    }
+
+    /// Converts this (still empty) builder into a sharded builder that
+    /// routes every ingested trajectory to one of `n_shards` partitions
+    /// according to `policy`. The compression parameters, StIU
+    /// parameters and dataset name carry over; the decode-cache budget
+    /// becomes the *total* across shards (each shard gets an equal
+    /// slice, matching [`crate::shard::ShardedStore::set_cache_bytes`]).
+    ///
+    /// Must be called before the first [`ingest`](Self::ingest) — once a
+    /// trajectory is compressed into the single-store layout it cannot
+    /// be re-routed, so a late call fails with [`Error::ShardConfig`].
+    pub fn shard_by(
+        self,
+        policy: std::sync::Arc<dyn crate::shard::ShardPolicy>,
+        n_shards: u32,
+    ) -> Result<crate::shard::ShardedStoreBuilder, Error> {
+        if self.has_ingested() {
+            return Err(Error::ShardConfig("shard_by after the first ingest"));
+        }
+        let b = crate::shard::ShardedStoreBuilder::new(self.net, self.params, policy, n_shards)?
+            .stiu_params(self.stiu_params)
+            .cache_bytes(self.cache_bytes);
+        Ok(match self.name {
+            Some(n) => b.name(&n),
+            None => b,
+        })
     }
 
     /// Finalizes the store.
@@ -248,6 +296,7 @@ impl Store {
             // Only a *valid* v1 container maps to the "supply a network"
             // guidance; garbage or unknown versions stay storage errors.
             Err(crate::storage::StorageError::LegacyVersion) => return Err(Error::NeedsNetwork),
+            Err(crate::storage::StorageError::Sharded) => return Err(Error::ShardedContainer),
             Err(e) => return Err(e.into()),
         };
         Self::assemble(Arc::new(net), cds, stiu)
@@ -292,8 +341,13 @@ impl Store {
     }
 
     /// Assembles a store from parts, validating cross-references and
-    /// building the per-trajectory query plans.
-    fn assemble(net: Arc<RoadNetwork>, cds: CompressedDataset, stiu: Stiu) -> Result<Self, Error> {
+    /// building the per-trajectory query plans. Also the per-shard
+    /// assembly step of [`crate::shard::ShardedStore::read`].
+    pub(crate) fn assemble(
+        net: Arc<RoadNetwork>,
+        cds: CompressedDataset,
+        stiu: Stiu,
+    ) -> Result<Self, Error> {
         if stiu.trajs.len() != cds.trajectories.len() {
             return Err(Error::CorruptStore("index/dataset trajectory counts"));
         }
@@ -440,33 +494,19 @@ impl Store {
         alpha: f64,
         page: PageRequest,
     ) -> Result<Page<u64>, Error> {
-        let engine = self.engine();
-        let cells: std::collections::HashSet<utcq_network::CellId> =
-            self.stiu.grid.cells_overlapping(re).into_iter().collect();
-        // Candidates ascending by trajectory id, resuming past the cursor.
-        let mut candidates: Vec<(u64, u32)> = self
-            .stiu
-            .trajs_in_interval(tq)
-            .iter()
-            .filter_map(|&j| {
-                let ct = self.cds.trajectories.get(j as usize)?;
-                Some((ct.id, j))
-            })
-            .filter(|&(id, _)| page.cursor.is_none_or(|after| id > after))
-            .collect();
-        candidates.sort_unstable();
+        let cells = self.query_cells(re);
+        let candidates = self.range_candidates(tq, page.cursor);
         let limit = page.limit.max(1); // a zero limit could never progress
         let mut items = Vec::new();
-        let mut it = candidates.into_iter();
         let mut has_more = false;
-        for (id, j) in it.by_ref() {
+        for (id, j) in candidates {
             if items.len() >= limit {
                 // More *candidates* remain; whether they match is decided
                 // when the next page evaluates them.
                 has_more = true;
                 break;
             }
-            if engine.range_matches(j, &cells, re, tq, alpha)? {
+            if self.range_matches_at(j, &cells, re, tq, alpha)? {
                 items.push(id);
             }
         }
@@ -476,6 +516,56 @@ impl Store {
             next_cursor,
             has_more,
         })
+    }
+
+    /// The grid cells of the StIU index overlapping a query region. The
+    /// grid is a function of the network bounds and `grid_n` alone, so
+    /// shards built with the same parameters agree on cell ids.
+    pub(crate) fn query_cells(&self, re: &Rect) -> std::collections::HashSet<utcq_network::CellId> {
+        self.stiu.grid.cells_overlapping(re).into_iter().collect()
+    }
+
+    /// **range** candidates at `tq` in index order, as `(id, position)`
+    /// pairs — the raw interval-index postings. Callers that need the
+    /// evaluation order of [`Store::range_query`] sort by id (ids are
+    /// unique, so that is a total order); the unpaginated fan-out path
+    /// skips the sort and orders only the matches.
+    pub(crate) fn unsorted_range_candidates(
+        &self,
+        tq: i64,
+    ) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.stiu
+            .trajs_in_interval(tq)
+            .iter()
+            .filter_map(move |&j| {
+                let ct = self.cds.trajectories.get(j as usize)?;
+                Some((ct.id, j))
+            })
+    }
+
+    /// **range** candidates at `tq`, ascending by trajectory id, resuming
+    /// past the keyset cursor `after` — the paginated evaluation order.
+    fn range_candidates(&self, tq: i64, after: Option<u64>) -> Vec<(u64, u32)> {
+        let mut candidates: Vec<(u64, u32)> = self
+            .unsorted_range_candidates(tq)
+            .filter(|&(id, _)| after.is_none_or(|a| id > a))
+            .collect();
+        candidates.sort_unstable();
+        candidates
+    }
+
+    /// Whether the trajectory at position `j` matches
+    /// **range**(RE, tq, α) — the per-candidate evaluation step shared
+    /// with the shard fan-out path.
+    pub(crate) fn range_matches_at(
+        &self,
+        j: u32,
+        cells: &std::collections::HashSet<utcq_network::CellId>,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+    ) -> Result<bool, Error> {
+        self.engine().range_matches(j, cells, re, tq, alpha)
     }
 
     /// Evaluates a batch of **range** queries in parallel across the
@@ -488,51 +578,68 @@ impl Store {
     /// than fixed chunks: a skewed batch (a few expensive queries amid
     /// many cheap ones) keeps every thread busy until the queue drains.
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        let run_one = |q: &RangeQuery| {
+        crate::query::par_run(queries.len(), |i| {
+            let q = &queries[i];
             self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
                 .map(Page::into_items)
-        };
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(queries.len());
-        if threads <= 1 {
-            return queries.iter().map(run_one).collect();
-        }
-        // Indexed answers collected per worker, merged in input order.
-        type Answered = Vec<(usize, Result<Vec<u64>, Error>)>;
-        let next = AtomicUsize::new(0);
-        let mut answered: Vec<Answered> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(q) = queries.get(i) else {
-                                return local;
-                            };
-                            local.push((i, run_one(q)));
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                answered.push(h.join().expect("range worker panicked"));
-            }
-        });
-        let mut out: Vec<Option<Vec<u64>>> = (0..queries.len()).map(|_| None).collect();
-        for (i, r) in answered.into_iter().flatten() {
-            out[i] = Some(r?);
-        }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every query index was claimed exactly once"))
-            .collect())
+        })
+    }
+}
+
+impl crate::query::QueryTarget for Store {
+    fn len(&self) -> usize {
+        Store::len(self)
+    }
+
+    fn network(&self) -> &Arc<RoadNetwork> {
+        Store::network(self)
+    }
+
+    fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        Store::where_query(self, traj_id, t, alpha, page)
+    }
+
+    fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        Store::when_query(self, traj_id, edge, rd, alpha, page)
+    }
+
+    fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        Store::range_query(self, re, tq, alpha, page)
+    }
+
+    fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        Store::par_range_query(self, queries)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        Store::cache_stats(self)
+    }
+
+    fn set_cache_bytes(&self, bytes: usize) {
+        Store::set_cache_bytes(self, bytes)
+    }
+
+    fn clear_cache(&self) {
+        Store::clear_cache(self)
     }
 }
 

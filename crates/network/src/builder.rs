@@ -84,6 +84,7 @@ impl NetworkBuilder {
             sources,
             lengths,
             max_out_degree,
+            bounds: std::sync::OnceLock::new(),
         }
     }
 }

@@ -60,6 +60,23 @@ pub struct RoadNetwork {
     /// Edge lengths in meters, length `E`.
     pub(crate) lengths: Vec<f64>,
     pub(crate) max_out_degree: u32,
+    /// Lazily computed bounding rectangle — callers like grid
+    /// construction and shard routing ask for it per operation, and the
+    /// O(V) scan must not be repaid every time.
+    pub(crate) bounds: std::sync::OnceLock<Rect>,
+}
+
+/// Structural equality over the graph itself; the lazily cached bounding
+/// rectangle is derived state and takes no part.
+impl PartialEq for RoadNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        self.coords == other.coords
+            && self.out_offsets == other.out_offsets
+            && self.targets == other.targets
+            && self.sources == other.sources
+            && self.lengths == other.lengths
+            && self.max_out_degree == other.max_out_degree
+    }
 }
 
 impl RoadNetwork {
@@ -181,17 +198,19 @@ impl RoadNetwork {
         a.lerp(b, t)
     }
 
-    /// The bounding rectangle of all vertices.
+    /// The bounding rectangle of all vertices (computed once, cached).
     pub fn bounding_rect(&self) -> Rect {
-        let mut rect = self
-            .coords
-            .first()
-            .map(|&p| Rect::point(p))
-            .unwrap_or(Rect::new(0.0, 0.0, 0.0, 0.0));
-        for &p in &self.coords[1..] {
-            rect = rect.union(Rect::point(p));
-        }
-        rect
+        *self.bounds.get_or_init(|| {
+            let mut rect = self
+                .coords
+                .first()
+                .map(|&p| Rect::point(p))
+                .unwrap_or(Rect::new(0.0, 0.0, 0.0, 0.0));
+            for &p in &self.coords[1..] {
+                rect = rect.union(Rect::point(p));
+            }
+            rect
+        })
     }
 
     /// Checks that a sequence of edges is a connected path (Definition 4).

@@ -118,6 +118,7 @@ impl RoadNetwork {
             sources,
             lengths,
             max_out_degree,
+            bounds: std::sync::OnceLock::new(),
         })
     }
 }

@@ -1,12 +1,16 @@
 //! `utcq` — command-line front end for the UTCQ reproduction.
 //!
 //! `compress` writes a **self-contained v2 container** (road network +
-//! compressed dataset + StIU index), so `info`, `verify` and `query`
-//! operate on the file alone — no profile/seed side channel:
+//! compressed dataset + StIU index) — or, with `--shards N`, a
+//! **sharded v3 container** whose partitions are routed by `--shard-by
+//! time|region`. `info`, `verify` and `query` operate on the file alone
+//! — no profile/seed side channel — and open every container version
+//! transparently:
 //!
 //! ```text
 //! utcq stats      --profile cd --trajs 200 --seed 1
 //! utcq compress   --profile cd --trajs 200 --seed 1 --out data.utcq
+//!                 [--shards 4] [--shard-by time|region]
 //! utcq info       --in data.utcq
 //! utcq verify     --profile cd --trajs 200 --seed 1 --in data.utcq
 //! utcq query      --in data.utcq -n 100 [--alpha 0.25] [--limit 64]
@@ -17,9 +21,13 @@
 //! back to regenerating the network from `--profile/--trajs/--seed` and
 //! opening through the compatibility path.
 //!
-//! `query` runs on the store's shared decode cache (default 64 MiB).
-//! `--cache-bytes` overrides the budget (`0` disables caching) and
-//! `--cache-stats` prints hit/miss/eviction counters after the workload.
+//! `query` is written against `utcq::core::QueryTarget`, so the same
+//! workload runs unchanged on a single `Store` or a `ShardedStore`.
+//! It uses the shared decode cache (default 64 MiB total);
+//! `--cache-bytes` overrides the budget (`0` disables caching; a
+//! sharded store splits the budget across partitions) and
+//! `--cache-stats` prints aggregated hit/miss/eviction counters after
+//! the workload.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -29,8 +37,9 @@ use std::sync::Arc;
 
 use utcq::core::params::CompressParams;
 use utcq::core::query::PageRequest;
+use utcq::core::shard::{ByRegion, ByTime, ShardPolicy};
 use utcq::core::stiu::StiuParams;
-use utcq::core::{storage, RangeQuery, Store};
+use utcq::core::{storage, QueryTarget, RangeQuery, ShardedStore, Store, StoreBuilder};
 use utcq::datagen::DatasetProfile;
 use utcq::network::RoadNetwork;
 use utcq::traj::Dataset;
@@ -137,53 +146,112 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The routing policy selected by `--shard-by` (default: time).
+fn shard_policy(args: &Args) -> Result<Arc<dyn ShardPolicy>, String> {
+    match args.get("shard-by", "time").as_str() {
+        "time" => Ok(Arc::new(ByTime {
+            interval_s: args.parse_num("shard-interval", ByTime::default().interval_s),
+        })),
+        "region" => Ok(Arc::new(ByRegion {
+            grid_n: args.parse_num("shard-grid", ByRegion::default().grid_n),
+        })),
+        other => Err(format!("unknown shard policy '{other}' (time|region)")),
+    }
+}
+
 fn cmd_compress(args: &Args) -> Result<(), String> {
     let (profile, net, ds) = build_dataset(args)?;
     let out = args.get("out", "data.utcq");
     let params = params_for(&profile);
+    let shards: u32 = args.parse_num("shards", 1);
     let t0 = std::time::Instant::now();
-    let store = Store::build(Arc::new(net), &ds, params, StiuParams::default())
-        .map_err(|e| e.to_string())?;
-    let dt = t0.elapsed();
-    let r = store.ratios();
-    println!(
-        "compressed {} trajectories in {dt:?}: ratio {:.2} (T {:.2}, E {:.2}, D {:.2}, T' {:.2}, p {:.2})",
-        store.len(),
-        r.total,
-        r.t,
-        r.e,
-        r.d,
-        r.tflag,
-        r.p
-    );
-    store.save(&out).map_err(|e| e.to_string())?;
-    println!("wrote {out} (self-contained v2 container)");
+    let print_ratio = |n: usize, r: utcq::core::Ratios, dt: std::time::Duration| {
+        println!(
+            "compressed {n} trajectories in {dt:?}: ratio {:.2} (T {:.2}, E {:.2}, D {:.2}, T' {:.2}, p {:.2})",
+            r.total, r.t, r.e, r.d, r.tflag, r.p
+        );
+    };
+    if shards > 1 {
+        let policy = shard_policy(args)?;
+        let store = StoreBuilder::new(Arc::new(net), params)
+            .stiu_params(StiuParams::default())
+            .shard_by(policy, shards)
+            .map_err(|e| e.to_string())?
+            .ingest(&ds)
+            .map_err(|e| e.to_string())?
+            .finish()
+            .map_err(|e| e.to_string())?;
+        print_ratio(store.len(), store.ratios(), t0.elapsed());
+        let sizes: Vec<String> = store.shards().iter().map(|s| s.len().to_string()).collect();
+        println!(
+            "shard occupancy ({} shards, {}): [{}]",
+            store.shard_count(),
+            args.get("shard-by", "time"),
+            sizes.join(", ")
+        );
+        store.save(&out).map_err(|e| e.to_string())?;
+        println!("wrote {out} (sharded v3 container)");
+    } else {
+        let store = Store::build(Arc::new(net), &ds, params, StiuParams::default())
+            .map_err(|e| e.to_string())?;
+        print_ratio(store.len(), store.ratios(), t0.elapsed());
+        store.save(&out).map_err(|e| e.to_string())?;
+        println!("wrote {out} (self-contained v2 container)");
+    }
     Ok(())
 }
 
-/// Opens a container as a queryable store: v2 directly, v1 through the
-/// compatibility path using the regenerated network. Only the network is
-/// regenerated — not the trajectories, which live in the container.
-fn open_store(args: &Args) -> Result<Store, String> {
+/// A container opened as a queryable target — single-store or sharded.
+/// Boxed: a `Store` is a few hundred bytes of inline headers, and the
+/// enum would otherwise carry the larger variant's size everywhere.
+enum Opened {
+    Single(Box<Store>),
+    Sharded(Box<ShardedStore>),
+}
+
+impl Opened {
+    /// The polymorphic query surface.
+    fn target(&self) -> &dyn QueryTarget {
+        match self {
+            Opened::Single(s) => s.as_ref(),
+            Opened::Sharded(s) => s.as_ref(),
+        }
+    }
+
+    /// Every underlying partition (one for a single store).
+    fn stores(&self) -> Vec<&Store> {
+        match self {
+            Opened::Single(s) => vec![s],
+            Opened::Sharded(s) => s.shards().iter().collect(),
+        }
+    }
+}
+
+/// Opens a container as a queryable store: v2 directly, v3 through the
+/// sharded facade, v1 through the compatibility path using the
+/// regenerated network. Only the network is regenerated — not the
+/// trajectories, which live in the container.
+fn open_store(args: &Args) -> Result<Opened, String> {
     let path = args.get("in", "data.utcq");
     match Store::open(&path) {
-        Ok(store) => Ok(store),
+        Ok(store) => Ok(Opened::Single(Box::new(store))),
+        Err(utcq::core::Error::ShardedContainer) => ShardedStore::open(&path)
+            .map(|s| Opened::Sharded(Box::new(s)))
+            .map_err(|e| format!("{path}: {e}")),
         Err(utcq::core::Error::NeedsNetwork) => {
             let pname = args.get("profile", "cd");
             let profile = profile_by_name(&pname)
                 .ok_or(format!("unknown profile '{pname}' (dk|cd|hz|tiny)"))?;
             let net = utcq::datagen::generate_network(&profile, args.parse_num("seed", 1));
             Store::open_v1(&path, Arc::new(net), StiuParams::default())
+                .map(|s| Opened::Single(Box::new(s)))
                 .map_err(|e| format!("{path}: {e}"))
         }
         Err(e) => Err(format!("{path}: {e}")),
     }
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
-    let path = args.get("in", "data.utcq");
-    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    let cds = storage::load(&mut BufReader::new(f)).map_err(|e| e.to_string())?;
+fn print_dataset_info(cds: &utcq::core::CompressedDataset) {
     let r = cds.ratios();
     println!("container: dataset '{}'", cds.name);
     println!("  trajectories:     {}", cds.trajectories.len());
@@ -204,6 +272,33 @@ fn cmd_info(args: &Args) -> Result<(), String> {
         cds.compressed.total() / 8 / 1024
     );
     println!("  ratio:            {:.2}", r.total);
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.get("in", "data.utcq");
+    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+    match storage::load(&mut BufReader::new(f)) {
+        Ok(cds) => print_dataset_info(&cds),
+        Err(storage::StorageError::Sharded) => {
+            let store = ShardedStore::open(&path).map_err(|e| format!("{path}: {e}"))?;
+            let r = store.ratios();
+            println!(
+                "container: sharded ({} shards, policy {:?})",
+                store.shard_count(),
+                store.policy_spec()
+            );
+            println!("  trajectories:     {}", store.len());
+            println!("  ratio:            {:.2}", r.total);
+            for (i, s) in store.shards().iter().enumerate() {
+                println!(
+                    "  shard {i}: {} trajectories, ratio {:.2}",
+                    s.len(),
+                    s.ratios().total
+                );
+            }
+        }
+        Err(e) => return Err(e.to_string()),
+    }
     Ok(())
 }
 
@@ -229,7 +324,8 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_query(args: &Args) -> Result<(), String> {
-    let store = open_store(args)?;
+    let opened = open_store(args)?;
+    let store = opened.target();
     let n: usize = args.parse_num("n", 100);
     let alpha: f64 = args.parse_num("alpha", 0.25);
     let limit: usize = args.parse_num("limit", 1024);
@@ -241,13 +337,21 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     }
     // Derive a query workload from the store itself: decompress the
     // instances once to pick probe edges (zero side-channel arguments).
-    let back = utcq::core::decompress_dataset(store.network(), store.compressed())
-        .map_err(|e| e.to_string())?;
+    // A sharded store contributes every partition's trajectories;
+    // probing in id order keeps `-n N` selecting the same workload
+    // whether the dataset sits in a v2 or a v3 container.
+    let mut probes = Vec::new();
+    for part in opened.stores() {
+        let back = utcq::core::decompress_dataset(part.network(), part.compressed())
+            .map_err(|e| e.to_string())?;
+        probes.extend(back.trajectories);
+    }
+    probes.sort_by_key(|tu| tu.id);
     let mut answered = 0usize;
     let mut range_hits = 0usize;
     let t0 = std::time::Instant::now();
     let mut ranges = Vec::new();
-    for (k, tu) in back.trajectories.iter().enumerate().take(n) {
+    for (k, tu) in probes.iter().enumerate().take(n) {
         let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
         answered += store
             .where_query(tu.id, mid, alpha, PageRequest::first(limit))
@@ -302,6 +406,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
 fn usage() -> String {
     "usage: utcq <stats|compress|info|verify|query> [--profile dk|cd|hz|tiny] \
      [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
+     [--shards N] [--shard-by time|region] [--shard-interval S] [--shard-grid N] \
      [--cache-bytes N] [--cache-stats]"
         .to_string()
 }

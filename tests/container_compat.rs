@@ -1,0 +1,195 @@
+//! Cross-version container compatibility against **checked-in fixture
+//! files** under `tests/fixtures/`.
+//!
+//! The fixtures were written by the `regen_fixtures` test below (run it
+//! with `cargo test --test container_compat -- --ignored regen` after an
+//! *intentional* format change, and update the goldens) and must keep
+//! opening — and answering identically — forever:
+//!
+//! * `tiny_v1.utcq` — legacy dataset-only container (needs a network
+//!   supplied out of band; the test borrows the one embedded in the v2
+//!   fixture, so no generator coupling);
+//! * `tiny_v2.utcq` — self-contained single-store container;
+//! * `tiny_v3.utcq` — sharded container, 3 `ByTime` shards.
+//!
+//! All three hold the same 10-trajectory dataset, so the strongest
+//! check is mutual: every version must answer every probe identically.
+//! A few hardcoded goldens pin the answers absolutely, so "all three
+//! agree but all three are wrong" cannot slip through.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use utcq::core::query::PageRequest;
+use utcq::core::shard::{ByTime, ShardedStore};
+use utcq::core::stiu::StiuParams;
+use utcq::core::{QueryTarget, Store, StoreBuilder};
+
+const SEED: u64 = 20_260_729;
+const TRAJS: usize = 10;
+const STIU: StiuParams = StiuParams {
+    partition_s: 900,
+    grid_n: 8,
+};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture_dataset() -> (utcq::network::RoadNetwork, utcq::traj::Dataset) {
+    utcq::datagen::generate(&utcq::datagen::profile::tiny(), TRAJS, SEED)
+}
+
+/// Opens all three fixtures. The v1 fixture has no embedded network, so
+/// it reuses the v2 fixture's — the dataset is identical by
+/// construction.
+fn open_fixtures() -> (Store, Store, ShardedStore) {
+    let v2 = Store::open(fixture_path("tiny_v2.utcq")).expect("v2 fixture opens");
+    let v1 = Store::open_v1(fixture_path("tiny_v1.utcq"), Arc::clone(v2.network()), STIU)
+        .expect("v1 fixture opens");
+    let v3 = ShardedStore::open(fixture_path("tiny_v3.utcq")).expect("v3 fixture opens");
+    (v1, v2, v3)
+}
+
+#[test]
+fn all_versions_open_and_agree() {
+    let (v1, v2, v3) = open_fixtures();
+    assert_eq!(v1.len(), TRAJS);
+    assert_eq!(v2.len(), TRAJS);
+    assert_eq!(v3.len(), TRAJS);
+    assert_eq!(v3.shard_count(), 3);
+
+    let targets: Vec<(&str, &dyn QueryTarget)> = vec![("v1", &v1), ("v2", &v2), ("v3", &v3)];
+    let bounds = v2.network().bounding_rect();
+    // Probe every trajectory: ids and time spans come from the container
+    // itself (decoded times), not from regenerating the dataset.
+    for j in 0..TRAJS as u32 {
+        let ct = &v2.compressed().trajectories[j as usize];
+        let times = v2.decode_times(j).unwrap();
+        let mid = (times[0] + times[times.len() - 1]) / 2;
+        let mut answers = Vec::new();
+        let mut range_answers = Vec::new();
+        for (name, t) in &targets {
+            let hits = t
+                .where_query(ct.id, mid, 0.0, PageRequest::all())
+                .unwrap()
+                .into_items();
+            assert!(!hits.is_empty(), "{name}: where({}) at {mid} empty", ct.id);
+            answers.push((*name, hits));
+            range_answers.push((
+                *name,
+                t.range_query(&bounds, mid, 0.2, PageRequest::all())
+                    .unwrap()
+                    .into_items(),
+            ));
+        }
+        for pair in answers.windows(2) {
+            assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+        }
+        for pair in range_answers.windows(2) {
+            assert_eq!(pair[0].1, pair[1].1, "{} vs {}", pair[0].0, pair[1].0);
+        }
+    }
+}
+
+#[test]
+fn goldens_pin_fixture_answers() {
+    let (_, v2, v3) = open_fixtures();
+    // Golden values recorded when the fixtures were generated (see
+    // `regen_fixtures`); they pin the absolute answers.
+    let ids: Vec<u64> = v2.compressed().trajectories.iter().map(|t| t.id).collect();
+    assert_eq!(ids, (0..TRAJS as u64).collect::<Vec<_>>());
+
+    let times0 = v2.decode_times(0).unwrap();
+    let golden = golden_answers();
+    assert_eq!(
+        (times0[0], *times0.last().unwrap()),
+        (golden.t0_first, golden.t0_last),
+        "trajectory 0 time span"
+    );
+    let mid0 = (golden.t0_first + golden.t0_last) / 2;
+    let hits = v2
+        .where_query(0, mid0, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert_eq!(hits.len(), golden.where0_hits, "where(0) hit count");
+    let bounds = v2.network().bounding_rect();
+    let range = v2
+        .range_query(&bounds, mid0, 0.2, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert_eq!(range, golden.range0_ids, "range at t0 mid");
+    // The sharded fixture distributes trajectories as recorded.
+    let occupancy: Vec<usize> = v3.shards().iter().map(Store::len).collect();
+    assert_eq!(occupancy, golden.v3_occupancy, "v3 shard occupancy");
+}
+
+struct Golden {
+    t0_first: i64,
+    t0_last: i64,
+    where0_hits: usize,
+    range0_ids: Vec<u64>,
+    v3_occupancy: Vec<usize>,
+}
+
+fn golden_answers() -> Golden {
+    Golden {
+        t0_first: 71545,
+        t0_last: 71620,
+        where0_hits: 2,
+        range0_ids: vec![0],
+        v3_occupancy: vec![2, 3, 5],
+    }
+}
+
+/// Regenerates the fixture files and prints fresh golden values.
+/// Deliberately `#[ignore]`d: fixtures must only change when the format
+/// intentionally does.
+#[test]
+#[ignore = "writes tests/fixtures; run after intentional format changes"]
+fn regen_fixtures() {
+    let (net, ds) = fixture_dataset();
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    let net = Arc::new(net);
+    let params = utcq::core::CompressParams::with_interval(ds.default_interval);
+
+    let single = Store::build(Arc::clone(&net), &ds, params, STIU).unwrap();
+    single.save(fixture_path("tiny_v2.utcq")).unwrap();
+    // v1: the legacy dataset-only framing of the same compressed form.
+    let mut v1 = Vec::new();
+    utcq::core::storage::save(single.compressed(), &mut v1).unwrap();
+    std::fs::write(fixture_path("tiny_v1.utcq"), v1).unwrap();
+
+    let sharded = StoreBuilder::new(Arc::clone(&net), params)
+        .stiu_params(STIU)
+        .shard_by(Arc::new(ByTime { interval_s: 120 }), 3)
+        .unwrap()
+        .ingest(&ds)
+        .unwrap()
+        .finish()
+        .unwrap();
+    sharded.save(fixture_path("tiny_v3.utcq")).unwrap();
+
+    let times0 = single.decode_times(0).unwrap();
+    let mid0 = (times0[0] + times0.last().unwrap()) / 2;
+    let hits = single
+        .where_query(0, mid0, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    let bounds = net.bounding_rect();
+    let range = single
+        .range_query(&bounds, mid0, 0.2, PageRequest::all())
+        .unwrap()
+        .into_items();
+    let occupancy: Vec<usize> = sharded.shards().iter().map(Store::len).collect();
+    println!(
+        "golden: t0_first={} t0_last={}",
+        times0[0],
+        times0.last().unwrap()
+    );
+    println!("golden: where0_hits={}", hits.len());
+    println!("golden: range0_ids={range:?}");
+    println!("golden: v3_occupancy={occupancy:?}");
+}

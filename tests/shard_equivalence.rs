@@ -1,0 +1,277 @@
+//! Sharding is a pure partitioning layer: a [`ShardedStore`] over any
+//! shard count and either built-in routing policy must return
+//! **byte-identical** `where`/`when`/`range` answers — and identical
+//! fully paginated item sequences — to a single [`Store`] built from the
+//! same dataset. This suite asserts exactly that, for 2, 4 and 7 shards
+//! under both `ByTime` and `ByRegion`, through the in-memory path, the
+//! v3 container roundtrip, and the parallel range path.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use utcq::core::query::PageRequest;
+use utcq::core::shard::{ByRegion, ByTime, ShardPolicy, ShardedStore};
+use utcq::core::stiu::StiuParams;
+use utcq::core::{CompressParams, QueryTarget, RangeQuery, Store, StoreBuilder};
+use utcq::network::{Rect, RoadNetwork};
+use utcq::traj::Dataset;
+
+const STIU: StiuParams = StiuParams {
+    partition_s: 900,
+    grid_n: 8,
+};
+
+fn setup(seed: u64, n: usize) -> (RoadNetwork, Dataset) {
+    let profile = utcq::datagen::profile::tiny();
+    utcq::datagen::generate(&profile, n, seed)
+}
+
+fn single_store(net: &RoadNetwork, ds: &Dataset) -> Store {
+    StoreBuilder::new(
+        Arc::new(net.clone()),
+        CompressParams::with_interval(ds.default_interval),
+    )
+    .stiu_params(STIU)
+    .ingest(ds)
+    .unwrap()
+    .finish()
+    .unwrap()
+}
+
+fn sharded_store(
+    net: &RoadNetwork,
+    ds: &Dataset,
+    policy: Arc<dyn ShardPolicy>,
+    n_shards: u32,
+) -> ShardedStore {
+    // Split the batch in two to also exercise incremental sharded ingest.
+    let mut first = ds.clone();
+    let mut second = Dataset {
+        name: ds.name.clone(),
+        default_interval: ds.default_interval,
+        trajectories: first.trajectories.split_off(ds.trajectories.len() / 2),
+    };
+    // Ingest in swapped order: placement must not depend on arrival order.
+    std::mem::swap(&mut first, &mut second);
+    StoreBuilder::new(
+        Arc::new(net.clone()),
+        CompressParams::with_interval(ds.default_interval),
+    )
+    .stiu_params(STIU)
+    .shard_by(policy, n_shards)
+    .unwrap()
+    .ingest(&first)
+    .unwrap()
+    .ingest(&second)
+    .unwrap()
+    .finish()
+    .unwrap()
+}
+
+/// A deterministic mixed workload over the dataset.
+struct Workload {
+    wheres: Vec<(u64, i64, f64)>,
+    whens: Vec<(u64, utcq::network::EdgeId, f64, f64)>,
+    ranges: Vec<RangeQuery>,
+}
+
+fn workload(net: &RoadNetwork, ds: &Dataset, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload {
+        wheres: Vec::new(),
+        whens: Vec::new(),
+        ranges: Vec::new(),
+    };
+    let bounds = net.bounding_rect();
+    for tu in &ds.trajectories {
+        let span = tu.times[tu.times.len() - 1] - tu.times[0];
+        for _ in 0..2 {
+            let t = tu.times[0] + rng.gen_range(0..=span.max(1));
+            w.wheres
+                .push((tu.id, t, *[0.0, 0.2, 0.5].get(rng.gen_range(0..3)).unwrap()));
+        }
+        let inst = tu.top_instance();
+        let edge = inst.path[rng.gen_range(0..inst.path.len())];
+        w.whens.push((tu.id, edge, rng.gen_range(0.1..0.9), 0.2));
+        let frac = rng.gen_range(0.15..0.5);
+        let rw = bounds.width() * frac;
+        let rh = bounds.height() * frac;
+        let x = rng.gen_range(bounds.min_x..(bounds.max_x - rw).max(bounds.min_x + 1e-9));
+        let y = rng.gen_range(bounds.min_y..(bounds.max_y - rh).max(bounds.min_y + 1e-9));
+        w.ranges.push(RangeQuery {
+            re: Rect::new(x, y, x + rw, y + rh),
+            tq: tu.times[0] + rng.gen_range(0..=span.max(1)),
+            alpha: *[0.1, 0.3, 0.6].get(rng.gen_range(0..3)).unwrap(),
+        });
+    }
+    w
+}
+
+/// Walks a paginated query to exhaustion with a small page size,
+/// returning the concatenated items and asserting page-shape invariants.
+fn walk<T: Clone + PartialEq + std::fmt::Debug>(
+    mut next: impl FnMut(PageRequest) -> utcq::core::Page<T>,
+    limit: usize,
+) -> Vec<T> {
+    let mut req = PageRequest::first(limit);
+    let mut items = Vec::new();
+    for _ in 0..10_000 {
+        let page = next(req);
+        assert!(page.items.len() <= limit.max(1));
+        items.extend(page.items);
+        match (page.has_more, page.next_cursor) {
+            (true, Some(c)) => req = PageRequest::after(c, limit),
+            (true, None) => panic!("has_more without a cursor"),
+            (false, _) => return items,
+        }
+    }
+    panic!("pagination did not terminate");
+}
+
+fn assert_equivalent(single: &Store, sharded: &ShardedStore, w: &Workload, label: &str) {
+    assert_eq!(single.len(), sharded.len(), "{label}: store sizes");
+    // Full answers, byte-identical.
+    for &(id, t, alpha) in &w.wheres {
+        let a = single
+            .where_query(id, t, alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        let b = sharded
+            .where_query(id, t, alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(a, b, "{label}: where({id}, {t}, {alpha})");
+    }
+    for &(id, edge, rd, alpha) in &w.whens {
+        let a = single
+            .when_query(id, edge, rd, alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        let b = sharded
+            .when_query(id, edge, rd, alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(a, b, "{label}: when({id}, {edge:?}, {rd}, {alpha})");
+    }
+    for q in &w.ranges {
+        let a = single
+            .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        let b = sharded
+            .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(a, b, "{label}: range({q:?})");
+    }
+    // Paginated walks yield identical item sequences (cursors may
+    // differ in encoding — sharded where/when cursors carry a shard tag;
+    // range cursors are keyset ids and identical by construction).
+    for &(id, t, alpha) in w.wheres.iter().take(8) {
+        for limit in [1, 2] {
+            let a = walk(|r| single.where_query(id, t, alpha, r).unwrap(), limit);
+            let b = walk(|r| sharded.where_query(id, t, alpha, r).unwrap(), limit);
+            assert_eq!(a, b, "{label}: paginated where({id}) limit {limit}");
+        }
+    }
+    for &(id, edge, rd, alpha) in w.whens.iter().take(8) {
+        let a = walk(|r| single.when_query(id, edge, rd, alpha, r).unwrap(), 1);
+        let b = walk(|r| sharded.when_query(id, edge, rd, alpha, r).unwrap(), 1);
+        assert_eq!(a, b, "{label}: paginated when({id})");
+    }
+    for q in w.ranges.iter().take(8) {
+        for limit in [1, 3] {
+            let a = walk(
+                |r| single.range_query(&q.re, q.tq, q.alpha, r).unwrap(),
+                limit,
+            );
+            let b = walk(
+                |r| sharded.range_query(&q.re, q.tq, q.alpha, r).unwrap(),
+                limit,
+            );
+            assert_eq!(a, b, "{label}: paginated range limit {limit}");
+        }
+    }
+}
+
+#[test]
+fn sharded_matches_single_for_all_counts_and_policies() {
+    let (net, ds) = setup(20_260_729, 28);
+    let single = single_store(&net, &ds);
+    let w = workload(&net, &ds, 99);
+    for n_shards in [2u32, 4, 7] {
+        for (pname, policy) in [
+            (
+                "time",
+                Arc::new(ByTime { interval_s: 1800 }) as Arc<dyn ShardPolicy>,
+            ),
+            ("region", Arc::new(ByRegion { grid_n: 4 })),
+        ] {
+            let sharded = sharded_store(&net, &ds, policy, n_shards);
+            // Trajectories actually spread across partitions (the point
+            // of the exercise) unless the policy degenerates.
+            let occupied = sharded.shards().iter().filter(|s| !s.is_empty()).count();
+            assert!(
+                occupied >= 2,
+                "{pname}/{n_shards}: all trajectories on one shard"
+            );
+            assert_equivalent(&single, &sharded, &w, &format!("{pname}/{n_shards}"));
+        }
+    }
+}
+
+#[test]
+fn v3_roundtrip_preserves_answers() {
+    let (net, ds) = setup(4242, 20);
+    let single = single_store(&net, &ds);
+    let w = workload(&net, &ds, 7);
+    let sharded = sharded_store(&net, &ds, Arc::new(ByTime { interval_s: 900 }), 4);
+    let dir = std::env::temp_dir().join("utcq-shard-equivalence.utcq");
+    sharded.save(&dir).unwrap();
+    let reopened = ShardedStore::open(&dir).unwrap();
+    std::fs::remove_file(&dir).ok();
+    assert_eq!(reopened.shard_count(), 4);
+    assert_equivalent(&single, &reopened, &w, "reopened v3");
+}
+
+#[test]
+fn par_range_matches_sequential_on_shards() {
+    let (net, ds) = setup(777, 24);
+    let single = single_store(&net, &ds);
+    let sharded = sharded_store(&net, &ds, Arc::new(ByRegion { grid_n: 8 }), 4);
+    let w = workload(&net, &ds, 3);
+    let par = sharded.par_range_query(&w.ranges).unwrap();
+    assert_eq!(par.len(), w.ranges.len());
+    for (q, got) in w.ranges.iter().zip(&par) {
+        let want = single
+            .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(got, &want, "par range {q:?}");
+    }
+}
+
+#[test]
+fn query_target_is_polymorphic_over_both_shapes() {
+    let (net, ds) = setup(11, 12);
+    let single = single_store(&net, &ds);
+    let sharded = sharded_store(&net, &ds, Arc::new(ByTime::default()), 3);
+    let targets: Vec<&dyn QueryTarget> = vec![&single, &sharded];
+    let tu = &ds.trajectories[0];
+    let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+    let mut answers = Vec::new();
+    for t in &targets {
+        assert_eq!(t.len(), ds.trajectories.len());
+        answers.push(
+            t.where_query(tu.id, mid, 0.0, PageRequest::all())
+                .unwrap()
+                .into_items(),
+        );
+        // The cache layer is reachable through the trait too.
+        t.set_cache_bytes(1 << 20);
+        t.clear_cache();
+        assert_eq!(t.cache_stats().entries, 0);
+    }
+    assert_eq!(answers[0], answers[1]);
+}
