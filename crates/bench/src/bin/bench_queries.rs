@@ -2,7 +2,7 @@
 //! `BENCH_queries.json`, so successive PRs leave a perf trajectory.
 //!
 //! Measures the **median** ns/op for the three probabilistic query types
-//! in three cache modes on one shared [`Store`]:
+//! in three cache modes on one shared [`utcq_core::Store`]:
 //!
 //! * **cold** — the decode cache is cleared before every pass: each pass
 //!   re-pays every reference/instance/time-stream decode;
@@ -11,11 +11,18 @@
 //! * **nocache** — the cache budget is set to `0`: the pure overhead
 //!   floor with no memoization at all.
 //!
-//! A second section runs the same warm workload on a [`ShardedStore`]
+//! A second section runs the same warm workload on a
+//! [`utcq_core::ShardedStore`]
 //! (`UTCQ_SHARDS` partitions, default 4, `ByTime` routing) and compares
 //! `par_range_query` throughput 1-shard vs N-shard, so the JSON tracks
 //! what the sharding layer costs (fan-out/merge) and buys (independent
 //! partitions) release over release.
+//!
+//! A third section (`"serve"` — bench_serve) round-trips the warm
+//! where/when workloads through an in-process
+//! `utcq_core::serve::Server` over one loopback TCP connection,
+//! measuring the request→response median latency and throughput of the
+//! `PROTOCOL.md` wire path on top of the warm store.
 //!
 //! ```text
 //! cargo run --release -p utcq_bench --bin bench_queries \
@@ -341,15 +348,66 @@ fn main() {
     run_when(&store);
     run_range(&store);
     let stats = store.cache_stats();
+    let store_len = store.len();
+
+    // bench_serve: the same warm where/when workloads, but every query
+    // round-trips the PROTOCOL.md wire format over one TCP connection
+    // to an in-process `utcq_core::serve::Server` — so the JSON tracks
+    // what the serving layer (JSON encode/decode + loopback socket)
+    // adds on top of the warm store, release over release.
+    eprintln!("measuring serve round-trips (in-process server)…");
+    let where_lines: Vec<String> = wq
+        .iter()
+        .map(|q| {
+            format!(
+                r#"{{"op":"where","traj":{},"t":{},"alpha":{}}}"#,
+                q.traj_id, q.t, q.alpha
+            )
+        })
+        .collect();
+    let when_lines: Vec<String> = nq
+        .iter()
+        .map(|q| {
+            format!(
+                r#"{{"op":"when","traj":{},"edge":{},"rd":{},"alpha":{}}}"#,
+                q.traj_id, q.edge.0, q.rd, q.alpha
+            )
+        })
+        .collect();
+    let opened = Arc::new(utcq_core::Opened::Single(Box::new(store)));
+    let server =
+        utcq_core::serve::Server::bind(Arc::clone(&opened), "127.0.0.1:0", 2).expect("bind serve");
+    let addr = server.local_addr();
+    let runner = std::thread::spawn(move || server.run().expect("serve run"));
+    let stream = std::net::TcpStream::connect(addr).expect("connect serve");
+    stream.set_nodelay(true).ok();
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone serve stream"));
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut session = |lines: &[String]| {
+        use std::io::{BufRead as _, Write as _};
+        let mut response = String::new();
+        for line in lines {
+            writer.write_all(line.as_bytes()).expect("serve send");
+            writer.write_all(b"\n").expect("serve send");
+            writer.flush().expect("serve flush");
+            response.clear();
+            reader.read_line(&mut response).expect("serve recv");
+            assert!(response.contains("\"ok\":true"), "serve error: {response}");
+        }
+    };
+    let serve_where_ns = measure(wq.len(), smoke, || {}, || session(&where_lines));
+    let serve_when_ns = measure(nq.len(), smoke, || {}, || session(&when_lines));
+    session(&[r#"{"op":"shutdown"}"#.to_string()]);
+    drop(reader);
+    drop(writer);
+    runner.join().expect("serve thread");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
         "  \"dataset\": {{\"profile\": \"{}\", \"trajectories\": {}, \"seed\": {}}},",
-        profile.name,
-        store.len(),
-        SEED
+        profile.name, store_len, SEED
     );
     let _ = writeln!(
         json,
@@ -397,6 +455,16 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"serve\": {{\"transport\": \"tcp-loopback\", \
+         \"where_roundtrip_ns_per_op\": {:.1}, \"when_roundtrip_ns_per_op\": {:.1}, \
+         \"where_qps\": {:.1}, \"when_qps\": {:.1}}},",
+        serve_where_ns,
+        serve_when_ns,
+        qps(serve_where_ns),
+        qps(serve_when_ns)
+    );
+    let _ = writeln!(
+        json,
         "  \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"entries\": {}, \"bytes\": {}, \"hit_rate\": {:.4}}}",
         stats.hits,
@@ -423,6 +491,13 @@ fn main() {
         "  par_range: 1-shard {:.0} qps | {n_shards}-shard {:.0} qps",
         qps(par_single_ns),
         qps(par_sharded_ns)
+    );
+    eprintln!(
+        "  serve rt: where {:.0} ns/op ({:.0} qps) | when {:.0} ns/op ({:.0} qps)",
+        serve_where_ns,
+        qps(serve_where_ns),
+        serve_when_ns,
+        qps(serve_when_ns)
     );
 
     if let Some(path) = baseline_path {

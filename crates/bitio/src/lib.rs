@@ -13,7 +13,7 @@
 //! * [`pddp`] — the distance-preserving fixed-error float code used for
 //!   relative distances and probabilities (the PDDP encoding of TED,
 //!   reused by UTCQ with error bounds `ηD` and `ηp`).
-//! * [`wah`] — Word-Aligned Hybrid bitmap compression (reference [33] of
+//! * [`wah`] — Word-Aligned Hybrid bitmap compression (reference \[33\] of
 //!   the paper), used by the TED baseline's time-flag path and by
 //!   ablations.
 //! * [`huffman`] — canonical Huffman codes, the ablation stand-in for

@@ -1,6 +1,6 @@
 //! PDDP: the distance-preserving fixed-error code for floats in `[0, 1)`.
 //!
-//! The paper (following TED [40]) encodes a relative distance
+//! The paper (following TED \[40\]) encodes a relative distance
 //! `rd ∈ [0, 1)` as the shortest binary expansion whose value is within an
 //! error bound `η` of `rd`, i.e. a fixed number of fractional bits
 //! `I = ⌈log2(1/η)⌉`. The same code compresses instance probabilities with

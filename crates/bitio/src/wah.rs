@@ -1,7 +1,7 @@
 //! Word-Aligned Hybrid (WAH) bitmap compression.
 //!
 //! This is the bitmap codec the TED paper uses for time-flag bit-strings
-//! (reference [33] of the UTCQ paper, via van Schaik & de Moor's memory
+//! (reference \[33\] of the UTCQ paper, via van Schaik & de Moor's memory
 //! efficient reachability structure). The UTCQ paper *omits* bitmap
 //! compression in its comparison because it is slow and orthogonal; we
 //! implement it anyway so the ablation harness can quantify that choice.

@@ -149,6 +149,27 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The one-line summary every front end prints — `utcq query
+    /// --cache-stats`, the serve process at shutdown — so the CLI and
+    /// server presentations of the same counters cannot drift.
+    ///
+    /// ```
+    /// let line = utcq_core::CacheStats::default().render();
+    /// assert!(line.starts_with("decode cache:"));
+    /// ```
+    pub fn render(&self) -> String {
+        format!(
+            "decode cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} / {} bytes, {} evictions",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.entries,
+            self.bytes,
+            self.budget_bytes,
+            self.evictions
+        )
+    }
 }
 
 /// The shared decode cache. One per [`crate::store::Store`]; cheap to

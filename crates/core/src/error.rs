@@ -2,9 +2,9 @@
 //!
 //! Every public fallible function in this crate returns
 //! [`Result<_, Error>`](Error). The lower layers keep their specific
-//! error types ([`CodecError`](utcq_bitio::CodecError),
-//! [`DecompressError`](crate::decompress::DecompressError),
-//! [`StorageError`](crate::storage::StorageError), [`std::io::Error`]) and
+//! error types ([`CodecError`],
+//! [`DecompressError`],
+//! [`StorageError`], [`std::io::Error`]) and
 //! `From` impls fold them into [`Error`] at the API boundary, so callers
 //! handle one enum and `?` works across layers.
 

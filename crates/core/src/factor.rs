@@ -3,7 +3,7 @@
 //!
 //! A non-reference is stored as a list of *factors* against its reference:
 //!
-//! * `E` uses the `(S, L, M)` scheme of FRESCO [35]: copy
+//! * `E` uses the `(S, L, M)` scheme of FRESCO \[35\]: copy
 //!   `ref[S..S+L]` then append the mismatched element `M`. Two rewrites
 //!   (paper cases A and B): a trailing factor with no mismatch is `(S, L)`,
 //!   and an element absent from the reference is `(S = |E(ref)|, M)`.

@@ -9,7 +9,7 @@
 //! * [`factor`] — the referential representation of edge sequences
 //!   (`(S,L,M)` factors), time-flag bit-strings (`(S,L)` with inferred
 //!   mismatches) and relative distances (`(pos, rd)` patches) (§4.2);
-//! * [`pivot`] / [`reference`] — pivot selection, the Fine-grained
+//! * [`pivot`] / [`reference`](mod@reference) — pivot selection, the Fine-grained
 //!   Jaccard Distance (Eqs. 1–2), the score function (Eq. 3) and the
 //!   greedy reference-selection Algorithm 1 (§4.3);
 //! * [`compressed`] / [`compress`] / [`decompress`] — binary encoding of
@@ -40,6 +40,18 @@
 //!   (time-interval or road-network-region), answering the exact same
 //!   query surface with fan-out/merge execution — byte-identical
 //!   answers, asserted by `tests/shard_equivalence.rs`;
+//! * [`opened`] — the [`Opened`] facade that opens *any* self-contained
+//!   container as the right store shape and presents one
+//!   [`QueryTarget`], plus the shared [`opened::InfoReport`]
+//!   presentation both `utcq info` and the serve protocol render;
+//! * [`wire`] — the serve wire protocol: hand-rolled newline-delimited
+//!   JSON requests/responses (documented in `PROTOCOL.md`), with
+//!   [`wire::handle_line`] as the single executor behind both the TCP
+//!   server and the CLI's offline client mode;
+//! * [`serve`] — the long-lived query server: a
+//!   [`serve::Server`] on [`std::net::TcpListener`] with a fixed worker
+//!   pool and graceful shutdown, keeping the decode cache and query
+//!   plans warm across requests;
 //! * [`error`] — the unified [`Error`] type every public fallible
 //!   function returns;
 //! * [`oracle`] — brute-force answers on uncompressed data, used as
@@ -159,24 +171,29 @@ pub mod error;
 pub mod factor;
 pub mod flagarr;
 pub mod multiorder;
+pub mod opened;
 pub mod oracle;
 pub mod params;
 pub mod pivot;
 pub mod plan;
 pub mod query;
 pub mod reference;
+pub mod serve;
 pub mod shard;
 pub mod siar;
 pub mod stiu;
 pub mod storage;
 pub mod store;
+pub mod wire;
 
 pub use cache::{CacheStats, DEFAULT_CACHE_BYTES};
 pub use compress::{compress_dataset, compress_trajectory, CompressedDataset, Ratios};
 pub use decompress::{decompress_dataset, decompress_trajectory};
 pub use error::Error;
+pub use opened::{InfoReport, Opened};
 pub use params::CompressParams;
 pub use query::{Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
+pub use serve::{Server, ServerHandle};
 pub use shard::{ByRegion, ByTime, ShardPolicy, ShardSpec, ShardedStore, ShardedStoreBuilder};
 pub use stiu::StiuParams;
 pub use store::{Store, StoreBuilder};

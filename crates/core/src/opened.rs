@@ -1,0 +1,451 @@
+//! [`Opened`] — one handle over every container shape.
+//!
+//! `Store::open` only accepts v2 containers and `ShardedStore::open`
+//! only v3/v2; every front end (the CLI, the [`crate::serve`] server,
+//! benchmarks) wants to open *a file* and query it without caring which
+//! shape is inside. [`Opened`] is that facade: it opens v2 containers as
+//! a single [`Store`], v3 containers as a [`ShardedStore`], and
+//! implements [`QueryTarget`] by delegation, so a `&Opened` *is* the
+//! polymorphic query surface. Legacy v1 containers (no embedded network)
+//! open through [`Opened::open_v1`] with the network supplied out of
+//! band, exactly like [`Store::open_v1`].
+//!
+//! The module also owns the **shared presentation layer**:
+//! [`InfoReport`] is the one description of a container both the CLI's
+//! `utcq info` text output and the serve protocol's `info` response are
+//! derived from — the numbers cannot drift between the two because both
+//! render the same struct (`tests/serve.rs` additionally diffs the
+//! online and offline outputs byte for byte).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use utcq_network::{EdgeId, Rect, RoadNetwork};
+
+use crate::cache::CacheStats;
+use crate::compress::CompressedDataset;
+use crate::error::Error;
+use crate::query::{Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
+use crate::shard::{ShardSpec, ShardedStore};
+use crate::stiu::StiuParams;
+use crate::store::Store;
+
+/// A container opened as a queryable target — single-store or sharded.
+///
+/// Boxed: a `Store` is a few hundred bytes of inline headers, and the
+/// enum would otherwise carry the larger variant's size everywhere.
+///
+/// ```no_run
+/// use utcq_core::opened::Opened;
+/// use utcq_core::query::{PageRequest, QueryTarget};
+///
+/// # fn main() -> Result<(), utcq_core::Error> {
+/// // v2 and v3 containers open through the same call …
+/// let opened = Opened::open("data.utcq")?;
+/// // … and answer through the same trait surface.
+/// let page = opened.where_query(7, 71_582, 0.25, PageRequest::first(64))?;
+/// println!("{} hits", page.items.len());
+/// # Ok(()) }
+/// ```
+pub enum Opened {
+    /// A single-partition store (v2 container, or v1 via
+    /// [`Opened::open_v1`]).
+    Single(Box<Store>),
+    /// A sharded store (v3 container).
+    Sharded(Box<ShardedStore>),
+}
+
+impl std::fmt::Debug for Opened {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Opened::Single(s) => f.debug_tuple("Opened::Single").field(s).finish(),
+            Opened::Sharded(s) => f.debug_tuple("Opened::Sharded").field(s).finish(),
+        }
+    }
+}
+
+impl Opened {
+    /// Opens a self-contained container of either shape: v2 becomes a
+    /// [`Store`], v3 a [`ShardedStore`]. A legacy v1 container fails
+    /// with [`Error::NeedsNetwork`] — open those with
+    /// [`Opened::open_v1`], which takes the network out of band.
+    ///
+    /// ```no_run
+    /// use utcq_core::QueryTarget as _;
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// let opened = utcq_core::Opened::open("data.utcq")?;
+    /// println!("{} trajectories ({})", opened.len(), opened.shape());
+    /// # Ok(()) }
+    /// ```
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        match Store::open(&path) {
+            Ok(store) => Ok(Opened::Single(Box::new(store))),
+            Err(Error::ShardedContainer) => {
+                ShardedStore::open(&path).map(|s| Opened::Sharded(Box::new(s)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Opens a legacy v1 container against an externally supplied
+    /// network — the [`Store::open_v1`] compatibility path behind the
+    /// facade.
+    pub fn open_v1(
+        path: impl AsRef<Path>,
+        net: Arc<RoadNetwork>,
+        stiu_params: StiuParams,
+    ) -> Result<Self, Error> {
+        Store::open_v1(path, net, stiu_params).map(|s| Opened::Single(Box::new(s)))
+    }
+
+    /// The polymorphic query surface (also reachable directly: `Opened`
+    /// itself implements [`QueryTarget`] by delegation).
+    pub fn target(&self) -> &dyn QueryTarget {
+        match self {
+            Opened::Single(s) => s.as_ref(),
+            Opened::Sharded(s) => s.as_ref(),
+        }
+    }
+
+    /// Every underlying partition (one for a single store), in shard
+    /// order.
+    pub fn stores(&self) -> Vec<&Store> {
+        match self {
+            Opened::Single(s) => vec![s],
+            Opened::Sharded(s) => s.shards().iter().collect(),
+        }
+    }
+
+    /// `"single"` or `"sharded"` — the label used by `utcq info` and the
+    /// serve protocol's `info` response.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            Opened::Single(_) => "single",
+            Opened::Sharded(_) => "sharded",
+        }
+    }
+
+    /// The shared description of this container — the single source both
+    /// the CLI text output and the serve `info` response render from.
+    pub fn info(&self) -> InfoReport {
+        match self {
+            Opened::Single(s) => InfoReport::from_dataset(s.compressed()),
+            Opened::Sharded(s) => {
+                let shards = s
+                    .shards()
+                    .iter()
+                    .map(|shard| ShardInfo {
+                        trajectories: shard.len(),
+                        ratio: shard.ratios().total,
+                    })
+                    .collect();
+                let first = s.shards().first().map(Store::compressed);
+                let mut report = match first {
+                    Some(cds) => InfoReport::from_dataset(cds),
+                    None => InfoReport::default(),
+                };
+                // Totals span every partition, not just shard 0.
+                report.trajectories = s.len();
+                report.instances = s
+                    .shards()
+                    .iter()
+                    .flat_map(|sh| sh.compressed().trajectories.iter())
+                    .map(|t| t.instance_count())
+                    .sum();
+                let mut raw = utcq_traj::size::SizeBreakdown::default();
+                let mut compressed = utcq_traj::size::SizeBreakdown::default();
+                for sh in s.shards() {
+                    raw.add(&sh.compressed().raw);
+                    compressed.add(&sh.compressed().compressed);
+                }
+                report.raw_kib = raw.total() / 8 / 1024;
+                report.compressed_kib = compressed.total() / 8 / 1024;
+                report.ratio = s.ratios().total;
+                report.sharding = Some(ShardingInfo {
+                    policy: policy_label(s.policy_spec()),
+                    shards,
+                });
+                report
+            }
+        }
+    }
+}
+
+impl QueryTarget for Opened {
+    fn len(&self) -> usize {
+        self.target().len()
+    }
+
+    fn network(&self) -> &Arc<RoadNetwork> {
+        self.target().network()
+    }
+
+    fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        self.target().where_query(traj_id, t, alpha, page)
+    }
+
+    fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        self.target().when_query(traj_id, edge, rd, alpha, page)
+    }
+
+    fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        self.target().range_query(re, tq, alpha, page)
+    }
+
+    fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        self.target().par_range_query(queries)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.target().cache_stats()
+    }
+
+    fn set_cache_bytes(&self, bytes: usize) {
+        self.target().set_cache_bytes(bytes)
+    }
+
+    fn clear_cache(&self) {
+        self.target().clear_cache()
+    }
+}
+
+/// The human-readable label of a recorded shard policy — `utcq info`'s
+/// `policy` field and the serve `info` response both use it.
+pub fn policy_label(spec: Option<ShardSpec>) -> String {
+    match spec {
+        Some(ShardSpec::ByTime { interval_s }) => format!("time(interval_s={interval_s})"),
+        Some(ShardSpec::ByRegion { grid_n }) => format!("region(grid_n={grid_n})"),
+        None => "custom".to_string(),
+    }
+}
+
+/// Per-shard occupancy line of an [`InfoReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardInfo {
+    /// Trajectories owned by this shard.
+    pub trajectories: usize,
+    /// The shard's total compression ratio.
+    pub ratio: f64,
+}
+
+/// The sharding section of an [`InfoReport`] — present only for v3
+/// containers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardingInfo {
+    /// Routing policy label (see [`policy_label`]).
+    pub policy: String,
+    /// Per-shard occupancy, in directory order.
+    pub shards: Vec<ShardInfo>,
+}
+
+/// Everything `utcq info` prints and the serve `info` response carries —
+/// derived once from the container, rendered two ways.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InfoReport {
+    /// Dataset label recorded in the container.
+    pub name: String,
+    /// Total trajectories (across shards, for a sharded container).
+    pub trajectories: usize,
+    /// Total instances across all trajectories.
+    pub instances: usize,
+    /// Error bound `ηD`.
+    pub eta_d: f64,
+    /// Error bound `ηp`.
+    pub eta_p: f64,
+    /// Pivot count used at compression time.
+    pub n_pivots: usize,
+    /// Uncompressed footprint in KiB.
+    pub raw_kib: u64,
+    /// Compressed footprint in KiB.
+    pub compressed_kib: u64,
+    /// Total compression ratio.
+    pub ratio: f64,
+    /// The sharding section; `None` for single-store containers.
+    pub sharding: Option<ShardingInfo>,
+}
+
+impl InfoReport {
+    /// A report over one compressed dataset (a v1/v2 container, or one
+    /// shard of a v3 container before aggregation).
+    pub fn from_dataset(cds: &CompressedDataset) -> Self {
+        InfoReport {
+            name: cds.name.clone(),
+            trajectories: cds.trajectories.len(),
+            instances: cds
+                .trajectories
+                .iter()
+                .map(|t| t.instance_count())
+                .sum::<usize>(),
+            eta_d: cds.params.eta_d,
+            eta_p: cds.params.eta_p,
+            n_pivots: cds.params.n_pivots,
+            raw_kib: cds.raw.total() / 8 / 1024,
+            compressed_kib: cds.compressed.total() / 8 / 1024,
+            ratio: cds.ratios().total,
+            sharding: None,
+        }
+    }
+
+    /// The exact text `utcq info` prints. Kept here — next to the
+    /// struct the serve response serializes — so the two presentations
+    /// cannot drift apart.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "container: dataset '{}' ({})", self.name, self.shape());
+        let _ = writeln!(out, "  trajectories:     {}", self.trajectories);
+        let _ = writeln!(out, "  instances:        {}", self.instances);
+        let _ = writeln!(
+            out,
+            "  ηD = {}, ηp = {}, pivots = {}",
+            self.eta_d, self.eta_p, self.n_pivots
+        );
+        let _ = writeln!(out, "  raw:              {} KiB", self.raw_kib);
+        let _ = writeln!(out, "  compressed:       {} KiB", self.compressed_kib);
+        let _ = writeln!(out, "  ratio:            {:.2}", self.ratio);
+        if let Some(sh) = &self.sharding {
+            let _ = writeln!(
+                out,
+                "  shards:           {} (policy {})",
+                sh.shards.len(),
+                sh.policy
+            );
+            for (i, s) in sh.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  shard {i}: {} trajectories, ratio {:.2}",
+                    s.trajectories, s.ratio
+                );
+            }
+        }
+        out
+    }
+
+    /// `"single"` or `"sharded"`, matching [`Opened::shape`].
+    pub fn shape(&self) -> &'static str {
+        if self.sharding.is_some() {
+            "sharded"
+        } else {
+            "single"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CompressParams;
+    use crate::shard::ByTime;
+    use crate::store::StoreBuilder;
+    use utcq_traj::{paper_fixture, Dataset};
+
+    fn paper_parts() -> (Arc<RoadNetwork>, Dataset) {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        (Arc::new(fx.example.net.clone()), ds)
+    }
+
+    #[test]
+    fn opened_is_send_sync_and_static() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Opened>();
+    }
+
+    #[test]
+    fn info_report_matches_shapes() {
+        let (net, ds) = paper_parts();
+        let params = CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL);
+        let single = Store::build(Arc::clone(&net), &ds, params, StiuParams::default()).unwrap();
+        let sharded = StoreBuilder::new(Arc::clone(&net), params)
+            .shard_by(Arc::new(ByTime::default()), 2)
+            .unwrap()
+            .ingest(&ds)
+            .unwrap()
+            .finish()
+            .unwrap();
+        let a = Opened::Single(Box::new(single));
+        let b = Opened::Sharded(Box::new(sharded));
+        let (ia, ib) = (a.info(), b.info());
+        assert_eq!(ia.shape(), "single");
+        assert_eq!(ib.shape(), "sharded");
+        assert_eq!(ia.trajectories, ib.trajectories);
+        assert_eq!(ia.instances, ib.instances);
+        assert_eq!(ib.sharding.as_ref().unwrap().shards.len(), 2);
+        assert!(ib
+            .sharding
+            .as_ref()
+            .unwrap()
+            .policy
+            .starts_with("time(interval_s="));
+        let text = ib.render();
+        assert!(text.contains("sharded"), "{text}");
+        assert!(text.contains("shard 0:"), "{text}");
+    }
+
+    #[test]
+    fn opened_roundtrips_both_container_shapes() {
+        let (net, ds) = paper_parts();
+        let params = CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL);
+        let dir = std::env::temp_dir();
+        let v2 = dir.join("utcq-opened-v2.utcq");
+        let v3 = dir.join("utcq-opened-v3.utcq");
+        Store::build(Arc::clone(&net), &ds, params, StiuParams::default())
+            .unwrap()
+            .save(&v2)
+            .unwrap();
+        StoreBuilder::new(Arc::clone(&net), params)
+            .shard_by(Arc::new(ByTime::default()), 3)
+            .unwrap()
+            .ingest(&ds)
+            .unwrap()
+            .finish()
+            .unwrap()
+            .save(&v3)
+            .unwrap();
+        let a = Opened::open(&v2).unwrap();
+        let b = Opened::open(&v3).unwrap();
+        assert!(matches!(a, Opened::Single(_)));
+        assert!(matches!(b, Opened::Sharded(_)));
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.stores().len(), 1);
+        assert_eq!(b.stores().len(), 3);
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v3).ok();
+    }
+
+    #[test]
+    fn policy_labels() {
+        assert_eq!(
+            policy_label(Some(ShardSpec::ByTime { interval_s: 120 })),
+            "time(interval_s=120)"
+        );
+        assert_eq!(
+            policy_label(Some(ShardSpec::ByRegion { grid_n: 8 })),
+            "region(grid_n=8)"
+        );
+        assert_eq!(policy_label(None), "custom");
+    }
+}

@@ -8,8 +8,8 @@
 //! representation has the most factors).
 
 /// A pivot factor: `Some((s, l))` copies `piv[s..s+l]`; `None` marks an
-/// element absent from the pivot (the paper "omit[s] the factor but
-/// increase[s] the number of factors by 1").
+/// element absent from the pivot (the paper "omit\[s\] the factor but
+/// increase\[s\] the number of factors by 1").
 pub type PivotFactor = Option<(u32, u32)>;
 
 /// Greedy `(S, L)` factorization of `seq` against `piv`.

@@ -1,0 +1,404 @@
+//! A long-lived TCP query server over an opened container.
+//!
+//! [`Server`] binds a [`std::net::TcpListener`], opens the container
+//! **once** (through the [`Opened`] facade, so v2 and v3 containers are
+//! served identically) and answers the newline-delimited JSON protocol
+//! of [`crate::wire`] — `PROTOCOL.md` documents the format. The decode
+//! cache and query plans live in the shared store, so they stay warm
+//! across requests and across connections: exactly the steady state the
+//! `bench_queries` "warm" numbers measure, instead of the re-open-per-
+//! invocation cost the CLI's offline `query` pays.
+//!
+//! # Threading model
+//!
+//! A small fixed pool: `threads` workers pull accepted connections from
+//! one channel, each serving its connection request-by-request
+//! (pipelined clients are fine — requests are answered in arrival
+//! order). The query layer underneath is the same `Send + Sync` store
+//! the parallel batch paths use, so workers share one decode cache and
+//! never clone trajectory data.
+//!
+//! # Shutdown
+//!
+//! Graceful, from either side: a client sends `{"op":"shutdown"}` (it
+//! gets the acknowledgement as its response), or the process calls
+//! [`ServerHandle::shutdown`]. Either way the server then
+//!
+//! 1. stops accepting new connections (the acceptor is woken by a
+//!    loopback connect, not killed),
+//! 2. half-closes the **read** side of every live connection — each
+//!    worker finishes the request it is executing, flushes the complete
+//!    response line, then sees EOF and closes cleanly (no response is
+//!    ever truncated mid-line), and
+//! 3. joins every worker before [`Server::run`] returns.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::error::Error;
+use crate::opened::Opened;
+use crate::wire;
+
+/// Default worker-pool size for [`Server::bind`] callers that take the
+/// CLI default.
+pub const DEFAULT_THREADS: usize = 4;
+
+/// Shared shutdown state: the flag, the live-connection registry and
+/// the loopback address used to wake the acceptor.
+///
+/// The registry maps a per-connection token to a clone of its stream,
+/// inserted at accept and removed when the handler finishes — entries
+/// exist exactly while a connection is live, so the registry neither
+/// leaks descriptors on a long-lived server nor holds client sockets
+/// half-open after shutdown.
+struct ServerState {
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_token: AtomicU64,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// Flips the server into shutdown: stop accepting, half-close every
+    /// live connection's read side, wake the (possibly blocked)
+    /// acceptor. Idempotent.
+    fn trigger(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(conns) = self.conns.lock() {
+            for c in conns.values() {
+                // Readers see EOF after their in-flight request; the
+                // write half stays open so responses finish intact.
+                let _ = c.shutdown(Shutdown::Read);
+            }
+        }
+        // Unblock `TcpListener::accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Registers a freshly accepted connection; the token deregisters
+    /// it when its handler finishes.
+    fn register(&self, stream: &TcpStream) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        if let (Ok(mut conns), Ok(clone)) = (self.conns.lock(), stream.try_clone()) {
+            conns.insert(token, clone);
+        }
+        // Close the race with a concurrent trigger(): a connection
+        // accepted after the shutdown sweep but registered only now
+        // would otherwise keep its read side open forever (and block
+        // run() from draining). Checking after the insert means either
+        // the sweep saw our entry or we see the flag — also covers a
+        // failed try_clone above, since we half-close the stream itself.
+        if self.shutting_down.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        token
+    }
+
+    /// Drops the registry's clone, completing the close once the
+    /// handler's own stream is gone.
+    fn deregister(&self, token: u64) {
+        if let Ok(mut conns) = self.conns.lock() {
+            conns.remove(&token);
+        }
+    }
+}
+
+/// A handle that can stop a running [`Server`] from another thread —
+/// what in-process embedders (tests, benchmarks) use instead of sending
+/// a `shutdown` request over a socket.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Initiates the same graceful shutdown a `{"op":"shutdown"}`
+    /// request does. Returns immediately; [`Server::run`] returns once
+    /// every worker has drained.
+    pub fn shutdown(&self) {
+        self.state.trigger();
+    }
+}
+
+/// A bound, not-yet-running query server. See the [module docs](self).
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use utcq_core::serve::Server;
+/// use utcq_core::Opened;
+///
+/// # fn main() -> Result<(), utcq_core::Error> {
+/// let opened = Arc::new(Opened::open("data.utcq")?);
+/// // Port 0 = ephemeral; read the real port back before blocking.
+/// let server = Server::bind(opened, "127.0.0.1:0", 4)?;
+/// println!("listening on {}", server.local_addr());
+/// server.run()?; // blocks until a shutdown request arrives
+/// # Ok(()) }
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    opened: Arc<Opened>,
+    threads: usize,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port) over an opened
+    /// container. `threads` is the worker-pool size (clamped to ≥ 1).
+    pub fn bind(opened: Arc<Opened>, addr: &str, threads: usize) -> Result<Self, Error> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            opened,
+            threads: threads.max(1),
+            state: Arc::new(ServerState {
+                shutting_down: AtomicBool::new(false),
+                conns: Mutex::new(HashMap::new()),
+                next_token: AtomicU64::new(0),
+                addr,
+            }),
+        })
+    }
+
+    /// The address actually bound — the resolved port when binding port
+    /// `0`.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A shutdown handle usable from other threads while [`Server::run`]
+    /// blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until shut down (by a `shutdown` request or a
+    /// [`ServerHandle`]), then drains the worker pool and returns.
+    pub fn run(self) -> Result<(), Error> {
+        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let rx = Arc::clone(&rx);
+                let opened = Arc::clone(&self.opened);
+                let state = Arc::clone(&self.state);
+                scope.spawn(move || loop {
+                    // Holding the lock only for the recv keeps a slow
+                    // connection from serializing the whole pool.
+                    let next = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    match next {
+                        Ok((token, stream)) => {
+                            serve_connection(&opened, &state, stream);
+                            state.deregister(token);
+                        }
+                        Err(_) => break, // channel closed: acceptor is done
+                    }
+                });
+            }
+            for stream in self.listener.incoming() {
+                if self.state.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let token = self.state.register(&stream);
+                if tx.send((token, stream)).is_err() {
+                    break;
+                }
+            }
+            drop(tx); // workers drain queued connections, then exit
+        });
+        // Every handler is done; drop any remaining registry clones so
+        // client sockets close fully (they would otherwise linger
+        // half-open for as long as a ServerHandle is alive).
+        if let Ok(mut conns) = self.state.conns.lock() {
+            conns.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Serves one connection: read a line, execute, write the response
+/// line, flush — until EOF, an unrecoverable socket error, or shutdown.
+///
+/// Reads are bounded: at most [`wire::MAX_REQUEST_BYTES`] + 3 bytes of
+/// a line are ever buffered, so an unterminated request cannot grow
+/// server memory without limit. An over-long line gets the same
+/// `bad_request` response the offline executor produces; its remainder
+/// is then discarded up to the next newline (itself bounded by
+/// [`DRAIN_BUDGET_BYTES`]) so the connection resynchronizes on the next
+/// request — a line that never ends within the budget closes the
+/// connection instead.
+fn serve_connection(opened: &Opened, state: &ServerState, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // +3 leaves room for a maximal request plus "\r\n" plus one
+        // sentinel byte that proves the line ran over the cap.
+        let mut bounded = (&mut reader).take(wire::MAX_REQUEST_BYTES as u64 + 3);
+        match bounded.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or torn connection
+            Ok(_) => {}
+        }
+        // The offline client reads via `lines()`, which strips the
+        // terminator — strip it here too so the cap (and every answer)
+        // is computed over identical bytes on both surfaces.
+        let request = line.trim_end_matches(['\r', '\n']);
+        if request.trim().is_empty() {
+            continue;
+        }
+        // `handle_line` rejects lines past MAX_REQUEST_BYTES itself.
+        let oversized = request.len() > wire::MAX_REQUEST_BYTES;
+        let reply = wire::handle_line(opened, request);
+        if writer
+            .write_all(reply.line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        if oversized {
+            // The rest of the over-long line is still inbound; discard
+            // through its newline so the next request starts clean (and
+            // so closing early can't RST away the response just sent).
+            if !drain_line(&mut reader) {
+                return;
+            }
+            continue;
+        }
+        if reply.shutdown {
+            state.trigger();
+            return;
+        }
+        if state.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// How many bytes of an over-long request line the server will discard
+/// looking for its newline before giving up and closing the connection.
+pub const DRAIN_BUDGET_BYTES: u64 = 64 * wire::MAX_REQUEST_BYTES as u64;
+
+/// Discards buffered input through the next `\n`, in `fill_buf`-sized
+/// chunks and never more than [`DRAIN_BUDGET_BYTES`] total. Returns
+/// whether a newline was found (i.e. the stream is resynchronized).
+fn drain_line(reader: &mut BufReader<TcpStream>) -> bool {
+    let mut budget = DRAIN_BUDGET_BYTES;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok([]) | Err(_) => return false, // EOF or torn connection
+            Ok(buf) => buf,
+        };
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            reader.consume(pos + 1);
+            return true;
+        }
+        let n = buf.len();
+        reader.consume(n);
+        budget = budget.saturating_sub(n as u64);
+        if budget == 0 {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CompressParams;
+    use crate::stiu::StiuParams;
+    use crate::store::Store;
+    use utcq_traj::{paper_fixture, Dataset};
+
+    fn paper_opened() -> Arc<Opened> {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        let store = Store::build(
+            Arc::new(fx.example.net.clone()),
+            &ds,
+            CompressParams::with_interval(paper_fixture::DEFAULT_INTERVAL),
+            StiuParams {
+                partition_s: 900,
+                grid_n: 4,
+            },
+        )
+        .unwrap();
+        Arc::new(Opened::Single(Box::new(store)))
+    }
+
+    fn roundtrip(addr: SocketAddr, request: &str) -> String {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writer.write_all(request.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_and_shuts_down_over_tcp() {
+        let server = Server::bind(paper_opened(), "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        assert_eq!(
+            roundtrip(addr, r#"{"id":1,"op":"ping"}"#),
+            r#"{"id":1,"ok":true,"op":"ping"}"#
+        );
+        let t = paper_fixture::hms(5, 21, 25);
+        let resp = roundtrip(addr, &format!(r#"{{"op":"where","traj":1,"t":{t}}}"#));
+        assert!(resp.contains(r#""ok":true"#), "{resp}");
+        assert!(resp.contains(r#""items":[{"instance":0"#), "{resp}");
+
+        assert_eq!(
+            roundtrip(addr, r#"{"op":"shutdown"}"#),
+            r#"{"ok":true,"op":"shutdown"}"#
+        );
+        runner.join().unwrap();
+        // The listener is gone: a fresh connection cannot complete a
+        // round-trip anymore.
+        let dead = TcpStream::connect(addr).and_then(|s| {
+            s.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+            let mut line = String::new();
+            BufReader::new(s).read_line(&mut line)?;
+            Ok(line)
+        });
+        match dead {
+            Err(_) => {}
+            Ok(line) => assert!(line.is_empty(), "unexpected response: {line:?}"),
+        }
+    }
+
+    #[test]
+    fn handle_shuts_down_without_a_client() {
+        let server = Server::bind(paper_opened(), "127.0.0.1:0", 1).unwrap();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+        handle.shutdown();
+        runner.join().unwrap();
+    }
+}

@@ -129,6 +129,12 @@ pub enum ShardSpec {
 
 impl ShardSpec {
     /// Instantiates the policy this spec describes.
+    ///
+    /// ```
+    /// use utcq_core::shard::ShardSpec;
+    /// let policy = ShardSpec::ByTime { interval_s: 900 }.policy();
+    /// assert_eq!(policy.spec(), Some(ShardSpec::ByTime { interval_s: 900 }));
+    /// ```
     pub fn policy(self) -> Arc<dyn ShardPolicy> {
         match self {
             ShardSpec::ByTime { interval_s } => Arc::new(ByTime { interval_s }),
@@ -344,6 +350,31 @@ impl ShardedStoreBuilder {
 /// See the [module docs](self) for execution, cursor and persistence
 /// semantics. Equivalence with a single store over the same dataset is
 /// asserted by `tests/shard_equivalence.rs`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use utcq_core::shard::ByTime;
+/// use utcq_core::{CompressParams, PageRequest, QueryTarget, StoreBuilder};
+/// # fn main() -> Result<(), utcq_core::Error> {
+/// let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 6, 7);
+/// let store = StoreBuilder::new(
+///     Arc::new(net),
+///     CompressParams::with_interval(ds.default_interval),
+/// )
+/// .shard_by(Arc::new(ByTime::default()), 3)?
+/// .ingest(&ds)?
+/// .finish()?;
+/// assert_eq!(store.shard_count(), 3);
+/// assert_eq!(store.len(), 6);
+///
+/// // The exact same query surface as a single store.
+/// let owner = store.traj_shard(0).unwrap() as usize;
+/// let t0 = store.shards()[owner]
+///     .decode_times(store.shards()[owner].traj_index(0).unwrap())?[0];
+/// let page = store.where_query(0, t0, 0.0, PageRequest::default())?;
+/// assert!(!page.items.is_empty());
+/// # Ok(()) }
+/// ```
 pub struct ShardedStore {
     shards: Vec<Store>,
     spec: Option<ShardSpec>,
@@ -462,6 +493,13 @@ impl ShardedStore {
     /// Opens a sharded v3 container (or a plain v2 container as a
     /// single-shard store). v1 containers fail with
     /// [`Error::NeedsNetwork`], as with [`Store::open`].
+    ///
+    /// ```no_run
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// let store = utcq_core::ShardedStore::open("data.utcq")?;
+    /// println!("{} shards, policy {:?}", store.shard_count(), store.policy_spec());
+    /// # Ok(()) }
+    /// ```
     pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
         let f = File::open(path)?;
         Self::read(&mut BufReader::new(f))
@@ -509,6 +547,14 @@ impl ShardedStore {
     }
 
     /// Persists the store as a v3 container.
+    ///
+    /// ```no_run
+    /// # fn demo(store: utcq_core::ShardedStore) -> Result<(), utcq_core::Error> {
+    /// store.save("sharded.utcq")?;
+    /// let reopened = utcq_core::ShardedStore::open("sharded.utcq")?;
+    /// assert_eq!(reopened.shard_count(), store.shard_count());
+    /// # Ok(()) }
+    /// ```
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
         let f = File::create(path)?;
         self.write(&mut BufWriter::new(f))
@@ -710,7 +756,7 @@ impl ShardedStore {
     /// unpaginated and in input order.
     ///
     /// Workers pull whole queries from the one shared atomic-counter
-    /// queue ([`crate::query::par_run`]) and fan out over shards
+    /// queue (`crate::query::par_run`) and fan out over shards
     /// *inside* the worker — one thread pool total, never one per
     /// shard. Because the answer is unpaginated, candidates are
     /// evaluated in shard-local index order (contiguous per-shard data,

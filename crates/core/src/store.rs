@@ -267,6 +267,22 @@ impl std::fmt::Debug for Store {
 impl Store {
     /// Compresses a dataset and builds its index in one step —
     /// equivalent to a single-batch [`StoreBuilder`] run.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use utcq_core::{CompressParams, StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 4, 7);
+    /// let store = Store::build(
+    ///     Arc::new(net),
+    ///     &ds,
+    ///     CompressParams::with_interval(ds.default_interval),
+    ///     StiuParams::default(),
+    /// )?;
+    /// assert_eq!(store.len(), 4);
+    /// assert!(store.ratios().total > 1.0);
+    /// # Ok(()) }
+    /// ```
     pub fn build(
         net: Arc<RoadNetwork>,
         ds: &Dataset,
@@ -283,7 +299,17 @@ impl Store {
     /// all come from the file — no side-channel arguments.
     ///
     /// A v1 container fails with [`Error::NeedsNetwork`]; open those with
-    /// [`Store::open_v1`].
+    /// [`Store::open_v1`]. A sharded v3 container fails with
+    /// [`Error::ShardedContainer`]; open those with
+    /// [`crate::shard::ShardedStore::open`] (or let [`crate::Opened`]
+    /// pick the shape).
+    ///
+    /// ```no_run
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// let store = utcq_core::Store::open("data.utcq")?;
+    /// println!("{} trajectories", store.len());
+    /// # Ok(()) }
+    /// ```
     pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
         let f = File::open(path)?;
         Self::read(&mut BufReader::new(f))
@@ -308,6 +334,16 @@ impl Store {
     /// trajectories; the structural components that index construction
     /// reads (edge sequences, time sequences) decompress exactly, so the
     /// rebuilt index matches one built at compression time.
+    ///
+    /// ```no_run
+    /// use std::sync::Arc;
+    /// use utcq_core::{StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// // v1 files carry no network; supply the one they were built on.
+    /// let net = utcq_datagen::generate_network(&utcq_datagen::profile::tiny(), 1);
+    /// let store = Store::open_v1("legacy.utcq", Arc::new(net), StiuParams::default())?;
+    /// # let _ = store; Ok(()) }
+    /// ```
     pub fn open_v1(
         path: impl AsRef<Path>,
         net: Arc<RoadNetwork>,
@@ -328,6 +364,14 @@ impl Store {
     }
 
     /// Persists the store as a self-contained v2 container.
+    ///
+    /// ```no_run
+    /// # fn demo(store: utcq_core::Store) -> Result<(), utcq_core::Error> {
+    /// store.save("data.utcq")?;
+    /// let reopened = utcq_core::Store::open("data.utcq")?;
+    /// assert_eq!(reopened.len(), store.len());
+    /// # Ok(()) }
+    /// ```
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
         let f = File::create(path)?;
         let mut w = BufWriter::new(f);
@@ -405,6 +449,20 @@ impl Store {
 
     /// Decodes the full time sequence of the trajectory at position `j`
     /// (memoized in the decode cache).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use utcq_core::{CompressParams, StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// # let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 3, 7);
+    /// # let store = Store::build(Arc::new(net), &ds,
+    /// #     CompressParams::with_interval(ds.default_interval), StiuParams::default())?;
+    /// // Positions come from `traj_index`; ids from ingest order.
+    /// let j = store.traj_index(0).unwrap();
+    /// let times = store.decode_times(j)?;
+    /// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    /// # Ok(()) }
+    /// ```
     pub fn decode_times(&self, j: u32) -> Result<Arc<Vec<i64>>, Error> {
         let ct = self
             .cds
@@ -415,6 +473,22 @@ impl Store {
     }
 
     /// Hit/miss/eviction counters and footprint of the decode cache.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use utcq_core::{CompressParams, PageRequest, StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// # let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 3, 7);
+    /// # let store = Store::build(Arc::new(net), &ds,
+    /// #     CompressParams::with_interval(ds.default_interval), StiuParams::default())?;
+    /// let t0 = store.decode_times(0)?[0];
+    /// store.where_query(0, t0, 0.0, PageRequest::default())?; // cold: misses
+    /// store.where_query(0, t0, 0.0, PageRequest::default())?; // warm: hits
+    /// let stats = store.cache_stats();
+    /// assert!(stats.hits > 0 && stats.misses > 0);
+    /// println!("{}", stats.render());
+    /// # Ok(()) }
+    /// ```
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -426,6 +500,14 @@ impl Store {
 
     /// Reconfigures the decode-cache byte budget at runtime, evicting
     /// down to the new limit immediately (`0` disables caching).
+    ///
+    /// ```
+    /// # fn demo(store: &utcq_core::Store) {
+    /// store.set_cache_bytes(16 * 1024 * 1024); // 16 MiB
+    /// assert_eq!(store.cache_bytes(), 16 * 1024 * 1024);
+    /// store.set_cache_bytes(0); // disable caching entirely
+    /// # }
+    /// ```
     pub fn set_cache_bytes(&self, bytes: usize) {
         self.cache.set_budget(bytes);
     }
@@ -451,6 +533,29 @@ impl Store {
     ///
     /// Unknown trajectory ids and out-of-span times yield an empty page,
     /// matching the paper's query semantics (the answer set is empty).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use utcq_core::{CompressParams, PageRequest, StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// # let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 3, 7);
+    /// # let store = Store::build(Arc::new(net), &ds,
+    /// #     CompressParams::with_interval(ds.default_interval), StiuParams::default())?;
+    /// let t0 = store.decode_times(store.traj_index(0).unwrap())?[0];
+    /// // Walk the full answer two hits per page.
+    /// let mut req = PageRequest::first(2);
+    /// loop {
+    ///     let page = store.where_query(0, t0, 0.0, req)?;
+    ///     for hit in &page.items {
+    ///         println!("instance {} (p={}) at {:?}", hit.instance, hit.prob, hit.loc);
+    ///     }
+    ///     match page.next_cursor {
+    ///         Some(c) => req = PageRequest::after(c, 2),
+    ///         None => break,
+    ///     }
+    /// }
+    /// # Ok(()) }
+    /// ```
     pub fn where_query(
         &self,
         traj_id: u64,
@@ -466,6 +571,18 @@ impl Store {
 
     /// Probabilistic **when** query (Definition 11): the times at which
     /// `traj_id`'s instances with probability ≥ `alpha` pass `⟨edge, rd⟩`.
+    ///
+    /// ```no_run
+    /// use utcq_core::PageRequest;
+    /// use utcq_network::EdgeId;
+    /// # fn demo(store: &utcq_core::Store) -> Result<(), utcq_core::Error> {
+    /// // When does trajectory 7 pass the midpoint of edge 117?
+    /// let page = store.when_query(7, EdgeId(117), 0.5, 0.25, PageRequest::first(64))?;
+    /// for hit in &page.items {
+    ///     println!("instance {} passes at t={}s", hit.instance, hit.time);
+    /// }
+    /// # Ok(()) }
+    /// ```
     pub fn when_query(
         &self,
         traj_id: u64,
@@ -487,6 +604,20 @@ impl Store {
     /// inside `re` at `tq` with accumulated probability ≥ `alpha`,
     /// ascending. Pagination is keyset-style over the sorted ids, so
     /// pages stay consistent under concurrent reads.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use utcq_core::{CompressParams, PageRequest, StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// # let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 3, 7);
+    /// # let store = Store::build(Arc::new(net), &ds,
+    /// #     CompressParams::with_interval(ds.default_interval), StiuParams::default())?;
+    /// let tq = store.decode_times(0)?[0];
+    /// let everywhere = store.network().bounding_rect();
+    /// let page = store.range_query(&everywhere, tq, 0.2, PageRequest::all())?;
+    /// assert!(page.items.windows(2).all(|w| w[0] < w[1]), "ids ascend");
+    /// # Ok(()) }
+    /// ```
     pub fn range_query(
         &self,
         re: &Rect,
@@ -577,6 +708,14 @@ impl Store {
     /// Workers pull query indices from a shared atomic counter rather
     /// than fixed chunks: a skewed batch (a few expensive queries amid
     /// many cheap ones) keeps every thread busy until the queue drains.
+    ///
+    /// ```no_run
+    /// use utcq_core::RangeQuery;
+    /// # fn demo(store: &utcq_core::Store, batch: Vec<RangeQuery>) -> Result<(), utcq_core::Error> {
+    /// let answers = store.par_range_query(&batch)?; // one Vec<id> per query, input order
+    /// assert_eq!(answers.len(), batch.len());
+    /// # Ok(()) }
+    /// ```
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
         crate::query::par_run(queries.len(), |i| {
             let q = &queries[i];

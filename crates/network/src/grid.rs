@@ -1,6 +1,6 @@
 //! Uniform grid partitioning of the road-network plane.
 //!
-//! The StIU spatial index "partition[s] the road network G using grid
+//! The StIU spatial index "partition\[s\] the road network G using grid
 //! cells, each of which represents a region `re_i`" (§5.2); the paper's
 //! Fig. 9 sweeps the number of cells from 8×8 to 128×128. Range queries
 //! also use grid-aligned regions.

@@ -28,7 +28,7 @@ use crate::time;
 pub enum TFlagData {
     /// Verbatim bit-string, one bit per entry.
     Raw(BitBuf),
-    /// WAH bitmap (reference [33]).
+    /// WAH bitmap (reference \[33\]).
     Wah(WahBitmap),
 }
 

@@ -1,6 +1,6 @@
 //! The TED baseline (Yang et al., "A novel representation and compression
 //! for queries on trajectories in road networks", TKDE 2017 — reference
-//! [40] of the UTCQ paper), adapted to uncertain trajectories exactly as
+//! \[40\] of the UTCQ paper), adapted to uncertain trajectories exactly as
 //! the paper's comparison does (§6.1): each instance is compressed
 //! independently as an accurate trajectory; probabilities use the same
 //! PDDP bound as UTCQ; bitmap compression of `T'` is off by default.

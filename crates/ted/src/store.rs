@@ -1,7 +1,7 @@
 //! TED's query path: a plain spatio-temporal index with full per-instance
 //! decompression.
 //!
-//! TED's index (from [40], adapted): per *instance* — because TED treats
+//! TED's index (from \[40\], adapted): per *instance* — because TED treats
 //! instances as independent accurate trajectories — one temporal tuple per
 //! time interval and one spatial tuple per grid cell crossed. No
 //! probability aggregates, no referential grouping, no partial

@@ -15,6 +15,9 @@
 //! utcq verify     --profile cd --trajs 200 --seed 1 --in data.utcq
 //! utcq query      --in data.utcq -n 100 [--alpha 0.25] [--limit 64]
 //!                 [--cache-bytes N] [--cache-stats]
+//! utcq serve      --in data.utcq [--addr 127.0.0.1:7071] [--threads 4]
+//!                 [--cache-bytes N]
+//! utcq client     --addr HOST:PORT | --in data.utcq
 //! ```
 //!
 //! Legacy v1 containers (dataset only) still load: `query`/`verify` fall
@@ -28,18 +31,28 @@
 //! sharded store splits the budget across partitions) and
 //! `--cache-stats` prints aggregated hit/miss/eviction counters after
 //! the workload.
+//!
+//! `serve` keeps the container open in a long-lived process and answers
+//! the newline-delimited JSON protocol of `PROTOCOL.md` over TCP, so
+//! the decode cache stays warm across requests instead of being rebuilt
+//! per invocation. `client` speaks that protocol from stdin — against a
+//! running server (`--addr`), or offline against the container itself
+//! (`--in`), producing byte-identical responses; the serve-smoke CI job
+//! diffs the two.
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use utcq::core::opened::InfoReport;
 use utcq::core::params::CompressParams;
 use utcq::core::query::PageRequest;
+use utcq::core::serve::{Server, DEFAULT_THREADS};
 use utcq::core::shard::{ByRegion, ByTime, ShardPolicy};
 use utcq::core::stiu::StiuParams;
-use utcq::core::{storage, QueryTarget, RangeQuery, ShardedStore, Store, StoreBuilder};
+use utcq::core::{storage, wire, Opened, QueryTarget, RangeQuery, Store, StoreBuilder};
 use utcq::datagen::DatasetProfile;
 use utcq::network::RoadNetwork;
 use utcq::traj::Dataset;
@@ -201,104 +214,42 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// A container opened as a queryable target — single-store or sharded.
-/// Boxed: a `Store` is a few hundred bytes of inline headers, and the
-/// enum would otherwise carry the larger variant's size everywhere.
-enum Opened {
-    Single(Box<Store>),
-    Sharded(Box<ShardedStore>),
-}
-
-impl Opened {
-    /// The polymorphic query surface.
-    fn target(&self) -> &dyn QueryTarget {
-        match self {
-            Opened::Single(s) => s.as_ref(),
-            Opened::Sharded(s) => s.as_ref(),
-        }
-    }
-
-    /// Every underlying partition (one for a single store).
-    fn stores(&self) -> Vec<&Store> {
-        match self {
-            Opened::Single(s) => vec![s],
-            Opened::Sharded(s) => s.shards().iter().collect(),
-        }
-    }
-}
-
-/// Opens a container as a queryable store: v2 directly, v3 through the
-/// sharded facade, v1 through the compatibility path using the
-/// regenerated network. Only the network is regenerated — not the
-/// trajectories, which live in the container.
+/// Opens a container as a queryable store through the
+/// [`utcq::core::Opened`] facade: v2 directly, v3 through the sharded
+/// facade, v1 through the compatibility path using the regenerated
+/// network. Only the network is regenerated — not the trajectories,
+/// which live in the container.
 fn open_store(args: &Args) -> Result<Opened, String> {
     let path = args.get("in", "data.utcq");
-    match Store::open(&path) {
-        Ok(store) => Ok(Opened::Single(Box::new(store))),
-        Err(utcq::core::Error::ShardedContainer) => ShardedStore::open(&path)
-            .map(|s| Opened::Sharded(Box::new(s)))
-            .map_err(|e| format!("{path}: {e}")),
+    match Opened::open(&path) {
+        Ok(opened) => Ok(opened),
         Err(utcq::core::Error::NeedsNetwork) => {
             let pname = args.get("profile", "cd");
             let profile = profile_by_name(&pname)
                 .ok_or(format!("unknown profile '{pname}' (dk|cd|hz|tiny)"))?;
             let net = utcq::datagen::generate_network(&profile, args.parse_num("seed", 1));
-            Store::open_v1(&path, Arc::new(net), StiuParams::default())
-                .map(|s| Opened::Single(Box::new(s)))
+            Opened::open_v1(&path, Arc::new(net), StiuParams::default())
                 .map_err(|e| format!("{path}: {e}"))
         }
         Err(e) => Err(format!("{path}: {e}")),
     }
 }
 
-fn print_dataset_info(cds: &utcq::core::CompressedDataset) {
-    let r = cds.ratios();
-    println!("container: dataset '{}'", cds.name);
-    println!("  trajectories:     {}", cds.trajectories.len());
-    println!(
-        "  instances:        {}",
-        cds.trajectories
-            .iter()
-            .map(|t| t.instance_count())
-            .sum::<usize>()
-    );
-    println!(
-        "  ηD = {}, ηp = {}, pivots = {}",
-        cds.params.eta_d, cds.params.eta_p, cds.params.n_pivots
-    );
-    println!("  raw:              {} KiB", cds.raw.total() / 8 / 1024);
-    println!(
-        "  compressed:       {} KiB",
-        cds.compressed.total() / 8 / 1024
-    );
-    println!("  ratio:            {:.2}", r.total);
-}
-
 fn cmd_info(args: &Args) -> Result<(), String> {
     let path = args.get("in", "data.utcq");
-    let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    match storage::load(&mut BufReader::new(f)) {
-        Ok(cds) => print_dataset_info(&cds),
-        Err(storage::StorageError::Sharded) => {
-            let store = ShardedStore::open(&path).map_err(|e| format!("{path}: {e}"))?;
-            let r = store.ratios();
-            println!(
-                "container: sharded ({} shards, policy {:?})",
-                store.shard_count(),
-                store.policy_spec()
-            );
-            println!("  trajectories:     {}", store.len());
-            println!("  ratio:            {:.2}", r.total);
-            for (i, s) in store.shards().iter().enumerate() {
-                println!(
-                    "  shard {i}: {} trajectories, ratio {:.2}",
-                    s.len(),
-                    s.ratios().total
-                );
-            }
+    // Through the facade for self-contained containers; dataset-only
+    // fallback for legacy v1 files, which `info` can describe without a
+    // network (no profile/seed flags needed).
+    let report = match Opened::open(&path) {
+        Ok(opened) => opened.info(),
+        Err(utcq::core::Error::NeedsNetwork) => {
+            let f = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+            let cds = storage::load(&mut BufReader::new(f)).map_err(|e| e.to_string())?;
+            InfoReport::from_dataset(&cds)
         }
-        Err(e) => return Err(e.to_string()),
-    }
+        Err(e) => return Err(format!("{path}: {e}")),
+    };
+    print!("{}", report.render());
     Ok(())
 }
 
@@ -388,26 +339,103 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         t0.elapsed()
     );
     if args.flags.contains_key("cache-stats") {
-        let s = store.cache_stats();
-        println!(
-            "decode cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} / {} bytes, {} evictions",
-            s.hits,
-            s.misses,
-            s.hit_rate() * 100.0,
-            s.entries,
-            s.bytes,
-            s.budget_bytes,
-            s.evictions
-        );
+        // The shared formatter — the serve process prints the same line
+        // at shutdown, so the two surfaces cannot drift.
+        println!("{}", store.cache_stats().render());
     }
     Ok(())
 }
 
+/// `utcq serve`: keep the container open and answer the `PROTOCOL.md`
+/// wire protocol over TCP until a `shutdown` request arrives.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let opened = Arc::new(open_store(args)?);
+    if let Some(v) = args.flags.get("cache-bytes") {
+        let bytes: usize = v
+            .parse()
+            .map_err(|_| format!("--cache-bytes: not a byte count: '{v}'"))?;
+        opened.set_cache_bytes(bytes);
+    }
+    let threads: usize = args.parse_num("threads", DEFAULT_THREADS);
+    let addr = args.get("addr", "127.0.0.1:7071");
+    let server = Server::bind(Arc::clone(&opened), &addr, threads).map_err(|e| e.to_string())?;
+    // The bound address goes to stdout (and is flushed) first: scripts
+    // bind port 0 and read the real port back from this line.
+    println!("listening on {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving {} ({}, {} trajectories) with {threads} worker threads",
+        args.get("in", "data.utcq"),
+        opened.shape(),
+        opened.len()
+    );
+    server.run().map_err(|e| e.to_string())?;
+    eprintln!("{}", opened.cache_stats().render());
+    Ok(())
+}
+
+/// `utcq client`: execute a newline-delimited JSON session from stdin —
+/// against a running server (`--addr`), or offline against the
+/// container itself (`--in`). Both modes run every request through
+/// `utcq::core::wire`, so their outputs are byte-identical; the
+/// serve-smoke CI job diffs them.
+fn cmd_client(args: &Args) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    if let Some(addr) = args.flags.get("addr") {
+        let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = BufWriter::new(stream);
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .map_err(|e| format!("send: {e}"))?;
+            let mut response = String::new();
+            let n = reader
+                .read_line(&mut response)
+                .map_err(|e| format!("recv: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection".to_string());
+            }
+            print!("{response}");
+            // A shutdown acknowledgement is the server's last word.
+            let was_shutdown = matches!(
+                wire::parse_request(&line),
+                Ok(p) if matches!(p.request, wire::Request::Shutdown)
+            );
+            if was_shutdown && response.contains("\"ok\":true") {
+                break;
+            }
+        }
+        Ok(())
+    } else {
+        let opened = open_store(args)?;
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = wire::handle_line(&opened, &line);
+            println!("{}", reply.line);
+            if reply.shutdown {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
 fn usage() -> String {
-    "usage: utcq <stats|compress|info|verify|query> [--profile dk|cd|hz|tiny] \
+    "usage: utcq <stats|compress|info|verify|query|serve|client> \
+     [--profile dk|cd|hz|tiny] \
      [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
      [--shards N] [--shard-by time|region] [--shard-interval S] [--shard-grid N] \
-     [--cache-bytes N] [--cache-stats]"
+     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N]"
         .to_string()
 }
 
@@ -424,6 +452,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(&args),
         "verify" => cmd_verify(&args),
         "query" => cmd_query(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         _ => Err(usage()),
     };
     match result {

@@ -1,7 +1,11 @@
 //! Umbrella crate for the UTCQ reproduction.
 //!
 //! Re-exports all workspace crates under one roof so examples and
-//! integration tests can use a single dependency.
+//! integration tests can use a single dependency. The public API lives
+//! in [`utcq_core`] (owned, `Send + Sync` [`utcq_core::Store`] /
+//! [`utcq_core::ShardedStore`] behind one [`utcq_core::QueryTarget`]
+//! surface, plus the [`utcq_core::serve`] TCP query service); see the
+//! repository `README.md` and `docs/ARCHITECTURE.md` for the tour.
 pub use utcq_bitio as bitio;
 pub use utcq_core as core;
 pub use utcq_datagen as datagen;

@@ -1,0 +1,356 @@
+//! End-to-end tests of the `utcq serve` query service: a real TCP
+//! server over the checked-in container fixtures, scripted client
+//! sessions, and byte-for-byte comparison against the offline query
+//! path (`utcq_core::wire::handle_line` on a separately opened
+//! container — the same executor `utcq client --in` uses).
+//!
+//! Covers the serve acceptance surface: identical answers for v1/v2/v3
+//! containers, pagination resume across connections, invalid/foreign
+//! cursor rejection, concurrent clients against the sharded fixture,
+//! and clean shutdown mid-stream.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use utcq::core::serve::{Server, ServerHandle};
+use utcq::core::stiu::StiuParams;
+use utcq::core::{wire, Opened, QueryTarget, Store};
+
+/// Matches the parameters `tests/container_compat.rs` regenerates the
+/// fixtures with (the v1 fixture's index is rebuilt at open time).
+const STIU: StiuParams = StiuParams {
+    partition_s: 900,
+    grid_n: 8,
+};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Opens a fixture by version. The v1 fixture has no embedded network,
+/// so it borrows the v2 fixture's — identical by construction.
+fn open_fixture(version: u8) -> Opened {
+    match version {
+        1 => {
+            let v2 = Store::open(fixture_path("tiny_v2.utcq")).expect("v2 fixture opens");
+            Opened::open_v1(fixture_path("tiny_v1.utcq"), Arc::clone(v2.network()), STIU)
+                .expect("v1 fixture opens")
+        }
+        2 => Opened::open(fixture_path("tiny_v2.utcq")).expect("v2 fixture opens"),
+        3 => Opened::open(fixture_path("tiny_v3.utcq")).expect("v3 fixture opens"),
+        other => panic!("no fixture for version {other}"),
+    }
+}
+
+/// Binds an ephemeral port and runs the server on a background thread.
+fn start(opened: Arc<Opened>, threads: usize) -> (SocketAddr, ServerHandle, ServerRunner) {
+    let server = Server::bind(opened, "127.0.0.1:0", threads).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, ServerRunner(Some(runner)))
+}
+
+/// Joins the server thread on drop (after tests shut it down), so a
+/// failed assertion can't leak a blocked thread past the test.
+struct ServerRunner(Option<std::thread::JoinHandle<()>>);
+
+impl ServerRunner {
+    fn join(mut self) {
+        self.0.take().unwrap().join().expect("server thread");
+    }
+}
+
+impl Drop for ServerRunner {
+    fn drop(&mut self) {
+        if let Some(h) = self.0.take() {
+            h.join().ok();
+        }
+    }
+}
+
+/// One protocol connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Self {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    /// Sends one request line, returns the response line (trimmed).
+    fn roundtrip(&mut self, request: &str) -> String {
+        self.send(request);
+        self.recv().expect("response line")
+    }
+
+    fn send(&mut self, request: &str) {
+        self.writer.write_all(request.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+        }
+    }
+}
+
+/// A probe workload derived from the container itself: every
+/// trajectory's where/when at its mid time, plus paginated range scans
+/// over the network bounds.
+fn probe_requests(opened: &Opened) -> Vec<String> {
+    let mut requests = Vec::new();
+    let bounds = opened.network().bounding_rect();
+    for store in opened.stores() {
+        for j in 0..store.len() as u32 {
+            let ct = &store.compressed().trajectories[j as usize];
+            let times = store.decode_times(j).expect("decode times");
+            let mid = (times[0] + times[times.len() - 1]) / 2;
+            requests.push(format!(
+                r#"{{"op":"where","traj":{},"t":{mid},"alpha":0}}"#,
+                ct.id
+            ));
+            requests.push(format!(
+                r#"{{"op":"where","traj":{},"t":{mid},"alpha":0,"limit":1}}"#,
+                ct.id
+            ));
+            requests.push(format!(
+                r#"{{"id":{},"op":"range","min_x":{},"min_y":{},"max_x":{},"max_y":{},"tq":{mid},"alpha":0.2,"limit":4}}"#,
+                ct.id, bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y
+            ));
+        }
+    }
+    requests.push(r#"{"op":"info"}"#.to_string());
+    requests.push(r#"{"op":"where","traj":424242,"t":0}"#.to_string());
+    requests
+}
+
+#[test]
+fn served_answers_are_byte_identical_to_offline_for_every_container_version() {
+    for version in [1u8, 2, 3] {
+        // Two independent openings of the same fixture: one behind the
+        // server, one driven offline through the same wire executor.
+        let served = Arc::new(open_fixture(version));
+        let offline = open_fixture(version);
+        let (addr, _handle, runner) = start(Arc::clone(&served), 2);
+        let mut client = Client::connect(addr);
+        for request in probe_requests(&offline) {
+            let online = client.roundtrip(&request);
+            let expected = wire::handle_line(&offline, &request).line;
+            assert_eq!(online, expected, "v{version}: {request}");
+        }
+        client.roundtrip(r#"{"op":"shutdown"}"#);
+        runner.join();
+    }
+}
+
+/// Extracts the `next_cursor` string from a response line.
+fn next_cursor(response: &str) -> Option<String> {
+    let tag = "\"next_cursor\":\"";
+    let start = response.find(tag)? + tag.len();
+    let end = response[start..].find('"')? + start;
+    Some(response[start..end].to_string())
+}
+
+/// Extracts the `"items":[…]` payload from a response line.
+fn items(response: &str) -> &str {
+    let tag = "\"items\":[";
+    let start = response.find(tag).expect("items field") + tag.len();
+    let end = response[start..].find(']').expect("items close") + start;
+    &response[start..end]
+}
+
+#[test]
+fn pagination_resumes_across_connections() {
+    let opened = Arc::new(open_fixture(3));
+    let offline = open_fixture(3);
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 2);
+
+    // The full answer in one page, as ground truth.
+    let full = wire::handle_line(&offline, r#"{"op":"where","traj":0,"t":71582,"alpha":0}"#).line;
+    let full_items = items(&full);
+    assert!(!full_items.is_empty());
+
+    // Page 1 on connection A; resume on a brand-new connection B with
+    // the cursor A minted (cursors are store state, not connection
+    // state).
+    let mut a = Client::connect(addr);
+    let page1 = a.roundtrip(r#"{"op":"where","traj":0,"t":71582,"alpha":0,"limit":1}"#);
+    assert!(page1.contains(r#""has_more":true"#), "{page1}");
+    let cursor = next_cursor(&page1).expect("page 1 mints a cursor");
+    drop(a);
+
+    let mut b = Client::connect(addr);
+    let page2 = b.roundtrip(&format!(
+        r#"{{"op":"where","traj":0,"t":71582,"alpha":0,"limit":1024,"cursor":"{cursor}"}}"#
+    ));
+    assert!(page2.contains(r#""has_more":false"#), "{page2}");
+    let walked = format!("{},{}", items(&page1), items(&page2));
+    assert_eq!(
+        walked, full_items,
+        "paginated walk must equal the full answer"
+    );
+
+    // Keyset range cursors resume across connections too.
+    let bounds = offline.network().bounding_rect();
+    let range_req = |cursor: &str| {
+        format!(
+            r#"{{"op":"range","min_x":{},"min_y":{},"max_x":{},"max_y":{},"tq":71582,"alpha":0,"limit":1{}}}"#,
+            bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y, cursor
+        )
+    };
+    let r1 = b.roundtrip(&range_req(""));
+    if let Some(c) = next_cursor(&r1) {
+        let mut c3 = Client::connect(addr);
+        let r2 = c3.roundtrip(&range_req(&format!(r#","cursor":"{c}""#)));
+        assert!(r2.contains(r#""ok":true"#), "{r2}");
+    }
+
+    b.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
+fn invalid_and_foreign_cursors_are_rejected() {
+    let opened = Arc::new(open_fixture(3));
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 2);
+    let mut client = Client::connect(addr);
+
+    // Not a u64 at all.
+    let resp = client.roundtrip(r#"{"op":"where","traj":0,"t":71582,"cursor":"xyz"}"#);
+    assert!(resp.contains(r#""code":"invalid_cursor""#), "{resp}");
+
+    // A structurally valid cursor minted for the wrong shard: trajectory
+    // 0 lives in shard 2 of the v3 fixture, so a shard-0-tagged offset
+    // cursor must be rejected, not silently paginate wrong.
+    let resp = client.roundtrip(r#"{"op":"where","traj":0,"t":71582,"cursor":"999"}"#);
+    assert!(resp.contains(r#""code":"invalid_cursor""#), "{resp}");
+
+    // The connection survives rejected requests.
+    let resp = client.roundtrip(r#"{"id":9,"op":"ping"}"#);
+    assert_eq!(resp, r#"{"id":9,"ok":true,"op":"ping"}"#);
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers_on_the_sharded_fixture() {
+    let opened = Arc::new(open_fixture(3));
+    let offline = open_fixture(3);
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 4);
+
+    let requests = probe_requests(&offline);
+    let expected: Vec<String> = requests
+        .iter()
+        .map(|r| wire::handle_line(&offline, r).line)
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let requests = &requests;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for (request, want) in requests.iter().zip(expected) {
+                    // Skip the stateful cache_stats-style probes; every
+                    // query answer must be identical under concurrency.
+                    let got = client.roundtrip(request);
+                    assert_eq!(&got, want, "{request}");
+                }
+            });
+        }
+    });
+
+    Client::connect(addr).roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
+fn clean_shutdown_mid_stream() {
+    let opened = Arc::new(open_fixture(3));
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 2);
+
+    // Connection A is mid-session: it has received one complete page
+    // and still holds the connection open.
+    let mut a = Client::connect(addr);
+    let page = a.roundtrip(r#"{"op":"where","traj":0,"t":71582,"alpha":0,"limit":1}"#);
+    assert!(page.contains(r#""ok":true"#), "{page}");
+
+    // Connection B asks for shutdown and gets a complete
+    // acknowledgement line — never a truncated response.
+    let mut b = Client::connect(addr);
+    let ack = b.roundtrip(r#"{"op":"shutdown"}"#);
+    assert_eq!(ack, r#"{"ok":true,"op":"shutdown"}"#);
+
+    // The server drains: run() returns, and A's stream ends with EOF
+    // (clean close), not a hang.
+    runner.join();
+    a.send(r#"{"op":"ping"}"#);
+    assert_eq!(a.recv(), None, "connection A must see a clean EOF");
+}
+
+#[test]
+fn oversized_request_is_rejected_and_the_connection_survives() {
+    let opened = Arc::new(open_fixture(3));
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 1);
+    let mut client = Client::connect(addr);
+
+    // Just past the 1 MiB cap: rejected with the same bad_request the
+    // offline executor produces, without buffering the line unbounded.
+    let big = format!(r#"{{"op":"ping","pad":"{}"}}"#, "x".repeat(1 << 20));
+    let resp = client.roundtrip(&big);
+    assert!(resp.contains(r#""code":"bad_request""#), "{resp}");
+    assert!(resp.contains("1 MiB"), "{resp}");
+
+    // The remainder of the over-long line was drained: the connection
+    // resynchronizes and keeps answering.
+    let resp = client.roundtrip(r#"{"id":1,"op":"ping"}"#);
+    assert_eq!(resp, r#"{"id":1,"ok":true,"op":"ping"}"#);
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
+fn checked_in_session_fixture_stays_in_sync() {
+    // The serve-smoke CI job replays this exact session against the
+    // binary; keep its expectations pinned here so fixture drift fails
+    // fast in `cargo test` rather than only in CI.
+    let session = std::fs::read_to_string(fixture_path("serve_session.ndjson")).unwrap();
+    let offline = open_fixture(3);
+    let mut replies = Vec::new();
+    for line in session.lines().filter(|l| !l.trim().is_empty()) {
+        let reply = wire::handle_line(&offline, line);
+        replies.push((line.to_string(), reply));
+    }
+    assert_eq!(replies.len(), 10);
+    assert!(replies[0].1.line.contains(r#""op":"ping""#));
+    assert!(replies[1].1.line.contains(r#""shape":"sharded""#));
+    assert!(replies[2].1.line.contains(r#""has_more":true"#));
+    assert!(replies[3].1.line.contains(r#""has_more":false"#));
+    assert!(
+        replies[4].1.line.contains(r#""op":"when","items":[{"#),
+        "when probe should hit: {}",
+        replies[4].1.line
+    );
+    assert!(replies[5].1.line.contains(r#""op":"range","items":[0"#));
+    assert!(replies[6].1.line.contains(r#""code":"invalid_cursor""#));
+    assert!(replies[7].1.line.contains(r#""code":"unknown_op""#));
+    assert!(replies[8].1.line.contains(r#""op":"cache_stats""#));
+    assert!(replies[9].1.shutdown, "session must end with shutdown");
+}
