@@ -174,7 +174,8 @@ fn index_vs_full_decompression() {
         });
         // Full decompression path: decompress the whole trajectory and
         // run the oracle on it.
-        let idx_of: HashMap<u64, usize> = store
+        let snap = store.snapshot();
+        let idx_of: HashMap<u64, usize> = snap
             .compressed()
             .trajectories
             .iter()
@@ -186,8 +187,8 @@ fn index_vs_full_decompression() {
                 let j = idx_of[&q.traj_id];
                 let tu = utcq_core::decompress_trajectory(
                     &built.net,
-                    &store.compressed().trajectories[j],
-                    store.compressed().w_e,
+                    &snap.compressed().trajectories[j],
+                    snap.compressed().w_e,
                     &params,
                 )
                 .unwrap();

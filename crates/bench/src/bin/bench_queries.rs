@@ -18,6 +18,11 @@
 //! what the sharding layer costs (fan-out/merge) and buys (independent
 //! partitions) release over release.
 //!
+//! An `"open"` section times `ShardedStore::read_with` on the same v3
+//! container bytes with sequential vs parallel per-shard blob
+//! deserialization (interleaved), tracking what the work-queue open
+//! buys release over release.
+//!
 //! A third section (`"serve"` — bench_serve) round-trips the warm
 //! where/when workloads through an in-process
 //! `utcq_core::serve::Server` over one loopback TCP connection,
@@ -46,7 +51,7 @@ use utcq_bench::{datasets, workload};
 use utcq_core::query::PageRequest;
 use utcq_core::shard::ByTime;
 use utcq_core::stiu::StiuParams;
-use utcq_core::{QueryTarget, RangeQuery, Store, StoreBuilder};
+use utcq_core::{QueryTarget, RangeQuery, ShardedStore, Store, StoreBuilder};
 
 const SEED: u64 = 3000;
 
@@ -343,6 +348,23 @@ fn main() {
     );
     let qps = |ns: f64| if ns > 0.0 { 1e9 / ns } else { 0.0 };
 
+    // Sharded container open: sequential vs parallel per-shard blob
+    // deserialization on the same bytes, interleaved so host drift
+    // cancels out of the ratio.
+    eprintln!("measuring {n_shards}-shard v3 open (sequential vs parallel, interleaved)…");
+    let mut v3_bytes = Vec::new();
+    sharded.write(&mut v3_bytes).expect("serialize v3");
+    let (open_seq_ns, open_par_ns) = measure_pair(
+        1,
+        smoke,
+        || {
+            ShardedStore::read_with(&mut v3_bytes.as_slice(), false).expect("sequential open");
+        },
+        || {
+            ShardedStore::read_with(&mut v3_bytes.as_slice(), true).expect("parallel open");
+        },
+    );
+
     // Leave the cache warm so the reported stats describe steady state.
     run_where(&store);
     run_when(&store);
@@ -455,6 +477,19 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"open\": {{\"shards\": {n_shards}, \"container_bytes\": {}, \
+         \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}}},",
+        v3_bytes.len(),
+        open_seq_ns / 1e6,
+        open_par_ns / 1e6,
+        if open_par_ns > 0.0 {
+            open_seq_ns / open_par_ns
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(
+        json,
         "  \"serve\": {{\"transport\": \"tcp-loopback\", \
          \"where_roundtrip_ns_per_op\": {:.1}, \"when_roundtrip_ns_per_op\": {:.1}, \
          \"where_qps\": {:.1}, \"when_qps\": {:.1}}},",
@@ -498,6 +533,16 @@ fn main() {
         qps(serve_where_ns),
         serve_when_ns,
         qps(serve_when_ns)
+    );
+    eprintln!(
+        "  v3 open: sequential {:.2} ms | parallel {:.2} ms ({:.2}x)",
+        open_seq_ns / 1e6,
+        open_par_ns / 1e6,
+        if open_par_ns > 0.0 {
+            open_seq_ns / open_par_ns
+        } else {
+            0.0
+        }
     );
 
     if let Some(path) = baseline_path {

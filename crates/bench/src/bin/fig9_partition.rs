@@ -49,7 +49,7 @@ fn main() {
                 },
             )
             .unwrap();
-            let (s_bits, t_bits) = store.stiu().size_bits(params.p_codec().width());
+            let (s_bits, t_bits) = store.snapshot().stiu().size_bits(params.p_codec().width());
             let (_, udur) = timed(|| {
                 for q in &queries {
                     let _ = store
@@ -94,7 +94,7 @@ fn main() {
                 },
             )
             .unwrap();
-            let (_, t_bits) = store.stiu().size_bits(params.p_codec().width());
+            let (_, t_bits) = store.snapshot().stiu().size_bits(params.p_codec().width());
             let (_, udur) = timed(|| {
                 for q in &queries {
                     let _ = store

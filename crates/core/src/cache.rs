@@ -7,7 +7,7 @@
 //! Before this module existed those decodes were repaid on every call —
 //! the per-reference cache in `query.rs` died with each query.
 //!
-//! [`DecodeCache`] memoizes all four artifact kinds behind `Arc`s:
+//! [`DecodeCache`] memoizes the decoded artifact kinds behind `Arc`s:
 //!
 //! * `(traj, ref_idx) → Arc<DecodedRef>` — a reference's decoded streams;
 //! * `(traj, orig_idx) → Arc<Instance>` — a fully decoded instance;
@@ -15,7 +15,19 @@
 //! * `(traj, no) → Arc<Vec<i64>>` — a *partial* time window resumed
 //!   mid-stream at the temporal tuple whose first sample index is `no`
 //!   (the `bracket` step of the *where*/*range* paths, which previously
-//!   re-paid the partial decode on every call).
+//!   re-paid the partial decode on every call);
+//! * `(traj, cell) → ∅` — a **negative** entry recording that the
+//!   trajectory never enters the StIU cell, so a repeated region-miss
+//!   *when* query answers without re-scanning the region tuples.
+//!   Negative entries carry no payload but are charged the fixed
+//!   per-entry overhead, so they compete for the byte budget like any
+//!   other entry and retire through the same LRU.
+//!
+//! Every key additionally carries the **epoch** of the snapshot that
+//! minted it (see [`crate::snapshot`]): after a live ingest publishes a
+//! new epoch, entries of superseded epochs simply stop matching and age
+//! out through normal eviction — no flush, and no cross-epoch aliasing
+//! even if a future writer stops being append-only.
 //!
 //! The cache is **sharded**: keys hash to one of [`SHARD_COUNT`]
 //! [`RwLock`]-protected shards, so concurrent queries (e.g. under
@@ -51,9 +63,9 @@ pub const SHARD_COUNT: usize = 16;
 /// the full decoded working set of the bundled benchmark datasets.
 pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
-/// Cache key: which decoded artifact of which trajectory.
+/// Which decoded artifact of which trajectory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Key {
+enum Kind {
     /// Decoded streams of `refs[ref_idx]` of trajectory `traj`.
     Ref { traj: u32, ref_idx: u32 },
     /// Fully decoded instance `orig_idx` of trajectory `traj`.
@@ -63,6 +75,17 @@ enum Key {
     /// Partial time window of trajectory `traj`, resumed mid-stream at
     /// the temporal tuple whose first sample index is `no`.
     Window { traj: u32, no: u32 },
+    /// Negative entry: trajectory `traj` has no region tuple in StIU
+    /// cell `cell` — a *when* query there is answer-free.
+    WhenMiss { traj: u32, cell: u32 },
+}
+
+/// Cache key: an artifact kind stamped with the snapshot epoch that
+/// minted it. Entries of superseded epochs stop matching and age out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    epoch: u64,
+    kind: Kind,
 }
 
 /// Cached value, one variant per key kind.
@@ -71,6 +94,8 @@ enum Value {
     Ref(Arc<DecodedRef>),
     Instance(Arc<Instance>),
     Times(Arc<Vec<i64>>),
+    /// Payload-free negative entry (`Kind::WhenMiss`).
+    Negative,
 }
 
 struct Entry {
@@ -86,6 +111,9 @@ struct Shard {
     map: HashMap<Key, Entry>,
     /// Sum of `Entry::bytes` currently resident in this shard.
     bytes: usize,
+    /// Resident `Value::Negative` entries, maintained on insert/evict
+    /// so `stats()` never walks the map.
+    negatives: usize,
 }
 
 impl Shard {
@@ -114,6 +142,9 @@ impl Shard {
             }
             if let Some(e) = self.map.remove(&key) {
                 self.bytes -= e.bytes;
+                if matches!(e.value, Value::Negative) {
+                    self.negatives -= 1;
+                }
                 evicted += 1;
             }
         }
@@ -131,8 +162,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay under the byte budget.
     pub evictions: u64,
+    /// Region-miss *when* queries answered from a negative entry
+    /// (counted within `hits` as well).
+    pub negative_hits: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Negative entries currently resident (counted within `entries`).
+    pub negative_entries: usize,
     /// Estimated bytes currently resident.
     pub bytes: usize,
     /// Configured byte budget (`0` = caching disabled).
@@ -160,11 +196,12 @@ impl CacheStats {
     /// ```
     pub fn render(&self) -> String {
         format!(
-            "decode cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} / {} bytes, {} evictions",
+            "decode cache: {} hits / {} misses ({:.1}% hit rate), {} entries ({} negative), {} / {} bytes, {} evictions",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.entries,
+            self.negative_entries,
             self.bytes,
             self.budget_bytes,
             self.evictions
@@ -172,8 +209,9 @@ impl CacheStats {
     }
 }
 
-/// The shared decode cache. One per [`crate::store::Store`]; cheap to
-/// share by reference across query threads (`Send + Sync`).
+/// The shared decode cache. One per [`crate::store::Store`], shared by
+/// every epoch's [`crate::snapshot::Snapshot`]; cheap to share by
+/// reference across query threads (`Send + Sync`).
 pub struct DecodeCache {
     shards: Vec<RwLock<Shard>>,
     /// Total byte budget; each shard gets `budget / SHARD_COUNT`.
@@ -183,6 +221,7 @@ pub struct DecodeCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    negative_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for DecodeCache {
@@ -203,6 +242,7 @@ impl DecodeCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            negative_hits: AtomicU64::new(0),
         }
     }
 
@@ -224,6 +264,7 @@ impl DecodeCache {
                     .fetch_add(s.map.len() as u64, Ordering::Relaxed);
                 s.map.clear();
                 s.bytes = 0;
+                s.negatives = 0;
             } else {
                 let evicted = s.make_room(0, per_shard);
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -243,23 +284,29 @@ impl DecodeCache {
             let mut s = shard.write().expect("cache lock poisoned");
             s.map.clear();
             s.bytes = 0;
+            s.negatives = 0;
         }
     }
 
-    /// Current counters and footprint.
+    /// Current counters and footprint. O(shard count): every per-entry
+    /// quantity is maintained incrementally under the shard locks.
     pub fn stats(&self) -> CacheStats {
         let mut entries = 0;
+        let mut negative_entries = 0;
         let mut bytes = 0;
         for shard in &self.shards {
             let s = shard.read().expect("cache lock poisoned");
             entries += s.map.len();
+            negative_entries += s.negatives;
             bytes += s.bytes;
         }
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            negative_hits: self.negative_hits.load(Ordering::Relaxed),
             entries,
+            negative_entries,
             bytes,
             budget_bytes: self.budget(),
         }
@@ -298,45 +345,58 @@ impl DecodeCache {
         // key concurrently; the loser's insert below just finds the
         // winner's entry and reuses it.
         let value = decode()?;
+        self.insert(key, value.clone());
+        Ok(value)
+    }
+
+    /// Inserts an already-computed value, evicting to stay under budget.
+    /// Finding a racing winner's entry leaves it in place.
+    fn insert(&self, key: Key, value: Value) {
         let bytes = value_bytes(&value);
+        let shard = self.shard_of(&key);
         let mut s = shard.write().expect("cache lock poisoned");
         // Re-read the budget under the write lock: a concurrent
         // set_budget may have shrunk (or zeroed) it since the snapshot
         // above, and inserting against the stale value would strand an
         // entry no future lookup could ever reach or evict.
         let per_shard = self.budget() / SHARD_COUNT;
-        if let Some(existing) = s.map.get(&key) {
-            return Ok(existing.value.clone());
+        if s.map.contains_key(&key) {
+            return;
         }
         if bytes > per_shard {
             // Larger than the whole shard budget: serve it uncached
             // rather than flushing everything for a single entry.
-            return Ok(value);
+            return;
         }
         let evicted = s.make_room(bytes, per_shard);
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         s.bytes += bytes;
+        if matches!(value, Value::Negative) {
+            s.negatives += 1;
+        }
         s.map.insert(
             key,
             Entry {
-                value: value.clone(),
+                value,
                 bytes,
                 tick: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
             },
         );
-        Ok(value)
     }
 
     /// Cached decode of reference `ref_idx` of trajectory `traj`.
     pub fn ref_or_decode(
         &self,
+        epoch: u64,
         traj: u32,
         ref_idx: u32,
         decode: impl FnOnce() -> Result<DecodedRef, Error>,
     ) -> Result<Arc<DecodedRef>, Error> {
-        match self.get_or_insert(Key::Ref { traj, ref_idx }, || {
-            Ok(Value::Ref(Arc::new(decode()?)))
-        })? {
+        let key = Key {
+            epoch,
+            kind: Kind::Ref { traj, ref_idx },
+        };
+        match self.get_or_insert(key, || Ok(Value::Ref(Arc::new(decode()?))))? {
             Value::Ref(r) => Ok(r),
             _ => Err(Error::CorruptStore("cache key/value kind mismatch")),
         }
@@ -345,13 +405,16 @@ impl DecodeCache {
     /// Cached decode of instance `orig_idx` of trajectory `traj`.
     pub fn instance_or_decode(
         &self,
+        epoch: u64,
         traj: u32,
         orig_idx: u32,
         decode: impl FnOnce() -> Result<Instance, Error>,
     ) -> Result<Arc<Instance>, Error> {
-        match self.get_or_insert(Key::Instance { traj, orig_idx }, || {
-            Ok(Value::Instance(Arc::new(decode()?)))
-        })? {
+        let key = Key {
+            epoch,
+            kind: Kind::Instance { traj, orig_idx },
+        };
+        match self.get_or_insert(key, || Ok(Value::Instance(Arc::new(decode()?))))? {
             Value::Instance(i) => Ok(i),
             _ => Err(Error::CorruptStore("cache key/value kind mismatch")),
         }
@@ -362,13 +425,16 @@ impl DecodeCache {
     /// uniquely identifies the resume point within a trajectory).
     pub fn window_or_decode(
         &self,
+        epoch: u64,
         traj: u32,
         no: u32,
         decode: impl FnOnce() -> Result<Vec<i64>, Error>,
     ) -> Result<Arc<Vec<i64>>, Error> {
-        match self.get_or_insert(Key::Window { traj, no }, || {
-            Ok(Value::Times(Arc::new(decode()?)))
-        })? {
+        let key = Key {
+            epoch,
+            kind: Kind::Window { traj, no },
+        };
+        match self.get_or_insert(key, || Ok(Value::Times(Arc::new(decode()?))))? {
             Value::Times(t) => Ok(t),
             _ => Err(Error::CorruptStore("cache key/value kind mismatch")),
         }
@@ -377,20 +443,64 @@ impl DecodeCache {
     /// Cached decode of the time sequence of trajectory `traj`.
     pub fn times_or_decode(
         &self,
+        epoch: u64,
         traj: u32,
         decode: impl FnOnce() -> Result<Vec<i64>, Error>,
     ) -> Result<Arc<Vec<i64>>, Error> {
-        match self.get_or_insert(Key::Times { traj }, || {
-            Ok(Value::Times(Arc::new(decode()?)))
-        })? {
+        let key = Key {
+            epoch,
+            kind: Kind::Times { traj },
+        };
+        match self.get_or_insert(key, || Ok(Value::Times(Arc::new(decode()?))))? {
             Value::Times(t) => Ok(t),
             _ => Err(Error::CorruptStore("cache key/value kind mismatch")),
         }
     }
+
+    /// Whether a negative entry records that trajectory `traj` never
+    /// enters StIU cell `cell` (at `epoch`). A `true` answer counts as a
+    /// hit *and* a negative hit; a `false` answer counts nothing — the
+    /// caller is about to scan the region tuples, not decode.
+    pub fn when_miss_hit(&self, epoch: u64, traj: u32, cell: u32) -> bool {
+        if self.budget() == 0 {
+            return false;
+        }
+        let key = Key {
+            epoch,
+            kind: Kind::WhenMiss { traj, cell },
+        };
+        let shard = self.shard_of(&key);
+        if let Some(entry) = shard.read().expect("cache lock poisoned").map.get(&key) {
+            entry.tick.store(
+                self.clock.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.negative_hits.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Records that trajectory `traj` never enters StIU cell `cell` (at
+    /// `epoch`) — called by the *when* path after an empty region scan.
+    pub fn note_when_miss(&self, epoch: u64, traj: u32, cell: u32) {
+        if self.budget() == 0 {
+            return;
+        }
+        self.insert(
+            Key {
+                epoch,
+                kind: Kind::WhenMiss { traj, cell },
+            },
+            Value::Negative,
+        );
+    }
 }
 
 /// Fixed per-entry overhead charged on top of the payload estimate:
-/// hash-map slot, `Entry` bookkeeping, `Arc` control block.
+/// hash-map slot, `Entry` bookkeeping, `Arc` control block. Negative
+/// entries are charged exactly this.
 const ENTRY_OVERHEAD: usize = 96;
 
 fn value_bytes(v: &Value) -> usize {
@@ -402,6 +512,7 @@ fn value_bytes(v: &Value) -> usize {
                     + i.positions.len() * std::mem::size_of::<utcq_traj::PathPosition>()
             }
             Value::Times(t) => t.len() * std::mem::size_of::<i64>(),
+            Value::Negative => 0,
         }
 }
 
@@ -411,7 +522,7 @@ mod tests {
 
     fn times_entry(cache: &DecodeCache, traj: u32, len: usize) -> Arc<Vec<i64>> {
         cache
-            .times_or_decode(traj, || Ok((0..len as i64).collect()))
+            .times_or_decode(0, traj, || Ok((0..len as i64).collect()))
             .unwrap()
     }
 
@@ -420,7 +531,7 @@ mod tests {
         let cache = DecodeCache::with_budget(1 << 20);
         let a = times_entry(&cache, 1, 8);
         let b = cache
-            .times_or_decode(1, || panic!("second lookup must not decode"))
+            .times_or_decode(0, 1, || panic!("second lookup must not decode"))
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         let s = cache.stats();
@@ -429,23 +540,60 @@ mod tests {
     }
 
     #[test]
+    fn epochs_partition_the_key_space() {
+        let cache = DecodeCache::with_budget(1 << 20);
+        let old = cache.times_or_decode(0, 1, || Ok(vec![1, 2])).unwrap();
+        // The same trajectory under a newer epoch is a distinct entry —
+        // stale decodes can never serve a post-ingest snapshot.
+        let new = cache.times_or_decode(1, 1, || Ok(vec![1, 2, 3])).unwrap();
+        assert_eq!(old.len(), 2);
+        assert_eq!(new.len(), 3);
+        let again = cache
+            .times_or_decode(1, 1, || panic!("epoch-1 entry must be cached"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&new, &again));
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
     fn window_entries_are_keyed_independently() {
         let cache = DecodeCache::with_budget(1 << 20);
         // Full times and a partial window of the same trajectory coexist.
         let full = times_entry(&cache, 1, 8);
-        let win = cache.window_or_decode(1, 3, || Ok(vec![3, 4, 5])).unwrap();
+        let win = cache
+            .window_or_decode(0, 1, 3, || Ok(vec![3, 4, 5]))
+            .unwrap();
         assert_eq!(full.len(), 8);
         assert_eq!(*win, vec![3, 4, 5]);
         // Second lookup of the window is a hit, not a re-decode.
         let win2 = cache
-            .window_or_decode(1, 3, || panic!("window must be cached"))
+            .window_or_decode(0, 1, 3, || panic!("window must be cached"))
             .unwrap();
         assert!(Arc::ptr_eq(&win, &win2));
         // A different resume point is a distinct entry.
-        let other = cache.window_or_decode(1, 5, || Ok(vec![5, 6])).unwrap();
+        let other = cache.window_or_decode(0, 1, 5, || Ok(vec![5, 6])).unwrap();
         assert_eq!(*other, vec![5, 6]);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 3, 3));
+    }
+
+    #[test]
+    fn negative_entries_hit_and_account() {
+        let cache = DecodeCache::with_budget(1 << 20);
+        assert!(!cache.when_miss_hit(0, 7, 3), "cold probe misses");
+        cache.note_when_miss(0, 7, 3);
+        assert!(cache.when_miss_hit(0, 7, 3), "recorded miss hits");
+        assert!(!cache.when_miss_hit(1, 7, 3), "new epoch does not alias");
+        assert!(!cache.when_miss_hit(0, 7, 4), "other cell does not alias");
+        let s = cache.stats();
+        assert_eq!(s.negative_hits, 1);
+        assert_eq!(s.negative_entries, 1);
+        assert_eq!(s.entries, 1);
+        assert_eq!(s.bytes, ENTRY_OVERHEAD, "negative entries are payload-free");
+        // Zero budget disables negative caching like everything else.
+        cache.set_budget(0);
+        cache.note_when_miss(0, 7, 3);
+        assert!(!cache.when_miss_hit(0, 7, 3));
     }
 
     #[test]
@@ -519,7 +667,7 @@ mod tests {
         }
         // traj 0 was touched every round; it should still be resident.
         cache
-            .times_or_decode(0, || panic!("hot entry was evicted"))
+            .times_or_decode(0, 0, || panic!("hot entry was evicted"))
             .map(|_| ())
             .unwrap();
     }
@@ -534,7 +682,7 @@ mod tests {
                 for i in 0..200u32 {
                     let traj = (t * 7 + i) % 16;
                     let v = c
-                        .times_or_decode(traj, || Ok(vec![i64::from(traj); 4]))
+                        .times_or_decode(0, traj, || Ok(vec![i64::from(traj); 4]))
                         .unwrap();
                     assert_eq!(*v, vec![i64::from(traj); 4]);
                 }

@@ -31,10 +31,15 @@
 //! * [`plan`] — precomputed per-trajectory lookup tables
 //!   ([`plan::TrajPlan`]) that replace the query engine's per-call
 //!   linear scans and sorts;
+//! * [`snapshot`] — the immutable, epoch-stamped read state
+//!   ([`snapshot::Snapshot`]) every query runs on, epoch-swapped behind
+//!   one `Arc` so live ingest never blocks a reader;
 //! * [`store`] — the single-partition façade: an owned, `Send + Sync`
-//!   [`Store`] built incrementally through [`StoreBuilder`], persisted
-//!   as a self-contained container, queried through paginated entry
-//!   points backed by the decode cache and query plans;
+//!   [`Store`] built incrementally through [`StoreBuilder`] and kept
+//!   **live** afterwards ([`Store::ingest`] publishes new epochs
+//!   concurrently with queries), persisted as a self-contained
+//!   container, queried through paginated entry points backed by the
+//!   decode cache and query plans;
 //! * [`shard`] — the scale-out layer: a [`shard::ShardedStore`] owning N
 //!   `Store` partitions routed by a pluggable [`shard::ShardPolicy`]
 //!   (time-interval or road-network-region), answering the exact same
@@ -181,6 +186,7 @@ pub mod reference;
 pub mod serve;
 pub mod shard;
 pub mod siar;
+pub mod snapshot;
 pub mod stiu;
 pub mod storage;
 pub mod store;
@@ -195,5 +201,6 @@ pub use params::CompressParams;
 pub use query::{Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
 pub use serve::{Server, ServerHandle};
 pub use shard::{ByRegion, ByTime, ShardPolicy, ShardSpec, ShardedStore, ShardedStoreBuilder};
+pub use snapshot::Snapshot;
 pub use stiu::StiuParams;
-pub use store::{Store, StoreBuilder};
+pub use store::{IngestReport, Store, StoreBuilder};

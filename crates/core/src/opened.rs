@@ -27,8 +27,10 @@ use crate::compress::CompressedDataset;
 use crate::error::Error;
 use crate::query::{Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
 use crate::shard::{ShardSpec, ShardedStore};
+use crate::snapshot::Snapshot;
 use crate::stiu::StiuParams;
-use crate::store::Store;
+use crate::store::{IngestReport, Store};
+use utcq_traj::Dataset;
 
 /// A container opened as a queryable target — single-store or sharded.
 ///
@@ -107,12 +109,37 @@ impl Opened {
         }
     }
 
-    /// Every underlying partition (one for a single store), in shard
-    /// order.
-    pub fn stores(&self) -> Vec<&Store> {
+    /// One pinned snapshot per underlying partition (one for a single
+    /// store), in shard order. Each snapshot is its partition's current
+    /// epoch and individually consistent; across partitions the set is
+    /// a batch-consistent cut except in the few pointer-swaps while a
+    /// concurrent sharded ingest publishes, where an aggregate may
+    /// briefly include a batch the facade has not made visible yet
+    /// (use [`crate::shard::ShardedStore::save`] for cuts that must be
+    /// exact).
+    pub fn snapshots(&self) -> Vec<Arc<Snapshot>> {
         match self {
-            Opened::Single(s) => vec![s],
-            Opened::Sharded(s) => s.shards().iter().collect(),
+            Opened::Single(s) => vec![s.snapshot()],
+            Opened::Sharded(s) => s.shards().iter().map(Store::snapshot).collect(),
+        }
+    }
+
+    /// Compresses, indexes and publishes one batch into the live store —
+    /// [`Store::ingest`] or [`ShardedStore::ingest`] depending on shape.
+    /// Serialized through the store's writer lock; queries never block.
+    pub fn ingest(&self, batch: &Dataset) -> Result<IngestReport, Error> {
+        match self {
+            Opened::Single(s) => s.ingest(batch),
+            Opened::Sharded(s) => s.ingest(batch),
+        }
+    }
+
+    /// The default sample interval the container was compressed with —
+    /// what an `ingest` request's trajectories are validated against.
+    pub fn default_interval(&self) -> i64 {
+        match self {
+            Opened::Single(s) => s.params().default_interval,
+            Opened::Sharded(s) => s.shards()[0].params().default_interval,
         }
     }
 
@@ -129,34 +156,32 @@ impl Opened {
     /// the CLI text output and the serve `info` response render from.
     pub fn info(&self) -> InfoReport {
         match self {
-            Opened::Single(s) => InfoReport::from_dataset(s.compressed()),
+            Opened::Single(s) => InfoReport::from_dataset(s.snapshot().compressed()),
             Opened::Sharded(s) => {
-                let shards = s
-                    .shards()
+                let snaps = self.snapshots();
+                let shards = snaps
                     .iter()
-                    .map(|shard| ShardInfo {
-                        trajectories: shard.len(),
-                        ratio: shard.ratios().total,
+                    .map(|snap| ShardInfo {
+                        trajectories: snap.len(),
+                        ratio: snap.ratios().total,
                     })
                     .collect();
-                let first = s.shards().first().map(Store::compressed);
-                let mut report = match first {
-                    Some(cds) => InfoReport::from_dataset(cds),
+                let mut report = match snaps.first() {
+                    Some(snap) => InfoReport::from_dataset(snap.compressed()),
                     None => InfoReport::default(),
                 };
                 // Totals span every partition, not just shard 0.
-                report.trajectories = s.len();
-                report.instances = s
-                    .shards()
+                report.trajectories = snaps.iter().map(|snap| snap.len()).sum();
+                report.instances = snaps
                     .iter()
-                    .flat_map(|sh| sh.compressed().trajectories.iter())
+                    .flat_map(|snap| snap.compressed().trajectories.iter())
                     .map(|t| t.instance_count())
                     .sum();
                 let mut raw = utcq_traj::size::SizeBreakdown::default();
                 let mut compressed = utcq_traj::size::SizeBreakdown::default();
-                for sh in s.shards() {
-                    raw.add(&sh.compressed().raw);
-                    compressed.add(&sh.compressed().compressed);
+                for snap in &snaps {
+                    raw.add(&snap.compressed().raw);
+                    compressed.add(&snap.compressed().compressed);
                 }
                 report.raw_kib = raw.total() / 8 / 1024;
                 report.compressed_kib = compressed.total() / 8 / 1024;
@@ -430,8 +455,8 @@ mod tests {
         assert!(matches!(a, Opened::Single(_)));
         assert!(matches!(b, Opened::Sharded(_)));
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.stores().len(), 1);
-        assert_eq!(b.stores().len(), 3);
+        assert_eq!(a.snapshots().len(), 1);
+        assert_eq!(b.snapshots().len(), 3);
         std::fs::remove_file(&v2).ok();
         std::fs::remove_file(&v3).ok();
     }

@@ -316,6 +316,10 @@ pub(crate) struct QueryEngine<'a> {
     pub stiu: &'a Stiu,
     pub plans: &'a [TrajPlan],
     pub cache: &'a DecodeCache,
+    /// Epoch of the snapshot this engine reads — every cache key this
+    /// engine mints carries it, so entries of superseded epochs can
+    /// never serve a newer snapshot (or vice versa).
+    pub epoch: u64,
 }
 
 /// Per-call scratch map of decoded references: the first lookup of each
@@ -352,7 +356,7 @@ impl<'a> QueryEngine<'a> {
     /// The full time sequence of the trajectory at position `j`,
     /// memoized in the shared cache.
     pub fn times(&self, j: u32, ct: &CompressedTrajectory) -> Result<Arc<Vec<i64>>, Error> {
-        self.cache.times_or_decode(j, || {
+        self.cache.times_or_decode(self.epoch, j, || {
             Ok(siar::decode(
                 &ct.t_bits,
                 ct.n_times as usize,
@@ -373,7 +377,7 @@ impl<'a> QueryEngine<'a> {
         if let Some(d) = local.get(&ref_idx) {
             return Ok(Arc::clone(d));
         }
-        let d = self.cache.ref_or_decode(j, ref_idx, || {
+        let d = self.cache.ref_or_decode(self.epoch, j, ref_idx, || {
             let cref = ct
                 .refs
                 .get(ref_idx as usize)
@@ -401,7 +405,7 @@ impl<'a> QueryEngine<'a> {
         orig_idx: u32,
         local: &mut LocalRefs,
     ) -> Result<Arc<Instance>, Error> {
-        self.cache.instance_or_decode(j, orig_idx, || {
+        self.cache.instance_or_decode(self.epoch, j, orig_idx, || {
             let d_codec = self.cds.params.d_codec();
             let n_locs = ct.n_times as usize;
             enum Decoded {
@@ -472,7 +476,7 @@ impl<'a> QueryEngine<'a> {
         let remaining = (ct.n_times as u64)
             .checked_sub(1 + u64::from(tt.no))
             .ok_or(Error::CorruptStore("temporal tuple past the sample count"))?;
-        let window = self.cache.window_or_decode(j, tt.no, || {
+        let window = self.cache.window_or_decode(self.epoch, j, tt.no, || {
             Ok(siar::decode_from(
                 &ct.t_bits,
                 tt.pos as usize,
@@ -539,10 +543,18 @@ impl<'a> QueryEngine<'a> {
             .point_on_edge(edge, rd * self.net.edge_length(edge));
         let cell = self.stiu.grid.cell_of(query_pt);
 
+        // Negative cache: a recorded region miss answers without even
+        // scanning the region tuples again.
+        if self.cache.when_miss_hit(self.epoch, j, cell.0) {
+            return Ok(Vec::new());
+        }
         let ref_tuples: Vec<_> = node.refs_in(cell).collect();
         if ref_tuples.is_empty() {
             // No instance of this trajectory enters the query region:
-            // answer without touching the compressed payload at all.
+            // answer without touching the compressed payload at all —
+            // and remember that, so the next probe of this cell skips
+            // the tuple scan too.
+            self.cache.note_when_miss(self.epoch, j, cell.0);
             return Ok(Vec::new());
         }
         let times = self.times(j, ct)?;

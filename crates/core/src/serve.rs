@@ -18,6 +18,17 @@
 //! the parallel batch paths use, so workers share one decode cache and
 //! never clone trajectory data.
 //!
+//! # Writable servers
+//!
+//! [`Server::writable`] enables the protocol's `ingest` op: batches
+//! append to the live store (`PROTOCOL.md` documents the request).
+//! Ingest runs on the store's writer path — compression and indexing
+//! happen against a private clone of the current snapshot, then publish
+//! as a new epoch — so queries on the other workers never block, and
+//! pipelined queries behind an ingest on the *same* connection resume
+//! as soon as the batch publishes. Read-only servers (the default)
+//! answer `ingest` with the `read_only` error code.
+//!
 //! # Shutdown
 //!
 //! Graceful, from either side: a client sends `{"op":"shutdown"}` (it
@@ -144,12 +155,16 @@ pub struct Server {
     listener: TcpListener,
     opened: Arc<Opened>,
     threads: usize,
+    /// Whether `ingest` requests are honored (`utcq serve --writable`).
+    /// Read-only servers answer them with the `read_only` error code.
+    writable: bool,
     state: Arc<ServerState>,
 }
 
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port) over an opened
     /// container. `threads` is the worker-pool size (clamped to ≥ 1).
+    /// The server starts read-only; see [`Server::writable`].
     pub fn bind(opened: Arc<Opened>, addr: &str, threads: usize) -> Result<Self, Error> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -157,6 +172,7 @@ impl Server {
             listener,
             opened,
             threads: threads.max(1),
+            writable: false,
             state: Arc::new(ServerState {
                 shutting_down: AtomicBool::new(false),
                 conns: Mutex::new(HashMap::new()),
@@ -164,6 +180,14 @@ impl Server {
                 addr,
             }),
         })
+    }
+
+    /// Enables (or disables) the `ingest` op for every connection.
+    /// Ingest batches are serialized through the store's writer lock
+    /// underneath, so any number of workers may carry them.
+    pub fn writable(mut self, writable: bool) -> Self {
+        self.writable = writable;
+        self
     }
 
     /// The address actually bound — the resolved port when binding port
@@ -190,6 +214,7 @@ impl Server {
                 let rx = Arc::clone(&rx);
                 let opened = Arc::clone(&self.opened);
                 let state = Arc::clone(&self.state);
+                let writable = self.writable;
                 scope.spawn(move || loop {
                     // Holding the lock only for the recv keeps a slow
                     // connection from serializing the whole pool.
@@ -199,7 +224,7 @@ impl Server {
                     };
                     match next {
                         Ok((token, stream)) => {
-                            serve_connection(&opened, &state, stream);
+                            serve_connection(&opened, &state, writable, stream);
                             state.deregister(token);
                         }
                         Err(_) => break, // channel closed: acceptor is done
@@ -239,7 +264,7 @@ impl Server {
 /// [`DRAIN_BUDGET_BYTES`]) so the connection resynchronizes on the next
 /// request — a line that never ends within the budget closes the
 /// connection instead.
-fn serve_connection(opened: &Opened, state: &ServerState, stream: TcpStream) {
+fn serve_connection(opened: &Opened, state: &ServerState, writable: bool, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -262,9 +287,13 @@ fn serve_connection(opened: &Opened, state: &ServerState, stream: TcpStream) {
         if request.trim().is_empty() {
             continue;
         }
-        // `handle_line` rejects lines past MAX_REQUEST_BYTES itself.
+        // The executor rejects lines past MAX_REQUEST_BYTES itself.
         let oversized = request.len() > wire::MAX_REQUEST_BYTES;
-        let reply = wire::handle_line(opened, request);
+        let reply = if writable {
+            wire::handle_line_writable(opened, request)
+        } else {
+            wire::handle_line(opened, request)
+        };
         if writer
             .write_all(reply.line.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))

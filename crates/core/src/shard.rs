@@ -8,9 +8,22 @@
 //! partition is a complete, self-contained store: its own compressed
 //! dataset, StIU index, query plans and decode cache. Ingest,
 //! compression and queries therefore parallelize per shard instead of
-//! serializing on one `CompressedDataset`, and each shard is an
-//! independently lockable unit for the future `serve` / streaming-ingest
-//! paths.
+//! serializing on one `CompressedDataset`.
+//!
+//! # Live ingest and the facade epoch
+//!
+//! Each shard is a live [`Store`] (see [`crate::snapshot`]): its read
+//! state is an immutable epoch-swapped snapshot, so
+//! [`ShardedStore::ingest`] routes a batch, compresses each sub-batch
+//! on its owning shard (fanned out across shards on the shared
+//! work-queue model — per-shard compression is the parallelism the
+//! partitioning buys), and then publishes a fresh **facade state** (id
+//! routing map + prebuilt range index) as the next facade epoch.
+//! Queries never block on ingest: they pin the facade and the shard
+//! snapshots they need and run entirely on frozen state. Publication
+//! order is shards-first-then-facade, and ingest only appends, so a
+//! pinned facade never references a position its shard snapshots lack.
+//! A batch becomes visible atomically when the facade publishes.
 //!
 //! # Query execution
 //!
@@ -46,20 +59,27 @@
 //!   range cursors are interchangeable between a [`Store`] and any
 //!   [`ShardedStore`] over the same dataset.
 //!
+//! Routing of an already-ingested id never changes and ingest only
+//! appends, so cursors minted before a live ingest stay valid after it.
+//!
 //! # Persistence
 //!
 //! [`ShardedStore::save`] writes a v3 container: a shard directory
 //! (policy kind + parameter) followed by one embedded, fully
-//! self-contained v2 container per shard (see [`crate::storage`]).
-//! [`ShardedStore::open`] reads v3 and also accepts a plain v2 container
-//! as a single-shard store; the embedded network is deserialized once
-//! and shared across shards behind one `Arc`.
+//! self-contained v2 container per shard (see [`crate::storage`]). The
+//! shard snapshots are pinned under the writer lock, so a checkpoint
+//! taken while batches stream in is always a batch-consistent cut.
+//! [`ShardedStore::open`] reads v3 — deserializing the per-shard blobs
+//! **in parallel** on the shared work queue — and also accepts a plain
+//! v2 container as a single-shard store; the embedded network is
+//! deserialized once and shared across shards behind one `Arc`.
 
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use utcq_network::{EdgeId, Grid, Rect, RoadNetwork};
 use utcq_traj::{Dataset, UncertainTrajectory};
@@ -68,9 +88,10 @@ use crate::cache::CacheStats;
 use crate::error::Error;
 use crate::params::CompressParams;
 use crate::query::{par_run, Page, PageRequest, QueryTarget, RangeQuery, WhenHit, WhereHit};
+use crate::snapshot::{Snapshot, Swap};
 use crate::stiu::StiuParams;
 use crate::storage::{self, ShardDirectory, POLICY_CUSTOM, POLICY_REGION, POLICY_TIME};
-use crate::store::{Store, StoreBuilder};
+use crate::store::{IngestReport, Store, StoreBuilder};
 
 /// Maximum number of shards a store may have (the shard tag of a
 /// where/when cursor is 16 bits).
@@ -99,7 +120,9 @@ fn decode_cursor(global: u64) -> (u32, u64) {
 /// the facade's id map rely on a stable placement. Built-in policies
 /// ([`ByTime`], [`ByRegion`]) also serialize into the v3 shard
 /// directory; custom implementations are recorded as `custom` (the
-/// container still opens — querying never routes).
+/// container still opens and queries — but a reopened custom-policy
+/// store cannot route new batches, so [`ShardedStore::ingest`] rejects
+/// it).
 pub trait ShardPolicy: Send + Sync {
     /// The shard (in `0..n_shards`) that should own `tu`.
     fn route(&self, net: &RoadNetwork, tu: &UncertainTrajectory, n_shards: u32) -> u32;
@@ -334,50 +357,27 @@ impl ShardedStoreBuilder {
         Ok(self)
     }
 
-    /// Finalizes every shard and assembles the facade.
+    /// Finalizes every shard and assembles the facade. The finished
+    /// store keeps the policy object, so [`ShardedStore::ingest`] can
+    /// route further batches — including through custom policies that
+    /// have no serializable spec.
     pub fn finish(self) -> Result<ShardedStore, Error> {
         let shards = self
             .builders
             .into_iter()
             .map(StoreBuilder::finish)
             .collect::<Result<Vec<_>, _>>()?;
-        ShardedStore::from_shards(shards, self.policy.spec())
+        let spec = self.policy.spec();
+        ShardedStore::from_shards_with_policy(shards, spec, Some(self.policy))
     }
 }
 
-/// N [`Store`] partitions behind the single-store query surface.
-///
-/// See the [module docs](self) for execution, cursor and persistence
-/// semantics. Equivalence with a single store over the same dataset is
-/// asserted by `tests/shard_equivalence.rs`.
-///
-/// ```
-/// use std::sync::Arc;
-/// use utcq_core::shard::ByTime;
-/// use utcq_core::{CompressParams, PageRequest, QueryTarget, StoreBuilder};
-/// # fn main() -> Result<(), utcq_core::Error> {
-/// let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 6, 7);
-/// let store = StoreBuilder::new(
-///     Arc::new(net),
-///     CompressParams::with_interval(ds.default_interval),
-/// )
-/// .shard_by(Arc::new(ByTime::default()), 3)?
-/// .ingest(&ds)?
-/// .finish()?;
-/// assert_eq!(store.shard_count(), 3);
-/// assert_eq!(store.len(), 6);
-///
-/// // The exact same query surface as a single store.
-/// let owner = store.traj_shard(0).unwrap() as usize;
-/// let t0 = store.shards()[owner]
-///     .decode_times(store.shards()[owner].traj_index(0).unwrap())?[0];
-/// let page = store.where_query(0, t0, 0.0, PageRequest::default())?;
-/// assert!(!page.items.is_empty());
-/// # Ok(()) }
-/// ```
-pub struct ShardedStore {
-    shards: Vec<Store>,
-    spec: Option<ShardSpec>,
+/// The immutable routing/acceleration state of the facade, epoch-swapped
+/// as one unit (see the [module docs](self)): a batch becomes visible
+/// exactly when its facade state publishes.
+struct FacadeState {
+    /// Facade publication counter; 0 for the assembled/opened state.
+    epoch: u64,
     /// Trajectory id → owning shard, across all shards.
     id_to_shard: HashMap<u64, u32>,
     /// Whether every shard's StIU grid is the same function (same
@@ -385,16 +385,43 @@ pub struct ShardedStore {
     /// query build its query-cell set once instead of once per shard.
     uniform_grid: bool,
     /// Facade-level range acceleration: the shards' temporal interval
-    /// postings merged once at assembly into id-ascending
-    /// `(id, shard, position)` lists, so a range query resolves its
-    /// global candidate sequence with one lookup and zero sorting
-    /// (shards are immutable once assembled). `None` when the shards'
-    /// time partitions disagree — then candidates are gathered and
-    /// sorted per query.
+    /// postings merged into id-ascending `(id, shard, position)` lists,
+    /// so a range query resolves its global candidate sequence with one
+    /// lookup and zero sorting. Rebuilt at each facade publish (the
+    /// rebuild is linear in the store and runs on the writer path, next
+    /// to the much more expensive batch compression). `None` when the
+    /// shards' time partitions disagree — then candidates are gathered
+    /// and sorted per query.
     range_index: Option<RangeIndex>,
 }
 
-/// See [`ShardedStore::range_index`].
+impl FacadeState {
+    /// Builds the facade over one pinned snapshot per shard, validating
+    /// that no trajectory id appears in two partitions.
+    fn build(epoch: u64, snaps: &[Arc<Snapshot>]) -> Result<Self, Error> {
+        let mut id_to_shard = HashMap::with_capacity(snaps.iter().map(|s| s.len()).sum());
+        for (s, snap) in snaps.iter().enumerate() {
+            for ct in &snap.compressed().trajectories {
+                if id_to_shard.insert(ct.id, s as u32).is_some() {
+                    return Err(Error::DuplicateTrajectory(ct.id));
+                }
+            }
+        }
+        let uniform_grid = snaps.windows(2).all(|w| {
+            Arc::ptr_eq(w[0].network(), w[1].network())
+                && w[0].stiu().params.grid_n == w[1].stiu().params.grid_n
+        });
+        let range_index = RangeIndex::build(snaps);
+        Ok(Self {
+            epoch,
+            id_to_shard,
+            uniform_grid,
+            range_index,
+        })
+    }
+}
+
+/// See [`FacadeState::range_index`].
 struct RangeIndex {
     /// The shards' common temporal partition width.
     partition_s: i64,
@@ -405,20 +432,20 @@ struct RangeIndex {
 impl RangeIndex {
     /// Merges the shards' interval postings; `None` if the partition
     /// widths disagree (their interval keys would be incompatible).
-    fn build(shards: &[Store]) -> Option<Self> {
-        let partition_s = shards[0].stiu().params.partition_s;
-        if shards
+    fn build(snaps: &[Arc<Snapshot>]) -> Option<Self> {
+        let partition_s = snaps[0].stiu().params.partition_s;
+        if snaps
             .iter()
             .any(|s| s.stiu().params.partition_s != partition_s)
         {
             return None;
         }
         let mut postings: HashMap<i64, Vec<(u64, u32, u32)>> = HashMap::new();
-        for (s, store) in shards.iter().enumerate() {
-            for (&key, js) in &store.stiu().interval_trajs {
+        for (s, snap) in snaps.iter().enumerate() {
+            for (&key, js) in &snap.stiu().interval_trajs {
                 let list = postings.entry(key).or_default();
                 for &j in js {
-                    if let Some(ct) = store.compressed().trajectories.get(j as usize) {
+                    if let Some(ct) = snap.compressed().trajectories.get(j as usize) {
                         list.push((ct.id, s as u32, j));
                     }
                 }
@@ -448,6 +475,52 @@ impl RangeIndex {
     }
 }
 
+/// N [`Store`] partitions behind the single-store query surface.
+///
+/// See the [module docs](self) for execution, cursor, live-ingest and
+/// persistence semantics. Equivalence with a single store over the same
+/// dataset is asserted by `tests/shard_equivalence.rs`; live-vs-offline
+/// build equivalence by `tests/live_ingest.rs`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use utcq_core::shard::ByTime;
+/// use utcq_core::{CompressParams, PageRequest, QueryTarget, StoreBuilder};
+/// # fn main() -> Result<(), utcq_core::Error> {
+/// let (net, ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 6, 7);
+/// let store = StoreBuilder::new(
+///     Arc::new(net),
+///     CompressParams::with_interval(ds.default_interval),
+/// )
+/// .shard_by(Arc::new(ByTime::default()), 3)?
+/// .ingest(&ds)?
+/// .finish()?;
+/// assert_eq!(store.shard_count(), 3);
+/// assert_eq!(store.len(), 6);
+///
+/// // The exact same query surface as a single store.
+/// let owner = store.traj_shard(0).unwrap() as usize;
+/// let t0 = store.shards()[owner]
+///     .decode_times(store.shards()[owner].traj_index(0).unwrap())?[0];
+/// let page = store.where_query(0, t0, 0.0, PageRequest::default())?;
+/// assert!(!page.items.is_empty());
+/// # Ok(()) }
+/// ```
+pub struct ShardedStore {
+    shards: Vec<Store>,
+    spec: Option<ShardSpec>,
+    /// The live routing policy; `None` for custom-policy containers
+    /// reopened from disk (they query fine but cannot route new
+    /// batches).
+    policy: Option<Arc<dyn ShardPolicy>>,
+    /// The current facade epoch — queries pin it, ingest swaps it.
+    facade: Swap<FacadeState>,
+    /// Facade epoch the next publish will carry.
+    next_epoch: AtomicU64,
+    /// Serializes facade writers (ingest, consistent checkpoints).
+    writer: Mutex<()>,
+}
+
 impl std::fmt::Debug for ShardedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedStore")
@@ -460,39 +533,43 @@ impl std::fmt::Debug for ShardedStore {
 
 impl ShardedStore {
     /// Assembles a facade over already-built shards, validating that no
-    /// trajectory id appears in two partitions.
+    /// trajectory id appears in two partitions. The routing policy is
+    /// reconstructed from `spec` when it names a built-in policy;
+    /// `None` (custom) leaves the store queryable but not live-ingestable.
     pub fn from_shards(shards: Vec<Store>, spec: Option<ShardSpec>) -> Result<Self, Error> {
+        let policy = spec.map(ShardSpec::policy);
+        Self::from_shards_with_policy(shards, spec, policy)
+    }
+
+    /// [`ShardedStore::from_shards`] with an explicit live policy — the
+    /// builder path, which keeps custom policy objects routable.
+    pub(crate) fn from_shards_with_policy(
+        shards: Vec<Store>,
+        spec: Option<ShardSpec>,
+        policy: Option<Arc<dyn ShardPolicy>>,
+    ) -> Result<Self, Error> {
         if shards.is_empty() {
             return Err(Error::ShardConfig("shard count must be at least 1"));
         }
         if shards.len() > MAX_SHARDS as usize {
             return Err(Error::ShardConfig("shard count exceeds 65536"));
         }
-        let mut id_to_shard = HashMap::with_capacity(shards.iter().map(Store::len).sum());
-        for (s, store) in shards.iter().enumerate() {
-            for ct in &store.compressed().trajectories {
-                if id_to_shard.insert(ct.id, s as u32).is_some() {
-                    return Err(Error::DuplicateTrajectory(ct.id));
-                }
-            }
-        }
-        let uniform_grid = shards.windows(2).all(|w| {
-            Arc::ptr_eq(w[0].network(), w[1].network())
-                && w[0].stiu().params.grid_n == w[1].stiu().params.grid_n
-        });
-        let range_index = RangeIndex::build(&shards);
+        let snaps: Vec<Arc<Snapshot>> = shards.iter().map(Store::snapshot).collect();
+        let facade = FacadeState::build(0, &snaps)?;
         Ok(Self {
             shards,
             spec,
-            id_to_shard,
-            uniform_grid,
-            range_index,
+            policy,
+            facade: Swap::new(Arc::new(facade)),
+            next_epoch: AtomicU64::new(1),
+            writer: Mutex::new(()),
         })
     }
 
     /// Opens a sharded v3 container (or a plain v2 container as a
     /// single-shard store). v1 containers fail with
-    /// [`Error::NeedsNetwork`], as with [`Store::open`].
+    /// [`Error::NeedsNetwork`], as with [`Store::open`]. Per-shard blobs
+    /// deserialize in parallel across the available cores.
     ///
     /// ```no_run
     /// # fn main() -> Result<(), utcq_core::Error> {
@@ -505,20 +582,49 @@ impl ShardedStore {
         Self::read(&mut BufReader::new(f))
     }
 
-    /// Reads a v3 (or v2) container from an arbitrary reader. The
-    /// embedded road network is deserialized from the first shard and
-    /// shared across all shards behind one `Arc`; the other shards'
-    /// embedded copies are validated against it and dropped.
+    /// Reads a v3 (or v2) container from an arbitrary reader,
+    /// deserializing the per-shard blobs in parallel — equivalent to
+    /// [`ShardedStore::read_with`]`(r, true)`.
     pub fn read(r: &mut impl Read) -> Result<Self, Error> {
+        Self::read_with(r, true)
+    }
+
+    /// Reads a v3 (or v2) container, choosing between parallel and
+    /// sequential shard deserialization. Parallel opens pull one blob
+    /// per work unit from the shared atomic-counter queue
+    /// (deserialization + plan building per shard); the sequential mode
+    /// exists for measurement (`bench_queries` reports the speedup in
+    /// `BENCH_queries.json`) and for callers that must not spawn.
+    ///
+    /// The embedded road network is deserialized from the first shard
+    /// and shared across all shards behind one `Arc`; the other shards'
+    /// embedded copies are validated against it and dropped.
+    pub fn read_with(r: &mut impl Read, parallel: bool) -> Result<Self, Error> {
         let (dir, blobs) = match storage::load_v3(r) {
             Ok(parts) => parts,
             Err(storage::StorageError::LegacyVersion) => return Err(Error::NeedsNetwork),
             Err(e) => return Err(e.into()),
         };
-        let mut shared_net: Option<Arc<RoadNetwork>> = None;
-        let mut shards = Vec::with_capacity(blobs.len());
-        for blob in &blobs {
+        type ShardParts = (
+            RoadNetwork,
+            crate::compress::CompressedDataset,
+            crate::stiu::Stiu,
+            HashMap<u64, u32>,
+            Vec<crate::plan::TrajPlan>,
+        );
+        let load_one = |blob: &Vec<u8>| -> Result<ShardParts, Error> {
             let (net, cds, stiu) = storage::load_v2(&mut blob.as_slice())?;
+            let (id_to_idx, plans) = Store::validate_parts(&cds, &stiu)?;
+            Ok((net, cds, stiu, id_to_idx, plans))
+        };
+        let parts: Vec<ShardParts> = if parallel && blobs.len() > 1 {
+            par_run(blobs.len(), |i| load_one(&blobs[i]))?
+        } else {
+            blobs.iter().map(load_one).collect::<Result<_, _>>()?
+        };
+        let mut shared_net: Option<Arc<RoadNetwork>> = None;
+        let mut shards = Vec::with_capacity(parts.len());
+        for (net, cds, stiu, id_to_idx, plans) in parts {
             let net = match &shared_net {
                 None => {
                     let net = Arc::new(net);
@@ -536,7 +642,7 @@ impl ShardedStore {
                     Arc::clone(first)
                 }
             };
-            shards.push(Store::assemble(net, cds, stiu)?);
+            shards.push(Store::from_validated(net, cds, stiu, id_to_idx, plans));
         }
         let store = Self::from_shards(shards, dir.and_then(ShardSpec::from_directory))?;
         // Per-shard assembly defaults each cache to the full default
@@ -546,7 +652,9 @@ impl ShardedStore {
         Ok(store)
     }
 
-    /// Persists the store as a v3 container.
+    /// Persists the store as a v3 container. Safe to call while other
+    /// threads ingest: the shard snapshots are pinned under the writer
+    /// lock, so the checkpoint is a batch-consistent cut.
     ///
     /// ```no_run
     /// # fn demo(store: utcq_core::ShardedStore) -> Result<(), utcq_core::Error> {
@@ -560,19 +668,134 @@ impl ShardedStore {
         self.write(&mut BufWriter::new(f))
     }
 
-    /// Writes the v3 container to an arbitrary writer.
+    /// Writes the v3 container to an arbitrary writer (a consistent cut;
+    /// see [`ShardedStore::save`]).
     pub fn write(&self, w: &mut impl Write) -> Result<(), Error> {
-        let mut blobs = Vec::with_capacity(self.shards.len());
-        for shard in &self.shards {
+        let snaps = self.pin_consistent();
+        let mut blobs = Vec::with_capacity(snaps.len());
+        for snap in &snaps {
             let mut blob = Vec::new();
-            shard.write(&mut blob)?;
+            snap.write(&mut blob)?;
             blobs.push(blob);
         }
         storage::save_v3(ShardSpec::directory(self.spec), &blobs, w)?;
         Ok(())
     }
 
-    /// The shard partitions, in directory order.
+    /// Adopts the writer lock even if a previous writer panicked — a
+    /// panicking batch only ever discarded private state.
+    fn writer_lock(&self) -> std::sync::MutexGuard<'_, ()> {
+        match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// One pinned snapshot per shard at a batch boundary: taken under
+    /// the writer lock so no in-flight batch is half-visible across the
+    /// cut.
+    fn pin_consistent(&self) -> Vec<Arc<Snapshot>> {
+        let _writer = self.writer_lock();
+        self.shards.iter().map(Store::snapshot).collect()
+    }
+
+    /// Routes, compresses and **publishes** one batch concurrently with
+    /// queries — the sharded counterpart of [`Store::ingest`].
+    ///
+    /// Routing duplicates the single-store validation up front (against
+    /// the current facade and within the batch); then each shard's
+    /// sub-batch compresses into a *prepared, unpublished* snapshot on
+    /// the shared work-queue model — per-shard compression is exactly
+    /// the parallelism the partitioning buys. Only when **every**
+    /// sub-batch compressed does anything publish: the prepared shard
+    /// snapshots (pointer swaps), then a fresh facade state (routing
+    /// map + range index) as the next facade epoch — the batch's
+    /// visibility point. A failure anywhere discards every prepared
+    /// snapshot, so batches are **all-or-nothing across shards**.
+    /// Queries never block: they run on pinned snapshots throughout.
+    ///
+    /// Fails with [`Error::ShardConfig`] on a store reopened from a
+    /// custom-policy container (no way to route). Ingest through the
+    /// facade only — writing directly to a partition reached via
+    /// [`ShardedStore::shards`] bypasses routing and may be overwritten
+    /// by a concurrent facade publish.
+    pub fn ingest(&self, batch: &Dataset) -> Result<IngestReport, Error> {
+        let _writer = self.writer_lock();
+        let Some(policy) = &self.policy else {
+            return Err(Error::ShardConfig(
+                "live ingest needs a routing policy (custom-policy containers are read-only)",
+            ));
+        };
+        let expected = self.shards[0].params().default_interval;
+        if batch.default_interval != expected {
+            return Err(Error::IntervalMismatch {
+                expected,
+                got: batch.default_interval,
+            });
+        }
+        let facade = self.facade.load();
+        let mut seen = std::collections::HashSet::with_capacity(batch.trajectories.len());
+        for tu in &batch.trajectories {
+            if facade.id_to_shard.contains_key(&tu.id) || !seen.insert(tu.id) {
+                return Err(Error::DuplicateTrajectory(tu.id));
+            }
+        }
+        let n = self.shards.len() as u32;
+        let mut routed: Vec<Vec<&UncertainTrajectory>> = vec![Vec::new(); n as usize];
+        for tu in &batch.trajectories {
+            let shard = policy.route(self.network(), tu, n);
+            routed
+                .get_mut(shard as usize)
+                .ok_or(Error::ShardConfig("policy routed past the shard count"))?
+                .push(tu);
+        }
+        // Compress per shard on the shared work queue into prepared,
+        // unpublished snapshots. An error on any shard returns here
+        // with nothing published anywhere.
+        let prepared: Vec<Option<Arc<Snapshot>>> = par_run(self.shards.len(), |s| {
+            self.shards[s].prepare_trajs(batch.default_interval, &batch.name, &routed[s])
+        })?;
+        if prepared.iter().all(Option::is_none) {
+            return Ok(IngestReport {
+                ingested: 0,
+                total: facade.id_to_shard.len(),
+                epoch: facade.epoch,
+            });
+        }
+        // Publish: shards first (back-to-back pointer swaps), facade
+        // second — the facade publish is the batch's visibility point.
+        let snaps: Vec<Arc<Snapshot>> = prepared
+            .into_iter()
+            .zip(&self.shards)
+            .map(|(p, shard)| match p {
+                Some(snap) => {
+                    shard.publish_snapshot(Arc::clone(&snap));
+                    snap
+                }
+                None => shard.snapshot(),
+            })
+            .collect();
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        let new_facade = FacadeState::build(epoch, &snaps)?;
+        let total = new_facade.id_to_shard.len();
+        self.facade.store(Arc::new(new_facade));
+        Ok(IngestReport {
+            ingested: batch.trajectories.len(),
+            total,
+            epoch,
+        })
+    }
+
+    /// The current facade epoch (bumped by every [`ShardedStore::ingest`]
+    /// publication).
+    pub fn facade_epoch(&self) -> u64 {
+        self.facade.load().epoch
+    }
+
+    /// The shard partitions, in directory order — read them freely
+    /// (snapshots, decode, cache stats), but ingest through
+    /// [`ShardedStore::ingest`] only: a direct partition write bypasses
+    /// routing and may be overwritten by a concurrent facade publish.
     pub fn shards(&self) -> &[Store] {
         &self.shards
     }
@@ -593,19 +816,20 @@ impl ShardedStore {
         self.shards[0].network()
     }
 
-    /// Total number of trajectories across shards.
+    /// Total number of trajectories currently visible through the
+    /// facade.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Store::len).sum()
+        self.facade.load().id_to_shard.len()
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(Store::is_empty)
+        self.len() == 0
     }
 
     /// The shard owning trajectory `id`, if ingested.
     pub fn traj_shard(&self, id: u64) -> Option<u32> {
-        self.id_to_shard.get(&id).copied()
+        self.facade.load().id_to_shard.get(&id).copied()
     }
 
     /// Component-wise and total compression ratios aggregated across
@@ -614,8 +838,9 @@ impl ShardedStore {
         let mut raw = utcq_traj::size::SizeBreakdown::default();
         let mut compressed = utcq_traj::size::SizeBreakdown::default();
         for s in &self.shards {
-            raw.add(&s.compressed().raw);
-            compressed.add(&s.compressed().compressed);
+            let snap = s.snapshot();
+            raw.add(&snap.compressed().raw);
+            compressed.add(&snap.compressed().compressed);
         }
         crate::compress::Ratios::from_sizes(&raw, &compressed)
     }
@@ -661,7 +886,8 @@ impl ShardedStore {
             return Ok(Page::slice(Vec::new(), PageRequest::first(page.limit)));
         };
         let local = self.local_page(shard, page)?;
-        let answer = self.shards[shard as usize].where_query(traj_id, t, alpha, local)?;
+        let snap = self.shards[shard as usize].snapshot();
+        let answer = snap.where_query(traj_id, t, alpha, local)?;
         Ok(Self::global_page(shard, answer))
     }
 
@@ -678,7 +904,8 @@ impl ShardedStore {
             return Ok(Page::slice(Vec::new(), PageRequest::first(page.limit)));
         };
         let local = self.local_page(shard, page)?;
-        let answer = self.shards[shard as usize].when_query(traj_id, edge, rd, alpha, local)?;
+        let snap = self.shards[shard as usize].snapshot();
+        let answer = snap.when_query(traj_id, edge, rd, alpha, local)?;
         Ok(Self::global_page(shard, answer))
     }
 
@@ -688,6 +915,10 @@ impl ShardedStore {
     /// fills — byte-identical answers and page boundaries to a single
     /// store over the same dataset. The keyset cursor (last returned id)
     /// is shard-agnostic.
+    ///
+    /// The facade is pinned first and the shard snapshots after:
+    /// publication order guarantees every candidate position the facade
+    /// index names exists in the pinned snapshots.
     pub fn range_query(
         &self,
         re: &Rect,
@@ -695,19 +926,20 @@ impl ShardedStore {
         alpha: f64,
         page: PageRequest,
     ) -> Result<Page<u64>, Error> {
+        let facade = self.facade.load();
+        let snaps: Vec<Arc<Snapshot>> = self.shards.iter().map(Store::snapshot).collect();
         // Candidates globally ascending by trajectory id (ids are unique
         // across shards, so that is a total order): one lookup in the
         // prebuilt facade index, or a gather-and-sort fallback when the
         // shards' time partitions disagree.
         let gathered;
-        let candidates: &[(u64, u32, u32)] = match &self.range_index {
+        let candidates: &[(u64, u32, u32)] = match &facade.range_index {
             Some(ri) => ri.candidates(tq, page.cursor),
             None => {
                 let mut c: Vec<(u64, u32, u32)> = Vec::new();
-                for (s, shard) in self.shards.iter().enumerate() {
+                for (s, snap) in snaps.iter().enumerate() {
                     c.extend(
-                        shard
-                            .unsorted_range_candidates(tq)
+                        snap.unsorted_range_candidates(tq)
                             .filter(|&(id, _)| page.cursor.is_none_or(|a| id > a))
                             .map(|(id, j)| (id, s as u32, j)),
                     );
@@ -720,12 +952,12 @@ impl ShardedStore {
         // One cell set serves every shard when the grids agree (always,
         // for stores built through one builder or reopened from v3);
         // heterogeneous shards fall back to per-shard sets lazily.
-        let shared_cells = self.uniform_grid.then(|| self.shards[0].query_cells(re));
+        let shared_cells = facade.uniform_grid.then(|| snaps[0].query_cells(re));
         let mut per_shard_cells: Vec<Option<std::collections::HashSet<utcq_network::CellId>>> =
             if shared_cells.is_some() {
                 Vec::new()
             } else {
-                vec![None; self.shards.len()]
+                vec![None; snaps.len()]
             };
         let limit = page.limit.max(1); // a zero limit could never progress
         let mut items = Vec::new();
@@ -735,12 +967,12 @@ impl ShardedStore {
                 has_more = true;
                 break;
             }
-            let shard = &self.shards[s as usize];
+            let snap = &snaps[s as usize];
             let cells = match &shared_cells {
                 Some(c) => c,
-                None => per_shard_cells[s as usize].get_or_insert_with(|| shard.query_cells(re)),
+                None => per_shard_cells[s as usize].get_or_insert_with(|| snap.query_cells(re)),
             };
-            if shard.range_matches_at(j, cells, re, tq, alpha)? {
+            if snap.range_matches_at(j, cells, re, tq, alpha)? {
                 items.push(id);
             }
         }
@@ -758,26 +990,29 @@ impl ShardedStore {
     /// Workers pull whole queries from the one shared atomic-counter
     /// queue (`crate::query::par_run`) and fan out over shards
     /// *inside* the worker — one thread pool total, never one per
-    /// shard. Because the answer is unpaginated, candidates are
-    /// evaluated in shard-local index order (contiguous per-shard data,
-    /// no candidate sort at all) and only the *matching* ids are sorted
-    /// — strictly less ordering work than the paginated path pays.
+    /// shard. The whole batch runs on one pinned facade + snapshot set.
+    /// Because the answer is unpaginated, candidates are evaluated in
+    /// shard-local index order (contiguous per-shard data, no candidate
+    /// sort at all) and only the *matching* ids are sorted — strictly
+    /// less ordering work than the paginated path pays.
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        let facade = self.facade.load();
+        let snaps: Vec<Arc<Snapshot>> = self.shards.iter().map(Store::snapshot).collect();
         // Resolve each query's cell set once when every grid agrees.
         let shared_cells: Option<Vec<std::collections::HashSet<utcq_network::CellId>>> =
-            self.uniform_grid.then(|| {
+            facade.uniform_grid.then(|| {
                 queries
                     .iter()
-                    .map(|q| self.shards[0].query_cells(&q.re))
+                    .map(|q| snaps[0].query_cells(&q.re))
                     .collect()
             });
         par_run(queries.len(), |qi| {
             let q = &queries[qi];
             let mut hits = Vec::new();
-            match &self.range_index {
+            match &facade.range_index {
                 // Fast path: the prebuilt candidate list is already
                 // id-ascending, so hits come out sorted for free.
                 Some(ri) => {
@@ -788,16 +1023,16 @@ impl ShardedStore {
                     > = if shared_cells.is_some() {
                         Vec::new()
                     } else {
-                        vec![None; self.shards.len()]
+                        vec![None; snaps.len()]
                     };
                     for &(id, s, j) in ri.candidates(q.tq, None) {
-                        let shard = &self.shards[s as usize];
+                        let snap = &snaps[s as usize];
                         let cells = match &shared_cells {
                             Some(all) => &all[qi],
                             None => per_shard_cells[s as usize]
-                                .get_or_insert_with(|| shard.query_cells(&q.re)),
+                                .get_or_insert_with(|| snap.query_cells(&q.re)),
                         };
-                        if shard.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
+                        if snap.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
                             hits.push(id);
                         }
                     }
@@ -807,13 +1042,13 @@ impl ShardedStore {
                 // match the single store's evaluation order).
                 None => {
                     let mut owned_cells = None;
-                    for shard in &self.shards {
+                    for snap in &snaps {
                         let cells = match &shared_cells {
                             Some(all) => &all[qi],
-                            None => owned_cells.insert(shard.query_cells(&q.re)),
+                            None => owned_cells.insert(snap.query_cells(&q.re)),
                         };
-                        for (id, j) in shard.unsorted_range_candidates(q.tq) {
-                            if shard.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
+                        for (id, j) in snap.unsorted_range_candidates(q.tq) {
+                            if snap.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
                                 hits.push(id);
                             }
                         }
@@ -834,7 +1069,9 @@ impl ShardedStore {
             total.hits += st.hits;
             total.misses += st.misses;
             total.evictions += st.evictions;
+            total.negative_hits += st.negative_hits;
             total.entries += st.entries;
+            total.negative_entries += st.negative_entries;
             total.bytes += st.bytes;
             total.budget_bytes += st.budget_bytes;
         }
@@ -1051,26 +1288,62 @@ mod tests {
     }
 
     #[test]
+    fn live_sharded_ingest_rejects_duplicates_atomically() {
+        let store = sharded(2);
+        let (_, ds) = paper_dataset();
+        let epoch_before = store.facade_epoch();
+        assert!(matches!(
+            store.ingest(&ds),
+            Err(Error::DuplicateTrajectory(1))
+        ));
+        assert_eq!(store.facade_epoch(), epoch_before);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn v3_roundtrip_through_bytes() {
         let store = sharded(3);
         let mut bytes = Vec::new();
         store.write(&mut bytes).unwrap();
-        let reopened = ShardedStore::read(&mut bytes.as_slice()).unwrap();
-        assert_eq!(reopened.shard_count(), 3);
-        assert_eq!(reopened.len(), store.len());
-        assert_eq!(
-            reopened.policy_spec(),
-            Some(ShardSpec::ByTime { interval_s: 3600 })
-        );
-        // The shared-network path: every shard holds the same Arc.
-        for s in reopened.shards() {
-            assert!(Arc::ptr_eq(s.network(), reopened.network()));
+        for parallel in [false, true] {
+            let reopened = ShardedStore::read_with(&mut bytes.as_slice(), parallel).unwrap();
+            assert_eq!(reopened.shard_count(), 3);
+            assert_eq!(reopened.len(), store.len());
+            assert_eq!(
+                reopened.policy_spec(),
+                Some(ShardSpec::ByTime { interval_s: 3600 })
+            );
+            // The shared-network path: every shard holds the same Arc.
+            for s in reopened.shards() {
+                assert!(Arc::ptr_eq(s.network(), reopened.network()));
+            }
         }
         // A single-store open of the same bytes is redirected.
         assert!(matches!(
             Store::read(&mut bytes.as_slice()),
             Err(Error::ShardedContainer)
         ));
+    }
+
+    #[test]
+    fn reopened_builtin_policy_routes_new_batches() {
+        let store = sharded(3);
+        let mut bytes = Vec::new();
+        store.write(&mut bytes).unwrap();
+        let reopened = ShardedStore::read(&mut bytes.as_slice()).unwrap();
+        // A ByTime spec survived the roundtrip, so live ingest works.
+        let fx = paper_fixture::build();
+        let mut tu = fx.tu.clone();
+        tu.id = 77;
+        let batch = Dataset {
+            name: "late".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![tu],
+        };
+        let report = reopened.ingest(&batch).unwrap();
+        assert_eq!(report.ingested, 1);
+        assert_eq!(report.total, 2);
+        assert!(reopened.traj_shard(77).is_some());
     }
 
     #[test]

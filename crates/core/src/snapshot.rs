@@ -1,0 +1,514 @@
+//! Immutable, epoch-stamped read state — what every query runs on.
+//!
+//! A [`Snapshot`] is the complete read path of one store partition
+//! frozen at a point in time: the compressed dataset, its StIU index,
+//! the per-trajectory query plans and the id map, all behind one `Arc`.
+//! Snapshots are **immutable** — nothing in this module takes `&mut
+//! self` after construction — so an `Arc<Snapshot>` can be handed to any
+//! number of query threads, pinned across a paginated walk, or
+//! serialized to a container file while a writer publishes newer epochs
+//! next to it.
+//!
+//! # Epoch lifecycle
+//!
+//! The owning [`crate::store::Store`] keeps the *current* snapshot in a
+//! `Swap` — a hand-rolled `ArcSwap` on `Mutex<Arc<Snapshot>>` (the
+//! lock is held only for the pointer clone/store, never across a
+//! query). A live ingest:
+//!
+//! 1. takes the store's writer lock (writers serialize; readers never
+//!    touch that lock),
+//! 2. clones the current snapshot's state into a `PartitionState`,
+//!    compresses and indexes the new batch into it — all **off the
+//!    query path**,
+//! 3. publishes the result as a new `Arc<Snapshot>` with a bumped
+//!    epoch.
+//!
+//! In-flight queries and pinned snapshots keep answering from the epoch
+//! they loaded; the next query observes the new one. Ingest only ever
+//! *appends* trajectories, so positions, page cursors and range keyset
+//! cursors minted against an older epoch remain valid against newer
+//! ones.
+//!
+//! The decode cache is shared across epochs (it lives in the store, and
+//! every snapshot holds the same `Arc<DecodeCache>`), but cache keys
+//! carry the epoch that minted them: entries of superseded epochs stop
+//! hitting immediately and retire through normal LRU eviction — no
+//! flush, no cross-epoch aliasing even if a future writer stops being
+//! append-only.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use utcq_network::{EdgeId, Rect, RoadNetwork};
+use utcq_traj::UncertainTrajectory;
+
+use crate::cache::{CacheStats, DecodeCache};
+use crate::compress::{compress_trajectory, CompressedDataset, Ratios};
+use crate::error::Error;
+use crate::plan::TrajPlan;
+use crate::query::{Page, PageRequest, QueryEngine, QueryTarget, RangeQuery, WhenHit, WhereHit};
+use crate::stiu::{Stiu, StiuParams};
+
+/// A hand-rolled `ArcSwap`: the one mutable cell of a live store. The
+/// mutex guards only the pointer swap — `load` is a lock + `Arc` clone
+/// (tens of nanoseconds), never held across a query or a decode.
+pub(crate) struct Swap<T> {
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> Swap<T> {
+    pub(crate) fn new(value: Arc<T>) -> Self {
+        Self {
+            slot: Mutex::new(value),
+        }
+    }
+
+    /// The current value. Cheap and wait-free in practice: the critical
+    /// section is a single refcount increment.
+    pub(crate) fn load(&self) -> Arc<T> {
+        Arc::clone(&self.slot.lock().expect("swap lock poisoned"))
+    }
+
+    /// Publishes a new value; readers that already loaded the old one
+    /// keep it alive until they drop it.
+    pub(crate) fn store(&self, value: Arc<T>) {
+        *self.slot.lock().expect("swap lock poisoned") = value;
+    }
+}
+
+/// One immutable epoch of a store partition: compressed dataset + StIU
+/// index + query plans + id map, cheaply shareable behind an `Arc`.
+///
+/// Obtained from [`crate::store::Store::snapshot`]. A pinned snapshot
+/// is a *consistent read view*: queries, paginated walks and container
+/// writes against it are unaffected by concurrent
+/// [`crate::store::Store::ingest`] calls publishing newer epochs.
+///
+/// ```
+/// use std::sync::Arc;
+/// use utcq_core::{CompressParams, PageRequest, StiuParams, Store};
+/// # fn main() -> Result<(), utcq_core::Error> {
+/// # let (net, mut ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 6, 7);
+/// # let mut late = ds.clone();
+/// # late.trajectories = ds.trajectories.split_off(3);
+/// let store = Store::build(Arc::new(net), &ds,
+///     CompressParams::with_interval(ds.default_interval), StiuParams::default())?;
+/// let pinned = store.snapshot();          // consistent view at epoch 0
+/// store.ingest(&late)?;                   // publishes epoch 1
+/// assert_eq!(pinned.len(), 3);            // the pinned view is unchanged
+/// assert_eq!(store.len(), 6);             // new queries see the new epoch
+/// assert_eq!(store.snapshot().epoch(), 1);
+/// # Ok(()) }
+/// ```
+pub struct Snapshot {
+    pub(crate) net: Arc<RoadNetwork>,
+    pub(crate) cds: CompressedDataset,
+    pub(crate) stiu: Stiu,
+    pub(crate) id_to_idx: HashMap<u64, u32>,
+    /// Per-trajectory lookup tables, same order as `cds.trajectories`.
+    pub(crate) plans: Vec<TrajPlan>,
+    /// The owning store's decode cache, shared across epochs.
+    pub(crate) cache: Arc<DecodeCache>,
+    /// Publication counter within the owning store; 0 for the state a
+    /// store was built or opened with.
+    pub(crate) epoch: u64,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("name", &self.cds.name)
+            .field("epoch", &self.epoch)
+            .field("trajectories", &self.cds.trajectories.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    /// The publication counter of this snapshot within its store.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The road network the snapshot's trajectories are mapped onto.
+    pub fn network(&self) -> &Arc<RoadNetwork> {
+        &self.net
+    }
+
+    /// The compressed dataset frozen in this snapshot.
+    pub fn compressed(&self) -> &CompressedDataset {
+        &self.cds
+    }
+
+    /// The StIU index frozen in this snapshot.
+    pub fn stiu(&self) -> &Stiu {
+        &self.stiu
+    }
+
+    /// Component-wise and total compression ratios.
+    pub fn ratios(&self) -> Ratios {
+        self.cds.ratios()
+    }
+
+    /// Number of trajectories in this snapshot.
+    pub fn len(&self) -> usize {
+        self.cds.trajectories.len()
+    }
+
+    /// Whether the snapshot holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.cds.trajectories.is_empty()
+    }
+
+    /// Looks up a trajectory's position by id.
+    pub fn traj_index(&self, id: u64) -> Option<u32> {
+        self.id_to_idx.get(&id).copied()
+    }
+
+    /// Decodes the full time sequence of the trajectory at position `j`
+    /// (memoized in the shared decode cache under this epoch).
+    pub fn decode_times(&self, j: u32) -> Result<Arc<Vec<i64>>, Error> {
+        let ct = self
+            .cds
+            .trajectories
+            .get(j as usize)
+            .ok_or(Error::CorruptStore("trajectory position out of range"))?;
+        self.engine().times(j, ct)
+    }
+
+    /// Persists this snapshot as a self-contained v2 container — the
+    /// checkpoint path of a live store: the write runs entirely on the
+    /// frozen state, so a server can keep ingesting while it runs.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let f = File::create(path)?;
+        let mut w = BufWriter::new(f);
+        self.write(&mut w)
+    }
+
+    /// Writes the v2 container to an arbitrary writer.
+    pub fn write(&self, w: &mut impl Write) -> Result<(), Error> {
+        crate::storage::save_v2(&self.net, &self.cds, &self.stiu, w)?;
+        Ok(())
+    }
+
+    pub(crate) fn engine(&self) -> QueryEngine<'_> {
+        QueryEngine {
+            net: &self.net,
+            cds: &self.cds,
+            stiu: &self.stiu,
+            plans: &self.plans,
+            cache: &self.cache,
+            epoch: self.epoch,
+        }
+    }
+
+    /// Probabilistic **where** query (Definition 10) on this snapshot.
+    pub fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        let Some(j) = self.traj_index(traj_id) else {
+            return Ok(Page::slice(Vec::new(), page));
+        };
+        Ok(Page::slice(self.engine().where_query(j, t, alpha)?, page))
+    }
+
+    /// Probabilistic **when** query (Definition 11) on this snapshot.
+    pub fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        let Some(j) = self.traj_index(traj_id) else {
+            return Ok(Page::slice(Vec::new(), page));
+        };
+        Ok(Page::slice(
+            self.engine().when_query(j, edge, rd, alpha)?,
+            page,
+        ))
+    }
+
+    /// Probabilistic **range** query (Definition 12) on this snapshot,
+    /// ids ascending with keyset pagination.
+    pub fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        let cells = self.query_cells(re);
+        let candidates = self.range_candidates(tq, page.cursor);
+        let limit = page.limit.max(1); // a zero limit could never progress
+        let mut items = Vec::new();
+        let mut has_more = false;
+        for (id, j) in candidates {
+            if items.len() >= limit {
+                // More *candidates* remain; whether they match is decided
+                // when the next page evaluates them.
+                has_more = true;
+                break;
+            }
+            if self.range_matches_at(j, &cells, re, tq, alpha)? {
+                items.push(id);
+            }
+        }
+        let next_cursor = has_more.then(|| *items.last().expect("limit > 0 implies items"));
+        Ok(Page {
+            items,
+            next_cursor,
+            has_more,
+        })
+    }
+
+    /// Evaluates a batch of **range** queries in parallel against this
+    /// snapshot (see [`crate::store::Store::par_range_query`]).
+    pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        crate::query::par_run(queries.len(), |i| {
+            let q = &queries[i];
+            self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                .map(Page::into_items)
+        })
+    }
+
+    /// The grid cells of the StIU index overlapping a query region. The
+    /// grid is a function of the network bounds and `grid_n` alone, so
+    /// shards built with the same parameters agree on cell ids.
+    pub(crate) fn query_cells(&self, re: &Rect) -> std::collections::HashSet<utcq_network::CellId> {
+        self.stiu.grid.cells_overlapping(re).into_iter().collect()
+    }
+
+    /// **range** candidates at `tq` in index order, as `(id, position)`
+    /// pairs — the raw interval-index postings. Callers that need the
+    /// evaluation order of [`Snapshot::range_query`] sort by id (ids are
+    /// unique, so that is a total order); the unpaginated fan-out path
+    /// skips the sort and orders only the matches.
+    pub(crate) fn unsorted_range_candidates(
+        &self,
+        tq: i64,
+    ) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.stiu
+            .trajs_in_interval(tq)
+            .iter()
+            .filter_map(move |&j| {
+                let ct = self.cds.trajectories.get(j as usize)?;
+                Some((ct.id, j))
+            })
+    }
+
+    /// **range** candidates at `tq`, ascending by trajectory id, resuming
+    /// past the keyset cursor `after` — the paginated evaluation order.
+    fn range_candidates(&self, tq: i64, after: Option<u64>) -> Vec<(u64, u32)> {
+        let mut candidates: Vec<(u64, u32)> = self
+            .unsorted_range_candidates(tq)
+            .filter(|&(id, _)| after.is_none_or(|a| id > a))
+            .collect();
+        candidates.sort_unstable();
+        candidates
+    }
+
+    /// Whether the trajectory at position `j` matches
+    /// **range**(RE, tq, α) — the per-candidate evaluation step shared
+    /// with the shard fan-out path.
+    pub(crate) fn range_matches_at(
+        &self,
+        j: u32,
+        cells: &std::collections::HashSet<utcq_network::CellId>,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+    ) -> Result<bool, Error> {
+        self.engine().range_matches(j, cells, re, tq, alpha)
+    }
+}
+
+impl QueryTarget for Snapshot {
+    fn len(&self) -> usize {
+        Snapshot::len(self)
+    }
+
+    fn network(&self) -> &Arc<RoadNetwork> {
+        Snapshot::network(self)
+    }
+
+    fn where_query(
+        &self,
+        traj_id: u64,
+        t: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhereHit>, Error> {
+        Snapshot::where_query(self, traj_id, t, alpha, page)
+    }
+
+    fn when_query(
+        &self,
+        traj_id: u64,
+        edge: EdgeId,
+        rd: f64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<WhenHit>, Error> {
+        Snapshot::when_query(self, traj_id, edge, rd, alpha, page)
+    }
+
+    fn range_query(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+    ) -> Result<Page<u64>, Error> {
+        Snapshot::range_query(self, re, tq, alpha, page)
+    }
+
+    fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        Snapshot::par_range_query(self, queries)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn set_cache_bytes(&self, bytes: usize) {
+        self.cache.set_budget(bytes);
+    }
+
+    fn clear_cache(&self) {
+        self.cache.clear();
+    }
+}
+
+/// The writer-side, mutable counterpart of a [`Snapshot`]: what a
+/// [`crate::store::StoreBuilder`] accumulates batch by batch, and what a
+/// live [`crate::store::Store::ingest`] clones out of the current
+/// snapshot, extends, and publishes back.
+///
+/// Both construction paths funnel through [`PartitionState::ingest_traj`],
+/// which is why a live-ingested store and an offline
+/// `StoreBuilder`-built store over the same batches serialize to
+/// byte-identical containers (`tests/live_ingest.rs` asserts this).
+pub(crate) struct PartitionState {
+    pub(crate) cds: CompressedDataset,
+    /// Deferred until the first trajectory so `stiu_params` stays
+    /// configurable on an empty builder.
+    pub(crate) stiu: Option<Stiu>,
+    pub(crate) id_to_idx: HashMap<u64, u32>,
+    pub(crate) plans: Vec<TrajPlan>,
+}
+
+impl PartitionState {
+    /// A fresh, empty state for the given compression parameters.
+    pub(crate) fn new(net: &RoadNetwork, params: crate::params::CompressParams) -> Self {
+        let w_e = crate::compressed::edge_number_width(net.max_out_degree());
+        Self {
+            cds: CompressedDataset {
+                name: String::new(),
+                params,
+                w_e,
+                trajectories: Vec::new(),
+                compressed: Default::default(),
+                raw: Default::default(),
+            },
+            stiu: None,
+            id_to_idx: HashMap::new(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// Clones a snapshot's frozen state back into mutable form — the
+    /// copy-out step of a live ingest (off the query path; readers keep
+    /// the snapshot untouched).
+    pub(crate) fn from_snapshot(snap: &Snapshot) -> Self {
+        Self {
+            cds: snap.cds.clone(),
+            stiu: Some(snap.stiu.clone()),
+            id_to_idx: snap.id_to_idx.clone(),
+            plans: snap.plans.clone(),
+        }
+    }
+
+    /// Whether any trajectory has been ingested yet.
+    pub(crate) fn has_ingested(&self) -> bool {
+        !self.cds.trajectories.is_empty()
+    }
+
+    /// Compresses and indexes a single trajectory — the shared per-item
+    /// step of every ingest path (builder, sharded builder, live store).
+    pub(crate) fn ingest_traj(
+        &mut self,
+        net: &RoadNetwork,
+        stiu_params: StiuParams,
+        tu: &UncertainTrajectory,
+    ) -> Result<(), Error> {
+        let params = self.cds.params;
+        let stiu = self.stiu.get_or_insert_with(|| Stiu::new(net, stiu_params));
+        let p_codec = params.p_codec();
+        let j = self.cds.trajectories.len() as u32;
+        if self.id_to_idx.contains_key(&tu.id) {
+            return Err(Error::DuplicateTrajectory(tu.id));
+        }
+        let (ct, size) = compress_trajectory(net, tu, &params)?;
+        self.cds.compressed.add(&size);
+        self.cds.raw.add(&utcq_traj::size::uncompressed_bits(tu));
+        stiu.push(net, tu, &ct, &params);
+        self.plans.push(TrajPlan::build(&ct, &p_codec)?);
+        self.id_to_idx.insert(tu.id, j);
+        self.cds.trajectories.push(ct);
+        Ok(())
+    }
+
+    /// Freezes the state into an immutable snapshot at `epoch`.
+    pub(crate) fn into_snapshot(
+        self,
+        net: Arc<RoadNetwork>,
+        stiu_params: StiuParams,
+        cache: Arc<DecodeCache>,
+        epoch: u64,
+    ) -> Snapshot {
+        let stiu = match self.stiu {
+            Some(s) => s,
+            None => Stiu::new(&net, stiu_params),
+        };
+        Snapshot {
+            net,
+            cds: self.cds,
+            stiu,
+            id_to_idx: self.id_to_idx,
+            plans: self.plans,
+            cache,
+            epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_publishes_and_pins() {
+        let swap = Swap::new(Arc::new(1u32));
+        let pinned = swap.load();
+        swap.store(Arc::new(2u32));
+        assert_eq!(*pinned, 1, "pinned value survives a publish");
+        assert_eq!(*swap.load(), 2, "new loads see the new value");
+    }
+
+    #[test]
+    fn swap_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Swap<Snapshot>>();
+        assert_send_sync::<Snapshot>();
+    }
+}

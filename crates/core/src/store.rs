@@ -14,12 +14,31 @@
 //!   (embedded network + dataset + StIU index), or [`Store::open_v1`]
 //!   for legacy containers that need the network supplied out of band.
 //!
+//! # Snapshots and live ingest
+//!
+//! Since the snapshot refactor, `Store` is a **thin handle**: all read
+//! state (compressed dataset, StIU index, query plans, id map) lives in
+//! an immutable, epoch-stamped [`Snapshot`] behind an `Arc`, and every
+//! query pins the current snapshot for its duration. That makes the
+//! store *live*: [`Store::ingest`] accepts new batches concurrently
+//! with queries — the batch compresses and indexes off the query path
+//! against a private clone of the current state, then publishes
+//! atomically as the next epoch. Queries never block on ingest (they
+//! never take the writer lock), in-flight queries and pinned snapshots
+//! keep their epoch, and a published store is byte-identical to an
+//! offline [`StoreBuilder`] build of the same batches
+//! (`tests/live_ingest.rs` asserts both). [`Store::snapshot`] exposes
+//! the pinning primitive directly for multi-page walks and live
+//! checkpoints ([`Snapshot::save`]).
+//!
 //! Queries are paginated and limit-bounded: each entry point takes a
 //! [`PageRequest`] and returns a [`Page`] with `has_more`/cursor
 //! semantics, so a service can stream large answers without unbounded
-//! allocations. [`Store::par_range_query`] evaluates a batch of range
-//! queries across all available cores, pulling work from a shared
-//! atomic-counter queue so skewed batches still balance.
+//! allocations. Ingest only appends, so cursors minted against an older
+//! epoch stay valid against newer ones. [`Store::par_range_query`]
+//! evaluates a batch of range queries across all available cores,
+//! pulling work from a shared atomic-counter queue so skewed batches
+//! still balance.
 //!
 //! # Query acceleration layers
 //!
@@ -31,11 +50,13 @@
 //!   queries and across threads, with a configurable byte budget
 //!   ([`StoreBuilder::cache_bytes`], [`Store::set_cache_bytes`]; `0`
 //!   disables caching) and hit/miss/eviction counters
-//!   ([`Store::cache_stats`]);
+//!   ([`Store::cache_stats`]). The cache is shared across epochs, but
+//!   its keys carry the minting epoch, so entries of superseded
+//!   snapshots retire through normal LRU eviction instead of aliasing;
 //! * per-trajectory **query plans** ([`crate::plan::TrajPlan`]), built
 //!   once at `build`/`open`/`ingest` time: `orig_idx → slot` lookup
-//!   tables and probability-sorted member lists that replace the per-call
-//!   linear scans and sorts the hot paths used to do.
+//!   tables and probability-sorted member lists that replace the
+//!   per-call linear scans and sorts the hot paths used to do.
 //!
 //! Cached and uncached stores return identical answers — the cache only
 //! memoizes deterministic decodes (`tests/cache_equivalence.rs` asserts
@@ -45,31 +66,49 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use utcq_network::{EdgeId, Rect, RoadNetwork};
-use utcq_traj::Dataset;
+use utcq_traj::{Dataset, UncertainTrajectory};
 
 use crate::cache::{CacheStats, DecodeCache, DEFAULT_CACHE_BYTES};
-use crate::compress::{compress_trajectory, CompressedDataset, Ratios};
+use crate::compress::{CompressedDataset, Ratios};
 use crate::compressed::edge_number_width;
 use crate::error::Error;
 use crate::params::CompressParams;
 use crate::plan::TrajPlan;
-use crate::query::{Page, PageRequest, QueryEngine, RangeQuery, WhenHit, WhereHit};
+use crate::query::{Page, PageRequest, RangeQuery, WhenHit, WhereHit};
+use crate::snapshot::{PartitionState, Snapshot, Swap};
 use crate::stiu::{Stiu, StiuParams};
 
+/// What one [`Store::ingest`] (or [`crate::shard::ShardedStore::ingest`])
+/// publication did — echoed verbatim by the serve protocol's `ingest`
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Trajectories added by this batch.
+    pub ingested: usize,
+    /// Trajectories in the store after the publish.
+    pub total: usize,
+    /// The epoch the batch was published as (the snapshot epoch for a
+    /// single store, the facade epoch for a sharded one).
+    pub epoch: u64,
+}
+
 /// A compressed dataset plus its StIU index, owning the road network —
-/// ready for querying, persisting, and sharing across threads.
+/// ready for querying, live ingest, persisting, and sharing across
+/// threads. See the [module docs](self) for the snapshot/epoch model.
 pub struct Store {
     net: Arc<RoadNetwork>,
-    cds: CompressedDataset,
-    stiu: Stiu,
-    id_to_idx: HashMap<u64, u32>,
-    /// Per-trajectory lookup tables, same order as `cds.trajectories`.
-    plans: Vec<TrajPlan>,
-    /// Shared decode cache for the query hot paths.
-    cache: DecodeCache,
+    /// Shared across every epoch's snapshot; keys carry the epoch.
+    cache: Arc<DecodeCache>,
+    /// The current epoch — queries pin it, [`Store::ingest`] swaps it.
+    snap: Swap<Snapshot>,
+    /// Epoch the next publish will carry (the initial state is epoch 0).
+    next_epoch: AtomicU64,
+    /// Serializes writers; queries never touch it.
+    writer: Mutex<()>,
 }
 
 /// Incremental construction of a [`Store`].
@@ -93,39 +132,29 @@ pub struct Store {
 /// selection is per-trajectory, and the new StIU postings merge into the
 /// existing index in place. Ingest order does not change query answers
 /// (only the interleaving of internal positions), which
-/// `tests/store_roundtrip.rs` asserts.
+/// `tests/store_roundtrip.rs` asserts. The finished store keeps
+/// accepting batches through [`Store::ingest`] — the builder is the
+/// offline bootstrap of the same per-trajectory path the live writer
+/// runs.
 pub struct StoreBuilder {
     net: Arc<RoadNetwork>,
     params: CompressParams,
     stiu_params: StiuParams,
     name: Option<String>,
-    cds: CompressedDataset,
-    stiu: Option<Stiu>,
-    id_to_idx: HashMap<u64, u32>,
-    plans: Vec<TrajPlan>,
+    state: PartitionState,
     cache_bytes: usize,
 }
 
 impl StoreBuilder {
     /// A builder with default index parameters.
     pub fn new(net: Arc<RoadNetwork>, params: CompressParams) -> Self {
-        let w_e = edge_number_width(net.max_out_degree());
+        let state = PartitionState::new(&net, params);
         Self {
             net,
             params,
             stiu_params: StiuParams::default(),
             name: None,
-            cds: CompressedDataset {
-                name: String::new(),
-                params,
-                w_e,
-                trajectories: Vec::new(),
-                compressed: Default::default(),
-                raw: Default::default(),
-            },
-            stiu: None,
-            id_to_idx: HashMap::new(),
-            plans: Vec::new(),
+            state,
             cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
@@ -141,7 +170,7 @@ impl StoreBuilder {
     /// first [`ingest`](Self::ingest); afterwards the grid is already
     /// fixed and the call is ignored.
     pub fn stiu_params(mut self, p: StiuParams) -> Self {
-        if self.stiu.is_none() {
+        if self.state.stiu.is_none() {
             self.stiu_params = p;
         }
         self
@@ -183,28 +212,13 @@ impl StoreBuilder {
     /// [`ingest`](Self::ingest), also driven directly by
     /// [`crate::shard::ShardedStoreBuilder`] so routing a batch across
     /// shards never copies trajectory payloads.
-    pub(crate) fn ingest_traj(&mut self, tu: &utcq_traj::UncertainTrajectory) -> Result<(), Error> {
-        let stiu = self
-            .stiu
-            .get_or_insert_with(|| Stiu::new(&self.net, self.stiu_params));
-        let p_codec = self.params.p_codec();
-        let j = self.cds.trajectories.len() as u32;
-        if self.id_to_idx.contains_key(&tu.id) {
-            return Err(Error::DuplicateTrajectory(tu.id));
-        }
-        let (ct, size) = compress_trajectory(&self.net, tu, &self.params)?;
-        self.cds.compressed.add(&size);
-        self.cds.raw.add(&utcq_traj::size::uncompressed_bits(tu));
-        stiu.push(&self.net, tu, &ct, &self.params);
-        self.plans.push(TrajPlan::build(&ct, &p_codec)?);
-        self.id_to_idx.insert(tu.id, j);
-        self.cds.trajectories.push(ct);
-        Ok(())
+    pub(crate) fn ingest_traj(&mut self, tu: &UncertainTrajectory) -> Result<(), Error> {
+        self.state.ingest_traj(&self.net, self.stiu_params, tu)
     }
 
     /// Whether any trajectory has been ingested yet.
     pub(crate) fn has_ingested(&self) -> bool {
-        !self.cds.trajectories.is_empty()
+        self.state.has_ingested()
     }
 
     /// Converts this (still empty) builder into a sharded builder that
@@ -236,28 +250,24 @@ impl StoreBuilder {
 
     /// Finalizes the store.
     pub fn finish(self) -> Result<Store, Error> {
-        let mut cds = self.cds;
-        cds.name = self.name.unwrap_or_default();
-        let stiu = match self.stiu {
-            Some(s) => s,
-            None => Stiu::new(&self.net, self.stiu_params),
-        };
-        Ok(Store {
-            net: self.net,
-            cds,
-            stiu,
-            id_to_idx: self.id_to_idx,
-            plans: self.plans,
-            cache: DecodeCache::with_budget(self.cache_bytes),
-        })
+        let mut state = self.state;
+        state.cds.name = self.name.unwrap_or_default();
+        Ok(Store::from_state(
+            self.net,
+            state,
+            self.stiu_params,
+            self.cache_bytes,
+        ))
     }
 }
 
 impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
         f.debug_struct("Store")
-            .field("name", &self.cds.name)
-            .field("trajectories", &self.cds.trajectories.len())
+            .field("name", &snap.compressed().name)
+            .field("epoch", &snap.epoch())
+            .field("trajectories", &snap.len())
             .field("vertices", &self.net.vertex_count())
             .field("edges", &self.net.edge_count())
             .finish_non_exhaustive()
@@ -293,6 +303,24 @@ impl Store {
             .stiu_params(stiu_params)
             .ingest(ds)?
             .finish()
+    }
+
+    /// Assembles a store handle over an initial (epoch 0) state.
+    fn from_state(
+        net: Arc<RoadNetwork>,
+        state: PartitionState,
+        stiu_params: StiuParams,
+        cache_bytes: usize,
+    ) -> Self {
+        let cache = Arc::new(DecodeCache::with_budget(cache_bytes));
+        let snap = state.into_snapshot(Arc::clone(&net), stiu_params, Arc::clone(&cache), 0);
+        Self {
+            net,
+            cache,
+            snap: Swap::new(Arc::new(snap)),
+            next_epoch: AtomicU64::new(1),
+            writer: Mutex::new(()),
+        }
     }
 
     /// Opens a self-contained v2 container: network, dataset and index
@@ -363,7 +391,9 @@ impl Store {
         Self::assemble(net, cds, stiu)
     }
 
-    /// Persists the store as a self-contained v2 container.
+    /// Persists the current snapshot as a self-contained v2 container.
+    /// Safe to call while other threads ingest: the write runs on the
+    /// pinned snapshot, so the container is a consistent epoch.
     ///
     /// ```no_run
     /// # fn demo(store: utcq_core::Store) -> Result<(), utcq_core::Error> {
@@ -378,10 +408,9 @@ impl Store {
         self.write(&mut w)
     }
 
-    /// Writes the v2 container to an arbitrary writer.
+    /// Writes the current snapshot's v2 container to an arbitrary writer.
     pub fn write(&self, w: &mut impl Write) -> Result<(), Error> {
-        crate::storage::save_v2(&self.net, &self.cds, &self.stiu, w)?;
-        Ok(())
+        self.snapshot().write(w)
     }
 
     /// Assembles a store from parts, validating cross-references and
@@ -392,6 +421,17 @@ impl Store {
         cds: CompressedDataset,
         stiu: Stiu,
     ) -> Result<Self, Error> {
+        let (id_to_idx, plans) = Self::validate_parts(&cds, &stiu)?;
+        Ok(Self::from_validated(net, cds, stiu, id_to_idx, plans))
+    }
+
+    /// The validating (and expensive) half of [`Store::assemble`]:
+    /// cross-reference checks plus query-plan construction. Split out so
+    /// the parallel sharded open can run it per shard on the work queue.
+    pub(crate) fn validate_parts(
+        cds: &CompressedDataset,
+        stiu: &Stiu,
+    ) -> Result<(HashMap<u64, u32>, Vec<TrajPlan>), Error> {
         if stiu.trajs.len() != cds.trajectories.len() {
             return Err(Error::CorruptStore("index/dataset trajectory counts"));
         }
@@ -402,49 +442,181 @@ impl Store {
             }
         }
         let plans = crate::plan::build_plans(&cds.trajectories, &cds.params.p_codec())?;
-        Ok(Self {
-            net,
-            cds,
-            stiu,
-            id_to_idx,
-            plans,
-            cache: DecodeCache::with_budget(DEFAULT_CACHE_BYTES),
-        })
+        Ok((id_to_idx, plans))
     }
 
-    /// The road network the store owns.
+    /// Wraps already-validated parts into a store handle — the cheap
+    /// half of [`Store::assemble`].
+    pub(crate) fn from_validated(
+        net: Arc<RoadNetwork>,
+        cds: CompressedDataset,
+        stiu: Stiu,
+        id_to_idx: HashMap<u64, u32>,
+        plans: Vec<TrajPlan>,
+    ) -> Self {
+        let stiu_params = stiu.params;
+        let state = PartitionState {
+            cds,
+            stiu: Some(stiu),
+            id_to_idx,
+            plans,
+        };
+        Self::from_state(net, state, stiu_params, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Pins the current epoch: the returned [`Snapshot`] is a consistent
+    /// read view that concurrent [`Store::ingest`] calls cannot change.
+    /// Hold it across a multi-page walk for stable answers, or hand it
+    /// to [`Snapshot::save`] for a live checkpoint.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.snap.load()
+    }
+
+    /// Compresses, indexes and **publishes** one batch concurrently with
+    /// queries. The batch is processed against a private clone of the
+    /// current snapshot — queries keep answering from the epoch they
+    /// pinned — and becomes visible atomically as the next epoch.
+    /// Writers serialize on an internal lock; a failed batch publishes
+    /// nothing (all-or-nothing per batch).
+    ///
+    /// The published state is byte-identical to an offline
+    /// [`StoreBuilder`] run over the same batches in the same order.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use utcq_core::{CompressParams, StiuParams, Store};
+    /// # fn main() -> Result<(), utcq_core::Error> {
+    /// # let (net, mut ds) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 6, 7);
+    /// # let mut late = ds.clone();
+    /// # late.trajectories = ds.trajectories.split_off(3);
+    /// let store = Store::build(Arc::new(net), &ds,
+    ///     CompressParams::with_interval(ds.default_interval), StiuParams::default())?;
+    /// let report = store.ingest(&late)?;     // live: no rebuild, no restart
+    /// assert_eq!(report.ingested, 3);
+    /// assert_eq!(report.total, 6);
+    /// assert_eq!(report.epoch, 1);
+    /// # Ok(()) }
+    /// ```
+    pub fn ingest(&self, batch: &Dataset) -> Result<IngestReport, Error> {
+        let tus: Vec<&UncertainTrajectory> = batch.trajectories.iter().collect();
+        self.ingest_trajs(batch.default_interval, &batch.name, &tus)
+    }
+
+    /// The by-reference ingest step shared with the sharded facade (so
+    /// routing a batch across shards never copies trajectory payloads).
+    pub(crate) fn ingest_trajs(
+        &self,
+        default_interval: i64,
+        name: &str,
+        tus: &[&UncertainTrajectory],
+    ) -> Result<IngestReport, Error> {
+        // A panic mid-batch leaves only a discarded private clone, so a
+        // poisoned writer lock is safe to adopt.
+        let _writer = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        match self.prepare_trajs(default_interval, name, tus)? {
+            None => {
+                let cur = self.snap.load();
+                Ok(IngestReport {
+                    ingested: 0,
+                    total: cur.len(),
+                    epoch: cur.epoch(),
+                })
+            }
+            Some(snap) => {
+                let report = IngestReport {
+                    ingested: tus.len(),
+                    total: snap.len(),
+                    epoch: snap.epoch(),
+                };
+                self.snap.store(snap);
+                Ok(report)
+            }
+        }
+    }
+
+    /// Builds — without publishing — the snapshot that appending `tus`
+    /// would produce; `Ok(None)` when nothing would change (empty batch
+    /// with no name to adopt). The caller must already serialize
+    /// writers (the store's own lock, or the sharded facade's), and
+    /// publishes the returned snapshot with [`Store::publish_snapshot`].
+    /// Splitting prepare from publish is what makes a sharded batch
+    /// all-or-nothing across shards.
+    pub(crate) fn prepare_trajs(
+        &self,
+        default_interval: i64,
+        name: &str,
+        tus: &[&UncertainTrajectory],
+    ) -> Result<Option<Arc<Snapshot>>, Error> {
+        let cur = self.snap.load();
+        let params = cur.compressed().params;
+        if default_interval != params.default_interval {
+            return Err(Error::IntervalMismatch {
+                expected: params.default_interval,
+                got: default_interval,
+            });
+        }
+        // Match StoreBuilder's name adoption (check_batch adopts from
+        // every batch, even an empty one) so live and offline builds
+        // serialize identically in all cases.
+        let adopt_name = cur.compressed().name.is_empty() && !name.is_empty();
+        if tus.is_empty() && !adopt_name {
+            return Ok(None);
+        }
+        let stiu_params = cur.stiu().params;
+        let mut state = PartitionState::from_snapshot(&cur);
+        if adopt_name {
+            state.cds.name = name.to_string();
+        }
+        for tu in tus {
+            state.ingest_traj(&self.net, stiu_params, tu)?;
+        }
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(Arc::new(state.into_snapshot(
+            Arc::clone(&self.net),
+            stiu_params,
+            Arc::clone(&self.cache),
+            epoch,
+        ))))
+    }
+
+    /// Publishes a snapshot prepared by [`Store::prepare_trajs`] — a
+    /// single pointer swap.
+    pub(crate) fn publish_snapshot(&self, snap: Arc<Snapshot>) {
+        self.snap.store(snap);
+    }
+
+    /// The road network the store owns (identical across epochs).
     pub fn network(&self) -> &Arc<RoadNetwork> {
         &self.net
     }
 
-    /// The compressed dataset.
-    pub fn compressed(&self) -> &CompressedDataset {
-        &self.cds
+    /// The compression parameters the store was built with.
+    pub fn params(&self) -> CompressParams {
+        self.snapshot().compressed().params
     }
 
-    /// The StIU index.
-    pub fn stiu(&self) -> &Stiu {
-        &self.stiu
-    }
-
-    /// Component-wise and total compression ratios.
+    /// Component-wise and total compression ratios of the current
+    /// snapshot.
     pub fn ratios(&self) -> Ratios {
-        self.cds.ratios()
+        self.snapshot().ratios()
     }
 
-    /// Number of trajectories in the store.
+    /// Number of trajectories currently queryable.
     pub fn len(&self) -> usize {
-        self.cds.trajectories.len()
+        self.snapshot().len()
     }
 
     /// Whether the store holds no trajectories.
     pub fn is_empty(&self) -> bool {
-        self.cds.trajectories.is_empty()
+        self.snapshot().is_empty()
     }
 
-    /// Looks up a trajectory's position by id.
+    /// Looks up a trajectory's position by id (in the current epoch).
     pub fn traj_index(&self, id: u64) -> Option<u32> {
-        self.id_to_idx.get(&id).copied()
+        self.snapshot().traj_index(id)
     }
 
     /// Decodes the full time sequence of the trajectory at position `j`
@@ -464,12 +636,7 @@ impl Store {
     /// # Ok(()) }
     /// ```
     pub fn decode_times(&self, j: u32) -> Result<Arc<Vec<i64>>, Error> {
-        let ct = self
-            .cds
-            .trajectories
-            .get(j as usize)
-            .ok_or(Error::CorruptStore("trajectory position out of range"))?;
-        self.engine().times(j, ct)
+        self.snapshot().decode_times(j)
     }
 
     /// Hit/miss/eviction counters and footprint of the decode cache.
@@ -518,16 +685,6 @@ impl Store {
         self.cache.clear();
     }
 
-    fn engine(&self) -> QueryEngine<'_> {
-        QueryEngine {
-            net: &self.net,
-            cds: &self.cds,
-            stiu: &self.stiu,
-            plans: &self.plans,
-            cache: &self.cache,
-        }
-    }
-
     /// Probabilistic **where** query (Definition 10): the locations of
     /// `traj_id`'s instances with probability ≥ `alpha` at time `t`.
     ///
@@ -563,10 +720,7 @@ impl Store {
         alpha: f64,
         page: PageRequest,
     ) -> Result<Page<WhereHit>, Error> {
-        let Some(j) = self.traj_index(traj_id) else {
-            return Ok(Page::slice(Vec::new(), page));
-        };
-        Ok(Page::slice(self.engine().where_query(j, t, alpha)?, page))
+        self.snapshot().where_query(traj_id, t, alpha, page)
     }
 
     /// Probabilistic **when** query (Definition 11): the times at which
@@ -591,19 +745,14 @@ impl Store {
         alpha: f64,
         page: PageRequest,
     ) -> Result<Page<WhenHit>, Error> {
-        let Some(j) = self.traj_index(traj_id) else {
-            return Ok(Page::slice(Vec::new(), page));
-        };
-        Ok(Page::slice(
-            self.engine().when_query(j, edge, rd, alpha)?,
-            page,
-        ))
+        self.snapshot().when_query(traj_id, edge, rd, alpha, page)
     }
 
     /// Probabilistic **range** query (Definition 12): ids of trajectories
     /// inside `re` at `tq` with accumulated probability ≥ `alpha`,
     /// ascending. Pagination is keyset-style over the sorted ids, so
-    /// pages stay consistent under concurrent reads.
+    /// pages stay consistent under concurrent reads (and, since ingest
+    /// only appends, under concurrent writes).
     ///
     /// ```
     /// use std::sync::Arc;
@@ -625,85 +774,14 @@ impl Store {
         alpha: f64,
         page: PageRequest,
     ) -> Result<Page<u64>, Error> {
-        let cells = self.query_cells(re);
-        let candidates = self.range_candidates(tq, page.cursor);
-        let limit = page.limit.max(1); // a zero limit could never progress
-        let mut items = Vec::new();
-        let mut has_more = false;
-        for (id, j) in candidates {
-            if items.len() >= limit {
-                // More *candidates* remain; whether they match is decided
-                // when the next page evaluates them.
-                has_more = true;
-                break;
-            }
-            if self.range_matches_at(j, &cells, re, tq, alpha)? {
-                items.push(id);
-            }
-        }
-        let next_cursor = has_more.then(|| *items.last().expect("limit > 0 implies items"));
-        Ok(Page {
-            items,
-            next_cursor,
-            has_more,
-        })
-    }
-
-    /// The grid cells of the StIU index overlapping a query region. The
-    /// grid is a function of the network bounds and `grid_n` alone, so
-    /// shards built with the same parameters agree on cell ids.
-    pub(crate) fn query_cells(&self, re: &Rect) -> std::collections::HashSet<utcq_network::CellId> {
-        self.stiu.grid.cells_overlapping(re).into_iter().collect()
-    }
-
-    /// **range** candidates at `tq` in index order, as `(id, position)`
-    /// pairs — the raw interval-index postings. Callers that need the
-    /// evaluation order of [`Store::range_query`] sort by id (ids are
-    /// unique, so that is a total order); the unpaginated fan-out path
-    /// skips the sort and orders only the matches.
-    pub(crate) fn unsorted_range_candidates(
-        &self,
-        tq: i64,
-    ) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.stiu
-            .trajs_in_interval(tq)
-            .iter()
-            .filter_map(move |&j| {
-                let ct = self.cds.trajectories.get(j as usize)?;
-                Some((ct.id, j))
-            })
-    }
-
-    /// **range** candidates at `tq`, ascending by trajectory id, resuming
-    /// past the keyset cursor `after` — the paginated evaluation order.
-    fn range_candidates(&self, tq: i64, after: Option<u64>) -> Vec<(u64, u32)> {
-        let mut candidates: Vec<(u64, u32)> = self
-            .unsorted_range_candidates(tq)
-            .filter(|&(id, _)| after.is_none_or(|a| id > a))
-            .collect();
-        candidates.sort_unstable();
-        candidates
-    }
-
-    /// Whether the trajectory at position `j` matches
-    /// **range**(RE, tq, α) — the per-candidate evaluation step shared
-    /// with the shard fan-out path.
-    pub(crate) fn range_matches_at(
-        &self,
-        j: u32,
-        cells: &std::collections::HashSet<utcq_network::CellId>,
-        re: &Rect,
-        tq: i64,
-        alpha: f64,
-    ) -> Result<bool, Error> {
-        self.engine().range_matches(j, cells, re, tq, alpha)
+        self.snapshot().range_query(re, tq, alpha, page)
     }
 
     /// Evaluates a batch of **range** queries in parallel across the
     /// available cores, answers unpaginated and in input order. The
-    /// store is shared by reference — no cloning, no recompression — and
-    /// all workers share one decode cache, so overlapping queries decode
-    /// each artifact once.
+    /// whole batch runs on one pinned snapshot — no cloning, no
+    /// recompression — and all workers share one decode cache, so
+    /// overlapping queries decode each artifact once.
     ///
     /// Workers pull query indices from a shared atomic counter rather
     /// than fixed chunks: a skewed batch (a few expensive queries amid
@@ -717,11 +795,7 @@ impl Store {
     /// # Ok(()) }
     /// ```
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
-        crate::query::par_run(queries.len(), |i| {
-            let q = &queries[i];
-            self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
-                .map(Page::into_items)
-        })
+        self.snapshot().par_range_query(queries)
     }
 }
 
@@ -810,6 +884,7 @@ mod tests {
         fn assert_send_sync<T: Send + Sync + 'static>() {}
         assert_send_sync::<Store>();
         assert_send_sync::<StoreBuilder>();
+        assert_send_sync::<Snapshot>();
     }
 
     #[test]
@@ -910,7 +985,7 @@ mod tests {
     }
 
     #[test]
-    fn when_region_miss_is_empty() {
+    fn when_region_miss_is_empty_and_negatively_cached() {
         // A location on the stub edges is never visited.
         let fx = paper_fixture::build();
         let store = paper_store(&fx);
@@ -923,6 +998,15 @@ mod tests {
             .when_query(1, e49, 0.5, 0.0, PageRequest::all())
             .unwrap();
         assert!(hits.items.is_empty());
+        let after_first = store.cache_stats();
+        assert_eq!(after_first.negative_entries, 1, "{after_first:?}");
+        // The repeat answers from the negative entry.
+        let hits = store
+            .when_query(1, e49, 0.5, 0.0, PageRequest::all())
+            .unwrap();
+        assert!(hits.items.is_empty());
+        let after_second = store.cache_stats();
+        assert_eq!(after_second.negative_hits, after_first.negative_hits + 1);
     }
 
     #[test]
@@ -1019,6 +1103,28 @@ mod tests {
     }
 
     #[test]
+    fn live_duplicate_ingest_publishes_nothing() {
+        let fx = paper_fixture::build();
+        let ds = Dataset {
+            name: "paper".into(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![fx.tu.clone()],
+        };
+        let store = paper_store(&fx);
+        let before = store.snapshot();
+        assert!(matches!(
+            store.ingest(&ds),
+            Err(Error::DuplicateTrajectory(1))
+        ));
+        let after = store.snapshot();
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "failed batch must not publish"
+        );
+        assert_eq!(after.epoch(), 0);
+    }
+
+    #[test]
     fn interval_mismatch_is_rejected() {
         let fx = paper_fixture::build();
         let ds = Dataset {
@@ -1033,6 +1139,26 @@ mod tests {
         )
         .ingest(&ds);
         assert!(matches!(r, Err(Error::IntervalMismatch { .. })));
+        // The live path enforces the same invariant.
+        let store = paper_store(&fx);
+        assert!(matches!(
+            store.ingest(&ds),
+            Err(Error::IntervalMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_live_batch_keeps_the_epoch() {
+        let fx = paper_fixture::build();
+        let store = paper_store(&fx);
+        let empty = Dataset {
+            name: String::new(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: Vec::new(),
+        };
+        let report = store.ingest(&empty).unwrap();
+        assert_eq!((report.ingested, report.total, report.epoch), (0, 1, 0));
+        assert_eq!(store.snapshot().epoch(), 0, "no pointless publish");
     }
 
     #[test]

@@ -27,7 +27,9 @@ use crate::cache::CacheStats;
 use crate::error::Error;
 use crate::opened::{InfoReport, Opened};
 use crate::query::{Page, PageRequest, QueryTarget, WhenHit, WhereHit, DEFAULT_PAGE_LIMIT};
+use crate::store::IngestReport;
 use utcq_network::{EdgeId, Rect};
+use utcq_traj::{Dataset, Instance, PathPosition, UncertainTrajectory};
 
 /// Longest accepted request line. Enforced identically by every
 /// executor surface — [`handle_line`] rejects longer lines with
@@ -396,6 +398,21 @@ pub enum Request {
         /// Page limit + resume cursor.
         page: PageRequest,
     },
+    /// `ingest(trajectories)`: append a batch to the live store. Only
+    /// honored by writable executors (`utcq serve --writable`,
+    /// `utcq client --writable`); read-only surfaces answer with the
+    /// `read_only` error code.
+    Ingest {
+        /// The batch, already decoded into model trajectories.
+        trajectories: Vec<UncertainTrajectory>,
+        /// Optional `interval` field; validated against the store's
+        /// compression interval when present (absent = adopt the
+        /// store's).
+        interval: Option<i64>,
+        /// Optional dataset label for the batch (adopted only if the
+        /// store has none yet, matching builder semantics).
+        name: String,
+    },
     /// Container description (the [`InfoReport`]).
     Info,
     /// Decode-cache counters.
@@ -508,6 +525,78 @@ fn page_fields(obj: &Json, id: &Option<Json>) -> Result<PageRequest, Box<Request
     Ok(PageRequest { limit, cursor })
 }
 
+/// Decodes one trajectory object of an `ingest` request:
+/// `{"id":N,"times":[…],"instances":[{"prob":P,"path":[…],
+/// "positions":[[path_idx,rd],…]},…]}`.
+fn parse_trajectory(
+    v: &Json,
+    id: &Option<Json>,
+    at: usize,
+) -> Result<UncertainTrajectory, Box<RequestError>> {
+    let ctx = |what: &str| format!("trajectories[{at}]: {what}");
+    let traj_id = field(v, id, "id")?
+        .as_u64()
+        .ok_or_else(|| bad(id, ctx("field 'id' must be a non-negative integer")))?;
+    let Some(Json::Arr(times_v)) = v.get("times") else {
+        return Err(bad(id, ctx("field 'times' must be an array of integers")));
+    };
+    let times = times_v
+        .iter()
+        .map(Json::as_i64)
+        .collect::<Option<Vec<i64>>>()
+        .ok_or_else(|| bad(id, ctx("field 'times' must be an array of integers")))?;
+    let Some(Json::Arr(instances_v)) = v.get("instances") else {
+        return Err(bad(id, ctx("field 'instances' must be an array")));
+    };
+    let mut instances = Vec::with_capacity(instances_v.len());
+    for (w, inst) in instances_v.iter().enumerate() {
+        let ictx = |what: &str| format!("trajectories[{at}].instances[{w}]: {what}");
+        let prob = field(inst, id, "prob").map_err(|_| bad(id, ictx("missing field 'prob'")))?;
+        let prob = prob
+            .as_f64()
+            .ok_or_else(|| bad(id, ictx("field 'prob' must be a number")))?;
+        let Some(Json::Arr(path_v)) = inst.get("path") else {
+            return Err(bad(id, ictx("field 'path' must be an array of edge ids")));
+        };
+        let path = path_v
+            .iter()
+            .map(|e| e.as_u64().and_then(|n| u32::try_from(n).ok()))
+            .collect::<Option<Vec<u32>>>()
+            .ok_or_else(|| bad(id, ictx("field 'path' must be an array of edge ids")))?
+            .into_iter()
+            .map(EdgeId)
+            .collect();
+        let Some(Json::Arr(pos_v)) = inst.get("positions") else {
+            return Err(bad(id, ictx("field 'positions' must be an array of pairs")));
+        };
+        let mut positions = Vec::with_capacity(pos_v.len());
+        for p in pos_v {
+            let pair = match p {
+                Json::Arr(pair) if pair.len() == 2 => pair,
+                _ => return Err(bad(id, ictx("each position must be a [path_idx, rd] pair"))),
+            };
+            let path_idx = pair[0]
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad(id, ictx("position path_idx must fit in 32 bits")))?;
+            let rd = pair[1]
+                .as_f64()
+                .ok_or_else(|| bad(id, ictx("position rd must be a number")))?;
+            positions.push(PathPosition { path_idx, rd });
+        }
+        instances.push(Instance {
+            path,
+            positions,
+            prob,
+        });
+    }
+    Ok(UncertainTrajectory {
+        id: traj_id,
+        times,
+        instances,
+    })
+}
+
 /// Decodes one request line. Errors carry the echo id (when readable)
 /// and the protocol error code, ready for [`handle_line`] to serialize.
 pub fn parse_request(line: &str) -> Result<ParsedRequest, Box<RequestError>> {
@@ -559,6 +648,36 @@ pub fn parse_request(line: &str) -> Result<ParsedRequest, Box<RequestError>> {
             alpha: alpha_field(&v, &id)?,
             page: page_fields(&v, &id)?,
         },
+        "ingest" => {
+            let Some(Json::Arr(items)) = v.get("trajectories") else {
+                return Err(bad(
+                    &id,
+                    "field 'trajectories' must be an array".to_string(),
+                ));
+            };
+            let trajectories = items
+                .iter()
+                .enumerate()
+                .map(|(at, t)| parse_trajectory(t, &id, at))
+                .collect::<Result<Vec<_>, _>>()?;
+            let interval =
+                match v.get("interval") {
+                    None => None,
+                    Some(n) => Some(n.as_i64().ok_or_else(|| {
+                        bad(&id, "field 'interval' must be an integer".to_string())
+                    })?),
+                };
+            let name = v
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            Request::Ingest {
+                trajectories,
+                interval,
+                name,
+            }
+        }
         "info" => Request::Info,
         "cache_stats" => Request::CacheStats,
         "ping" => Request::Ping,
@@ -719,11 +838,30 @@ fn respond_cache(id: Option<&Json>, stats: &CacheStats) -> String {
     let _ = write!(
         out,
         ",\"op\":\"cache_stats\",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\
-         \"entries\":{},\"bytes\":{},\"budget_bytes\":{},\"hit_rate\":",
-        stats.hits, stats.misses, stats.evictions, stats.entries, stats.bytes, stats.budget_bytes
+         \"negative_hits\":{},\"entries\":{},\"negative_entries\":{},\"bytes\":{},\
+         \"budget_bytes\":{},\"hit_rate\":",
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.negative_hits,
+        stats.entries,
+        stats.negative_entries,
+        stats.bytes,
+        stats.budget_bytes
     );
     write_f64(&mut out, stats.hit_rate());
     out.push_str("}}");
+    out
+}
+
+fn respond_ingest(id: Option<&Json>, report: &IngestReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = begin(id, true);
+    let _ = write!(
+        out,
+        ",\"op\":\"ingest\",\"ingested\":{},\"total\":{},\"epoch\":{}}}",
+        report.ingested, report.total, report.epoch
+    );
     out
 }
 
@@ -779,6 +917,19 @@ pub struct Reply {
 /// # Ok(()) }
 /// ```
 pub fn handle_line(opened: &Opened, line: &str) -> Reply {
+    execute(opened, false, line)
+}
+
+/// [`handle_line`] with the `ingest` op enabled — what `utcq serve
+/// --writable` and `utcq client --writable` run. Batches are validated
+/// against the container's road network, then serialized through the
+/// store's writer lock; concurrent queries keep answering from their
+/// pinned snapshots throughout.
+pub fn handle_line_writable(opened: &Opened, line: &str) -> Reply {
+    execute(opened, true, line)
+}
+
+fn execute(opened: &Opened, writable: bool, line: &str) -> Reply {
     if line.len() > MAX_REQUEST_BYTES {
         return Reply {
             line: respond_error(None, "bad_request", "request line exceeds 1 MiB"),
@@ -834,12 +985,75 @@ pub fn handle_line(opened: &Opened, line: &str) -> Reply {
             },
             false,
         ),
+        Request::Ingest {
+            trajectories,
+            interval,
+            name,
+        } => (
+            if !writable {
+                respond_error(
+                    id,
+                    "read_only",
+                    "this surface is read-only; restart the server with --writable",
+                )
+            } else {
+                run_ingest(opened, trajectories, interval, name, id)
+            },
+            false,
+        ),
         Request::Info => (respond_info(id, &opened.info()), false),
         Request::CacheStats => (respond_cache(id, &opened.cache_stats()), false),
         Request::Ping => (respond_simple(id, "ping"), false),
         Request::Shutdown => (respond_simple(id, "shutdown"), true),
     };
     Reply { line, shutdown }
+}
+
+/// Validates and applies one `ingest` batch: structural validation
+/// against the road network first (malformed trajectories are
+/// `bad_request`, nothing is published), then the live-store publish
+/// (store-level failures map through [`error_code`]).
+fn run_ingest(
+    opened: &Opened,
+    trajectories: Vec<UncertainTrajectory>,
+    interval: Option<i64>,
+    name: String,
+    id: Option<&Json>,
+) -> String {
+    let net = opened.network();
+    let edge_count = net.edge_count() as u32;
+    for (at, tu) in trajectories.iter().enumerate() {
+        // Bounds come first: the structural validator assumes edge ids
+        // resolve, so a hostile id must be rejected before it.
+        for inst in &tu.instances {
+            if let Some(e) = inst.path.iter().find(|e| e.0 >= edge_count) {
+                return respond_error(
+                    id,
+                    "bad_request",
+                    &format!(
+                        "trajectories[{at}] is invalid: edge {} does not exist (network has {edge_count} edges)",
+                        e.0
+                    ),
+                );
+            }
+        }
+        if let Err(detail) = tu.validate(net) {
+            return respond_error(
+                id,
+                "bad_request",
+                &format!("trajectories[{at}] is invalid: {detail}"),
+            );
+        }
+    }
+    let batch = Dataset {
+        name,
+        default_interval: interval.unwrap_or_else(|| opened.default_interval()),
+        trajectories,
+    };
+    match opened.ingest(&batch) {
+        Ok(report) => respond_ingest(id, &report),
+        Err(e) => respond_error(id, error_code(&e), &e.to_string()),
+    }
 }
 
 #[cfg(test)]
@@ -1038,6 +1252,107 @@ mod tests {
         let err = handle_line(&opened, "not json at all");
         assert!(err.line.contains(r#""ok":false"#));
         assert!(err.line.contains(r#""code":"bad_request""#));
+    }
+
+    #[test]
+    fn ingest_parses_validates_and_gates_on_writability() {
+        let opened = paper_opened();
+        // Parse errors surface as bad_request with a field path.
+        let e = parse_request(r#"{"op":"ingest"}"#).unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        let e = parse_request(r#"{"op":"ingest","trajectories":[{"id":9}]}"#).unwrap_err();
+        assert!(e.message.contains("trajectories[0]"), "{}", e.message);
+
+        // A structurally valid line against a read-only executor.
+        let line = r#"{"id":1,"op":"ingest","trajectories":[]}"#;
+        let reply = handle_line(&opened, line);
+        assert!(
+            reply.line.contains(r#""code":"read_only""#),
+            "{}",
+            reply.line
+        );
+
+        // The writable executor accepts it (an empty batch publishes
+        // nothing and reports the current epoch).
+        let reply = handle_line_writable(&opened, line);
+        assert_eq!(
+            reply.line,
+            r#"{"id":1,"ok":true,"op":"ingest","ingested":0,"total":1,"epoch":0}"#
+        );
+
+        // Network-invalid trajectories are rejected before any publish.
+        let bad = r#"{"op":"ingest","trajectories":[{"id":9,"times":[1,2],"instances":[{"prob":1.0,"path":[999999],"positions":[[0,0.5],[0,0.6]]}]}]}"#;
+        let reply = handle_line_writable(&opened, bad);
+        assert!(
+            reply.line.contains(r#""code":"bad_request""#),
+            "{}",
+            reply.line
+        );
+        assert_eq!(opened.len(), 1, "invalid batches publish nothing");
+    }
+
+    #[test]
+    fn ingest_applies_through_the_writable_executor() {
+        let opened = paper_opened();
+        // Re-ingest the paper trajectory under a fresh id, shifted out
+        // of the original span.
+        let fx = paper_fixture::build();
+        let mut tu = fx.tu.clone();
+        tu.id = 9;
+        for t in &mut tu.times {
+            *t += 100_000;
+        }
+        use std::fmt::Write as _;
+        let mut traj = String::new();
+        let _ = write!(traj, r#"{{"id":9,"times":["#);
+        for (i, t) in tu.times.iter().enumerate() {
+            if i > 0 {
+                traj.push(',');
+            }
+            let _ = write!(traj, "{t}");
+        }
+        traj.push_str("],\"instances\":[");
+        for (w, inst) in tu.instances.iter().enumerate() {
+            if w > 0 {
+                traj.push(',');
+            }
+            let _ = write!(traj, r#"{{"prob":{},"path":["#, inst.prob);
+            for (i, e) in inst.path.iter().enumerate() {
+                if i > 0 {
+                    traj.push(',');
+                }
+                let _ = write!(traj, "{}", e.0);
+            }
+            traj.push_str("],\"positions\":[");
+            for (i, p) in inst.positions.iter().enumerate() {
+                if i > 0 {
+                    traj.push(',');
+                }
+                let _ = write!(traj, "[{},{}]", p.path_idx, p.rd);
+            }
+            traj.push_str("]}");
+        }
+        traj.push_str("]}");
+        let line = format!(r#"{{"id":2,"op":"ingest","trajectories":[{traj}]}}"#);
+        let reply = handle_line_writable(&opened, &line);
+        assert_eq!(
+            reply.line,
+            r#"{"id":2,"ok":true,"op":"ingest","ingested":1,"total":2,"epoch":1}"#
+        );
+        // The new trajectory answers queries; duplicates map to the
+        // store's error code.
+        let t = tu.times[0];
+        let q = handle_line_writable(
+            &opened,
+            &format!(r#"{{"op":"where","traj":9,"t":{t},"alpha":0}}"#),
+        );
+        assert!(q.line.contains(r#""items":[{"#), "{}", q.line);
+        let dup = handle_line_writable(&opened, &line);
+        assert!(
+            dup.line.contains(r#""code":"duplicate_trajectory""#),
+            "{}",
+            dup.line
+        );
     }
 
     #[test]

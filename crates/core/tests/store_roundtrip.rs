@@ -93,8 +93,8 @@ fn reopened_v2_store_answers_identically() {
         let reopened = Store::read(&mut bytes.as_slice()).unwrap();
         assert_eq!(reopened.len(), store.len(), "seed {seed}");
         assert_eq!(
-            reopened.compressed().compressed,
-            store.compressed().compressed,
+            reopened.snapshot().compressed().compressed,
+            store.snapshot().compressed().compressed,
             "seed {seed}"
         );
         assert_equal_answers(&store, &reopened, &ds, &mut rng);
@@ -123,7 +123,7 @@ fn v1_container_opens_through_compat_path() {
     let path = std::env::temp_dir().join("utcq-test-v1-fixture.utcq");
     {
         let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
-        utcq_core::storage::save(store.compressed(), &mut f).unwrap();
+        utcq_core::storage::save(store.snapshot().compressed(), &mut f).unwrap();
     }
 
     // The v2-only opener refuses with the dedicated error…
@@ -186,8 +186,8 @@ fn incremental_ingest_equals_single_batch() {
         // change the compressed representation at all: the ratio
         // tolerance is exactly zero in this implementation.
         assert_eq!(
-            incremental.compressed().compressed,
-            single.compressed().compressed,
+            incremental.snapshot().compressed().compressed,
+            single.snapshot().compressed().compressed,
             "round {round}: compressed footprints diverge"
         );
         assert_eq!(incremental.ratios().total, single.ratios().total);

@@ -108,7 +108,8 @@ fn main() {
     );
 
     // 5. Decompress losslessly (up to the PDDP error bounds).
-    let back = utcq::core::decompress_dataset(store.network(), store.compressed()).unwrap();
+    let back =
+        utcq::core::decompress_dataset(store.network(), store.snapshot().compressed()).unwrap();
     utcq::core::decompress::check_lossy_roundtrip(
         &ds.trajectories[0],
         &back.trajectories[0],

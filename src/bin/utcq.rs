@@ -16,8 +16,8 @@
 //! utcq query      --in data.utcq -n 100 [--alpha 0.25] [--limit 64]
 //!                 [--cache-bytes N] [--cache-stats]
 //! utcq serve      --in data.utcq [--addr 127.0.0.1:7071] [--threads 4]
-//!                 [--cache-bytes N]
-//! utcq client     --addr HOST:PORT | --in data.utcq
+//!                 [--cache-bytes N] [--writable]
+//! utcq client     --addr HOST:PORT | --in data.utcq [--writable]
 //! ```
 //!
 //! Legacy v1 containers (dataset only) still load: `query`/`verify` fall
@@ -35,10 +35,13 @@
 //! `serve` keeps the container open in a long-lived process and answers
 //! the newline-delimited JSON protocol of `PROTOCOL.md` over TCP, so
 //! the decode cache stays warm across requests instead of being rebuilt
-//! per invocation. `client` speaks that protocol from stdin — against a
-//! running server (`--addr`), or offline against the container itself
-//! (`--in`), producing byte-identical responses; the serve-smoke CI job
-//! diffs the two.
+//! per invocation. With `--writable` the server also honors the
+//! protocol's `ingest` op: batches append to the live store and publish
+//! as new snapshots while queries keep running. `client` speaks the
+//! protocol from stdin — against a running server (`--addr`), or
+//! offline against the container itself (`--in`, add `--writable` to
+//! replay ingest sessions), producing byte-identical responses; the
+//! serve-smoke CI jobs diff the two.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -292,8 +295,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     // probing in id order keeps `-n N` selecting the same workload
     // whether the dataset sits in a v2 or a v3 container.
     let mut probes = Vec::new();
-    for part in opened.stores() {
-        let back = utcq::core::decompress_dataset(part.network(), part.compressed())
+    for snap in opened.snapshots() {
+        let back = utcq::core::decompress_dataset(snap.network(), snap.compressed())
             .map_err(|e| e.to_string())?;
         probes.extend(back.trajectories);
     }
@@ -358,16 +361,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     let threads: usize = args.parse_num("threads", DEFAULT_THREADS);
     let addr = args.get("addr", "127.0.0.1:7071");
-    let server = Server::bind(Arc::clone(&opened), &addr, threads).map_err(|e| e.to_string())?;
+    let writable = args.flags.contains_key("writable");
+    let server = Server::bind(Arc::clone(&opened), &addr, threads)
+        .map_err(|e| e.to_string())?
+        .writable(writable);
     // The bound address goes to stdout (and is flushed) first: scripts
     // bind port 0 and read the real port back from this line.
     println!("listening on {}", server.local_addr());
     std::io::stdout().flush().ok();
     eprintln!(
-        "serving {} ({}, {} trajectories) with {threads} worker threads",
+        "serving {} ({}, {} trajectories, {}) with {threads} worker threads",
         args.get("in", "data.utcq"),
         opened.shape(),
-        opened.len()
+        opened.len(),
+        if writable { "writable" } else { "read-only" },
     );
     server.run().map_err(|e| e.to_string())?;
     eprintln!("{}", opened.cache_stats().render());
@@ -415,12 +422,17 @@ fn cmd_client(args: &Args) -> Result<(), String> {
         Ok(())
     } else {
         let opened = open_store(args)?;
+        let writable = args.flags.contains_key("writable");
         for line in stdin.lock().lines() {
             let line = line.map_err(|e| e.to_string())?;
             if line.trim().is_empty() {
                 continue;
             }
-            let reply = wire::handle_line(&opened, &line);
+            let reply = if writable {
+                wire::handle_line_writable(&opened, &line)
+            } else {
+                wire::handle_line(&opened, &line)
+            };
             println!("{}", reply.line);
             if reply.shutdown {
                 break;
@@ -435,7 +447,7 @@ fn usage() -> String {
      [--profile dk|cd|hz|tiny] \
      [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
      [--shards N] [--shard-by time|region] [--shard-interval S] [--shard-grid N] \
-     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N]"
+     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N] [--writable]"
         .to_string()
 }
 

@@ -65,8 +65,9 @@ fn all_versions_open_and_agree() {
     let bounds = v2.network().bounding_rect();
     // Probe every trajectory: ids and time spans come from the container
     // itself (decoded times), not from regenerating the dataset.
+    let v2_snap = v2.snapshot();
     for j in 0..TRAJS as u32 {
-        let ct = &v2.compressed().trajectories[j as usize];
+        let ct = &v2_snap.compressed().trajectories[j as usize];
         let times = v2.decode_times(j).unwrap();
         let mid = (times[0] + times[times.len() - 1]) / 2;
         let mut answers = Vec::new();
@@ -99,7 +100,13 @@ fn goldens_pin_fixture_answers() {
     let (_, v2, v3) = open_fixtures();
     // Golden values recorded when the fixtures were generated (see
     // `regen_fixtures`); they pin the absolute answers.
-    let ids: Vec<u64> = v2.compressed().trajectories.iter().map(|t| t.id).collect();
+    let ids: Vec<u64> = v2
+        .snapshot()
+        .compressed()
+        .trajectories
+        .iter()
+        .map(|t| t.id)
+        .collect();
     assert_eq!(ids, (0..TRAJS as u64).collect::<Vec<_>>());
 
     let times0 = v2.decode_times(0).unwrap();
@@ -159,7 +166,7 @@ fn regen_fixtures() {
     single.save(fixture_path("tiny_v2.utcq")).unwrap();
     // v1: the legacy dataset-only framing of the same compressed form.
     let mut v1 = Vec::new();
-    utcq::core::storage::save(single.compressed(), &mut v1).unwrap();
+    utcq::core::storage::save(single.snapshot().compressed(), &mut v1).unwrap();
     std::fs::write(fixture_path("tiny_v1.utcq"), v1).unwrap();
 
     let sharded = StoreBuilder::new(Arc::clone(&net), params)

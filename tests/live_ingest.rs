@@ -1,0 +1,524 @@
+//! Live-ingest acceptance tests for the snapshot-based store:
+//!
+//! * **byte-identity** — a store grown through live [`Store::ingest`] /
+//!   [`ShardedStore::ingest`] serializes to the *same container bytes*
+//!   as an offline [`StoreBuilder`] run over the same batches in the
+//!   same order (publishing epochs adds nothing to the on-disk state);
+//! * **snapshot isolation** — a pinned snapshot (and a paginated walk
+//!   running on it) keeps answering with pre-ingest answers while new
+//!   queries on the store see the post-ingest epoch;
+//! * **cursor stability** — cursors minted before an ingest stay valid
+//!   after it (ingest only appends);
+//! * **concurrency** — threads querying while batches ingest never
+//!   block, never error, and always see either the old or the new
+//!   epoch, never a torn one (the loom-free stress test CI runs).
+
+use std::sync::Arc;
+
+use utcq::core::shard::ByTime;
+use utcq::core::{CompressParams, PageRequest, ShardedStore, StiuParams, Store, StoreBuilder};
+use utcq::network::RoadNetwork;
+use utcq::traj::Dataset;
+
+const STIU: StiuParams = StiuParams {
+    partition_s: 900,
+    grid_n: 8,
+};
+
+/// A tiny dataset split into three arrival batches.
+fn batches(n: usize, seed: u64) -> (Arc<RoadNetwork>, Vec<Dataset>) {
+    let (net, mut ds) = utcq::datagen::generate(&utcq::datagen::profile::tiny(), n, seed);
+    let third = n / 3;
+    let mut b2 = ds.clone();
+    let mut b3 = ds.clone();
+    let tail = ds.trajectories.split_off(third);
+    b2.trajectories = tail;
+    b3.trajectories = b2.trajectories.split_off(third);
+    (Arc::new(net), vec![ds, b2, b3])
+}
+
+fn params(ds: &Dataset) -> CompressParams {
+    CompressParams::with_interval(ds.default_interval)
+}
+
+fn container_bytes_single(store: &Store) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    store.write(&mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn live_ingest_matches_offline_build_byte_for_byte() {
+    let (net, batches) = batches(9, 41);
+    let p = params(&batches[0]);
+
+    // Offline: all three batches through the builder.
+    let offline = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .ingest(&batches[1])
+        .unwrap()
+        .ingest(&batches[2])
+        .unwrap()
+        .finish()
+        .unwrap();
+
+    // Live: first batch offline, the rest through the live writer.
+    let live = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let r1 = live.ingest(&batches[1]).unwrap();
+    let r2 = live.ingest(&batches[2]).unwrap();
+    assert_eq!(r1.epoch, 1);
+    assert_eq!(r2.epoch, 2);
+    assert_eq!(r2.total, 9);
+
+    assert_eq!(
+        container_bytes_single(&live),
+        container_bytes_single(&offline),
+        "published snapshots must be byte-identical to the offline build"
+    );
+}
+
+#[test]
+fn sharded_live_ingest_matches_offline_build_byte_for_byte() {
+    let (net, batches) = batches(9, 42);
+    let p = params(&batches[0]);
+    let policy = || Arc::new(ByTime { interval_s: 120 });
+
+    let offline = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .shard_by(policy(), 3)
+        .unwrap()
+        .ingest(&batches[0])
+        .unwrap()
+        .ingest(&batches[1])
+        .unwrap()
+        .ingest(&batches[2])
+        .unwrap()
+        .finish()
+        .unwrap();
+
+    let live = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .shard_by(policy(), 3)
+        .unwrap()
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    live.ingest(&batches[1]).unwrap();
+    let report = live.ingest(&batches[2]).unwrap();
+    assert_eq!(report.total, 9);
+    assert_eq!(live.facade_epoch(), 2);
+
+    let mut live_bytes = Vec::new();
+    live.write(&mut live_bytes).unwrap();
+    let mut offline_bytes = Vec::new();
+    offline.write(&mut offline_bytes).unwrap();
+    assert_eq!(
+        live_bytes, offline_bytes,
+        "sharded live ingest must serialize identically to the offline build"
+    );
+
+    // And the container reopens with everything routed.
+    let reopened = ShardedStore::read(&mut live_bytes.as_slice()).unwrap();
+    assert_eq!(reopened.len(), 9);
+}
+
+#[test]
+fn live_name_adoption_matches_builder_even_on_empty_sub_batches() {
+    // The offline builder adopts a batch's name on *every* shard (and
+    // from batches that route nothing to a shard, or are empty
+    // outright); the live path must serialize identically in those
+    // corners too.
+    let (net, mut batches) = batches(9, 48);
+    let p = params(&batches[0]);
+    batches[0].name = String::new(); // bootstrap unnamed
+    batches[1].name = "late-name".into();
+    let named_but_empty = Dataset {
+        name: "late-name".into(),
+        default_interval: batches[0].default_interval,
+        trajectories: Vec::new(),
+    };
+
+    // Single store: an empty-but-named live batch adopts the label.
+    let single_offline = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .ingest(&named_but_empty)
+        .unwrap()
+        .finish()
+        .unwrap();
+    let single_live = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    single_live.ingest(&named_but_empty).unwrap();
+    assert_eq!(
+        container_bytes_single(&single_live),
+        container_bytes_single(&single_offline),
+        "empty named batch must adopt the label like the builder does"
+    );
+
+    // Sharded: batch 1's trajectories cannot cover every shard of a
+    // 7-shard store, so some shards see an empty-but-named sub-batch.
+    let policy = || Arc::new(ByTime { interval_s: 120 });
+    let offline = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .shard_by(policy(), 7)
+        .unwrap()
+        .ingest(&batches[0])
+        .unwrap()
+        .ingest(&batches[1])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let live = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .shard_by(policy(), 7)
+        .unwrap()
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    live.ingest(&batches[1]).unwrap();
+    let mut live_bytes = Vec::new();
+    live.write(&mut live_bytes).unwrap();
+    let mut offline_bytes = Vec::new();
+    offline.write(&mut offline_bytes).unwrap();
+    assert_eq!(
+        live_bytes, offline_bytes,
+        "shards with empty sub-batches must still adopt the batch name"
+    );
+}
+
+#[test]
+fn pinned_snapshot_keeps_pre_ingest_answers() {
+    let (net, batches) = batches(9, 43);
+    let p = params(&batches[0]);
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let pre_len = store.len();
+    let probe_id = batches[0].trajectories[0].id;
+    let times = store
+        .decode_times(store.traj_index(probe_id).unwrap())
+        .unwrap();
+    let mid = (times[0] + times[times.len() - 1]) / 2;
+    let bounds = net.bounding_rect();
+
+    // Pin the pre-ingest epoch and collect its ground truth.
+    let pinned = store.snapshot();
+    let pre_range = pinned
+        .range_query(&bounds, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    let full_where = pinned
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+
+    // Start a paginated walk on the pinned snapshot, one item per page,
+    // ingesting the remaining batches midway through the walk.
+    let mut walked = Vec::new();
+    let mut req = PageRequest::first(1);
+    let mut pages = 0;
+    loop {
+        let page = pinned.where_query(probe_id, mid, 0.0, req).unwrap();
+        walked.extend(page.items);
+        pages += 1;
+        if pages == 1 {
+            store.ingest(&batches[1]).unwrap();
+            store.ingest(&batches[2]).unwrap();
+        }
+        match page.next_cursor {
+            Some(c) => req = PageRequest::after(c, 1),
+            None => break,
+        }
+    }
+    assert_eq!(
+        walked, full_where,
+        "a walk on the pinned snapshot completes with pre-ingest answers"
+    );
+
+    // The pinned view still answers as of its epoch …
+    assert_eq!(pinned.len(), pre_len);
+    assert_eq!(
+        pinned
+            .range_query(&bounds, mid, 0.0, PageRequest::all())
+            .unwrap()
+            .into_items(),
+        pre_range
+    );
+    let new_id = batches[1].trajectories[0].id;
+    assert!(
+        pinned
+            .where_query(new_id, mid, 0.0, PageRequest::all())
+            .unwrap()
+            .items
+            .is_empty()
+            || pinned.traj_index(new_id).is_none(),
+        "the pinned snapshot must not know post-ingest trajectories"
+    );
+    assert!(pinned.traj_index(new_id).is_none());
+
+    // … while the store sees the new epoch.
+    assert_eq!(store.len(), 9);
+    assert!(store.traj_index(new_id).is_some());
+    let new_times = store
+        .decode_times(store.traj_index(new_id).unwrap())
+        .unwrap();
+    let new_mid = (new_times[0] + new_times[new_times.len() - 1]) / 2;
+    assert!(!store
+        .where_query(new_id, new_mid, 0.0, PageRequest::all())
+        .unwrap()
+        .items
+        .is_empty());
+}
+
+#[test]
+fn cursors_minted_before_ingest_stay_valid_after() {
+    let (net, batches) = batches(9, 44);
+    let p = params(&batches[0]);
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let probe_id = batches[0].trajectories[0].id;
+    let times = store
+        .decode_times(store.traj_index(probe_id).unwrap())
+        .unwrap();
+    let mid = (times[0] + times[times.len() - 1]) / 2;
+
+    let full = store
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    let page1 = store
+        .where_query(probe_id, mid, 0.0, PageRequest::first(1))
+        .unwrap();
+    let cursor = page1.next_cursor.expect("more than one instance");
+
+    store.ingest(&batches[1]).unwrap();
+
+    // The pre-ingest cursor resumes cleanly on the post-ingest store:
+    // appends cannot change an existing trajectory's answer.
+    let rest = store
+        .where_query(probe_id, mid, 0.0, PageRequest::after(cursor, 1024))
+        .unwrap();
+    let mut walked = page1.items;
+    walked.extend(rest.items);
+    assert_eq!(walked, full);
+}
+
+/// The loom-free concurrency stress test CI runs: reader threads hammer
+/// where/when/range against ids of the first batch (whose answers are
+/// invariant under append-only ingest) while the writer publishes the
+/// remaining batches; every answer must equal the pre-ingest baseline
+/// and nothing may error or deadlock.
+#[test]
+fn concurrent_ingest_and_queries_stress() {
+    let (net, all) = batches(12, 45);
+    let p = params(&all[0]);
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&all[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+
+    // Baselines for the first batch's trajectories.
+    struct Probe {
+        id: u64,
+        mid: i64,
+        edge: utcq::network::EdgeId,
+        where_hits: usize,
+        when_hits: usize,
+    }
+    let probes: Vec<Probe> = all[0]
+        .trajectories
+        .iter()
+        .map(|tu| {
+            let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+            let edge = tu.top_instance().path[0];
+            let where_hits = store
+                .where_query(tu.id, mid, 0.0, PageRequest::all())
+                .unwrap()
+                .items
+                .len();
+            let when_hits = store
+                .when_query(tu.id, edge, 0.5, 0.0, PageRequest::all())
+                .unwrap()
+                .items
+                .len();
+            Probe {
+                id: tu.id,
+                mid,
+                edge,
+                where_hits,
+                when_hits,
+            }
+        })
+        .collect();
+
+    let total: usize = all.iter().map(|b| b.trajectories.len()).sum();
+    std::thread::scope(|scope| {
+        let store = &store;
+        let probes = &probes;
+        let writer = scope.spawn(move || {
+            for batch in &all[1..] {
+                store.ingest(batch).unwrap();
+            }
+        });
+        for t in 0..4 {
+            scope.spawn(move || {
+                for round in 0..60 {
+                    let probe = &probes[(t * 13 + round) % probes.len()];
+                    let w = store
+                        .where_query(probe.id, probe.mid, 0.0, PageRequest::all())
+                        .unwrap();
+                    assert_eq!(w.items.len(), probe.where_hits, "id {}", probe.id);
+                    let n = store
+                        .when_query(probe.id, probe.edge, 0.5, 0.0, PageRequest::all())
+                        .unwrap();
+                    assert_eq!(n.items.len(), probe.when_hits, "id {}", probe.id);
+                    // Range answers grow monotonically but must always
+                    // contain every pre-ingest match they contained.
+                    let bounds = store.network().bounding_rect();
+                    let r = store
+                        .range_query(&bounds, probe.mid, 0.0, PageRequest::all())
+                        .unwrap();
+                    assert!(r.items.windows(2).all(|w| w[0] < w[1]), "ids ascend");
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(store.len(), total);
+}
+
+/// The same stress shape across the sharded facade: per-shard
+/// compression fan-out, facade republication, concurrent readers.
+#[test]
+fn concurrent_sharded_ingest_and_queries_stress() {
+    let (net, all) = batches(12, 46);
+    let p = params(&all[0]);
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .shard_by(Arc::new(ByTime { interval_s: 120 }), 3)
+        .unwrap()
+        .ingest(&all[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+
+    let first = &all[0].trajectories;
+    let baseline: Vec<(u64, i64, usize)> = first
+        .iter()
+        .map(|tu| {
+            let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+            let hits = store
+                .where_query(tu.id, mid, 0.0, PageRequest::all())
+                .unwrap()
+                .items
+                .len();
+            (tu.id, mid, hits)
+        })
+        .collect();
+
+    let total: usize = all.iter().map(|b| b.trajectories.len()).sum();
+    std::thread::scope(|scope| {
+        let store = &store;
+        let baseline = &baseline;
+        let writer = scope.spawn(move || {
+            for batch in &all[1..] {
+                store.ingest(batch).unwrap();
+            }
+        });
+        for t in 0..4 {
+            scope.spawn(move || {
+                for round in 0..60 {
+                    let (id, mid, hits) = baseline[(t * 7 + round) % baseline.len()];
+                    let w = store.where_query(id, mid, 0.0, PageRequest::all()).unwrap();
+                    assert_eq!(w.items.len(), hits, "id {id}");
+                    let bounds = store.network().bounding_rect();
+                    let r = store
+                        .range_query(&bounds, mid, 0.0, PageRequest::all())
+                        .unwrap();
+                    assert!(r.items.windows(2).all(|w| w[0] < w[1]));
+                }
+            });
+        }
+        writer.join().unwrap();
+    });
+    assert_eq!(store.len(), total);
+
+    // A consistent checkpoint taken after the dust settles reopens whole.
+    let mut bytes = Vec::new();
+    store.write(&mut bytes).unwrap();
+    assert_eq!(
+        ShardedStore::read(&mut bytes.as_slice()).unwrap().len(),
+        total
+    );
+}
+
+/// Epoch-keyed decode-cache entries: post-ingest queries repopulate
+/// under the new epoch and answers stay byte-identical to a cold store.
+#[test]
+fn cache_stays_correct_across_epochs() {
+    let (net, batches) = batches(9, 47);
+    let p = params(&batches[0]);
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let probe_id = batches[0].trajectories[0].id;
+    let times = store
+        .decode_times(store.traj_index(probe_id).unwrap())
+        .unwrap();
+    let mid = (times[0] + times[times.len() - 1]) / 2;
+
+    // Warm the epoch-0 cache, ingest, then query again: the epoch-1
+    // lookups miss (different keys) but answer identically.
+    let warm = store
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    store.ingest(&batches[1]).unwrap();
+    let after = store
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert_eq!(warm, after);
+
+    // Against a from-scratch store over both batches (cache cold), the
+    // answers are also identical.
+    let fresh = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .ingest(&batches[1])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let cold = fresh
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert_eq!(after, cold);
+}

@@ -115,10 +115,10 @@ impl Client {
 fn probe_requests(opened: &Opened) -> Vec<String> {
     let mut requests = Vec::new();
     let bounds = opened.network().bounding_rect();
-    for store in opened.stores() {
-        for j in 0..store.len() as u32 {
-            let ct = &store.compressed().trajectories[j as usize];
-            let times = store.decode_times(j).expect("decode times");
+    for snap in opened.snapshots() {
+        for j in 0..snap.len() as u32 {
+            let ct = &snap.compressed().trajectories[j as usize];
+            let times = snap.decode_times(j).expect("decode times");
             let mid = (times[0] + times[times.len() - 1]) / 2;
             requests.push(format!(
                 r#"{{"op":"where","traj":{},"t":{mid},"alpha":0}}"#,
@@ -323,6 +323,231 @@ fn oversized_request_is_rejected_and_the_connection_survives() {
     assert_eq!(resp, r#"{"id":1,"ok":true,"op":"ping"}"#);
 
     client.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+/// The probe trajectory the writable session ingests: trajectory 0 of
+/// the fixture dataset, re-identified and time-shifted out of every
+/// existing span, probabilities renormalized so the wire-level
+/// validation accepts the (lossily) decompressed copy.
+fn writable_probe() -> (utcq::traj::UncertainTrajectory, i64) {
+    let v2 = Store::open(fixture_path("tiny_v2.utcq")).expect("v2 fixture opens");
+    let snap = v2.snapshot();
+    let ds = utcq::core::decompress_dataset(snap.network(), snap.compressed())
+        .expect("fixture decompresses");
+    let mut tu = ds.trajectories[0].clone();
+    tu.id = 100;
+    for t in &mut tu.times {
+        *t += 7200;
+    }
+    let sum: f64 = tu.instances.iter().map(|i| i.prob).sum();
+    for inst in &mut tu.instances {
+        inst.prob /= sum;
+    }
+    let mid = (tu.times[0] + tu.times[tu.times.len() - 1]) / 2;
+    (tu, mid)
+}
+
+/// Serializes a trajectory into the `ingest` request shape of
+/// `PROTOCOL.md`.
+fn trajectory_json(tu: &utcq::traj::UncertainTrajectory) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, r#"{{"id":{},"times":["#, tu.id);
+    for (i, t) in tu.times.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str("],\"instances\":[");
+    for (w, inst) in tu.instances.iter().enumerate() {
+        if w > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, r#"{{"prob":{},"path":["#, inst.prob);
+        for (i, e) in inst.path.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", e.0);
+        }
+        out.push_str("],\"positions\":[");
+        for (i, p) in inst.positions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},{}]", p.path_idx, p.rd);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The deterministic writable session both the CI writable-serve smoke
+/// job and the tests below replay: ingest, query the new trajectory,
+/// hit the duplicate error path, shut down.
+fn writable_session_lines() -> Vec<String> {
+    let (tu, mid) = writable_probe();
+    let bounds = Store::open(fixture_path("tiny_v2.utcq"))
+        .unwrap()
+        .network()
+        .bounding_rect();
+    let tu_json = trajectory_json(&tu);
+    vec![
+        r#"{"id":1,"op":"ping"}"#.to_string(),
+        format!(r#"{{"id":2,"op":"ingest","name":"live","trajectories":[{tu_json}]}}"#),
+        format!(r#"{{"id":3,"op":"where","traj":100,"t":{mid},"alpha":0}}"#),
+        format!(
+            r#"{{"id":4,"op":"range","min_x":{},"min_y":{},"max_x":{},"max_y":{},"tq":{mid},"alpha":0,"limit":16}}"#,
+            bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y
+        ),
+        format!(r#"{{"id":5,"op":"ingest","trajectories":[{tu_json}]}}"#),
+        format!(r#"{{"id":6,"op":"where","traj":100,"t":{mid},"alpha":0,"limit":1}}"#),
+        r#"{"id":7,"op":"shutdown"}"#.to_string(),
+    ]
+}
+
+#[test]
+fn writable_session_fixture_stays_in_sync() {
+    // The CI writable smoke job replays the checked-in file; it must
+    // equal what this generator produces from the fixtures.
+    let generated = writable_session_lines().join("\n") + "\n";
+    let checked_in = std::fs::read_to_string(fixture_path("serve_session_writable.ndjson"))
+        .expect("writable session fixture exists");
+    assert_eq!(
+        checked_in, generated,
+        "regenerate with `cargo test --test serve -- --ignored regen_writable_session`"
+    );
+
+    // Pin the session's semantics offline (the writable executor).
+    let offline = open_fixture(3);
+    let replies: Vec<_> = writable_session_lines()
+        .iter()
+        .map(|l| wire::handle_line_writable(&offline, l))
+        .collect();
+    assert!(replies[0].line.contains(r#""op":"ping""#));
+    assert!(
+        replies[1]
+            .line
+            .contains(r#""op":"ingest","ingested":1,"total":11,"epoch":1"#),
+        "{}",
+        replies[1].line
+    );
+    assert!(
+        replies[2].line.contains(r#""op":"where","items":[{"#),
+        "the ingested trajectory answers: {}",
+        replies[2].line
+    );
+    assert!(
+        replies[3].line.contains(r#""op":"range","items":[100]"#),
+        "only the ingested trajectory lives at the shifted time: {}",
+        replies[3].line
+    );
+    assert!(
+        replies[4].line.contains(r#""code":"duplicate_trajectory""#),
+        "{}",
+        replies[4].line
+    );
+    assert!(replies[5].line.contains(r#""has_more":true"#));
+    assert!(replies[6].shutdown);
+}
+
+#[test]
+#[ignore = "writes tests/fixtures; run after intentional protocol/fixture changes"]
+fn regen_writable_session() {
+    let content = writable_session_lines().join("\n") + "\n";
+    std::fs::write(fixture_path("serve_session_writable.ndjson"), content).unwrap();
+}
+
+#[test]
+fn writable_server_matches_offline_ingest_replay_for_v2_and_v3() {
+    for version in [2u8, 3] {
+        let served = Arc::new(open_fixture(version));
+        let offline = open_fixture(version);
+        let server = Server::bind(Arc::clone(&served), "127.0.0.1:0", 2)
+            .expect("bind ephemeral port")
+            .writable(true);
+        let addr = server.local_addr();
+        let runner = ServerRunner(Some(std::thread::spawn(move || {
+            server.run().expect("server run")
+        })));
+        let mut client = Client::connect(addr);
+        for request in writable_session_lines() {
+            let online = client.roundtrip(&request);
+            let expected = wire::handle_line_writable(&offline, &request).line;
+            assert_eq!(online, expected, "v{version}: {request}");
+        }
+        // The session ends in shutdown; the server drains on its own.
+        runner.join();
+        // Both sides applied the ingest.
+        assert_eq!(served.len(), 11, "v{version}");
+        assert_eq!(offline.len(), 11, "v{version}");
+    }
+}
+
+#[test]
+fn read_only_server_rejects_ingest() {
+    let opened = Arc::new(open_fixture(3));
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 2);
+    let mut client = Client::connect(addr);
+    let (tu, _) = writable_probe();
+    let resp = client.roundtrip(&format!(
+        r#"{{"id":1,"op":"ingest","trajectories":[{}]}}"#,
+        trajectory_json(&tu)
+    ));
+    assert!(resp.contains(r#""code":"read_only""#), "{resp}");
+    assert_eq!(opened.len(), 10, "nothing was published");
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
+fn queries_never_block_while_a_writable_server_ingests() {
+    // Concurrency smoke at the serve layer: one connection streams
+    // ingest batches while others query; every query must answer with
+    // the same bytes it answered before the ingests started (probing a
+    // pre-ingested trajectory — append-only ingest cannot change it).
+    let served = Arc::new(open_fixture(3));
+    let server = Server::bind(Arc::clone(&served), "127.0.0.1:0", 4)
+        .expect("bind ephemeral port")
+        .writable(true);
+    let addr = server.local_addr();
+    let runner = ServerRunner(Some(std::thread::spawn(move || {
+        server.run().expect("server run")
+    })));
+
+    let probe = r#"{"op":"where","traj":0,"t":71582,"alpha":0}"#;
+    let baseline = Client::connect(addr).roundtrip(probe);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut w = Client::connect(addr);
+            let (mut tu, _) = writable_probe();
+            for k in 0..4 {
+                tu.id = 200 + k;
+                for t in &mut tu.times {
+                    *t += 600;
+                }
+                let resp = w.roundtrip(&format!(
+                    r#"{{"op":"ingest","trajectories":[{}]}}"#,
+                    trajectory_json(&tu)
+                ));
+                assert!(resp.contains(r#""ok":true"#), "{resp}");
+            }
+        });
+        for _ in 0..3 {
+            scope.spawn(|| {
+                let mut c = Client::connect(addr);
+                for _ in 0..20 {
+                    assert_eq!(c.roundtrip(probe), baseline);
+                }
+            });
+        }
+    });
+    assert_eq!(served.len(), 14);
+    Client::connect(addr).roundtrip(r#"{"op":"shutdown"}"#);
     runner.join();
 }
 
