@@ -1,0 +1,534 @@
+//! A structure-aware, seeded fuzzer for the two parse surfaces that
+//! face untrusted bytes: the binary container loaders
+//! (`utcq_core::storage`, `Store::open`/`Opened::open`) and the serve
+//! wire protocol (`wire::handle_line`).
+//!
+//! No external fuzzing engine (the workspace builds offline): the
+//! corpus is the checked-in fixtures under `tests/fixtures/`, the
+//! mutation engine is the workspace `rand` shim seeded from the CLI,
+//! and the contract under test is simple — **parsers return `Err` (or
+//! a protocol error line); they never panic**. Every iteration is
+//! reproducible from `(seed, iteration)` alone.
+//!
+//! Failures are minimized with a ddmin-style reducer and written to
+//! `tests/fuzz_regressions/`, where a checked-in test replays them
+//! forever after.
+
+use std::fs;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use rand::prelude::*;
+use utcq_core::wire::{self, Json};
+use utcq_core::Opened;
+
+use crate::quiet::with_quiet_panics;
+
+/// Fuzzer parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzOpts {
+    /// Mutated inputs to execute.
+    pub iters: u64,
+    /// Master seed; `(seed, iteration)` fully determines each input.
+    pub seed: u64,
+    /// Where to write minimized failing inputs (skipped when `None`).
+    pub regressions_dir: Option<PathBuf>,
+    /// Stop after this many distinct failures.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        Self {
+            iters: 10_000,
+            seed: 0xC0FFEE,
+            regressions_dir: None,
+            max_failures: 8,
+        }
+    }
+}
+
+/// One input that made a parser panic.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Which harness: `container` or `wire`.
+    pub target: &'static str,
+    /// The panic message.
+    pub message: String,
+    /// Iteration that produced it (with the master seed, replays it).
+    pub iteration: u64,
+    /// Size of the minimized reproducer.
+    pub minimized_len: usize,
+    /// Where the reproducer was written, if a directory was given.
+    pub path: Option<PathBuf>,
+}
+
+/// The result of a fuzz run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iters: u64,
+    /// Corpus seeds loaded (containers + lines).
+    pub corpus: usize,
+    /// Panics found (empty on a healthy run).
+    pub failures: Vec<Failure>,
+}
+
+/// The seed corpus plus the long-lived query target mutated requests
+/// are executed against.
+pub struct Fixtures {
+    containers: Vec<Vec<u8>>,
+    lines: Vec<String>,
+    opened: Opened,
+    scratch: PathBuf,
+}
+
+impl Fixtures {
+    /// Loads the corpus from `tests/fixtures/` under `repo_root`.
+    pub fn load(repo_root: &Path) -> io::Result<Self> {
+        let dir = repo_root.join("tests/fixtures");
+        let mut containers = Vec::new();
+        for name in ["tiny_v1.utcq", "tiny_v2.utcq", "tiny_v3.utcq"] {
+            containers.push(fs::read(dir.join(name))?);
+        }
+        let mut lines: Vec<String> = Vec::new();
+        for name in ["serve_session.ndjson", "serve_session_writable.ndjson"] {
+            let text = fs::read_to_string(dir.join(name))?;
+            lines.extend(
+                text.lines()
+                    .map(str::trim)
+                    .filter(|l| !l.is_empty())
+                    .map(String::from),
+            );
+        }
+        // A few canonical shapes the sessions may not cover.
+        lines.push(
+            r#"{"op":"range","rect":[0,0,1000,1000],"t":70000,"alpha":0.1,"limit":3}"#.into(),
+        );
+        lines.push(r#"{"op":"when","traj":0,"edge":1,"d":10.5,"alpha":0}"#.into());
+        lines.push(r#"{"op":"stats"}"#.into());
+        let opened = Opened::open(dir.join("tiny_v2.utcq"))
+            .map_err(|e| io::Error::other(format!("open tiny_v2 fixture: {e}")))?;
+        let scratch = std::env::temp_dir().join(format!(
+            "utcq-audit-fuzz-{}-{:x}.utcq",
+            std::process::id(),
+            &containers as *const _ as usize
+        ));
+        Ok(Self {
+            containers,
+            lines,
+            opened,
+            scratch,
+        })
+    }
+
+    fn corpus_len(&self) -> usize {
+        self.containers.len() + self.lines.len()
+    }
+}
+
+impl Drop for Fixtures {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.scratch);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harnesses: run a candidate input through every parser that should
+// reject it gracefully. The contract is "no panic"; return values are
+// deliberately ignored.
+
+fn container_harness(fx: &Fixtures, bytes: &[u8]) {
+    let _ = utcq_core::storage::load(&mut &bytes[..]);
+    let _ = utcq_core::storage::load_v2(&mut &bytes[..]);
+    let _ = utcq_core::storage::load_v3(&mut &bytes[..]);
+    // The full open path (header sniffing, snapshot build) via the
+    // facade; a scratch file because `open` takes a path.
+    if fs::write(&fx.scratch, bytes).is_ok() {
+        let _ = Opened::open(&fx.scratch);
+    }
+}
+
+fn wire_harness(fx: &Fixtures, bytes: &[u8]) {
+    let Ok(line) = std::str::from_utf8(bytes) else {
+        return; // requests are lines of text by construction
+    };
+    let _ = Json::parse(line);
+    let _ = wire::handle_line(&fx.opened, line);
+}
+
+fn runs_clean(fx: &Fixtures, target: &str, bytes: &[u8]) -> Result<(), String> {
+    let r = catch_unwind(AssertUnwindSafe(|| match target {
+        "container" => container_harness(fx, bytes),
+        _ => wire_harness(fx, bytes),
+    }));
+    r.map_err(crate::quiet::payload_msg)
+}
+
+// ---------------------------------------------------------------------
+// Mutation engine.
+
+/// Huge decimal strings that overflow u64/i64/f64-exactness when a
+/// field is swapped for one (cursor fields travel as decimal strings).
+const HUGE_DECIMALS: &[&str] = &[
+    "9223372036854775808",                     // 2^63
+    "18446744073709551615",                    // 2^64 - 1
+    "18446744073709551616",                    // 2^64
+    "340282366920938463463374607431768211456", // 2^128
+    "-9223372036854775809",
+];
+
+fn mutate_bytes(rng: &mut StdRng, data: &mut Vec<u8>) {
+    if data.is_empty() {
+        data.extend_from_slice(b"\x00");
+        return;
+    }
+    match rng.gen_range(0u32..7) {
+        0 => {
+            // Flip one bit.
+            let i = rng.gen_range(0..data.len());
+            data[i] ^= 1 << rng.gen_range(0u32..8);
+        }
+        1 => {
+            // Overwrite one byte.
+            let i = rng.gen_range(0..data.len());
+            data[i] = (rng.gen::<u32>() & 0xFF) as u8;
+        }
+        2 => {
+            // Truncate.
+            data.truncate(rng.gen_range(0..data.len()));
+        }
+        3 => {
+            // Zero a range.
+            let i = rng.gen_range(0..data.len());
+            let j = (i + rng.gen_range(1..64usize)).min(data.len());
+            for b in &mut data[i..j] {
+                *b = 0;
+            }
+        }
+        4 => {
+            // Corrupt a little-endian length-looking field: huge or
+            // sign-flipped values provoke over-allocation bugs.
+            let width = if rng.gen_bool(0.5) { 4 } else { 8 };
+            if data.len() > width {
+                let i = rng.gen_range(0..data.len() - width);
+                let v: u64 = if rng.gen_bool(0.5) {
+                    u64::MAX
+                } else {
+                    rng.gen::<u64>()
+                };
+                data[i..i + width].copy_from_slice(&v.to_le_bytes()[..width]);
+            }
+        }
+        5 => {
+            // Duplicate a chunk (messes with element counts).
+            let i = rng.gen_range(0..data.len());
+            let j = (i + rng.gen_range(1..32usize)).min(data.len());
+            let chunk: Vec<u8> = data[i..j].to_vec();
+            let at = rng.gen_range(0..=data.len());
+            data.splice(at..at, chunk);
+        }
+        _ => {
+            // Insert random bytes.
+            let at = rng.gen_range(0..=data.len());
+            let n = rng.gen_range(1..16usize);
+            let junk: Vec<u8> = (0..n).map(|_| (rng.gen::<u32>() & 0xFF) as u8).collect();
+            data.splice(at..at, junk);
+        }
+    }
+}
+
+fn mutate_line(rng: &mut StdRng, line: &mut String) {
+    match rng.gen_range(0u32..6) {
+        0 => {
+            // Swap a number (or any digit run) for a huge decimal.
+            let digits: Vec<(usize, usize)> = digit_runs(line);
+            if let Some(&(start, end)) = pick(rng, &digits) {
+                let huge = HUGE_DECIMALS[rng.gen_range(0..HUGE_DECIMALS.len())];
+                line.replace_range(start..end, huge);
+            }
+        }
+        1 => {
+            // Duplicate a top-level-ish "key":value segment.
+            let commas: Vec<usize> = line
+                .char_indices()
+                .filter(|&(_, c)| c == ',')
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&cut) = pick(rng, &commas) {
+                let end = line[cut + 1..]
+                    .find([',', '}'])
+                    .map_or(line.len(), |e| cut + 1 + e);
+                let segment = line[cut..end].to_string();
+                line.insert_str(cut, &segment);
+            }
+        }
+        2 => {
+            // Rename a key by mangling a letter inside quotes.
+            let letters: Vec<usize> = line
+                .char_indices()
+                .filter(|&(i, c)| c.is_ascii_lowercase() && line[..i].matches('"').count() % 2 == 1)
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&i) = pick(rng, &letters) {
+                let c = (b'a' + (rng.gen::<u32>() % 26) as u8) as char;
+                line.replace_range(i..i + 1, &c.to_string());
+            }
+        }
+        3 => {
+            // Deep nesting around the JSON depth limit.
+            let depth = rng.gen_range(100..200usize);
+            let mut nested = String::with_capacity(depth * 2 + 32);
+            nested.push_str("{\"op\":\"where\",\"traj\":");
+            for _ in 0..depth {
+                nested.push('[');
+            }
+            nested.push('1');
+            for _ in 0..depth {
+                nested.push(']');
+            }
+            nested.push('}');
+            *line = nested;
+        }
+        4 => {
+            // Oversize the line past MAX_REQUEST_BYTES.
+            let pad = wire::MAX_REQUEST_BYTES + rng.gen_range(1..4096usize);
+            let mut big = line.clone();
+            big.reserve(pad);
+            while big.len() <= pad {
+                big.push(' ');
+            }
+            *line = big;
+        }
+        _ => {
+            // Fall back to byte-level damage, repaired into UTF-8.
+            let mut bytes = line.clone().into_bytes();
+            mutate_bytes(rng, &mut bytes);
+            *line = String::from_utf8_lossy(&bytes).into_owned();
+        }
+    }
+}
+
+fn digit_runs(s: &str) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = None;
+    for (i, c) in s.char_indices() {
+        match (c.is_ascii_digit(), start) {
+            (true, None) => start = Some(i),
+            (false, Some(st)) => {
+                runs.push((st, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(st) = start {
+        runs.push((st, s.len()));
+    }
+    runs
+}
+
+fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(0..xs.len())]) // bounds: non-empty checked
+    }
+}
+
+/// Builds the input for `(seed, iteration)` — the whole run replays
+/// from these two numbers.
+fn build_input(fx: &Fixtures, seed: u64, iteration: u64) -> (&'static str, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let rounds = rng.gen_range(1..=4usize);
+    if rng.gen_bool(0.5) {
+        let base = &fx.containers[rng.gen_range(0..fx.containers.len())]; // bounds: three fixtures always load
+        let mut bytes = base.clone();
+        for _ in 0..rounds {
+            mutate_bytes(&mut rng, &mut bytes);
+        }
+        ("container", bytes)
+    } else {
+        let base = &fx.lines[rng.gen_range(0..fx.lines.len())]; // bounds: fixture sessions are non-empty
+        let mut line = base.clone();
+        for _ in 0..rounds {
+            mutate_line(&mut rng, &mut line);
+        }
+        ("wire", line.into_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimization: ddmin-lite. Repeatedly delete chunks (halving the
+// chunk size) while the input still panics, bounded by a fixed budget
+// of harness executions.
+
+fn minimize(fx: &Fixtures, target: &str, input: &[u8]) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    let mut budget = 2_000usize;
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 && budget > 0 {
+        let mut i = 0;
+        let mut shrunk = false;
+        while i < cur.len() && budget > 0 {
+            let mut candidate = Vec::with_capacity(cur.len());
+            candidate.extend_from_slice(&cur[..i]);
+            candidate.extend_from_slice(&cur[(i + chunk).min(cur.len())..]);
+            budget -= 1;
+            if !candidate.is_empty() && runs_clean(fx, target, &candidate).is_err() {
+                cur = candidate;
+                shrunk = true;
+                // Same offset again: the next chunk slid into place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 && !shrunk {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    cur
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs the fuzzer. Deterministic for a given `(corpus, opts)`.
+pub fn run(fx: &Fixtures, opts: &FuzzOpts) -> io::Result<FuzzReport> {
+    let mut report = FuzzReport {
+        corpus: fx.corpus_len(),
+        ..FuzzReport::default()
+    };
+    let mut seen_messages: Vec<String> = Vec::new();
+    with_quiet_panics(|| {
+        for i in 0..opts.iters {
+            let (target, input) = build_input(fx, opts.seed, i);
+            report.iters += 1;
+            let Err(message) = runs_clean(fx, target, &input) else {
+                continue;
+            };
+            // Dedup by panic message so one bug doesn't flood the run.
+            if seen_messages.contains(&message) {
+                continue;
+            }
+            seen_messages.push(message.clone());
+            let minimized = minimize(fx, target, &input);
+            let path = match &opts.regressions_dir {
+                Some(dir) => {
+                    fs::create_dir_all(dir)?;
+                    let name = format!("{target}-{:016x}.bin", fnv1a(&minimized));
+                    let p = dir.join(name);
+                    fs::write(&p, &minimized)?;
+                    Some(p)
+                }
+                None => None,
+            };
+            report.failures.push(Failure {
+                target,
+                message,
+                iteration: i,
+                minimized_len: minimized.len(),
+                path,
+            });
+            if report.failures.len() >= opts.max_failures {
+                break;
+            }
+        }
+        Ok(())
+    })
+    .map(|()| report)
+}
+
+/// Replays every `*.bin` under `dir` (the regression corpus); returns
+/// the inputs that still panic. An empty result is the healthy state.
+pub fn replay_dir(fx: &Fixtures, dir: &Path) -> io::Result<Vec<Failure>> {
+    let mut failures = Vec::new();
+    if !dir.exists() {
+        return Ok(failures);
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    entries.sort();
+    with_quiet_panics(|| {
+        for p in entries {
+            let bytes = fs::read(&p)?;
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            let target = if name.starts_with("container-") {
+                "container"
+            } else {
+                "wire"
+            };
+            if let Err(message) = runs_clean(fx, target, &bytes) {
+                failures.push(Failure {
+                    target,
+                    message,
+                    iteration: 0,
+                    minimized_len: bytes.len(),
+                    path: Some(p),
+                });
+            }
+        }
+        Ok(())
+    })
+    .map(|()| failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixtures() -> Fixtures {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        Fixtures::load(&root).expect("fixture corpus")
+    }
+
+    #[test]
+    fn inputs_are_reproducible_from_seed_and_iteration() {
+        let fx = fixtures();
+        for i in [0, 1, 17, 4096] {
+            let a = build_input(&fx, 0xC0FFEE, i);
+            let b = build_input(&fx, 0xC0FFEE, i);
+            assert_eq!(a, b);
+        }
+        let (_, a) = build_input(&fx, 1, 0);
+        let (_, b) = build_input(&fx, 2, 0);
+        assert_ne!(a, b, "different seeds must differ");
+    }
+
+    #[test]
+    fn pristine_fixtures_run_clean() {
+        let fx = fixtures();
+        for (i, c) in fx.containers.clone().iter().enumerate() {
+            assert!(runs_clean(&fx, "container", c).is_ok(), "fixture {i}");
+        }
+        for l in fx.lines.clone() {
+            assert!(runs_clean(&fx, "wire", l.as_bytes()).is_ok(), "{l}");
+        }
+    }
+
+    #[test]
+    fn smoke_run_is_deterministic_and_panic_free() {
+        let fx = fixtures();
+        let opts = FuzzOpts {
+            iters: 300,
+            seed: 0xC0FFEE,
+            regressions_dir: None,
+            max_failures: 8,
+        };
+        let r1 = run(&fx, &opts).unwrap();
+        assert_eq!(r1.iters, 300);
+        if let Some(f) = r1.failures.first() {
+            panic!("fuzzer found a panic: [{}] {}", f.target, f.message);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline correctness tooling for the UTCQ workspace — three engines
+//! behind one `utcq audit` CLI subcommand, all built on `std` plus the
+//! workspace shims (nothing to download, nothing nondeterministic):
+//!
+//! * [`sched`] — a miniature loom/CHESS-style **model checker**:
+//!   virtual threads yield at the `utcq_core::hooks` instrumentation
+//!   points, and a DFS explorer enumerates every interleaving up to a
+//!   preemption bound, checking the store's epoch-swap and serve
+//!   shutdown protocols.
+//! * [`fuzz`] — a **structure-aware fuzzer** over the checked-in
+//!   container and wire-protocol fixtures: seeded byte- and
+//!   grammar-level mutations, with the contract that parsers return
+//!   errors and never panic; failures are minimized into
+//!   `tests/fuzz_regressions/`.
+//! * [`lint`] — a **custom token-level lint** for the core's hot-path
+//!   modules: no panic paths, no unjustified indexing, no lock held
+//!   across a decode-cache call, every cache key carries an epoch.
+//!
+//! `docs/CORRECTNESS.md` at the repository root explains how the three
+//! fit together and how CI runs them.
+
+pub mod fuzz;
+pub mod lint;
+pub mod quiet;
+pub mod sched;

@@ -1,0 +1,35 @@
+//! Process-global panic-hook management shared by the checker and the
+//! fuzzer: both provoke panics on purpose (caught with
+//! `catch_unwind`), and the default hook would spray backtraces over
+//! the report. One lock serializes hook swaps so concurrent test
+//! threads cannot clobber each other's hooks.
+
+use std::panic;
+use std::sync::Mutex;
+
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with panics silenced (hook replaced by a no-op), restoring
+/// the previous hook afterwards.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let _g = match HOOK_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let old = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    panic::set_hook(old);
+    r
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+pub fn payload_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}

@@ -1,0 +1,1013 @@
+//! A miniature deterministic model checker for the store's
+//! concurrency protocols, in the spirit of `loom` (shipped in-tree —
+//! the workspace builds offline).
+//!
+//! Virtual threads are plain OS threads gated so that **exactly one
+//! runs at a time**; they hand control over at explicit yield points —
+//! the `utcq_core::hooks::point` instrumentation compiled in by the
+//! core's `audit` feature, or direct [`point`] calls in modelled code.
+//! A schedule is the sequence of "which thread runs next" choices made
+//! at those points. The explorer enumerates schedules by depth-first
+//! search over a replayed choice prefix, bounded by the number of
+//! *preemptions* (choices that switch away from a thread that could
+//! have continued) — the classic CHESS result is that almost all
+//! concurrency bugs surface within two or three preemptions, so a
+//! small bound buys near-exhaustive coverage at a tractable cost.
+//!
+//! Determinism is the point: a reported violation carries the exact
+//! schedule that produced it, and replaying that schedule reproduces
+//! the failure every time.
+//!
+//! ## Placement rule for yield points
+//!
+//! A yield point must never sit inside a *contended* critical section:
+//! a virtual thread suspended while holding a `std` lock would
+//! deadlock any scheduled thread that then takes the same lock (the
+//! scheduler detects and reports this as a stall rather than hanging).
+//! The hooks in `utcq_core` observe this rule — they bracket lock
+//! acquisitions from outside, and the only lock held across a point
+//! (the store's writer mutex) is taken by exactly one modelled thread.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once};
+use std::time::Duration;
+
+/// Payload used to unwind virtual threads when a run is abandoned
+/// (deadlock or replay divergence); never reported as a violation.
+const ABORT: &str = "utcq-audit-sched-abort";
+
+/// How long the driver waits without progress before declaring the
+/// schedule stalled (a real deadlock, or a blocked virtual thread).
+const STALL: Duration = Duration::from_secs(10);
+
+/// Hard cap on choices in one schedule; past it the run is reported
+/// as a livelock instead of spinning forever.
+const MAX_TRACE: usize = 100_000;
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedOpts {
+    /// Maximum preemptive context switches per schedule (CHESS-style
+    /// bound; non-preemptive switches at thread exit are free).
+    pub preemption_bound: usize,
+    /// Stop after this many schedules even if the space is larger.
+    pub max_schedules: usize,
+}
+
+impl Default for SchedOpts {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 4,
+            max_schedules: 1_000,
+        }
+    }
+}
+
+/// One interleaving's worth of work: the virtual threads to run, plus
+/// an optional quiescence check executed after every thread finished.
+pub struct Scenario {
+    /// The virtual threads. Index = thread id in schedules/traces.
+    pub threads: Vec<Box<dyn FnOnce() + Send + 'static>>,
+    /// Runs on the driver after all threads join — for invariants that
+    /// only hold at quiescence. A panic here is a violation.
+    pub finale: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+/// A failed schedule: what broke and exactly how to replay it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The panic/assertion message.
+    pub message: String,
+    /// The choice sequence to replay (thread id per yield point).
+    pub schedule: Vec<usize>,
+    /// Human-readable trace: one `t<id> @ label` entry per choice.
+    pub trace: Vec<String>,
+}
+
+/// The result of exploring one scenario.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Scenario name (for reporting).
+    pub name: String,
+    /// Distinct schedules executed.
+    pub schedules: usize,
+    /// True when the bounded schedule space was fully enumerated.
+    pub exhausted: bool,
+    /// The first violation found, if any (exploration stops there).
+    pub violation: Option<Violation>,
+}
+
+#[derive(Clone, Debug)]
+struct Choice {
+    chosen: usize,
+    enabled: Vec<usize>,
+    prev: Option<usize>,
+    preemption: bool,
+    label: &'static str,
+}
+
+struct State {
+    n: usize,
+    registered: usize,
+    current: Option<usize>,
+    finished: Vec<bool>,
+    finished_count: usize,
+    prefix: Vec<usize>,
+    trace: Vec<Choice>,
+    violation: Option<String>,
+    aborted: bool,
+}
+
+struct Shared {
+    mu: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn new(n: usize, prefix: Vec<usize>) -> Self {
+        Shared {
+            mu: Mutex::new(State {
+                n,
+                registered: 0,
+                current: None,
+                finished: vec![false; n],
+                finished_count: 0,
+                prefix,
+                trace: Vec::new(),
+                violation: None,
+                aborted: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        match self.mu.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// First call of every virtual thread: report in, then wait to be
+    /// scheduled. The last thread to register makes the first choice.
+    fn enter(&self, t: usize) {
+        let mut st = self.lock();
+        st.registered += 1;
+        if st.registered == st.n {
+            choose(&mut st, None, "start");
+        }
+        self.cv.notify_all();
+        self.wait_for_turn(st, t);
+    }
+
+    /// A yield point: pick who runs next; park if it is not us.
+    fn yield_point(&self, t: usize, label: &'static str) {
+        let mut st = self.lock();
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(ABORT);
+        }
+        choose(&mut st, Some(t), label);
+        if st.current == Some(t) {
+            return;
+        }
+        self.cv.notify_all();
+        self.wait_for_turn(st, t);
+    }
+
+    fn wait_for_turn(&self, mut st: std::sync::MutexGuard<'_, State>, t: usize) {
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(ABORT);
+            }
+            if st.current == Some(t) {
+                return;
+            }
+            st = match self.cv.wait_timeout(st, Duration::from_millis(100)) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
+    /// Last call of every virtual thread (normal return or panic):
+    /// mark finished and hand control to a remaining thread.
+    fn finish(&self, t: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.finished[t] = true;
+        st.finished_count += 1;
+        if let Some(m) = panic_msg {
+            if m != ABORT && st.violation.is_none() {
+                st.violation = Some(m);
+            }
+        }
+        if st.finished_count < st.n && !st.aborted && st.violation.is_none() {
+            choose(&mut st, Some(t), "exit");
+        } else {
+            st.current = None;
+            // A violation ends the run: release every parked thread.
+            if st.violation.is_some() {
+                st.aborted = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Driver side: wait for all threads to finish; on a stall, mark
+    /// the run aborted (parked threads unwind, stuck ones are leaked —
+    /// exploration stops right after, so at most once per audit run).
+    fn wait_done(&self) -> bool {
+        let mut st = self.lock();
+        let mut last_progress = (st.registered, st.finished_count, st.trace.len());
+        let mut stalled_for = Duration::ZERO;
+        loop {
+            if st.finished_count == st.n {
+                return true;
+            }
+            let before = std::time::Instant::now();
+            st = match self.cv.wait_timeout(st, Duration::from_millis(100)) {
+                Ok((g, _)) => g,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+            let progress = (st.registered, st.finished_count, st.trace.len());
+            if progress != last_progress {
+                last_progress = progress;
+                stalled_for = Duration::ZERO;
+            } else {
+                stalled_for += before.elapsed();
+                if stalled_for >= STALL {
+                    if st.violation.is_none() {
+                        st.violation = Some(format!(
+                            "schedule stalled: no progress for {STALL:?} \
+                             (deadlock, or a virtual thread blocked on a real lock)"
+                        ));
+                    }
+                    st.aborted = true;
+                    self.cv.notify_all();
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// The default extension policy and the DFS alternative order share
+/// this: the previously running thread first (run to completion —
+/// zero preemptions), then the rest by ascending id.
+fn alt_order(prev: Option<usize>, enabled: &[usize]) -> Vec<usize> {
+    let default = match prev {
+        Some(p) if enabled.contains(&p) => p,
+        _ => enabled[0], // bounds: choose() never runs with an empty enabled set
+    };
+    let mut order = vec![default];
+    order.extend(enabled.iter().copied().filter(|&e| e != default));
+    order
+}
+
+fn choose(st: &mut State, prev: Option<usize>, label: &'static str) {
+    let enabled: Vec<usize> = (0..st.n).filter(|&t| !st.finished[t]).collect();
+    if enabled.is_empty() {
+        st.current = None;
+        return;
+    }
+    if st.trace.len() >= MAX_TRACE {
+        if st.violation.is_none() {
+            st.violation = Some(format!("livelock: more than {MAX_TRACE} scheduling points"));
+        }
+        st.aborted = true;
+        return;
+    }
+    let order = alt_order(prev, &enabled);
+    let chosen = if st.trace.len() < st.prefix.len() {
+        let want = st.prefix[st.trace.len()];
+        if enabled.contains(&want) {
+            want
+        } else {
+            // Replay divergence would mean the scenario is
+            // nondeterministic; surface it loudly instead of exploring
+            // garbage.
+            if st.violation.is_none() {
+                st.violation = Some(format!(
+                    "replay divergence: schedule wants t{want} at step {} \
+                     but enabled set is {enabled:?}",
+                    st.trace.len()
+                ));
+            }
+            st.aborted = true;
+            return;
+        }
+    } else {
+        order[0] // bounds: alt_order returns at least the default
+    };
+    let preemption = matches!(prev, Some(p) if !st.finished[p] && chosen != p);
+    st.trace.push(Choice {
+        chosen,
+        enabled,
+        prev,
+        preemption,
+        label,
+    });
+    st.current = Some(chosen);
+}
+
+/// The deepest-first next prefix to explore, or `None` when the
+/// bounded space is exhausted.
+fn next_prefix(trace: &[Choice], bound: usize) -> Option<Vec<usize>> {
+    // preemptions_before[i] = preemptions among choices 0..i
+    let mut pre = Vec::with_capacity(trace.len() + 1);
+    pre.push(0usize);
+    for c in trace {
+        // bounds: pushed one entry per iteration, last() always present
+        let last = *pre.last().unwrap_or(&0);
+        pre.push(last + usize::from(c.preemption));
+    }
+    for i in (0..trace.len()).rev() {
+        let c = &trace[i]; // bounds: i < trace.len() by the loop range
+        let order = alt_order(c.prev, &c.enabled);
+        let Some(cur) = order.iter().position(|&x| x == c.chosen) else {
+            continue;
+        };
+        for &alt in &order[cur + 1..] {
+            // bounds: cur < order.len() from position()
+            let is_pre = matches!(c.prev, Some(p) if p != alt && c.enabled.contains(&p));
+            if pre[i] + usize::from(is_pre) <= bound {
+                // bounds: pre has trace.len()+1 entries, i < trace.len()
+                let mut p: Vec<usize> = trace[..i].iter().map(|c| c.chosen).collect();
+                p.push(alt);
+                return Some(p);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Hook plumbing: route `utcq_core::hooks::point` calls made on
+// registered virtual threads into the scheduler; every other thread
+// (the driver, `par_run` workers, ordinary tests) no-ops.
+
+thread_local! {
+    static VT: std::cell::RefCell<Option<(Arc<Shared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn dispatch(label: &'static str) {
+    // Clone out of the TLS slot before parking: yield_point blocks for
+    // arbitrarily long and must not hold the RefCell borrow.
+    let ctx = VT.with(|v| v.borrow().clone());
+    if let Some((sh, t)) = ctx {
+        sh.yield_point(t, label);
+    }
+}
+
+fn ensure_hooks_installed() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| utcq_core::hooks::install(dispatch));
+}
+
+/// An explicit yield point for modelled (non-core) code — mock
+/// protocol models call this directly. No-op outside a virtual
+/// thread, exactly like the core's instrumented points.
+pub fn point(label: &'static str) {
+    dispatch(label);
+}
+
+fn run_once(prefix: &[usize], factory: &dyn Fn() -> Scenario) -> (Vec<Choice>, Option<String>) {
+    let scenario = factory();
+    let n = scenario.threads.len();
+    let shared = Arc::new(Shared::new(n, prefix.to_vec()));
+    let mut handles = Vec::with_capacity(n);
+    for (t, f) in scenario.threads.into_iter().enumerate() {
+        let sh = Arc::clone(&shared);
+        let h = std::thread::Builder::new()
+            .name(format!("vthread-{t}"))
+            .spawn(move || {
+                VT.with(|v| *v.borrow_mut() = Some((Arc::clone(&sh), t)));
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    sh.enter(t);
+                    f();
+                }));
+                VT.with(|v| *v.borrow_mut() = None);
+                sh.finish(t, r.err().map(crate::quiet::payload_msg));
+            })
+            .expect("spawn virtual thread");
+        handles.push(h);
+    }
+    let clean = shared.wait_done();
+    if clean {
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+    // On a stall the stuck threads are intentionally leaked (joining
+    // would hang); exploration stops at the violation either way.
+    let mut st = shared.lock();
+    let violation = st.violation.take();
+    let trace = std::mem::take(&mut st.trace);
+    drop(st);
+    if violation.is_none() {
+        if let Some(finale) = scenario.finale {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(finale)) {
+                return (
+                    trace,
+                    Some(format!("finale: {}", crate::quiet::payload_msg(p))),
+                );
+            }
+        }
+        return (trace, None);
+    }
+    (trace, violation)
+}
+
+/// Explores `factory`'s scenario under `opts`, depth-first over the
+/// preemption-bounded schedule space. Deterministic: same scenario,
+/// same options → same schedules in the same order.
+pub fn explore(name: &str, opts: SchedOpts, factory: &dyn Fn() -> Scenario) -> Outcome {
+    ensure_hooks_installed();
+    crate::quiet::with_quiet_panics(|| {
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut schedules = 0usize;
+        loop {
+            let (trace, violation) = run_once(&prefix, factory);
+            schedules += 1;
+            if let Some(message) = violation {
+                let schedule = trace.iter().map(|c| c.chosen).collect();
+                let trace = trace
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "t{} @ {}{}",
+                            c.chosen,
+                            c.label,
+                            if c.preemption { "  [preempt]" } else { "" }
+                        )
+                    })
+                    .collect();
+                return Outcome {
+                    name: name.to_string(),
+                    schedules,
+                    exhausted: false,
+                    violation: Some(Violation {
+                        message,
+                        schedule,
+                        trace,
+                    }),
+                };
+            }
+            if schedules >= opts.max_schedules {
+                return Outcome {
+                    name: name.to_string(),
+                    schedules,
+                    exhausted: false,
+                    violation: None,
+                };
+            }
+            match next_prefix(&trace, opts.preemption_bound) {
+                Some(p) => prefix = p,
+                None => {
+                    return Outcome {
+                        name: name.to_string(),
+                        schedules,
+                        exhausted: true,
+                        violation: None,
+                    }
+                }
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Scenarios.
+
+use std::sync::OnceLock;
+use utcq_core::snapshot::Swap;
+use utcq_core::store::StoreBuilder;
+use utcq_core::{CompressParams, ShardedStore, Store};
+use utcq_traj::Dataset;
+
+/// The shared tiny dataset: generated once, split into an initial
+/// cohort and an ingest batch with disjoint trajectory ids.
+fn tiny_batches() -> &'static (Arc<utcq_network::RoadNetwork>, Dataset, Dataset) {
+    static DATA: OnceLock<(Arc<utcq_network::RoadNetwork>, Dataset, Dataset)> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let (net, mut a) = utcq_datagen::generate(&utcq_datagen::profile::tiny(), 4, 11);
+        let mut b = a.clone();
+        b.trajectories = a.trajectories.split_off(2);
+        (Arc::new(net), a, b)
+    })
+}
+
+fn build_store() -> Arc<Store> {
+    let (net, a, _) = tiny_batches();
+    let store = StoreBuilder::new(
+        Arc::clone(net),
+        CompressParams::with_interval(a.default_interval),
+    )
+    .ingest(a)
+    .and_then(|b| b.finish())
+    .expect("build tiny store");
+    Arc::new(store)
+}
+
+fn build_sharded() -> Arc<ShardedStore> {
+    let (net, a, _) = tiny_batches();
+    let store = StoreBuilder::new(
+        Arc::clone(net),
+        CompressParams::with_interval(a.default_interval),
+    )
+    .shard_by(Arc::new(utcq_core::ByTime::default()), 2)
+    .and_then(|b| b.ingest(a))
+    .and_then(|b| b.finish())
+    .expect("build tiny sharded store");
+    Arc::new(store)
+}
+
+/// Pinned snapshots are immutable and epochs only move forward, even
+/// with an ingest racing the reader.
+pub fn store_pin_vs_ingest() -> Scenario {
+    let store = build_store();
+    let (_, _, b) = tiny_batches();
+    let new_ids: Vec<u64> = b.trajectories.iter().map(|t| t.id).collect();
+    let writer = {
+        let store = Arc::clone(&store);
+        let b = b.clone();
+        Box::new(move || {
+            store.ingest(&b).expect("ingest batch");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = Box::new(move || {
+        let pinned = store.snapshot();
+        let e1 = pinned.epoch();
+        let len1 = pinned.len();
+        // Which of the batch's ids the pin already sees (it may see all
+        // of them — the pin can land after the writer published).
+        let had: Vec<bool> = new_ids
+            .iter()
+            .map(|&id| pinned.traj_index(id).is_some())
+            .collect();
+        // Interleaves with the writer's prepare/publish...
+        let s2 = store.snapshot();
+        assert!(
+            s2.epoch() >= e1,
+            "epoch went backwards: {} then {}",
+            e1,
+            s2.epoch()
+        );
+        assert!(s2.len() >= len1, "published snapshot lost trajectories");
+        // ...but the pinned snapshot must be exactly what it was.
+        assert_eq!(pinned.epoch(), e1, "pinned snapshot epoch mutated");
+        assert_eq!(pinned.len(), len1, "pinned snapshot len mutated");
+        for (&id, &seen_at_pin) in new_ids.iter().zip(&had) {
+            assert_eq!(
+                pinned.traj_index(id).is_some(),
+                seen_at_pin,
+                "pinned snapshot's membership of trajectory {id} changed \
+                 after publish"
+            );
+        }
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads: vec![writer, reader],
+        finale: None,
+    }
+}
+
+/// The facade must never get ahead of the shards: whenever the facade
+/// routes an id to a shard, that shard's snapshot already has the id
+/// (shards publish first; `sharded.shards_published` marks the
+/// window). Facade epochs are monotonic.
+pub fn sharded_ingest_vs_query() -> Scenario {
+    let store = build_sharded();
+    let (_, _, b) = tiny_batches();
+    let new_ids: Vec<u64> = b.trajectories.iter().map(|t| t.id).collect();
+    let writer = {
+        let store = Arc::clone(&store);
+        let b = b.clone();
+        Box::new(move || {
+            store.ingest(&b).expect("sharded ingest");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = Box::new(move || {
+        let e1 = store.facade_epoch();
+        for &id in &new_ids {
+            if let Some(s) = store.traj_shard(id) {
+                let snap = store.shards()[s as usize].snapshot(); // bounds: facade only routes to real shards
+                assert!(
+                    snap.traj_index(id).is_some(),
+                    "half-published state: facade routes {id} to shard {s}, \
+                     which does not have it"
+                );
+            }
+        }
+        let e2 = store.facade_epoch();
+        assert!(e2 >= e1, "facade epoch went backwards: {e1} then {e2}");
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads: vec![writer, reader],
+        finale: None,
+    }
+}
+
+/// `Swap` publication is atomic and ordered: a reader sees values in
+/// publication order, never a torn or stale-after-fresh value.
+pub fn swap_publish_order() -> Scenario {
+    let sw = Arc::new(Swap::new(Arc::new(0u64)));
+    let writer = {
+        let sw = Arc::clone(&sw);
+        Box::new(move || {
+            sw.store(Arc::new(1));
+            sw.store(Arc::new(2));
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = Box::new(move || {
+        let a = *sw.load();
+        let b = *sw.load();
+        assert!(b >= a, "swap went backwards: read {a} then {b}");
+        assert!(a <= 2 && b <= 2, "swap produced a value never stored");
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads: vec![writer, reader],
+        finale: None,
+    }
+}
+
+// -- Serve shutdown model ---------------------------------------------
+
+/// `serve.rs`'s shutdown handshake, modelled 1:1 so the checker can
+/// enumerate its interleavings without real sockets:
+///
+/// * `trigger` = flag, then sweep: half-close the **read** side of
+///   every registered connection (write sides stay open — in-flight
+///   responses always complete).
+/// * `register` = insert into the registry, then re-check the flag
+///   (the real code's comment: either the sweep saw our entry or we
+///   see the flag).
+///
+/// `model_register_recheck(false)` deletes the re-check — the seeded
+/// bug the self-test proves the checker catches.
+struct MockConn {
+    read_open: AtomicBool,
+    responses: Mutex<Vec<String>>,
+    /// Worker is parked in a blocking read (still registered, as in
+    /// the real code — only an EOF from the shutdown sweep frees it).
+    blocked_in_read: AtomicBool,
+    /// Worker saw an open read side and accepted the request.
+    accepted: AtomicBool,
+}
+
+struct MockState {
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<MockConn>>>,
+    next_token: AtomicU64,
+    recheck: bool,
+}
+
+impl MockState {
+    fn trigger(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        point("mock.trigger.flagged");
+        let conns = match self.conns.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        for c in conns.values() {
+            c.read_open.store(false, Ordering::SeqCst);
+        }
+        drop(conns);
+        point("mock.trigger.swept");
+    }
+
+    fn register(&self, conn: &Arc<MockConn>) -> u64 {
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        match self.conns.lock() {
+            Ok(mut g) => {
+                g.insert(token, Arc::clone(conn));
+            }
+            Err(p) => {
+                p.into_inner().insert(token, Arc::clone(conn));
+            }
+        }
+        point("mock.registered");
+        if self.recheck && self.shutting_down.load(Ordering::SeqCst) {
+            conn.read_open.store(false, Ordering::SeqCst);
+        }
+        token
+    }
+
+    fn deregister(&self, token: u64) {
+        match self.conns.lock() {
+            Ok(mut g) => {
+                g.remove(&token);
+            }
+            Err(p) => {
+                p.into_inner().remove(&token);
+            }
+        }
+    }
+}
+
+fn serve_shutdown_scenario(recheck: bool) -> Scenario {
+    let state = Arc::new(MockState {
+        shutting_down: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        next_token: AtomicU64::new(0),
+        recheck,
+    });
+    let conns: Vec<Arc<MockConn>> = (0..2)
+        .map(|_| {
+            Arc::new(MockConn {
+                read_open: AtomicBool::new(true),
+                responses: Mutex::new(Vec::new()),
+                blocked_in_read: AtomicBool::new(false),
+                accepted: AtomicBool::new(false),
+            })
+        })
+        .collect();
+
+    let shutdown = {
+        let state = Arc::clone(&state);
+        Box::new(move || state.trigger()) as Box<dyn FnOnce() + Send>
+    };
+    let mut threads = vec![shutdown];
+    // Conn 0 is an idle client (no request pending: the worker parks
+    // in a blocking read immediately); conn 1 has one request on the
+    // wire. Both mirror serve_connection: a worker never deregisters
+    // while parked in a read — only the sweep's EOF frees it.
+    for (i, conn) in conns.iter().enumerate() {
+        let has_request = i == 1;
+        let state = Arc::clone(&state);
+        let conn = Arc::clone(conn);
+        threads.push(Box::new(move || {
+            let token = state.register(&conn);
+            point("mock.read");
+            if !has_request {
+                // Nothing on the wire: park in the blocking read,
+                // keeping the registry entry (as the real worker does).
+                conn.blocked_in_read.store(true, Ordering::SeqCst);
+                return;
+            }
+            if !conn.read_open.load(Ordering::SeqCst) {
+                // Read side already half-closed: EOF, clean refusal.
+                state.deregister(token);
+                return;
+            }
+            conn.accepted.store(true, Ordering::SeqCst);
+            point("mock.handled");
+            // The write side is never closed by shutdown, so an
+            // accepted request always produces one complete line.
+            match conn.responses.lock() {
+                Ok(mut g) => g.push("response".to_string()),
+                Err(p) => p.into_inner().push("response".to_string()),
+            }
+            // serve_connection checks the flag after each response.
+            if state.shutting_down.load(Ordering::SeqCst) {
+                state.deregister(token);
+                return;
+            }
+            point("mock.read2");
+            // Back into the blocking read for the next request.
+            conn.blocked_in_read.store(true, Ordering::SeqCst);
+        }) as Box<dyn FnOnce() + Send>);
+    }
+
+    let finale = {
+        let state = Arc::clone(&state);
+        Box::new(move || {
+            // Quiescence: shutdown has completed and every handler has
+            // either exited or parked in a blocking read. A parked
+            // worker whose read side is still open never sees EOF —
+            // that wedges shutdown (the race the register re-check
+            // closes). A worker that finished before shutdown may
+            // legitimately keep its read side open.
+            assert!(state.shutting_down.load(Ordering::SeqCst));
+            for (i, conn) in conns.iter().enumerate() {
+                if conn.blocked_in_read.load(Ordering::SeqCst) {
+                    assert!(
+                        !conn.read_open.load(Ordering::SeqCst),
+                        "conn {i}: worker parked in a blocking read with its \
+                         read side still open — no EOF coming, shutdown wedges"
+                    );
+                }
+                let responses = match conn.responses.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                if conn.accepted.load(Ordering::SeqCst) {
+                    assert_eq!(
+                        responses.len(),
+                        1,
+                        "conn {i}: accepted request must produce exactly one \
+                         complete response: {responses:?}"
+                    );
+                } else {
+                    assert!(
+                        responses.is_empty(),
+                        "conn {i}: refused connection wrote a response: \
+                         {responses:?}"
+                    );
+                }
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+
+    Scenario {
+        threads,
+        finale: Some(finale),
+    }
+}
+
+/// The faithful serve shutdown model (with the register re-check).
+pub fn serve_shutdown() -> Scenario {
+    serve_shutdown_scenario(true)
+}
+
+/// The broken variant without the re-check; used by self-tests to
+/// prove the checker finds the race it exists to close.
+pub fn serve_shutdown_without_recheck() -> Scenario {
+    serve_shutdown_scenario(false)
+}
+
+/// A registered scenario: name, schedule budget, factory.
+pub type NamedScenario = (&'static str, usize, fn() -> Scenario);
+
+/// Every scenario `utcq audit sched` runs, with per-scenario schedule
+/// budgets tuned so the default run comfortably exceeds 1,000
+/// schedules total while staying fast.
+pub fn all_scenarios() -> Vec<NamedScenario> {
+    vec![
+        (
+            "swap_publish_order",
+            400,
+            swap_publish_order as fn() -> Scenario,
+        ),
+        ("serve_shutdown", 800, serve_shutdown),
+        ("store_pin_vs_ingest", 400, store_pin_vs_ingest),
+        ("sharded_ingest_vs_query", 400, sharded_ingest_vs_query),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Two increments without mutual exclusion: the checker must find
+    /// the lost-update interleaving.
+    fn racy_counter() -> Scenario {
+        let v = Arc::new(AtomicUsize::new(0));
+        let check = Arc::clone(&v);
+        let mk = |v: Arc<AtomicUsize>| {
+            Box::new(move || {
+                let read = v.load(Ordering::SeqCst);
+                point("after-read");
+                v.store(read + 1, Ordering::SeqCst);
+            }) as Box<dyn FnOnce() + Send>
+        };
+        Scenario {
+            threads: vec![mk(Arc::clone(&v)), mk(v)],
+            finale: Some(Box::new(move || {
+                assert_eq!(check.load(Ordering::SeqCst), 2, "lost update");
+            })),
+        }
+    }
+
+    #[test]
+    fn finds_lost_update() {
+        let out = explore(
+            "racy_counter",
+            SchedOpts {
+                preemption_bound: 2,
+                max_schedules: 200,
+            },
+            &racy_counter,
+        );
+        let v = out.violation.expect("checker must find the lost update");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        assert!(!v.schedule.is_empty());
+    }
+
+    #[test]
+    fn replaying_the_reported_schedule_reproduces() {
+        let opts = SchedOpts {
+            preemption_bound: 2,
+            max_schedules: 200,
+        };
+        let first = explore("racy_counter", opts, &racy_counter)
+            .violation
+            .expect("violation");
+        let second = explore("racy_counter", opts, &racy_counter)
+            .violation
+            .expect("violation");
+        assert_eq!(
+            first.schedule, second.schedule,
+            "exploration must be deterministic"
+        );
+        assert_eq!(first.message, second.message);
+    }
+
+    #[test]
+    fn zero_preemptions_misses_the_race_bounded_search_is_real() {
+        let out = explore(
+            "racy_counter",
+            SchedOpts {
+                preemption_bound: 0,
+                max_schedules: 200,
+            },
+            &racy_counter,
+        );
+        // With no preemptions each thread runs to completion; the lost
+        // update needs a switch between read and write.
+        assert!(out.violation.is_none());
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn serve_model_without_recheck_has_the_race() {
+        let out = explore(
+            "serve_shutdown_without_recheck",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 2_000,
+            },
+            &serve_shutdown_without_recheck,
+        );
+        let v = out
+            .violation
+            .expect("the register/trigger race must be found");
+        assert!(
+            v.message.contains("read side still open"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn serve_model_with_recheck_is_clean() {
+        let out = explore(
+            "serve_shutdown",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 2_000,
+            },
+            &serve_shutdown,
+        );
+        assert!(
+            out.violation.is_none(),
+            "faithful model violated: {:?}",
+            out.violation
+        );
+        assert!(out.schedules > 50, "expected a real schedule space");
+    }
+
+    #[test]
+    fn swap_scenario_explores_cleanly() {
+        let out = explore(
+            "swap_publish_order",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &swap_publish_order,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(
+            out.schedules > 10,
+            "hooks produced too few yield points ({} schedules)",
+            out.schedules
+        );
+    }
+
+    #[test]
+    fn store_pin_scenario_explores_cleanly() {
+        let out = explore(
+            "store_pin_vs_ingest",
+            SchedOpts {
+                preemption_bound: 2,
+                max_schedules: 100,
+            },
+            &store_pin_vs_ingest,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.schedules > 1, "writer/reader never interleaved");
+    }
+
+    #[test]
+    fn sharded_scenario_explores_cleanly() {
+        let out = explore(
+            "sharded_ingest_vs_query",
+            SchedOpts {
+                preemption_bound: 2,
+                max_schedules: 100,
+            },
+            &sharded_ingest_vs_query,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.schedules > 1, "writer/reader never interleaved");
+    }
+}

@@ -1,0 +1,56 @@
+//! Audit instrumentation points.
+//!
+//! The epoch-publish protocol ([`crate::snapshot::Swap`], live ingest,
+//! the sharded facade's shards-first-then-facade ordering) is verified
+//! by the `utcq_audit` model checker, which needs to pause a thread at
+//! every protocol-relevant step and try the interleavings around it.
+//! This module is that seam: [`point`] marks each step with a static
+//! label.
+//!
+//! Without the `audit` cargo feature (the default, and what every
+//! production artifact builds with) [`point`] is an empty
+//! `#[inline(always)]` stub — the hot paths compile exactly as before.
+//! With the feature, [`point`] dispatches through a process-global
+//! function pointer installed once by the audit driver; unregistered
+//! threads (everything outside a model-checking run) still take a
+//! single `OnceLock` load and return.
+//!
+//! Placement rule: a point must never sit inside a held `std` lock. The
+//! audit scheduler suspends threads at points; a thread suspended while
+//! holding a mutex would deadlock any scheduled thread that takes the
+//! same lock. Every `point` call in this crate is therefore placed
+//! immediately before or after a critical section, never within one.
+
+#[cfg(feature = "audit")]
+mod imp {
+    use std::sync::OnceLock;
+
+    static HOOK: OnceLock<fn(&'static str)> = OnceLock::new();
+
+    /// Installs the process-global audit dispatcher. First caller wins;
+    /// later calls are ignored (the dispatcher itself decides per
+    /// thread whether a point is part of a model-checking run).
+    pub fn install(f: fn(&'static str)) {
+        let _ = HOOK.set(f);
+    }
+
+    /// Marks an instrumentation point named `label`.
+    #[inline]
+    pub fn point(label: &'static str) {
+        if let Some(f) = HOOK.get() {
+            f(label);
+        }
+    }
+}
+
+#[cfg(not(feature = "audit"))]
+mod imp {
+    /// Marks an instrumentation point; compiled to nothing without the
+    /// `audit` feature.
+    #[inline(always)]
+    pub fn point(_label: &'static str) {}
+}
+
+#[cfg(feature = "audit")]
+pub use imp::install;
+pub use imp::point;

@@ -175,6 +175,7 @@ pub mod decompress;
 pub mod error;
 pub mod factor;
 pub mod flagarr;
+pub mod hooks;
 pub mod multiorder;
 pub mod opened;
 pub mod oracle;

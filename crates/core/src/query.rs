@@ -293,17 +293,22 @@ pub(crate) fn par_run<T: Send>(
             })
             .collect();
         for h in handles {
-            answered.push(h.join().expect("query worker panicked"));
+            match h.join() {
+                Ok(local) => answered.push(local),
+                // A worker panic is a bug in `run_one`; re-raise the
+                // original payload on the caller instead of minting a
+                // second panic here.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     for (i, r) in answered.into_iter().flatten() {
-        out[i] = Some(r?);
+        out[i] = Some(r?); // bounds: the atomic queue only hands out i < n
     }
-    Ok(out
-        .into_iter()
-        .map(|r| r.expect("every index was claimed exactly once"))
-        .collect())
+    out.into_iter()
+        .map(|r| r.ok_or(Error::CorruptStore("parallel run left an index unanswered")))
+        .collect()
 }
 
 /// Borrowed view over a store's parts — the engine the façade delegates
@@ -489,6 +494,7 @@ impl<'a> QueryEngine<'a> {
         if hi_local >= window.len() {
             return Ok(None); // t is past the last sample
         }
+        // bounds: hi_local < window.len() checked just above
         Ok(Some(if window[hi_local] == t {
             let g = tt.no as usize + hi_local;
             (g, g, t, t)
@@ -499,6 +505,7 @@ impl<'a> QueryEngine<'a> {
                 return Err(Error::CorruptStore("temporal tuple opens past query time"));
             }
             let g = tt.no as usize + hi_local;
+            // bounds: 0 < hi_local < window.len() established above
             (g - 1, g, window[hi_local - 1], window[hi_local])
         }))
     }
@@ -720,6 +727,7 @@ fn interpolate(
     if lo == hi || t_hi == t_lo {
         return Ok(inst.location(net, lo));
     }
+    // bounds: lo/hi < positions.len() checked at function entry
     let d0 = path_distance(net, &inst.path, inst.positions[lo]);
     let d1 = path_distance(net, &inst.path, inst.positions[hi]);
     let frac = (t - t_lo) as f64 / (t_hi - t_lo) as f64;
@@ -756,8 +764,8 @@ fn instance_overlaps(
     }
     let any_intersecting = polyline
         .windows(2)
-        .any(|w| re.intersects_segment(w[0], w[1]))
-        || (polyline.len() == 1 && re.contains(polyline[0]));
+        .any(|w| re.intersects_segment(w[0], w[1])) // bounds: windows(2) yields 2-slices
+        || (polyline.len() == 1 && re.contains(polyline[0])); // bounds: len() == 1 checked
     if !any_intersecting {
         return Ok(false);
     }
@@ -784,6 +792,7 @@ fn subpath_polyline(
     let lb = inst.location(net, hi);
     let mut pts = vec![net.point_on_edge(la.edge, la.ndist)];
     for j in a.path_idx..b.path_idx {
+        // bounds: j < b.path_idx, validated against path.len() above
         pts.push(net.coord(net.edge_to(inst.path[j as usize])));
     }
     pts.push(net.point_on_edge(lb.edge, lb.ndist));

@@ -407,6 +407,7 @@ impl FacadeState {
                 }
             }
         }
+        // bounds: windows(2) yields exactly-2-element slices
         let uniform_grid = snaps.windows(2).all(|w| {
             Arc::ptr_eq(w[0].network(), w[1].network())
                 && w[0].stiu().params.grid_n == w[1].stiu().params.grid_n
@@ -433,6 +434,7 @@ impl RangeIndex {
     /// Merges the shards' interval postings; `None` if the partition
     /// widths disagree (their interval keys would be incompatible).
     fn build(snaps: &[Arc<Snapshot>]) -> Option<Self> {
+        // bounds: a facade is only ever built over ≥ 1 shard
         let partition_s = snaps[0].stiu().params.partition_s;
         if snaps
             .iter()
@@ -466,12 +468,12 @@ impl RangeIndex {
         let list = self
             .postings
             .get(&tq.div_euclid(self.partition_s))
-            .map_or(&[][..], Vec::as_slice);
+            .map_or(&[][..], Vec::as_slice); // bounds: full slice of an empty literal
         let start = match after {
             Some(a) => list.partition_point(|&(id, _, _)| id <= a),
             None => 0,
         };
-        &list[start..]
+        &list[start..] // bounds: partition_point returns ≤ list.len()
     }
 }
 
@@ -618,6 +620,7 @@ impl ShardedStore {
             Ok((net, cds, stiu, id_to_idx, plans))
         };
         let parts: Vec<ShardParts> = if parallel && blobs.len() > 1 {
+            // bounds: par_run yields i < blobs.len()
             par_run(blobs.len(), |i| load_one(&blobs[i]))?
         } else {
             blobs.iter().map(load_one).collect::<Result<_, _>>()?
@@ -726,6 +729,7 @@ impl ShardedStore {
                 "live ingest needs a routing policy (custom-policy containers are read-only)",
             ));
         };
+        // bounds: constructors reject zero shards
         let expected = self.shards[0].params().default_interval;
         if batch.default_interval != expected {
             return Err(Error::IntervalMismatch {
@@ -753,6 +757,7 @@ impl ShardedStore {
         // unpublished snapshots. An error on any shard returns here
         // with nothing published anywhere.
         let prepared: Vec<Option<Arc<Snapshot>>> = par_run(self.shards.len(), |s| {
+            // bounds: par_run yields s < shards.len(); routed has one slot per shard
             self.shards[s].prepare_trajs(batch.default_interval, &batch.name, &routed[s])
         })?;
         if prepared.iter().all(Option::is_none) {
@@ -775,6 +780,9 @@ impl ShardedStore {
                 None => shard.snapshot(),
             })
             .collect();
+        // The shards-published / facade-unpublished window the ordering
+        // argument hinges on: readers here must see the old facade.
+        crate::hooks::point("sharded.shards_published");
         let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let new_facade = FacadeState::build(epoch, &snaps)?;
         let total = new_facade.id_to_shard.len();
@@ -813,7 +821,7 @@ impl ShardedStore {
 
     /// The road network, shared by every shard.
     pub fn network(&self) -> &Arc<RoadNetwork> {
-        self.shards[0].network()
+        self.shards[0].network() // bounds: constructors reject zero shards
     }
 
     /// Total number of trajectories currently visible through the
@@ -886,6 +894,7 @@ impl ShardedStore {
             return Ok(Page::slice(Vec::new(), PageRequest::first(page.limit)));
         };
         let local = self.local_page(shard, page)?;
+        // bounds: the facade id map only holds in-range shard indices
         let snap = self.shards[shard as usize].snapshot();
         let answer = snap.where_query(traj_id, t, alpha, local)?;
         Ok(Self::global_page(shard, answer))
@@ -904,6 +913,7 @@ impl ShardedStore {
             return Ok(Page::slice(Vec::new(), PageRequest::first(page.limit)));
         };
         let local = self.local_page(shard, page)?;
+        // bounds: the facade id map only holds in-range shard indices
         let snap = self.shards[shard as usize].snapshot();
         let answer = snap.when_query(traj_id, edge, rd, alpha, local)?;
         Ok(Self::global_page(shard, answer))
@@ -952,6 +962,7 @@ impl ShardedStore {
         // One cell set serves every shard when the grids agree (always,
         // for stores built through one builder or reopened from v3);
         // heterogeneous shards fall back to per-shard sets lazily.
+        // bounds: constructors reject zero shards
         let shared_cells = facade.uniform_grid.then(|| snaps[0].query_cells(re));
         let mut per_shard_cells: Vec<Option<std::collections::HashSet<utcq_network::CellId>>> =
             if shared_cells.is_some() {
@@ -967,16 +978,24 @@ impl ShardedStore {
                 has_more = true;
                 break;
             }
+            // bounds: candidate shard tags index the snaps they were gathered from
             let snap = &snaps[s as usize];
             let cells = match &shared_cells {
                 Some(c) => c,
+                // bounds: same shard tag `s` as the snaps index above
                 None => per_shard_cells[s as usize].get_or_insert_with(|| snap.query_cells(re)),
             };
             if snap.range_matches_at(j, cells, re, tq, alpha)? {
                 items.push(id);
             }
         }
-        let next_cursor = has_more.then(|| *items.last().expect("limit > 0 implies items"));
+        // has_more implies the page filled (limit ≥ 1), so `last()` is
+        // present — but never worth a panic path.
+        let next_cursor = if has_more {
+            items.last().copied()
+        } else {
+            None
+        };
         Ok(Page {
             items,
             next_cursor,
@@ -1006,11 +1025,11 @@ impl ShardedStore {
             facade.uniform_grid.then(|| {
                 queries
                     .iter()
-                    .map(|q| snaps[0].query_cells(&q.re))
+                    .map(|q| snaps[0].query_cells(&q.re)) // bounds: ≥ 1 shard
                     .collect()
             });
         par_run(queries.len(), |qi| {
-            let q = &queries[qi];
+            let q = &queries[qi]; // bounds: par_run yields qi < queries.len()
             let mut hits = Vec::new();
             match &facade.range_index {
                 // Fast path: the prebuilt candidate list is already
@@ -1026,8 +1045,10 @@ impl ShardedStore {
                         vec![None; snaps.len()]
                     };
                     for &(id, s, j) in ri.candidates(q.tq, None) {
+                        // bounds: candidate shard tags index the snaps of this facade
                         let snap = &snaps[s as usize];
                         let cells = match &shared_cells {
+                            // bounds: one cell set per query, indexed by qi
                             Some(all) => &all[qi],
                             None => per_shard_cells[s as usize]
                                 .get_or_insert_with(|| snap.query_cells(&q.re)),
@@ -1044,6 +1065,7 @@ impl ShardedStore {
                     let mut owned_cells = None;
                     for snap in &snaps {
                         let cells = match &shared_cells {
+                            // bounds: one cell set per query, indexed by qi
                             Some(all) => &all[qi],
                             None => owned_cells.insert(snap.query_cells(&q.re)),
                         };

@@ -56,27 +56,47 @@ use crate::stiu::{Stiu, StiuParams};
 /// A hand-rolled `ArcSwap`: the one mutable cell of a live store. The
 /// mutex guards only the pointer swap — `load` is a lock + `Arc` clone
 /// (tens of nanoseconds), never held across a query or a decode.
-pub(crate) struct Swap<T> {
+///
+/// Public so the `utcq_audit` model checker can drive the primitive
+/// directly; everything else in the workspace reaches it through
+/// [`crate::store::Store`] / [`crate::shard::ShardedStore`].
+pub struct Swap<T> {
     slot: Mutex<Arc<T>>,
 }
 
 impl<T> Swap<T> {
-    pub(crate) fn new(value: Arc<T>) -> Self {
+    /// A swap holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
         Self {
             slot: Mutex::new(value),
         }
     }
 
+    /// Adopts the slot even after a panic between lock and unlock: the
+    /// guarded state is a single pointer, which a dying writer can
+    /// never leave half-swapped.
+    fn slot_lock(&self) -> std::sync::MutexGuard<'_, Arc<T>> {
+        match self.slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// The current value. Cheap and wait-free in practice: the critical
     /// section is a single refcount increment.
-    pub(crate) fn load(&self) -> Arc<T> {
-        Arc::clone(&self.slot.lock().expect("swap lock poisoned"))
+    pub fn load(&self) -> Arc<T> {
+        crate::hooks::point("swap.load");
+        let pinned = Arc::clone(&self.slot_lock());
+        crate::hooks::point("swap.loaded");
+        pinned
     }
 
     /// Publishes a new value; readers that already loaded the old one
     /// keep it alive until they drop it.
-    pub(crate) fn store(&self, value: Arc<T>) {
-        *self.slot.lock().expect("swap lock poisoned") = value;
+    pub fn store(&self, value: Arc<T>) {
+        crate::hooks::point("swap.store");
+        *self.slot_lock() = value;
+        crate::hooks::point("swap.stored");
     }
 }
 
@@ -263,7 +283,13 @@ impl Snapshot {
                 items.push(id);
             }
         }
-        let next_cursor = has_more.then(|| *items.last().expect("limit > 0 implies items"));
+        // has_more implies the page filled (limit ≥ 1), so `last()` is
+        // present — but never worth a panic path.
+        let next_cursor = if has_more {
+            items.last().copied()
+        } else {
+            None
+        };
         Ok(Page {
             items,
             next_cursor,
@@ -275,7 +301,7 @@ impl Snapshot {
     /// snapshot (see [`crate::store::Store::par_range_query`]).
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
         crate::query::par_run(queries.len(), |i| {
-            let q = &queries[i];
+            let q = &queries[i]; // bounds: par_run yields i < queries.len()
             self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
                 .map(Page::into_items)
         })

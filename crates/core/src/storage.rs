@@ -177,7 +177,7 @@ fn write_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
 fn read_u8(r: &mut impl Read) -> io::Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
-    Ok(b[0])
+    Ok(b[0]) // bounds: read_exact filled the 1-byte buffer
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -398,7 +398,7 @@ fn write_stiu(stiu: &Stiu, w: &mut impl Write) -> io::Result<()> {
     keys.sort_unstable();
     for k in keys {
         write_i64(w, k)?;
-        let v = &stiu.interval_trajs[&k];
+        let v = &stiu.interval_trajs[&k]; // bounds: k came from this map's keys
         write_u32(w, v.len() as u32)?;
         for &j in v {
             write_u32(w, j)?;
@@ -592,6 +592,7 @@ pub fn load_v3(r: &mut impl Read) -> Result<(Option<ShardDirectory>, Vec<Vec<u8>
                 if blob.len() as u64 != len {
                     return Err(StorageError::Corrupt("shard blob truncated"));
                 }
+                // bounds: len >= 5 enforced above, and blob.len() == len
                 if &blob[..4] != MAGIC || blob[4] != VERSION_V2 {
                     return Err(StorageError::Corrupt("shard blob is not a v2 container"));
                 }
@@ -606,9 +607,11 @@ pub fn load_v3(r: &mut impl Read) -> Result<(Option<ShardDirectory>, Vec<Vec<u8>
 fn read_header(r: &mut impl Read) -> Result<u8, StorageError> {
     let mut magic = [0u8; 5];
     r.read_exact(&mut magic)?;
+    // bounds: magic is a [u8; 5] filled by read_exact
     if &magic[..4] != MAGIC {
         return Err(StorageError::BadHeader);
     }
+    // bounds: magic is a [u8; 5], index 4 is in range
     match magic[4] {
         v @ (VERSION_V1 | VERSION_V2 | VERSION_V3) => Ok(v),
         _ => Err(StorageError::BadHeader),

@@ -550,6 +550,7 @@ impl Store {
         name: &str,
         tus: &[&UncertainTrajectory],
     ) -> Result<Option<Arc<Snapshot>>, Error> {
+        crate::hooks::point("store.prepare");
         let cur = self.snap.load();
         let params = cur.compressed().params;
         if default_interval != params.default_interval {

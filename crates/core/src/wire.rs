@@ -70,6 +70,7 @@ impl Json {
         let mut p = Parser {
             b: text.as_bytes(),
             i: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -161,9 +162,15 @@ impl Json {
     }
 }
 
+/// Nesting depth cap for the hand-rolled recursive-descent parser.
+/// Without it, a line of `[[[[...` recurses once per bracket and
+/// overflows the thread stack — an abort, not a catchable error.
+const MAX_JSON_DEPTH: usize = 128;
+
 struct Parser<'a> {
     b: &'a [u8],
     i: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -173,7 +180,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, c: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, c: u8) -> Result<(), String> {
         if self.b.get(self.i) == Some(&c) {
             self.i += 1;
             Ok(())
@@ -185,8 +192,8 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<Json, String> {
         match self.b.get(self.i) {
             None => Err("unexpected end of input".into()),
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -195,7 +202,18 @@ impl Parser<'_> {
         }
     }
 
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Json, String>) -> Result<Json, String> {
+        if self.depth >= MAX_JSON_DEPTH {
+            return Err(format!("nesting deeper than {MAX_JSON_DEPTH} levels"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
+    }
+
     fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        // bounds: self.i <= b.len() always (advanced only past read bytes)
         if self.b[self.i..].starts_with(word.as_bytes()) {
             self.i += word.len();
             Ok(v)
@@ -205,7 +223,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.b.get(self.i) == Some(&b'}') {
@@ -216,7 +234,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.value()?;
             pairs.push((key, val));
@@ -233,7 +251,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.b.get(self.i) == Some(&b']') {
@@ -256,7 +274,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.b.get(self.i) {
@@ -306,6 +324,7 @@ impl Parser<'_> {
                         }
                         self.i += 1;
                     }
+                    // bounds: start..i is a window of scanned bytes
                     let chunk =
                         std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
                     out.push_str(chunk);
@@ -322,6 +341,7 @@ impl Parser<'_> {
         ) {
             self.i += 1;
         }
+        // bounds: start..i is a window of scanned bytes
         let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
         text.parse::<f64>()
             .map(Json::Num)
@@ -575,10 +595,12 @@ fn parse_trajectory(
                 Json::Arr(pair) if pair.len() == 2 => pair,
                 _ => return Err(bad(id, ictx("each position must be a [path_idx, rd] pair"))),
             };
+            // bounds: pair.len() == 2 matched above
             let path_idx = pair[0]
                 .as_u64()
                 .and_then(|n| u32::try_from(n).ok())
                 .ok_or_else(|| bad(id, ictx("position path_idx must fit in 32 bits")))?;
+            // bounds: pair.len() == 2 matched above
             let rd = pair[1]
                 .as_f64()
                 .ok_or_else(|| bad(id, ictx("position rd must be a number")))?;
@@ -1203,6 +1225,84 @@ mod tests {
         assert_eq!(error_code(&Error::NeedsNetwork), "needs_network");
         assert_eq!(error_code(&Error::CorruptStore("x")), "corrupt_store");
         assert_eq!(error_code(&Error::ShardedContainer), "sharded_container");
+    }
+
+    /// The fuzzer's contract, pinned as unit tests: adversarial request
+    /// shapes fail closed with the stable codes of `PROTOCOL.md`, and
+    /// never panic.
+    #[test]
+    fn adversarial_requests_fail_closed() {
+        let opened = paper_opened();
+
+        // Decimal cursor strings parse across the full u64 range, past
+        // i64::MAX …
+        for c in ["9223372036854775808", "18446744073709551615"] {
+            let p = parse_request(&format!(
+                r#"{{"op":"where","traj":1,"t":1,"cursor":"{c}"}}"#
+            ))
+            .unwrap();
+            assert!(
+                matches!(
+                    p.request,
+                    Request::Where {
+                        page: PageRequest {
+                            cursor: Some(_),
+                            ..
+                        },
+                        ..
+                    }
+                ),
+                "cursor {c} must parse"
+            );
+        }
+        // … but past u64::MAX, negative, or non-decimal is refused with
+        // the cursor-specific code.
+        for c in ["18446744073709551616", "-1", "0x10", "", "1.5"] {
+            let e = parse_request(&format!(
+                r#"{{"op":"where","traj":1,"t":1,"cursor":"{c}"}}"#
+            ))
+            .unwrap_err();
+            assert_eq!(e.code, "invalid_cursor", "cursor {c:?}");
+        }
+        // A parseable cursor past the end of the result set terminates
+        // pagination cleanly on a single store: empty page, no panic.
+        let reply = handle_line(
+            &opened,
+            r#"{"op":"where","traj":1,"t":600,"alpha":0.25,"cursor":"9223372036854775808"}"#,
+        );
+        assert!(
+            reply.line.contains(r#""items":[]"#) && reply.line.contains(r#""has_more":false"#),
+            "{}",
+            reply.line
+        );
+
+        // Duplicate keys: the first binding wins, deterministically.
+        let p = parse_request(r#"{"op":"info","op":"warp"}"#).unwrap();
+        assert!(matches!(p.request, Request::Info));
+        // Unknown keys (arbitrarily nested) are ignored.
+        let reply = handle_line(
+            &opened,
+            r#"{"op":"info","future_field":{"deep":[1,[2],{"a":null}]},"x":null}"#,
+        );
+        assert!(reply.line.contains(r#""ok":true"#), "{}", reply.line);
+
+        // Nesting past the parser's depth cap is an error, not a stack
+        // overflow; through the executor it is a bad_request.
+        let deep = format!("{}1{}", "[".repeat(4096), "]".repeat(4096));
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.contains("nesting"), "{e}");
+        let reply = handle_line(&opened, &deep);
+        assert!(
+            reply.line.contains(r#""code":"bad_request""#),
+            "{}",
+            reply.line
+        );
+
+        // Out-of-range numeric literals degrade to errors, not panics.
+        let e = parse_request(r#"{"op":"where","traj":1,"t":1e999}"#).unwrap_err();
+        assert_eq!(e.code, "bad_request");
+        let e = parse_request(r#"{"op":"where","traj":-3,"t":1}"#).unwrap_err();
+        assert_eq!(e.code, "bad_request");
     }
 
     #[test]

@@ -442,12 +442,164 @@ fn cmd_client(args: &Args) -> Result<(), String> {
     }
 }
 
+/// `utcq audit <lint|fuzz|sched>`: the offline correctness tooling of
+/// `crates/audit` behind one subcommand (see `docs/CORRECTNESS.md`).
+/// Every engine is deterministic: fixed seeds, bounded exploration,
+/// checked-in allowlists. A finding is a nonzero exit so CI can gate
+/// on it.
+fn cmd_audit(engine: Option<&str>, args: &Args) -> Result<(), String> {
+    let root = std::path::PathBuf::from(args.get("root", "."));
+    match engine {
+        Some("lint") => audit_lint(&root),
+        Some("fuzz") => audit_fuzz(&root, args),
+        Some("sched") => audit_sched(args),
+        _ => Err("usage: utcq audit <lint|fuzz|sched> [--root DIR] \
+             [--iters N] [--seed S] [--replay] [--bound N]"
+            .to_string()),
+    }
+}
+
+fn audit_lint(root: &std::path::Path) -> Result<(), String> {
+    let src = root.join("crates/core/src");
+    let allow = root.join("crates/audit/lint.allow");
+    let report = utcq::audit::lint::run(&src, &allow)
+        .map_err(|e| format!("lint: {}: {e}", src.display()))?;
+    for d in &report.diags {
+        eprintln!("{d}");
+    }
+    for u in &report.unused_allows {
+        eprintln!("unused allowlist entry: {u}");
+    }
+    if report.is_clean() {
+        println!("lint: {} hot-path file(s) clean", report.files.len());
+        Ok(())
+    } else {
+        Err(format!(
+            "lint: {} diagnostic(s), {} unused allowlist entr(y|ies)",
+            report.diags.len(),
+            report.unused_allows.len()
+        ))
+    }
+}
+
+/// Accepts both decimal and `0x`-prefixed hex (`--seed 0xC0FFEE`).
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => t.parse(),
+    }
+    .map_err(|_| format!("--seed: not a number: '{s}'"))
+}
+
+fn audit_fuzz(root: &std::path::Path, args: &Args) -> Result<(), String> {
+    use utcq::audit::fuzz;
+    let fx = fuzz::Fixtures::load(root)
+        .map_err(|e| format!("fuzz: loading fixtures under {}: {e}", root.display()))?;
+    let regressions = root.join("tests/fuzz_regressions");
+    if args.flags.contains_key("replay") {
+        let failures = fuzz::replay_dir(&fx, &regressions).map_err(|e| e.to_string())?;
+        for f in &failures {
+            eprintln!("fuzz replay: [{}] {}", f.target, f.message);
+        }
+        return if failures.is_empty() {
+            println!("fuzz replay: all regression inputs handled cleanly");
+            Ok(())
+        } else {
+            Err(format!(
+                "fuzz replay: {} regression(s) panic",
+                failures.len()
+            ))
+        };
+    }
+    let opts = fuzz::FuzzOpts {
+        iters: args.parse_num("iters", fuzz::FuzzOpts::default().iters),
+        seed: match args.flags.get("seed") {
+            Some(v) => parse_seed(v)?,
+            None => fuzz::FuzzOpts::default().seed,
+        },
+        regressions_dir: Some(regressions),
+        ..fuzz::FuzzOpts::default()
+    };
+    let report = fuzz::run(&fx, &opts).map_err(|e| e.to_string())?;
+    for f in &report.failures {
+        eprintln!(
+            "fuzz: [{}] iteration {}: {} (minimized to {} bytes{})",
+            f.target,
+            f.iteration,
+            f.message,
+            f.minimized_len,
+            f.path
+                .as_deref()
+                .map(|p| format!(", saved to {}", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    if report.failures.is_empty() {
+        println!(
+            "fuzz: {} mutated input(s) from seed {:#x}, zero panics",
+            report.iters, opts.seed
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzz: {} distinct failure(s)",
+            report.failures.len()
+        ))
+    }
+}
+
+fn audit_sched(args: &Args) -> Result<(), String> {
+    use utcq::audit::sched;
+    let bound: usize = args.parse_num("bound", 4);
+    let scenarios = sched::all_scenarios();
+    let mut total = 0usize;
+    let mut violations = 0usize;
+    for (name, budget, factory) in scenarios {
+        let out = sched::explore(
+            name,
+            sched::SchedOpts {
+                preemption_bound: bound,
+                max_schedules: budget,
+            },
+            &factory,
+        );
+        total += out.schedules;
+        println!(
+            "sched: {name}: {} schedule(s) at bound {bound}{}",
+            out.schedules,
+            if out.exhausted {
+                ", space exhausted"
+            } else {
+                ""
+            }
+        );
+        if let Some(v) = out.violation {
+            violations += 1;
+            eprintln!("sched: {name}: VIOLATION: {}", v.message);
+            for step in &v.trace {
+                eprintln!("sched:   {step}");
+            }
+            eprintln!("sched:   replay schedule: {:?}", v.schedule);
+        }
+    }
+    println!("sched: {total} schedule(s) total, {violations} violation(s)");
+    if violations == 0 {
+        Ok(())
+    } else {
+        Err(format!(
+            "sched: {violations} scenario(s) violated invariants"
+        ))
+    }
+}
+
 fn usage() -> String {
-    "usage: utcq <stats|compress|info|verify|query|serve|client> \
+    "usage: utcq <stats|compress|info|verify|query|serve|client|audit> \
      [--profile dk|cd|hz|tiny] \
      [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
      [--shards N] [--shard-by time|region] [--shard-interval S] [--shard-grid N] \
-     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N] [--writable]"
+     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N] [--writable]\n\
+     audit: utcq audit <lint|fuzz|sched> [--root DIR] [--iters N] [--seed S] [--replay] [--bound N]"
         .to_string()
 }
 
@@ -466,6 +618,10 @@ fn main() -> ExitCode {
         "query" => cmd_query(&args),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
+        "audit" => cmd_audit(
+            argv.get(1).map(String::as_str),
+            &Args::parse(argv.get(2..).unwrap_or(&[])),
+        ),
         _ => Err(usage()),
     };
     match result {

@@ -6,6 +6,7 @@
 //! [`utcq_core::ShardedStore`] behind one [`utcq_core::QueryTarget`]
 //! surface, plus the [`utcq_core::serve`] TCP query service); see the
 //! repository `README.md` and `docs/ARCHITECTURE.md` for the tour.
+pub use utcq_audit as audit;
 pub use utcq_bitio as bitio;
 pub use utcq_core as core;
 pub use utcq_datagen as datagen;

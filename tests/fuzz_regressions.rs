@@ -1,0 +1,36 @@
+//! Replays the checked-in fuzz regression corpus
+//! (`tests/fuzz_regressions/*.bin`) through the same harnesses the
+//! fuzzer uses: every input once made a parser panic (or, for the
+//! deep-nesting seed, overflow the stack) and must now come back as a
+//! clean `Err`. `utcq audit fuzz --replay` runs the same check from
+//! the command line.
+
+use std::path::Path;
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let fx = utcq::audit::fuzz::Fixtures::load(root).expect("load fixtures");
+    let failures = utcq::audit::fuzz::replay_dir(&fx, &root.join("tests/fuzz_regressions"))
+        .expect("read corpus");
+    assert!(
+        failures.is_empty(),
+        "regression inputs panic again: {failures:?}"
+    );
+}
+
+#[test]
+fn corpus_is_checked_in_and_non_empty() {
+    // The corpus directory must exist with at least the seeded
+    // reproducers — an accidentally deleted corpus would make the
+    // replay test pass vacuously.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_regressions");
+    let n = std::fs::read_dir(&dir)
+        .expect("tests/fuzz_regressions must exist")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.path().extension().is_some_and(|x| x == "bin"))
+        })
+        .count();
+    assert!(n >= 3, "expected the seeded corpus, found {n} input(s)");
+}
