@@ -1,7 +1,8 @@
-//! A structure-aware, seeded fuzzer for the two parse surfaces that
-//! face untrusted bytes: the binary container loaders
-//! (`utcq_core::storage`, `Store::open`/`Opened::open`) and the serve
-//! wire protocol (`wire::handle_line`).
+//! A structure-aware, seeded fuzzer for the parse surfaces that face
+//! untrusted bytes: the binary container loaders (`utcq_core::storage`,
+//! `Store::open`/`Opened::open`), the serve wire protocol
+//! (`wire::handle_line`) and the write-ahead-log reader
+//! (`utcq_core::wal::scan` / `Wal::open`).
 //!
 //! No external fuzzing engine (the workspace builds offline): the
 //! corpus is the checked-in fixtures under `tests/fixtures/`, the
@@ -20,6 +21,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use rand::prelude::*;
+use utcq_core::wal;
 use utcq_core::wire::{self, Json};
 use utcq_core::Opened;
 
@@ -36,6 +38,9 @@ pub struct FuzzOpts {
     pub regressions_dir: Option<PathBuf>,
     /// Stop after this many distinct failures.
     pub max_failures: usize,
+    /// Fuzz only this harness (`container`, `wire` or `wal`); `None`
+    /// splits iterations across all of them.
+    pub target: Option<String>,
 }
 
 impl Default for FuzzOpts {
@@ -45,6 +50,7 @@ impl Default for FuzzOpts {
             seed: 0xC0FFEE,
             regressions_dir: None,
             max_failures: 8,
+            target: None,
         }
     }
 }
@@ -52,7 +58,7 @@ impl Default for FuzzOpts {
 /// One input that made a parser panic.
 #[derive(Clone, Debug)]
 pub struct Failure {
-    /// Which harness: `container` or `wire`.
+    /// Which harness: `container`, `wire` or `wal`.
     pub target: &'static str,
     /// The panic message.
     pub message: String,
@@ -80,8 +86,10 @@ pub struct FuzzReport {
 pub struct Fixtures {
     containers: Vec<Vec<u8>>,
     lines: Vec<String>,
+    wals: Vec<Vec<u8>>,
     opened: Opened,
     scratch: PathBuf,
+    wal_scratch: PathBuf,
 }
 
 impl Fixtures {
@@ -115,23 +123,75 @@ impl Fixtures {
             std::process::id(),
             &containers as *const _ as usize
         ));
+        let wal_scratch = scratch.with_extension("wal");
         Ok(Self {
             containers,
             lines,
+            wals: wal_seed_corpus(),
             opened,
             scratch,
+            wal_scratch,
         })
     }
 
     fn corpus_len(&self) -> usize {
-        self.containers.len() + self.lines.len()
+        self.containers.len() + self.lines.len() + self.wals.len()
     }
 }
 
 impl Drop for Fixtures {
     fn drop(&mut self) {
         let _ = fs::remove_file(&self.scratch);
+        let _ = fs::remove_file(&self.wal_scratch);
     }
+}
+
+/// Builds well-formed WAL files in memory — header plus a few
+/// checksummed batch records — as the seed corpus for the `wal` target.
+fn wal_seed_corpus() -> Vec<Vec<u8>> {
+    use utcq_network::EdgeId;
+    use utcq_traj::{Instance, PathPosition, UncertainTrajectory};
+    let record = |epoch: u64, id: u64, n_times: usize| wal::Record {
+        epoch,
+        name: format!("fuzz-seed-{id}"),
+        default_interval: 30,
+        trajectories: vec![UncertainTrajectory {
+            id,
+            times: (0..n_times as i64).map(|k| k * 30).collect(),
+            instances: vec![Instance {
+                path: vec![EdgeId(0), EdgeId(1), EdgeId(2)],
+                positions: vec![
+                    PathPosition {
+                        path_idx: 0,
+                        rd: 0.25,
+                    },
+                    PathPosition {
+                        path_idx: 1,
+                        rd: 0.5,
+                    },
+                    PathPosition {
+                        path_idx: 2,
+                        rd: 0.75,
+                    },
+                ],
+                prob: 0.5,
+            }],
+        }],
+    };
+    let header = || {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(wal::WAL_MAGIC);
+        bytes.extend_from_slice(&wal::WAL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // no extra header
+        bytes
+    };
+    let mut one = header();
+    one.extend_from_slice(&wal::encode_record(&record(1, 10, 3)));
+    let mut three = header();
+    for (e, id) in [(1u64, 20u64), (2, 21), (3, 22)] {
+        three.extend_from_slice(&wal::encode_record(&record(e, id, 5)));
+    }
+    vec![header(), one, three]
 }
 
 // ---------------------------------------------------------------------
@@ -158,9 +218,20 @@ fn wire_harness(fx: &Fixtures, bytes: &[u8]) {
     let _ = wire::handle_line(&fx.opened, line);
 }
 
+fn wal_harness(fx: &Fixtures, bytes: &[u8]) {
+    // The pure scanner first (what replay and torn-tail detection run
+    // on), then the full open path, which additionally truncates a torn
+    // tail on a scratch copy of the file.
+    let _ = wal::scan(bytes);
+    if fs::write(&fx.wal_scratch, bytes).is_ok() {
+        let _ = wal::Wal::open(&wal::WalConfig::new(&fx.wal_scratch));
+    }
+}
+
 fn runs_clean(fx: &Fixtures, target: &str, bytes: &[u8]) -> Result<(), String> {
     let r = catch_unwind(AssertUnwindSafe(|| match target {
         "container" => container_harness(fx, bytes),
+        "wal" => wal_harness(fx, bytes),
         _ => wire_harness(fx, bytes),
     }));
     r.map_err(crate::quiet::payload_msg)
@@ -338,24 +409,46 @@ fn pick<'a, T>(rng: &mut StdRng, xs: &'a [T]) -> Option<&'a T> {
 }
 
 /// Builds the input for `(seed, iteration)` — the whole run replays
-/// from these two numbers.
-fn build_input(fx: &Fixtures, seed: u64, iteration: u64) -> (&'static str, Vec<u8>) {
+/// from these two numbers (and the optional forced target).
+fn build_input(
+    fx: &Fixtures,
+    seed: u64,
+    iteration: u64,
+    forced: Option<&str>,
+) -> (&'static str, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let rounds = rng.gen_range(1..=4usize);
-    if rng.gen_bool(0.5) {
-        let base = &fx.containers[rng.gen_range(0..fx.containers.len())]; // bounds: three fixtures always load
-        let mut bytes = base.clone();
-        for _ in 0..rounds {
-            mutate_bytes(&mut rng, &mut bytes);
+    let target = match forced {
+        Some("container") => 0,
+        Some("wal") => 1,
+        Some(_) => 2,
+        None => rng.gen_range(0u32..3),
+    };
+    match target {
+        0 => {
+            let base = &fx.containers[rng.gen_range(0..fx.containers.len())]; // bounds: three fixtures always load
+            let mut bytes = base.clone();
+            for _ in 0..rounds {
+                mutate_bytes(&mut rng, &mut bytes);
+            }
+            ("container", bytes)
         }
-        ("container", bytes)
-    } else {
-        let base = &fx.lines[rng.gen_range(0..fx.lines.len())]; // bounds: fixture sessions are non-empty
-        let mut line = base.clone();
-        for _ in 0..rounds {
-            mutate_line(&mut rng, &mut line);
+        1 => {
+            let base = &fx.wals[rng.gen_range(0..fx.wals.len())]; // bounds: three seeds always built
+            let mut bytes = base.clone();
+            for _ in 0..rounds {
+                mutate_bytes(&mut rng, &mut bytes);
+            }
+            ("wal", bytes)
         }
-        ("wire", line.into_bytes())
+        _ => {
+            let base = &fx.lines[rng.gen_range(0..fx.lines.len())]; // bounds: fixture sessions are non-empty
+            let mut line = base.clone();
+            for _ in 0..rounds {
+                mutate_line(&mut rng, &mut line);
+            }
+            ("wire", line.into_bytes())
+        }
     }
 }
 
@@ -410,7 +503,7 @@ pub fn run(fx: &Fixtures, opts: &FuzzOpts) -> io::Result<FuzzReport> {
     let mut seen_messages: Vec<String> = Vec::new();
     with_quiet_panics(|| {
         for i in 0..opts.iters {
-            let (target, input) = build_input(fx, opts.seed, i);
+            let (target, input) = build_input(fx, opts.seed, i, opts.target.as_deref());
             report.iters += 1;
             let Err(message) = runs_clean(fx, target, &input) else {
                 continue;
@@ -465,6 +558,8 @@ pub fn replay_dir(fx: &Fixtures, dir: &Path) -> io::Result<Vec<Failure>> {
             let name = p.file_name().and_then(|n| n.to_str()).unwrap_or_default();
             let target = if name.starts_with("container-") {
                 "container"
+            } else if name.starts_with("wal-") {
+                "wal"
             } else {
                 "wire"
             };
@@ -496,13 +591,17 @@ mod tests {
     fn inputs_are_reproducible_from_seed_and_iteration() {
         let fx = fixtures();
         for i in [0, 1, 17, 4096] {
-            let a = build_input(&fx, 0xC0FFEE, i);
-            let b = build_input(&fx, 0xC0FFEE, i);
+            let a = build_input(&fx, 0xC0FFEE, i, None);
+            let b = build_input(&fx, 0xC0FFEE, i, None);
             assert_eq!(a, b);
         }
-        let (_, a) = build_input(&fx, 1, 0);
-        let (_, b) = build_input(&fx, 2, 0);
+        let (_, a) = build_input(&fx, 1, 0, None);
+        let (_, b) = build_input(&fx, 2, 0, None);
         assert_ne!(a, b, "different seeds must differ");
+        for forced in ["container", "wal", "wire"] {
+            let (t, _) = build_input(&fx, 1, 0, Some(forced));
+            assert_eq!(t, forced);
+        }
     }
 
     #[test]
@@ -514,6 +613,9 @@ mod tests {
         for l in fx.lines.clone() {
             assert!(runs_clean(&fx, "wire", l.as_bytes()).is_ok(), "{l}");
         }
+        for (i, w) in fx.wals.clone().iter().enumerate() {
+            assert!(runs_clean(&fx, "wal", w).is_ok(), "wal seed {i}");
+        }
     }
 
     #[test]
@@ -524,6 +626,7 @@ mod tests {
             seed: 0xC0FFEE,
             regressions_dir: None,
             max_failures: 8,
+            target: None,
         };
         let r1 = run(&fx, &opts).unwrap();
         assert_eq!(r1.iters, 300);

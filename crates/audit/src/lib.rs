@@ -15,10 +15,15 @@
 //! * [`lint`] — a **custom token-level lint** for the core's hot-path
 //!   modules: no panic paths, no unjustified indexing, no lock held
 //!   across a decode-cache call, every cache key carries an epoch.
+//! * [`crash`] — **crash-point fault injection** over the same hook
+//!   points the scheduler uses: kill an ingest or checkpoint at a
+//!   chosen durability instant and assert the write-ahead log replays
+//!   byte-identically on reopen.
 //!
 //! `docs/CORRECTNESS.md` at the repository root explains how the three
 //! fit together and how CI runs them.
 
+pub mod crash;
 pub mod fuzz;
 pub mod lint;
 pub mod quiet;

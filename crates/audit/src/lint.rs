@@ -44,6 +44,7 @@ pub const HOT_FILES: &[&str] = &[
     "snapshot.rs",
     "shard.rs",
     "store.rs",
+    "wal.rs",
 ];
 
 const PANIC_TOKENS: &[&str] = &[

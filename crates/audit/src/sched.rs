@@ -355,6 +355,9 @@ thread_local! {
 }
 
 fn dispatch(label: &'static str) {
+    // Crash injection first: a thread running under `crash::crash_at`
+    // dies here when the label matches (no-op for every other thread).
+    crate::crash::hit(label);
     // Clone out of the TLS slot before parking: yield_point blocks for
     // arbitrarily long and must not hold the RefCell borrow.
     let ctx = VT.with(|v| v.borrow().clone());
@@ -363,7 +366,7 @@ fn dispatch(label: &'static str) {
     }
 }
 
-fn ensure_hooks_installed() {
+pub(crate) fn ensure_hooks_installed() {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| utcq_core::hooks::install(dispatch));
 }
@@ -486,7 +489,7 @@ pub fn explore(name: &str, opts: SchedOpts, factory: &dyn Fn() -> Scenario) -> O
 use std::sync::OnceLock;
 use utcq_core::snapshot::Swap;
 use utcq_core::store::StoreBuilder;
-use utcq_core::{CompressParams, ShardedStore, Store};
+use utcq_core::{CompressParams, ShardedStore, Store, WalConfig};
 use utcq_traj::Dataset;
 
 /// The shared tiny dataset: generated once, split into an initial
@@ -822,6 +825,114 @@ fn serve_shutdown_scenario(recheck: bool) -> Scenario {
     }
 }
 
+// -- WAL append vs publish ordering -----------------------------------
+
+/// The durability ordering invariant on the live ingest path: by the
+/// time a reader can observe a new epoch, the batch's record is
+/// already in the write-ahead log file. The container is seeded at
+/// epoch 0, so the log's stored (base-relative) record epochs are
+/// absolute here and "published epoch ≤ complete records on disk" is
+/// exactly the append-before-publish window the hooks bracket.
+pub fn wal_append_vs_publish() -> Scenario {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "utcq-sched-wal-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).expect("mk sched wal dir");
+    let (_, _, b) = tiny_batches();
+    let container = dir.join("c.utcq");
+    build_store().save(&container).expect("seed container");
+    let wal_path = dir.join("log.wal");
+    let store =
+        Arc::new(Store::open_durable(&container, WalConfig::new(&wal_path)).expect("open durable"));
+
+    let writer = {
+        let store = Arc::clone(&store);
+        let b = b.clone();
+        Box::new(move || {
+            store.ingest(&b).expect("durable ingest");
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = {
+        let store = Arc::clone(&store);
+        Box::new(move || {
+            // Order matters: observe the published epoch FIRST, then
+            // read the file. The log only grows, so any record count
+            // read afterwards is an upper bound on what existed when
+            // the epoch became visible.
+            let e = store.snapshot().epoch();
+            point("wal.reader.scan");
+            let logged = std::fs::read(&wal_path)
+                .ok()
+                .and_then(|bytes| utcq_core::wal::scan(&bytes).ok())
+                .map_or(0, |s| s.records.len() as u64);
+            assert!(
+                e <= logged,
+                "epoch {e} published before its record hit the log \
+                 ({logged} complete records on disk)"
+            );
+        }) as Box<dyn FnOnce() + Send>
+    };
+    Scenario {
+        threads: vec![writer, reader],
+        finale: Some(Box::new(move || {
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        })),
+    }
+}
+
+/// A 1:1 mock of the same append→publish window, parameterized on the
+/// ordering: `append_first` is the real protocol (record into the log,
+/// then publish the epoch); flipping it is the seeded bug the
+/// self-test proves the checker catches.
+fn wal_publish_order_scenario(append_first: bool) -> Scenario {
+    let log = Arc::new(AtomicU64::new(0)); // complete records in the "file"
+    let epoch = Arc::new(AtomicU64::new(0)); // published epoch
+    let writer = {
+        let log = Arc::clone(&log);
+        let epoch = Arc::clone(&epoch);
+        Box::new(move || {
+            if append_first {
+                log.fetch_add(1, Ordering::SeqCst);
+                point("mock.wal.appended");
+                epoch.store(1, Ordering::SeqCst);
+            } else {
+                epoch.store(1, Ordering::SeqCst);
+                point("mock.wal.appended");
+                log.fetch_add(1, Ordering::SeqCst);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = Box::new(move || {
+        let e = epoch.load(Ordering::SeqCst);
+        point("mock.wal.scan");
+        let logged = log.load(Ordering::SeqCst);
+        assert!(
+            e <= logged,
+            "mock epoch {e} published before its record was appended \
+             ({logged} records)"
+        );
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads: vec![writer, reader],
+        finale: None,
+    }
+}
+
+/// The faithful mock of the append-then-publish ordering.
+pub fn wal_publish_order() -> Scenario {
+    wal_publish_order_scenario(true)
+}
+
+/// The broken publish-before-append variant; used by self-tests to
+/// prove the checker finds the durability race it exists to close.
+pub fn wal_publish_order_broken() -> Scenario {
+    wal_publish_order_scenario(false)
+}
+
 /// The faithful serve shutdown model (with the register re-check).
 pub fn serve_shutdown() -> Scenario {
     serve_shutdown_scenario(true)
@@ -849,6 +960,8 @@ pub fn all_scenarios() -> Vec<NamedScenario> {
         ("serve_shutdown", 800, serve_shutdown),
         ("store_pin_vs_ingest", 400, store_pin_vs_ingest),
         ("sharded_ingest_vs_query", 400, sharded_ingest_vs_query),
+        ("wal_publish_order", 400, wal_publish_order),
+        ("wal_append_vs_publish", 400, wal_append_vs_publish),
     ]
 }
 
@@ -963,6 +1076,56 @@ mod tests {
             out.violation
         );
         assert!(out.schedules > 50, "expected a real schedule space");
+    }
+
+    #[test]
+    fn wal_mock_publish_before_append_has_the_race() {
+        let out = explore(
+            "wal_publish_order_broken",
+            SchedOpts {
+                preemption_bound: 2,
+                max_schedules: 200,
+            },
+            &wal_publish_order_broken,
+        );
+        let v = out.violation.expect("publish-before-append must be caught");
+        assert!(
+            v.message.contains("published before its record"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn wal_mock_append_first_is_clean() {
+        let out = explore(
+            "wal_publish_order",
+            SchedOpts {
+                preemption_bound: 2,
+                max_schedules: 200,
+            },
+            &wal_publish_order,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn wal_append_vs_publish_explores_cleanly() {
+        let out = explore(
+            "wal_append_vs_publish",
+            SchedOpts {
+                preemption_bound: 2,
+                max_schedules: 60,
+            },
+            &wal_append_vs_publish,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(
+            out.schedules > 5,
+            "wal hooks produced too few yield points ({} schedules)",
+            out.schedules
+        );
     }
 
     #[test]

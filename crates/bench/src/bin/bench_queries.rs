@@ -23,6 +23,11 @@
 //! deserialization (interleaved), tracking what the work-queue open
 //! buys release over release.
 //!
+//! An `"ingest"` section times the live writer path — median ns per
+//! published batch with durability off, a write-ahead log at
+//! `FsyncPolicy::EveryN(8)`, and at `FsyncPolicy::Always` — tracking
+//! what the log's append+sync window costs release over release.
+//!
 //! A third section (`"serve"` — bench_serve) round-trips the warm
 //! where/when workloads through an in-process
 //! `utcq_core::serve::Server` over one loopback TCP connection,
@@ -365,6 +370,71 @@ fn main() {
         },
     );
 
+    // bench_ingest: the live writer path with the write-ahead log off
+    // vs on — what publishing a batch costs under each fsync policy.
+    // Each pass reopens a fresh copy of the base container (untimed)
+    // and then ingests the same batch sequence (timed), so the ns/batch
+    // medians isolate the append+sync+publish cost.
+    eprintln!("measuring ingest (durability off vs EveryN(8) vs Always)…");
+    let ingest_dir = std::env::temp_dir().join(format!("utcq-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+    std::fs::create_dir_all(&ingest_dir).expect("mk ingest scratch");
+    let mut ingest_base = built.ds.clone();
+    let ingest_tail = ingest_base
+        .trajectories
+        .split_off(ingest_base.trajectories.len() / 2);
+    let ingest_batch_size = (ingest_tail.len() / 8).max(1);
+    let ingest_batches: Vec<utcq_traj::Dataset> = ingest_tail
+        .chunks(ingest_batch_size)
+        .map(|c| utcq_traj::Dataset {
+            name: built.ds.name.clone(),
+            default_interval: built.ds.default_interval,
+            trajectories: c.to_vec(),
+        })
+        .collect();
+    let base_path = ingest_dir.join("base.utcq");
+    Store::build(
+        Arc::new(built.net.clone()),
+        &ingest_base,
+        datasets::paper_params(&profile),
+        stiu,
+    )
+    .expect("ingest base build")
+    .save(&base_path)
+    .expect("save ingest base");
+    let wal_path = ingest_dir.join("log.wal");
+    let measure_ingest = |fsync: Option<utcq_core::FsyncPolicy>| -> f64 {
+        let slot: std::cell::RefCell<Option<Store>> = std::cell::RefCell::new(None);
+        measure(
+            ingest_batches.len(),
+            smoke,
+            || {
+                slot.borrow_mut().take();
+                let _ = std::fs::remove_file(&wal_path);
+                let store = match fsync {
+                    None => Store::open(&base_path).expect("open ingest base"),
+                    Some(p) => Store::open_durable(
+                        &base_path,
+                        utcq_core::WalConfig::new(&wal_path).fsync(p),
+                    )
+                    .expect("open durable ingest base"),
+                };
+                *slot.borrow_mut() = Some(store);
+            },
+            || {
+                let s = slot.borrow();
+                let s = s.as_ref().expect("prepared store");
+                for b in &ingest_batches {
+                    s.ingest(b).expect("bench ingest");
+                }
+            },
+        )
+    };
+    let ingest_off_ns = measure_ingest(None);
+    let ingest_every_ns = measure_ingest(Some(utcq_core::FsyncPolicy::EveryN(8)));
+    let ingest_always_ns = measure_ingest(Some(utcq_core::FsyncPolicy::Always));
+    let _ = std::fs::remove_dir_all(&ingest_dir);
+
     // Leave the cache warm so the reported stats describe steady state.
     run_where(&store);
     run_when(&store);
@@ -500,6 +570,17 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"ingest\": {{\"batches\": {}, \"trajs_per_batch\": {}, \
+         \"off_ns_per_batch\": {:.1}, \"wal_every8_ns_per_batch\": {:.1}, \
+         \"wal_always_ns_per_batch\": {:.1}}},",
+        ingest_batches.len(),
+        ingest_batch_size,
+        ingest_off_ns,
+        ingest_every_ns,
+        ingest_always_ns
+    );
+    let _ = writeln!(
+        json,
         "  \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"entries\": {}, \"bytes\": {}, \"hit_rate\": {:.4}}}",
         stats.hits,
@@ -533,6 +614,10 @@ fn main() {
         qps(serve_where_ns),
         serve_when_ns,
         qps(serve_when_ns)
+    );
+    eprintln!(
+        "  ingest: off {:.0} ns/batch | wal every-8 {:.0} ns/batch | wal always {:.0} ns/batch",
+        ingest_off_ns, ingest_every_ns, ingest_always_ns
     );
     eprintln!(
         "  v3 open: sequential {:.2} ms | parallel {:.2} ms ({:.2}x)",

@@ -62,7 +62,12 @@
 //! * [`oracle`] — brute-force answers on uncompressed data, used as
 //!   ground truth for accuracy experiments (Fig. 11);
 //! * [`storage`] — the binary container formats (v1 legacy dataset-only,
-//!   v2 self-contained, v3 sharded) for persisting compressed datasets.
+//!   v2 self-contained, v3 sharded) for persisting compressed datasets;
+//! * [`wal`] — the write-ahead log behind [`wal::Durability`]: every
+//!   accepted live batch is appended (CRC32-checksummed, length-prefixed)
+//!   and fsynced *before* the epoch publish, replayed on open, truncated
+//!   by crash-safe checkpoints, and re-served to followers through the
+//!   `tail` wire op (see `docs/DURABILITY.md`).
 //!
 //! # Store shapes
 //!
@@ -191,6 +196,7 @@ pub mod snapshot;
 pub mod stiu;
 pub mod storage;
 pub mod store;
+pub mod wal;
 pub mod wire;
 
 pub use cache::{CacheStats, DEFAULT_CACHE_BYTES};
@@ -205,3 +211,4 @@ pub use shard::{ByRegion, ByTime, ShardPolicy, ShardSpec, ShardedStore, ShardedS
 pub use snapshot::Snapshot;
 pub use stiu::StiuParams;
 pub use store::{IngestReport, Store, StoreBuilder};
+pub use wal::{CheckpointReport, Durability, FsyncPolicy, WalConfig};

@@ -30,7 +30,7 @@ use crate::shard::{ShardSpec, ShardedStore};
 use crate::snapshot::Snapshot;
 use crate::stiu::StiuParams;
 use crate::store::{IngestReport, Store};
-use utcq_traj::Dataset;
+use utcq_traj::{Dataset, UncertainTrajectory};
 
 /// A container opened as a queryable target — single-store or sharded.
 ///
@@ -131,6 +131,73 @@ impl Opened {
         match self {
             Opened::Single(s) => s.ingest(batch),
             Opened::Sharded(s) => s.ingest(batch),
+        }
+    }
+
+    /// Opens a container of either shape with a write-ahead log sidecar
+    /// — [`Store::open_durable`] or [`ShardedStore::open_durable`]
+    /// depending on what the file holds. Logged batches replay on open;
+    /// subsequent [`Opened::ingest`] calls log before publishing.
+    pub fn open_durable(path: impl AsRef<Path>, cfg: crate::wal::WalConfig) -> Result<Self, Error> {
+        let opened = Self::open(&path)?;
+        let mut cfg = cfg;
+        if cfg.checkpoint_to.is_none() {
+            cfg.checkpoint_to = Some(path.as_ref().to_path_buf());
+        }
+        opened.attach_wal(cfg)?;
+        Ok(opened)
+    }
+
+    /// Attaches a write-ahead log to the underlying store, replaying any
+    /// records already in the file. Returns the replayed batch count.
+    pub fn attach_wal(&self, cfg: crate::wal::WalConfig) -> Result<usize, Error> {
+        match self {
+            Opened::Single(s) => s.attach_wal(cfg),
+            Opened::Sharded(s) => s.attach_wal(cfg),
+        }
+    }
+
+    /// Crash-safe checkpoint of the attached WAL (save + log
+    /// truncation); `Ok(None)` when no WAL or target is attached.
+    pub fn checkpoint(&self) -> Result<Option<crate::wal::CheckpointReport>, Error> {
+        match self {
+            Opened::Single(s) => s.checkpoint(),
+            Opened::Sharded(s) => s.checkpoint(),
+        }
+    }
+
+    /// Size of the attached log in bytes; `None` without a WAL.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        match self {
+            Opened::Single(s) => s.wal_bytes(),
+            Opened::Sharded(s) => s.wal_bytes(),
+        }
+    }
+
+    /// Batches published after epoch `from`, from the attached WAL's
+    /// in-memory feed; `None` without a WAL (serves the `tail` op).
+    pub fn wal_tail(&self, from: u64, max: usize) -> Option<crate::wal::TailRead> {
+        match self {
+            Opened::Single(s) => s.wal_tail(from, max),
+            Opened::Sharded(s) => s.wal_tail(from, max),
+        }
+    }
+
+    /// WAL-recorded publish epoch of exactly this batch, if any — the
+    /// serve layer's idempotent-ingest lookup.
+    pub fn wal_dedup(&self, tus: &[UncertainTrajectory]) -> Option<(u64, usize)> {
+        match self {
+            Opened::Single(s) => s.wal_dedup(tus),
+            Opened::Sharded(s) => s.wal_dedup(tus),
+        }
+    }
+
+    /// The current publish epoch (snapshot epoch of a single store, the
+    /// facade epoch of a sharded one) — what a follower resumes from.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            Opened::Single(s) => s.snapshot().epoch(),
+            Opened::Sharded(s) => s.facade_epoch(),
         }
     }
 

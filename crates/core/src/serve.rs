@@ -325,6 +325,150 @@ fn serve_connection(opened: &Opened, state: &ServerState, writable: bool, stream
 /// looking for its newline before giving up and closing the connection.
 pub const DRAIN_BUDGET_BYTES: u64 = 64 * wire::MAX_REQUEST_BYTES as u64;
 
+// ---------------------------------------------------------------------
+// Replication: the follower loop behind `utcq serve --follow`.
+
+/// How long a caught-up follower waits before asking the leader for
+/// news again.
+pub const FOLLOW_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// First reconnect delay after the leader drops; doubles per attempt.
+pub const FOLLOW_BACKOFF_BASE: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Ceiling on the reconnect delay.
+pub const FOLLOW_BACKOFF_CAP: std::time::Duration = std::time::Duration::from_secs(5);
+
+/// A tiny xorshift generator for backoff jitter — enough randomness to
+/// de-synchronize a fleet of reconnecting followers without pulling in
+/// an RNG dependency.
+struct Jitter(u64);
+
+impl Jitter {
+    fn seeded() -> Jitter {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        Jitter((nanos << 17) ^ u64::from(std::process::id()) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// Sleeps in short slices so a raised `stop` flag is honored promptly.
+fn sleep_unless_stopped(total: std::time::Duration, stop: &AtomicBool) {
+    let slice = std::time::Duration::from_millis(20);
+    let mut left = total;
+    while !stop.load(Ordering::SeqCst) && !left.is_zero() {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left -= step;
+    }
+}
+
+/// Streams accepted batches from a leader into this container — the
+/// loop behind `utcq serve --follow <addr>`.
+///
+/// Connects to `leader`, repeatedly asks for batches after the epoch
+/// this container is at (`{"op":"tail","from":<epoch>}`), and applies
+/// each through the normal ingest path — the same compress-and-publish
+/// code the leader ran, which is what makes leader and follower answers
+/// byte-identical. On a disconnect it retries with capped exponential
+/// backoff plus jitter and resumes from its own epoch, so no batch is
+/// applied twice and none is skipped.
+///
+/// Returns `Ok(())` when `stop` is raised. Returns an error only when
+/// following cannot meaningfully continue:
+///
+/// * the leader answers `tail_gap` — this follower is too far behind
+///   the leader's bounded feed and must re-sync from a fresh container
+///   copy;
+/// * the leader answers `no_wal` — it was started without `--wal`;
+/// * an applied batch publishes under a different epoch than the leader
+///   recorded (the stores have diverged).
+pub fn follow(opened: &Opened, leader: &str, stop: &AtomicBool) -> Result<(), Error> {
+    let mut jitter = Jitter::seeded();
+    let mut attempt: u32 = 0;
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match TcpStream::connect(leader) {
+            Ok(s) => s,
+            Err(_) => {
+                sleep_unless_stopped(backoff(attempt, &mut jitter), stop);
+                attempt = attempt.saturating_add(1);
+                continue;
+            }
+        };
+        // A read timeout keeps a hung leader from pinning the loop; a
+        // timed-out read is treated like a disconnect.
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = BufWriter::new(stream);
+        attempt = 0;
+        while !stop.load(Ordering::SeqCst) {
+            let from = opened.epoch();
+            let request = format!("{{\"op\":\"tail\",\"from\":{from}}}\n");
+            if writer
+                .write_all(request.as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break; // reconnect
+            }
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break, // EOF, timeout or torn connection
+                Ok(_) => {}
+            }
+            let (batches, _current) = match wire::parse_tail_reply(line.trim_end()) {
+                Ok(r) => r,
+                Err(msg) => {
+                    if msg.starts_with("tail_gap") || msg.starts_with("no_wal") {
+                        return Err(Error::Io(std::io::Error::other(format!(
+                            "cannot follow {leader}: {msg}"
+                        ))));
+                    }
+                    break; // malformed reply: resync over a fresh connection
+                }
+            };
+            if batches.is_empty() {
+                sleep_unless_stopped(FOLLOW_POLL, stop);
+                continue;
+            }
+            for (leader_epoch, batch) in &batches {
+                let report = opened.ingest(batch)?;
+                if report.epoch != *leader_epoch {
+                    return Err(Error::Io(std::io::Error::other(format!(
+                        "follower diverged from {leader}: batch recorded at leader epoch \
+                         {leader_epoch} published locally as epoch {}; re-sync from a fresh \
+                         container copy",
+                        report.epoch
+                    ))));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Delay before reconnect attempt `attempt`: `base · 2^attempt` capped,
+/// plus up to half of itself in jitter.
+fn backoff(attempt: u32, jitter: &mut Jitter) -> std::time::Duration {
+    let base = FOLLOW_BACKOFF_BASE.saturating_mul(1u32 << attempt.min(8));
+    let capped = base.min(FOLLOW_BACKOFF_CAP);
+    let extra = jitter.next() % (capped.as_millis() as u64 / 2).max(1);
+    capped + std::time::Duration::from_millis(extra)
+}
+
 /// Discards buffered input through the next `\n`, in `fill_buf`-sized
 /// chunks and never more than [`DRAIN_BUDGET_BYTES`] total. Returns
 /// whether a newline was found (i.e. the stream is resynchronized).
@@ -429,5 +573,67 @@ mod tests {
         let runner = std::thread::spawn(move || server.run().unwrap());
         handle.shutdown();
         runner.join().unwrap();
+    }
+
+    #[test]
+    fn follower_streams_batches_and_stays_byte_identical() {
+        // Leader: paper store with a WAL attached (the tail op needs
+        // the in-memory feed).
+        let leader = paper_opened();
+        let dir = std::env::temp_dir().join(format!("utcq-follow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal_path = dir.join("leader.wal");
+        let _ = std::fs::remove_file(&wal_path);
+        leader
+            .attach_wal(crate::wal::WalConfig::new(wal_path))
+            .unwrap();
+        let server = Server::bind(Arc::clone(&leader), "127.0.0.1:0", 2)
+            .unwrap()
+            .writable(true);
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // Follower: an identical store, tailing the leader.
+        let follower = paper_opened();
+        let stop = Arc::new(AtomicBool::new(false));
+        let f_opened = Arc::clone(&follower);
+        let f_stop = Arc::clone(&stop);
+        let leader_addr = addr.to_string();
+        let tail = std::thread::spawn(move || follow(&f_opened, &leader_addr, &f_stop).unwrap());
+
+        // Publish a batch on the leader over the wire.
+        let fx = paper_fixture::build();
+        let mut tu = fx.tu.clone();
+        tu.id = 9;
+        for t in &mut tu.times {
+            *t += 100_000;
+        }
+        let batch = Dataset {
+            name: String::new(),
+            default_interval: paper_fixture::DEFAULT_INTERVAL,
+            trajectories: vec![tu.clone()],
+        };
+        leader.ingest(&batch).unwrap();
+
+        // The follower catches up within the poll cadence.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while follower.epoch() < 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(follower.epoch(), 1, "follower never caught up");
+
+        stop.store(true, Ordering::SeqCst);
+        tail.join().unwrap();
+        handle.shutdown();
+        runner.join().unwrap();
+
+        // Leader and follower answer the same query byte-identically.
+        let t = tu.times[0];
+        let req = format!(r#"{{"op":"where","traj":9,"t":{t},"alpha":0}}"#);
+        let a = wire::handle_line(&leader, &req).line;
+        let b = wire::handle_line(&follower, &req).line;
+        assert!(a.contains(r#""ok":true"#), "{a}");
+        assert_eq!(a, b, "leader and follower answers must be byte-identical");
     }
 }

@@ -76,7 +76,7 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -92,6 +92,7 @@ use crate::snapshot::{Snapshot, Swap};
 use crate::stiu::StiuParams;
 use crate::storage::{self, ShardDirectory, POLICY_CUSTOM, POLICY_REGION, POLICY_TIME};
 use crate::store::{IngestReport, Store, StoreBuilder};
+use crate::wal::{self, CheckpointReport, Durability, Sidecar, TailRead, WalConfig};
 
 /// Maximum number of shards a store may have (the shard tag of a
 /// where/when cursor is 16 bits).
@@ -274,6 +275,7 @@ pub struct ShardedStoreBuilder {
     policy: Arc<dyn ShardPolicy>,
     builders: Vec<StoreBuilder>,
     total_cache_bytes: usize,
+    durability: Durability,
 }
 
 impl ShardedStoreBuilder {
@@ -298,9 +300,18 @@ impl ShardedStoreBuilder {
             policy,
             builders,
             total_cache_bytes: crate::cache::DEFAULT_CACHE_BYTES,
+            durability: Durability::Off,
         };
         b.apply_cache_budget();
         Ok(b)
+    }
+
+    /// Sets the durability mode of the finished store — one
+    /// facade-level log for the whole store, exactly as
+    /// [`StoreBuilder::durability`] configures a single store.
+    pub fn durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
     }
 
     fn apply_cache_budget(&mut self) {
@@ -368,7 +379,11 @@ impl ShardedStoreBuilder {
             .map(StoreBuilder::finish)
             .collect::<Result<Vec<_>, _>>()?;
         let spec = self.policy.spec();
-        ShardedStore::from_shards_with_policy(shards, spec, Some(self.policy))
+        let store = ShardedStore::from_shards_with_policy(shards, spec, Some(self.policy))?;
+        if let Durability::Wal(cfg) = self.durability {
+            store.attach_wal(cfg)?;
+        }
+        Ok(store)
     }
 }
 
@@ -521,6 +536,9 @@ pub struct ShardedStore {
     next_epoch: AtomicU64,
     /// Serializes facade writers (ingest, consistent checkpoints).
     writer: Mutex<()>,
+    /// The facade-level write-ahead log, if any (whole batches, facade
+    /// epochs). Taken only by writers, always after the writer lock.
+    durability: Mutex<Option<Sidecar>>,
 }
 
 impl std::fmt::Debug for ShardedStore {
@@ -565,6 +583,7 @@ impl ShardedStore {
             facade: Swap::new(Arc::new(facade)),
             next_epoch: AtomicU64::new(1),
             writer: Mutex::new(()),
+            durability: Mutex::new(None),
         })
     }
 
@@ -667,16 +686,22 @@ impl ShardedStore {
     /// # Ok(()) }
     /// ```
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
-        let f = File::create(path)?;
-        self.write(&mut BufWriter::new(f))
+        crate::wal::atomic_write(path.as_ref(), |w| self.write(w))
     }
 
     /// Writes the v3 container to an arbitrary writer (a consistent cut;
     /// see [`ShardedStore::save`]).
     pub fn write(&self, w: &mut impl Write) -> Result<(), Error> {
         let snaps = self.pin_consistent();
+        self.write_snaps(&snaps, w)
+    }
+
+    /// Serializes an already-pinned set of shard snapshots as a v3
+    /// container — shared by [`ShardedStore::write`] and the checkpoint
+    /// path (which pins under its own writer lock).
+    fn write_snaps(&self, snaps: &[Arc<Snapshot>], w: &mut impl Write) -> Result<(), Error> {
         let mut blobs = Vec::with_capacity(snaps.len());
-        for snap in &snaps {
+        for snap in snaps {
             let mut blob = Vec::new();
             snap.write(&mut blob)?;
             blobs.push(blob);
@@ -724,6 +749,13 @@ impl ShardedStore {
     /// by a concurrent facade publish.
     pub fn ingest(&self, batch: &Dataset) -> Result<IngestReport, Error> {
         let _writer = self.writer_lock();
+        self.ingest_locked(batch)
+    }
+
+    /// [`ShardedStore::ingest`] with the writer lock already held — the
+    /// WAL replay path of [`ShardedStore::attach_wal`] drives this
+    /// directly.
+    fn ingest_locked(&self, batch: &Dataset) -> Result<IngestReport, Error> {
         let Some(policy) = &self.policy else {
             return Err(Error::ShardConfig(
                 "live ingest needs a routing policy (custom-policy containers are read-only)",
@@ -767,6 +799,16 @@ impl ShardedStore {
                 epoch: facade.epoch,
             });
         }
+        // The batch will publish: log it first, so that a crash from
+        // here on replays it. The facade epoch is allocated up front —
+        // it is what the record carries as the expected post-epoch.
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = self.wal_append(epoch, batch) {
+            // Nothing published: roll the epoch allocation back so the
+            // log and the facade epoch sequence stay gap-free.
+            self.next_epoch.fetch_sub(1, Ordering::Relaxed);
+            return Err(e);
+        }
         // Publish: shards first (back-to-back pointer swaps), facade
         // second — the facade publish is the batch's visibility point.
         let snaps: Vec<Arc<Snapshot>> = prepared
@@ -783,7 +825,6 @@ impl ShardedStore {
         // The shards-published / facade-unpublished window the ordering
         // argument hinges on: readers here must see the old facade.
         crate::hooks::point("sharded.shards_published");
-        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed);
         let new_facade = FacadeState::build(epoch, &snaps)?;
         let total = new_facade.id_to_shard.len();
         self.facade.store(Arc::new(new_facade));
@@ -798,6 +839,152 @@ impl ShardedStore {
     /// publication).
     pub fn facade_epoch(&self) -> u64 {
         self.facade.load().epoch
+    }
+
+    /// Adopts the durability slot even after a writer panic (see
+    /// [`Store`]'s equivalent: an interrupted append is a torn tail on
+    /// the next open, not broken memory state).
+    fn wal_lock(&self) -> std::sync::MutexGuard<'_, Option<Sidecar>> {
+        match self.durability.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Logs a publishing batch under facade epoch `epoch`. No-op without
+    /// an attached WAL. Called under the writer lock, before any shard
+    /// publishes.
+    fn wal_append(&self, epoch: u64, batch: &Dataset) -> Result<(), Error> {
+        let mut guard = self.wal_lock();
+        let Some(sc) = guard.as_mut() else {
+            return Ok(());
+        };
+        sc.append_live(wal::Record {
+            epoch,
+            name: batch.name.clone(),
+            default_interval: batch.default_interval,
+            trajectories: batch.trajectories.clone(),
+        })
+    }
+
+    /// Opens a sharded container with a write-ahead log sidecar — the
+    /// sharded counterpart of [`Store::open_durable`]: logged batches
+    /// replay through the normal routed ingest path, so the rebuilt
+    /// store is byte-identical to one that ingested them live. The
+    /// container path becomes the checkpoint target unless `cfg` names
+    /// another.
+    pub fn open_durable(path: impl AsRef<Path>, cfg: WalConfig) -> Result<Self, Error> {
+        let path = path.as_ref();
+        let store = Self::open(path)?;
+        let mut cfg = cfg;
+        if cfg.checkpoint_to.is_none() {
+            cfg.checkpoint_to = Some(path.to_path_buf());
+        }
+        store.attach_wal(cfg)?;
+        Ok(store)
+    }
+
+    /// Attaches a facade-level write-ahead log, replaying any records in
+    /// the file through [`ShardedStore::ingest`]'s routed path. Returns
+    /// the number of replayed batches. Tolerates the same
+    /// crashed-mid-checkpoint prefix as [`Store::attach_wal`].
+    pub fn attach_wal(&self, cfg: WalConfig) -> Result<usize, Error> {
+        let _writer = self.writer_lock();
+        if self.wal_lock().is_some() {
+            return Err(Error::CorruptStore("a wal is already attached"));
+        }
+        let (wal, records) = wal::Wal::open(&cfg)?;
+        let mut sc = Sidecar::new(wal, &cfg);
+        let mut skipped = 0u64;
+        let mut applied: Vec<wal::Record> = Vec::new();
+        for (expect, rec) in (1u64..).zip(records) {
+            if rec.epoch != expect {
+                return Err(Error::CorruptStore("wal record epochs are not sequential"));
+            }
+            let all_present = !rec.trajectories.is_empty() && {
+                let facade = self.facade.load();
+                rec.trajectories
+                    .iter()
+                    .all(|t| facade.id_to_shard.contains_key(&t.id))
+            };
+            if all_present {
+                if !applied.is_empty() {
+                    return Err(Error::CorruptStore("wal batch overlaps the container"));
+                }
+                skipped += 1;
+                continue;
+            }
+            let batch = Dataset {
+                name: rec.name.clone(),
+                default_interval: rec.default_interval,
+                trajectories: rec.trajectories.clone(),
+            };
+            let report = self.ingest_locked(&batch)?;
+            let live = rec.epoch - skipped;
+            if report.epoch != live {
+                if report.ingested == 0 && applied.is_empty() {
+                    skipped += 1;
+                    continue;
+                }
+                return Err(Error::CorruptStore(
+                    "wal replay produced an unexpected epoch",
+                ));
+            }
+            applied.push(wal::Record { epoch: live, ..rec });
+        }
+        if skipped > 0 {
+            sc.wal.truncate()?;
+            for rec in &applied {
+                sc.wal.append(rec)?;
+            }
+        }
+        let n = applied.len();
+        for rec in applied {
+            sc.push_feed(rec);
+        }
+        *self.wal_lock() = Some(sc);
+        Ok(n)
+    }
+
+    /// Crash-safe checkpoint — the sharded counterpart of
+    /// [`Store::checkpoint`]: saves a batch-consistent v3 cut to the
+    /// recorded target (tmp file + rename + directory fsync), then
+    /// truncates the log. `Ok(None)` without an attached WAL or target.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointReport>, Error> {
+        let _writer = self.writer_lock();
+        let snaps: Vec<Arc<Snapshot>> = self.shards.iter().map(Store::snapshot).collect();
+        let epoch = self.facade.load().epoch;
+        let mut guard = self.wal_lock();
+        let Some(sc) = guard.as_mut() else {
+            return Ok(None);
+        };
+        let Some(target) = sc.checkpoint_to.clone() else {
+            return Ok(None);
+        };
+        let log_bytes = sc.wal.len_bytes();
+        wal::atomic_write(&target, |w| self.write_snaps(&snaps, w))?;
+        sc.checkpointed(epoch)?;
+        Ok(Some(CheckpointReport { epoch, log_bytes }))
+    }
+
+    /// Current size of the attached log in bytes; `None` without a WAL.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.wal_lock().as_ref().map(|sc| sc.wal.len_bytes())
+    }
+
+    /// Batches published after facade epoch `from` (capped at `max`),
+    /// from the in-memory feed; `None` without a WAL.
+    pub fn wal_tail(&self, from: u64, max: usize) -> Option<TailRead> {
+        let current = self.facade.load().epoch;
+        self.wal_lock()
+            .as_ref()
+            .map(|sc| sc.records_since(from, max, current))
+    }
+
+    /// If the attached WAL recorded exactly this batch, its facade
+    /// epoch and size (see [`Store::wal_dedup`]).
+    pub fn wal_dedup(&self, tus: &[UncertainTrajectory]) -> Option<(u64, usize)> {
+        self.wal_lock().as_ref().and_then(|sc| sc.dedup_epoch(tus))
     }
 
     /// The shard partitions, in directory order — read them freely

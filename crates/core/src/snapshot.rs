@@ -38,8 +38,7 @@
 //! append-only.
 
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -203,10 +202,10 @@ impl Snapshot {
     /// Persists this snapshot as a self-contained v2 container — the
     /// checkpoint path of a live store: the write runs entirely on the
     /// frozen state, so a server can keep ingesting while it runs.
+    /// Crash-safe: the container lands via tmp file + rename + parent
+    /// directory fsync, never as a torn in-place overwrite.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
-        let f = File::create(path)?;
-        let mut w = BufWriter::new(f);
-        self.write(&mut w)
+        crate::wal::atomic_write(path.as_ref(), |w| self.write(w))
     }
 
     /// Writes the v2 container to an arbitrary writer.

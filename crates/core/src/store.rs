@@ -64,7 +64,7 @@
 
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -81,6 +81,7 @@ use crate::plan::TrajPlan;
 use crate::query::{Page, PageRequest, RangeQuery, WhenHit, WhereHit};
 use crate::snapshot::{PartitionState, Snapshot, Swap};
 use crate::stiu::{Stiu, StiuParams};
+use crate::wal::{self, CheckpointReport, Durability, Sidecar, TailRead, WalConfig};
 
 /// What one [`Store::ingest`] (or [`crate::shard::ShardedStore::ingest`])
 /// publication did — echoed verbatim by the serve protocol's `ingest`
@@ -109,6 +110,9 @@ pub struct Store {
     next_epoch: AtomicU64,
     /// Serializes writers; queries never touch it.
     writer: Mutex<()>,
+    /// The attached write-ahead log, if any (see [`crate::wal`]). Taken
+    /// only by writers, always after the writer lock.
+    durability: Mutex<Option<Sidecar>>,
 }
 
 /// Incremental construction of a [`Store`].
@@ -143,6 +147,7 @@ pub struct StoreBuilder {
     name: Option<String>,
     state: PartitionState,
     cache_bytes: usize,
+    durability: Durability,
 }
 
 impl StoreBuilder {
@@ -156,7 +161,18 @@ impl StoreBuilder {
             name: None,
             state,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            durability: Durability::Off,
         }
+    }
+
+    /// Sets the durability mode of the finished store: with
+    /// [`Durability::Wal`], [`Store::ingest`] appends every accepted
+    /// batch to the log before publishing, and any batches already in
+    /// the log file are replayed on top of the built state by
+    /// [`finish`](Self::finish).
+    pub fn durability(mut self, d: Durability) -> Self {
+        self.durability = d;
+        self
     }
 
     /// Overrides the decode-cache byte budget of the finished store
@@ -241,23 +257,24 @@ impl StoreBuilder {
         }
         let b = crate::shard::ShardedStoreBuilder::new(self.net, self.params, policy, n_shards)?
             .stiu_params(self.stiu_params)
-            .cache_bytes(self.cache_bytes);
+            .cache_bytes(self.cache_bytes)
+            .durability(self.durability);
         Ok(match self.name {
             Some(n) => b.name(&n),
             None => b,
         })
     }
 
-    /// Finalizes the store.
+    /// Finalizes the store, attaching the configured write-ahead log
+    /// (if any) and replaying whatever batches it already holds.
     pub fn finish(self) -> Result<Store, Error> {
         let mut state = self.state;
         state.cds.name = self.name.unwrap_or_default();
-        Ok(Store::from_state(
-            self.net,
-            state,
-            self.stiu_params,
-            self.cache_bytes,
-        ))
+        let store = Store::from_state(self.net, state, self.stiu_params, self.cache_bytes);
+        if let Durability::Wal(cfg) = self.durability {
+            store.attach_wal(cfg)?;
+        }
+        Ok(store)
     }
 }
 
@@ -320,6 +337,7 @@ impl Store {
             snap: Swap::new(Arc::new(snap)),
             next_epoch: AtomicU64::new(1),
             writer: Mutex::new(()),
+            durability: Mutex::new(None),
         }
     }
 
@@ -403,9 +421,7 @@ impl Store {
     /// # Ok(()) }
     /// ```
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
-        let f = File::create(path)?;
-        let mut w = BufWriter::new(f);
-        self.write(&mut w)
+        crate::wal::atomic_write(path.as_ref(), |w| self.write(w))
     }
 
     /// Writes the current snapshot's v2 container to an arbitrary writer.
@@ -516,6 +532,17 @@ impl Store {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
         };
+        self.ingest_trajs_locked(default_interval, name, tus)
+    }
+
+    /// [`Store::ingest_trajs`] with the writer lock already held — the
+    /// WAL replay path of [`Store::attach_wal`] drives this directly.
+    fn ingest_trajs_locked(
+        &self,
+        default_interval: i64,
+        name: &str,
+        tus: &[&UncertainTrajectory],
+    ) -> Result<IngestReport, Error> {
         match self.prepare_trajs(default_interval, name, tus)? {
             None => {
                 let cur = self.snap.load();
@@ -531,10 +558,188 @@ impl Store {
                     total: snap.len(),
                     epoch: snap.epoch(),
                 };
+                if let Err(e) = self.wal_append(snap.epoch(), default_interval, name, tus) {
+                    // Nothing published: roll the epoch allocation back
+                    // so the log and the epoch sequence stay gap-free.
+                    self.next_epoch.fetch_sub(1, Ordering::Relaxed);
+                    return Err(e);
+                }
                 self.snap.store(snap);
                 Ok(report)
             }
         }
+    }
+
+    /// Adopts the durability slot even after a writer panic: the sidecar
+    /// is only ever mutated append-wise, and an interrupted append shows
+    /// up as a torn tail on the next open, not as broken memory state.
+    fn wal_lock(&self) -> std::sync::MutexGuard<'_, Option<Sidecar>> {
+        match self.durability.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Logs a publishing batch. No-op without an attached WAL. Called
+    /// under the writer lock, *before* the snapshot swap — the record
+    /// must be on disk (per the fsync policy) before readers can see
+    /// the batch.
+    fn wal_append(
+        &self,
+        epoch: u64,
+        default_interval: i64,
+        name: &str,
+        tus: &[&UncertainTrajectory],
+    ) -> Result<(), Error> {
+        let mut guard = self.wal_lock();
+        let Some(sc) = guard.as_mut() else {
+            return Ok(());
+        };
+        sc.append_live(wal::Record {
+            epoch,
+            name: name.to_string(),
+            default_interval,
+            trajectories: tus.iter().map(|t| (*t).clone()).collect(),
+        })
+    }
+
+    /// Opens a v2 container with a write-ahead log sidecar: any batches
+    /// in the log are replayed on top of the container (byte-identical
+    /// to having ingested them live), a torn final record is truncated
+    /// away, and subsequent [`Store::ingest`] calls append to the log
+    /// before publishing. The container path becomes the checkpoint
+    /// target unless `cfg` names another.
+    pub fn open_durable(path: impl AsRef<Path>, cfg: WalConfig) -> Result<Self, Error> {
+        let path = path.as_ref();
+        let store = Self::open(path)?;
+        let mut cfg = cfg;
+        if cfg.checkpoint_to.is_none() {
+            cfg.checkpoint_to = Some(path.to_path_buf());
+        }
+        store.attach_wal(cfg)?;
+        Ok(store)
+    }
+
+    /// Attaches a write-ahead log to a live store, replaying any records
+    /// already in the file through the normal ingest path. Returns the
+    /// number of replayed batches.
+    ///
+    /// Replay tolerates a checkpoint that crashed between the container
+    /// save and the log truncation: a prefix of records whose
+    /// trajectories are all already present is skipped and the log is
+    /// rewritten without it (completing the interrupted truncation).
+    /// Anything else that disagrees with the container is corruption.
+    pub fn attach_wal(&self, cfg: WalConfig) -> Result<usize, Error> {
+        // Same order as every writer: writer lock, then the wal slot.
+        let _writer = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if self.wal_lock().is_some() {
+            return Err(Error::CorruptStore("a wal is already attached"));
+        }
+        let (wal, records) = wal::Wal::open(&cfg)?;
+        let mut sc = Sidecar::new(wal, &cfg);
+        let mut skipped = 0u64;
+        let mut applied: Vec<wal::Record> = Vec::new();
+        for (expect, rec) in (1u64..).zip(records) {
+            if rec.epoch != expect {
+                return Err(Error::CorruptStore("wal record epochs are not sequential"));
+            }
+            let all_present = !rec.trajectories.is_empty() && {
+                let snap = self.snap.load();
+                rec.trajectories
+                    .iter()
+                    .all(|t| snap.traj_index(t.id).is_some())
+            };
+            if all_present {
+                if !applied.is_empty() {
+                    return Err(Error::CorruptStore("wal batch overlaps the container"));
+                }
+                skipped += 1;
+                continue;
+            }
+            let tus: Vec<&UncertainTrajectory> = rec.trajectories.iter().collect();
+            let report = self.ingest_trajs_locked(rec.default_interval, &rec.name, &tus)?;
+            let live = rec.epoch - skipped;
+            if report.epoch != live {
+                // A no-op replay (name already adopted by the saved
+                // container) in the skipped prefix; anything past an
+                // applied record must line up exactly.
+                if report.ingested == 0 && applied.is_empty() {
+                    skipped += 1;
+                    continue;
+                }
+                return Err(Error::CorruptStore(
+                    "wal replay produced an unexpected epoch",
+                ));
+            }
+            applied.push(wal::Record { epoch: live, ..rec });
+        }
+        if skipped > 0 {
+            // Finish the interrupted checkpoint: drop the absorbed
+            // prefix from disk and renumber the survivors.
+            sc.wal.truncate()?;
+            for rec in &applied {
+                sc.wal.append(rec)?;
+            }
+        }
+        let n = applied.len();
+        for rec in applied {
+            sc.push_feed(rec);
+        }
+        *self.wal_lock() = Some(sc);
+        Ok(n)
+    }
+
+    /// Crash-safe checkpoint: saves the current snapshot to the recorded
+    /// checkpoint target (tmp file + rename + directory fsync), then
+    /// truncates the log — after which a reopen replays from the fresh
+    /// container alone. Returns `Ok(None)` when no WAL (or no target
+    /// path) is attached. Serializes with writers; queries never block.
+    pub fn checkpoint(&self) -> Result<Option<CheckpointReport>, Error> {
+        let _writer = match self.writer.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let snap = self.snap.load();
+        let mut guard = self.wal_lock();
+        let Some(sc) = guard.as_mut() else {
+            return Ok(None);
+        };
+        let Some(target) = sc.checkpoint_to.clone() else {
+            return Ok(None);
+        };
+        let log_bytes = sc.wal.len_bytes();
+        wal::atomic_write(&target, |w| snap.write(w))?;
+        sc.checkpointed(snap.epoch())?;
+        Ok(Some(CheckpointReport {
+            epoch: snap.epoch(),
+            log_bytes,
+        }))
+    }
+
+    /// Current size of the attached log in bytes; `None` without a WAL.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.wal_lock().as_ref().map(|sc| sc.wal.len_bytes())
+    }
+
+    /// Batches published after epoch `from` (capped at `max`), from the
+    /// in-memory feed of the attached WAL; `None` without a WAL. Serves
+    /// the `tail` wire op.
+    pub fn wal_tail(&self, from: u64, max: usize) -> Option<TailRead> {
+        let current = self.snap.load().epoch();
+        self.wal_lock()
+            .as_ref()
+            .map(|sc| sc.records_since(from, max, current))
+    }
+
+    /// If the attached WAL recorded exactly this batch (trajectories
+    /// compared in full), its publish epoch and size — lets the serve
+    /// layer answer a re-sent batch idempotently instead of failing on
+    /// duplicates.
+    pub fn wal_dedup(&self, tus: &[UncertainTrajectory]) -> Option<(u64, usize)> {
+        self.wal_lock().as_ref().and_then(|sc| sc.dedup_epoch(tus))
     }
 
     /// Builds — without publishing — the snapshot that appending `tus`

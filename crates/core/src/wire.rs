@@ -28,6 +28,7 @@ use crate::error::Error;
 use crate::opened::{InfoReport, Opened};
 use crate::query::{Page, PageRequest, QueryTarget, WhenHit, WhereHit, DEFAULT_PAGE_LIMIT};
 use crate::store::IngestReport;
+use crate::wal::{CheckpointReport, Record, TailRead};
 use utcq_network::{EdgeId, Rect};
 use utcq_traj::{Dataset, Instance, PathPosition, UncertainTrajectory};
 
@@ -37,6 +38,11 @@ use utcq_traj::{Dataset, Instance, PathPosition, UncertainTrajectory};
 /// additionally bounds its reads so an unterminated line cannot buffer
 /// without limit.
 pub const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Most batches one `tail` reply returns when the request carries no
+/// `max` field. Keeps a reply bounded no matter how far behind the
+/// follower is; the follower simply asks again from the next epoch.
+pub const DEFAULT_TAIL_MAX: usize = 64;
 
 /// A parsed JSON value — the subset of shapes the protocol uses.
 #[derive(Debug, Clone, PartialEq)]
@@ -433,6 +439,22 @@ pub enum Request {
         /// store has none yet, matching builder semantics).
         name: String,
     },
+    /// `tail(from)`: stream accepted batches with epochs strictly
+    /// greater than `from` (the epoch the caller already has) from the
+    /// in-memory WAL feed. Read-only surfaces answer it (followers
+    /// connect without `--writable`); containers without an attached WAL
+    /// answer with the `no_wal` error code, and a `from` so old the
+    /// bounded feed no longer covers `from + 1` answers `tail_gap`.
+    Tail {
+        /// The epoch the caller is already at; batches after it are
+        /// returned.
+        from: u64,
+        /// Most batches to return in one reply.
+        max: usize,
+    },
+    /// `checkpoint`: persist the current snapshot crash-safely and
+    /// truncate the WAL. Writable surfaces only.
+    Checkpoint,
     /// Container description (the [`InfoReport`]).
     Info,
     /// Decode-cache counters.
@@ -700,6 +722,19 @@ pub fn parse_request(line: &str) -> Result<ParsedRequest, Box<RequestError>> {
                 name,
             }
         }
+        "tail" => Request::Tail {
+            from: u64_field(&v, &id, "from")?,
+            max: match v.get("max") {
+                None => DEFAULT_TAIL_MAX,
+                Some(n) => n.as_u64().ok_or_else(|| {
+                    bad(
+                        &id,
+                        "field 'max' must be a non-negative integer".to_string(),
+                    )
+                })? as usize,
+            },
+        },
+        "checkpoint" => Request::Checkpoint,
         "info" => Request::Info,
         "cache_stats" => Request::CacheStats,
         "ping" => Request::Ping,
@@ -887,6 +922,97 @@ fn respond_ingest(id: Option<&Json>, report: &IngestReport) -> String {
     out
 }
 
+/// The `ingest` success shape plus `"deduped":true` — answered when a
+/// retried batch is recognized in the WAL feed instead of re-applied.
+fn respond_ingest_deduped(id: Option<&Json>, ingested: usize, total: usize, epoch: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = begin(id, true);
+    let _ = write!(
+        out,
+        ",\"op\":\"ingest\",\"ingested\":{ingested},\"total\":{total},\"epoch\":{epoch},\"deduped\":true}}"
+    );
+    out
+}
+
+/// Serializes one trajectory in the exact shape [`parse_trajectory`]
+/// accepts, so a `tail` reply can be fed straight back into `ingest` —
+/// and, because [`write_f64`] prints the shortest round-tripping form,
+/// a follower applying it reproduces the leader's floats bit-for-bit.
+fn write_trajectory(out: &mut String, tu: &UncertainTrajectory) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"id\":{},\"times\":[", tu.id);
+    for (i, t) in tu.times.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{t}");
+    }
+    out.push_str("],\"instances\":[");
+    for (i, inst) in tu.instances.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"prob\":");
+        write_f64(out, inst.prob);
+        out.push_str(",\"path\":[");
+        for (j, e) in inst.path.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", e.0);
+        }
+        out.push_str("],\"positions\":[");
+        for (j, p) in inst.positions.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{},", p.path_idx);
+            write_f64(out, p.rd);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+fn respond_tail(id: Option<&Json>, records: &[Record], current: u64) -> String {
+    use std::fmt::Write as _;
+    let mut out = begin(id, true);
+    let _ = write!(out, ",\"op\":\"tail\",\"epoch\":{current},\"batches\":[");
+    for (i, rec) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"epoch\":{},\"name\":", rec.epoch);
+        write_str(&mut out, &rec.name);
+        let _ = write!(
+            out,
+            ",\"interval\":{},\"trajectories\":[",
+            rec.default_interval
+        );
+        for (j, tu) in rec.trajectories.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_trajectory(&mut out, tu);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn respond_checkpoint(id: Option<&Json>, report: &CheckpointReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = begin(id, true);
+    let _ = write!(
+        out,
+        ",\"op\":\"checkpoint\",\"epoch\":{},\"log_bytes\":{}}}",
+        report.epoch, report.log_bytes
+    );
+    out
+}
+
 fn respond_simple(id: Option<&Json>, op: &str) -> String {
     let mut out = begin(id, true);
     out.push_str(",\"op\":");
@@ -904,6 +1030,68 @@ pub fn respond_error(id: Option<&Json>, code: &str, message: &str) -> String {
     write_str(&mut out, message);
     out.push_str("}}");
     out
+}
+
+/// Decodes a `tail` reply on the follower side: the accepted batches
+/// (leader epoch + batch dataset, oldest first) and the leader's
+/// current epoch. An `ok:false` reply becomes `Err("code: message")` so
+/// the follower can distinguish `tail_gap` (must re-sync) from
+/// transient failures.
+pub fn parse_tail_reply(line: &str) -> Result<(Vec<(u64, Dataset)>, u64), String> {
+    let v = Json::parse(line).map_err(|e| format!("malformed tail reply: {e}"))?;
+    if !matches!(v.get("ok"), Some(Json::Bool(true))) {
+        let code = v
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown");
+        let message = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("tail request failed");
+        return Err(format!("{code}: {message}"));
+    }
+    let current = v
+        .get("epoch")
+        .and_then(Json::as_u64)
+        .ok_or("tail reply is missing 'epoch'")?;
+    let Some(Json::Arr(batches_v)) = v.get("batches") else {
+        return Err("tail reply is missing 'batches'".to_string());
+    };
+    let mut batches = Vec::with_capacity(batches_v.len());
+    for b in batches_v {
+        let epoch = b
+            .get("epoch")
+            .and_then(Json::as_u64)
+            .ok_or("tail batch is missing 'epoch'")?;
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("tail batch is missing 'name'")?
+            .to_string();
+        let default_interval = b
+            .get("interval")
+            .and_then(Json::as_i64)
+            .ok_or("tail batch is missing 'interval'")?;
+        let Some(Json::Arr(items)) = b.get("trajectories") else {
+            return Err("tail batch is missing 'trajectories'".to_string());
+        };
+        let trajectories = items
+            .iter()
+            .enumerate()
+            .map(|(at, t)| parse_trajectory(t, &None, at).map_err(|e| e.message))
+            .collect::<Result<Vec<_>, _>>()?;
+        batches.push((
+            epoch,
+            Dataset {
+                name,
+                default_interval,
+                trajectories,
+            },
+        ));
+    }
+    Ok((batches, current))
 }
 
 /// One executed request: the response line (no trailing newline) and
@@ -1023,6 +1211,46 @@ fn execute(opened: &Opened, writable: bool, line: &str) -> Reply {
             },
             false,
         ),
+        Request::Tail { from, max } => (
+            match opened.wal_tail(from, max) {
+                None => respond_error(
+                    id,
+                    "no_wal",
+                    "this container has no write-ahead log attached; start the leader with --wal",
+                ),
+                Some(TailRead::Gap { base }) => respond_error(
+                    id,
+                    "tail_gap",
+                    &format!(
+                        "cannot resume after epoch {from}: the feed only reaches back to \
+                         epoch {base}; re-sync from a fresh container copy"
+                    ),
+                ),
+                Some(TailRead::Records { records, current }) => respond_tail(id, &records, current),
+            },
+            false,
+        ),
+        Request::Checkpoint => (
+            if !writable {
+                respond_error(
+                    id,
+                    "read_only",
+                    "this surface is read-only; restart the server with --writable",
+                )
+            } else {
+                match opened.checkpoint() {
+                    Ok(Some(report)) => respond_checkpoint(id, &report),
+                    Ok(None) => respond_error(
+                        id,
+                        "no_wal",
+                        "this container has no write-ahead log with a checkpoint target; \
+                         start the server with --wal",
+                    ),
+                    Err(e) => fail(e),
+                }
+            },
+            false,
+        ),
         Request::Info => (respond_info(id, &opened.info()), false),
         Request::CacheStats => (respond_cache(id, &opened.cache_stats()), false),
         Request::Ping => (respond_simple(id, "ping"), false),
@@ -1074,6 +1302,21 @@ fn run_ingest(
     };
     match opened.ingest(&batch) {
         Ok(report) => respond_ingest(id, &report),
+        // A duplicate batch may be a client retrying after a lost ack:
+        // if the WAL feed holds a record with exactly these
+        // trajectories, the batch already published — answer success
+        // with its recorded epoch so the retry is idempotent instead of
+        // fatal.
+        Err(Error::DuplicateTrajectory(d)) => match opened.wal_dedup(&batch.trajectories) {
+            Some((epoch, ingested)) => {
+                let total = opened.snapshots().iter().map(|s| s.len()).sum::<usize>();
+                respond_ingest_deduped(id, ingested, total, epoch)
+            }
+            None => {
+                let e = Error::DuplicateTrajectory(d);
+                respond_error(id, error_code(&e), &e.to_string())
+            }
+        },
         Err(e) => respond_error(id, error_code(&e), &e.to_string()),
     }
 }
@@ -1474,6 +1717,124 @@ mod tests {
         // string scanner consumes plain-byte runs as slices).
         let ok = format!(r#"{{"op":"ping","pad":"{}"}}"#, "y".repeat(100_000));
         assert!(handle_line(&opened, &ok).line.contains(r#""ok":true"#));
+    }
+
+    fn durable_paper_opened(name: &str) -> Opened {
+        let dir = std::env::temp_dir().join(format!("utcq-wire-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mk tmp dir");
+        let path = dir.join("log.wal");
+        let _ = std::fs::remove_file(&path);
+        let opened = paper_opened();
+        opened
+            .attach_wal(crate::wal::WalConfig::new(path))
+            .expect("attach wal");
+        opened
+    }
+
+    /// A fresh-id ingest line derived from the paper trajectory.
+    fn shifted_ingest_line(req_id: u64) -> String {
+        let fx = paper_fixture::build();
+        let mut tu = fx.tu.clone();
+        tu.id = 9;
+        for t in &mut tu.times {
+            *t += 100_000;
+        }
+        let mut traj = String::new();
+        write_trajectory(&mut traj, &tu);
+        format!(r#"{{"id":{req_id},"op":"ingest","trajectories":[{traj}]}}"#)
+    }
+
+    #[test]
+    fn tail_and_checkpoint_require_a_wal() {
+        let opened = paper_opened();
+        let reply = handle_line(&opened, r#"{"op":"tail","from":1}"#);
+        assert!(reply.line.contains(r#""code":"no_wal""#), "{}", reply.line);
+        let reply = handle_line_writable(&opened, r#"{"op":"checkpoint"}"#);
+        assert!(reply.line.contains(r#""code":"no_wal""#), "{}", reply.line);
+        // checkpoint is writable-gated before the wal check.
+        let reply = handle_line(&opened, r#"{"op":"checkpoint"}"#);
+        assert!(
+            reply.line.contains(r#""code":"read_only""#),
+            "{}",
+            reply.line
+        );
+        // tail requires 'from'.
+        let e = parse_request(r#"{"op":"tail"}"#).unwrap_err();
+        assert_eq!(e.code, "bad_request");
+    }
+
+    #[test]
+    fn tail_streams_accepted_batches_and_parses_back() {
+        let opened = durable_paper_opened("tail");
+        let reply = handle_line_writable(&opened, &shifted_ingest_line(1));
+        assert!(reply.line.contains(r#""epoch":1"#), "{}", reply.line);
+
+        // tail is answered by the read-only executor (followers don't
+        // need --writable). `from` is the epoch the caller already
+        // has — a fresh follower sends 0.
+        let reply = handle_line(&opened, r#"{"op":"tail","from":0}"#);
+        let (batches, current) = parse_tail_reply(&reply.line).expect("parse tail");
+        assert_eq!(current, 1);
+        assert_eq!(batches.len(), 1);
+        let (epoch, ds) = &batches[0];
+        assert_eq!(*epoch, 1);
+        assert_eq!(ds.trajectories.len(), 1);
+        assert_eq!(ds.trajectories[0].id, 9);
+
+        // The replayed batch matches the model trajectory bit-for-bit.
+        let fx = paper_fixture::build();
+        let mut want = fx.tu.clone();
+        want.id = 9;
+        for t in &mut want.times {
+            *t += 100_000;
+        }
+        assert_eq!(ds.trajectories[0], want);
+
+        // Caught up: from at the head returns an empty page.
+        let reply = handle_line(&opened, r#"{"op":"tail","from":1}"#);
+        let (batches, current) = parse_tail_reply(&reply.line).expect("parse tail");
+        assert!(batches.is_empty());
+        assert_eq!(current, 1);
+    }
+
+    #[test]
+    fn checkpoint_reports_and_duplicate_retries_dedup() {
+        let opened = durable_paper_opened("ckpt");
+        let line = shifted_ingest_line(1);
+        let first = handle_line_writable(&opened, &line);
+        assert!(first.line.contains(r#""ok":true"#), "{}", first.line);
+
+        // Retrying the identical batch (a client that lost the ack)
+        // answers success with the recorded epoch, flagged as deduped.
+        let retry = handle_line_writable(&opened, &line);
+        assert_eq!(
+            retry.line,
+            r#"{"id":1,"ok":true,"op":"ingest","ingested":1,"total":2,"epoch":1,"deduped":true}"#
+        );
+
+        // A genuine duplicate (different batch shape, same id) still
+        // fails with duplicate_trajectory.
+        let fx = paper_fixture::build();
+        let mut tu = fx.tu.clone();
+        tu.id = 9;
+        for t in &mut tu.times {
+            *t += 200_000;
+        }
+        let mut traj = String::new();
+        write_trajectory(&mut traj, &tu);
+        let other = format!(r#"{{"op":"ingest","trajectories":[{traj}]}}"#);
+        let reply = handle_line_writable(&opened, &other);
+        assert!(
+            reply.line.contains(r#""code":"duplicate_trajectory""#),
+            "{}",
+            reply.line
+        );
+
+        // The attach used WalConfig::new (no checkpoint_to), so the
+        // checkpoint op reports no_wal; a target-configured checkpoint
+        // is exercised end-to-end in tests/durability.rs.
+        let reply = handle_line_writable(&opened, r#"{"op":"checkpoint"}"#);
+        assert!(reply.line.contains(r#""code":"no_wal""#), "{}", reply.line);
     }
 
     #[test]

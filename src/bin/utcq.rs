@@ -17,6 +17,8 @@
 //!                 [--cache-bytes N] [--cache-stats]
 //! utcq serve      --in data.utcq [--addr 127.0.0.1:7071] [--threads 4]
 //!                 [--cache-bytes N] [--writable]
+//!                 [--wal log.wal] [--fsync always|never|every:N]
+//!                 [--checkpoint-bytes N] [--follow HOST:PORT]
 //! utcq client     --addr HOST:PORT | --in data.utcq [--writable]
 //! ```
 //!
@@ -37,11 +39,16 @@
 //! the decode cache stays warm across requests instead of being rebuilt
 //! per invocation. With `--writable` the server also honors the
 //! protocol's `ingest` op: batches append to the live store and publish
-//! as new snapshots while queries keep running. `client` speaks the
-//! protocol from stdin — against a running server (`--addr`), or
-//! offline against the container itself (`--in`, add `--writable` to
-//! replay ingest sessions), producing byte-identical responses; the
-//! serve-smoke CI jobs diff the two.
+//! as new snapshots while queries keep running. `--wal` makes accepted
+//! batches durable (append + fsync before publish, replay on restart),
+//! `--checkpoint-bytes` bounds the log with crash-safe checkpoints, and
+//! `--follow` runs a read-only replica streaming the leader's batches —
+//! see `docs/DURABILITY.md`. `client` speaks the protocol from stdin —
+//! against a running server (`--addr`, reconnecting with bounded
+//! backoff if the connection drops), or offline against the container
+//! itself (`--in`, add `--writable` to replay ingest sessions),
+//! producing byte-identical responses; the serve-smoke CI jobs diff the
+//! two.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -55,7 +62,9 @@ use utcq::core::query::PageRequest;
 use utcq::core::serve::{Server, DEFAULT_THREADS};
 use utcq::core::shard::{ByRegion, ByTime, ShardPolicy};
 use utcq::core::stiu::StiuParams;
-use utcq::core::{storage, wire, Opened, QueryTarget, RangeQuery, Store, StoreBuilder};
+use utcq::core::{
+    storage, wire, FsyncPolicy, Opened, QueryTarget, RangeQuery, Store, StoreBuilder, WalConfig,
+};
 use utcq::datagen::DatasetProfile;
 use utcq::network::RoadNetwork;
 use utcq::traj::Dataset;
@@ -349,8 +358,36 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Decodes `--fsync always|never|every:N`.
+fn parse_fsync(s: &str) -> Result<FsyncPolicy, String> {
+    match s {
+        "always" => Ok(FsyncPolicy::Always),
+        "never" => Ok(FsyncPolicy::Never),
+        other => match other.strip_prefix("every:") {
+            Some(n) => n
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map(FsyncPolicy::EveryN)
+                .ok_or_else(|| format!("--fsync: not a batch count: '{n}'")),
+            None => Err(format!("--fsync: expected always|never|every:N, got '{s}'")),
+        },
+    }
+}
+
 /// `utcq serve`: keep the container open and answer the `PROTOCOL.md`
 /// wire protocol over TCP until a `shutdown` request arrives.
+///
+/// Durability and replication flags (see `docs/DURABILITY.md`):
+///
+/// * `--wal PATH` attaches a write-ahead log — accepted batches are
+///   appended and fsynced (`--fsync always|never|every:N`) before they
+///   publish, and replayed on the next open;
+/// * `--checkpoint-bytes N` re-saves the container crash-safely and
+///   truncates the log whenever it grows past N bytes;
+/// * `--follow ADDR` runs a read-only follower that streams accepted
+///   batches from the leader at ADDR (mutually exclusive with
+///   `--writable`).
 fn cmd_serve(args: &Args) -> Result<(), String> {
     let opened = Arc::new(open_store(args)?);
     if let Some(v) = args.flags.get("cache-bytes") {
@@ -359,9 +396,25 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             .map_err(|_| format!("--cache-bytes: not a byte count: '{v}'"))?;
         opened.set_cache_bytes(bytes);
     }
+    let writable = args.flags.contains_key("writable");
+    let follow_addr = args.flags.get("follow").cloned();
+    if follow_addr.is_some() && writable {
+        return Err("--follow runs a read-only replica; drop --writable".to_string());
+    }
+    if let Some(wal_path) = args.flags.get("wal") {
+        let fsync = parse_fsync(&args.get("fsync", "always"))?;
+        let cfg = WalConfig::new(wal_path)
+            .fsync(fsync)
+            .checkpoint_to(args.get("in", "data.utcq"));
+        let replayed = opened
+            .attach_wal(cfg)
+            .map_err(|e| format!("--wal {wal_path}: {e}"))?;
+        if replayed > 0 {
+            eprintln!("replayed {replayed} batch(es) from {wal_path}");
+        }
+    }
     let threads: usize = args.parse_num("threads", DEFAULT_THREADS);
     let addr = args.get("addr", "127.0.0.1:7071");
-    let writable = args.flags.contains_key("writable");
     let server = Server::bind(Arc::clone(&opened), &addr, threads)
         .map_err(|e| e.to_string())?
         .writable(writable);
@@ -376,10 +429,79 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         opened.len(),
         if writable { "writable" } else { "read-only" },
     );
-    server.run().map_err(|e| e.to_string())?;
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut background = Vec::new();
+
+    // Size-triggered checkpoints: poll the log and re-save + truncate
+    // past the threshold. Runs next to the acceptor, not on it.
+    if let Some(v) = args.flags.get("checkpoint-bytes") {
+        let threshold: u64 = v
+            .parse()
+            .map_err(|_| format!("--checkpoint-bytes: not a byte count: '{v}'"))?;
+        if opened.wal_bytes().is_none() {
+            return Err("--checkpoint-bytes needs --wal".to_string());
+        }
+        let o = Arc::clone(&opened);
+        let s = Arc::clone(&stop);
+        background.push(std::thread::spawn(move || {
+            while !s.load(std::sync::atomic::Ordering::SeqCst) {
+                if o.wal_bytes().is_some_and(|b| b >= threshold) {
+                    match o.checkpoint() {
+                        Ok(Some(r)) => eprintln!(
+                            "checkpoint: saved epoch {} ({} log bytes truncated)",
+                            r.epoch, r.log_bytes
+                        ),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("checkpoint failed: {e}"),
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+        }));
+    }
+
+    // The follower loop: stream the leader's accepted batches into this
+    // container. A fatal follow error (gap, divergence) also stops the
+    // server — a stale replica that cannot catch up should not keep
+    // answering as if it were current.
+    let follow_result: Arc<std::sync::Mutex<Result<(), String>>> =
+        Arc::new(std::sync::Mutex::new(Ok(())));
+    if let Some(leader) = follow_addr {
+        eprintln!("following {leader}");
+        let o = Arc::clone(&opened);
+        let s = Arc::clone(&stop);
+        let handle = server.handle();
+        let out = Arc::clone(&follow_result);
+        background.push(std::thread::spawn(move || {
+            if let Err(e) = utcq::core::serve::follow(&o, &leader, &s) {
+                if let Ok(mut slot) = out.lock() {
+                    *slot = Err(e.to_string());
+                }
+                handle.shutdown();
+            }
+        }));
+    }
+
+    let run = server.run().map_err(|e| e.to_string());
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    for t in background {
+        let _ = t.join();
+    }
+    run?;
+    if let Ok(slot) = follow_result.lock() {
+        slot.clone()?;
+    }
     eprintln!("{}", opened.cache_stats().render());
     Ok(())
 }
+
+/// Most reconnect attempts `utcq client --addr` makes per request
+/// before giving up.
+const CLIENT_RETRY_ATTEMPTS: u32 = 5;
+
+/// First reconnect delay (milliseconds); doubles per attempt.
+const CLIENT_RETRY_BASE_MS: u64 = 100;
 
 /// `utcq client`: execute a newline-delimited JSON session from stdin —
 /// against a running server (`--addr`), or offline against the
@@ -389,25 +511,63 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 fn cmd_client(args: &Args) -> Result<(), String> {
     let stdin = std::io::stdin();
     if let Some(addr) = args.flags.get("addr") {
-        let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
-        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-        let mut writer = BufWriter::new(stream);
+        let connect = || -> Result<
+            (
+                BufReader<std::net::TcpStream>,
+                BufWriter<std::net::TcpStream>,
+            ),
+            String,
+        > {
+            let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+            Ok((BufReader::new(read_half), BufWriter::new(stream)))
+        };
+        let (mut reader, mut writer) = connect()?;
         for line in stdin.lock().lines() {
             let line = line.map_err(|e| e.to_string())?;
             if line.trim().is_empty() {
                 continue;
             }
-            writer
-                .write_all(line.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .and_then(|()| writer.flush())
-                .map_err(|e| format!("send: {e}"))?;
+            // One request may survive a dropped connection: send, and on
+            // any transport failure reconnect with bounded exponential
+            // backoff and re-send the same line. Queries are pure, and
+            // ingest re-sends are recognized leader-side (the server
+            // answers a WAL-recorded batch with `"deduped":true`), so
+            // the retry is idempotent end to end.
             let mut response = String::new();
-            let n = reader
-                .read_line(&mut response)
-                .map_err(|e| format!("recv: {e}"))?;
-            if n == 0 {
-                return Err("server closed the connection".to_string());
+            let mut attempt: u32 = 0;
+            loop {
+                let sent = writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush());
+                let received = sent.and_then(|()| {
+                    response.clear();
+                    match reader.read_line(&mut response)? {
+                        0 => Err(std::io::Error::other("server closed the connection")),
+                        _ => Ok(()),
+                    }
+                });
+                match received {
+                    Ok(()) => break,
+                    Err(e) => {
+                        if attempt >= CLIENT_RETRY_ATTEMPTS {
+                            return Err(format!("{addr}: {e} (after {attempt} retries)"));
+                        }
+                        let delay = CLIENT_RETRY_BASE_MS << attempt.min(8);
+                        let jitter = (std::process::id() as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .rotate_left(attempt)
+                            % (delay / 2).max(1);
+                        eprintln!("reconnecting to {addr} (attempt {}): {e}", attempt + 1);
+                        std::thread::sleep(std::time::Duration::from_millis(delay + jitter));
+                        attempt += 1;
+                        match connect() {
+                            Ok(rw) => (reader, writer) = rw,
+                            Err(_) => continue, // next attempt re-dials
+                        }
+                    }
+                }
             }
             print!("{response}");
             // A shutdown acknowledgement is the server's last word.
@@ -512,6 +672,11 @@ fn audit_fuzz(root: &std::path::Path, args: &Args) -> Result<(), String> {
             ))
         };
     }
+    let target = match args.flags.get("target") {
+        None => None,
+        Some(t) if ["container", "wire", "wal"].contains(&t.as_str()) => Some(t.clone()),
+        Some(t) => return Err(format!("--target: expected container|wire|wal, got '{t}'")),
+    };
     let opts = fuzz::FuzzOpts {
         iters: args.parse_num("iters", fuzz::FuzzOpts::default().iters),
         seed: match args.flags.get("seed") {
@@ -519,6 +684,7 @@ fn audit_fuzz(root: &std::path::Path, args: &Args) -> Result<(), String> {
             None => fuzz::FuzzOpts::default().seed,
         },
         regressions_dir: Some(regressions),
+        target,
         ..fuzz::FuzzOpts::default()
     };
     let report = fuzz::run(&fx, &opts).map_err(|e| e.to_string())?;
@@ -599,7 +765,10 @@ fn usage() -> String {
      [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
      [--shards N] [--shard-by time|region] [--shard-interval S] [--shard-grid N] \
      [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N] [--writable]\n\
-     audit: utcq audit <lint|fuzz|sched> [--root DIR] [--iters N] [--seed S] [--replay] [--bound N]"
+     serve durability: [--wal FILE] [--fsync always|never|every:N] \
+     [--checkpoint-bytes N] [--follow HOST:PORT]\n\
+     audit: utcq audit <lint|fuzz|sched> [--root DIR] [--iters N] [--seed S] [--replay] \
+     [--bound N] [--target container|wire|wal]"
         .to_string()
 }
 
