@@ -41,6 +41,8 @@ pub const HOT_FILES: &[&str] = &[
     "wire.rs",
     "query.rs",
     "serve.rs",
+    "poll.rs",
+    "conn.rs",
     "snapshot.rs",
     "shard.rs",
     "store.rs",

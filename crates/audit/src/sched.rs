@@ -650,6 +650,12 @@ pub fn swap_publish_order() -> Scenario {
 ///   (the real code's comment: either the sweep saw our entry or we
 ///   see the flag).
 ///
+/// The registry/half-close/re-check protocol is unchanged by the epoll
+/// event loop — only who *performs* the read moved (the loop, instead
+/// of a per-connection worker); a "worker parked in a blocking read"
+/// below corresponds to the loop waiting on `EPOLLIN` for that
+/// connection, which the sweep's half-close likewise converts to EOF.
+///
 /// `model_register_recheck(false)` deletes the re-check — the seeded
 /// bug the self-test proves the checker catches.
 struct MockConn {
@@ -944,6 +950,188 @@ pub fn serve_shutdown_without_recheck() -> Scenario {
     serve_shutdown_scenario(false)
 }
 
+// -- Serve event-loop wake ordering -----------------------------------
+
+/// The shutdown-flag/eventfd-wake handshake between
+/// `ServerState::trigger` and the epoll event loop, mocked 1:1:
+///
+/// * `trigger` sets the shutdown flag **before** writing the eventfd
+///   (`flag_first = true`, the real ordering);
+/// * the loop, when woken, drains the eventfd and *then* checks the
+///   flag; with nothing pending and no flag it goes back to a blocking
+///   `epoll_wait` — modelled here as parking.
+///
+/// Flipping the order (wake before flag) lets the loop consume the
+/// wake, observe a clear flag, and block again with no further wake
+/// coming — shutdown wedges. The quiescence invariant: the loop must
+/// never be parked while the flag is set with no wake pending.
+fn serve_wake_order_scenario(flag_first: bool) -> Scenario {
+    let flag = Arc::new(AtomicBool::new(false));
+    let wake_pending = Arc::new(AtomicBool::new(false));
+    let parked = Arc::new(AtomicBool::new(false));
+
+    let trigger = {
+        let flag = Arc::clone(&flag);
+        let wake_pending = Arc::clone(&wake_pending);
+        Box::new(move || {
+            if flag_first {
+                flag.store(true, Ordering::SeqCst);
+                point("mock.wake.flagged");
+                wake_pending.store(true, Ordering::SeqCst);
+            } else {
+                wake_pending.store(true, Ordering::SeqCst);
+                point("mock.wake.woken");
+                flag.store(true, Ordering::SeqCst);
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let event_loop = {
+        let flag = Arc::clone(&flag);
+        let wake_pending = Arc::clone(&wake_pending);
+        let parked = Arc::clone(&parked);
+        Box::new(move || {
+            // Terminates: the trigger arms the wake at most once, so at
+            // most two iterations run before a park or a flag sighting.
+            loop {
+                let woke = wake_pending.swap(false, Ordering::SeqCst);
+                point("mock.loop.drained");
+                if flag.load(Ordering::SeqCst) {
+                    return; // observed shutdown; sweep follows
+                }
+                if !woke {
+                    // Nothing pending: the real loop re-enters a
+                    // blocking epoll_wait here.
+                    parked.store(true, Ordering::SeqCst);
+                    return;
+                }
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let finale = Box::new(move || {
+        // A parked loop is fine while a wake is pending (epoll_wait
+        // returns immediately) — but parked with the flag set and the
+        // eventfd drained means no one will ever deliver the shutdown.
+        assert!(
+            !(parked.load(Ordering::SeqCst)
+                && flag.load(Ordering::SeqCst)
+                && !wake_pending.load(Ordering::SeqCst)),
+            "event loop parked in epoll_wait with the shutdown flag set \
+             and the wake already consumed — shutdown wedges"
+        );
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads: vec![trigger, event_loop],
+        finale: Some(finale),
+    }
+}
+
+/// The faithful flag-then-wake ordering of `ServerState::trigger`.
+pub fn serve_wake_order() -> Scenario {
+    serve_wake_order_scenario(true)
+}
+
+/// The broken wake-then-flag variant; used by self-tests to prove the
+/// checker finds the lost-wakeup race it exists to close.
+pub fn serve_wake_order_broken() -> Scenario {
+    serve_wake_order_scenario(false)
+}
+
+// -- Serve pipelined response ordering --------------------------------
+
+/// The pipelining contract (`PROTOCOL.md`): responses leave in request
+/// order. The event loop guarantees this structurally — all frames
+/// parsed from one readable connection form a *burst* executed
+/// start-to-finish by a single worker, with at most one burst in
+/// flight per connection; cross-connection interleaving stays free.
+///
+/// `burst_sequential = false` models the tempting "faster" design —
+/// fanning one connection's requests out to the pool individually —
+/// and the self-test proves the checker catches the reordering it
+/// allows.
+fn serve_pipeline_order_scenario(burst_sequential: bool) -> Scenario {
+    fn push(out: &Arc<Mutex<Vec<u64>>>, v: u64) {
+        match out.lock() {
+            Ok(mut g) => g.push(v),
+            Err(p) => p.into_inner().push(v),
+        }
+    }
+    let conn_a: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let conn_b: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let threads: Vec<Box<dyn FnOnce() + Send>> = if burst_sequential {
+        // One worker owns each burst: connection A's three pipelined
+        // requests on one thread, connection B's two on another.
+        let a = Arc::clone(&conn_a);
+        let b = Arc::clone(&conn_b);
+        vec![
+            Box::new(move || {
+                for i in 1..=3 {
+                    point("mock.pipe.exec");
+                    push(&a, i);
+                }
+            }),
+            Box::new(move || {
+                for i in 1..=2 {
+                    point("mock.pipe.exec");
+                    push(&b, i);
+                }
+            }),
+        ]
+    } else {
+        // Connection A's burst split across two pool workers.
+        let a1 = Arc::clone(&conn_a);
+        let a2 = Arc::clone(&conn_a);
+        vec![
+            Box::new(move || {
+                point("mock.pipe.exec");
+                push(&a1, 1);
+                point("mock.pipe.exec");
+                push(&a1, 3);
+            }),
+            Box::new(move || {
+                point("mock.pipe.exec");
+                push(&a2, 2);
+            }),
+        ]
+    };
+    let finale = Box::new(move || {
+        let a = match conn_a.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        assert_eq!(
+            a,
+            vec![1, 2, 3],
+            "connection A's responses left out of request order"
+        );
+        let b = match conn_b.lock() {
+            Ok(g) => g.clone(),
+            Err(p) => p.into_inner().clone(),
+        };
+        if !b.is_empty() {
+            assert_eq!(
+                b,
+                vec![1, 2],
+                "connection B's responses left out of request order"
+            );
+        }
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads,
+        finale: Some(finale),
+    }
+}
+
+/// The faithful burst-per-worker dispatch model.
+pub fn serve_pipeline_order() -> Scenario {
+    serve_pipeline_order_scenario(true)
+}
+
+/// The broken per-request-fan-out variant; used by self-tests to prove
+/// the checker finds the reordering it exists to rule out.
+pub fn serve_pipeline_order_broken() -> Scenario {
+    serve_pipeline_order_scenario(false)
+}
+
 /// A registered scenario: name, schedule budget, factory.
 pub type NamedScenario = (&'static str, usize, fn() -> Scenario);
 
@@ -958,6 +1146,8 @@ pub fn all_scenarios() -> Vec<NamedScenario> {
             swap_publish_order as fn() -> Scenario,
         ),
         ("serve_shutdown", 800, serve_shutdown),
+        ("serve_wake_order", 400, serve_wake_order),
+        ("serve_pipeline_order", 400, serve_pipeline_order),
         ("store_pin_vs_ingest", 400, store_pin_vs_ingest),
         ("sharded_ingest_vs_query", 400, sharded_ingest_vs_query),
         ("wal_publish_order", 400, wal_publish_order),
@@ -1076,6 +1266,70 @@ mod tests {
             out.violation
         );
         assert!(out.schedules > 50, "expected a real schedule space");
+    }
+
+    #[test]
+    fn wake_model_wake_before_flag_has_the_race() {
+        let out = explore(
+            "serve_wake_order_broken",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &serve_wake_order_broken,
+        );
+        let v = out.violation.expect("the lost-wakeup race must be found");
+        assert!(
+            v.message.contains("shutdown wedges"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn wake_model_flag_first_is_clean() {
+        let out = explore(
+            "serve_wake_order",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &serve_wake_order,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.exhausted, "wake model space should be enumerable");
+    }
+
+    #[test]
+    fn pipeline_model_per_request_fanout_has_the_race() {
+        let out = explore(
+            "serve_pipeline_order_broken",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &serve_pipeline_order_broken,
+        );
+        let v = out.violation.expect("the reordering must be found");
+        assert!(
+            v.message.contains("out of request order"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn pipeline_model_burst_dispatch_is_clean() {
+        let out = explore(
+            "serve_pipeline_order",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &serve_pipeline_order,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.schedules > 10, "bursts never interleaved");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! An `"open"` section times `ShardedStore::read_with` on the same v3
 //! container bytes with sequential vs parallel per-shard blob
 //! deserialization (interleaved), tracking what the work-queue open
-//! buys release over release.
+//! buys release over release. Since tiny containers fall back to a
+//! sequential open regardless of the flag (see
+//! `utcq_core::shard::PARALLEL_OPEN_MIN_BYTES`), the section also
+//! reports `"parallel_effective"` — which path actually ran.
 //!
 //! An `"ingest"` section times the live writer path — median ns per
 //! published batch with durability off, a write-ahead log at
@@ -33,6 +36,18 @@
 //! `utcq_core::serve::Server` over one loopback TCP connection,
 //! measuring the request→response median latency and throughput of the
 //! `PROTOCOL.md` wire path on top of the warm store.
+//!
+//! A `"serve_load"` section measures the production-concurrency path:
+//! single-connection **pipelined** throughput ([`PIPELINE_DEPTH`]
+//! requests in flight before the first response is read), and an
+//! **open-loop** traffic replay — [`LOAD_CONNS`] connections offering a
+//! fixed aggregate rate on an absolute schedule (never throttled by
+//! response latency, so server-side queueing shows up as client-observed
+//! latency) while [`LOAD_IDLE_CONNS`] additional connections sit idle —
+//! reporting achieved qps and p50/p99/p999 latency.
+//! `UTCQ_BENCH_LOAD_QPS` overrides the offered rate;
+//! `UTCQ_BENCH_P99_BOUND_MS`, when set, turns the measured p99 into a
+//! CI gate (non-zero exit past the bound).
 //!
 //! ```text
 //! cargo run --release -p utcq_bench --bin bench_queries \
@@ -172,6 +187,198 @@ fn measure_pair(
         }
     }
     (median(samples_a), median(samples_b))
+}
+
+/// Requests written per flush before reading responses back on the
+/// pipelined single-connection measurement.
+const PIPELINE_DEPTH: usize = 64;
+
+/// Active (request-sending) connections in the open-loop replay.
+const LOAD_CONNS: usize = 16;
+
+/// Additional connections held open but silent for the whole replay —
+/// the event loop must keep them for free.
+const LOAD_IDLE_CONNS: usize = 64;
+
+/// One request→response per flush: the sequential wire round-trip.
+fn serve_roundtrip(
+    reader: &mut impl std::io::BufRead,
+    writer: &mut impl std::io::Write,
+    lines: &[String],
+) {
+    let mut response = String::new();
+    for line in lines {
+        writer.write_all(line.as_bytes()).expect("serve send");
+        writer.write_all(b"\n").expect("serve send");
+        writer.flush().expect("serve flush");
+        response.clear();
+        reader.read_line(&mut response).expect("serve recv");
+        assert!(response.contains("\"ok\":true"), "serve error: {response}");
+    }
+}
+
+/// `depth` requests per flush, responses read back afterwards — the
+/// protocol-pipelining path (`PROTOCOL.md`: responses arrive in request
+/// order, so a plain counted read-back is enough).
+fn serve_pipelined(
+    reader: &mut impl std::io::BufRead,
+    writer: &mut impl std::io::Write,
+    lines: &[String],
+    depth: usize,
+) {
+    let mut response = String::new();
+    for chunk in lines.chunks(depth) {
+        for line in chunk {
+            writer.write_all(line.as_bytes()).expect("serve send");
+            writer.write_all(b"\n").expect("serve send");
+        }
+        writer.flush().expect("serve flush");
+        for _ in chunk {
+            response.clear();
+            reader.read_line(&mut response).expect("serve recv");
+            assert!(response.contains("\"ok\":true"), "serve error: {response}");
+        }
+    }
+}
+
+struct LoadReport {
+    target_qps: f64,
+    achieved_qps: f64,
+    sent: usize,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+}
+
+/// Open-loop traffic replay against a running server.
+///
+/// `conns` writer threads each offer `target_qps / conns` on an
+/// **absolute** schedule (requests due at `start + i/rate`, sent in
+/// catch-up batches on a ~1 ms tick, self-correcting for sleep
+/// overshoot) and never wait for responses — so when the server falls
+/// behind, the offered rate stays fixed and the backlog surfaces as
+/// client-observed latency, exactly what a closed-loop harness hides.
+/// A paired reader thread per connection timestamps responses against
+/// the matching send time (responses are in request order). `idle`
+/// extra connections stay open and silent throughout. Returns achieved
+/// throughput plus p50/p99/p999 of the per-request latency.
+fn open_loop_load(
+    addr: std::net::SocketAddr,
+    lines: &[String],
+    conns: usize,
+    idle: usize,
+    target_qps: f64,
+    duration: Duration,
+) -> LoadReport {
+    use std::collections::VecDeque;
+    use std::io::{BufRead as _, BufReader, BufWriter, Write as _};
+    use std::net::{Shutdown, TcpStream};
+    use std::sync::Mutex;
+
+    let idle_conns: Vec<TcpStream> = (0..idle)
+        .map(|_| TcpStream::connect(addr).expect("idle connect"))
+        .collect();
+    let per_conn_qps = target_qps / conns as f64;
+    let start = Instant::now();
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut sent_total = 0usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..conns {
+            handles.push(s.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("load connect");
+                stream.set_nodelay(true).ok();
+                let reader_stream = stream.try_clone().expect("clone load stream");
+                // Send timestamps, popped in order by the reader —
+                // valid because responses arrive in request order.
+                let pending: Mutex<VecDeque<Instant>> = Mutex::new(VecDeque::new());
+                let mut sent = 0usize;
+                let mut lat_us: Vec<f64> = Vec::new();
+                std::thread::scope(|s2| {
+                    let pending = &pending;
+                    let reader_handle = s2.spawn(move || {
+                        let mut reader = BufReader::new(reader_stream);
+                        let mut line = String::new();
+                        let mut lat: Vec<f64> = Vec::new();
+                        loop {
+                            line.clear();
+                            match reader.read_line(&mut line) {
+                                Ok(0) => break, // server closed after our half-close
+                                Ok(_) => {
+                                    let ts = pending
+                                        .lock()
+                                        .unwrap()
+                                        .pop_front()
+                                        .expect("response without request");
+                                    lat.push(ts.elapsed().as_secs_f64() * 1e6);
+                                    assert!(line.contains("\"ok\":true"), "load error: {line}");
+                                }
+                                Err(e) => panic!("load recv: {e}"),
+                            }
+                        }
+                        lat
+                    });
+                    let mut writer = BufWriter::new(&stream);
+                    loop {
+                        let elapsed = start.elapsed();
+                        if elapsed >= duration {
+                            break;
+                        }
+                        let due = (elapsed.as_secs_f64() * per_conn_qps) as usize;
+                        let mut wrote = false;
+                        while sent < due {
+                            let line = &lines[(sent * conns + c) % lines.len()];
+                            pending.lock().unwrap().push_back(Instant::now());
+                            writer.write_all(line.as_bytes()).expect("load send");
+                            writer.write_all(b"\n").expect("load send");
+                            sent += 1;
+                            wrote = true;
+                        }
+                        if wrote {
+                            writer.flush().expect("load flush");
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    writer.flush().expect("load flush");
+                    drop(writer);
+                    // Half-close: the server drains our in-flight
+                    // requests, flushes every response, then closes —
+                    // the reader's EOF doubles as "all responses in".
+                    stream.shutdown(Shutdown::Write).expect("load half-close");
+                    lat_us = reader_handle.join().expect("load reader");
+                });
+                assert_eq!(lat_us.len(), sent, "connection lost responses under load");
+                (sent, lat_us)
+            }));
+        }
+        for h in handles {
+            let (n, lat) = h.join().expect("load conn");
+            sent_total += n;
+            latencies_us.extend(lat);
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    drop(idle_conns);
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        // bounds: index is (len-1)*p with p ≤ 1, so < len.
+        latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize]
+    };
+    LoadReport {
+        target_qps,
+        achieved_qps: if wall > 0.0 {
+            sent_total as f64 / wall
+        } else {
+            0.0
+        },
+        sent: sent_total,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        p999_us: pct(0.999),
+    }
 }
 
 /// Extracts `"field": <number>` from the `"section"` object of a flat
@@ -369,6 +576,11 @@ fn main() {
             ShardedStore::read_with(&mut v3_bytes.as_slice(), true).expect("parallel open");
         },
     );
+    // Which path the parallel-permitted open actually took: tiny
+    // containers fall back to sequential (PARALLEL_OPEN_MIN_BYTES),
+    // where spawning per-shard threads used to *lose* time.
+    let (_, open_parallel_effective) =
+        ShardedStore::read_with_report(&mut v3_bytes.as_slice(), true).expect("open probe");
 
     // bench_ingest: the live writer path with the write-ahead log off
     // vs on — what publishing a batch costs under each fsync policy.
@@ -468,28 +680,71 @@ fn main() {
         .collect();
     let opened = Arc::new(utcq_core::Opened::Single(Box::new(store)));
     let server =
-        utcq_core::serve::Server::bind(Arc::clone(&opened), "127.0.0.1:0", 2).expect("bind serve");
+        utcq_core::serve::Server::bind(Arc::clone(&opened), "127.0.0.1:0", 4).expect("bind serve");
     let addr = server.local_addr();
     let runner = std::thread::spawn(move || server.run().expect("serve run"));
     let stream = std::net::TcpStream::connect(addr).expect("connect serve");
     stream.set_nodelay(true).ok();
     let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone serve stream"));
     let mut writer = std::io::BufWriter::new(stream);
-    let mut session = |lines: &[String]| {
-        use std::io::{BufRead as _, Write as _};
-        let mut response = String::new();
-        for line in lines {
-            writer.write_all(line.as_bytes()).expect("serve send");
-            writer.write_all(b"\n").expect("serve send");
-            writer.flush().expect("serve flush");
-            response.clear();
-            reader.read_line(&mut response).expect("serve recv");
-            assert!(response.contains("\"ok\":true"), "serve error: {response}");
-        }
+    let serve_where_ns = measure(
+        wq.len(),
+        smoke,
+        || {},
+        || serve_roundtrip(&mut reader, &mut writer, &where_lines),
+    );
+    let serve_when_ns = measure(
+        nq.len(),
+        smoke,
+        || {},
+        || serve_roundtrip(&mut reader, &mut writer, &when_lines),
+    );
+
+    // bench_serve_load: the same connection, but PIPELINE_DEPTH
+    // requests in flight per flush — amortizing the per-request
+    // round-trip that dominates the sequential numbers above.
+    eprintln!("measuring pipelined serve throughput (depth {PIPELINE_DEPTH})…");
+    let mut load_lines: Vec<String> = Vec::with_capacity(where_lines.len() + when_lines.len());
+    for (w, n) in where_lines.iter().zip(when_lines.iter()) {
+        load_lines.push(w.clone());
+        load_lines.push(n.clone());
+    }
+    let pipelined_ns = measure(
+        load_lines.len(),
+        smoke,
+        || {},
+        || serve_pipelined(&mut reader, &mut writer, &load_lines, PIPELINE_DEPTH),
+    );
+
+    // Open-loop replay: fixed offered rate across LOAD_CONNS active
+    // connections with LOAD_IDLE_CONNS idle ones held open.
+    let load_target_qps: f64 = std::env::var("UTCQ_BENCH_LOAD_QPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 2_000.0 } else { 40_000.0 });
+    let load_duration = if smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
     };
-    let serve_where_ns = measure(wq.len(), smoke, || {}, || session(&where_lines));
-    let serve_when_ns = measure(nq.len(), smoke, || {}, || session(&when_lines));
-    session(&[r#"{"op":"shutdown"}"#.to_string()]);
+    eprintln!(
+        "measuring open-loop load ({LOAD_CONNS} conns + {LOAD_IDLE_CONNS} idle, \
+         target {load_target_qps:.0} qps, {load_duration:?})…"
+    );
+    let load = open_loop_load(
+        addr,
+        &load_lines,
+        LOAD_CONNS,
+        LOAD_IDLE_CONNS,
+        load_target_qps,
+        load_duration,
+    );
+
+    serve_roundtrip(
+        &mut reader,
+        &mut writer,
+        &[r#"{"op":"shutdown"}"#.to_string()],
+    );
     drop(reader);
     drop(writer);
     runner.join().expect("serve thread");
@@ -548,6 +803,7 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"open\": {{\"shards\": {n_shards}, \"container_bytes\": {}, \
+         \"parallel_effective\": {open_parallel_effective}, \
          \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}}},",
         v3_bytes.len(),
         open_seq_ns / 1e6,
@@ -567,6 +823,28 @@ fn main() {
         serve_when_ns,
         qps(serve_where_ns),
         qps(serve_when_ns)
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_load\": {{\"pipeline_depth\": {PIPELINE_DEPTH}, \
+         \"single_conn_pipelined_qps\": {:.1}, \"pipelined_over_sequential\": {:.2}, \
+         \"connections\": {LOAD_CONNS}, \"idle_connections\": {LOAD_IDLE_CONNS}, \
+         \"target_qps\": {:.1}, \"achieved_qps\": {:.1}, \"requests\": {}, \
+         \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}}},",
+        qps(pipelined_ns),
+        if pipelined_ns > 0.0 {
+            // Same-machine ratio vs the sequential round-trips above on
+            // the same where/when mix — robust to host speed drift.
+            (serve_where_ns + serve_when_ns) / 2.0 / pipelined_ns
+        } else {
+            0.0
+        },
+        load.target_qps,
+        load.achieved_qps,
+        load.sent,
+        load.p50_us,
+        load.p99_us,
+        load.p999_us
     );
     let _ = writeln!(
         json,
@@ -615,6 +893,27 @@ fn main() {
         serve_when_ns,
         qps(serve_when_ns)
     );
+    eprintln!(
+        "  serve load: pipelined {:.0} qps | open-loop {:.0}/{:.0} qps | \
+         p50 {:.0} µs p99 {:.0} µs p999 {:.0} µs",
+        qps(pipelined_ns),
+        load.achieved_qps,
+        load.target_qps,
+        load.p50_us,
+        load.p99_us,
+        load.p999_us
+    );
+    if let Some(bound_ms) = std::env::var("UTCQ_BENCH_P99_BOUND_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let p99_ms = load.p99_us / 1000.0;
+        if p99_ms > bound_ms {
+            eprintln!("LOAD REGRESSION: open-loop p99 {p99_ms:.2} ms exceeds bound {bound_ms} ms");
+            std::process::exit(1);
+        }
+        eprintln!("load gate: open-loop p99 {p99_ms:.3} ms within {bound_ms} ms");
+    }
     eprintln!(
         "  ingest: off {:.0} ns/batch | wal every-8 {:.0} ns/batch | wal always {:.0} ns/batch",
         ingest_off_ns, ingest_every_ns, ingest_always_ns

@@ -53,10 +53,12 @@
 //!   JSON requests/responses (documented in `PROTOCOL.md`), with
 //!   [`wire::handle_line`] as the single executor behind both the TCP
 //!   server and the CLI's offline client mode;
-//! * [`serve`] — the long-lived query server: a
-//!   [`serve::Server`] on [`std::net::TcpListener`] with a fixed worker
-//!   pool and graceful shutdown, keeping the decode cache and query
-//!   plans warm across requests;
+//! * [`serve`] — the long-lived query server: a [`serve::Server`]
+//!   built on a nonblocking `epoll` readiness loop ([`poll`]) with
+//!   per-connection state machines ([`conn`]), protocol pipelining
+//!   with in-order responses, a decoupled query-execution worker pool
+//!   and graceful shutdown, keeping the decode cache and query plans
+//!   warm across requests;
 //! * [`error`] — the unified [`Error`] type every public fallible
 //!   function returns;
 //! * [`oracle`] — brute-force answers on uncompressed data, used as
@@ -176,6 +178,7 @@
 pub mod cache;
 pub mod compress;
 pub mod compressed;
+pub mod conn;
 pub mod decompress;
 pub mod error;
 pub mod factor;
@@ -187,6 +190,7 @@ pub mod oracle;
 pub mod params;
 pub mod pivot;
 pub mod plan;
+pub mod poll;
 pub mod query;
 pub mod reference;
 pub mod serve;

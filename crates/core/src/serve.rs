@@ -9,14 +9,33 @@
 //! `bench_queries` "warm" numbers measure, instead of the re-open-per-
 //! invocation cost the CLI's offline `query` pays.
 //!
-//! # Threading model
+//! # Event loop + worker pool
 //!
-//! A small fixed pool: `threads` workers pull accepted connections from
-//! one channel, each serving its connection request-by-request
-//! (pipelined clients are fine — requests are answered in arrival
-//! order). The query layer underneath is the same `Send + Sync` store
-//! the parallel batch paths use, so workers share one decode cache and
-//! never clone trajectory data.
+//! One readiness loop owns every connection, built on the raw-fd
+//! `epoll` wrappers in [`crate::poll`] (std-only, no async runtime)
+//! and the per-connection state machines in [`crate::conn`]. The loop
+//! accepts, reads and frames request lines, and flushes responses; an
+//! idle connection therefore costs two buffers and a file descriptor,
+//! not a thread, so connection count is no longer capped by
+//! `--threads`.
+//!
+//! Query execution stays on a fixed pool of `threads` workers, decoupled
+//! from connection ownership: the loop gathers every complete line a
+//! readable connection has into one **burst**, dispatches the burst to
+//! a worker, and queues the worker's concatenated responses back onto
+//! that connection's write buffer in one coalesced flush. At most one
+//! burst per connection is in flight, and a burst executes its lines
+//! sequentially — that is the whole in-order pipelining guarantee (a
+//! pipelined query behind an `ingest` on the same connection observes
+//! the ingest, and responses always stream back in request order; see
+//! `PROTOCOL.md`). Bursts from different connections run on different
+//! workers concurrently, sharing one decode cache underneath.
+//!
+//! Clients may pipeline freely: send N request lines without awaiting,
+//! read N responses in order (`utcq client --pipeline N` does exactly
+//! this). A slow reader that lets its write backlog grow past the
+//! [`crate::conn::WRITE_HIGH_WATERMARK`] stops being *read* until it
+//! drains — backpressure by TCP flow control, not by server memory.
 //!
 //! # Writable servers
 //!
@@ -33,85 +52,126 @@
 //!
 //! Graceful, from either side: a client sends `{"op":"shutdown"}` (it
 //! gets the acknowledgement as its response), or the process calls
-//! [`ServerHandle::shutdown`]. Either way the server then
+//! [`ServerHandle::shutdown`]. Either way the flag is raised, every
+//! registered connection's **read** side is half-closed, and the
+//! eventfd waker unblocks the loop, which then
 //!
-//! 1. stops accepting new connections (the acceptor is woken by a
-//!    loopback connect, not killed),
-//! 2. half-closes the **read** side of every live connection — each
-//!    worker finishes the request it is executing, flushes the complete
-//!    response line, then sees EOF and closes cleanly (no response is
-//!    ever truncated mid-line), and
+//! 1. stops accepting new connections,
+//! 2. drains in flight: every dispatched burst finishes executing and
+//!    its responses flush completely (no response is ever truncated
+//!    mid-line; buffered-but-undispatched requests are dropped, as
+//!    they were under the blocking design), bounded by a drain
+//!    deadline for peers that never read, and
 //! 3. joins every worker before [`Server::run`] returns.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use crate::conn::{Conn, Frame};
 use crate::error::Error;
 use crate::opened::Opened;
+use crate::poll;
 use crate::wire;
+
+pub use crate::conn::DRAIN_BUDGET_BYTES;
 
 /// Default worker-pool size for [`Server::bind`] callers that take the
 /// CLI default.
 pub const DEFAULT_THREADS: usize = 4;
 
+/// Poller token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Poller token of the shutdown/result waker.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Readiness reports drained per `epoll_wait` call.
+const EVENTS_PER_WAIT: usize = 256;
+
+/// How long shutdown waits for in-flight bursts to flush before
+/// force-closing connections whose peers stopped reading.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+
+/// One burst of frames from a single connection, executed sequentially
+/// by one worker — the unit of dispatch that preserves per-connection
+/// request order under pipelining.
+struct Job {
+    token: u64,
+    frames: Vec<Frame>,
+}
+
+/// A completed burst: every response line of the burst, concatenated
+/// newline-terminated in request order, flushed as one write.
+struct Done {
+    token: u64,
+    bytes: Vec<u8>,
+    /// A `shutdown` request was acknowledged inside this burst (its
+    /// ack is the last line of `bytes`; later frames were dropped).
+    shutdown: bool,
+}
+
 /// Shared shutdown state: the flag, the live-connection registry and
-/// the loopback address used to wake the acceptor.
+/// the eventfd waker that unblocks the readiness loop.
 ///
 /// The registry maps a per-connection token to a clone of its stream,
-/// inserted at accept and removed when the handler finishes — entries
-/// exist exactly while a connection is live, so the registry neither
-/// leaks descriptors on a long-lived server nor holds client sockets
-/// half-open after shutdown.
+/// inserted at accept and removed when the loop drops the connection —
+/// entries exist exactly while a connection is live, so the registry
+/// neither leaks descriptors on a long-lived server nor holds client
+/// sockets half-open after shutdown. It exists so [`trigger`] can
+/// half-close read sides from *any* thread, making EOF visible to
+/// clients mid-read immediately, before the loop itself gets to its
+/// own sweep.
+///
+/// [`trigger`]: ServerState::trigger
 struct ServerState {
     shutting_down: AtomicBool,
     conns: Mutex<HashMap<u64, TcpStream>>,
-    next_token: AtomicU64,
     addr: SocketAddr,
+    waker: poll::Waker,
 }
 
 impl ServerState {
-    /// Flips the server into shutdown: stop accepting, half-close every
-    /// live connection's read side, wake the (possibly blocked)
-    /// acceptor. Idempotent.
+    /// Flips the server into shutdown: raise the flag, half-close every
+    /// registered connection's read side, wake the (possibly blocked)
+    /// readiness loop. Idempotent.
     fn trigger(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
         if let Ok(conns) = self.conns.lock() {
             for c in conns.values() {
-                // Readers see EOF after their in-flight request; the
-                // write half stays open so responses finish intact.
+                // Readers see EOF; the write half stays open so queued
+                // responses finish intact.
                 let _ = c.shutdown(Shutdown::Read);
             }
         }
-        // Unblock `TcpListener::accept`.
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
     }
 
-    /// Registers a freshly accepted connection; the token deregisters
-    /// it when its handler finishes.
-    fn register(&self, stream: &TcpStream) -> u64 {
-        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+    /// Registers a freshly accepted connection under its token.
+    fn register(&self, token: u64, stream: &TcpStream) {
         if let (Ok(mut conns), Ok(clone)) = (self.conns.lock(), stream.try_clone()) {
             conns.insert(token, clone);
         }
         // Close the race with a concurrent trigger(): a connection
         // accepted after the shutdown sweep but registered only now
-        // would otherwise keep its read side open forever (and block
-        // run() from draining). Checking after the insert means either
-        // the sweep saw our entry or we see the flag — also covers a
-        // failed try_clone above, since we half-close the stream itself.
+        // would otherwise keep its read side open until the loop's own
+        // sweep. Checking after the insert means either the sweep saw
+        // our entry or we see the flag — also covers a failed try_clone
+        // above, since we half-close the stream itself.
         if self.shutting_down.load(Ordering::SeqCst) {
             let _ = stream.shutdown(Shutdown::Read);
         }
-        token
     }
 
-    /// Drops the registry's clone, completing the close once the
-    /// handler's own stream is gone.
+    /// Drops the registry's clone, completing the close once the loop's
+    /// own stream is gone.
     fn deregister(&self, token: u64) {
         if let Ok(mut conns) = self.conns.lock() {
             conns.remove(&token);
@@ -130,7 +190,7 @@ pub struct ServerHandle {
 impl ServerHandle {
     /// Initiates the same graceful shutdown a `{"op":"shutdown"}`
     /// request does. Returns immediately; [`Server::run`] returns once
-    /// every worker has drained.
+    /// in-flight bursts have flushed and every worker has drained.
     pub fn shutdown(&self) {
         self.state.trigger();
     }
@@ -163,11 +223,13 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port) over an opened
-    /// container. `threads` is the worker-pool size (clamped to ≥ 1).
+    /// container. `threads` is the worker-pool size (clamped to ≥ 1) —
+    /// execution parallelism only; connection count is independent.
     /// The server starts read-only; see [`Server::writable`].
     pub fn bind(opened: Arc<Opened>, addr: &str, threads: usize) -> Result<Self, Error> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let waker = poll::Waker::new()?;
         Ok(Self {
             listener,
             opened,
@@ -176,8 +238,8 @@ impl Server {
             state: Arc::new(ServerState {
                 shutting_down: AtomicBool::new(false),
                 conns: Mutex::new(HashMap::new()),
-                next_token: AtomicU64::new(0),
                 addr,
+                waker,
             }),
         })
     }
@@ -207,123 +269,272 @@ impl Server {
     /// Serves until shut down (by a `shutdown` request or a
     /// [`ServerHandle`]), then drains the worker pool and returns.
     pub fn run(self) -> Result<(), Error> {
-        let (tx, rx) = mpsc::channel::<(u64, TcpStream)>();
-        let rx = Arc::new(Mutex::new(rx));
-        std::thread::scope(|scope| {
+        let poller = poll::Poller::new()?;
+        self.listener.set_nonblocking(true)?;
+        poller.add(self.listener.as_raw_fd(), TOKEN_LISTENER, poll::IN)?;
+        poller.add(self.state.waker.fd(), TOKEN_WAKER, poll::IN)?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Done>();
+
+        let result = std::thread::scope(|scope| {
             for _ in 0..self.threads {
-                let rx = Arc::clone(&rx);
+                let job_rx = Arc::clone(&job_rx);
+                let done_tx = done_tx.clone();
                 let opened = Arc::clone(&self.opened);
                 let state = Arc::clone(&self.state);
                 let writable = self.writable;
-                scope.spawn(move || loop {
-                    // Holding the lock only for the recv keeps a slow
-                    // connection from serializing the whole pool.
-                    let next = match rx.lock() {
-                        Ok(guard) => guard.recv(),
-                        Err(_) => break,
-                    };
-                    match next {
-                        Ok((token, stream)) => {
-                            serve_connection(&opened, &state, writable, stream);
-                            state.deregister(token);
-                        }
-                        Err(_) => break, // channel closed: acceptor is done
-                    }
-                });
+                scope.spawn(move || worker_loop(&opened, &state, writable, &job_rx, &done_tx));
             }
-            for stream in self.listener.incoming() {
-                if self.state.shutting_down.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let token = self.state.register(&stream);
-                if tx.send((token, stream)).is_err() {
-                    break;
-                }
-            }
-            drop(tx); // workers drain queued connections, then exit
+            drop(done_tx);
+            // job_tx is moved in and dropped when the loop returns,
+            // which is what lets every worker's recv() fail and exit.
+            event_loop(&self, &poller, job_tx, &done_rx)
         });
-        // Every handler is done; drop any remaining registry clones so
-        // client sockets close fully (they would otherwise linger
+        // Every connection is gone; drop any remaining registry clones
+        // so client sockets close fully (they would otherwise linger
         // half-open for as long as a ServerHandle is alive).
         if let Ok(mut conns) = self.state.conns.lock() {
             conns.clear();
         }
-        Ok(())
+        result
     }
 }
 
-/// Serves one connection: read a line, execute, write the response
-/// line, flush — until EOF, an unrecoverable socket error, or shutdown.
-///
-/// Reads are bounded: at most [`wire::MAX_REQUEST_BYTES`] + 3 bytes of
-/// a line are ever buffered, so an unterminated request cannot grow
-/// server memory without limit. An over-long line gets the same
-/// `bad_request` response the offline executor produces; its remainder
-/// is then discarded up to the next newline (itself bounded by
-/// [`DRAIN_BUDGET_BYTES`]) so the connection resynchronizes on the next
-/// request — a line that never ends within the budget closes the
-/// connection instead.
-fn serve_connection(opened: &Opened, state: &ServerState, writable: bool, stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
+/// One worker: executes bursts sequentially (frame order == response
+/// order), posts the coalesced response bytes back and wakes the loop.
+fn worker_loop(
+    opened: &Opened,
+    state: &ServerState,
+    writable: bool,
+    job_rx: &Mutex<mpsc::Receiver<Job>>,
+    done_tx: &mpsc::Sender<Done>,
+) {
     loop {
-        line.clear();
-        // +3 leaves room for a maximal request plus "\r\n" plus one
-        // sentinel byte that proves the line ran over the cap.
-        let mut bounded = (&mut reader).take(wire::MAX_REQUEST_BYTES as u64 + 3);
-        match bounded.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // EOF or torn connection
-            Ok(_) => {}
-        }
-        // The offline client reads via `lines()`, which strips the
-        // terminator — strip it here too so the cap (and every answer)
-        // is computed over identical bytes on both surfaces.
-        let request = line.trim_end_matches(['\r', '\n']);
-        if request.trim().is_empty() {
-            continue;
-        }
-        // The executor rejects lines past MAX_REQUEST_BYTES itself.
-        let oversized = request.len() > wire::MAX_REQUEST_BYTES;
-        let reply = if writable {
-            wire::handle_line_writable(opened, request)
-        } else {
-            wire::handle_line(opened, request)
+        // Holding the lock only for the recv keeps one slow burst from
+        // serializing the whole pool.
+        let job = match job_rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
         };
-        if writer
-            .write_all(reply.line.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
+        let Ok(job) = job else { return };
+        let mut bytes = Vec::new();
+        let mut shutdown = false;
+        for frame in job.frames {
+            let reply = match frame {
+                Frame::Line(line) => {
+                    if writable {
+                        wire::handle_line_writable(opened, &line)
+                    } else {
+                        wire::handle_line(opened, &line)
+                    }
+                }
+                Frame::Oversized => wire::oversized_reply(),
+            };
+            bytes.extend_from_slice(reply.line.as_bytes());
+            bytes.push(b'\n');
+            if reply.shutdown {
+                // The ack is the last response this connection gets;
+                // any frames pipelined behind it are dropped.
+                shutdown = true;
+                break;
+            }
+        }
+        if done_tx
+            .send(Done {
+                token: job.token,
+                bytes,
+                shutdown,
+            })
             .is_err()
         {
             return;
         }
-        if oversized {
-            // The rest of the over-long line is still inbound; discard
-            // through its newline so the next request starts clean (and
-            // so closing early can't RST away the response just sent).
-            if !drain_line(&mut reader) {
-                return;
+        state.waker.wake();
+    }
+}
+
+/// The readiness loop: accepts, frames, dispatches, collects, flushes.
+fn event_loop(
+    server: &Server,
+    poller: &poll::Poller,
+    job_tx: mpsc::Sender<Job>,
+    done_rx: &mpsc::Receiver<Done>,
+) -> Result<(), Error> {
+    let state = &server.state;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events = vec![poll::Event::zeroed(); EVENTS_PER_WAIT];
+    let mut next_token = TOKEN_FIRST_CONN;
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut accepting = true;
+    // Set once the shutdown sweep has run; bounds the remaining drain.
+    let mut draining: Option<Instant> = None;
+
+    loop {
+        let timeout_ms = match draining {
+            None => -1,
+            Some(at) => {
+                let left = SHUTDOWN_DRAIN.saturating_sub(at.elapsed());
+                left.as_millis().min(i32::MAX as u128) as i32
             }
-            continue;
+        };
+        let n = poller.wait(&mut events, timeout_ms)?;
+        for &ev in events.iter().take(n) {
+            match ev.token() {
+                TOKEN_LISTENER => {
+                    if accepting {
+                        accept_ready(server, poller, &mut conns, &mut next_token);
+                    }
+                }
+                TOKEN_WAKER => {
+                    state.waker.drain();
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let ready = ev.readiness();
+                    if ready & poll::ERR != 0 {
+                        conn.mark_fatal();
+                    }
+                    if ready & poll::OUT != 0 {
+                        conn.flush();
+                    }
+                    if ready & (poll::IN | poll::HUP | poll::RDHUP) != 0 {
+                        pump_and_dispatch(conn, &job_tx, &mut frames);
+                    }
+                    settle(poller, state, &mut conns, token);
+                }
+            }
         }
-        if reply.shutdown {
-            state.trigger();
-            return;
+        // Collect completed bursts: responses queue in request order
+        // and flush coalesced; freed connections may dispatch the next
+        // burst immediately.
+        while let Ok(done) = done_rx.try_recv() {
+            let Some(conn) = conns.get_mut(&done.token) else {
+                continue; // connection died while its burst executed
+            };
+            conn.set_in_flight(false);
+            conn.queue_response(&done.bytes);
+            if done.shutdown {
+                conn.half_close_read();
+                state.trigger();
+            }
+            conn.flush();
+            if !conn.finished() && draining.is_none() {
+                pump_and_dispatch(conn, &job_tx, &mut frames);
+            }
+            settle(poller, state, &mut conns, done.token);
         }
-        if state.shutting_down.load(Ordering::SeqCst) {
-            return;
+        // Shutdown sweep, once: stop accepting, half-close every read
+        // side (the trigger thread already half-closed registered
+        // streams; this also covers conns it raced with), then drain.
+        if draining.is_none() && state.shutting_down.load(Ordering::SeqCst) {
+            draining = Some(Instant::now());
+            if accepting {
+                accepting = false;
+                let _ = poller.remove(server.listener.as_raw_fd());
+            }
+            let tokens: Vec<u64> = conns.keys().copied().collect();
+            for token in tokens {
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.half_close_read();
+                }
+                settle(poller, state, &mut conns, token);
+            }
+        }
+        if let Some(at) = draining {
+            if conns.is_empty() {
+                break;
+            }
+            if at.elapsed() >= SHUTDOWN_DRAIN {
+                // Peers that never drained their responses: force the
+                // remaining sockets closed rather than hang run().
+                for (token, conn) in conns.drain() {
+                    let _ = poller.remove(conn.raw_fd());
+                    state.deregister(token);
+                }
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Accepts every pending connection (nonblocking listener) and
+/// registers it with the poller and the shutdown registry.
+fn accept_ready(
+    server: &Server,
+    poller: &poll::Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match server.listener.accept() {
+            Ok((stream, _)) => {
+                if server.state.shutting_down.load(Ordering::SeqCst) {
+                    continue; // drop it; we are no longer serving
+                }
+                let token = *next_token;
+                *next_token += 1;
+                let Ok(mut conn) = Conn::new(stream, token) else {
+                    continue;
+                };
+                server.state.register(token, conn.stream());
+                if poller.add(conn.raw_fd(), token, poll::IN).is_ok() {
+                    conn.registered = poll::IN;
+                    conns.insert(token, conn);
+                } else {
+                    server.state.deregister(token);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // WouldBlock: backlog drained. Anything else (EMFILE & co):
+            // stop for this round; level-triggered readiness retries.
+            Err(_) => break,
         }
     }
 }
 
-/// How many bytes of an over-long request line the server will discard
-/// looking for its newline before giving up and closing the connection.
-pub const DRAIN_BUDGET_BYTES: u64 = 64 * wire::MAX_REQUEST_BYTES as u64;
+/// Reads whatever `conn` has and, if that produced at least one
+/// complete frame, dispatches the burst to the worker pool.
+fn pump_and_dispatch(conn: &mut Conn, job_tx: &mpsc::Sender<Job>, frames: &mut Vec<Frame>) {
+    if conn.is_in_flight() {
+        return; // the completion path will pump again
+    }
+    frames.clear();
+    conn.pump(frames);
+    if !frames.is_empty() {
+        conn.set_in_flight(true);
+        // Send can only fail once workers are gone, i.e. never while
+        // the loop runs; a lost burst at teardown is indistinguishable
+        // from shutdown dropping undispatched requests.
+        let _ = job_tx.send(Job {
+            token: conn.token(),
+            frames: std::mem::take(frames),
+        });
+    }
+}
+
+/// Post-activity bookkeeping for one connection: drop it when it is
+/// finished, otherwise converge its poller registration with the
+/// interest it currently wants.
+fn settle(poller: &poll::Poller, state: &ServerState, conns: &mut HashMap<u64, Conn>, token: u64) {
+    let Some(conn) = conns.get_mut(&token) else {
+        return;
+    };
+    if conn.finished() {
+        let _ = poller.remove(conn.raw_fd());
+        conns.remove(&token);
+        state.deregister(token);
+        return;
+    }
+    let want = conn.desired_interest();
+    if want != conn.registered && poller.modify(conn.raw_fd(), token, want).is_ok() {
+        conn.registered = want;
+    }
+}
 
 // ---------------------------------------------------------------------
 // Replication: the follower loop behind `utcq serve --follow`.
@@ -469,35 +680,13 @@ fn backoff(attempt: u32, jitter: &mut Jitter) -> std::time::Duration {
     capped + std::time::Duration::from_millis(extra)
 }
 
-/// Discards buffered input through the next `\n`, in `fill_buf`-sized
-/// chunks and never more than [`DRAIN_BUDGET_BYTES`] total. Returns
-/// whether a newline was found (i.e. the stream is resynchronized).
-fn drain_line(reader: &mut BufReader<TcpStream>) -> bool {
-    let mut budget = DRAIN_BUDGET_BYTES;
-    loop {
-        let buf = match reader.fill_buf() {
-            Ok([]) | Err(_) => return false, // EOF or torn connection
-            Ok(buf) => buf,
-        };
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            reader.consume(pos + 1);
-            return true;
-        }
-        let n = buf.len();
-        reader.consume(n);
-        budget = budget.saturating_sub(n as u64);
-        if budget == 0 {
-            return false;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::CompressParams;
     use crate::stiu::StiuParams;
     use crate::store::Store;
+    use std::io::Read;
     use utcq_traj::{paper_fixture, Dataset};
 
     fn paper_opened() -> Arc<Opened> {
@@ -573,6 +762,80 @@ mod tests {
         let runner = std::thread::spawn(move || server.run().unwrap());
         handle.shutdown();
         runner.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_burst_answers_in_request_order() {
+        let server = Server::bind(paper_opened(), "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // Send a whole burst without reading a single response.
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        let n = 32;
+        for i in 0..n {
+            writer
+                .write_all(format!("{{\"id\":{i},\"op\":\"ping\"}}\n").as_bytes())
+                .unwrap();
+        }
+        writer.flush().unwrap();
+        for i in 0..n {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(
+                line.trim_end(),
+                format!("{{\"id\":{i},\"ok\":true,\"op\":\"ping\"}}"),
+                "response {i} out of order"
+            );
+        }
+
+        handle.shutdown();
+        runner.join().unwrap();
+    }
+
+    #[test]
+    fn idle_connections_survive_while_others_work() {
+        let server = Server::bind(paper_opened(), "127.0.0.1:0", 2).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        let runner = std::thread::spawn(move || server.run().unwrap());
+
+        // Far more idle connections than worker threads — under the
+        // blocking design these would exhaust the pool.
+        let idle: Vec<TcpStream> = (0..16).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        assert_eq!(
+            roundtrip(addr, r#"{"id":1,"op":"ping"}"#),
+            r#"{"id":1,"ok":true,"op":"ping"}"#
+        );
+        // Idle sockets are still alive: they answer after the worker.
+        for (i, s) in idle.iter().enumerate() {
+            let mut reader = BufReader::new(s.try_clone().unwrap());
+            (s).set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                .unwrap();
+            let mut w = s;
+            w.write_all(format!("{{\"id\":{i},\"op\":\"ping\"}}\n").as_bytes())
+                .unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(
+                line.trim_end(),
+                format!("{{\"id\":{i},\"ok\":true,\"op\":\"ping\"}}")
+            );
+        }
+
+        handle.shutdown();
+        runner.join().unwrap();
+        // Idle connections see EOF after shutdown.
+        for s in &idle {
+            let mut buf = [0u8; 1];
+            s.set_read_timeout(Some(std::time::Duration::from_secs(5)))
+                .unwrap();
+            let mut r = s;
+            assert_eq!(r.read(&mut buf).unwrap_or(0), 0);
+        }
     }
 
     #[test]

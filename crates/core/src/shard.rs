@@ -98,6 +98,18 @@ use crate::wal::{self, CheckpointReport, Durability, Sidecar, TailRead, WalConfi
 /// where/when cursor is 16 bits).
 pub const MAX_SHARDS: u32 = 1 << 16;
 
+/// Total shard-payload bytes below which a "parallel" open runs
+/// sequentially anyway — thread-spawn overhead exceeds the decode work
+/// on tiny containers (the `open` bench measured a 0.93x "speedup"
+/// there before this threshold existed).
+pub const PARALLEL_OPEN_MIN_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Whether a parallel open would actually help: more than one shard
+/// and at least [`PARALLEL_OPEN_MIN_BYTES`] of embedded payload.
+pub fn parallel_open_effective(shard_count: usize, payload_bytes: u64) -> bool {
+    shard_count > 1 && payload_bytes >= PARALLEL_OPEN_MIN_BYTES
+}
+
 /// Bits of a global where/when cursor holding the shard-local cursor.
 const LOCAL_CURSOR_BITS: u32 = 48;
 const LOCAL_CURSOR_MASK: u64 = (1 << LOCAL_CURSOR_BITS) - 1;
@@ -617,15 +629,32 @@ impl ShardedStore {
     /// exists for measurement (`bench_queries` reports the speedup in
     /// `BENCH_queries.json`) and for callers that must not spawn.
     ///
+    /// `parallel` is a *permission*, not a command: below
+    /// [`PARALLEL_OPEN_MIN_BYTES`] of total shard payload the open
+    /// falls back to sequential anyway — on tiny containers the
+    /// thread-spawn overhead measurably exceeds the deserialization
+    /// work (the `open` bench once reported parallel 7% *slower* on
+    /// the small CD profile). Use [`ShardedStore::read_with_report`]
+    /// to learn which path actually ran.
+    ///
     /// The embedded road network is deserialized from the first shard
     /// and shared across all shards behind one `Arc`; the other shards'
     /// embedded copies are validated against it and dropped.
     pub fn read_with(r: &mut impl Read, parallel: bool) -> Result<Self, Error> {
+        Self::read_with_report(r, parallel).map(|(store, _)| store)
+    }
+
+    /// [`ShardedStore::read_with`], also reporting whether the parallel
+    /// path actually ran (`false` means sequential — either by request
+    /// or by the small-container fallback).
+    pub fn read_with_report(r: &mut impl Read, parallel: bool) -> Result<(Self, bool), Error> {
         let (dir, blobs) = match storage::load_v3(r) {
             Ok(parts) => parts,
             Err(storage::StorageError::LegacyVersion) => return Err(Error::NeedsNetwork),
             Err(e) => return Err(e.into()),
         };
+        let payload: u64 = blobs.iter().map(|b| b.len() as u64).sum();
+        let parallel = parallel && parallel_open_effective(blobs.len(), payload);
         type ShardParts = (
             RoadNetwork,
             crate::compress::CompressedDataset,
@@ -638,7 +667,7 @@ impl ShardedStore {
             let (id_to_idx, plans) = Store::validate_parts(&cds, &stiu)?;
             Ok((net, cds, stiu, id_to_idx, plans))
         };
-        let parts: Vec<ShardParts> = if parallel && blobs.len() > 1 {
+        let parts: Vec<ShardParts> = if parallel {
             // bounds: par_run yields i < blobs.len()
             par_run(blobs.len(), |i| load_one(&blobs[i]))?
         } else {
@@ -671,7 +700,7 @@ impl ShardedStore {
         // budget; a sharded store's default is a *total* budget split
         // across shards, matching what the builder configures.
         store.set_cache_bytes(crate::cache::DEFAULT_CACHE_BYTES);
-        Ok(store)
+        Ok((store, parallel))
     }
 
     /// Persists the store as a v3 container. Safe to call while other
@@ -1532,6 +1561,26 @@ mod tests {
             Store::read(&mut bytes.as_slice()),
             Err(Error::ShardedContainer)
         ));
+    }
+
+    #[test]
+    fn tiny_parallel_open_falls_back_to_sequential() {
+        let store = sharded(3);
+        let mut bytes = Vec::new();
+        store.write(&mut bytes).unwrap();
+        // The test container is far below PARALLEL_OPEN_MIN_BYTES, so a
+        // parallel-permitted open must report the sequential fallback
+        // and still produce an identical store.
+        let (reopened, ran_parallel) =
+            ShardedStore::read_with_report(&mut bytes.as_slice(), true).unwrap();
+        assert!(!ran_parallel);
+        assert!(bytes.len() < PARALLEL_OPEN_MIN_BYTES as usize);
+        assert_eq!(reopened.shard_count(), 3);
+        assert_eq!(reopened.len(), store.len());
+        // The predicate itself: needs both multiple shards and bytes.
+        assert!(!parallel_open_effective(1, u64::MAX));
+        assert!(!parallel_open_effective(8, PARALLEL_OPEN_MIN_BYTES - 1));
+        assert!(parallel_open_effective(2, PARALLEL_OPEN_MIN_BYTES));
     }
 
     #[test]

@@ -1139,12 +1139,21 @@ pub fn handle_line_writable(opened: &Opened, line: &str) -> Reply {
     execute(opened, true, line)
 }
 
+/// The canonical reply to a request line that exceeds
+/// [`MAX_REQUEST_BYTES`] — what [`handle_line`] produces before even
+/// parsing, and what the event-loop server emits for a line whose
+/// newline never arrived within the cap (so both surfaces reject
+/// over-long input byte-identically).
+pub fn oversized_reply() -> Reply {
+    Reply {
+        line: respond_error(None, "bad_request", "request line exceeds 1 MiB"),
+        shutdown: false,
+    }
+}
+
 fn execute(opened: &Opened, writable: bool, line: &str) -> Reply {
     if line.len() > MAX_REQUEST_BYTES {
-        return Reply {
-            line: respond_error(None, "bad_request", "request line exceeds 1 MiB"),
-            shutdown: false,
-        };
+        return oversized_reply();
     }
     let parsed = match parse_request(line) {
         Ok(p) => p,

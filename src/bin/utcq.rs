@@ -19,7 +19,7 @@
 //!                 [--cache-bytes N] [--writable]
 //!                 [--wal log.wal] [--fsync always|never|every:N]
 //!                 [--checkpoint-bytes N] [--follow HOST:PORT]
-//! utcq client     --addr HOST:PORT | --in data.utcq [--writable]
+//! utcq client     --addr HOST:PORT [--pipeline N] | --in data.utcq [--writable]
 //! ```
 //!
 //! Legacy v1 containers (dataset only) still load: `query`/`verify` fall
@@ -45,10 +45,11 @@
 //! `--follow` runs a read-only replica streaming the leader's batches —
 //! see `docs/DURABILITY.md`. `client` speaks the protocol from stdin —
 //! against a running server (`--addr`, reconnecting with bounded
-//! backoff if the connection drops), or offline against the container
-//! itself (`--in`, add `--writable` to replay ingest sessions),
-//! producing byte-identical responses; the serve-smoke CI jobs diff the
-//! two.
+//! backoff if the connection drops; add `--pipeline N` to keep up to N
+//! requests outstanding, responses stream back in request order), or
+//! offline against the container itself (`--in`, add `--writable` to
+//! replay ingest sessions), producing byte-identical responses; the
+//! serve-smoke CI jobs diff the two.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -511,6 +512,10 @@ const CLIENT_RETRY_BASE_MS: u64 = 100;
 fn cmd_client(args: &Args) -> Result<(), String> {
     let stdin = std::io::stdin();
     if let Some(addr) = args.flags.get("addr") {
+        let window: usize = args.parse_num("pipeline", 1);
+        if window > 1 {
+            return client_pipelined(addr, window);
+        }
         let connect = || -> Result<
             (
                 BufReader<std::net::TcpStream>,
@@ -600,6 +605,75 @@ fn cmd_client(args: &Args) -> Result<(), String> {
         }
         Ok(())
     }
+}
+
+/// `utcq client --addr --pipeline N`: windowed protocol pipelining.
+/// Up to `N` requests stay outstanding on one connection; responses
+/// stream back in request order (the server's per-connection guarantee,
+/// see `PROTOCOL.md`) and print as they arrive, so the output is still
+/// byte-identical to the offline executor's. Unlike the serial mode
+/// there is no reconnect-and-retry: a torn connection mid-window cannot
+/// be replayed safely (some outstanding requests may have executed), so
+/// transport failures are fatal.
+fn client_pipelined(addr: &str, window: usize) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    // One entry per outstanding request: whether it was a `shutdown`
+    // (whose acknowledgement is the server's last word).
+    let mut outstanding: std::collections::VecDeque<bool> = std::collections::VecDeque::new();
+    let mut recv_one =
+        |outstanding: &mut std::collections::VecDeque<bool>| -> Result<bool, String> {
+            let Some(was_shutdown) = outstanding.pop_front() else {
+                return Ok(false);
+            };
+            let mut response = String::new();
+            match reader.read_line(&mut response) {
+                Ok(0) => return Err(format!("{addr}: server closed the connection mid-window")),
+                Ok(_) => {}
+                Err(e) => return Err(format!("{addr}: {e}")),
+            }
+            print!("{response}");
+            Ok(was_shutdown && response.contains("\"ok\":true"))
+        };
+
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("{addr}: {e}"))?;
+        let is_shutdown = matches!(
+            wire::parse_request(&line),
+            Ok(p) if matches!(p.request, wire::Request::Shutdown)
+        );
+        outstanding.push_back(is_shutdown);
+        if is_shutdown {
+            // Nothing pipelined behind a shutdown gets an answer; stop
+            // sending and drain what is owed.
+            break;
+        }
+        if outstanding.len() >= window {
+            writer.flush().map_err(|e| format!("{addr}: {e}"))?;
+            if recv_one(&mut outstanding)? {
+                return Ok(());
+            }
+        }
+    }
+    writer.flush().map_err(|e| format!("{addr}: {e}"))?;
+    while !outstanding.is_empty() {
+        if recv_one(&mut outstanding)? {
+            return Ok(());
+        }
+    }
+    Ok(())
 }
 
 /// `utcq audit <lint|fuzz|sched>`: the offline correctness tooling of
@@ -764,7 +838,8 @@ fn usage() -> String {
      [--profile dk|cd|hz|tiny] \
      [--trajs N] [--seed S] [--in FILE] [--out FILE] [-n N] [--alpha A] [--limit L] \
      [--shards N] [--shard-by time|region] [--shard-interval S] [--shard-grid N] \
-     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N] [--writable]\n\
+     [--cache-bytes N] [--cache-stats] [--addr HOST:PORT] [--threads N] [--writable] \
+     [--pipeline N]\n\
      serve durability: [--wal FILE] [--fsync always|never|every:N] \
      [--checkpoint-bytes N] [--follow HOST:PORT]\n\
      audit: utcq audit <lint|fuzz|sched> [--root DIR] [--iters N] [--seed S] [--replay] \

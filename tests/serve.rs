@@ -552,6 +552,123 @@ fn queries_never_block_while_a_writable_server_ingests() {
 }
 
 #[test]
+fn invalid_line_mid_burst_answers_in_order_and_the_connection_survives() {
+    // A pipelined burst where the middle lines are garbage: every line
+    // still gets exactly one response, in request order, and the
+    // connection keeps working afterwards.
+    let opened = Arc::new(open_fixture(3));
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 2);
+    let mut client = Client::connect(addr);
+
+    let burst = [
+        r#"{"id":1,"op":"ping"}"#,
+        "this is not json",
+        r#"{"id":2,"op":"ping"}"#,
+        r#"{"id":3,"op":"frobnicate"}"#,
+        r#"{"id":4,"op":"ping"}"#,
+    ];
+    for line in burst {
+        client.writer.write_all(line.as_bytes()).expect("send");
+        client.writer.write_all(b"\n").expect("send newline");
+    }
+    client.writer.flush().expect("flush burst");
+
+    let offline = open_fixture(3);
+    for line in burst {
+        let online = client.recv().expect("burst response");
+        assert_eq!(online, wire::handle_line(&offline, line).line, "{line}");
+    }
+    let resp = client.roundtrip(r#"{"id":5,"op":"ping"}"#);
+    assert_eq!(resp, r#"{"id":5,"ok":true,"op":"ping"}"#);
+
+    client.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
+fn pipelined_writable_session_matches_offline_replay() {
+    // The whole writable session — ingest, queries that must observe
+    // the ingest, the duplicate error, shutdown — sent as ONE pipelined
+    // burst before the first response is read. In-order burst execution
+    // makes it byte-identical to the sequential offline replay.
+    let served = Arc::new(open_fixture(3));
+    let offline = open_fixture(3);
+    let server = Server::bind(Arc::clone(&served), "127.0.0.1:0", 2)
+        .expect("bind ephemeral port")
+        .writable(true);
+    let addr = server.local_addr();
+    let runner = ServerRunner(Some(std::thread::spawn(move || {
+        server.run().expect("server run")
+    })));
+
+    let mut client = Client::connect(addr);
+    let lines = writable_session_lines();
+    for line in &lines {
+        client.writer.write_all(line.as_bytes()).expect("send");
+        client.writer.write_all(b"\n").expect("send newline");
+    }
+    client.writer.flush().expect("flush burst");
+    for line in &lines {
+        let online = client.recv().expect("burst response");
+        assert_eq!(
+            online,
+            wire::handle_line_writable(&offline, line).line,
+            "{line}"
+        );
+    }
+    // The burst ended in shutdown: the server drains and closes.
+    assert_eq!(client.recv(), None, "clean EOF after the shutdown ack");
+    runner.join();
+    assert_eq!(served.len(), 11);
+    assert_eq!(offline.len(), 11);
+}
+
+#[test]
+fn slow_reader_gets_every_response_under_backpressure() {
+    // A client that writes far more than the server's write buffer high
+    // watermark before reading anything: the server must pause reading
+    // that connection instead of buffering unboundedly, then deliver
+    // every response in order once the client drains.
+    let opened = Arc::new(open_fixture(3));
+    let (addr, _handle, runner) = start(Arc::clone(&opened), 2);
+
+    const N: usize = 20_000;
+    let stream = TcpStream::connect(addr).expect("connect");
+    let writer_stream = stream.try_clone().expect("clone stream");
+    let writer = std::thread::spawn(move || {
+        let mut w = BufWriter::new(writer_stream);
+        for i in 0..N {
+            writeln!(w, r#"{{"id":{i},"op":"ping"}}"#).expect("send ping");
+        }
+        w.flush().expect("flush pings");
+    });
+    // Deliberately let the response backlog build past the kernel
+    // buffers and the server's high watermark before reading.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for i in 0..N {
+        line.clear();
+        reader.read_line(&mut line).expect("response");
+        assert_eq!(
+            line.trim_end(),
+            format!(r#"{{"id":{i},"ok":true,"op":"ping"}}"#),
+            "response {i} lost or reordered under backpressure"
+        );
+    }
+    writer.join().expect("writer thread");
+
+    // The server is still healthy for other clients.
+    let mut c = Client::connect(addr);
+    assert_eq!(
+        c.roundtrip(r#"{"id":1,"op":"ping"}"#),
+        r#"{"id":1,"ok":true,"op":"ping"}"#
+    );
+    c.roundtrip(r#"{"op":"shutdown"}"#);
+    runner.join();
+}
+
+#[test]
 fn checked_in_session_fixture_stays_in_sync() {
     // The serve-smoke CI job replays this exact session against the
     // binary; keep its expectations pinned here so fixture drift fails
