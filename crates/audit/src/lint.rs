@@ -47,6 +47,7 @@ pub const HOT_FILES: &[&str] = &[
     "shard.rs",
     "store.rs",
     "wal.rs",
+    "chunk.rs",
 ];
 
 const PANIC_TOKENS: &[&str] = &[

@@ -939,6 +939,90 @@ pub fn wal_publish_order_broken() -> Scenario {
     wal_publish_order_scenario(false)
 }
 
+// -- Chunk-directory publication order --------------------------------
+
+/// A 1:1 mock of the chunked snapshot publish path
+/// (`utcq_core::chunk::ChunkedVec` behind the epoch `Swap`): the writer
+/// fills the tail chunk's storage and THEN publishes a directory that
+/// claims the new length (`fill_first = true`, the real ordering — the
+/// next epoch's directory only becomes reachable via `Swap::store`
+/// after its chunks are complete). A reader pinned across the
+/// directory swap must never observe a *half-published* directory: every
+/// element the pinned length claims must already be backed by filled
+/// chunk storage, and the published length is monotonic.
+///
+/// Flipping the order (publish the longer directory, then fill the
+/// tail) is the seeded bug the self-test proves the checker catches.
+fn chunk_publish_order_scenario(fill_first: bool) -> Scenario {
+    let dir_len = Arc::new(AtomicU64::new(0)); // published directory length
+    let chunk = Arc::new(Mutex::new(Vec::<u64>::new())); // tail-chunk storage
+    fn lock(m: &Mutex<Vec<u64>>) -> std::sync::MutexGuard<'_, Vec<u64>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+    let writer = {
+        let dir_len = Arc::clone(&dir_len);
+        let chunk = Arc::clone(&chunk);
+        Box::new(move || {
+            // Two publish rounds so a reader can pin across a swap.
+            for round in 1..=2u64 {
+                if fill_first {
+                    lock(&chunk).push(round);
+                    point("mock.chunk.filled");
+                    dir_len.store(round, Ordering::SeqCst);
+                } else {
+                    dir_len.store(round, Ordering::SeqCst);
+                    point("mock.chunk.filled");
+                    lock(&chunk).push(round);
+                }
+                point("mock.chunk.published");
+            }
+        }) as Box<dyn FnOnce() + Send>
+    };
+    let reader = Box::new(move || {
+        let pinned = dir_len.load(Ordering::SeqCst) as usize;
+        point("mock.chunk.pin");
+        {
+            let c = lock(&chunk);
+            assert!(
+                pinned <= c.len(),
+                "half-published directory: claims {pinned} elements, \
+                 chunk holds {}",
+                c.len()
+            );
+            for (i, &v) in c.iter().take(pinned).enumerate() {
+                assert_eq!(
+                    v,
+                    i as u64 + 1,
+                    "published element {i} not yet backed by its data"
+                );
+            }
+        }
+        let later = dir_len.load(Ordering::SeqCst) as usize;
+        assert!(
+            later >= pinned,
+            "directory length went backwards: {pinned} then {later}"
+        );
+    }) as Box<dyn FnOnce() + Send>;
+    Scenario {
+        threads: vec![writer, reader],
+        finale: None,
+    }
+}
+
+/// The faithful fill-then-publish chunk-directory model.
+pub fn chunk_publish_order() -> Scenario {
+    chunk_publish_order_scenario(true)
+}
+
+/// The broken publish-before-fill variant; used by self-tests to prove
+/// the checker finds the torn-directory race it exists to rule out.
+pub fn chunk_publish_order_broken() -> Scenario {
+    chunk_publish_order_scenario(false)
+}
+
 /// The faithful serve shutdown model (with the register re-check).
 pub fn serve_shutdown() -> Scenario {
     serve_shutdown_scenario(true)
@@ -1152,6 +1236,7 @@ pub fn all_scenarios() -> Vec<NamedScenario> {
         ("sharded_ingest_vs_query", 400, sharded_ingest_vs_query),
         ("wal_publish_order", 400, wal_publish_order),
         ("wal_append_vs_publish", 400, wal_append_vs_publish),
+        ("chunk_publish_order", 400, chunk_publish_order),
     ]
 }
 
@@ -1380,6 +1465,41 @@ mod tests {
             "wal hooks produced too few yield points ({} schedules)",
             out.schedules
         );
+    }
+
+    #[test]
+    fn chunk_mock_publish_before_fill_has_the_race() {
+        let out = explore(
+            "chunk_publish_order_broken",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &chunk_publish_order_broken,
+        );
+        let v = out
+            .violation
+            .expect("the publish-before-fill race must be found");
+        assert!(
+            v.message.contains("half-published") || v.message.contains("not yet backed"),
+            "unexpected violation: {}",
+            v.message
+        );
+        assert!(!v.schedule.is_empty());
+    }
+
+    #[test]
+    fn chunk_mock_fill_first_is_clean() {
+        let out = explore(
+            "chunk_publish_order",
+            SchedOpts {
+                preemption_bound: 4,
+                max_schedules: 500,
+            },
+            &chunk_publish_order,
+        );
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+        assert!(out.exhausted);
     }
 
     #[test]

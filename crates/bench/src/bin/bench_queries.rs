@@ -647,6 +647,92 @@ fn main() {
     let ingest_always_ns = measure_ingest(Some(utcq_core::FsyncPolicy::Always));
     let _ = std::fs::remove_dir_all(&ingest_dir);
 
+    // bench_publish: what publishing one 64-trajectory batch costs as
+    // the store grows 1k → 10k → 50k. The chunked snapshots share
+    // sealed storage across epochs, so both the median ns and the
+    // copied bytes (reported by `utcq_core::hooks::copied_bytes`) must
+    // stay O(batch) — flat in store size. The copied-bytes ratio is
+    // deterministic, which is what `UTCQ_BENCH_PUBLISH_RATIO_BOUND`
+    // gates on in CI. Trajectories are deliberately cheap (short, few
+    // instances): publish cost depends on the snapshot's shape, not on
+    // how interesting the data is.
+    eprintln!("measuring publish cost at 1k/10k/50k trajectories…");
+    const PUBLISH_BATCH: usize = 64;
+    const PUBLISH_BATCHES: usize = 8; // per timed pass; ids stay distinct
+    let publish_sizes: [usize; 3] = [1_000, 10_000, 50_000];
+    let mut publish_ns: Vec<f64> = Vec::new();
+    let mut publish_copied: Vec<u64> = Vec::new();
+    {
+        let mut cheap = utcq_datagen::profile::tiny();
+        cheap.avg_instances = 1.5;
+        cheap.max_instances = 2;
+        cheap.avg_edges = 4.0;
+        cheap.max_edges = 8;
+        let publish_net = Arc::new(utcq_datagen::generate_network(&cheap, SEED ^ 0x50));
+        for (i, &n) in publish_sizes.iter().enumerate() {
+            let mut base = utcq_datagen::generate_on_network(
+                &publish_net,
+                &cheap,
+                &utcq_datagen::GenOptions {
+                    n_trajectories: n + PUBLISH_BATCH * PUBLISH_BATCHES,
+                    seed: SEED + i as u64,
+                    min_instances: 1,
+                    max_samples: 4,
+                    variants: Default::default(),
+                },
+            );
+            let tail = base.trajectories.split_off(n);
+            let publish_batches: Vec<utcq_traj::Dataset> = tail
+                .chunks(PUBLISH_BATCH)
+                .map(|c| utcq_traj::Dataset {
+                    name: base.name.clone(),
+                    default_interval: base.default_interval,
+                    trajectories: c.to_vec(),
+                })
+                .collect();
+            let params = utcq_core::CompressParams::with_interval(base.default_interval);
+            let built =
+                Store::build(Arc::clone(&publish_net), &base, params, stiu).expect("publish build");
+            let mut base_bytes = Vec::new();
+            built
+                .write(&mut base_bytes)
+                .expect("serialize publish base");
+            drop(built);
+
+            // Copied bytes per publish: exact, differenced around one
+            // ingest on a fresh reopen (main is single-threaded here,
+            // so nothing else touches the process-global counter).
+            let fresh = Store::read(&mut base_bytes.as_slice()).expect("reopen publish base");
+            let before = utcq_core::hooks::copied_bytes();
+            fresh.ingest(&publish_batches[0]).expect("bench publish");
+            publish_copied.push(utcq_core::hooks::copied_bytes() - before);
+            drop(fresh);
+
+            let slot: std::cell::RefCell<Option<Store>> = std::cell::RefCell::new(None);
+            publish_ns.push(measure(
+                PUBLISH_BATCHES,
+                smoke,
+                || {
+                    slot.borrow_mut().take();
+                    *slot.borrow_mut() =
+                        Some(Store::read(&mut base_bytes.as_slice()).expect("reopen publish base"));
+                },
+                || {
+                    let s = slot.borrow();
+                    let s = s.as_ref().expect("prepared store");
+                    for b in &publish_batches {
+                        s.ingest(b).expect("bench publish");
+                    }
+                },
+            ));
+        }
+    }
+    let publish_ratio = if publish_copied[0] > 0 {
+        publish_copied[2] as f64 / publish_copied[0] as f64
+    } else {
+        0.0
+    };
+
     // Leave the cache warm so the reported stats describe steady state.
     run_where(&store);
     run_when(&store);
@@ -859,6 +945,24 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"publish\": {{\"batch_trajs\": {PUBLISH_BATCH}, \
+         \"store_sizes\": [{}, {}, {}], \
+         \"ns_per_publish\": [{:.1}, {:.1}, {:.1}], \
+         \"copied_bytes_per_publish\": [{}, {}, {}], \
+         \"copied_ratio_50k_over_1k\": {:.3}}},",
+        publish_sizes[0],
+        publish_sizes[1],
+        publish_sizes[2],
+        publish_ns[0],
+        publish_ns[1],
+        publish_ns[2],
+        publish_copied[0],
+        publish_copied[1],
+        publish_copied[2],
+        publish_ratio
+    );
+    let _ = writeln!(
+        json,
         "  \"cache_stats\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
          \"entries\": {}, \"bytes\": {}, \"hit_rate\": {:.4}}}",
         stats.hits,
@@ -918,6 +1022,31 @@ fn main() {
         "  ingest: off {:.0} ns/batch | wal every-8 {:.0} ns/batch | wal always {:.0} ns/batch",
         ingest_off_ns, ingest_every_ns, ingest_always_ns
     );
+    eprintln!(
+        "  publish: 1k {:.0} ns | 10k {:.0} ns | 50k {:.0} ns | \
+         copied {} / {} / {} B (50k/1k ratio {:.2})",
+        publish_ns[0],
+        publish_ns[1],
+        publish_ns[2],
+        publish_copied[0],
+        publish_copied[1],
+        publish_copied[2],
+        publish_ratio
+    );
+    if let Some(bound) = std::env::var("UTCQ_BENCH_PUBLISH_RATIO_BOUND")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if publish_ratio > bound {
+            eprintln!(
+                "PUBLISH REGRESSION: a 50k-store publish copies {publish_ratio:.2}x \
+                 the bytes of a 1k-store publish (bound {bound}) — copy cost is \
+                 scaling with the store, not the batch"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("publish gate: copied-bytes ratio {publish_ratio:.2} within {bound}");
+    }
     eprintln!(
         "  v3 open: sequential {:.2} ms | parallel {:.2} ms ({:.2}x)",
         open_seq_ns / 1e6,

@@ -6,6 +6,7 @@ use utcq_network::RoadNetwork;
 use utcq_traj::size::SizeBreakdown;
 use utcq_traj::{Dataset, TedView, UncertainTrajectory};
 
+use crate::chunk::ChunkedVec;
 use crate::compressed::{
     edge_number_width, encode_d_codes, encode_entries, encode_flags, CompressedNonRef,
     CompressedRef, CompressedTrajectory,
@@ -24,8 +25,11 @@ pub struct CompressedDataset {
     pub params: CompressParams,
     /// Fixed width of outgoing-edge numbers.
     pub w_e: u32,
-    /// The compressed trajectories.
-    pub trajectories: Vec<CompressedTrajectory>,
+    /// The compressed trajectories, in `Arc`'d immutable chunks so a
+    /// live publish clones the chunk directory, not the payloads (see
+    /// [`crate::chunk`]). Serialization is unaffected — containers are
+    /// byte-identical to the flat layout.
+    pub trajectories: ChunkedVec<CompressedTrajectory>,
     /// Compressed footprint per component.
     pub compressed: SizeBreakdown,
     /// Raw footprint per component (the ratio numerators).
@@ -241,7 +245,7 @@ pub fn compress_dataset(
         name: ds.name.clone(),
         params: *params,
         w_e: edge_number_width(net.max_out_degree()),
-        trajectories,
+        trajectories: ChunkedVec::from_vec(trajectories),
         compressed,
         raw,
     })

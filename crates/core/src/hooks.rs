@@ -54,3 +54,28 @@ mod imp {
 #[cfg(feature = "audit")]
 pub use imp::install;
 pub use imp::point;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bytes copied by publish-path copy-on-write events (see
+/// [`crate::chunk`]). Unlike [`point`], this counter is always
+/// compiled: it is a single relaxed atomic add on the rare
+/// copy-on-write path (at most once per shared structure per publish),
+/// and the copy-cost regression test and the `"publish"` bench section
+/// read it without the `audit` feature.
+static COPIED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Records `bytes` copied out by a copy-on-write event.
+#[inline]
+pub fn copied(bytes: usize) {
+    COPIED_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+}
+
+/// Total copy-on-write bytes recorded since process start. Monotonic;
+/// callers measure a region by differencing. The count is a *shallow*
+/// per-element estimate (directory entries, not decoded payloads) —
+/// proportional to what was copied, which is what the O(batch) publish
+/// assertions need.
+pub fn copied_bytes() -> u64 {
+    COPIED_BYTES.load(Ordering::Relaxed)
+}

@@ -176,6 +176,7 @@
 //! ```
 
 pub mod cache;
+pub mod chunk;
 pub mod compress;
 pub mod compressed;
 pub mod conn;

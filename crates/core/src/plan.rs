@@ -124,12 +124,12 @@ impl TrajPlan {
 }
 
 /// Builds the plans for every trajectory of a compressed dataset.
-pub fn build_plans(
-    trajectories: &[CompressedTrajectory],
+pub fn build_plans<'a>(
+    trajectories: impl IntoIterator<Item = &'a CompressedTrajectory>,
     p_codec: &PddpCodec,
 ) -> Result<Vec<TrajPlan>, Error> {
     trajectories
-        .iter()
+        .into_iter()
         .map(|ct| TrajPlan::build(ct, p_codec))
         .collect()
 }

@@ -319,7 +319,7 @@ pub(crate) struct QueryEngine<'a> {
     pub net: &'a RoadNetwork,
     pub cds: &'a CompressedDataset,
     pub stiu: &'a Stiu,
-    pub plans: &'a [TrajPlan],
+    pub plans: &'a crate::chunk::ChunkedVec<TrajPlan>,
     pub cache: &'a DecodeCache,
     /// Epoch of the snapshot this engine reads — every cache key this
     /// engine mints carries it, so entries of superseded epochs can

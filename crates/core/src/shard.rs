@@ -471,7 +471,7 @@ impl RangeIndex {
         }
         let mut postings: HashMap<i64, Vec<(u64, u32, u32)>> = HashMap::new();
         for (s, snap) in snaps.iter().enumerate() {
-            for (&key, js) in &snap.stiu().interval_trajs {
+            for (key, js) in snap.stiu().interval_trajs.iter() {
                 let list = postings.entry(key).or_default();
                 for &j in js {
                     if let Some(ct) = snap.compressed().trajectories.get(j as usize) {
@@ -659,8 +659,8 @@ impl ShardedStore {
             RoadNetwork,
             crate::compress::CompressedDataset,
             crate::stiu::Stiu,
-            HashMap<u64, u32>,
-            Vec<crate::plan::TrajPlan>,
+            crate::chunk::SharedIdMap,
+            crate::chunk::ChunkedVec<crate::plan::TrajPlan>,
         );
         let load_one = |blob: &Vec<u8>| -> Result<ShardParts, Error> {
             let (net, cds, stiu) = storage::load_v2(&mut blob.as_slice())?;

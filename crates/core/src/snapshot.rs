@@ -37,7 +37,6 @@
 //! flush, no cross-epoch aliasing even if a future writer stops being
 //! append-only.
 
-use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
@@ -46,6 +45,7 @@ use utcq_network::{EdgeId, Rect, RoadNetwork};
 use utcq_traj::UncertainTrajectory;
 
 use crate::cache::{CacheStats, DecodeCache};
+use crate::chunk::{ChunkedVec, SharedIdMap};
 use crate::compress::{compress_trajectory, CompressedDataset, Ratios};
 use crate::error::Error;
 use crate::plan::TrajPlan;
@@ -127,9 +127,9 @@ pub struct Snapshot {
     pub(crate) net: Arc<RoadNetwork>,
     pub(crate) cds: CompressedDataset,
     pub(crate) stiu: Stiu,
-    pub(crate) id_to_idx: HashMap<u64, u32>,
+    pub(crate) id_to_idx: SharedIdMap,
     /// Per-trajectory lookup tables, same order as `cds.trajectories`.
-    pub(crate) plans: Vec<TrajPlan>,
+    pub(crate) plans: ChunkedVec<TrajPlan>,
     /// The owning store's decode cache, shared across epochs.
     pub(crate) cache: Arc<DecodeCache>,
     /// Publication counter within the owning store; 0 for the state a
@@ -185,7 +185,7 @@ impl Snapshot {
 
     /// Looks up a trajectory's position by id.
     pub fn traj_index(&self, id: u64) -> Option<u32> {
-        self.id_to_idx.get(&id).copied()
+        self.id_to_idx.get(id)
     }
 
     /// Decodes the full time sequence of the trajectory at position `j`
@@ -324,8 +324,8 @@ impl Snapshot {
     ) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.stiu
             .trajs_in_interval(tq)
-            .iter()
-            .filter_map(move |&j| {
+            .into_iter()
+            .filter_map(move |j| {
                 let ct = self.cds.trajectories.get(j as usize)?;
                 Some((ct.id, j))
             })
@@ -428,8 +428,8 @@ pub(crate) struct PartitionState {
     /// Deferred until the first trajectory so `stiu_params` stays
     /// configurable on an empty builder.
     pub(crate) stiu: Option<Stiu>,
-    pub(crate) id_to_idx: HashMap<u64, u32>,
-    pub(crate) plans: Vec<TrajPlan>,
+    pub(crate) id_to_idx: SharedIdMap,
+    pub(crate) plans: ChunkedVec<TrajPlan>,
 }
 
 impl PartitionState {
@@ -441,19 +441,23 @@ impl PartitionState {
                 name: String::new(),
                 params,
                 w_e,
-                trajectories: Vec::new(),
+                trajectories: ChunkedVec::new(),
                 compressed: Default::default(),
                 raw: Default::default(),
             },
             stiu: None,
-            id_to_idx: HashMap::new(),
-            plans: Vec::new(),
+            id_to_idx: SharedIdMap::new(),
+            plans: ChunkedVec::new(),
         }
     }
 
     /// Clones a snapshot's frozen state back into mutable form — the
     /// copy-out step of a live ingest (off the query path; readers keep
-    /// the snapshot untouched).
+    /// the snapshot untouched). O(batch), not O(store): every container
+    /// is structurally shared ([`crate::chunk`]), so this clone copies
+    /// chunk directories and segment pointers only; appending the batch
+    /// then copies at most each container's tail chunk once
+    /// (copy-on-write), never the sealed ones.
     pub(crate) fn from_snapshot(snap: &Snapshot) -> Self {
         Self {
             cds: snap.cds.clone(),
@@ -480,7 +484,7 @@ impl PartitionState {
         let stiu = self.stiu.get_or_insert_with(|| Stiu::new(net, stiu_params));
         let p_codec = params.p_codec();
         let j = self.cds.trajectories.len() as u32;
-        if self.id_to_idx.contains_key(&tu.id) {
+        if self.id_to_idx.contains(tu.id) {
             return Err(Error::DuplicateTrajectory(tu.id));
         }
         let (ct, size) = compress_trajectory(net, tu, &params)?;

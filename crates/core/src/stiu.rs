@@ -17,12 +17,11 @@
 //!   filtering lemmas. Non-reference tuples carry the resume vertex, its
 //!   entry index, and the bit position of the covering `Com_E` factor.
 
-use std::collections::HashMap;
-
 use utcq_bitio::golomb;
 use utcq_network::{CellId, Grid, RoadNetwork, VertexId};
 use utcq_traj::{Dataset, Instance, TedView, UncertainTrajectory};
 
+use crate::chunk::{ChunkedVec, IntervalMap};
 use crate::compress::CompressedDataset;
 use crate::compressed::CompressedTrajectory;
 use crate::factor::{self, EFactor};
@@ -137,10 +136,15 @@ pub struct Stiu {
     pub params: StiuParams,
     /// The spatial grid.
     pub grid: Grid,
-    /// One node per compressed trajectory (same order).
-    pub trajs: Vec<TrajIndex>,
-    /// Interval index → trajectory indices with samples in the interval.
-    pub interval_trajs: HashMap<i64, Vec<u32>>,
+    /// One node per compressed trajectory (same order), chunked so a
+    /// live publish shares sealed chunks by pointer (see
+    /// [`crate::chunk`]).
+    pub trajs: ChunkedVec<TrajIndex>,
+    /// Interval index → trajectory indices with samples in the
+    /// interval, segmented per trajectory chunk so a batch extends the
+    /// tail segment without rewriting the postings of untouched
+    /// intervals.
+    pub interval_trajs: IntervalMap,
 }
 
 impl Stiu {
@@ -159,11 +163,11 @@ impl Stiu {
         (s, t)
     }
 
-    /// Trajectories with a temporal tuple in `t`'s interval.
-    pub fn trajs_in_interval(&self, t: i64) -> &[u32] {
+    /// Trajectories with a temporal tuple in `t`'s interval, ascending
+    /// by position (merged across the interval map's segments).
+    pub fn trajs_in_interval(&self, t: i64) -> Vec<u32> {
         self.interval_trajs
-            .get(&(t.div_euclid(self.params.partition_s)))
-            .map_or(&[], |v| v.as_slice())
+            .postings(t.div_euclid(self.params.partition_s))
     }
 }
 
@@ -287,8 +291,8 @@ impl Stiu {
         Stiu {
             params,
             grid: Grid::over_network(net, params.grid_n),
-            trajs: Vec::new(),
-            interval_trajs: HashMap::new(),
+            trajs: ChunkedVec::new(),
+            interval_trajs: IntervalMap::new(),
         }
     }
 
@@ -319,9 +323,7 @@ impl Stiu {
         // including sample-free gap intervals, which it may still cross.
         let first = tu.times[0].div_euclid(self.params.partition_s);
         let last = tu.times[tu.times.len() - 1].div_euclid(self.params.partition_s);
-        for interval in first..=last {
-            self.interval_trajs.entry(interval).or_default().push(j);
-        }
+        self.interval_trajs.register(j, first, last);
         self.trajs.push(node);
     }
 }

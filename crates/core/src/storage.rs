@@ -355,7 +355,7 @@ fn read_dataset_body(r: &mut impl Read) -> Result<CompressedDataset, StorageErro
         name,
         params,
         w_e,
-        trajectories,
+        trajectories: crate::chunk::ChunkedVec::from_vec(trajectories),
         compressed,
         raw,
     })
@@ -392,15 +392,16 @@ fn write_stiu(stiu: &Stiu, w: &mut impl Write) -> io::Result<()> {
             write_u32(w, t.ma_pos)?;
         }
     }
-    write_u64(w, stiu.interval_trajs.len() as u64)?;
-    // Deterministic container bytes: intervals in sorted order.
-    let mut keys: Vec<i64> = stiu.interval_trajs.keys().copied().collect();
-    keys.sort_unstable();
+    // Deterministic container bytes: intervals in sorted order, each
+    // with its postings merged across the in-memory segments back into
+    // ascending-position order — byte-identical to the flat layout.
+    let keys = stiu.interval_trajs.sorted_keys();
+    write_u64(w, keys.len() as u64)?;
     for k in keys {
         write_i64(w, k)?;
-        let v = &stiu.interval_trajs[&k]; // bounds: k came from this map's keys
+        let v = stiu.interval_trajs.postings(k);
         write_u32(w, v.len() as u32)?;
-        for &j in v {
+        for &j in &v {
             write_u32(w, j)?;
         }
     }
@@ -495,6 +496,8 @@ fn read_stiu(r: &mut impl Read, net: &RoadNetwork) -> Result<Stiu, StorageError>
     if n_intervals > (1 << 32) {
         return Err(StorageError::Corrupt("interval count"));
     }
+    let mut merged: std::collections::HashMap<i64, Vec<u32>> =
+        std::collections::HashMap::with_capacity(n_intervals.min(1 << 20));
     for _ in 0..n_intervals {
         let k = read_i64(r)?;
         let len = read_u32(r)? as usize;
@@ -509,10 +512,12 @@ fn read_stiu(r: &mut impl Read, net: &RoadNetwork) -> Result<Stiu, StorageError>
             }
             v.push(j);
         }
-        if stiu.interval_trajs.insert(k, v).is_some() {
+        if merged.insert(k, v).is_some() {
             return Err(StorageError::Corrupt("duplicate interval key"));
         }
     }
+    // Re-segment per trajectory chunk, matching a live-grown layout.
+    stiu.interval_trajs = crate::chunk::IntervalMap::from_merged(merged, n_nodes);
     Ok(stiu)
 }
 

@@ -62,7 +62,6 @@
 //! memoizes deterministic decodes (`tests/cache_equivalence.rs` asserts
 //! this on randomized stores).
 
-use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::path::Path;
@@ -73,6 +72,7 @@ use utcq_network::{EdgeId, Rect, RoadNetwork};
 use utcq_traj::{Dataset, UncertainTrajectory};
 
 use crate::cache::{CacheStats, DecodeCache, DEFAULT_CACHE_BYTES};
+use crate::chunk::{ChunkedVec, SharedIdMap};
 use crate::compress::{CompressedDataset, Ratios};
 use crate::compressed::edge_number_width;
 use crate::error::Error;
@@ -447,18 +447,19 @@ impl Store {
     pub(crate) fn validate_parts(
         cds: &CompressedDataset,
         stiu: &Stiu,
-    ) -> Result<(HashMap<u64, u32>, Vec<TrajPlan>), Error> {
+    ) -> Result<(SharedIdMap, ChunkedVec<TrajPlan>), Error> {
         if stiu.trajs.len() != cds.trajectories.len() {
             return Err(Error::CorruptStore("index/dataset trajectory counts"));
         }
-        let mut id_to_idx = HashMap::with_capacity(cds.trajectories.len());
+        let mut id_to_idx = SharedIdMap::new();
         for (i, ct) in cds.trajectories.iter().enumerate() {
-            if id_to_idx.insert(ct.id, i as u32).is_some() {
+            if id_to_idx.contains(ct.id) {
                 return Err(Error::DuplicateTrajectory(ct.id));
             }
+            id_to_idx.insert(ct.id, i as u32);
         }
         let plans = crate::plan::build_plans(&cds.trajectories, &cds.params.p_codec())?;
-        Ok((id_to_idx, plans))
+        Ok((id_to_idx, ChunkedVec::from_vec(plans)))
     }
 
     /// Wraps already-validated parts into a store handle — the cheap
@@ -467,8 +468,8 @@ impl Store {
         net: Arc<RoadNetwork>,
         cds: CompressedDataset,
         stiu: Stiu,
-        id_to_idx: HashMap<u64, u32>,
-        plans: Vec<TrajPlan>,
+        id_to_idx: SharedIdMap,
+        plans: ChunkedVec<TrajPlan>,
     ) -> Self {
         let stiu_params = stiu.params;
         let state = PartitionState {

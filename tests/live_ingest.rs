@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use utcq::core::shard::ByTime;
 use utcq::core::{CompressParams, PageRequest, ShardedStore, StiuParams, Store, StoreBuilder};
+use utcq::datagen::{generate_network, generate_on_network, GenOptions};
 use utcq::network::RoadNetwork;
 use utcq::traj::Dataset;
 
@@ -39,6 +40,31 @@ fn batches(n: usize, seed: u64) -> (Arc<RoadNetwork>, Vec<Dataset>) {
 
 fn params(ds: &Dataset) -> CompressParams {
     CompressParams::with_interval(ds.default_interval)
+}
+
+/// A dataset big enough to cross 1024-trajectory chunk-seal boundaries
+/// while staying affordable under a debug build: short paths, at most
+/// two instances, at most four samples.
+fn cheap_dataset(n: usize, seed: u64) -> (Arc<RoadNetwork>, Dataset) {
+    let mut p = utcq::datagen::profile::tiny();
+    p.avg_instances = 1.5;
+    p.max_instances = 2;
+    p.avg_edges = 4.0;
+    p.max_edges = 8;
+    let net = generate_network(&p, seed ^ 0x9E37);
+    let ds = generate_on_network(
+        &net,
+        &p,
+        &GenOptions {
+            n_trajectories: n,
+            seed,
+            min_instances: 1,
+            max_samples: 4,
+            variants: Default::default(),
+        },
+    );
+    assert_eq!(ds.trajectories.len(), n, "generator fell short");
+    (Arc::new(net), ds)
 }
 
 fn container_bytes_single(store: &Store) -> Vec<u8> {
@@ -521,4 +547,185 @@ fn cache_stays_correct_across_epochs() {
         .unwrap()
         .into_items();
     assert_eq!(after, cold);
+}
+
+/// Batch-partition invariance: however a workload is sliced into ingest
+/// batches, the published store serializes byte-identically to a
+/// one-shot offline build. Seeded random partitions (batch sizes
+/// 1..=64) over 1200 trajectories deliberately cross the 1024 chunk
+/// seal at different offsets, for both store shapes.
+#[test]
+fn random_batch_partitions_match_one_shot_build() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let (net, full) = cheap_dataset(1_200, 51);
+    let p = params(&full);
+    let policy = || Arc::new(ByTime { interval_s: 120 });
+
+    let offline_single = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&full)
+        .unwrap()
+        .finish()
+        .unwrap();
+    let single_bytes = container_bytes_single(&offline_single);
+    let offline_sharded = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .shard_by(policy(), 3)
+        .unwrap()
+        .ingest(&full)
+        .unwrap()
+        .finish()
+        .unwrap();
+    let mut sharded_bytes = Vec::new();
+    offline_sharded.write(&mut sharded_bytes).unwrap();
+
+    for partition_seed in [61u64, 62] {
+        let mut rng = StdRng::seed_from_u64(partition_seed);
+        let mut batches = Vec::new();
+        let mut i = 0;
+        while i < full.trajectories.len() {
+            let take = rng.gen_range(1..=64usize).min(full.trajectories.len() - i);
+            batches.push(Dataset {
+                name: full.name.clone(),
+                default_interval: full.default_interval,
+                trajectories: full.trajectories[i..i + take].to_vec(),
+            });
+            i += take;
+        }
+
+        // Replay every batch through the live single-store writer,
+        // bootstrapping from an empty store.
+        let live = StoreBuilder::new(Arc::clone(&net), p)
+            .stiu_params(STIU)
+            .finish()
+            .unwrap();
+        for b in &batches {
+            live.ingest(b).unwrap();
+        }
+        assert_eq!(live.len(), full.trajectories.len());
+        assert_eq!(
+            container_bytes_single(&live),
+            single_bytes,
+            "partition seed {partition_seed}: live batching must not leak into the container"
+        );
+
+        // And through the sharded facade.
+        let live_sharded = StoreBuilder::new(Arc::clone(&net), p)
+            .stiu_params(STIU)
+            .shard_by(policy(), 3)
+            .unwrap()
+            .finish()
+            .unwrap();
+        for b in &batches {
+            live_sharded.ingest(b).unwrap();
+        }
+        let mut live_bytes = Vec::new();
+        live_sharded.write(&mut live_bytes).unwrap();
+        assert_eq!(
+            live_bytes, sharded_bytes,
+            "partition seed {partition_seed}: sharded live batching must not leak into the container"
+        );
+    }
+}
+
+/// Mid-walk stress across chunk seals: a paginated walk pinned before
+/// three publishes — each of which seals a 1024-trajectory chunk —
+/// still yields exactly the pre-ingest item sequence, and the decode
+/// cache answers identically to a cold store over the chunked state.
+#[test]
+fn pinned_walk_survives_chunk_sealing_publishes() {
+    let (net, mut full) = cheap_dataset(4_072, 52);
+    let p = params(&full);
+
+    // base = 1000, then 1024-sized batches: each publish crosses (and
+    // seals) exactly one chunk boundary — 1024, 2048, then 3072.
+    let split = |ds: &mut Dataset, at: usize| Dataset {
+        name: ds.name.clone(),
+        default_interval: ds.default_interval,
+        trajectories: ds.trajectories.split_off(at),
+    };
+    let mut rest = split(&mut full, 1_000);
+    let mut b2 = split(&mut rest, 1_024);
+    let b3 = split(&mut b2, 1_024);
+    let (base, b1) = (full, rest);
+
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&base)
+        .unwrap()
+        .finish()
+        .unwrap();
+    let probe_id = base.trajectories[0].id;
+    let times = store
+        .decode_times(store.traj_index(probe_id).unwrap())
+        .unwrap();
+    let mid = (times[0] + times[times.len() - 1]) / 2;
+
+    let pinned = store.snapshot();
+    let full_where = pinned
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    let warm = store
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+
+    // Walk one item per page; the three sealing publishes land after
+    // the first page.
+    let mut walked = Vec::new();
+    let mut req = PageRequest::first(1);
+    let mut pages = 0;
+    loop {
+        let page = pinned.where_query(probe_id, mid, 0.0, req).unwrap();
+        walked.extend(page.items);
+        pages += 1;
+        if pages == 1 {
+            for (i, b) in [&b1, &b2, &b3].into_iter().enumerate() {
+                let report = store.ingest(b).unwrap();
+                assert_eq!(report.epoch, i as u64 + 1);
+            }
+        }
+        match page.next_cursor {
+            Some(c) => req = PageRequest::after(c, 1),
+            None => break,
+        }
+    }
+    assert_eq!(
+        walked, full_where,
+        "a pinned walk across chunk-sealing publishes yields pre-ingest answers"
+    );
+    assert_eq!(pinned.len(), 1_000);
+    assert_eq!(store.len(), 4_072);
+
+    // Cross-epoch decode-cache equivalence over the chunked state: the
+    // warmed store answers like before the publishes, and like a
+    // one-shot cold store over all four chunks.
+    let after = store
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert_eq!(warm, after);
+    let fresh = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&base)
+        .unwrap()
+        .ingest(&b1)
+        .unwrap()
+        .ingest(&b2)
+        .unwrap()
+        .ingest(&b3)
+        .unwrap()
+        .finish()
+        .unwrap();
+    let cold = fresh
+        .where_query(probe_id, mid, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert_eq!(after, cold);
+    let new_id = b3.trajectories[0].id;
+    assert!(pinned.traj_index(new_id).is_none());
+    assert!(store.traj_index(new_id).is_some());
 }
