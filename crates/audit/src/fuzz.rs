@@ -110,9 +110,34 @@ impl Fixtures {
                     .map(String::from),
             );
         }
-        // A few canonical shapes the sessions may not cover.
+        // A few canonical shapes the sessions may not cover. The first
+        // range line is deliberately the *wrong* field shape (a legacy
+        // guess) — rejection paths deserve seeds too.
         lines.push(
             r#"{"op":"range","rect":[0,0,1000,1000],"t":70000,"alpha":0.1,"limit":3}"#.into(),
+        );
+        // Well-formed PROTOCOL.md range requests, so mutations start
+        // from the real grammar: the wire shape is min_x/min_y/max_x/
+        // max_y + tq, α optional. Boundary and adversarial α values
+        // (0, 1, out-of-range, overflowing literal, non-numeric) seed
+        // the probability-pruning and error paths directly.
+        lines.push(
+            r#"{"op":"range","min_x":0,"min_y":0,"max_x":1000,"max_y":1000,"tq":70000,"alpha":0.1,"limit":3}"#.into(),
+        );
+        lines.push(
+            r#"{"id":7,"op":"range","min_x":-4.5,"min_y":-4.5,"max_x":4.5,"max_y":4.5,"tq":19285,"alpha":0,"cursor":"1"}"#.into(),
+        );
+        lines.push(
+            r#"{"op":"range","min_x":0,"min_y":0,"max_x":1,"max_y":1,"tq":0,"alpha":1}"#.into(),
+        );
+        lines.push(
+            r#"{"op":"range","min_x":0,"min_y":0,"max_x":1,"max_y":1,"tq":0,"alpha":-3.5}"#.into(),
+        );
+        lines.push(
+            r#"{"op":"range","min_x":0,"min_y":0,"max_x":1,"max_y":1,"tq":0,"alpha":1e999}"#.into(),
+        );
+        lines.push(
+            r#"{"op":"range","min_x":0,"min_y":0,"max_x":1,"max_y":1,"tq":0,"alpha":"NaN"}"#.into(),
         );
         lines.push(r#"{"op":"when","traj":0,"edge":1,"d":10.5,"alpha":0}"#.into());
         lines.push(r#"{"op":"stats"}"#.into());

@@ -48,6 +48,7 @@ pub const HOT_FILES: &[&str] = &[
     "store.rs",
     "wal.rs",
     "chunk.rs",
+    "bitmap.rs",
 ];
 
 const PANIC_TOKENS: &[&str] = &[
@@ -66,6 +67,8 @@ const CACHE_CALLS: &[&str] = &[
     ".times_or_decode(",
     ".when_miss_hit(",
     ".note_when_miss(",
+    ".range_result(",
+    ".note_range_result(",
 ];
 
 /// One lint finding, pointing at a real source location.

@@ -24,7 +24,11 @@
 //! buys release over release. Since tiny containers fall back to a
 //! sequential open regardless of the flag (see
 //! `utcq_core::shard::PARALLEL_OPEN_MIN_BYTES`), the section also
-//! reports `"parallel_effective"` — which path actually ran.
+//! reports `"parallel_effective"` — which path actually ran. A paired
+//! `"open_large"` section repeats the measurement on a container of
+//! cheap trajectories sized *past* the threshold, so both the
+//! sequential fallback and the real parallel open are exercised every
+//! run.
 //!
 //! An `"ingest"` section times the live writer path — median ns per
 //! published batch with durability off, a write-ahead log at
@@ -62,6 +66,13 @@
 //! against a previously committed `BENCH_queries.json` and exits
 //! non-zero on a > [`REGRESSION_FACTOR`]× regression — the CI gate that
 //! keeps the perf trajectory monotone-ish.
+//!
+//! Two absolute gates cover the range overhaul:
+//! `UTCQ_BENCH_RANGE_WARM_BOUND` (ns/op ceiling on the warm range
+//! median — the range-result cache must keep carrying the warm path)
+//! and `UTCQ_BENCH_PAR_RANGE_RATIO_BOUND` (floor on
+//! `nshard_over_1shard` — the sharded batch engine must keep beating
+//! the per-query path).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -582,6 +593,73 @@ fn main() {
     let (_, open_parallel_effective) =
         ShardedStore::read_with_report(&mut v3_bytes.as_slice(), true).expect("open probe");
 
+    // The query-workload container above is a few hundred KB — far
+    // below `PARALLEL_OPEN_MIN_BYTES` — so the section above always
+    // exercises the sequential fallback. This second entry builds a
+    // container of cheap trajectories sized past the threshold so the
+    // parallel per-shard open actually runs, and the gate can see both
+    // paths. Trajectory count is fixed (not `UTCQ_TRAJS`-scaled): the
+    // point is crossing the byte threshold, and cheap trajectories keep
+    // the build a few hundred ms even in smoke mode.
+    const OPEN_LARGE_TRAJS: usize = 12_000;
+    eprintln!(
+        "measuring {n_shards}-shard large open ({OPEN_LARGE_TRAJS} cheap trajectories, \
+         sequential vs parallel, interleaved)…"
+    );
+    let large_bytes = {
+        let mut cheap = utcq_datagen::profile::tiny();
+        cheap.avg_instances = 1.5;
+        cheap.max_instances = 2;
+        cheap.avg_edges = 4.0;
+        cheap.max_edges = 8;
+        let open_net = Arc::new(utcq_datagen::generate_network(&cheap, SEED ^ 0x0e));
+        let ds = utcq_datagen::generate_on_network(
+            &open_net,
+            &cheap,
+            &utcq_datagen::GenOptions {
+                n_trajectories: OPEN_LARGE_TRAJS,
+                seed: SEED ^ 0x0f,
+                min_instances: 1,
+                max_samples: 4,
+                variants: Default::default(),
+            },
+        );
+        let large = StoreBuilder::new(
+            Arc::clone(&open_net),
+            utcq_core::CompressParams::with_interval(ds.default_interval),
+        )
+        .stiu_params(stiu)
+        .shard_by(Arc::new(ByTime { interval_s: 900 }), n_shards)
+        .expect("large shard config")
+        .ingest(&ds)
+        .expect("large sharded ingest")
+        .finish()
+        .expect("large sharded build");
+        let mut bytes = Vec::new();
+        large.write(&mut bytes).expect("serialize large v3");
+        bytes
+    };
+    let (open_large_seq_ns, open_large_par_ns) = measure_pair(
+        1,
+        smoke,
+        || {
+            ShardedStore::read_with(&mut large_bytes.as_slice(), false)
+                .expect("large sequential open");
+        },
+        || {
+            ShardedStore::read_with(&mut large_bytes.as_slice(), true)
+                .expect("large parallel open");
+        },
+    );
+    let (_, open_large_parallel_effective) =
+        ShardedStore::read_with_report(&mut large_bytes.as_slice(), true)
+            .expect("large open probe");
+    assert!(
+        open_large_parallel_effective,
+        "open_large container ({} bytes) unexpectedly below the parallel-open threshold",
+        large_bytes.len()
+    );
+
     // bench_ingest: the live writer path with the write-ahead log off
     // vs on — what publishing a batch costs under each fsync policy.
     // Each pass reopens a fresh copy of the base container (untimed)
@@ -902,6 +980,20 @@ fn main() {
     );
     let _ = writeln!(
         json,
+        "  \"open_large\": {{\"shards\": {n_shards}, \"trajectories\": {OPEN_LARGE_TRAJS}, \
+         \"container_bytes\": {}, \"parallel_effective\": {open_large_parallel_effective}, \
+         \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.2}}},",
+        large_bytes.len(),
+        open_large_seq_ns / 1e6,
+        open_large_par_ns / 1e6,
+        if open_large_par_ns > 0.0 {
+            open_large_seq_ns / open_large_par_ns
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(
+        json,
         "  \"serve\": {{\"transport\": \"tcp-loopback\", \
          \"where_roundtrip_ns_per_op\": {:.1}, \"when_roundtrip_ns_per_op\": {:.1}, \
          \"where_qps\": {:.1}, \"when_qps\": {:.1}}},",
@@ -1033,6 +1125,46 @@ fn main() {
         publish_copied[2],
         publish_ratio
     );
+    if let Some(bound) = std::env::var("UTCQ_BENCH_RANGE_WARM_BOUND")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        // bounds: the results vec is built from a fixed 3-entry list
+        let range_warm = results
+            .iter()
+            .find(|(n, _)| *n == "range")
+            .unwrap()
+            .1
+            .warm_ns;
+        if range_warm > bound {
+            eprintln!(
+                "RANGE REGRESSION: warm range median {range_warm:.1} ns/op exceeds \
+                 bound {bound} ns/op — the epoch-keyed range-result cache is not \
+                 carrying the warm path"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("range gate: warm range {range_warm:.1} ns/op within {bound} ns/op");
+    }
+    let par_range_ratio = if par_sharded_ns > 0.0 {
+        par_single_ns / par_sharded_ns
+    } else {
+        0.0
+    };
+    if let Some(bound) = std::env::var("UTCQ_BENCH_PAR_RANGE_RATIO_BOUND")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        if par_range_ratio < bound {
+            eprintln!(
+                "PAR_RANGE REGRESSION: nshard_over_1shard {par_range_ratio:.3} fell \
+                 below bound {bound} — the sharded batch engine (candidate index + \
+                 cell filters + sub-unit scheduling) is not beating the per-query path"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("par_range gate: nshard_over_1shard {par_range_ratio:.3} at or above {bound}");
+    }
     if let Some(bound) = std::env::var("UTCQ_BENCH_PUBLISH_RATIO_BOUND")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -1056,6 +1188,18 @@ fn main() {
         } else {
             0.0
         }
+    );
+    eprintln!(
+        "  v3 open large ({:.1} MiB): sequential {:.2} ms | parallel {:.2} ms ({:.2}x, effective {})",
+        large_bytes.len() as f64 / (1024.0 * 1024.0),
+        open_large_seq_ns / 1e6,
+        open_large_par_ns / 1e6,
+        if open_large_par_ns > 0.0 {
+            open_large_seq_ns / open_large_par_ns
+        } else {
+            0.0
+        },
+        open_large_parallel_effective
     );
 
     if let Some(path) = baseline_path {

@@ -1,0 +1,192 @@
+//! Fixed-width membership bitmaps for sealed interval segments.
+//!
+//! A sealed [`crate::chunk::IntervalMap`] segment covers exactly
+//! [`crate::chunk::CHUNK`] trajectory positions, so per-interval
+//! membership fits a fixed 1024-bit block: one [`SegmentBitmap`] per
+//! `(segment, interval)` pair. Compared to the `Vec<u32>` posting lists
+//! they replace, the blocks answer membership in O(1), merge with
+//! word-wide OR/AND instead of sort-merge, and enumerate positions in
+//! ascending order via trailing-zero scans — the properties the range
+//! candidate generator relies on.
+//!
+//! Bitmaps are an in-memory acceleration structure only: serialization
+//! re-derives flat posting lists through
+//! [`crate::chunk::IntervalMap::postings`], so containers stay
+//! byte-identical to the pre-bitmap format.
+
+/// Bits per bitmap — one per position of a sealed chunk.
+pub const SEG_BITS: usize = crate::chunk::CHUNK;
+
+/// `u64` words per bitmap.
+pub const SEG_WORDS: usize = SEG_BITS / 64;
+
+/// A fixed 1024-bit membership block over one sealed segment's local
+/// positions `0..SEG_BITS`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SegmentBitmap {
+    words: [u64; SEG_WORDS],
+}
+
+impl SegmentBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self {
+            words: [0; SEG_WORDS],
+        }
+    }
+
+    /// Sets local position `pos`. Positions at or past [`SEG_BITS`] are
+    /// ignored — sealed segments never produce them.
+    pub fn set(&mut self, pos: u32) {
+        if let Some(w) = self.words.get_mut(pos as usize / 64) {
+            *w |= 1u64 << (pos % 64);
+        }
+    }
+
+    /// Whether local position `pos` is set.
+    pub fn contains(&self, pos: u32) -> bool {
+        self.words
+            .get(pos as usize / 64)
+            .is_some_and(|w| w & (1u64 << (pos % 64)) != 0)
+    }
+
+    /// Word-wide OR: membership of either bitmap.
+    pub fn union_with(&mut self, other: &Self) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    /// Word-wide AND: membership of both bitmaps.
+    pub fn intersect_with(&mut self, other: &Self) {
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w &= o;
+        }
+    }
+
+    /// Whether any position is set in both bitmaps — a 16-word AND
+    /// scan, the batch engine's candidate-skip test.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(w, o)| w & o != 0)
+    }
+
+    /// Number of set positions.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no position is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Appends `base + pos` for every set position, ascending — the
+    /// global-position expansion used by
+    /// [`crate::chunk::IntervalMap::postings`].
+    pub fn push_positions(&self, base: u32, out: &mut Vec<u32>) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                out.push(base + (wi as u32) * 64 + bit);
+                w &= w - 1; // clear the lowest set bit
+            }
+        }
+    }
+
+    /// The set positions offset by `base`, ascending.
+    pub fn positions(&self, base: u32) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count());
+        self.push_positions(base, &mut out);
+        out
+    }
+
+    /// Shallow heap-independent size, for copy accounting.
+    pub const fn byte_size() -> usize {
+        std::mem::size_of::<[u64; SEG_WORDS]>()
+    }
+}
+
+impl Default for SegmentBitmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for SegmentBitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentBitmap")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_contains_and_positions_round_trip() {
+        let mut b = SegmentBitmap::new();
+        let set = [0u32, 1, 63, 64, 100, 1022, 1023];
+        for &p in &set {
+            b.set(p);
+        }
+        assert_eq!(b.count(), set.len());
+        for p in 0..SEG_BITS as u32 {
+            assert_eq!(b.contains(p), set.contains(&p), "position {p}");
+        }
+        assert_eq!(b.positions(0), set);
+        assert_eq!(
+            b.positions(2048),
+            set.iter().map(|p| p + 2048).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn out_of_range_positions_are_ignored() {
+        let mut b = SegmentBitmap::new();
+        b.set(SEG_BITS as u32);
+        b.set(u32::MAX);
+        assert!(b.is_empty());
+        assert!(!b.contains(SEG_BITS as u32));
+        assert!(!b.contains(u32::MAX));
+    }
+
+    #[test]
+    fn union_and_intersection_match_set_semantics() {
+        let mut a = SegmentBitmap::new();
+        let mut b = SegmentBitmap::new();
+        for p in (0..1024).step_by(3) {
+            a.set(p);
+        }
+        for p in (0..1024).step_by(5) {
+            b.set(p);
+        }
+        let mut or = a.clone();
+        or.union_with(&b);
+        let mut and = a.clone();
+        and.intersect_with(&b);
+        for p in 0..1024u32 {
+            assert_eq!(or.contains(p), p % 3 == 0 || p % 5 == 0, "or {p}");
+            assert_eq!(and.contains(p), p % 15 == 0, "and {p}");
+        }
+        assert_eq!(and.count(), (0..1024).filter(|p| p % 15 == 0).count());
+        assert!(a.intersects(&b), "multiples of 15 are shared");
+        let mut c = SegmentBitmap::new();
+        c.set(1); // not a multiple of 3
+        assert!(!a.intersects(&c));
+        assert!(!SegmentBitmap::new().intersects(&a));
+    }
+
+    #[test]
+    fn empty_bitmap_reports_empty() {
+        let b = SegmentBitmap::new();
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.positions(0), Vec::<u32>::new());
+    }
+}

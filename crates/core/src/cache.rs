@@ -21,7 +21,12 @@
 //!   *when* query answers without re-scanning the region tuples.
 //!   Negative entries carry no payload but are charged the fixed
 //!   per-entry overhead, so they compete for the byte budget like any
-//!   other entry and retire through the same LRU.
+//!   other entry and retire through the same LRU;
+//! * `(RE, tq, α) → Arc<Vec<u64>>` — the **complete** match set of a
+//!   range query shape (exact bit-pattern key, never a lossy hash),
+//!   stored only when a scan ran unpaginated to the end; empty match
+//!   sets store as payload-free negative entries. Repeated range
+//!   probes of a warm shape skip the whole candidate scan.
 //!
 //! Every key additionally carries the **epoch** of the snapshot that
 //! minted it (see [`crate::snapshot`]): after a live ingest publishes a
@@ -78,6 +83,35 @@ enum Kind {
     /// Negative entry: trajectory `traj` has no region tuple in StIU
     /// cell `cell` — a *when* query there is answer-free.
     WhenMiss { traj: u32, cell: u32 },
+    /// The complete match set of one **range** query shape. The shape
+    /// is stored *exactly* — the rectangle's four coordinate bit
+    /// patterns, the query time, and α's bit pattern — never a lossy
+    /// hash, which could collide two shapes and serve a wrong answer.
+    RangeResult {
+        re_bits: [u64; 4],
+        tq: i64,
+        alpha_bits: u64,
+    },
+}
+
+impl Kind {
+    /// The key of **range**(RE, tq, α), by bit pattern: two α values
+    /// (or rectangles) alias iff they are bit-identical, so e.g. NaN α
+    /// keys consistently and `0.0`/`-0.0` are distinct shapes (both
+    /// compute the same answer, so the split is merely one redundant
+    /// entry, never a wrong one).
+    fn range_result(re: &utcq_network::Rect, tq: i64, alpha: f64) -> Self {
+        Kind::RangeResult {
+            re_bits: [
+                re.min_x.to_bits(),
+                re.min_y.to_bits(),
+                re.max_x.to_bits(),
+                re.max_y.to_bits(),
+            ],
+            tq,
+            alpha_bits: alpha.to_bits(),
+        }
+    }
 }
 
 /// Cache key: an artifact kind stamped with the snapshot epoch that
@@ -94,7 +128,11 @@ enum Value {
     Ref(Arc<DecodedRef>),
     Instance(Arc<Instance>),
     Times(Arc<Vec<i64>>),
-    /// Payload-free negative entry (`Kind::WhenMiss`).
+    /// Complete, id-ascending match set of a range query shape
+    /// (`Kind::RangeResult`); empty sets store as `Value::Negative`.
+    RangeIds(Arc<Vec<u64>>),
+    /// Payload-free negative entry (`Kind::WhenMiss`, or an empty
+    /// `Kind::RangeResult` match set).
     Negative,
 }
 
@@ -496,6 +534,70 @@ impl DecodeCache {
             Value::Negative,
         );
     }
+
+    /// The cached complete match set of **range**(RE, tq, α) at
+    /// `epoch`, id-ascending, if a prior query stored it. An empty
+    /// match set hits too (stored as a negative entry, so it counts a
+    /// negative hit like a *when* region miss). `None` means the caller
+    /// runs the scan.
+    pub fn range_result(
+        &self,
+        epoch: u64,
+        re: &utcq_network::Rect,
+        tq: i64,
+        alpha: f64,
+    ) -> Option<Arc<Vec<u64>>> {
+        if self.budget() == 0 {
+            return None;
+        }
+        let key = Key {
+            epoch,
+            kind: Kind::range_result(re, tq, alpha),
+        };
+        let shard = self.shard_of(&key);
+        let guard = shard.read().expect("cache lock poisoned");
+        let entry = guard.map.get(&key)?;
+        entry.tick.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        match &entry.value {
+            Value::RangeIds(ids) => Some(Arc::clone(ids)),
+            Value::Negative => {
+                self.negative_hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(Vec::new()))
+            }
+            _ => None,
+        }
+    }
+
+    /// Records the complete match set of **range**(RE, tq, α) at
+    /// `epoch` — called only when the scan ran unpaginated to the end
+    /// (no cursor, no further candidates), so `ids` is the whole
+    /// answer. Empty sets store payload-free as negative entries.
+    pub fn note_range_result(
+        &self,
+        epoch: u64,
+        re: &utcq_network::Rect,
+        tq: i64,
+        alpha: f64,
+        ids: Arc<Vec<u64>>,
+    ) {
+        if self.budget() == 0 {
+            return;
+        }
+        let key = Key {
+            epoch,
+            kind: Kind::range_result(re, tq, alpha),
+        };
+        let value = if ids.is_empty() {
+            Value::Negative
+        } else {
+            Value::RangeIds(ids)
+        };
+        self.insert(key, value);
+    }
 }
 
 /// Fixed per-entry overhead charged on top of the payload estimate:
@@ -512,6 +614,7 @@ fn value_bytes(v: &Value) -> usize {
                     + i.positions.len() * std::mem::size_of::<utcq_traj::PathPosition>()
             }
             Value::Times(t) => t.len() * std::mem::size_of::<i64>(),
+            Value::RangeIds(ids) => ids.len() * std::mem::size_of::<u64>(),
             Value::Negative => 0,
         }
 }
@@ -594,6 +697,32 @@ mod tests {
         cache.set_budget(0);
         cache.note_when_miss(0, 7, 3);
         assert!(!cache.when_miss_hit(0, 7, 3));
+    }
+
+    #[test]
+    fn range_results_key_on_exact_shape_and_epoch() {
+        let cache = DecodeCache::with_budget(1 << 20);
+        let re = utcq_network::Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(cache.range_result(0, &re, 900, 0.3).is_none());
+        cache.note_range_result(0, &re, 900, 0.3, Arc::new(vec![3, 7, 11]));
+        assert_eq!(*cache.range_result(0, &re, 900, 0.3).unwrap(), [3, 7, 11]);
+        // Any shape component differing is a distinct key.
+        assert!(cache.range_result(1, &re, 900, 0.3).is_none(), "epoch");
+        assert!(cache.range_result(0, &re, 901, 0.3).is_none(), "tq");
+        assert!(cache.range_result(0, &re, 900, 0.31).is_none(), "alpha");
+        let other = utcq_network::Rect::new(0.0, 0.0, 10.0, 10.5);
+        assert!(cache.range_result(0, &other, 900, 0.3).is_none(), "rect");
+        // Empty answers are remembered as negative entries and hit.
+        cache.note_range_result(0, &re, 1800, 0.3, Arc::new(Vec::new()));
+        assert!(cache.range_result(0, &re, 1800, 0.3).unwrap().is_empty());
+        let s = cache.stats();
+        assert_eq!(s.negative_entries, 1);
+        assert_eq!(s.negative_hits, 1);
+        // Zero budget bypasses reads and writes.
+        cache.set_budget(0);
+        assert!(cache.range_result(0, &re, 900, 0.3).is_none());
+        cache.note_range_result(0, &re, 900, 0.3, Arc::new(vec![1]));
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use crate::bitmap::SegmentBitmap;
+
 /// Elements per sealed chunk. The chunk layout is a pure function of
 /// the element count: element `i` lives in chunk `i / CHUNK`, and a
 /// chunk seals exactly when element `(k + 1) * CHUNK` arrives — never at
@@ -264,20 +266,61 @@ impl Default for SharedIdMap {
     }
 }
 
+/// One sealed trajectory chunk's interval memberships, as fixed
+/// 1024-bit blocks (`interval → SegmentBitmap` over the chunk's local
+/// positions). Sealed exactly at the chunk boundary and shared by `Arc`
+/// across epochs forever — the bitmap form is built once, at seal time.
+#[derive(Debug)]
+pub struct SealedIntervals {
+    map: HashMap<i64, SegmentBitmap>,
+}
+
+impl SealedIntervals {
+    /// Converts one chunk's plain posting lists (global positions) into
+    /// local-position bitmaps. `base` is the chunk's first global
+    /// position.
+    fn from_postings(postings: &HashMap<i64, Vec<u32>>, base: u32) -> Self {
+        let mut map = HashMap::with_capacity(postings.len());
+        for (&key, js) in postings {
+            let bm: &mut SegmentBitmap = map.entry(key).or_default();
+            for &j in js {
+                bm.set(j - base);
+            }
+        }
+        Self { map }
+    }
+
+    /// The bitmap of `key`, if any posting landed in this chunk.
+    pub fn bitmap(&self, key: i64) -> Option<&SegmentBitmap> {
+        self.map.get(&key)
+    }
+
+    /// Shallow byte size, for copy accounting.
+    fn byte_size(&self) -> usize {
+        self.map.len() * (std::mem::size_of::<i64>() + SegmentBitmap::byte_size())
+    }
+}
+
 /// The StIU's `interval → posting list` map, segmented by trajectory
 /// chunk: segment `k` holds the postings of trajectories in chunk `k`.
 /// A batch only ever touches the tail segment (copy-on-write, like
 /// [`SharedIdMap`]), so the postings of sealed chunks are shared across
 /// epochs even for intervals the batch also lands in.
 ///
-/// Postings within a segment are in insertion order (ascending
-/// position), and segments are ordered, so chaining segment postings
-/// yields exactly the ascending-position order a single flat map would
-/// hold — [`IntervalMap::postings`] reconstructs it for queries and
-/// serialization.
+/// Sealed segments hold their postings as per-interval
+/// [`SegmentBitmap`] blocks ([`SealedIntervals`]): membership tests are
+/// O(1), multi-interval candidate generation is word-wide OR instead of
+/// sort-merge, and enumeration yields ascending positions by
+/// construction. The unsealed tail stays a plain
+/// `interval → Vec<global position>` map in insertion order (ascending
+/// position). Chaining sealed expansions and the tail yields exactly
+/// the ascending-position order a single flat map would hold —
+/// [`IntervalMap::postings`] reconstructs it for queries and
+/// serialization, so containers stay byte-identical; the bitmap form
+/// is in-memory only.
 #[derive(Debug, Clone)]
 pub struct IntervalMap {
-    segments: Vec<Arc<HashMap<i64, Vec<u32>>>>,
+    segments: Vec<Arc<SealedIntervals>>,
     tail: Arc<HashMap<i64, Vec<u32>>>,
 }
 
@@ -296,8 +339,11 @@ impl IntervalMap {
     /// stays a pure function of the trajectory count.
     pub fn register(&mut self, j: u32, first: i64, last: i64) {
         while self.segments.len() < j as usize / CHUNK {
-            let sealed = std::mem::replace(&mut self.tail, Arc::new(HashMap::new()));
+            let base = (self.segments.len() * CHUNK) as u32;
+            let sealed = Arc::new(SealedIntervals::from_postings(&self.tail, base));
+            crate::hooks::copied(sealed.byte_size());
             self.segments.push(sealed);
+            self.tail = Arc::new(HashMap::new());
         }
         if Arc::get_mut(&mut self.tail).is_none() {
             let bytes: usize = self
@@ -319,43 +365,102 @@ impl IntervalMap {
     /// single flat map would hold.
     pub fn postings(&self, key: i64) -> Vec<u32> {
         let mut out = Vec::new();
-        for seg in self.maps() {
-            if let Some(v) = seg.get(&key) {
-                out.extend_from_slice(v);
+        for (k, seg) in self.segments.iter().enumerate() {
+            if let Some(bm) = seg.bitmap(key) {
+                bm.push_positions((k * CHUNK) as u32, &mut out);
             }
+        }
+        if let Some(v) = self.tail.get(&key) {
+            out.extend_from_slice(v);
         }
         out
     }
 
-    /// Iterates `(interval, segment postings)` pairs. A key registered
-    /// across several chunks appears once *per segment*; callers that
-    /// need the merged view use [`IntervalMap::postings`] or sort.
-    pub fn iter(&self) -> impl Iterator<Item = (i64, &[u32])> {
-        self.maps()
-            .flat_map(|m| m.iter().map(|(&k, v)| (k, v.as_slice())))
+    /// The merged postings of every interval in `first..=last`,
+    /// ascending by position with duplicates removed. Sealed segments
+    /// merge with word-wide bitmap OR; the tail's plain lists are
+    /// set-unioned. The single-interval case degenerates to
+    /// [`IntervalMap::postings`].
+    pub fn postings_union(&self, first: i64, last: i64) -> Vec<u32> {
+        if first == last {
+            return self.postings(first);
+        }
+        let mut out = Vec::new();
+        let mut scratch = SegmentBitmap::new();
+        for (k, seg) in self.segments.iter().enumerate() {
+            let mut any = false;
+            for key in first..=last {
+                if let Some(bm) = seg.bitmap(key) {
+                    if any {
+                        scratch.union_with(bm);
+                    } else {
+                        scratch = bm.clone();
+                        any = true;
+                    }
+                }
+            }
+            if any {
+                scratch.push_positions((k * CHUNK) as u32, &mut out);
+            }
+        }
+        let sealed_len = out.len();
+        for key in first..=last {
+            if let Some(v) = self.tail.get(&key) {
+                out.extend_from_slice(v);
+            }
+        }
+        // Tail positions all follow the sealed ones; only they can repeat
+        // across intervals.
+        // bounds: sealed_len was out.len() before the tail pushes
+        out[sealed_len..].sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Visits every `(interval, global position)` posting — sealed
+    /// bitmaps expanded, tail postings in insertion order. The order
+    /// within one interval is ascending by position.
+    pub fn for_each_posting(&self, mut f: impl FnMut(i64, u32)) {
+        let mut scratch = Vec::new();
+        for (k, seg) in self.segments.iter().enumerate() {
+            for (&key, bm) in &seg.map {
+                scratch.clear();
+                bm.push_positions((k * CHUNK) as u32, &mut scratch);
+                for &j in &scratch {
+                    f(key, j);
+                }
+            }
+        }
+        for (&key, js) in self.tail.iter() {
+            for &j in js {
+                f(key, j);
+            }
+        }
     }
 
     /// Number of distinct intervals.
     pub fn len(&self) -> usize {
         let mut keys: HashSet<i64> = HashSet::new();
-        for m in self.maps() {
-            keys.extend(m.keys());
+        for seg in &self.segments {
+            keys.extend(seg.map.keys());
         }
+        keys.extend(self.tail.keys());
         keys.len()
     }
 
     /// Whether no interval holds any posting.
     pub fn is_empty(&self) -> bool {
-        self.maps().all(|m| m.is_empty())
+        self.segments.iter().all(|s| s.map.is_empty()) && self.tail.is_empty()
     }
 
     /// The distinct intervals, ascending — the deterministic
     /// serialization order.
     pub fn sorted_keys(&self) -> Vec<i64> {
         let mut keys: Vec<i64> = Vec::new();
-        for m in self.maps() {
-            keys.extend(m.keys());
+        for seg in &self.segments {
+            keys.extend(seg.map.keys());
         }
+        keys.extend(self.tail.keys());
         keys.sort_unstable();
         keys.dedup();
         keys
@@ -380,16 +485,13 @@ impl IntervalMap {
         }
         let tail = Arc::new(maps.pop().unwrap_or_default());
         Self {
-            segments: maps.into_iter().map(Arc::new).collect(),
+            segments: maps
+                .into_iter()
+                .enumerate()
+                .map(|(k, m)| Arc::new(SealedIntervals::from_postings(&m, (k * CHUNK) as u32)))
+                .collect(),
             tail,
         }
-    }
-
-    fn maps(&self) -> impl Iterator<Item = &HashMap<i64, Vec<u32>>> {
-        self.segments
-            .iter()
-            .map(|s| &**s)
-            .chain(std::iter::once(&*self.tail))
     }
 }
 
@@ -475,6 +577,32 @@ mod tests {
             assert_eq!(&rebuilt.postings(k), v, "interval {k}");
         }
         assert_eq!(grown.postings(999), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn interval_map_union_matches_per_key_merge() {
+        let mut m = IntervalMap::new();
+        let n = 2 * CHUNK as u32 + 77;
+        for j in 0..n {
+            let first = i64::from(j % 7);
+            m.register(j, first, first + 2);
+        }
+        let mut visited: Vec<(i64, u32)> = Vec::new();
+        m.for_each_posting(|k, j| visited.push((k, j)));
+        for (first, last) in [(0i64, 0i64), (0, 3), (2, 8), (-5, -1), (5, 40)] {
+            let mut expect: Vec<u32> = visited
+                .iter()
+                .filter(|(k, _)| (first..=last).contains(k))
+                .map(|&(_, j)| j)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(
+                m.postings_union(first, last),
+                expect,
+                "union {first}..={last}"
+            );
+        }
     }
 
     #[test]

@@ -175,6 +175,7 @@
 //! # Ok::<(), utcq_core::Error>(())
 //! ```
 
+pub mod bitmap;
 pub mod cache;
 pub mod chunk;
 pub mod compress;

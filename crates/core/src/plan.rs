@@ -46,6 +46,14 @@ pub struct TrajPlan {
     /// `(orig_idx, prob)` sorted by probability descending, `orig_idx`
     /// ascending on ties.
     by_prob_desc: Vec<(u32, f64)>,
+    /// Sum of all instance probabilities, in original instance order —
+    /// an upper bound on any probability mass a range query can
+    /// accumulate over this trajectory (the `range_matches` accumulator
+    /// sums a subset of these terms). Summing the *maximum* instead
+    /// would be unsound: Lemma 3 accumulates several overlapping
+    /// instances, so e.g. probs `{0.4, 0.35}` reach 0.75 ≥ α = 0.5
+    /// while the max 0.4 alone would prune.
+    prob_mass: f64,
 }
 
 impl TrajPlan {
@@ -82,10 +90,12 @@ impl TrajPlan {
             .map(|(i, &p)| (i as u32, p))
             .collect();
         by_prob_desc.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        let prob_mass = probs.iter().sum();
         Ok(Self {
             slots,
             probs,
             by_prob_desc,
+            prob_mass,
         })
     }
 
@@ -120,6 +130,14 @@ impl TrajPlan {
     /// ascending).
     pub fn by_prob_desc(&self) -> &[(u32, f64)] {
         &self.by_prob_desc
+    }
+
+    /// Σ of all instance probabilities — the range-pruning upper bound.
+    /// A range query over this trajectory can never accumulate more
+    /// than this mass, so `alpha > prob_mass` (plus float slack) means
+    /// the trajectory cannot match, before any decode.
+    pub fn prob_mass(&self) -> f64 {
+        self.prob_mass
     }
 }
 
@@ -190,6 +208,15 @@ mod tests {
                 "{w:?}"
             );
         }
+    }
+
+    #[test]
+    fn prob_mass_is_the_sum_of_instance_probs() {
+        let (ct, params) = paper_ct();
+        let plan = TrajPlan::build(&ct, &params.p_codec()).unwrap();
+        let expect: f64 = plan.probs().iter().sum();
+        assert_eq!(plan.prob_mass(), expect);
+        assert!(plan.prob_mass() > 0.0);
     }
 
     #[test]

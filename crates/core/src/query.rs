@@ -627,39 +627,65 @@ impl<'a> QueryEngine<'a> {
         tq: i64,
         alpha: f64,
     ) -> Result<bool, Error> {
+        self.range_matches_with(j, cells, re, tq, alpha, &mut RangeScratch::new())
+    }
+
+    /// [`QueryEngine::range_matches`] against caller-owned scratch: the
+    /// batch scan engine keeps one [`RangeScratch`] per worker so a
+    /// whole batch of queries shares a handful of allocations instead
+    /// of paying five per candidate. The answer is identical to the
+    /// fresh-scratch path — every accumulation order below is a
+    /// deterministic function of the trajectory's structure.
+    pub(crate) fn range_matches_with(
+        &self,
+        j: u32,
+        cells: &HashSet<utcq_network::CellId>,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        scratch: &mut RangeScratch,
+    ) -> Result<bool, Error> {
+        scratch.reset();
         let (ct, node, plan) = self.parts(j)?;
 
         // Collect per-group total bounds over the query cells.
         // Iterating the trajectory's (few) tuples against the cell set
-        // keeps this O(tuples) however fine the grid is.
-        let mut group_bound: HashMap<u32, f64> = HashMap::new();
-        let mut passing_refs: Vec<u32> = Vec::new();
-        let mut passing_nrefs: Vec<u32> = Vec::new();
+        // keeps this O(tuples) however fine the grid is. Groups
+        // accumulate in first-seen tuple order (a linear scan over the
+        // few distinct groups), so the Lemma 4 sum below adds terms in
+        // a deterministic order.
         for rt in &node.ref_tuples {
             if cells.contains(&rt.cell) {
-                *group_bound.entry(rt.ref_idx).or_insert(0.0) += rt.p_total;
+                match scratch
+                    .group_bound
+                    .iter_mut()
+                    .find(|(r, _)| *r == rt.ref_idx)
+                {
+                    Some((_, b)) => *b += rt.p_total,
+                    None => scratch.group_bound.push((rt.ref_idx, rt.p_total)),
+                }
                 if rt.fv.is_some() {
-                    passing_refs.push(rt.ref_idx);
+                    scratch.passing_refs.push(rt.ref_idx);
                 }
             }
         }
         for nt in &node.nref_tuples {
             if cells.contains(&nt.cell) {
-                passing_nrefs.push(nt.nref_idx);
+                scratch.passing_nrefs.push(nt.nref_idx);
             }
         }
-        if group_bound.is_empty() {
+        if scratch.group_bound.is_empty() {
             return Ok(false); // trajectory never enters RE
         }
         // Lemma 4: an upper bound below α prunes the trajectory.
-        let bound: f64 = group_bound.values().map(|b| b.min(1.0)).sum();
+        let bound: f64 = scratch.group_bound.iter().map(|(_, b)| b.min(1.0)).sum();
         if bound < alpha {
             return Ok(false);
         }
-        passing_refs.sort_unstable();
-        passing_refs.dedup();
-        passing_nrefs.sort_unstable();
-        passing_nrefs.dedup();
+        scratch.passing_refs.sort_unstable();
+        scratch.passing_refs.dedup();
+        scratch.passing_nrefs.sort_unstable();
+        scratch.passing_nrefs.dedup();
 
         // Bracket tq in the time sequence.
         let Some((lo, hi, t_lo, t_hi)) = self.bracket(j, ct, node, tq)? else {
@@ -669,30 +695,27 @@ impl<'a> QueryEngine<'a> {
         // Instances that pass RE cells, most probable first (Lemma 3
         // early accept). The plan's precomputed probability-descending
         // order replaces the per-call sort: membership is a set filter.
-        let mut passing: HashSet<u32> =
-            HashSet::with_capacity(passing_refs.len() + passing_nrefs.len());
-        for &r in &passing_refs {
+        for &r in &scratch.passing_refs {
             let cref = ct
                 .refs
                 .get(r as usize)
                 .ok_or(Error::CorruptStore("region tuple points past refs"))?;
-            passing.insert(cref.orig_idx);
+            scratch.passing.insert(cref.orig_idx);
         }
-        for &m in &passing_nrefs {
+        for &m in &scratch.passing_nrefs {
             let cnref = ct
                 .nrefs
                 .get(m as usize)
                 .ok_or(Error::CorruptStore("region tuple points past nrefs"))?;
-            passing.insert(cnref.orig_idx);
+            scratch.passing.insert(cnref.orig_idx);
         }
         let members = plan
             .by_prob_desc()
             .iter()
-            .filter(|(orig_idx, _)| passing.contains(orig_idx));
+            .filter(|(orig_idx, _)| scratch.passing.contains(orig_idx));
 
         let mut acc = 0.0;
         let mut remaining: f64 = members.clone().map(|&(_, p)| p).sum();
-        let mut local = LocalRefs::new();
         for &(orig_idx, p) in members {
             if acc >= alpha {
                 break; // Lemma 3: already enough probability mass
@@ -701,13 +724,63 @@ impl<'a> QueryEngine<'a> {
                 break; // cannot reach α anymore
             }
             remaining -= p;
-            let inst = self.decode_instance(j, ct, plan, orig_idx, &mut local)?;
+            let inst = self.decode_instance(j, ct, plan, orig_idx, &mut scratch.local)?;
             if instance_overlaps(self.net, &inst, re, lo, hi, t_lo, t_hi, tq)? {
                 acc += p;
             }
         }
         Ok(acc >= alpha)
     }
+}
+
+/// Reusable allocations for one `range_matches` evaluation, cleared
+/// between candidates. The single-query path builds one per call; the
+/// batch engines keep one per worker for a whole batch.
+pub(crate) struct RangeScratch {
+    /// `(ref_idx, Σ p_total)` per group, in first-seen tuple order.
+    group_bound: Vec<(u32, f64)>,
+    passing_refs: Vec<u32>,
+    passing_nrefs: Vec<u32>,
+    /// Original indices of instances whose cell passes RE.
+    passing: HashSet<u32>,
+    local: LocalRefs,
+}
+
+impl RangeScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            group_bound: Vec::new(),
+            passing_refs: Vec::new(),
+            passing_nrefs: Vec::new(),
+            passing: HashSet::new(),
+            local: LocalRefs::new(),
+        }
+    }
+
+    /// Empties every collection, keeping their capacity.
+    fn reset(&mut self) {
+        self.group_bound.clear();
+        self.passing_refs.clear();
+        self.passing_nrefs.clear();
+        self.passing.clear();
+        self.local.clear();
+    }
+}
+
+/// Float slack for the probability-mass prune: `range_matches` sums a
+/// subset of the plan's probabilities in Lemma 3 order while
+/// [`crate::plan::TrajPlan::prob_mass`] sums all of them in original
+/// order, so the two can differ by accumulated ulps near the boundary.
+/// Pruning only when α exceeds the mass by more than the slack keeps
+/// the skip strictly conservative.
+pub(crate) const RANGE_PRUNE_SLACK: f64 = 1e-9;
+
+/// Whether the probability-mass bound rules a trajectory out before any
+/// decode: even if every instance overlapped RE, the accumulator could
+/// never reach α. A NaN α compares `false` here, so it never prunes —
+/// and never matches, identically to the unpruned path.
+pub(crate) fn range_pruned(mass: f64, alpha: f64) -> bool {
+    alpha > mass + RANGE_PRUNE_SLACK
 }
 
 /// Location of an instance at time `t ∈ [t_lo, t_hi]`, interpolating

@@ -84,6 +84,7 @@ use std::sync::{Arc, Mutex};
 use utcq_network::{EdgeId, Grid, Rect, RoadNetwork};
 use utcq_traj::{Dataset, UncertainTrajectory};
 
+use crate::bitmap::SegmentBitmap;
 use crate::cache::CacheStats;
 use crate::error::Error;
 use crate::params::CompressParams;
@@ -420,6 +421,15 @@ struct FacadeState {
     /// shards' time partitions disagree — then candidates are gathered
     /// and sorted per query.
     range_index: Option<RangeIndex>,
+    /// Per shard, per trajectory position: the bitmap of StIU cells the
+    /// trajectory's *reference* tuples touch — the batch scan engine's
+    /// candidate-skip filter. A query whose cell bitmap does not
+    /// intersect a candidate's is a definite miss (`range_matches`
+    /// would find no passing group and return `false`), decided by a
+    /// 16-word AND instead of the tuple scan. `None` per trajectory
+    /// when any of its cells falls outside the bitmap's fixed range
+    /// (grids finer than 32×32) — those candidates always evaluate.
+    ref_cell_filters: Vec<Vec<Option<SegmentBitmap>>>,
 }
 
 impl FacadeState {
@@ -440,13 +450,45 @@ impl FacadeState {
                 && w[0].stiu().params.grid_n == w[1].stiu().params.grid_n
         });
         let range_index = RangeIndex::build(snaps);
+        let ref_cell_filters = snaps
+            .iter()
+            .map(|snap| {
+                snap.stiu()
+                    .trajs
+                    .iter()
+                    .map(|node| {
+                        let mut bm = SegmentBitmap::new();
+                        for rt in &node.ref_tuples {
+                            if rt.cell.idx() >= crate::bitmap::SEG_BITS {
+                                return None; // grid too fine: never filter
+                            }
+                            bm.set(rt.cell.0);
+                        }
+                        Some(bm)
+                    })
+                    .collect()
+            })
+            .collect();
         Ok(Self {
             epoch,
             id_to_shard,
             uniform_grid,
             range_index,
+            ref_cell_filters,
         })
     }
+}
+
+/// One facade-level range candidate: a trajectory posting with its
+/// owning shard, local position, and probability-mass pruning bound
+/// (see [`crate::plan::TrajPlan::prob_mass`]) carried inline so the
+/// batch scan engine prunes without touching the shard's plans.
+#[derive(Clone, Copy, Debug)]
+struct RangeCandidate {
+    id: u64,
+    shard: u32,
+    pos: u32,
+    mass: f64,
 }
 
 /// See [`FacadeState::range_index`].
@@ -454,7 +496,7 @@ struct RangeIndex {
     /// The shards' common temporal partition width.
     partition_s: i64,
     /// Interval key → candidates ascending by trajectory id.
-    postings: HashMap<i64, Vec<(u64, u32, u32)>>,
+    postings: HashMap<i64, Vec<RangeCandidate>>,
 }
 
 impl RangeIndex {
@@ -469,19 +511,25 @@ impl RangeIndex {
         {
             return None;
         }
-        let mut postings: HashMap<i64, Vec<(u64, u32, u32)>> = HashMap::new();
+        let mut postings: HashMap<i64, Vec<RangeCandidate>> = HashMap::new();
         for (s, snap) in snaps.iter().enumerate() {
-            for (key, js) in snap.stiu().interval_trajs.iter() {
-                let list = postings.entry(key).or_default();
-                for &j in js {
-                    if let Some(ct) = snap.compressed().trajectories.get(j as usize) {
-                        list.push((ct.id, s as u32, j));
-                    }
+            let trajectories = &snap.compressed().trajectories;
+            let plans = snap.plans();
+            snap.stiu().interval_trajs.for_each_posting(|key, j| {
+                if let Some(ct) = trajectories.get(j as usize) {
+                    postings.entry(key).or_default().push(RangeCandidate {
+                        id: ct.id,
+                        shard: s as u32,
+                        pos: j,
+                        mass: plans
+                            .get(j as usize)
+                            .map_or(f64::INFINITY, |p| p.prob_mass()),
+                    });
                 }
-            }
+            });
         }
         for list in postings.values_mut() {
-            list.sort_unstable();
+            list.sort_unstable_by_key(|c| (c.id, c.shard, c.pos));
         }
         Some(Self {
             partition_s,
@@ -491,13 +539,13 @@ impl RangeIndex {
 
     /// The id-ascending candidates at `tq`, resuming past the keyset
     /// cursor `after`.
-    fn candidates(&self, tq: i64, after: Option<u64>) -> &[(u64, u32, u32)] {
+    fn candidates(&self, tq: i64, after: Option<u64>) -> &[RangeCandidate] {
         let list = self
             .postings
             .get(&tq.div_euclid(self.partition_s))
             .map_or(&[][..], Vec::as_slice); // bounds: full slice of an empty literal
         let start = match after {
-            Some(a) => list.partition_point(|&(id, _, _)| id <= a),
+            Some(a) => list.partition_point(|c| c.id <= a),
             None => 0,
         };
         &list[start..] // bounds: partition_point returns ≤ list.len()
@@ -1159,19 +1207,10 @@ impl ShardedStore {
         // prebuilt facade index, or a gather-and-sort fallback when the
         // shards' time partitions disagree.
         let gathered;
-        let candidates: &[(u64, u32, u32)] = match &facade.range_index {
+        let candidates: &[RangeCandidate] = match &facade.range_index {
             Some(ri) => ri.candidates(tq, page.cursor),
             None => {
-                let mut c: Vec<(u64, u32, u32)> = Vec::new();
-                for (s, snap) in snaps.iter().enumerate() {
-                    c.extend(
-                        snap.unsorted_range_candidates(tq)
-                            .filter(|&(id, _)| page.cursor.is_none_or(|a| id > a))
-                            .map(|(id, j)| (id, s as u32, j)),
-                    );
-                }
-                c.sort_unstable();
-                gathered = c;
+                gathered = Self::gather_candidates(&snaps, tq, page.cursor);
                 &gathered
             }
         };
@@ -1189,10 +1228,22 @@ impl ShardedStore {
         let limit = page.limit.max(1); // a zero limit could never progress
         let mut items = Vec::new();
         let mut has_more = false;
-        for &(id, s, j) in candidates {
+        for &RangeCandidate {
+            id,
+            shard: s,
+            pos: j,
+            mass,
+        } in candidates
+        {
             if items.len() >= limit {
                 has_more = true;
                 break;
+            }
+            // Probability-mass prune (see `crate::query::range_pruned`):
+            // the candidate keeps its pagination slot, exactly like an
+            // evaluated-and-rejected one.
+            if crate::query::range_pruned(mass, alpha) {
+                continue;
             }
             // bounds: candidate shard tags index the snaps they were gathered from
             let snap = &snaps[s as usize];
@@ -1219,18 +1270,59 @@ impl ShardedStore {
         })
     }
 
+    /// Gathers candidates across shards, ascending by id, when the
+    /// facade range index is unavailable (heterogeneous time
+    /// partitions). Pruning bounds come from each shard's plans.
+    fn gather_candidates(
+        snaps: &[Arc<Snapshot>],
+        tq: i64,
+        after: Option<u64>,
+    ) -> Vec<RangeCandidate> {
+        let mut c: Vec<RangeCandidate> = Vec::new();
+        for (s, snap) in snaps.iter().enumerate() {
+            let plans = snap.plans();
+            c.extend(
+                snap.unsorted_range_candidates(tq)
+                    .filter(|&(id, _)| after.is_none_or(|a| id > a))
+                    .map(|(id, j)| RangeCandidate {
+                        id,
+                        shard: s as u32,
+                        pos: j,
+                        mass: plans
+                            .get(j as usize)
+                            .map_or(f64::INFINITY, |p| p.prob_mass()),
+                    }),
+            );
+        }
+        c.sort_unstable_by_key(|c| (c.id, c.shard, c.pos));
+        c
+    }
+
     /// Evaluates a batch of **range** queries in parallel, answers
-    /// unpaginated and in input order.
+    /// unpaginated and in input order — the dedicated batch scan
+    /// engine.
     ///
-    /// Workers pull whole queries from the one shared atomic-counter
-    /// queue (`crate::query::par_run`) and fan out over shards
-    /// *inside* the worker — one thread pool total, never one per
-    /// shard. The whole batch runs on one pinned facade + snapshot set.
-    /// Because the answer is unpaginated, candidates are evaluated in
-    /// shard-local index order (contiguous per-shard data, no candidate
-    /// sort at all) and only the *matching* ids are sorted — strictly
-    /// less ordering work than the paginated path pays.
+    /// Work units on the shared atomic-counter queue
+    /// (`crate::query::par_run`) are *(query, candidate-chunk)*
+    /// sub-units, not whole queries: one heavy query or one hot shard
+    /// splits across workers instead of serializing the batch, and the
+    /// queue doubles as work stealing (idle workers pull the next
+    /// counter value wherever it lands). The final merge is
+    /// deterministic — chunks of one query concatenate in chunk order,
+    /// which is ascending id order because the prebuilt candidate
+    /// lists are id-sorted and ids are unique across shards.
+    ///
+    /// Per-batch costs are paid once (facade and snapshots pinned,
+    /// per-query cell sets resolved up front); per-worker costs are
+    /// amortized (one `RangeScratch` serves a whole
+    /// sub-unit); per-candidate work is only the pruning test and — for
+    /// survivors — `range_matches`. The whole-shape result cache is
+    /// deliberately bypassed: batch timings measure the scan.
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
+        /// Candidates per sub-unit: small enough that a heavy query
+        /// splits across a machine's workers, large enough that the
+        /// per-unit queue pull and scratch setup stay negligible.
+        const SUB_UNIT: usize = 64;
         if queries.is_empty() {
             return Ok(Vec::new());
         }
@@ -1244,58 +1336,110 @@ impl ShardedStore {
                     .map(|q| snaps[0].query_cells(&q.re)) // bounds: ≥ 1 shard
                     .collect()
             });
-        par_run(queries.len(), |qi| {
-            let q = &queries[qi]; // bounds: par_run yields qi < queries.len()
+        // Each query's cell set as a bitmap, for the AND-skip against
+        // the facade's per-candidate cell filters. `None` per query
+        // when a cell falls outside the bitmap range (that query always
+        // evaluates), or entirely when the grids disagree (the cell
+        // sets would be per shard).
+        let query_cell_bitmaps: Vec<Option<SegmentBitmap>> = match &shared_cells {
+            Some(all) => all
+                .iter()
+                .map(|cells| {
+                    let mut bm = SegmentBitmap::new();
+                    for c in cells {
+                        if c.idx() >= crate::bitmap::SEG_BITS {
+                            return None;
+                        }
+                        bm.set(c.0);
+                    }
+                    Some(bm)
+                })
+                .collect(),
+            None => vec![None; queries.len()],
+        };
+        // The heterogeneous fallback gathers candidates per query up
+        // front (owned), the fast path chunks the prebuilt index lists
+        // (borrowed) — either way the unit list is (query, candidates).
+        let gathered: Vec<Vec<RangeCandidate>> = match &facade.range_index {
+            Some(_) => Vec::new(),
+            None => queries
+                .iter()
+                .map(|q| Self::gather_candidates(&snaps, q.tq, None))
+                .collect(),
+        };
+        let mut units: Vec<(usize, &[RangeCandidate])> = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            let cands: &[RangeCandidate] = match &facade.range_index {
+                Some(ri) => ri.candidates(q.tq, None),
+                // bounds: `gathered` has one entry per query in the fallback
+                None => &gathered[qi],
+            };
+            for chunk in cands.chunks(SUB_UNIT) {
+                units.push((qi, chunk));
+            }
+        }
+        let partials = par_run(units.len(), |ui| {
+            let (qi, chunk) = units[ui]; // bounds: par_run yields ui < units.len()
+            let q = &queries[qi]; // bounds: units are built from query indices
+            let mut scratch = crate::query::RangeScratch::new();
+            // Lazily memoized per shard for the heterogeneous grid case
+            // — never rebuilt per candidate.
+            let mut per_shard_cells: Vec<Option<std::collections::HashSet<utcq_network::CellId>>> =
+                if shared_cells.is_some() {
+                    Vec::new()
+                } else {
+                    vec![None; snaps.len()]
+                };
             let mut hits = Vec::new();
-            match &facade.range_index {
-                // Fast path: the prebuilt candidate list is already
-                // id-ascending, so hits come out sorted for free.
-                Some(ri) => {
-                    // Lazily memoized per shard for the heterogeneous
-                    // grid case — never rebuilt per candidate.
-                    let mut per_shard_cells: Vec<
-                        Option<std::collections::HashSet<utcq_network::CellId>>,
-                    > = if shared_cells.is_some() {
-                        Vec::new()
-                    } else {
-                        vec![None; snaps.len()]
-                    };
-                    for &(id, s, j) in ri.candidates(q.tq, None) {
-                        // bounds: candidate shard tags index the snaps of this facade
-                        let snap = &snaps[s as usize];
-                        let cells = match &shared_cells {
-                            // bounds: one cell set per query, indexed by qi
-                            Some(all) => &all[qi],
-                            None => per_shard_cells[s as usize]
-                                .get_or_insert_with(|| snap.query_cells(&q.re)),
-                        };
-                        if snap.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
-                            hits.push(id);
+            for &RangeCandidate {
+                id,
+                shard: s,
+                pos: j,
+                mass,
+            } in chunk
+            {
+                // Pruned candidates skip evaluation entirely.
+                if crate::query::range_pruned(mass, q.alpha) {
+                    continue;
+                }
+                // Definite spatial miss: no reference tuple cell of the
+                // candidate intersects the query's cells, so
+                // `range_matches` could only return `false` — one
+                // 16-word AND instead of the whole tuple scan.
+                // bounds: one query bitmap per query, indexed by qi
+                if let Some(qbm) = &query_cell_bitmaps[qi] {
+                    if let Some(Some(cbm)) = facade
+                        .ref_cell_filters
+                        .get(s as usize)
+                        .and_then(|f| f.get(j as usize))
+                    {
+                        if !qbm.intersects(cbm) {
+                            continue;
                         }
                     }
                 }
-                // Heterogeneous shards: gather per shard, order at the
-                // end (ids are unique across shards, and ascending ids
-                // match the single store's evaluation order).
-                None => {
-                    let mut owned_cells = None;
-                    for snap in &snaps {
-                        let cells = match &shared_cells {
-                            // bounds: one cell set per query, indexed by qi
-                            Some(all) => &all[qi],
-                            None => owned_cells.insert(snap.query_cells(&q.re)),
-                        };
-                        for (id, j) in snap.unsorted_range_candidates(q.tq) {
-                            if snap.range_matches_at(j, cells, &q.re, q.tq, q.alpha)? {
-                                hits.push(id);
-                            }
-                        }
+                // bounds: candidate shard tags index the snaps of this facade
+                let snap = &snaps[s as usize];
+                let cells = match &shared_cells {
+                    // bounds: one cell set per query, indexed by qi
+                    Some(all) => &all[qi],
+                    None => {
+                        per_shard_cells[s as usize].get_or_insert_with(|| snap.query_cells(&q.re))
                     }
-                    hits.sort_unstable();
+                };
+                if snap.range_matches_at_with(j, cells, &q.re, q.tq, q.alpha, &mut scratch)? {
+                    hits.push(id);
                 }
             }
             Ok(hits)
-        })
+        })?;
+        // Deterministic merge: concatenating a query's chunk results in
+        // chunk order restores the full id-ascending answer.
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
+        for (&(qi, _), hits) in units.iter().zip(partials) {
+            out[qi].extend(hits); // bounds: qi < queries.len() by construction
+        }
+        Ok(out)
     }
 
     /// Aggregated decode-cache counters across shards (budget and

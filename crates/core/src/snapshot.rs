@@ -168,6 +168,13 @@ impl Snapshot {
         &self.stiu
     }
 
+    /// The per-trajectory query plans frozen in this snapshot — the
+    /// facade range index reads each trajectory's pruning bound
+    /// ([`TrajPlan::prob_mass`]) from here at build time.
+    pub(crate) fn plans(&self) -> &crate::chunk::ChunkedVec<TrajPlan> {
+        &self.plans
+    }
+
     /// Component-wise and total compression ratios.
     pub fn ratios(&self) -> Ratios {
         self.cds.ratios()
@@ -258,7 +265,10 @@ impl Snapshot {
     }
 
     /// Probabilistic **range** query (Definition 12) on this snapshot,
-    /// ids ascending with keyset pagination.
+    /// ids ascending with keyset pagination. A repeated query shape is
+    /// served from the epoch-keyed [`crate::cache::DecodeCache`] range
+    /// result (any page of it), after the first unpaginated-to-the-end
+    /// scan stores the complete match set.
     pub fn range_query(
         &self,
         re: &Rect,
@@ -266,11 +276,32 @@ impl Snapshot {
         alpha: f64,
         page: PageRequest,
     ) -> Result<Page<u64>, Error> {
+        self.range_query_impl(re, tq, alpha, page, true)
+    }
+
+    /// [`Snapshot::range_query`] with the result cache optionally
+    /// bypassed: the parallel batch path measures (and pays for) the
+    /// scan itself, so it neither reads nor stores whole-shape results.
+    fn range_query_impl(
+        &self,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        page: PageRequest,
+        use_cache: bool,
+    ) -> Result<Page<u64>, Error> {
+        if use_cache {
+            if let Some(ids) = self.cache.range_result(self.epoch, re, tq, alpha) {
+                return Ok(self.page_of_range_result(&ids, tq, page));
+            }
+        }
         let cells = self.query_cells(re);
         let candidates = self.range_candidates(tq, page.cursor);
         let limit = page.limit.max(1); // a zero limit could never progress
         let mut items = Vec::new();
         let mut has_more = false;
+        let engine = self.engine();
+        let mut scratch = crate::query::RangeScratch::new();
         for (id, j) in candidates {
             if items.len() >= limit {
                 // More *candidates* remain; whether they match is decided
@@ -278,7 +309,16 @@ impl Snapshot {
                 has_more = true;
                 break;
             }
-            if self.range_matches_at(j, &cells, re, tq, alpha)? {
+            // Probability-mass prune: the trajectory cannot accumulate
+            // α, so skip the evaluation entirely. The candidate still
+            // occupies its slot in the pagination walk — identical page
+            // boundaries to evaluating and rejecting it.
+            if let Some(plan) = self.plans.get(j as usize) {
+                if crate::query::range_pruned(plan.prob_mass(), alpha) {
+                    continue;
+                }
+            }
+            if engine.range_matches_with(j, &cells, re, tq, alpha, &mut scratch)? {
                 items.push(id);
             }
         }
@@ -289,6 +329,12 @@ impl Snapshot {
         } else {
             None
         };
+        if use_cache && page.cursor.is_none() && !has_more {
+            // The scan started at the beginning and consumed every
+            // candidate: `items` is the complete match set of the shape.
+            self.cache
+                .note_range_result(self.epoch, re, tq, alpha, Arc::new(items.clone()));
+        }
         Ok(Page {
             items,
             next_cursor,
@@ -296,12 +342,44 @@ impl Snapshot {
         })
     }
 
+    /// One page of a cached complete match set, byte-identical to what
+    /// the scan path would produce for the same request — including
+    /// `has_more`, whose contract is "more *candidates* remain past the
+    /// last returned id" (matching or not), probed against the interval
+    /// index without evaluating anything.
+    fn page_of_range_result(&self, ids: &[u64], tq: i64, page: PageRequest) -> Page<u64> {
+        let start = match page.cursor {
+            Some(a) => ids.partition_point(|&id| id <= a),
+            None => 0,
+        };
+        let limit = page.limit.max(1);
+        // bounds: partition_point returns ≤ ids.len()
+        let items: Vec<u64> = ids[start..].iter().take(limit).copied().collect();
+        let has_more = items.len() >= limit
+            && match items.last() {
+                Some(&last) => self.unsorted_range_candidates(tq).any(|(id, _)| id > last),
+                None => false,
+            };
+        let next_cursor = if has_more {
+            items.last().copied()
+        } else {
+            None
+        };
+        Page {
+            items,
+            next_cursor,
+            has_more,
+        }
+    }
+
     /// Evaluates a batch of **range** queries in parallel against this
-    /// snapshot (see [`crate::store::Store::par_range_query`]).
+    /// snapshot (see [`crate::store::Store::par_range_query`]). Scans
+    /// unconditionally — the whole-shape result cache is neither read
+    /// nor populated, so batch timings measure the scan.
     pub fn par_range_query(&self, queries: &[RangeQuery]) -> Result<Vec<Vec<u64>>, Error> {
         crate::query::par_run(queries.len(), |i| {
             let q = &queries[i]; // bounds: par_run yields i < queries.len()
-            self.range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            self.range_query_impl(&q.re, q.tq, q.alpha, PageRequest::all(), false)
                 .map(Page::into_items)
         })
     }
@@ -354,6 +432,21 @@ impl Snapshot {
         alpha: f64,
     ) -> Result<bool, Error> {
         self.engine().range_matches(j, cells, re, tq, alpha)
+    }
+
+    /// [`Snapshot::range_matches_at`] against caller-owned scratch —
+    /// the sharded batch engine's per-worker allocation reuse.
+    pub(crate) fn range_matches_at_with(
+        &self,
+        j: u32,
+        cells: &std::collections::HashSet<utcq_network::CellId>,
+        re: &Rect,
+        tq: i64,
+        alpha: f64,
+        scratch: &mut crate::query::RangeScratch,
+    ) -> Result<bool, Error> {
+        self.engine()
+            .range_matches_with(j, cells, re, tq, alpha, scratch)
     }
 }
 

@@ -1606,6 +1606,80 @@ mod tests {
         assert!(err.line.contains(r#""code":"bad_request""#));
     }
 
+    /// Adversarial `alpha` values on the range wire path: boundary
+    /// values keep plain comparison semantics (no clamping, no
+    /// rejection), and every non-numeric shape is a `bad_request` with
+    /// the stable message — exactly what PROTOCOL.md pins.
+    #[test]
+    fn adversarial_alpha_values_pin_wire_behavior() {
+        let opened = paper_opened();
+        let fx = paper_fixture::build();
+        let b = fx.example.net.bounding_rect();
+        let tq = paper_fixture::hms(5, 21, 25);
+        let req = |alpha: &str| {
+            format!(
+                r#"{{"op":"range","min_x":{},"min_y":{},"max_x":{},"max_y":{},"tq":{tq}{alpha}}}"#,
+                b.min_x, b.min_y, b.max_x, b.max_y
+            )
+        };
+
+        // α = 0 matches the fixture trajectory; an absent α is the
+        // same request, byte for byte.
+        let zero = handle_line(&opened, &req(r#","alpha":0"#));
+        assert!(zero.line.contains(r#""items":[1]"#), "{}", zero.line);
+        let absent = handle_line(&opened, &req(""));
+        assert_eq!(zero.line, absent.line, "absent alpha defaults to 0");
+
+        // α = 1 still answers ok; its items are a subset of α = 0's
+        // (here: the certain fixture trajectory still qualifies).
+        let one = handle_line(&opened, &req(r#","alpha":1"#));
+        assert!(one.line.contains(r#""ok":true"#), "{}", one.line);
+
+        // Out-of-range numerics keep comparison semantics: α < 0
+        // filters nothing extra, α > 1 can never be reached.
+        let neg = handle_line(&opened, &req(r#","alpha":-1"#));
+        assert_eq!(zero.line, neg.line, "negative alpha behaves like 0");
+        let two = handle_line(&opened, &req(r#","alpha":2"#));
+        assert!(two.line.contains(r#""items":[]"#), "{}", two.line);
+        // An overflowing literal (infinity) is the extreme of α > 1…
+        let inf = handle_line(&opened, &req(r#","alpha":1e999"#));
+        assert!(inf.line.contains(r#""items":[]"#), "{}", inf.line);
+        // …and negative infinity the extreme of α < 0.
+        let ninf = handle_line(&opened, &req(r#","alpha":-1e999"#));
+        assert_eq!(zero.line, ninf.line, "-inf alpha behaves like 0");
+
+        // Every non-numeric alpha shape: stable bad_request + message.
+        for bad in [
+            r#","alpha":"0.5""#,
+            r#","alpha":true"#,
+            r#","alpha":null"#,
+            r#","alpha":[0.5]"#,
+            r#","alpha":{"v":0.5}"#,
+            r#","alpha":"NaN""#,
+        ] {
+            let reply = handle_line(&opened, &req(bad));
+            assert!(
+                reply.line.contains(r#""code":"bad_request""#),
+                "{bad}: {}",
+                reply.line
+            );
+            assert!(
+                reply.line.contains("field 'alpha' must be a number"),
+                "{bad}: {}",
+                reply.line
+            );
+        }
+        // The same contract holds on where/when.
+        for op in [
+            r#"{"op":"where","traj":1,"t":0,"alpha":"x"}"#,
+            r#"{"op":"when","traj":1,"edge":0,"rd":0.5,"alpha":[]}"#,
+        ] {
+            let e = parse_request(op).unwrap_err();
+            assert_eq!(e.code, "bad_request");
+            assert!(e.message.contains("'alpha'"), "{}", e.message);
+        }
+    }
+
     #[test]
     fn ingest_parses_validates_and_gates_on_writability() {
         let opened = paper_opened();

@@ -729,3 +729,143 @@ fn pinned_walk_survives_chunk_sealing_publishes() {
     assert!(pinned.traj_index(new_id).is_none());
     assert!(store.traj_index(new_id).is_some());
 }
+
+/// A paginated **range** walk that straddles a live ingest, with the
+/// epoch-keyed range-result cache warm on both sides of the publish.
+///
+/// * A walk on the *store* resumes with its pre-ingest cursor and sees
+///   the post-ingest epoch from that point on (keyset semantics: the
+///   remainder equals the fresh full answer past the cursor), even
+///   though both epochs have complete cached range results.
+/// * A walk on a *pinned snapshot* completes entirely in the
+///   pre-ingest epoch — the newer epoch's cache entry is never served
+///   to it (cache keys carry the epoch).
+/// * A live-grown store answers the warm range workload byte-identical
+///   to an offline build over the same batches.
+#[test]
+fn paginated_range_walk_resumes_across_mid_walk_ingest() {
+    let (net, mut batches) = batches(12, 46);
+    // The generator scatters start times across a day, so spans rarely
+    // overlap and no instant matches more than one trajectory. Shift
+    // every span onto a common window (a constant shift keeps the time
+    // sequence strictly increasing and the trajectory valid) so the
+    // walk has several pages to straddle the ingest with.
+    for b in &mut batches {
+        for (i, tu) in b.trajectories.iter_mut().enumerate() {
+            let shift = 10_000 + (i as i64 % 3) * 40 - tu.times[0];
+            for t in &mut tu.times {
+                *t += shift;
+            }
+        }
+    }
+    let p = params(&batches[0]);
+    let store = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .finish()
+        .unwrap();
+    let bounds = net.bounding_rect();
+    let tq = 10_150;
+
+    // Warm the pre-ingest epoch's cache with the complete answer.
+    let pre_full = store
+        .range_query(&bounds, tq, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert!(
+        pre_full.len() >= 2,
+        "need a multi-page answer to straddle the ingest"
+    );
+    let pinned = store.snapshot();
+
+    // First page on the store (served from the cached full result) and
+    // first page on the pinned snapshot.
+    let store_p1 = store
+        .range_query(&bounds, tq, 0.0, PageRequest::first(1))
+        .unwrap();
+    let store_cursor = store_p1.next_cursor.expect("more than one match");
+    let pin_p1 = pinned
+        .range_query(&bounds, tq, 0.0, PageRequest::first(1))
+        .unwrap();
+    let pin_cursor = pin_p1.next_cursor.expect("more than one match");
+
+    // Publish two more batches mid-walk and warm the *new* epoch's
+    // cache too — the adversarial setup: both epochs now hold complete
+    // cached answers for the same query shape.
+    store.ingest(&batches[1]).unwrap();
+    store.ingest(&batches[2]).unwrap();
+    let post_full = store
+        .range_query(&bounds, tq, 0.0, PageRequest::all())
+        .unwrap()
+        .into_items();
+    assert!(
+        post_full.len() > pre_full.len(),
+        "ingest must add matches for the test to bite"
+    );
+
+    // The store walk resumes on the new epoch: keyset remainder.
+    let mut store_walked = store_p1.items.clone();
+    let mut req = PageRequest::after(store_cursor, 1);
+    loop {
+        let page = store.range_query(&bounds, tq, 0.0, req).unwrap();
+        store_walked.extend(page.items);
+        match page.next_cursor {
+            Some(c) => req = PageRequest::after(c, 1),
+            None => break,
+        }
+    }
+    let last_pre = store_p1.items[0];
+    let expect: Vec<u64> = store_p1
+        .items
+        .iter()
+        .copied()
+        .chain(post_full.iter().copied().filter(|&id| id > last_pre))
+        .collect();
+    assert_eq!(
+        store_walked, expect,
+        "resumed store walk = first page + post-ingest remainder past the cursor"
+    );
+
+    // The pinned walk stays entirely in the pre-ingest epoch.
+    let mut pin_walked = pin_p1.items.clone();
+    let mut req = PageRequest::after(pin_cursor, 1);
+    loop {
+        let page = pinned.range_query(&bounds, tq, 0.0, req).unwrap();
+        pin_walked.extend(page.items);
+        match page.next_cursor {
+            Some(c) => req = PageRequest::after(c, 1),
+            None => break,
+        }
+    }
+    assert_eq!(
+        pin_walked, pre_full,
+        "pinned walk must never observe the newer epoch's cached result"
+    );
+
+    // Live-grown vs offline-built, warm cache on both: byte-identical.
+    let offline = StoreBuilder::new(Arc::clone(&net), p)
+        .stiu_params(STIU)
+        .ingest(&batches[0])
+        .unwrap()
+        .ingest(&batches[1])
+        .unwrap()
+        .ingest(&batches[2])
+        .unwrap()
+        .finish()
+        .unwrap();
+    offline
+        .range_query(&bounds, tq, 0.0, PageRequest::all())
+        .unwrap();
+    for alpha in [0.0, 0.3, 1.0] {
+        let a = store
+            .range_query(&bounds, tq, alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        let b = offline
+            .range_query(&bounds, tq, alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(a, b, "live vs offline warm range (alpha {alpha})");
+    }
+}

@@ -252,6 +252,119 @@ fn par_range_matches_sequential_on_shards() {
     }
 }
 
+/// The range overhaul (interval bitmaps, probability pruning, the
+/// epoch-keyed range-result cache, the sharded batch engine) is pure
+/// acceleration: cold scans, cache-served repeats, and paginated walks
+/// sliced out of a cached full result must all return byte-identical
+/// answers — across the single store, the sharded store, and every
+/// container version (v1 dataset-only, v2 single, v3 sharded).
+#[test]
+fn range_answers_identical_cold_cached_and_across_versions() {
+    let (net, ds) = setup(90_210, 26);
+    let single = single_store(&net, &ds);
+    let sharded = sharded_store(&net, &ds, Arc::new(ByTime { interval_s: 900 }), 3);
+
+    // v1: dataset-only container, network supplied out of band.
+    let v1_path = std::env::temp_dir().join("utcq-range-equiv-v1.utcq");
+    {
+        let snap = single.snapshot();
+        let mut f = std::fs::File::create(&v1_path).unwrap();
+        utcq::core::storage::save(snap.compressed(), &mut f).unwrap();
+    }
+    let v1 = Store::open_v1(&v1_path, Arc::new(net.clone()), STIU).unwrap();
+    std::fs::remove_file(&v1_path).ok();
+    // v2/v3: self-contained roundtrips through container bytes.
+    let mut v2_bytes = Vec::new();
+    single.write(&mut v2_bytes).unwrap();
+    let v2 = Store::read(&mut v2_bytes.as_slice()).unwrap();
+    let mut v3_bytes = Vec::new();
+    sharded.write(&mut v3_bytes).unwrap();
+    let v3 = ShardedStore::read(&mut v3_bytes.as_slice()).unwrap();
+
+    let mut w = workload(&net, &ds, 55);
+    // Adversarial α values ride along: α = 0 (everything with support
+    // qualifies) and α = 1 (only certainty qualifies).
+    let bounds = net.bounding_rect();
+    let tq0 = ds.trajectories[0].times[0];
+    for alpha in [0.0, 1.0] {
+        w.ranges.push(RangeQuery {
+            re: bounds,
+            tq: tq0,
+            alpha,
+        });
+    }
+
+    let targets: Vec<(&str, &dyn QueryTarget)> =
+        vec![("v1", &v1), ("v2", &v2), ("v3", &v3), ("sharded", &sharded)];
+    for q in &w.ranges {
+        single.clear_cache();
+        let cold = single
+            .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        // The repeat is served by the epoch-keyed range-result cache.
+        let cached = single
+            .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(cold, cached, "cold vs cached range({q:?})");
+        for (label, t) in &targets {
+            let got = t
+                .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                .unwrap()
+                .into_items();
+            assert_eq!(cold, got, "{label}: range({q:?})");
+        }
+    }
+    // Paginated walks: a cold walk (cache cleared before every page)
+    // and a warm walk (pages sliced from the cached full result) must
+    // produce the same item sequence, on every shape.
+    for q in w.ranges.iter().take(10) {
+        for limit in [1, 3] {
+            single.clear_cache();
+            let cold_walk = walk(
+                |r| {
+                    single.clear_cache();
+                    single.range_query(&q.re, q.tq, q.alpha, r).unwrap()
+                },
+                limit,
+            );
+            single.clear_cache();
+            single
+                .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+                .unwrap();
+            let warm_walk = walk(
+                |r| single.range_query(&q.re, q.tq, q.alpha, r).unwrap(),
+                limit,
+            );
+            assert_eq!(
+                cold_walk, warm_walk,
+                "cold vs cache-sliced range walk({q:?}) limit {limit}"
+            );
+            for (label, t) in &targets {
+                let got = walk(|r| t.range_query(&q.re, q.tq, q.alpha, r).unwrap(), limit);
+                assert_eq!(
+                    cold_walk, got,
+                    "{label}: paginated range({q:?}) limit {limit}"
+                );
+            }
+        }
+    }
+    // The batch engine agrees with all of the above on the same batch.
+    let par_single = single.par_range_query(&w.ranges).unwrap();
+    let par_sharded = sharded.par_range_query(&w.ranges).unwrap();
+    let par_v3 = v3.par_range_query(&w.ranges).unwrap();
+    for (i, q) in w.ranges.iter().enumerate() {
+        let want = single
+            .range_query(&q.re, q.tq, q.alpha, PageRequest::all())
+            .unwrap()
+            .into_items();
+        assert_eq!(par_single[i], want, "par single range({q:?})");
+        assert_eq!(par_sharded[i], want, "par sharded range({q:?})");
+        assert_eq!(par_v3[i], want, "par v3 range({q:?})");
+    }
+}
+
 #[test]
 fn query_target_is_polymorphic_over_both_shapes() {
     let (net, ds) = setup(11, 12);
